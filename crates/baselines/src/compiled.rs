@@ -1,0 +1,251 @@
+//! Levelized full-evaluation simulator (the VFsim substrate).
+
+use eraser_ir::{BehavioralId, CombItem, Design, Sensitivity, SignalId};
+use eraser_logic::{LogicBit, LogicVec};
+use eraser_sim::{eval_rtl_node, execute_behavioral, SlotWrite, ValueStore};
+
+/// Bound on evaluation rounds per settle step.
+const ROUND_LIMIT: usize = 10_000;
+
+/// A compiled-style simulator: no event queue, no fanout tracking — every
+/// combinational item is evaluated every round in the design's precomputed
+/// topological order, Verilator-fashion.
+///
+/// Sequential activation, non-blocking commit ordering, edge rules and
+/// four-state semantics are identical to the event-driven
+/// [`Simulator`](eraser_sim::Simulator), so both produce identical traces;
+/// only the *work profile* differs (constant full-design work per step
+/// versus activity-proportional work).
+#[derive(Debug, Clone)]
+pub struct CompiledSim<'d> {
+    design: &'d Design,
+    values: ValueStore,
+    edge_prev: Vec<LogicVec>,
+    /// Signals watched by edge-triggered nodes (precomputed).
+    watched: Vec<SignalId>,
+    forces: Vec<(SignalId, u32, LogicBit)>,
+    nba: Vec<SlotWrite>,
+}
+
+impl<'d> CompiledSim<'d> {
+    /// Creates the simulator and performs the initial full evaluation.
+    pub fn new(design: &'d Design) -> Self {
+        let values = ValueStore::new(design);
+        let edge_prev = design
+            .signals()
+            .iter()
+            .map(|s| LogicVec::new_x(s.width))
+            .collect();
+        let watched = (0..design.num_signals())
+            .map(SignalId::from_index)
+            .filter(|s| !design.edge_fanout(*s).is_empty())
+            .collect();
+        let mut sim = CompiledSim {
+            design,
+            values,
+            edge_prev,
+            watched,
+            forces: Vec::new(),
+            nba: Vec::new(),
+        };
+        sim.settle_step(&[]);
+        sim
+    }
+
+    /// The current value of a signal.
+    pub fn value(&self, sig: SignalId) -> &LogicVec {
+        self.values.get(sig)
+    }
+
+    /// Permanently forces one bit of a signal (fault injection).
+    pub fn add_force(&mut self, sig: SignalId, bit: u32, value: LogicBit) {
+        self.forces.push((sig, bit, value));
+        let v = self.values.get(sig).clone();
+        self.commit(sig, v);
+        self.settle_step(&[]);
+    }
+
+    fn commit(&mut self, sig: SignalId, mut value: LogicVec) -> bool {
+        for &(fs, bit, b) in &self.forces {
+            if fs == sig && bit < value.width() {
+                value.set_bit(bit, b);
+            }
+        }
+        self.values.set(sig, value)
+    }
+
+    /// Applies input changes and settles: full combinational evaluation
+    /// rounds, edge detection, sequential execution and NBA commit, until
+    /// stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design fails to settle within an internal bound.
+    pub fn settle_step(&mut self, changes: &[(SignalId, LogicVec)]) {
+        for (sig, v) in changes {
+            let v = v.resize(self.design.signal(*sig).width);
+            self.commit(*sig, v);
+        }
+        for _ in 0..ROUND_LIMIT {
+            self.eval_comb_fixpoint();
+            let activated = self.detect_edges();
+            for b in &activated {
+                self.run_seq(*b);
+            }
+            let committed = self.commit_nba();
+            if activated.is_empty() && !committed {
+                return;
+            }
+        }
+        panic!("design did not settle within {ROUND_LIMIT} evaluation rounds");
+    }
+
+    /// Evaluates every combinational item, in topological order, until no
+    /// value changes (one pass normally suffices).
+    fn eval_comb_fixpoint(&mut self) {
+        for _ in 0..ROUND_LIMIT {
+            let mut changed = false;
+            for item in self.design.comb_order() {
+                match item {
+                    CombItem::Rtl(id) => {
+                        let node = self.design.rtl_node(*id);
+                        let out = eval_rtl_node(self.design, node, &self.values);
+                        changed |= self.commit(node.output, out);
+                    }
+                    CombItem::Beh(id) => {
+                        let node = self.design.behavioral(*id);
+                        let (out, _) = execute_behavioral(self.design, node, &self.values, false);
+                        for (sig, val) in out.blocking {
+                            changed |= self.commit(sig, val);
+                        }
+                        self.nba.extend(out.nba);
+                    }
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+        panic!("combinational network failed to reach a fixpoint");
+    }
+
+    fn detect_edges(&mut self) -> Vec<BehavioralId> {
+        let mut activated = Vec::new();
+        for wi in 0..self.watched.len() {
+            let sig = self.watched[wi];
+            let prev = self.edge_prev[sig.index()].clone();
+            let cur = self.values.get(sig).clone();
+            if prev == cur {
+                continue;
+            }
+            for &b in self.design.edge_fanout(sig) {
+                if activated.contains(&b) {
+                    continue;
+                }
+                let node = self.design.behavioral(b);
+                if let Sensitivity::Edges(edges) = &node.sensitivity {
+                    let fired = edges.iter().any(|(kind, s)| {
+                        *s == sig && kind.matches(prev.bit_or_x(0), cur.bit_or_x(0))
+                    });
+                    if fired {
+                        activated.push(b);
+                    }
+                }
+            }
+            self.edge_prev[sig.index()] = cur;
+        }
+        activated
+    }
+
+    fn run_seq(&mut self, id: BehavioralId) {
+        let node = self.design.behavioral(id);
+        let (out, _) = execute_behavioral(self.design, node, &self.values, false);
+        for (sig, val) in out.blocking {
+            self.commit(sig, val);
+        }
+        self.nba.extend(out.nba);
+    }
+
+    fn commit_nba(&mut self) -> bool {
+        if self.nba.is_empty() {
+            return false;
+        }
+        let writes = std::mem::take(&mut self.nba);
+        let mut any = false;
+        for w in writes {
+            let next = w.apply(self.values.get(w.target));
+            any |= self.commit(w.target, next);
+        }
+        any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eraser_frontend::compile;
+    use eraser_sim::Simulator;
+
+    #[test]
+    fn matches_event_driven_simulator() {
+        let d = compile(
+            "module m(input wire clk, input wire rst, input wire [3:0] a,
+                      output reg [7:0] acc, output wire [7:0] mix);
+               wire [7:0] ext;
+               assign ext = {a, a};
+               assign mix = acc ^ ext;
+               always @(posedge clk) begin
+                 if (rst) acc <= 8'h00;
+                 else acc <= acc + ext;
+               end
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let clk = d.find_signal("clk").unwrap();
+        let rst = d.find_signal("rst").unwrap();
+        let a = d.find_signal("a").unwrap();
+        let acc = d.find_signal("acc").unwrap();
+        let mix = d.find_signal("mix").unwrap();
+        let mut ev = Simulator::new(&d);
+        let mut cp = CompiledSim::new(&d);
+        let drive = |ev: &mut Simulator, cp: &mut CompiledSim, sig, val: u64, w| {
+            ev.set_input(sig, LogicVec::from_u64(w, val));
+            ev.step();
+            cp.settle_step(&[(sig, LogicVec::from_u64(w, val))]);
+        };
+        drive(&mut ev, &mut cp, rst, 1, 1);
+        for i in 0..20u64 {
+            drive(&mut ev, &mut cp, a, i * 3 % 16, 4);
+            if i == 1 {
+                drive(&mut ev, &mut cp, rst, 0, 1);
+            }
+            drive(&mut ev, &mut cp, clk, 0, 1);
+            drive(&mut ev, &mut cp, clk, 1, 1);
+            assert_eq!(ev.value(acc), cp.value(acc), "cycle {i}");
+            assert_eq!(ev.value(mix), cp.value(mix), "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn force_pins_bit() {
+        let d = compile(
+            "module m(input wire [3:0] a, output wire [3:0] y);
+               wire [3:0] t;
+               assign t = a;
+               assign y = t;
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let a = d.find_signal("a").unwrap();
+        let t = d.find_signal("t").unwrap();
+        let y = d.find_signal("y").unwrap();
+        let mut cp = CompiledSim::new(&d);
+        cp.add_force(t, 0, LogicBit::One);
+        cp.settle_step(&[(a, LogicVec::from_u64(4, 0))]);
+        assert_eq!(cp.value(y).to_u64(), Some(1));
+        cp.settle_step(&[(a, LogicVec::from_u64(4, 0b1110))]);
+        assert_eq!(cp.value(y).to_u64(), Some(0b1111));
+    }
+}

@@ -1,0 +1,125 @@
+//! Baseline RTL fault simulators for the ERASER evaluation.
+//!
+//! Implements the three comparison engines of the paper's Fig. 6, as
+//! documented substitutions (see `DESIGN.md`):
+//!
+//! * [`run_ifsim`] — **IFsim**: per-fault serial *event-driven*
+//!   re-simulation with the fault imposed through a `force`, the
+//!   Icarus-Verilog-with-`force` baseline (the 1× reference of Fig. 6).
+//! * [`run_vfsim`] — **VFsim**: per-fault serial *levelized full
+//!   evaluation*: every combinational node is evaluated every settle step
+//!   in a precomputed topological order, with no event scheduling — the
+//!   performance character of Verilator-based fault simulation
+//!   (cheap, constant work per cycle; total cost ∝ faults × whole design).
+//! * [`run_cfsim`] — **CfSim**: the Z01X proxy — concurrent (batched) fault
+//!   simulation with *explicit* behavioral redundancy elimination only,
+//!   i.e. the ERASER engine with
+//!   [`RedundancyMode::Explicit`](eraser_core::RedundancyMode).
+//!
+//! All engines share the detection predicate
+//! ([`eraser_fault::detectable_mismatch`]), observation points (primary
+//! outputs, checked after every stimulus step) and fault-dropping
+//! semantics, so their coverage must agree bit-for-bit — the Table II
+//! parity criterion.
+
+mod compiled;
+mod serial;
+
+pub use compiled::CompiledSim;
+pub use serial::EngineResult;
+
+use eraser_core::{run_campaign, CampaignConfig, RedundancyMode};
+use eraser_fault::FaultList;
+use eraser_ir::Design;
+use eraser_sim::{Simulator, Stimulus};
+use std::time::Instant;
+
+/// Runs the IFsim baseline: one event-driven re-simulation per fault, with
+/// the stuck-at imposed as a force; outputs are compared against a recorded
+/// good trace after every stimulus step, stopping at first detection.
+pub fn run_ifsim(design: &Design, faults: &FaultList, stimulus: &Stimulus) -> EngineResult {
+    serial::serial_campaign(
+        "IFsim",
+        design,
+        faults,
+        stimulus,
+        |fault| {
+            let mut sim = Simulator::new(design);
+            if let Some(f) = fault {
+                sim.add_force(f.signal, f.bit, f.stuck.bit());
+                // Settle the force at construction so all engines agree on
+                // when a forced power-on edge (X -> stuck value) fires
+                // relative to the first stimulus step.
+                sim.step();
+            }
+            sim
+        },
+        |sim, changes| {
+            for (sig, v) in changes {
+                sim.set_input(*sig, v.clone());
+            }
+            sim.step();
+        },
+        |sim, sig| sim.value(sig).clone(),
+    )
+}
+
+/// Runs the VFsim baseline: one levelized full-evaluation simulation per
+/// fault (no event scheduling), same observation and dropping rules.
+pub fn run_vfsim(design: &Design, faults: &FaultList, stimulus: &Stimulus) -> EngineResult {
+    serial::serial_campaign(
+        "VFsim",
+        design,
+        faults,
+        stimulus,
+        |fault| {
+            let mut sim = CompiledSim::new(design);
+            if let Some(f) = fault {
+                sim.add_force(f.signal, f.bit, f.stuck.bit());
+            }
+            sim
+        },
+        |sim, changes| sim.settle_step(changes),
+        |sim, sig| sim.value(sig).clone(),
+    )
+}
+
+/// Runs the CfSim baseline (Z01X proxy): the concurrent engine with
+/// explicit-only redundancy elimination.
+pub fn run_cfsim(design: &Design, faults: &FaultList, stimulus: &Stimulus) -> EngineResult {
+    let t0 = Instant::now();
+    let res = run_campaign(
+        design,
+        faults,
+        stimulus,
+        &CampaignConfig {
+            mode: RedundancyMode::Explicit,
+            drop_detected: true,
+        },
+    );
+    EngineResult {
+        name: "CfSim".to_string(),
+        coverage: res.coverage,
+        wall: t0.elapsed(),
+    }
+}
+
+/// Runs the full ERASER engine (for symmetric result collection in the
+/// benchmark harness).
+pub fn run_eraser(design: &Design, faults: &FaultList, stimulus: &Stimulus) -> EngineResult {
+    let t0 = Instant::now();
+    let res = run_campaign(
+        design,
+        faults,
+        stimulus,
+        &CampaignConfig {
+            mode: RedundancyMode::Full,
+            drop_detected: true,
+        },
+    );
+    EngineResult {
+        name: "Eraser".to_string(),
+        coverage: res.coverage,
+        wall: t0.elapsed(),
+    }
+}

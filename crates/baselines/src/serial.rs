@@ -1,0 +1,75 @@
+//! Shared driver for per-fault serial fault simulation.
+
+use eraser_fault::{detectable_mismatch, CoverageReport, Detection, Fault, FaultList};
+use eraser_ir::Design;
+use eraser_logic::LogicVec;
+use eraser_sim::Stimulus;
+use std::time::{Duration, Instant};
+
+/// Coverage and wall time of one engine run, as plotted in Fig. 6.
+#[derive(Debug, Clone)]
+pub struct EngineResult {
+    /// Engine name (`IFsim`, `VFsim`, `CfSim`, `Eraser`).
+    pub name: String,
+    /// Detection records.
+    pub coverage: CoverageReport,
+    /// Wall-clock time of the whole campaign.
+    pub wall: Duration,
+}
+
+/// Runs a serial (one-simulation-per-fault) campaign.
+///
+/// First simulates the fault-free design once, recording the value of every
+/// primary output after each stimulus step (the good trace). Then, per
+/// fault: a fresh simulator with the force applied replays the stimulus;
+/// after each step the outputs are compared against the good trace with the
+/// shared detection predicate; the simulation stops at the first detection
+/// (per-fault dropping).
+pub fn serial_campaign<Sim>(
+    name: &str,
+    design: &Design,
+    faults: &FaultList,
+    stimulus: &Stimulus,
+    mut make_sim: impl FnMut(Option<&Fault>) -> Sim,
+    mut apply_step: impl FnMut(&mut Sim, &[(eraser_ir::SignalId, LogicVec)]),
+    mut read: impl FnMut(&Sim, eraser_ir::SignalId) -> LogicVec,
+) -> EngineResult {
+    let t0 = Instant::now();
+    let outputs = design.outputs().to_vec();
+
+    // Good trace: outputs after every step.
+    let mut good_trace: Vec<Vec<LogicVec>> = Vec::with_capacity(stimulus.steps.len());
+    {
+        let mut sim = make_sim(None);
+        for step in &stimulus.steps {
+            apply_step(&mut sim, step);
+            good_trace.push(outputs.iter().map(|&o| read(&sim, o)).collect());
+        }
+    }
+
+    let mut coverage = CoverageReport::new(faults.len());
+    for fault in faults.iter() {
+        let mut sim = make_sim(Some(fault));
+        'steps: for (si, step) in stimulus.steps.iter().enumerate() {
+            apply_step(&mut sim, step);
+            for (oi, &o) in outputs.iter().enumerate() {
+                let fv = read(&sim, o);
+                if detectable_mismatch(&good_trace[si][oi], &fv) {
+                    coverage.record(
+                        fault.id,
+                        Detection {
+                            step: si,
+                            output: o,
+                        },
+                    );
+                    break 'steps;
+                }
+            }
+        }
+    }
+    EngineResult {
+        name: name.to_string(),
+        coverage,
+        wall: t0.elapsed(),
+    }
+}

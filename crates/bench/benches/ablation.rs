@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks backing Fig. 7: the three redundancy modes
+//! on behavioral-heavy and RTL-node-heavy designs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eraser_bench::prepare;
+use eraser_core::{run_campaign, CampaignConfig, RedundancyMode};
+use eraser_designs::Benchmark;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_ablation");
+    group.sample_size(10);
+    for bench in [Benchmark::Sha256Hv, Benchmark::Apb, Benchmark::Sha256C2v] {
+        let p = prepare(bench, 0.2);
+        for (label, mode) in [
+            ("Eraser--", RedundancyMode::None),
+            ("Eraser-", RedundancyMode::Explicit),
+            ("Eraser", RedundancyMode::Full),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, bench.name()),
+                &(&p, mode),
+                |b, (p, mode)| {
+                    b.iter(|| {
+                        run_campaign(
+                            &p.design,
+                            &p.faults,
+                            &p.stimulus,
+                            &CampaignConfig {
+                                mode: *mode,
+                                drop_detected: true,
+                            },
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion micro-benchmarks backing Fig. 6: statistically rigorous
+//! per-design samples of each engine on shortened campaigns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eraser_baselines::{run_cfsim, run_eraser, run_ifsim, run_vfsim};
+use eraser_bench::prepare;
+use eraser_designs::Benchmark;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_engines");
+    group.sample_size(10);
+    for bench in [Benchmark::Alu64, Benchmark::Apb, Benchmark::PicoRv32] {
+        let p = prepare(bench, 0.2);
+        group.bench_with_input(BenchmarkId::new("IFsim", bench.name()), &p, |b, p| {
+            b.iter(|| run_ifsim(&p.design, &p.faults, &p.stimulus))
+        });
+        group.bench_with_input(BenchmarkId::new("VFsim", bench.name()), &p, |b, p| {
+            b.iter(|| run_vfsim(&p.design, &p.faults, &p.stimulus))
+        });
+        group.bench_with_input(BenchmarkId::new("CfSim", bench.name()), &p, |b, p| {
+            b.iter(|| run_cfsim(&p.design, &p.faults, &p.stimulus))
+        });
+        group.bench_with_input(BenchmarkId::new("Eraser", bench.name()), &p, |b, p| {
+            b.iter(|| run_eraser(&p.design, &p.faults, &p.stimulus))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

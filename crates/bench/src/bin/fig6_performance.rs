@@ -1,0 +1,62 @@
+//! Regenerates **Fig. 6**: execution time of IFsim / VFsim / CfSim (Z01X
+//! proxy) / ERASER on all ten benchmarks, with speedups relative to IFsim,
+//! plus the cross-engine coverage-parity check of Table II.
+
+use eraser_baselines::{run_cfsim, run_eraser, run_ifsim, run_vfsim};
+use eraser_bench::{env_scale, fmt_secs, prepare, print_environment};
+use eraser_designs::Benchmark;
+
+fn main() {
+    print_environment("Fig. 6 — performance comparison of RTL fault simulators");
+    println!(
+        "{:<11} {:>10} {:>10} {:>10} {:>10}   {:>7} {:>7} {:>7}   coverage",
+        "benchmark", "IFsim", "VFsim", "CfSim", "Eraser", "VF x", "Cf x", "Er x"
+    );
+    let scale = env_scale();
+    let mut geo_cf = 0.0f64;
+    let mut geo_er = 0.0f64;
+    let mut geo_er_over_cf = 0.0f64;
+    let mut n = 0usize;
+    for bench in Benchmark::all() {
+        let p = prepare(bench, scale);
+        let ifsim = run_ifsim(&p.design, &p.faults, &p.stimulus);
+        let vfsim = run_vfsim(&p.design, &p.faults, &p.stimulus);
+        let cfsim = run_cfsim(&p.design, &p.faults, &p.stimulus);
+        let eraser = run_eraser(&p.design, &p.faults, &p.stimulus);
+        for (name, r) in [("VFsim", &vfsim), ("CfSim", &cfsim), ("Eraser", &eraser)] {
+            assert!(
+                ifsim.coverage.same_detected_set(&r.coverage),
+                "{}: {name} coverage mismatch ({} vs {})",
+                bench.name(),
+                ifsim.coverage,
+                r.coverage
+            );
+        }
+        let base = ifsim.wall.as_secs_f64();
+        let sp = |w: std::time::Duration| base / w.as_secs_f64();
+        println!(
+            "{:<11} {:>10} {:>10} {:>10} {:>10}   {:>6.1}x {:>6.1}x {:>6.1}x   {}",
+            bench.name(),
+            fmt_secs(ifsim.wall),
+            fmt_secs(vfsim.wall),
+            fmt_secs(cfsim.wall),
+            fmt_secs(eraser.wall),
+            sp(vfsim.wall),
+            sp(cfsim.wall),
+            sp(eraser.wall),
+            eraser.coverage
+        );
+        geo_cf += sp(cfsim.wall).ln();
+        geo_er += sp(eraser.wall).ln();
+        geo_er_over_cf += (cfsim.wall.as_secs_f64() / eraser.wall.as_secs_f64()).ln();
+        n += 1;
+    }
+    println!();
+    println!(
+        "geomean speedup vs IFsim: CfSim {:.2}x, Eraser {:.2}x; Eraser vs CfSim (Z01X proxy): {:.2}x",
+        (geo_cf / n as f64).exp(),
+        (geo_er / n as f64).exp(),
+        (geo_er_over_cf / n as f64).exp()
+    );
+    println!("(paper: Eraser 3.9x vs Z01X, 5.9x vs VFsim on their testbed — compare shapes, not absolutes)");
+}

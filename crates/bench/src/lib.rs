@@ -1,0 +1,110 @@
+//! Experiment harness for the ERASER evaluation.
+//!
+//! One report binary per table/figure of the paper (see `DESIGN.md` §3 for
+//! the experiment index):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig1_redundancy_ratio` | Fig. 1(b) explicit/implicit redundancy ratio |
+//! | `table2_benchmarks` | Table II benchmark info + coverage parity |
+//! | `fig6_performance` | Fig. 6 engine time comparison + speedups |
+//! | `fig7_ablation` | Fig. 7 Eraser--/Eraser-/Eraser ablation |
+//! | `table3_redundancy` | Table III redundancy proportions + §V-C time split |
+//!
+//! Run with `cargo run --release -p eraser-bench --bin <name>`. The
+//! environment variable `ERASER_BENCH_SCALE` (default `1.0`) scales every
+//! stimulus length, e.g. `ERASER_BENCH_SCALE=0.25` for a quick pass.
+
+use eraser_designs::Benchmark;
+use eraser_fault::{generate_faults, FaultList};
+use eraser_ir::analysis::design_stats;
+use eraser_ir::Design;
+use eraser_sim::Stimulus;
+use std::time::Duration;
+
+/// A benchmark with everything needed to run a campaign.
+pub struct Prepared {
+    /// Which benchmark.
+    pub bench: Benchmark,
+    /// The elaborated design.
+    pub design: Design,
+    /// The fault universe.
+    pub faults: FaultList,
+    /// The stimulus (scaled).
+    pub stimulus: Stimulus,
+}
+
+/// Reads the stimulus scale factor from `ERASER_BENCH_SCALE`.
+pub fn env_scale() -> f64 {
+    std::env::var("ERASER_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|s: &f64| *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Compiles a benchmark, generates its fault universe and builds its
+/// stimulus with `scale` applied to the default cycle count.
+pub fn prepare(bench: Benchmark, scale: f64) -> Prepared {
+    let design = bench.build();
+    let faults = generate_faults(&design, &bench.fault_config());
+    let cycles = ((bench.default_cycles() as f64 * scale).round() as usize).max(16);
+    let stimulus = bench.stimulus_with_cycles(&design, cycles);
+    Prepared {
+        bench,
+        design,
+        faults,
+        stimulus,
+    }
+}
+
+/// Formats a duration in seconds with millisecond resolution.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Prints the evaluation-environment header (the analog of the paper's
+/// Table I) common to every report.
+pub fn print_environment(title: &str) {
+    println!("# {title}");
+    println!();
+    println!("Environment: {} / Rust (release), single-threaded;", std::env::consts::OS);
+    println!(
+        "scale = {} (set ERASER_BENCH_SCALE to adjust stimulus length).",
+        env_scale()
+    );
+    println!();
+}
+
+/// One-line design summary used by several reports.
+pub fn design_summary(p: &Prepared) -> String {
+    let st = design_stats(&p.design);
+    format!(
+        "{:<11} cells={:<6} faults={:<5} stimulus={} steps",
+        p.bench.name(),
+        st.cells(),
+        p.faults.len(),
+        p.stimulus.num_steps()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_produces_consistent_bundle() {
+        let p = prepare(Benchmark::Apb, 0.1);
+        assert_eq!(p.bench, Benchmark::Apb);
+        assert!(p.faults.len() > 0);
+        assert!(p.stimulus.num_steps() >= 16);
+        assert!(design_summary(&p).contains("APB"));
+    }
+
+    #[test]
+    fn scale_shrinks_stimulus() {
+        let small = prepare(Benchmark::Alu64, 0.1);
+        let big = prepare(Benchmark::Alu64, 0.5);
+        assert!(small.stimulus.num_steps() < big.stimulus.num_steps());
+    }
+}

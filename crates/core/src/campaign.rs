@@ -1,0 +1,301 @@
+//! One-call fault-simulation campaign driver.
+
+use crate::engine::EraserEngine;
+use crate::stats::RedundancyStats;
+use crate::RedundancyMode;
+use eraser_fault::{CoverageReport, FaultList};
+use eraser_ir::Design;
+use eraser_sim::Stimulus;
+use std::time::Instant;
+
+/// Campaign options.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Redundancy-elimination mode (the ablation axis).
+    pub mode: RedundancyMode,
+    /// Stop simulating a fault once detected (fault dropping), as
+    /// commercial tools do. Coverage is unaffected; runtime improves.
+    pub drop_detected: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            mode: RedundancyMode::Full,
+            drop_detected: true,
+        }
+    }
+}
+
+/// The outcome of a campaign: coverage plus instrumentation.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Detection records and the coverage metric.
+    pub coverage: CoverageReport,
+    /// Redundancy and timing counters (`time_total` is the campaign wall
+    /// time including engine construction).
+    pub stats: RedundancyStats,
+}
+
+/// Runs a complete fault-simulation campaign: builds the engine, replays
+/// the stimulus with observation after every settle step, and returns
+/// coverage plus statistics.
+pub fn run_campaign(
+    design: &Design,
+    faults: &FaultList,
+    stimulus: &Stimulus,
+    config: &CampaignConfig,
+) -> CampaignResult {
+    let t0 = Instant::now();
+    let mut engine = EraserEngine::new(design, faults, config.mode, config.drop_detected);
+    engine.run(stimulus);
+    let mut stats = engine.stats().clone();
+    stats.time_total = t0.elapsed();
+    CampaignResult {
+        coverage: engine.coverage().clone(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eraser_fault::{generate_faults, FaultListConfig};
+    use eraser_frontend::compile;
+    use eraser_logic::LogicVec;
+    use eraser_sim::StimulusBuilder;
+
+    fn counter_design() -> Design {
+        compile(
+            "module m(input wire clk, input wire rst, output reg [3:0] q);
+               always @(posedge clk) begin
+                 if (rst) q <= 4'h0;
+                 else q <= q + 4'h1;
+               end
+             endmodule",
+            None,
+        )
+        .unwrap()
+    }
+
+    fn counter_stim(d: &Design, cycles: u64) -> eraser_sim::Stimulus {
+        let clk = d.find_signal("clk").unwrap();
+        let rst = d.find_signal("rst").unwrap();
+        let mut sb = StimulusBuilder::new();
+        sb.add_cycle(clk, &[(rst, LogicVec::from_u64(1, 1))]);
+        for _ in 0..cycles {
+            sb.add_cycle(clk, &[(rst, LogicVec::from_u64(1, 0))]);
+        }
+        sb.finish()
+    }
+
+    #[test]
+    fn counter_faults_are_detected() {
+        let d = counter_design();
+        let faults = generate_faults(&d, &FaultListConfig::default());
+        assert_eq!(faults.len(), 8); // q: 4 bits x 2 polarities
+        let stim = counter_stim(&d, 20);
+        let res = run_campaign(&d, &faults, &stim, &CampaignConfig::default());
+        // Every stuck-at on a free-running counter's bits is observable.
+        assert_eq!(res.coverage.detected(), 8, "undetected: {:?}", res.coverage.undetected());
+    }
+
+    #[test]
+    fn all_modes_agree_on_coverage() {
+        let d = compile(
+            "module m(input wire clk, input wire rst, input wire [3:0] a,
+                      output reg [3:0] q, output wire [3:0] w);
+               reg [3:0] s;
+               assign w = s ^ a;
+               always @(posedge clk) begin
+                 if (rst) begin s <= 4'h0; q <= 4'h0; end
+                 else begin
+                   if (a[0]) s <= s + 4'h1;
+                   else s <= s ^ {2'b00, a[3:2]};
+                   case (a[1:0])
+                     2'd0: q <= s;
+                     2'd1: q <= a;
+                     default: q <= q + 4'h1;
+                   endcase
+                 end
+               end
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let faults = generate_faults(&d, &FaultListConfig::default());
+        let clk = d.find_signal("clk").unwrap();
+        let rst = d.find_signal("rst").unwrap();
+        let a = d.find_signal("a").unwrap();
+        let mut sb = StimulusBuilder::new();
+        sb.add_cycle(clk, &[(rst, LogicVec::from_u64(1, 1))]);
+        let mut x = 7u64;
+        for _ in 0..40 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            sb.add_cycle(
+                clk,
+                &[
+                    (rst, LogicVec::from_u64(1, 0)),
+                    (a, LogicVec::from_u64(4, x >> 33)),
+                ],
+            );
+        }
+        let stim = sb.finish();
+        let mut reports = Vec::new();
+        for mode in [RedundancyMode::None, RedundancyMode::Explicit, RedundancyMode::Full] {
+            let res = run_campaign(
+                &d,
+                &faults,
+                &stim,
+                &CampaignConfig {
+                    mode,
+                    drop_detected: true,
+                },
+            );
+            reports.push((mode, res));
+        }
+        let (_, base) = &reports[0];
+        for (mode, res) in &reports[1..] {
+            assert!(
+                base.coverage.same_detected_set(&res.coverage),
+                "{mode} disagrees: base {} vs {}",
+                base.coverage,
+                res.coverage
+            );
+        }
+        // Full mode must have skipped work the others executed.
+        let full = &reports[2].1;
+        assert!(full.stats.explicit_skipped > 0);
+        assert!(full.stats.fault_executions < reports[0].1.stats.fault_executions);
+    }
+
+    #[test]
+    fn implicit_redundancy_is_detected_and_skipped() {
+        // Paper Fig. 3(b)-style: the fault flips a branch input (b) without
+        // changing the decision's outcome, and its other differences are on
+        // signals not read along the taken path.
+        let d = compile(
+            "module m(input wire clk, input wire rst, input wire [3:0] c, input wire [3:0] g,
+                      input wire [3:0] k, input wire [1:0] s, input wire [3:0] b,
+                      output reg [3:0] r, output reg [3:0] a);
+               wire [3:0] bmask;
+               assign bmask = b & 4'h3;
+               always @(posedge clk) begin
+                 if (rst) begin r <= 4'h0; a <= 4'h0; end
+                 else if (s == 2'd0) begin
+                   r <= c + g;
+                   a <= k;
+                 end
+                 else if (s == 2'd1) r <= 4'h0;
+                 else begin
+                   a <= 4'h0;
+                   if (bmask == 4'h0) r <= r + 4'h1;
+                   else r <= a ^ r;
+                 end
+               end
+             endmodule",
+            None,
+        )
+        .unwrap();
+        // Faults on bmask: visible diffs into the behavioral node, but when
+        // s == 0 the taken path reads only c, g, k -> implicit redundancy.
+        let faults = generate_faults(
+            &d,
+            &FaultListConfig {
+                include_inputs: false,
+                ..Default::default()
+            },
+        );
+        let clk = d.find_signal("clk").unwrap();
+        let rst = d.find_signal("rst").unwrap();
+        let s = d.find_signal("s").unwrap();
+        let mut sb = StimulusBuilder::new();
+        sb.add_cycle(clk, &[(rst, LogicVec::from_u64(1, 1))]);
+        for _ in 0..10 {
+            sb.add_cycle(
+                clk,
+                &[(rst, LogicVec::from_u64(1, 0)), (s, LogicVec::from_u64(2, 0))],
+            );
+        }
+        let stim = sb.finish();
+        let full = run_campaign(
+            &d,
+            &faults,
+            &stim,
+            &CampaignConfig {
+                mode: RedundancyMode::Full,
+                drop_detected: false,
+            },
+        );
+        let expl = run_campaign(
+            &d,
+            &faults,
+            &stim,
+            &CampaignConfig {
+                mode: RedundancyMode::Explicit,
+                drop_detected: false,
+            },
+        );
+        assert!(
+            full.stats.implicit_skipped > 0,
+            "expected implicit redundancy to be found: {:?}",
+            full.stats
+        );
+        assert!(full.stats.fault_executions < expl.stats.fault_executions);
+        assert!(full.coverage.same_detected_set(&expl.coverage));
+    }
+
+    #[test]
+    fn dropping_does_not_change_coverage() {
+        let d = counter_design();
+        let faults = generate_faults(&d, &FaultListConfig::default());
+        let stim = counter_stim(&d, 25);
+        let keep = run_campaign(
+            &d,
+            &faults,
+            &stim,
+            &CampaignConfig {
+                mode: RedundancyMode::Full,
+                drop_detected: false,
+            },
+        );
+        let drop = run_campaign(&d, &faults, &stim, &CampaignConfig::default());
+        assert!(keep.coverage.same_detected_set(&drop.coverage));
+    }
+
+    #[test]
+    fn good_values_match_reference_simulator() {
+        // The engine's good network must track the plain simulator exactly.
+        let d = compile(
+            "module m(input wire clk, input wire [3:0] a, output reg [7:0] acc,
+                      output wire [7:0] dbl);
+               assign dbl = acc + acc;
+               always @(posedge clk) acc <= acc ^ {a, a};
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let faults = generate_faults(&d, &FaultListConfig::default());
+        let clk = d.find_signal("clk").unwrap();
+        let a = d.find_signal("a").unwrap();
+        let acc = d.find_signal("acc").unwrap();
+        let dbl = d.find_signal("dbl").unwrap();
+        let mut sb = StimulusBuilder::new();
+        for i in 0..16u64 {
+            sb.add_cycle(clk, &[(a, LogicVec::from_u64(4, i * 5 % 16))]);
+        }
+        let stim = sb.finish();
+        let mut engine = EraserEngine::new(&d, &faults, RedundancyMode::Full, true);
+        let mut sim = eraser_sim::Simulator::new(&d);
+        for step in &stim.steps {
+            for (sig, v) in step {
+                engine.set_input(*sig, v.clone());
+                sim.set_input(*sig, v.clone());
+            }
+            engine.step();
+            sim.step();
+            assert_eq!(engine.good_value(acc), sim.value(acc));
+            assert_eq!(engine.good_value(dbl), sim.value(dbl));
+        }
+    }
+}

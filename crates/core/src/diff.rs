@@ -1,0 +1,144 @@
+//! Per-signal fault difference lists — the "bad gates" of concurrent fault
+//! simulation.
+
+use eraser_fault::FaultId;
+use eraser_logic::LogicVec;
+
+/// The visible faulty values of one signal, sorted by fault id.
+///
+/// An entry `(f, v)` means fault `f`'s network currently holds `v` on this
+/// signal, which differs from the good value ("visible bad gate" in the
+/// paper's terminology). Faults without an entry hold the good value
+/// ("invisible").
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffList {
+    entries: Vec<(FaultId, LogicVec)>,
+}
+
+impl DiffList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The visible value of `fault`, if any.
+    #[inline]
+    pub fn get(&self, fault: FaultId) -> Option<&LogicVec> {
+        self.entries
+            .binary_search_by_key(&fault, |(f, _)| *f)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// True if `fault` has a visible entry.
+    #[inline]
+    pub fn contains(&self, fault: FaultId) -> bool {
+        self.entries
+            .binary_search_by_key(&fault, |(f, _)| *f)
+            .is_ok()
+    }
+
+    /// Inserts or updates the entry for `fault`.
+    pub fn set(&mut self, fault: FaultId, value: LogicVec) {
+        match self.entries.binary_search_by_key(&fault, |(f, _)| *f) {
+            Ok(i) => self.entries[i].1 = value,
+            Err(i) => self.entries.insert(i, (fault, value)),
+        }
+    }
+
+    /// Removes the entry for `fault`, returning its previous value.
+    pub fn remove(&mut self, fault: FaultId) -> Option<LogicVec> {
+        match self.entries.binary_search_by_key(&fault, |(f, _)| *f) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Keeps only entries satisfying the predicate.
+    pub fn retain(&mut self, mut pred: impl FnMut(FaultId, &LogicVec) -> bool) {
+        self.entries.retain(|(f, v)| pred(*f, v));
+    }
+
+    /// Entries in fault-id order.
+    pub fn entries(&self) -> &[(FaultId, LogicVec)] {
+        &self.entries
+    }
+
+    /// Fault ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = FaultId> + '_ {
+        self.entries.iter().map(|(f, _)| *f)
+    }
+
+    /// Number of visible entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no fault is visible on this signal.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Merges the fault ids of several diff lists into one sorted, deduplicated
+/// vector, keeping only live faults.
+pub fn union_ids<'a>(lists: impl Iterator<Item = &'a DiffList>, alive: &[bool]) -> Vec<FaultId> {
+    let mut ids: Vec<FaultId> = Vec::new();
+    for l in lists {
+        ids.extend(l.ids().filter(|f| alive[f.index()]));
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> LogicVec {
+        LogicVec::from_u64(8, x)
+    }
+
+    #[test]
+    fn set_get_remove_keep_order() {
+        let mut d = DiffList::new();
+        d.set(FaultId(5), v(5));
+        d.set(FaultId(1), v(1));
+        d.set(FaultId(3), v(3));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.get(FaultId(3)), Some(&v(3)));
+        assert_eq!(d.get(FaultId(2)), None);
+        let ids: Vec<u32> = d.ids().map(|f| f.0).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+        d.set(FaultId(3), v(30));
+        assert_eq!(d.get(FaultId(3)), Some(&v(30)));
+        assert_eq!(d.remove(FaultId(3)), Some(v(30)));
+        assert!(!d.contains(FaultId(3)));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn union_filters_dead_faults() {
+        let mut a = DiffList::new();
+        a.set(FaultId(0), v(0));
+        a.set(FaultId(2), v(2));
+        let mut b = DiffList::new();
+        b.set(FaultId(2), v(9));
+        b.set(FaultId(3), v(3));
+        let alive = vec![true, true, true, false];
+        let u = union_ids([&a, &b].into_iter(), &alive);
+        assert_eq!(u, vec![FaultId(0), FaultId(2)]);
+    }
+
+    #[test]
+    fn retain_prunes() {
+        let mut d = DiffList::new();
+        for i in 0..6 {
+            d.set(FaultId(i), v(i as u64));
+        }
+        d.retain(|f, _| f.0 % 2 == 0);
+        let ids: Vec<u32> = d.ids().map(|f| f.0).collect();
+        assert_eq!(ids, vec![0, 2, 4]);
+    }
+}

@@ -1,0 +1,860 @@
+//! The concurrent fault simulation engine.
+
+use crate::diff::{union_ids, DiffList};
+use crate::monitor::RedundancyMonitor;
+use crate::stats::RedundancyStats;
+use crate::RedundancyMode;
+use eraser_fault::{detectable_mismatch, CoverageReport, Detection, FaultId, FaultList};
+use eraser_ir::{
+    BehavioralId, Design, RtlNodeId, Sensitivity, SignalId, ValueSource,
+};
+use eraser_logic::LogicVec;
+use eraser_sim::{
+    eval_rtl_op, execute_monitored, ExecOutcome, NoopMonitor, SlotWrite, Stimulus, ValueStore,
+};
+use std::time::Instant;
+
+/// Bound on delta cycles per step (oscillation guard).
+const DELTA_LIMIT: usize = 10_000;
+
+/// A fault's view of the committed design state: the diff entry where
+/// visible, the good value otherwise.
+pub struct FaultView<'e> {
+    diffs: &'e [DiffList],
+    good: &'e ValueStore,
+    fault: FaultId,
+}
+
+impl<'e> FaultView<'e> {
+    /// Creates the view of `fault`.
+    pub fn new(diffs: &'e [DiffList], good: &'e ValueStore, fault: FaultId) -> Self {
+        FaultView { diffs, good, fault }
+    }
+}
+
+impl ValueSource for FaultView<'_> {
+    fn value(&self, sig: SignalId) -> LogicVec {
+        match self.diffs[sig.index()].get(self.fault) {
+            Some(v) => v.clone(),
+            None => self.good.get(sig).clone(),
+        }
+    }
+}
+
+/// One behavioral activation's classification of faults.
+#[derive(Debug, Clone, Default)]
+struct Activation {
+    /// The good network fired.
+    good: bool,
+    /// Faults whose view fired although the good network did not.
+    fault_only: Vec<FaultId>,
+    /// Faults whose view did not fire although the good network did.
+    suppressed: Vec<FaultId>,
+}
+
+/// Queued non-blocking effects of one behavioral activation.
+struct PendingNba {
+    good_writes: Vec<SlotWrite>,
+    /// Writes of faults that executed individually.
+    fault_writes: Vec<(FaultId, Vec<SlotWrite>)>,
+    /// Faults whose activation was suppressed: their targets are pinned to
+    /// the pre-commit values.
+    suppressed: Vec<FaultId>,
+}
+
+/// The ERASER concurrent fault simulation engine.
+///
+/// Holds the good network state plus per-signal [`DiffList`]s for the whole
+/// fault batch, and advances them together through the stimulus. See the
+/// [crate docs](crate) for the step structure and
+/// [`run_campaign`](crate::run_campaign) for the one-call driver.
+pub struct EraserEngine<'d> {
+    design: &'d Design,
+    faults: &'d FaultList,
+    mode: RedundancyMode,
+    drop_detected: bool,
+
+    good: ValueStore,
+    diffs: Vec<DiffList>,
+    site_faults: Vec<Vec<FaultId>>,
+    alive: Vec<bool>,
+    alive_count: u64,
+
+    rtl_dirty: Vec<bool>,
+    rtl_queue: Vec<RtlNodeId>,
+    beh_dirty: Vec<bool>,
+    beh_queue: Vec<BehavioralId>,
+    watch_changed: Vec<SignalId>,
+    watch_flag: Vec<bool>,
+
+    edge_prev_good: Vec<LogicVec>,
+    edge_prev_diffs: Vec<DiffList>,
+
+    pending_nba: Vec<PendingNba>,
+
+    coverage: CoverageReport,
+    stats: RedundancyStats,
+    step_index: usize,
+    need_sweep: bool,
+}
+
+impl<'d> EraserEngine<'d> {
+    /// Creates an engine over `design` with the fault batch `faults`, in
+    /// redundancy mode `mode`, and performs the initial evaluation.
+    pub fn new(
+        design: &'d Design,
+        faults: &'d FaultList,
+        mode: RedundancyMode,
+        drop_detected: bool,
+    ) -> Self {
+        let n_sig = design.num_signals();
+        let mut site_faults: Vec<Vec<FaultId>> = vec![Vec::new(); n_sig];
+        for f in faults.iter() {
+            site_faults[f.signal.index()].push(f.id);
+        }
+        let good = ValueStore::new(design);
+        let edge_prev_good = design
+            .signals()
+            .iter()
+            .map(|s| LogicVec::new_x(s.width))
+            .collect();
+        let mut engine = EraserEngine {
+            design,
+            faults,
+            mode,
+            drop_detected,
+            good,
+            diffs: vec![DiffList::new(); n_sig],
+            site_faults,
+            alive: vec![true; faults.len()],
+            alive_count: faults.len() as u64,
+            rtl_dirty: vec![false; design.rtl_nodes().len()],
+            rtl_queue: Vec::new(),
+            beh_dirty: vec![false; design.behavioral_nodes().len()],
+            beh_queue: Vec::new(),
+            watch_changed: Vec::new(),
+            watch_flag: vec![false; n_sig],
+            edge_prev_good,
+            edge_prev_diffs: vec![DiffList::new(); n_sig],
+            pending_nba: Vec::new(),
+            coverage: CoverageReport::new(faults.len()),
+            stats: RedundancyStats::default(),
+            step_index: 0,
+            need_sweep: false,
+        };
+        // Initial state: materialize the stuck-at forces against the all-X
+        // power-on values, then evaluate everything once.
+        for sig in 0..n_sig {
+            let id = SignalId::from_index(sig);
+            if !engine.site_faults[sig].is_empty() {
+                let v = engine.good.get(id).clone();
+                engine.commit_signal(id, v, &[], true);
+            }
+        }
+        for i in 0..design.rtl_nodes().len() {
+            engine.mark_rtl(RtlNodeId::from_index(i));
+        }
+        for (i, b) in design.behavioral_nodes().iter().enumerate() {
+            if !b.sensitivity.is_edge() {
+                engine.mark_beh(BehavioralId::from_index(i));
+            }
+        }
+        engine.step();
+        engine
+    }
+
+    /// The coverage accumulated so far.
+    pub fn coverage(&self) -> &CoverageReport {
+        &self.coverage
+    }
+
+    /// The redundancy instrumentation counters.
+    pub fn stats(&self) -> &RedundancyStats {
+        &self.stats
+    }
+
+    /// The good value of a signal.
+    pub fn good_value(&self, sig: SignalId) -> &LogicVec {
+        self.good.get(sig)
+    }
+
+    /// The value of `sig` as seen by `fault`.
+    pub fn fault_value(&self, sig: SignalId, fault: FaultId) -> LogicVec {
+        FaultView::new(&self.diffs, &self.good, fault).value(sig)
+    }
+
+    /// Number of faults still being simulated.
+    pub fn live_faults(&self) -> u64 {
+        self.alive_count
+    }
+
+    /// Drives a primary input.
+    pub fn set_input(&mut self, sig: SignalId, value: LogicVec) {
+        let value = value.resize(self.design.signal(sig).width);
+        self.commit_signal(sig, value, &[], true);
+    }
+
+    /// Runs the full stimulus with observation (and optional fault
+    /// dropping) after every settle step.
+    pub fn run(&mut self, stim: &Stimulus) {
+        for step in &stim.steps {
+            for (sig, val) in step {
+                self.set_input(*sig, val.clone());
+            }
+            self.step();
+            self.observe();
+            self.step_index += 1;
+        }
+    }
+
+    /// Settles the design (good network and all fault differences) to
+    /// stability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design does not settle within an internal delta bound.
+    pub fn step(&mut self) {
+        for _ in 0..DELTA_LIMIT {
+            self.stats.deltas += 1;
+            self.settle_active();
+            let activations = self.detect_edges();
+            for (id, act) in &activations {
+                self.process_activation(*id, act);
+            }
+            let committed = self.commit_nba();
+            if !committed
+                && activations.is_empty()
+                && self.rtl_queue.is_empty()
+                && self.beh_queue.is_empty()
+            {
+                return;
+            }
+        }
+        panic!("design did not settle within {DELTA_LIMIT} delta cycles");
+    }
+
+    /// Checks all observation points (primary outputs) for detectable
+    /// good/fault mismatches; records detections and drops detected faults
+    /// when configured.
+    pub fn observe(&mut self) {
+        let mut newly_dead = false;
+        for &o in self.design.outputs() {
+            let good = self.good.get(o).clone();
+            let hits: Vec<FaultId> = self.diffs[o.index()]
+                .entries()
+                .iter()
+                .filter(|(f, v)| self.alive[f.index()] && detectable_mismatch(&good, v))
+                .map(|(f, _)| *f)
+                .collect();
+            for f in hits {
+                if self.coverage.record(
+                    f,
+                    Detection {
+                        step: self.step_index,
+                        output: o,
+                    },
+                ) && self.drop_detected
+                {
+                    self.alive[f.index()] = false;
+                    self.alive_count -= 1;
+                    newly_dead = true;
+                }
+            }
+        }
+        if newly_dead {
+            self.need_sweep = true;
+        }
+        if self.need_sweep {
+            self.sweep_dead();
+            self.need_sweep = false;
+        }
+    }
+
+    /// Removes diff entries of dropped faults everywhere.
+    fn sweep_dead(&mut self) {
+        let alive = &self.alive;
+        for dl in &mut self.diffs {
+            dl.retain(|f, _| alive[f.index()]);
+        }
+        for dl in &mut self.edge_prev_diffs {
+            dl.retain(|f, _| alive[f.index()]);
+        }
+    }
+
+    // ---- scheduling ----
+
+    fn mark_rtl(&mut self, id: RtlNodeId) {
+        if !self.rtl_dirty[id.index()] {
+            self.rtl_dirty[id.index()] = true;
+            self.rtl_queue.push(id);
+        }
+    }
+
+    fn mark_beh(&mut self, id: BehavioralId) {
+        if !self.beh_dirty[id.index()] {
+            self.beh_dirty[id.index()] = true;
+            self.beh_queue.push(id);
+        }
+    }
+
+    fn schedule_fanout(&mut self, sig: SignalId) {
+        for &n in self.design.rtl_fanout(sig) {
+            self.mark_rtl(n);
+        }
+        for &b in self.design.level_fanout(sig) {
+            self.mark_beh(b);
+        }
+        if !self.design.edge_fanout(sig).is_empty() && !self.watch_flag[sig.index()] {
+            self.watch_flag[sig.index()] = true;
+            self.watch_changed.push(sig);
+        }
+    }
+
+    // ---- committed-state updates ----
+
+    /// Commits a new good value and a batch of fault updates to one signal,
+    /// maintaining the diff-list invariants:
+    ///
+    /// * entries exist exactly where a live fault's value differs from the
+    ///   good value,
+    /// * faults sited on this signal always observe their stuck bit forced
+    ///   (the force is re-applied on every write),
+    /// * fanout is scheduled if the good value or any fault's *view*
+    ///   changed.
+    ///
+    /// `good_write_applies_to_all` states that the write producing
+    /// `new_good` also occurs in every fault network not explicitly listed
+    /// in `fault_news` (true for input drives, RTL node outputs and
+    /// behavioral targets the *good* execution wrote). Only then may the
+    /// stuck-at force be re-materialized for sited faults missing from the
+    /// batch; when a behavioral target was written solely by some other
+    /// fault's network, untouched faults keep their private values.
+    fn commit_signal(
+        &mut self,
+        sig: SignalId,
+        new_good: LogicVec,
+        fault_news: &[(FaultId, LogicVec)],
+        good_write_applies_to_all: bool,
+    ) {
+        let si = sig.index();
+        let old_good = self.good.get(sig).clone();
+        let good_changed = old_good != new_good;
+        let mut view_changed = false;
+        let mut processed: Vec<FaultId> = Vec::with_capacity(fault_news.len());
+
+        for (f, v) in fault_news {
+            if !self.alive[f.index()] {
+                continue;
+            }
+            processed.push(*f);
+            let fault = self.faults.fault(*f);
+            let forced = if fault.signal == sig {
+                fault.apply(v)
+            } else {
+                v.clone()
+            };
+            let old_view = self.diffs[si]
+                .get(*f)
+                .cloned()
+                .unwrap_or_else(|| old_good.clone());
+            if forced != old_view {
+                view_changed = true;
+            }
+            if forced != new_good {
+                self.diffs[si].set(*f, forced);
+            } else {
+                self.diffs[si].remove(*f);
+            }
+        }
+
+        // Faults sited here but not in the update batch: re-apply the force
+        // against the new good value (their networks received the same
+        // write).
+        for fi in 0..(if good_write_applies_to_all { self.site_faults[si].len() } else { 0 }) {
+            let f = self.site_faults[si][fi];
+            if !self.alive[f.index()] || processed.contains(&f) {
+                continue;
+            }
+            processed.push(f);
+            let fault = self.faults.fault(f);
+            let forced = fault.apply(&new_good);
+            let old_view = self.diffs[si]
+                .get(f)
+                .cloned()
+                .unwrap_or_else(|| old_good.clone());
+            if forced != old_view {
+                view_changed = true;
+            }
+            if forced != new_good {
+                self.diffs[si].set(f, forced);
+            } else {
+                self.diffs[si].remove(f);
+            }
+        }
+
+        // Untouched entries keep their absolute value; those now equal to
+        // the good value became invisible, dead entries are purged.
+        processed.sort_unstable();
+        let alive = &self.alive;
+        self.diffs[si].retain(|f, v| {
+            if processed.binary_search(&f).is_ok() {
+                return true;
+            }
+            alive[f.index()] && *v != new_good
+        });
+
+        self.good.set(sig, new_good);
+        if good_changed || view_changed {
+            self.schedule_fanout(sig);
+        }
+    }
+
+    // ---- RTL nodes (concurrent) ----
+
+    fn settle_active(&mut self) {
+        loop {
+            if let Some(id) = self.rtl_queue.pop() {
+                self.rtl_dirty[id.index()] = false;
+                self.eval_rtl_concurrent(id);
+                continue;
+            }
+            if let Some(id) = self.beh_queue.pop() {
+                self.beh_dirty[id.index()] = false;
+                self.process_activation(
+                    id,
+                    &Activation {
+                        good: true,
+                        ..Default::default()
+                    },
+                );
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Concurrent evaluation of one RTL node: the good network once, plus
+    /// exactly the faults with a visible difference on an input, an
+    /// existing (possibly stale) difference on the output, or a fault site
+    /// on the output.
+    fn eval_rtl_concurrent(&mut self, id: RtlNodeId) {
+        let node = self.design.rtl_node(id);
+        let out_width = self.design.signal(node.output).width;
+        let good_inputs: Vec<LogicVec> = node
+            .inputs
+            .iter()
+            .map(|&s| self.good.get(s).clone())
+            .collect();
+        let good_out = eval_rtl_op(&node.op, &good_inputs, out_width);
+        self.stats.rtl_good_evals += 1;
+
+        let mut candidates = union_ids(
+            node.inputs
+                .iter()
+                .map(|s| &self.diffs[s.index()])
+                .chain(std::iter::once(&self.diffs[node.output.index()])),
+            &self.alive,
+        );
+        // Sited faults are re-forced by commit_signal; they only need
+        // explicit evaluation when an input difference feeds them, which
+        // the union above already covers. Remove duplicates only.
+        candidates.dedup();
+
+        let mut fault_news: Vec<(FaultId, LogicVec)> = Vec::with_capacity(candidates.len());
+        let mut fin = Vec::with_capacity(node.inputs.len());
+        for f in candidates {
+            fin.clear();
+            let mut any_diff = false;
+            for (k, &s) in node.inputs.iter().enumerate() {
+                match self.diffs[s.index()].get(f) {
+                    Some(v) => {
+                        any_diff = true;
+                        fin.push(v.clone());
+                    }
+                    None => fin.push(good_inputs[k].clone()),
+                }
+            }
+            let out = if any_diff {
+                self.stats.rtl_fault_evals += 1;
+                eval_rtl_op(&node.op, &fin, out_width)
+            } else {
+                // No visible input difference: the fault's output equals the
+                // good output (explicit redundancy at the RTL node level).
+                good_out.clone()
+            };
+            fault_news.push((f, out));
+        }
+        self.commit_signal(node.output, good_out, &fault_news, true);
+    }
+
+    // ---- edge detection (concurrent, fake-event-safe) ----
+
+    /// Evaluates event expressions once per delta, after the active region
+    /// has settled, for the good values and every diff-carrying fault
+    /// together — the generalization of deferred edge detection that
+    /// prevents the paper's *fake events*.
+    fn detect_edges(&mut self) -> Vec<(BehavioralId, Activation)> {
+        let changed = std::mem::take(&mut self.watch_changed);
+        if changed.is_empty() {
+            return Vec::new();
+        }
+        let mut nodes: Vec<BehavioralId> = Vec::new();
+        for &sig in &changed {
+            self.watch_flag[sig.index()] = false;
+            for &b in self.design.edge_fanout(sig) {
+                if !nodes.contains(&b) {
+                    nodes.push(b);
+                }
+            }
+        }
+        let changed_set: Vec<bool> = {
+            let mut v = vec![false; self.design.num_signals()];
+            for &s in &changed {
+                v[s.index()] = true;
+            }
+            v
+        };
+
+        let mut result = Vec::new();
+        for b in nodes {
+            let node = self.design.behavioral(b);
+            let Sensitivity::Edges(edges) = &node.sensitivity else {
+                continue;
+            };
+            // Terms on signals that changed this delta.
+            let terms: Vec<(eraser_ir::EdgeKind, SignalId)> = edges
+                .iter()
+                .filter(|(_, s)| changed_set[s.index()])
+                .copied()
+                .collect();
+            if terms.is_empty() {
+                continue;
+            }
+            let mut good_fired = false;
+            for &(kind, s) in &terms {
+                let prev = self.edge_prev_good[s.index()].bit_or_x(0);
+                let cur = self.good.get(s).bit_or_x(0);
+                if kind.matches(prev, cur) {
+                    good_fired = true;
+                }
+            }
+            // Faults with differences (past or present) on any term signal
+            // may diverge from the good activation.
+            let cands = union_ids(
+                terms.iter().flat_map(|(_, s)| {
+                    [
+                        &self.edge_prev_diffs[s.index()],
+                        &self.diffs[s.index()],
+                    ]
+                }),
+                &self.alive,
+            );
+            let mut act = Activation {
+                good: good_fired,
+                ..Default::default()
+            };
+            for f in cands {
+                let mut fault_fired = false;
+                for &(kind, s) in edges.iter() {
+                    // Unchanged signals contribute no transition for the
+                    // fault either (its view there is stable this delta).
+                    if !changed_set[s.index()] {
+                        continue;
+                    }
+                    let prev = self.edge_prev_diffs[s.index()]
+                        .get(f)
+                        .map(|v| v.bit_or_x(0))
+                        .unwrap_or_else(|| self.edge_prev_good[s.index()].bit_or_x(0));
+                    let cur = self.diffs[s.index()]
+                        .get(f)
+                        .map(|v| v.bit_or_x(0))
+                        .unwrap_or_else(|| self.good.get(s).bit_or_x(0));
+                    if kind.matches(prev, cur) {
+                        fault_fired = true;
+                    }
+                }
+                match (good_fired, fault_fired) {
+                    (true, false) => act.suppressed.push(f),
+                    (false, true) => act.fault_only.push(f),
+                    _ => {}
+                }
+            }
+            if act.good || !act.fault_only.is_empty() {
+                result.push((b, act));
+            }
+        }
+        // Latch the settled values for the next detection point.
+        for &sig in &changed {
+            self.edge_prev_good[sig.index()] = self.good.get(sig).clone();
+            self.edge_prev_diffs[sig.index()] = self.diffs[sig.index()].clone();
+        }
+        result
+    }
+
+    // ---- behavioral nodes (concurrent + redundancy elimination) ----
+
+    /// Processes one behavioral activation: good execution (with the
+    /// redundancy monitor in `Full` mode), candidate selection, faulty
+    /// executions for the non-redundant faults, blocking commit, and NBA
+    /// queuing.
+    fn process_activation(&mut self, id: BehavioralId, act: &Activation) {
+        let t0 = Instant::now();
+        let design = self.design;
+        let node = design.behavioral(id);
+
+        let mut good_out = ExecOutcome::default();
+        let mut exec_list: Vec<FaultId> = Vec::new();
+
+        if act.good {
+            self.stats.good_activations += 1;
+            self.stats.opportunities += self.alive_count;
+            self.stats.suppressed_activations += act.suppressed.len() as u64;
+
+            // Candidate selection (explicit redundancy elimination).
+            match self.mode {
+                RedundancyMode::None => {
+                    exec_list = (0..self.faults.len() as u32)
+                        .map(FaultId)
+                        .filter(|f| self.alive[f.index()] && !act.suppressed.contains(f))
+                        .collect();
+                    good_out = execute_monitored(design, node, &self.good, &mut NoopMonitor);
+                }
+                RedundancyMode::Explicit => {
+                    let candidates = self.input_candidates(node, &act.suppressed);
+                    self.stats.explicit_skipped +=
+                        self.alive_count - act.suppressed.len() as u64 - candidates.len() as u64;
+                    exec_list = candidates;
+                    good_out = execute_monitored(design, node, &self.good, &mut NoopMonitor);
+                }
+                RedundancyMode::Full => {
+                    let candidates = self.input_candidates(node, &act.suppressed);
+                    self.stats.explicit_skipped +=
+                        self.alive_count - act.suppressed.len() as u64 - candidates.len() as u64;
+                    let mut mon =
+                        RedundancyMonitor::new(&self.diffs, &self.good, &node.vdg, candidates);
+                    good_out = execute_monitored(design, node, &self.good, &mut mon);
+                    let (redundant, must_exec) = mon.into_verdicts();
+                    self.stats.implicit_skipped += redundant.len() as u64;
+                    exec_list = must_exec;
+                }
+            }
+        }
+
+        // Individual faulty executions: non-redundant candidates plus
+        // divergent fault-only activations.
+        let mut fault_outs: Vec<(FaultId, ExecOutcome)> =
+            Vec::with_capacity(exec_list.len() + act.fault_only.len());
+        for f in exec_list {
+            let view = FaultView::new(&self.diffs, &self.good, f);
+            let out = execute_monitored(design, node, &view, &mut NoopMonitor);
+            fault_outs.push((f, out));
+        }
+        self.stats.fault_executions += fault_outs.len() as u64;
+        for &f in &act.fault_only {
+            if !self.alive[f.index()] {
+                continue;
+            }
+            let view = FaultView::new(&self.diffs, &self.good, f);
+            let out = execute_monitored(design, node, &view, &mut NoopMonitor);
+            fault_outs.push((f, out));
+            self.stats.fault_only_activations += 1;
+            self.stats.fault_executions += 1;
+        }
+
+        self.commit_blocking(act, &good_out, &fault_outs);
+
+        // Queue non-blocking effects.
+        let has_nba = !good_out.nba.is_empty()
+            || fault_outs.iter().any(|(_, o)| !o.nba.is_empty())
+            || (!act.suppressed.is_empty() && !good_out.nba.is_empty());
+        if has_nba {
+            self.pending_nba.push(PendingNba {
+                good_writes: good_out.nba,
+                fault_writes: fault_outs
+                    .into_iter()
+                    .map(|(f, o)| (f, o.nba))
+                    .collect(),
+                suppressed: act.suppressed.clone(),
+            });
+        }
+        self.stats.time_behavioral += t0.elapsed();
+    }
+
+    /// Faults with a visible difference on any signal the node reads — the
+    /// candidates that survive explicit redundancy elimination.
+    fn input_candidates(&self, node: &eraser_ir::BehavioralNode, suppressed: &[FaultId]) -> Vec<FaultId> {
+        let mut c = union_ids(
+            node.reads.iter().map(|s| &self.diffs[s.index()]),
+            &self.alive,
+        );
+        c.retain(|f| !suppressed.contains(f));
+        c
+    }
+
+    /// Commits blocking effects of one activation: the good finals, each
+    /// executed fault's finals, pinned values for suppressed faults, and
+    /// replayed good writes for faults that were skipped as redundant but
+    /// carry differences on written targets.
+    fn commit_blocking(
+        &mut self,
+        act: &Activation,
+        good_out: &ExecOutcome,
+        fault_outs: &[(FaultId, ExecOutcome)],
+    ) {
+        // Union of blocking-written targets.
+        let mut targets: Vec<SignalId> = good_out.blocking.iter().map(|(s, _)| *s).collect();
+        for (_, o) in fault_outs {
+            targets.extend(o.blocking.iter().map(|(s, _)| *s));
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        if targets.is_empty() {
+            return;
+        }
+
+        for &t in &targets {
+            let good_final = good_out
+                .blocking
+                .iter()
+                .find(|(s, _)| *s == t)
+                .map(|(_, v)| v.clone());
+            let good_wrote = good_final.is_some();
+            let new_good = good_final.unwrap_or_else(|| self.good.get(t).clone());
+            let old_view = |engine: &Self, f: FaultId| -> LogicVec {
+                engine.diffs[t.index()]
+                    .get(f)
+                    .cloned()
+                    .unwrap_or_else(|| engine.good.get(t).clone())
+            };
+
+            let mut fault_news: Vec<(FaultId, LogicVec)> = Vec::new();
+            let mut covered: Vec<FaultId> = Vec::new();
+            for (f, o) in fault_outs {
+                covered.push(*f);
+                match o.blocking.iter().find(|(s, _)| *s == t) {
+                    Some((_, v)) => fault_news.push((*f, v.clone())),
+                    // Executed but did not write this target: its value is
+                    // pinned at its own pre-commit view.
+                    None => fault_news.push((*f, old_view(self, *f))),
+                }
+            }
+            if act.good && good_wrote {
+                for &f in &act.suppressed {
+                    if self.alive[f.index()] {
+                        covered.push(f);
+                        fault_news.push((f, old_view(self, f)));
+                    }
+                }
+                // Faults skipped as redundant with an existing difference
+                // on the target: replay the good writes onto their state.
+                covered.sort_unstable();
+                let replays: Vec<FaultId> = self.diffs[t.index()]
+                    .ids()
+                    .filter(|f| self.alive[f.index()] && covered.binary_search(f).is_err())
+                    .collect();
+                for f in replays {
+                    let mut v = old_view(self, f);
+                    for w in &good_out.blocking_writes {
+                        if w.target == t {
+                            v = w.apply(&v);
+                        }
+                    }
+                    fault_news.push((f, v));
+                }
+            }
+            self.commit_signal(t, new_good, &fault_news, good_wrote);
+        }
+    }
+
+    /// Commits the NBA region: for every pending activation block and every
+    /// written target, computes the new good value and every affected
+    /// fault's new value (own writes for executed faults, pinned values for
+    /// suppressed ones, replayed good writes for skipped faults with
+    /// differences).
+    fn commit_nba(&mut self) -> bool {
+        if self.pending_nba.is_empty() {
+            return false;
+        }
+        let pending = std::mem::take(&mut self.pending_nba);
+        let mut any = false;
+        for block in pending {
+            let mut targets: Vec<SignalId> =
+                block.good_writes.iter().map(|w| w.target).collect();
+            for (_, ws) in &block.fault_writes {
+                targets.extend(ws.iter().map(|w| w.target));
+            }
+            targets.sort_unstable();
+            targets.dedup();
+
+            for &t in &targets {
+                let old_good = self.good.get(t).clone();
+                let mut new_good = old_good.clone();
+                let mut good_wrote = false;
+                for w in &block.good_writes {
+                    if w.target == t {
+                        new_good = w.apply(&new_good);
+                        good_wrote = true;
+                    }
+                }
+                let old_view = |engine: &Self, f: FaultId| -> LogicVec {
+                    engine.diffs[t.index()]
+                        .get(f)
+                        .cloned()
+                        .unwrap_or_else(|| old_good.clone())
+                };
+
+                let mut fault_news: Vec<(FaultId, LogicVec)> = Vec::new();
+                let mut covered: Vec<FaultId> = Vec::new();
+                for (f, ws) in &block.fault_writes {
+                    if !self.alive[f.index()] {
+                        continue;
+                    }
+                    covered.push(*f);
+                    let mut v = old_view(self, *f);
+                    let mut wrote = false;
+                    for w in ws {
+                        if w.target == t {
+                            v = w.apply(&v);
+                            wrote = true;
+                        }
+                    }
+                    if wrote || good_wrote {
+                        fault_news.push((*f, v));
+                    }
+                }
+                if good_wrote {
+                    for &f in &block.suppressed {
+                        if self.alive[f.index()] {
+                            covered.push(f);
+                            fault_news.push((f, old_view(self, f)));
+                        }
+                    }
+                    covered.sort_unstable();
+                    let replays: Vec<FaultId> = self.diffs[t.index()]
+                        .ids()
+                        .filter(|f| self.alive[f.index()] && covered.binary_search(f).is_err())
+                        .collect();
+                    for f in replays {
+                        let mut v = old_view(self, f);
+                        for w in &block.good_writes {
+                            if w.target == t {
+                                v = w.apply(&v);
+                            }
+                        }
+                        fault_news.push((f, v));
+                    }
+                }
+
+                let before_good_changed = old_good != new_good;
+                let before_entries = self.diffs[t.index()].len();
+                self.commit_signal(t, new_good, &fault_news, good_wrote);
+                if before_good_changed || self.diffs[t.index()].len() != before_entries {
+                    any = true;
+                }
+            }
+        }
+        // Any scheduling already happened inside commit_signal; report
+        // whether another delta is needed.
+        any || !self.rtl_queue.is_empty() || !self.beh_queue.is_empty() || !self.watch_changed.is_empty()
+    }
+}

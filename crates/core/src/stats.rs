@@ -1,0 +1,104 @@
+//! Instrumentation counters for the paper's redundancy measurements.
+
+use std::time::Duration;
+
+/// Counters quantifying behavioral-node redundancy elimination — the raw
+/// material of the paper's Fig. 1(b), Fig. 7 and Table III.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RedundancyStats {
+    /// Good behavioral activations executed.
+    pub good_activations: u64,
+    /// Faulty behavioral execution *opportunities*: at every good
+    /// activation, every live fault would execute absent any redundancy
+    /// elimination (Table III "#Total BN Execution").
+    pub opportunities: u64,
+    /// Opportunities skipped because the fault had no visible difference on
+    /// any node input (explicit redundancy).
+    pub explicit_skipped: u64,
+    /// Candidate executions skipped by the execution-path check
+    /// (Algorithm 1; implicit redundancy).
+    pub implicit_skipped: u64,
+    /// Faulty behavioral executions actually performed.
+    pub fault_executions: u64,
+    /// Standalone faulty activations (a fault's view produced an edge the
+    /// good network did not).
+    pub fault_only_activations: u64,
+    /// Faulty activations suppressed (the good network fired, the fault's
+    /// view did not).
+    pub suppressed_activations: u64,
+    /// Good RTL node evaluations.
+    pub rtl_good_evals: u64,
+    /// Per-fault RTL node evaluations.
+    pub rtl_fault_evals: u64,
+    /// Delta cycles executed.
+    pub deltas: u64,
+    /// Wall time inside behavioral-node processing (good + fault execution
+    /// + redundancy checks + commits).
+    pub time_behavioral: Duration,
+    /// Total engine wall time (set by the campaign driver).
+    pub time_total: Duration,
+}
+
+impl RedundancyStats {
+    /// Opportunities eliminated by any mechanism (Table III
+    /// "#Elimination").
+    pub fn eliminated(&self) -> u64 {
+        self.explicit_skipped + self.implicit_skipped
+    }
+
+    /// Share of eliminations that are explicit, in percent of total
+    /// opportunities (Table III "Explicit (%)").
+    pub fn explicit_percent(&self) -> f64 {
+        percent(self.explicit_skipped, self.opportunities)
+    }
+
+    /// Share of eliminations that are implicit, in percent of total
+    /// opportunities (Table III "Implicit (%)").
+    pub fn implicit_percent(&self) -> f64 {
+        percent(self.implicit_skipped, self.opportunities)
+    }
+
+    /// Share of total time spent in behavioral-node processing, in percent
+    /// (Table III "Time for BN (%)").
+    pub fn behavioral_time_percent(&self) -> f64 {
+        if self.time_total.is_zero() {
+            0.0
+        } else {
+            100.0 * self.time_behavioral.as_secs_f64() / self.time_total.as_secs_f64()
+        }
+    }
+}
+
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages() {
+        let s = RedundancyStats {
+            opportunities: 200,
+            explicit_skipped: 100,
+            implicit_skipped: 60,
+            fault_executions: 40,
+            ..Default::default()
+        };
+        assert_eq!(s.eliminated(), 160);
+        assert!((s.explicit_percent() - 50.0).abs() < 1e-9);
+        assert!((s.implicit_percent() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let s = RedundancyStats::default();
+        assert_eq!(s.explicit_percent(), 0.0);
+        assert_eq!(s.behavioral_time_percent(), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Accounting invariants of the redundancy statistics.
+//!
+//! Every faulty execution opportunity must be accounted for exactly once:
+//!
+//! ```text
+//! opportunities = (fault_executions - fault_only_activations)
+//!               + explicit_skipped + implicit_skipped
+//!               + suppressed_activations
+//! ```
+//!
+//! (`fault_only_activations` are *extra* executions beyond the good
+//! activations, so they are excluded from the opportunity ledger.)
+
+use eraser_core::{run_campaign, CampaignConfig, RedundancyMode};
+use eraser_designs::Benchmark;
+use eraser_fault::generate_faults;
+
+fn check(bench: Benchmark, mode: RedundancyMode) {
+    let design = bench.build();
+    let mut cfg = bench.fault_config();
+    cfg.max_faults = Some(120.min(cfg.max_faults.unwrap_or(usize::MAX)));
+    let faults = generate_faults(&design, &cfg);
+    let stim = bench.stimulus_with_cycles(&design, 60);
+    let res = run_campaign(
+        &design,
+        &faults,
+        &stim,
+        &CampaignConfig {
+            mode,
+            drop_detected: true,
+        },
+    );
+    let s = &res.stats;
+    let ledger = (s.fault_executions - s.fault_only_activations)
+        + s.explicit_skipped
+        + s.implicit_skipped
+        + s.suppressed_activations;
+    assert_eq!(
+        s.opportunities,
+        ledger,
+        "{} in {mode}: opportunities {} != executions {} - fault_only {} + explicit {} + implicit {} + suppressed {}",
+        bench.name(),
+        s.opportunities,
+        s.fault_executions,
+        s.fault_only_activations,
+        s.explicit_skipped,
+        s.implicit_skipped,
+        s.suppressed_activations,
+    );
+    // Mode-specific structure.
+    match mode {
+        RedundancyMode::None => {
+            assert_eq!(s.explicit_skipped, 0);
+            assert_eq!(s.implicit_skipped, 0);
+        }
+        RedundancyMode::Explicit => assert_eq!(s.implicit_skipped, 0),
+        RedundancyMode::Full => {}
+    }
+    assert!(s.good_activations > 0);
+    assert!(s.deltas > 0);
+}
+
+#[test]
+fn ledger_balances_across_modes_and_designs() {
+    for bench in [
+        Benchmark::Alu64,
+        Benchmark::Apb,
+        Benchmark::PicoRv32,
+        Benchmark::ConvAcc,
+        Benchmark::Sha256Hv,
+    ] {
+        for mode in [
+            RedundancyMode::None,
+            RedundancyMode::Explicit,
+            RedundancyMode::Full,
+        ] {
+            check(bench, mode);
+        }
+    }
+}
+
+#[test]
+fn full_mode_never_executes_more_than_explicit() {
+    for bench in [Benchmark::Apb, Benchmark::RiscvMini] {
+        let design = bench.build();
+        let mut cfg = bench.fault_config();
+        cfg.max_faults = Some(100);
+        let faults = generate_faults(&design, &cfg);
+        let stim = bench.stimulus_with_cycles(&design, 60);
+        let mut execs = Vec::new();
+        for mode in [
+            RedundancyMode::None,
+            RedundancyMode::Explicit,
+            RedundancyMode::Full,
+        ] {
+            let res = run_campaign(
+                &design,
+                &faults,
+                &stim,
+                &CampaignConfig {
+                    mode,
+                    drop_detected: true,
+                },
+            );
+            execs.push(res.stats.fault_executions);
+        }
+        assert!(
+            execs[0] >= execs[1] && execs[1] >= execs[2],
+            "{}: executions not monotone: {execs:?}",
+            bench.name()
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Software golden models for the datapath benchmarks.
+//!
+//! Each model mirrors the corresponding RTL bit-for-bit (including the
+//! documented simplifications, e.g. the FPU's truncating rounding), so the
+//! good simulation of every engine can be validated against independent
+//! Rust implementations. The SHA-256 model is additionally validated
+//! against the FIPS 180-4 "abc" test vector, closing the chain
+//! RTL → good simulation → golden model → standard.
+
+/// SHA-256 round constants.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// SHA-256 initial hash values.
+pub const SHA256_IV: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// One SHA-256 compression of a 512-bit block against the standard IV,
+/// including the final IV addition — exactly what the `sha256_hv` /
+/// `sha256_c2v` cores compute for a single block. `block[0]` holds the
+/// most-significant word (bits 511..480), matching the cores' `block_in`.
+pub fn sha256_compress(block: &[u32; 16]) -> [u32; 8] {
+    let mut w = [0u32; 64];
+    w[..16].copy_from_slice(block);
+    for t in 16..64 {
+        let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+        let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+        w[t] = w[t - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[t - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = SHA256_IV;
+    for t in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[t])
+            .wrapping_add(w[t]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    [
+        SHA256_IV[0].wrapping_add(a),
+        SHA256_IV[1].wrapping_add(b),
+        SHA256_IV[2].wrapping_add(c),
+        SHA256_IV[3].wrapping_add(d),
+        SHA256_IV[4].wrapping_add(e),
+        SHA256_IV[5].wrapping_add(f),
+        SHA256_IV[6].wrapping_add(g),
+        SHA256_IV[7].wrapping_add(h),
+    ]
+}
+
+/// Golden model of the `alu64` combinational stage: `(result, zero, carry)`.
+pub fn alu64(op: u8, a: u64, b: u64) -> (u64, bool, bool) {
+    let (tmp, c) = match op {
+        0 => {
+            let t = a.wrapping_add(b);
+            (t, t < a)
+        }
+        1 => (a.wrapping_sub(b), a < b),
+        2 => (a & b, false),
+        3 => (a | b, false),
+        4 => (a ^ b, false),
+        5 => (!(a | b), false),
+        6 => (a << (b & 63), false),
+        7 => (a >> (b & 63), false),
+        8 => ((a < b) as u64, false),
+        9 => (a.wrapping_mul(b), false),
+        10 => ((a << 32) | (b & 0xffff_ffff), false),
+        11 => (a.wrapping_add((b & 0xffff_ffff) << 32), false),
+        12 => ((a >> 32) ^ (b & 0xffff_ffff), false),
+        _ => (a, false),
+    };
+    (tmp, tmp == 0, c)
+}
+
+/// Golden model of the `fpu32` truncating float unit (see the RTL header
+/// for the simplification contract).
+pub fn fpu32(op_mul: bool, x: u32, y: u32) -> u32 {
+    let sx = x >> 31 & 1;
+    let sy = y >> 31 & 1;
+    let ex = x >> 23 & 0xff;
+    let ey = y >> 23 & 0xff;
+    let mx = x & 0x7f_ffff;
+    let my = y & 0x7f_ffff;
+    if op_mul {
+        if ex == 0 || ey == 0 {
+            return 0;
+        }
+        let prod = ((1u64 << 23) | mx as u64) * ((1u64 << 23) | my as u64);
+        let (exp10, mant) = if prod >> 47 & 1 == 1 {
+            (ex + ey + 1, (prod >> 24 & 0x7f_ffff) as u32)
+        } else {
+            (ex + ey, (prod >> 23 & 0x7f_ffff) as u32)
+        };
+        if exp10 < 128 {
+            return 0;
+        }
+        if exp10 >= 382 {
+            return (sx ^ sy) << 31 | 0xff << 23;
+        }
+        (sx ^ sy) << 31 | (exp10.wrapping_sub(127) & 0xff) << 23 | mant
+    } else {
+        if ex == 0 {
+            return if ey == 0 { 0 } else { y };
+        }
+        if ey == 0 {
+            return x;
+        }
+        // Order by magnitude.
+        let (sl, el, ml, es, ms) = if (ex << 23 | mx) < (ey << 23 | my) {
+            (sy, ey, (1 << 23) | my, ex, (1 << 23) | mx)
+        } else {
+            (sx, ex, (1 << 23) | mx, ey, (1 << 23) | my)
+        };
+        let d = el - es;
+        if d > 24 {
+            return sl << 31 | el << 23 | (ml & 0x7f_ffff);
+        }
+        let shifted = ms >> d;
+        if sx == sy {
+            let sum = ml + shifted;
+            if sum >> 24 & 1 == 1 {
+                if el == 0xfe {
+                    sl << 31 | 0xff << 23
+                } else {
+                    sl << 31 | (el + 1) << 23 | (sum >> 1 & 0x7f_ffff)
+                }
+            } else {
+                sl << 31 | el << 23 | (sum & 0x7f_ffff)
+            }
+        } else {
+            let diff = ml - shifted;
+            if diff == 0 {
+                return 0;
+            }
+            let lead = 31 - diff.leading_zeros(); // highest set bit (<= 23)
+            if el + lead < 24 {
+                return 0;
+            }
+            let norm = diff << (23 - lead);
+            sl << 31 | (el - (23 - lead)) << 23 | (norm & 0x7f_ffff)
+        }
+    }
+}
+
+/// Golden model of the `conv_acc` datapath: saturating 3x3 dot product.
+/// `window[k]`/`weights[k]` are the bytes at bit offsets `8k` of the
+/// 72-bit ports.
+pub fn conv3x3(window: &[u8; 9], weights: &[u8; 9]) -> u16 {
+    let total: u32 = window
+        .iter()
+        .zip(weights)
+        .map(|(&p, &w)| p as u32 * w as u32)
+        .sum();
+    if total > 0xffff {
+        0xffff
+    } else {
+        total as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_matches_fips_abc_vector() {
+        // "abc" padded to one 512-bit block.
+        let mut block = [0u32; 16];
+        block[0] = 0x61626380;
+        block[15] = 24;
+        let digest = sha256_compress(&block);
+        assert_eq!(
+            digest,
+            [
+                0xba7816bf, 0x8f01cfea, 0x414140de, 0x5dae2223, 0xb00361a3, 0x96177a9c,
+                0xb410ff61, 0xf20015ad
+            ]
+        );
+    }
+
+    #[test]
+    fn alu_golden_basics() {
+        assert_eq!(alu64(0, u64::MAX, 1), (0, true, true));
+        assert_eq!(alu64(1, 3, 5), (u64::MAX - 1, false, true));
+        assert_eq!(alu64(8, 3, 5), (1, false, false));
+        assert_eq!(alu64(9, 1 << 40, 1 << 30), (0, true, false)); // 2^70 wraps to 0
+        assert_eq!(alu64(9, 3, 5), (15, false, false));
+    }
+
+    #[test]
+    fn fpu_golden_exact_cases() {
+        let one = 0x3f80_0000u32; // 1.0
+        let two = 0x4000_0000u32; // 2.0
+        let three = 0x4040_0000u32; // 3.0
+        let half = 0x3f00_0000u32; // 0.5
+        assert_eq!(fpu32(false, one, one), two); // 1 + 1 = 2
+        assert_eq!(fpu32(true, three, two), 0x40c0_0000); // 3 * 2 = 6
+        assert_eq!(fpu32(true, half, two), one); // 0.5 * 2 = 1
+        assert_eq!(fpu32(false, two, one | 0x8000_0000), one); // 2 + (-1) = 1
+        assert_eq!(fpu32(false, one, one | 0x8000_0000), 0); // 1 + (-1) = 0
+        assert_eq!(fpu32(true, one, 0), 0); // x * 0 = 0
+        assert_eq!(fpu32(false, one, 0), one); // x + 0 = x
+    }
+
+    #[test]
+    fn fpu_golden_matches_host_on_exact_ops() {
+        // Products of small powers of two are exact under any rounding.
+        for e1 in 120..135u32 {
+            for e2 in 120..135u32 {
+                let x = e1 << 23;
+                let y = e2 << 23;
+                let expect = f32::from_bits(x) * f32::from_bits(y);
+                let got = f32::from_bits(fpu32(true, x, y));
+                if expect.is_normal() {
+                    assert_eq!(got, expect, "2^{} * 2^{}", e1 as i32 - 127, e2 as i32 - 127);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv_golden_saturates() {
+        assert_eq!(conv3x3(&[255; 9], &[255; 9]), 0xffff);
+        assert_eq!(conv3x3(&[1; 9], &[2; 9]), 18);
+        assert_eq!(conv3x3(&[0; 9], &[255; 9]), 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Source-level abstract syntax tree (pre-elaboration).
+
+use eraser_ir::{BinaryOp, EdgeKind, UnaryOp};
+
+/// A parsed source file: a list of module declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceUnit {
+    /// Modules in source order.
+    pub modules: Vec<ModuleDecl>,
+}
+
+/// Direction of an ANSI port declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstPortDir {
+    /// `input`.
+    Input,
+    /// `output`.
+    Output,
+}
+
+/// Net vs variable in declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstNetKind {
+    /// `wire`.
+    Wire,
+    /// `reg`.
+    Reg,
+}
+
+/// One ANSI port declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortDecl {
+    /// Direction.
+    pub dir: AstPortDir,
+    /// `wire` (default) or `reg`.
+    pub kind: AstNetKind,
+    /// Optional `[msb:lsb]` range (constant expressions).
+    pub range: Option<(AstExpr, AstExpr)>,
+    /// Port name.
+    pub name: String,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A module declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleDecl {
+    /// Module name.
+    pub name: String,
+    /// Parameters declared in the `#(parameter ...)` header.
+    pub header_params: Vec<(String, AstExpr)>,
+    /// ANSI ports.
+    pub ports: Vec<PortDecl>,
+    /// Body items in source order.
+    pub items: Vec<Item>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A module body item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `wire`/`reg` declarations (one item per declaration list).
+    Net {
+        /// `wire` or `reg`.
+        kind: AstNetKind,
+        /// Optional `[msb:lsb]` range.
+        range: Option<(AstExpr, AstExpr)>,
+        /// Declared names.
+        names: Vec<String>,
+        /// Initializer (`wire x = expr;`), single-name declarations only.
+        init: Option<AstExpr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `integer` declarations (32-bit variables, excluded from fault
+    /// injection).
+    Integer {
+        /// Declared names.
+        names: Vec<String>,
+        /// Source line.
+        line: u32,
+    },
+    /// `parameter`/`localparam` declaration.
+    Param {
+        /// True for `localparam` (not overridable).
+        local: bool,
+        /// Parameter name.
+        name: String,
+        /// Default value (constant expression).
+        value: AstExpr,
+        /// Source line.
+        line: u32,
+    },
+    /// Continuous assignment.
+    Assign {
+        /// Target (full signal name; the subset restricts continuous-assign
+        /// targets to whole signals).
+        lhs: String,
+        /// Value expression.
+        rhs: AstExpr,
+        /// Source line.
+        line: u32,
+    },
+    /// An `always` block.
+    Always {
+        /// Sensitivity list.
+        sens: AstSens,
+        /// Body.
+        body: AstStmt,
+        /// Source line.
+        line: u32,
+    },
+    /// A module instantiation.
+    Instance {
+        /// Instantiated module name.
+        module: String,
+        /// Instance name.
+        name: String,
+        /// `#(.P(expr))` parameter overrides.
+        params: Vec<(String, AstExpr)>,
+        /// `.port(expr)` connections.
+        conns: Vec<(String, Option<AstExpr>)>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// Sensitivity list of an `always` block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstSens {
+    /// `@(*)`.
+    Star,
+    /// `@(posedge a or negedge b)`.
+    Edges(Vec<(EdgeKind, String)>),
+    /// `@(a or b)`.
+    Level(Vec<String>),
+}
+
+/// A behavioral statement (source form).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstStmt {
+    /// `begin ... end`.
+    Block(Vec<AstStmt>),
+    /// Blocking (`=`) or non-blocking (`<=`) assignment.
+    Assign {
+        /// Target.
+        lhs: AstLValue,
+        /// Value.
+        rhs: AstExpr,
+        /// True for `=`.
+        blocking: bool,
+        /// Source line.
+        line: u32,
+    },
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: AstExpr,
+        /// Then branch.
+        then_s: Box<AstStmt>,
+        /// Optional else branch.
+        else_s: Option<Box<AstStmt>>,
+    },
+    /// `case`/`casez`.
+    Case {
+        /// Scrutinee.
+        scrutinee: AstExpr,
+        /// `(labels, body)` arms.
+        arms: Vec<(Vec<AstExpr>, AstStmt)>,
+        /// Optional `default` body.
+        default: Option<Box<AstStmt>>,
+        /// True for `casez`.
+        wildcard: bool,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Init assignment.
+        init: Box<AstStmt>,
+        /// Condition.
+        cond: AstExpr,
+        /// Step assignment.
+        step: Box<AstStmt>,
+        /// Body.
+        body: Box<AstStmt>,
+    },
+    /// Empty statement (`;`).
+    Nop,
+}
+
+/// An assignment target (source form).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstLValue {
+    /// Whole signal.
+    Ident(String),
+    /// `sig[index]` (dynamic bit select).
+    Bit {
+        /// Signal name.
+        base: String,
+        /// Index expression.
+        index: AstExpr,
+    },
+    /// `sig[hi:lo]` (constant part select).
+    Part {
+        /// Signal name.
+        base: String,
+        /// High bound (constant expression).
+        hi: AstExpr,
+        /// Low bound (constant expression).
+        lo: AstExpr,
+    },
+    /// `sig[start +: width]` (indexed part select).
+    IndexedPart {
+        /// Signal name.
+        base: String,
+        /// Start expression.
+        start: AstExpr,
+        /// Width (constant expression).
+        width: AstExpr,
+    },
+}
+
+/// An expression (source form).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Numeric literal (raw text, parsed by `eraser-logic`).
+    Literal(String, u32),
+    /// Identifier (signal or parameter).
+    Ident(String, u32),
+    /// Unary operation.
+    Unary(UnaryOp, Box<AstExpr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<AstExpr>, Box<AstExpr>),
+    /// Ternary conditional.
+    Ternary(Box<AstExpr>, Box<AstExpr>, Box<AstExpr>),
+    /// Concatenation (MSB-first).
+    Concat(Vec<AstExpr>),
+    /// Replication `{count{value}}`.
+    Replicate(Box<AstExpr>, Box<AstExpr>),
+    /// `sig[index]` — bit select (dynamic or constant).
+    Bit {
+        /// Signal name.
+        base: String,
+        /// Index.
+        index: Box<AstExpr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `sig[hi:lo]` — constant part select.
+    Part {
+        /// Signal name.
+        base: String,
+        /// High bound.
+        hi: Box<AstExpr>,
+        /// Low bound.
+        lo: Box<AstExpr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `sig[start +: width]` — indexed part select.
+    IndexedPart {
+        /// Signal name.
+        base: String,
+        /// Start.
+        start: Box<AstExpr>,
+        /// Width (constant).
+        width: Box<AstExpr>,
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl AstExpr {
+    /// The source line of this expression (best effort).
+    pub fn line(&self) -> u32 {
+        match self {
+            AstExpr::Literal(_, l) | AstExpr::Ident(_, l) => *l,
+            AstExpr::Unary(_, e) => e.line(),
+            AstExpr::Binary(_, l, _) => l.line(),
+            AstExpr::Ternary(c, _, _) => c.line(),
+            AstExpr::Concat(parts) => parts.first().map_or(0, |p| p.line()),
+            AstExpr::Replicate(n, _) => n.line(),
+            AstExpr::Bit { line, .. }
+            | AstExpr::Part { line, .. }
+            | AstExpr::IndexedPart { line, .. } => *line,
+        }
+    }
+}

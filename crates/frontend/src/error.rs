@@ -1,0 +1,62 @@
+//! Compiler diagnostics.
+
+use std::fmt;
+
+/// An error produced while compiling Verilog source.
+///
+/// Carries the 1-based source line where the problem was detected (0 when no
+/// location applies, e.g. a whole-design rule violation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line, or 0 for design-level errors.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Creates an error at a source line.
+    pub fn at(line: u32, message: impl Into<String>) -> Self {
+        CompileError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a design-level error without a source location.
+    pub fn design(message: impl Into<String>) -> Self {
+        CompileError {
+            line: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<eraser_ir::BuildError> for CompileError {
+    fn from(e: eraser_ir::BuildError) -> Self {
+        CompileError::design(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        assert_eq!(CompileError::at(3, "bad").to_string(), "line 3: bad");
+        assert_eq!(CompileError::design("cycle").to_string(), "cycle");
+    }
+}

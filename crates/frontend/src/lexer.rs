@@ -1,0 +1,411 @@
+//! Tokenizer for the Verilog subset.
+
+use crate::error::CompileError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser via
+    /// [`Tok::is_kw`]-style comparisons on the string).
+    Ident(String),
+    /// A numeric literal in raw source form (`42`, `8'hff`, `'b1010`).
+    Number(String),
+    // Punctuation.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Colon,
+    Dot,
+    Hash,
+    At,
+    Question,
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Bang,
+    Tilde,
+    Amp,
+    Pipe,
+    Caret,
+    TildeCaret,
+    AmpAmp,
+    PipePipe,
+    EqEq,
+    BangEq,
+    EqEqEq,
+    BangEqEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Shl,
+    Shr,
+    AShr,
+    Assign,
+    PlusColon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Number(s) => write!(f, "`{s}`"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Tokenizes `source`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unterminated block comments or unexpected
+/// characters.
+pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
+    let mut toks = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    macro_rules! push {
+        ($t:expr) => {
+            toks.push(SpannedTok { tok: $t, line })
+        };
+    }
+
+    while i < n {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(CompileError::at(start_line, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < n
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                push!(Tok::Ident(source[start..i].to_string()));
+            }
+            c if c.is_ascii_digit() || c == '\'' => {
+                // A number: optional decimal size, optional 'b/'o/'h/'d body.
+                let start = i;
+                while i < n && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if i < n && bytes[i] == b'\'' {
+                    i += 1; // consume '
+                    if i < n && (bytes[i] as char).is_ascii_alphabetic() {
+                        i += 1; // base letter
+                        while i < n
+                            && ((bytes[i] as char).is_ascii_alphanumeric()
+                                || bytes[i] == b'_'
+                                || bytes[i] == b'?')
+                        {
+                            i += 1;
+                        }
+                    } else {
+                        return Err(CompileError::at(line, "missing base after `'`"));
+                    }
+                }
+                push!(Tok::Number(source[start..i].to_string()));
+            }
+            '(' => {
+                push!(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                push!(Tok::RParen);
+                i += 1;
+            }
+            '[' => {
+                push!(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                push!(Tok::RBracket);
+                i += 1;
+            }
+            '{' => {
+                push!(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                push!(Tok::RBrace);
+                i += 1;
+            }
+            ';' => {
+                push!(Tok::Semi);
+                i += 1;
+            }
+            ',' => {
+                push!(Tok::Comma);
+                i += 1;
+            }
+            ':' => {
+                push!(Tok::Colon);
+                i += 1;
+            }
+            '.' => {
+                push!(Tok::Dot);
+                i += 1;
+            }
+            '#' => {
+                push!(Tok::Hash);
+                i += 1;
+            }
+            '@' => {
+                push!(Tok::At);
+                i += 1;
+            }
+            '?' => {
+                push!(Tok::Question);
+                i += 1;
+            }
+            '+' => {
+                if i + 1 < n && bytes[i + 1] == b':' {
+                    push!(Tok::PlusColon);
+                    i += 2;
+                } else {
+                    push!(Tok::Plus);
+                    i += 1;
+                }
+            }
+            '-' => {
+                push!(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                push!(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                push!(Tok::Slash);
+                i += 1;
+            }
+            '%' => {
+                push!(Tok::Percent);
+                i += 1;
+            }
+            '~' => {
+                if i + 1 < n && bytes[i + 1] == b'^' {
+                    push!(Tok::TildeCaret);
+                    i += 2;
+                } else {
+                    push!(Tok::Tilde);
+                    i += 1;
+                }
+            }
+            '^' => {
+                if i + 1 < n && bytes[i + 1] == b'~' {
+                    push!(Tok::TildeCaret);
+                    i += 2;
+                } else {
+                    push!(Tok::Caret);
+                    i += 1;
+                }
+            }
+            '&' => {
+                if i + 1 < n && bytes[i + 1] == b'&' {
+                    push!(Tok::AmpAmp);
+                    i += 2;
+                } else {
+                    push!(Tok::Amp);
+                    i += 1;
+                }
+            }
+            '|' => {
+                if i + 1 < n && bytes[i + 1] == b'|' {
+                    push!(Tok::PipePipe);
+                    i += 2;
+                } else {
+                    push!(Tok::Pipe);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 2 < n && bytes[i + 1] == b'=' && bytes[i + 2] == b'=' {
+                    push!(Tok::BangEqEq);
+                    i += 3;
+                } else if i + 1 < n && bytes[i + 1] == b'=' {
+                    push!(Tok::BangEq);
+                    i += 2;
+                } else {
+                    push!(Tok::Bang);
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 2 < n && bytes[i + 1] == b'=' && bytes[i + 2] == b'=' {
+                    push!(Tok::EqEqEq);
+                    i += 3;
+                } else if i + 1 < n && bytes[i + 1] == b'=' {
+                    push!(Tok::EqEq);
+                    i += 2;
+                } else {
+                    push!(Tok::Assign);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < n && bytes[i + 1] == b'<' {
+                    push!(Tok::Shl);
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == b'=' {
+                    push!(Tok::LtEq);
+                    i += 2;
+                } else {
+                    push!(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 2 < n && bytes[i + 1] == b'>' && bytes[i + 2] == b'>' {
+                    push!(Tok::AShr);
+                    i += 3;
+                } else if i + 1 < n && bytes[i + 1] == b'>' {
+                    push!(Tok::Shr);
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == b'=' {
+                    push!(Tok::GtEq);
+                    i += 2;
+                } else {
+                    push!(Tok::Gt);
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(CompileError::at(line, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    toks.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn idents_and_keywords() {
+        assert_eq!(
+            kinds("module foo_1 $x"),
+            vec![
+                Tok::Ident("module".into()),
+                Tok::Ident("foo_1".into()),
+                Tok::Ident("$x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 8'hFF 'b10x 12'd9 4'b1?_?0"),
+            vec![
+                Tok::Number("42".into()),
+                Tok::Number("8'hFF".into()),
+                Tok::Number("'b10x".into()),
+                Tok::Number("12'd9".into()),
+                Tok::Number("4'b1?_?0".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("== != === !== <= >= << >> >>> && || ~^ ^~ +:"),
+            vec![
+                Tok::EqEq,
+                Tok::BangEq,
+                Tok::EqEqEq,
+                Tok::BangEqEq,
+                Tok::LtEq,
+                Tok::GtEq,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::AShr,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::TildeCaret,
+                Tok::TildeCaret,
+                Tok::PlusColon,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("a // comment\nb /* multi\nline */ c").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("`define").is_err());
+        assert!(lex("3' ").is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Static analyses: expression widths, RTL node result widths, design
+//! statistics.
+
+use crate::design::Design;
+use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::node::RtlOp;
+
+/// The result width of `expr` under the documented width model:
+///
+/// * bitwise/arithmetic binary operators evaluate at `max(w_l, w_r)`,
+/// * shifts keep the left operand's width,
+/// * comparisons, logical operators and reductions produce 1 bit,
+/// * concat/replicate/slice widths are structural.
+///
+/// `sig_width` maps a signal to its declared width (the builder or design
+/// provides it).
+pub fn expr_width_with(expr: &Expr, sig_width: &impl Fn(crate::SignalId) -> u32) -> u32 {
+    match expr {
+        Expr::Const(v) => v.width(),
+        Expr::Signal(s) => sig_width(*s),
+        Expr::Unary(op, e) => match op {
+            UnaryOp::Not | UnaryOp::Neg => expr_width_with(e, sig_width),
+            UnaryOp::LogicalNot | UnaryOp::RedAnd | UnaryOp::RedOr | UnaryOp::RedXor => 1,
+        },
+        Expr::Binary(op, l, r) => {
+            if op.is_single_bit() {
+                1
+            } else {
+                match op {
+                    BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShr => expr_width_with(l, sig_width),
+                    _ => expr_width_with(l, sig_width).max(expr_width_with(r, sig_width)),
+                }
+            }
+        }
+        Expr::Ternary { then_e, else_e, .. } => {
+            expr_width_with(then_e, sig_width).max(expr_width_with(else_e, sig_width))
+        }
+        Expr::Concat(parts) => parts.iter().map(|p| expr_width_with(p, sig_width)).sum(),
+        Expr::Replicate(n, e) => n * expr_width_with(e, sig_width),
+        Expr::Slice { hi, lo, .. } => hi - lo + 1,
+        Expr::Index { .. } => 1,
+        Expr::IndexedPart { width, .. } => *width,
+    }
+}
+
+/// [`expr_width_with`] reading widths from a finalized design.
+pub fn expr_width(design: &Design, expr: &Expr) -> u32 {
+    expr_width_with(expr, &|s| design.signal(s).width)
+}
+
+/// The output width an RTL node produces given its input widths, or `None`
+/// if the input count does not match the operator's arity.
+pub fn rtl_output_width(op: &RtlOp, input_widths: &[u32]) -> Option<u32> {
+    match op {
+        RtlOp::Buf => (input_widths.len() == 1).then(|| input_widths[0]),
+        RtlOp::Unary(u) => {
+            if input_widths.len() != 1 {
+                return None;
+            }
+            Some(match u {
+                UnaryOp::Not | UnaryOp::Neg => input_widths[0],
+                _ => 1,
+            })
+        }
+        RtlOp::Binary(bo) => {
+            if input_widths.len() != 2 {
+                return None;
+            }
+            Some(if bo.is_single_bit() {
+                1
+            } else {
+                match bo {
+                    BinaryOp::Shl | BinaryOp::Shr | BinaryOp::AShr => input_widths[0],
+                    _ => input_widths[0].max(input_widths[1]),
+                }
+            })
+        }
+        RtlOp::Mux => (input_widths.len() == 3).then(|| input_widths[1].max(input_widths[2])),
+        RtlOp::Concat => (!input_widths.is_empty()).then(|| input_widths.iter().sum()),
+        RtlOp::Replicate(n) => (input_widths.len() == 1).then(|| n * input_widths[0]),
+        RtlOp::Slice { hi, lo } => (input_widths.len() == 1).then(|| hi - lo + 1),
+        RtlOp::Index => (input_widths.len() == 2).then_some(1),
+        RtlOp::IndexedPart { width } => (input_widths.len() == 2).then_some(*width),
+        RtlOp::Const(v) => input_widths.is_empty().then(|| v.width()),
+    }
+}
+
+/// Aggregate size statistics of a design — the "#Cells"-style numbers of the
+/// paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignStats {
+    /// Total signals (nets + variables), including synthetic temporaries.
+    pub signals: usize,
+    /// Named (non-synthetic) signals — the fault-injection surface.
+    pub named_signals: usize,
+    /// Primitive RTL nodes.
+    pub rtl_nodes: usize,
+    /// Behavioral nodes (`always` blocks).
+    pub behavioral_nodes: usize,
+    /// Edge-triggered behavioral nodes.
+    pub sequential_nodes: usize,
+    /// Total VDG nodes (path decisions + dependency segments) across all
+    /// behavioral bodies — the behavioral complexity measure.
+    pub vdg_nodes: usize,
+    /// Total named signal bits (the per-bit stuck-at fault surface is twice
+    /// this).
+    pub named_bits: u64,
+}
+
+impl DesignStats {
+    /// The cell-count proxy reported in benchmark tables: RTL nodes plus
+    /// the VDG nodes of every behavioral body (each decision/assignment is
+    /// roughly a synthesized cell cluster).
+    pub fn cells(&self) -> usize {
+        self.rtl_nodes + self.vdg_nodes
+    }
+}
+
+/// Computes [`DesignStats`] for a design.
+pub fn design_stats(design: &Design) -> DesignStats {
+    let named: Vec<_> = design.signals().iter().filter(|s| !s.synthetic).collect();
+    DesignStats {
+        signals: design.num_signals(),
+        named_signals: named.len(),
+        rtl_nodes: design.rtl_nodes().len(),
+        behavioral_nodes: design.behavioral_nodes().len(),
+        sequential_nodes: design
+            .behavioral_nodes()
+            .iter()
+            .filter(|b| b.sensitivity.is_edge())
+            .count(),
+        vdg_nodes: design
+            .behavioral_nodes()
+            .iter()
+            .map(|b| b.vdg.node_count())
+            .sum(),
+        named_bits: named.iter().map(|s| s.width as u64).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{DesignBuilder, PortDir, SignalKind};
+    use crate::expr::Expr;
+    use crate::ids::SignalId;
+
+    #[test]
+    fn widths_follow_model() {
+        let w = |_: SignalId| 8u32;
+        assert_eq!(expr_width_with(&Expr::val(4, 1), &w), 4);
+        assert_eq!(expr_width_with(&Expr::sig(SignalId(0)), &w), 8);
+        assert_eq!(
+            expr_width_with(
+                &Expr::bin(BinaryOp::Add, Expr::sig(SignalId(0)), Expr::val(16, 1)),
+                &w
+            ),
+            16
+        );
+        assert_eq!(
+            expr_width_with(
+                &Expr::bin(BinaryOp::Eq, Expr::sig(SignalId(0)), Expr::val(16, 1)),
+                &w
+            ),
+            1
+        );
+        assert_eq!(
+            expr_width_with(
+                &Expr::bin(BinaryOp::Shl, Expr::sig(SignalId(0)), Expr::val(16, 1)),
+                &w
+            ),
+            8
+        );
+        assert_eq!(
+            expr_width_with(&Expr::Concat(vec![Expr::val(4, 0), Expr::val(4, 0)]), &w),
+            8
+        );
+        assert_eq!(
+            expr_width_with(&Expr::Replicate(3, Box::new(Expr::val(2, 0))), &w),
+            6
+        );
+        assert_eq!(
+            expr_width_with(
+                &Expr::Slice {
+                    base: SignalId(0),
+                    hi: 6,
+                    lo: 2
+                },
+                &w
+            ),
+            5
+        );
+        assert_eq!(
+            expr_width_with(&Expr::un(UnaryOp::RedXor, Expr::sig(SignalId(0))), &w),
+            1
+        );
+    }
+
+    #[test]
+    fn rtl_widths_and_arity() {
+        assert_eq!(rtl_output_width(&RtlOp::Buf, &[8]), Some(8));
+        assert_eq!(rtl_output_width(&RtlOp::Buf, &[8, 8]), None);
+        assert_eq!(rtl_output_width(&RtlOp::Binary(BinaryOp::Add), &[8, 16]), Some(16));
+        assert_eq!(rtl_output_width(&RtlOp::Binary(BinaryOp::Lt), &[8, 16]), Some(1));
+        assert_eq!(rtl_output_width(&RtlOp::Mux, &[1, 8, 8]), Some(8));
+        assert_eq!(rtl_output_width(&RtlOp::Mux, &[1, 8]), None);
+        assert_eq!(rtl_output_width(&RtlOp::Slice { hi: 3, lo: 1 }, &[8]), Some(3));
+        assert_eq!(rtl_output_width(&RtlOp::Index, &[8, 3]), Some(1));
+        assert_eq!(rtl_output_width(&RtlOp::Replicate(4), &[2]), Some(8));
+    }
+
+    #[test]
+    fn stats_counts() {
+        let mut b = DesignBuilder::new("t");
+        let a = b.add_port("a", 8, PortDir::Input);
+        let t = b.add_temp("$t0", 8);
+        let _q = b.add_signal("q", 8, SignalKind::Reg);
+        b.add_rtl_node(RtlOp::Buf, vec![a], t);
+        let d = b.finish().unwrap();
+        let st = design_stats(&d);
+        assert_eq!(st.signals, 3);
+        assert_eq!(st.named_signals, 2);
+        assert_eq!(st.named_bits, 16);
+        assert_eq!(st.rtl_nodes, 1);
+        assert_eq!(st.cells(), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! Generic four-state expression evaluation.
+//!
+//! Every engine in the framework evaluates the same [`Expr`] trees against a
+//! different notion of "the current value of a signal": the good simulator
+//! reads its value store, the ERASER engine reads a fault's *view* (diff
+//! entry if visible, good value otherwise), the compiled baseline reads its
+//! dense two-state arrays. The [`ValueSource`] trait abstracts exactly that
+//! lookup.
+
+use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::ids::SignalId;
+use eraser_logic::{LogicBit, LogicVec};
+
+/// A source of current signal values.
+pub trait ValueSource {
+    /// The current value of `sig`. Must have the signal's declared width.
+    fn value(&self, sig: SignalId) -> LogicVec;
+}
+
+impl<F> ValueSource for F
+where
+    F: Fn(SignalId) -> LogicVec,
+{
+    fn value(&self, sig: SignalId) -> LogicVec {
+        self(sig)
+    }
+}
+
+/// Evaluates `expr` against `src` with full four-state semantics.
+///
+/// The width model matches [`crate::analysis::expr_width`]; conditions with
+/// unknown truth values merge ternary branches bit-wise.
+pub fn eval_expr<S: ValueSource + ?Sized>(expr: &Expr, src: &S) -> LogicVec {
+    match expr {
+        Expr::Const(v) => v.clone(),
+        Expr::Signal(s) => src.value(*s),
+        Expr::Unary(op, e) => {
+            let v = eval_expr(e, src);
+            match op {
+                UnaryOp::Not => v.not(),
+                UnaryOp::Neg => v.neg(),
+                UnaryOp::LogicalNot => LogicVec::from_bit(v.truth().not()),
+                UnaryOp::RedAnd => LogicVec::from_bit(v.red_and()),
+                UnaryOp::RedOr => LogicVec::from_bit(v.red_or()),
+                UnaryOp::RedXor => LogicVec::from_bit(v.red_xor()),
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            let lv = eval_expr(l, src);
+            let rv = eval_expr(r, src);
+            eval_binary(*op, &lv, &rv)
+        }
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            let c = eval_expr(cond, src).truth();
+            match c {
+                LogicBit::One => {
+                    let t = eval_expr(then_e, src);
+                    let e = eval_expr(else_e, src);
+                    t.resize(t.width().max(e.width()))
+                }
+                LogicBit::Zero => {
+                    let t = eval_expr(then_e, src);
+                    let e = eval_expr(else_e, src);
+                    e.resize(t.width().max(e.width()))
+                }
+                _ => eval_expr(then_e, src).merge_x(&eval_expr(else_e, src)),
+            }
+        }
+        Expr::Concat(parts) => {
+            let vals: Vec<LogicVec> = parts.iter().map(|p| eval_expr(p, src)).collect();
+            // Source order is MSB-first; concat_lsb_first wants the reverse.
+            let refs: Vec<&LogicVec> = vals.iter().rev().collect();
+            LogicVec::concat_lsb_first(&refs)
+        }
+        Expr::Replicate(n, e) => eval_expr(e, src).replicate(*n),
+        Expr::Slice { base, hi, lo } => src.value(*base).slice(*hi, *lo),
+        Expr::Index { base, index } => {
+            let idx = eval_expr(index, src);
+            let b = src.value(*base);
+            match idx.to_u64() {
+                Some(i) if i <= u32::MAX as u64 => LogicVec::from_bit(b.bit_or_x(i as u32)),
+                _ => LogicVec::from_bit(LogicBit::X),
+            }
+        }
+        Expr::IndexedPart { base, start, width } => {
+            let st = eval_expr(start, src);
+            let b = src.value(*base);
+            match st.to_u64() {
+                Some(s) if s + *width as u64 <= u32::MAX as u64 => {
+                    b.slice(s as u32 + width - 1, s as u32)
+                }
+                _ => LogicVec::new_x(*width),
+            }
+        }
+    }
+}
+
+/// Evaluates one binary operator on already-computed operands.
+pub fn eval_binary(op: BinaryOp, lv: &LogicVec, rv: &LogicVec) -> LogicVec {
+    match op {
+        BinaryOp::And => lv.and(rv),
+        BinaryOp::Or => lv.or(rv),
+        BinaryOp::Xor => lv.xor(rv),
+        BinaryOp::Xnor => lv.xnor(rv),
+        BinaryOp::Add => lv.add(rv),
+        BinaryOp::Sub => lv.sub(rv),
+        BinaryOp::Mul => lv.mul(rv),
+        BinaryOp::Div => lv.div(rv),
+        BinaryOp::Rem => lv.rem(rv),
+        BinaryOp::Shl => lv.shl_vec(rv),
+        BinaryOp::Shr => lv.lshr_vec(rv),
+        BinaryOp::AShr => lv.ashr_vec(rv),
+        BinaryOp::Eq => LogicVec::from_bit(lv.logic_eq(rv)),
+        BinaryOp::Ne => LogicVec::from_bit(lv.logic_ne(rv)),
+        BinaryOp::CaseEq => LogicVec::from_bit(LogicBit::from(lv.case_eq(rv))),
+        BinaryOp::CaseNe => LogicVec::from_bit(LogicBit::from(!lv.case_eq(rv))),
+        BinaryOp::Lt => LogicVec::from_bit(lv.lt(rv)),
+        BinaryOp::Le => LogicVec::from_bit(lv.le(rv)),
+        BinaryOp::Gt => LogicVec::from_bit(lv.gt(rv)),
+        BinaryOp::Ge => LogicVec::from_bit(lv.ge(rv)),
+        BinaryOp::LogicalAnd => LogicVec::from_bit(lv.truth().and(rv.truth())),
+        BinaryOp::LogicalOr => LogicVec::from_bit(lv.truth().or(rv.truth())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(vals: Vec<LogicVec>) -> impl ValueSource {
+        move |s: SignalId| vals[s.index()].clone()
+    }
+
+    #[test]
+    fn arith_and_compare() {
+        let s = src(vec![LogicVec::from_u64(8, 10), LogicVec::from_u64(8, 3)]);
+        let e = Expr::bin(BinaryOp::Add, Expr::sig(SignalId(0)), Expr::sig(SignalId(1)));
+        assert_eq!(eval_expr(&e, &s).to_u64(), Some(13));
+        let c = Expr::bin(BinaryOp::Lt, Expr::sig(SignalId(1)), Expr::sig(SignalId(0)));
+        assert_eq!(eval_expr(&c, &s).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn ternary_selects_and_merges() {
+        let s = src(vec![
+            LogicVec::from_u64(1, 1),
+            LogicVec::from_u64(4, 0xa),
+            LogicVec::from_u64(4, 0x5),
+        ]);
+        let t = Expr::Ternary {
+            cond: Box::new(Expr::sig(SignalId(0))),
+            then_e: Box::new(Expr::sig(SignalId(1))),
+            else_e: Box::new(Expr::sig(SignalId(2))),
+        };
+        assert_eq!(eval_expr(&t, &s).to_u64(), Some(0xa));
+        let s = src(vec![
+            LogicVec::new_x(1),
+            LogicVec::from_u64(4, 0b1100),
+            LogicVec::from_u64(4, 0b1010),
+        ]);
+        let v = eval_expr(&t, &s);
+        assert_eq!(v.bit(3), LogicBit::One); // agree
+        assert_eq!(v.bit(2), LogicBit::X);
+        assert_eq!(v.bit(1), LogicBit::X);
+        assert_eq!(v.bit(0), LogicBit::Zero); // agree
+    }
+
+    #[test]
+    fn concat_is_msb_first() {
+        let s = src(vec![LogicVec::from_u64(4, 0xa), LogicVec::from_u64(4, 0x5)]);
+        let e = Expr::Concat(vec![Expr::sig(SignalId(0)), Expr::sig(SignalId(1))]);
+        assert_eq!(eval_expr(&e, &s).to_u64(), Some(0xa5));
+    }
+
+    #[test]
+    fn dynamic_index() {
+        let s = src(vec![LogicVec::from_u64(8, 0b0100), LogicVec::from_u64(3, 2)]);
+        let e = Expr::Index {
+            base: SignalId(0),
+            index: Box::new(Expr::sig(SignalId(1))),
+        };
+        assert_eq!(eval_expr(&e, &s).to_u64(), Some(1));
+        // Unknown index -> X.
+        let s = src(vec![LogicVec::from_u64(8, 0b0100), LogicVec::new_x(3)]);
+        assert_eq!(eval_expr(&e, &s).bit(0), LogicBit::X);
+    }
+
+    #[test]
+    fn indexed_part_select() {
+        let s = src(vec![LogicVec::from_u64(16, 0xabcd), LogicVec::from_u64(4, 4)]);
+        let e = Expr::IndexedPart {
+            base: SignalId(0),
+            start: Box::new(Expr::sig(SignalId(1))),
+            width: 4,
+        };
+        assert_eq!(eval_expr(&e, &s).to_u64(), Some(0xc));
+    }
+
+    #[test]
+    fn logical_ops_use_truth() {
+        let s = src(vec![LogicVec::from_u64(8, 0), LogicVec::from_u64(8, 7)]);
+        let e = Expr::bin(
+            BinaryOp::LogicalOr,
+            Expr::sig(SignalId(0)),
+            Expr::sig(SignalId(1)),
+        );
+        assert_eq!(eval_expr(&e, &s).to_u64(), Some(1));
+        let e = Expr::bin(
+            BinaryOp::LogicalAnd,
+            Expr::sig(SignalId(0)),
+            Expr::sig(SignalId(1)),
+        );
+        assert_eq!(eval_expr(&e, &s).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn shift_keeps_lhs_width() {
+        let s = src(vec![LogicVec::from_u64(8, 0x81), LogicVec::from_u64(4, 1)]);
+        let e = Expr::bin(BinaryOp::Shl, Expr::sig(SignalId(0)), Expr::sig(SignalId(1)));
+        let v = eval_expr(&e, &s);
+        assert_eq!(v.width(), 8);
+        assert_eq!(v.to_u64(), Some(0x02));
+    }
+}

@@ -1,0 +1,88 @@
+//! Typed index newtypes for the design graph.
+//!
+//! All graph entities are stored in flat vectors inside [`crate::Design`];
+//! these newtypes keep the index spaces statically distinct (signals vs RTL
+//! nodes vs behavioral nodes vs VDG decisions/segments).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs from a raw index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a [`crate::Signal`] in a design.
+    SignalId,
+    "s"
+);
+id_type!(
+    /// Identifies an [`crate::RtlNode`] in a design.
+    RtlNodeId,
+    "n"
+);
+id_type!(
+    /// Identifies a [`crate::BehavioralNode`] in a design.
+    BehavioralId,
+    "b"
+);
+id_type!(
+    /// Identifies a path decision node in a behavioral body's VDG.
+    DecisionId,
+    "d"
+);
+id_type!(
+    /// Identifies a path dependency segment in a behavioral body's VDG.
+    SegmentId,
+    "g"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_format() {
+        let s = SignalId::from_index(7);
+        assert_eq!(s.index(), 7);
+        assert_eq!(format!("{s}"), "s7");
+        assert_eq!(format!("{:?}", RtlNodeId(3)), "n3");
+        assert_eq!(format!("{}", BehavioralId(1)), "b1");
+        assert_eq!(format!("{}", DecisionId(0)), "d0");
+        assert_eq!(format!("{}", SegmentId(9)), "g9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(SignalId(1) < SignalId(2));
+    }
+}

@@ -1,0 +1,38 @@
+//! Intermediate representation of elaborated RTL designs.
+//!
+//! An elaborated design is the directed graph the ERASER paper calls the
+//! *RTL graph* (Fig. 2): a set of [`Signal`]s connected by
+//!
+//! * **RTL nodes** ([`RtlNode`]) — primitive combinational operators
+//!   produced by flattening continuous-assign expression trees, and
+//! * **behavioral nodes** ([`BehavioralNode`]) — `always` blocks with a
+//!   sensitivity list and a statement body.
+//!
+//! The crate also provides the static analyses the ERASER algorithm needs:
+//!
+//! * per-statement read/write sets ([`analysis`]),
+//! * the control flow graph and **visibility dependency graph** of each
+//!   behavioral body ([`vdg`]), whose *path decision* and *path dependency*
+//!   nodes drive the implicit-redundancy check (Algorithm 1 of the paper),
+//! * combinational levelization for compiled-style evaluation ([`analysis`]),
+//! * a generic four-state expression evaluator ([`eval`]).
+//!
+//! Designs are constructed through [`DesignBuilder`], either directly (see
+//! the builder's example) or by the `eraser-frontend` Verilog compiler.
+
+pub mod analysis;
+pub mod design;
+pub mod eval;
+pub mod expr;
+pub mod ids;
+pub mod node;
+pub mod stmt;
+pub mod vdg;
+
+pub use design::{BuildError, CombItem, Design, DesignBuilder, Driver, PortDir, Signal, SignalKind};
+pub use eval::{eval_expr, ValueSource};
+pub use expr::{BinaryOp, Expr, UnaryOp};
+pub use ids::{BehavioralId, DecisionId, RtlNodeId, SegmentId, SignalId};
+pub use node::{BehavioralNode, EdgeKind, RtlNode, RtlOp, Sensitivity};
+pub use stmt::{CaseArm, CaseKind, LValue, Stmt};
+pub use vdg::{DecisionEval, DecisionInfo, SegmentInfo, Vdg, VdgNode};

@@ -1,0 +1,174 @@
+//! RTL nodes and behavioral nodes — the two node classes of the RTL graph.
+
+use crate::expr::{BinaryOp, UnaryOp};
+use crate::ids::{SignalId};
+use crate::stmt::Stmt;
+use crate::vdg::Vdg;
+
+/// The operator computed by an [`RtlNode`].
+///
+/// Continuous-assign expression trees are flattened by the elaborator into
+/// one primitive node per operator, with anonymous intermediate signals in
+/// between — the granularity at which concurrent fault simulation tracks
+/// fault-value differences through the combinational network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtlOp {
+    /// Identity buffer (`output = input`); used for port aliases.
+    Buf,
+    /// A unary operator; one input.
+    Unary(UnaryOp),
+    /// A binary operator; two inputs.
+    Binary(BinaryOp),
+    /// Multiplexer: inputs are `[cond, then_v, else_v]`; an unknown
+    /// condition merges the data inputs bit-wise (agreeing bits survive).
+    Mux,
+    /// Concatenation; inputs are MSB-first as written in source.
+    Concat,
+    /// Replication of the single input `count` times.
+    Replicate(u32),
+    /// Constant part select `input[hi:lo]`.
+    Slice {
+        /// High bit (inclusive).
+        hi: u32,
+        /// Low bit (inclusive).
+        lo: u32,
+    },
+    /// Variable bit select; inputs are `[base, index]`, 1-bit output.
+    Index,
+    /// Indexed part select; inputs are `[base, start]`.
+    IndexedPart {
+        /// Width of the selection.
+        width: u32,
+    },
+    /// A constant driver (elaborated literal); no inputs.
+    Const(eraser_logic::LogicVec),
+}
+
+/// A primitive combinational node of the RTL graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtlNode {
+    /// The operator.
+    pub op: RtlOp,
+    /// Input signals, in operator-specific order.
+    pub inputs: Vec<SignalId>,
+    /// The single output signal this node drives.
+    pub output: SignalId,
+}
+
+/// Clock/reset edge polarity in a sensitivity list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// `posedge` — a `0 -> 1`-ish transition (to `1` from any non-`1`).
+    Pos,
+    /// `negedge` — a `1 -> 0`-ish transition (to `0` from any non-`0`).
+    Neg,
+}
+
+impl EdgeKind {
+    /// True if a change `from -> to` constitutes this edge, using the IEEE
+    /// 1364 event rules: a `posedge` is any transition *towards* `1`
+    /// (`0->1`, `0->x`, `x->1`, ...), i.e. from a non-`1` to a non-`0` with
+    /// a value change; symmetrically for `negedge`.
+    pub fn matches(self, from: eraser_logic::LogicBit, to: eraser_logic::LogicBit) -> bool {
+        use eraser_logic::LogicBit as B;
+        if from == to {
+            return false;
+        }
+        let from_cls = |b: B| matches!(b, B::One);
+        let to_cls = |b: B| matches!(b, B::Zero);
+        match self {
+            // posedge: from != 1 and to != 0 (a movement towards 1).
+            EdgeKind::Pos => !from_cls(from) && !to_cls(to),
+            // negedge: from != 0 and to != 1 (a movement towards 0).
+            EdgeKind::Neg => !matches!(from, B::Zero) && !matches!(to, B::One),
+        }
+    }
+}
+
+/// The sensitivity of a behavioral node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sensitivity {
+    /// `@(posedge a or negedge b ...)` — edge-triggered.
+    Edges(Vec<(EdgeKind, SignalId)>),
+    /// `@(a or b ...)` — level-sensitive on an explicit list.
+    Level(Vec<SignalId>),
+    /// `@(*)` — level-sensitive on the inferred read set.
+    Star,
+}
+
+impl Sensitivity {
+    /// True for edge-triggered (sequential) nodes.
+    pub fn is_edge(&self) -> bool {
+        matches!(self, Sensitivity::Edges(_))
+    }
+}
+
+/// A behavioral node: one `always` block of the design.
+///
+/// Beyond the statement body, a finalized behavioral node carries the static
+/// analyses the ERASER engine needs: the full read/write sets and the
+/// [visibility dependency graph](crate::vdg::Vdg) whose decision/segment ids
+/// are embedded in the body's statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BehavioralNode {
+    /// Diagnostic name (e.g. `top.u_core.always@47`).
+    pub name: String,
+    /// Sensitivity list.
+    pub sensitivity: Sensitivity,
+    /// The statement body.
+    pub body: Stmt,
+    /// Sorted, deduplicated set of all signals the body may read.
+    pub reads: Vec<SignalId>,
+    /// Sorted, deduplicated set of all signals the body may write.
+    pub writes: Vec<SignalId>,
+    /// The visibility dependency graph of the body.
+    pub vdg: Vdg,
+}
+
+impl BehavioralNode {
+    /// The signals whose value changes can *activate* this node: edge
+    /// signals for sequential nodes, the explicit list or inferred read set
+    /// for combinational ones.
+    pub fn activation_signals(&self) -> Vec<SignalId> {
+        match &self.sensitivity {
+            Sensitivity::Edges(edges) => edges.iter().map(|(_, s)| *s).collect(),
+            Sensitivity::Level(sigs) => sigs.clone(),
+            Sensitivity::Star => self.reads.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eraser_logic::LogicBit as B;
+
+    #[test]
+    fn posedge_matches_ieee_rules() {
+        assert!(EdgeKind::Pos.matches(B::Zero, B::One));
+        assert!(EdgeKind::Pos.matches(B::Zero, B::X));
+        assert!(EdgeKind::Pos.matches(B::X, B::One));
+        assert!(!EdgeKind::Pos.matches(B::One, B::Zero));
+        assert!(!EdgeKind::Pos.matches(B::One, B::One));
+        assert!(!EdgeKind::Pos.matches(B::X, B::Zero));
+        assert!(!EdgeKind::Pos.matches(B::One, B::X)); // movement away from 1
+    }
+
+    #[test]
+    fn negedge_matches_ieee_rules() {
+        assert!(EdgeKind::Neg.matches(B::One, B::Zero));
+        assert!(EdgeKind::Neg.matches(B::One, B::X));
+        assert!(EdgeKind::Neg.matches(B::X, B::Zero));
+        assert!(!EdgeKind::Neg.matches(B::Zero, B::One));
+        assert!(!EdgeKind::Neg.matches(B::Zero, B::X));
+        assert!(!EdgeKind::Neg.matches(B::X, B::One));
+    }
+
+    #[test]
+    fn no_change_is_no_edge() {
+        for b in [B::Zero, B::One, B::X, B::Z] {
+            assert!(!EdgeKind::Pos.matches(b, b));
+            assert!(!EdgeKind::Neg.matches(b, b));
+        }
+    }
+}

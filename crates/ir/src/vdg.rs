@@ -1,0 +1,395 @@
+//! Visibility dependency graphs (VDG).
+//!
+//! The VDG is the data structure at the heart of the ERASER paper's
+//! implicit-redundancy detection (Section IV-A, Fig. 5). It extends the
+//! control flow graph of a behavioral body with two node classes:
+//!
+//! * **path decision nodes** — branch statements (`if`, `case`, the
+//!   condition of a `for`). Each carries an `Evaluate` input set: the
+//!   signals read by the condition (and case labels). At run time the good
+//!   execution records the outcome of every decision it passes; the
+//!   redundancy check re-evaluates each decision under a fault's values and
+//!   compares outcomes (Algorithm 1, lines 5–11).
+//! * **path dependency nodes (segments)** — branch-free execution segments.
+//!   Each carries the set of signals whose values flow into the segment's
+//!   assignments (right-hand sides, index expressions, and the previous
+//!   value of partially-written targets). The redundancy check asks whether
+//!   any of these signals is *visible* for the fault (lines 12–18).
+//!
+//! Here every assignment is its own dependency segment — a finer granularity
+//! than the paper's basic-block segments but semantically identical (the
+//! union of read sets along the executed path is the same), and it lets the
+//! interpreter record the path as a flat sequence of ids embedded in the
+//! statement tree.
+
+use crate::eval::eval_expr;
+use crate::expr::Expr;
+use crate::ids::{DecisionId, SegmentId, SignalId};
+use crate::stmt::{CaseKind, LValue, Stmt};
+use crate::ValueSource;
+use eraser_logic::LogicBit;
+
+/// What kind of branch a decision node guards (for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// An `if` condition; outcomes are 1 (then) / 0 (else).
+    If,
+    /// A `case`/`casez` scrutinee; outcomes index the matching arm, with
+    /// `arms.len()` meaning "default / no match".
+    Case,
+    /// A `for` condition; outcomes are 1 (iterate) / 0 (exit).
+    For,
+}
+
+/// The `Evaluate` function of a path decision node (paper, Fig. 5): given a
+/// value source, computes which sub-path the behavioral code takes.
+///
+/// The interpreter evaluates decisions through this payload, and the
+/// implicit-redundancy check re-evaluates them under each fault's values —
+/// one implementation, so the two can never disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecisionEval {
+    /// `if`/`for`: the truth value of the condition. Outcome 1 = true,
+    /// 0 = false or unknown (IEEE 1364: an unknown condition takes `else`).
+    Truth(Expr),
+    /// `case`/`casez`: the index of the first matching arm, or
+    /// `arm_labels.len()` when none matches (the default path).
+    Case {
+        /// Scrutinee expression.
+        scrutinee: Expr,
+        /// Labels of each arm, in order.
+        arm_labels: Vec<Vec<Expr>>,
+        /// Matching semantics.
+        kind: CaseKind,
+    },
+}
+
+impl DecisionEval {
+    /// Computes the branch outcome under `src`.
+    pub fn evaluate<S: ValueSource + ?Sized>(&self, src: &S) -> u32 {
+        match self {
+            DecisionEval::Truth(cond) => {
+                (eval_expr(cond, src).truth() == LogicBit::One) as u32
+            }
+            DecisionEval::Case {
+                scrutinee,
+                arm_labels,
+                kind,
+            } => {
+                let scrut = eval_expr(scrutinee, src);
+                for (i, labels) in arm_labels.iter().enumerate() {
+                    for label in labels {
+                        let lv = eval_expr(label, src);
+                        let hit = match kind {
+                            CaseKind::Exact => scrut.case_eq(&lv),
+                            CaseKind::Z => scrut.casez_match(&lv),
+                        };
+                        if hit {
+                            return i as u32;
+                        }
+                    }
+                }
+                arm_labels.len() as u32
+            }
+        }
+    }
+}
+
+/// A path decision node of the VDG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionInfo {
+    /// Branch kind.
+    pub kind: DecisionKind,
+    /// Sorted, deduplicated signals read by the `Evaluate` function (the
+    /// condition, plus the scrutinee and all labels for a `case`).
+    pub reads: Vec<SignalId>,
+    /// The `Evaluate` function.
+    pub eval: DecisionEval,
+}
+
+/// A path dependency node of the VDG (one assignment).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentInfo {
+    /// Sorted, deduplicated signals whose values determine the assignment's
+    /// effect: right-hand side reads, lvalue index reads, and the target
+    /// itself for partial writes.
+    pub reads: Vec<SignalId>,
+    /// The signal written.
+    pub target: SignalId,
+    /// True if the write covers only part of the target.
+    pub partial: bool,
+    /// True for a blocking (`=`) assignment.
+    pub blocking: bool,
+}
+
+/// A node reference in VDG traversal order (source order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VdgNode {
+    /// A path decision node.
+    Decision(DecisionId),
+    /// A path dependency node.
+    Segment(SegmentId),
+}
+
+/// The visibility dependency graph of one behavioral body.
+///
+/// Decision and segment ids are embedded in the body's [`Stmt`] tree by
+/// [`Vdg::build`], so the interpreter can record the executed path without
+/// any lookup structure.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vdg {
+    /// Path decision nodes, indexed by [`DecisionId`].
+    pub decisions: Vec<DecisionInfo>,
+    /// Path dependency nodes, indexed by [`SegmentId`].
+    pub segments: Vec<SegmentInfo>,
+}
+
+impl Vdg {
+    /// Builds the VDG for `body`, assigning fresh [`DecisionId`]s and
+    /// [`SegmentId`]s into the statement tree in a deterministic preorder.
+    pub fn build(body: &mut Stmt) -> Vdg {
+        let mut vdg = Vdg::default();
+        vdg.visit(body);
+        vdg
+    }
+
+    /// Total node count (decisions + segments).
+    pub fn node_count(&self) -> usize {
+        self.decisions.len() + self.segments.len()
+    }
+
+    fn visit(&mut self, stmt: &mut Stmt) {
+        match stmt {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.visit(s);
+                }
+            }
+            Stmt::Assign {
+                lhs,
+                rhs,
+                blocking,
+                segment,
+            } => {
+                let mut reads = Vec::new();
+                rhs.collect_reads(&mut reads);
+                lhs.collect_reads(&mut reads);
+                reads.sort_unstable();
+                reads.dedup();
+                *segment = SegmentId::from_index(self.segments.len());
+                self.segments.push(SegmentInfo {
+                    reads,
+                    target: lhs.target(),
+                    partial: lhs.is_partial(),
+                    blocking: *blocking,
+                });
+            }
+            Stmt::If {
+                cond,
+                then_s,
+                else_s,
+                decision,
+            } => {
+                *decision = self.push_decision(
+                    DecisionKind::If,
+                    cond.reads(),
+                    DecisionEval::Truth(cond.clone()),
+                );
+                self.visit(then_s);
+                if let Some(e) = else_s {
+                    self.visit(e);
+                }
+            }
+            Stmt::Case {
+                scrutinee,
+                arms,
+                default,
+                decision,
+                kind,
+            } => {
+                let mut reads = Vec::new();
+                scrutinee.collect_reads(&mut reads);
+                for arm in arms.iter() {
+                    for l in &arm.labels {
+                        l.collect_reads(&mut reads);
+                    }
+                }
+                reads.sort_unstable();
+                reads.dedup();
+                let eval = DecisionEval::Case {
+                    scrutinee: scrutinee.clone(),
+                    arm_labels: arms.iter().map(|a| a.labels.clone()).collect(),
+                    kind: *kind,
+                };
+                *decision = self.push_decision(DecisionKind::Case, reads, eval);
+                for arm in arms {
+                    self.visit(&mut arm.body);
+                }
+                if let Some(d) = default {
+                    self.visit(d);
+                }
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                decision,
+            } => {
+                self.visit(init);
+                *decision = self.push_decision(
+                    DecisionKind::For,
+                    cond.reads(),
+                    DecisionEval::Truth(cond.clone()),
+                );
+                self.visit(body);
+                self.visit(step);
+            }
+            Stmt::Nop => {}
+        }
+    }
+
+    fn push_decision(
+        &mut self,
+        kind: DecisionKind,
+        reads: Vec<SignalId>,
+        eval: DecisionEval,
+    ) -> DecisionId {
+        let id = DecisionId::from_index(self.decisions.len());
+        self.decisions.push(DecisionInfo { kind, reads, eval });
+        id
+    }
+}
+
+/// Checks whether an lvalue's *index* reads make the write's effect depend
+/// on a fault — exposed for tests; the engine uses the precomputed
+/// [`SegmentInfo::reads`].
+pub fn lvalue_reads(lv: &LValue) -> Vec<SignalId> {
+    let mut v = Vec::new();
+    lv.collect_reads(&mut v);
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinaryOp, Expr};
+    use crate::ids::SignalId;
+
+    fn s(i: u32) -> SignalId {
+        SignalId(i)
+    }
+
+    /// Mirrors the paper's Fig. 5(a): nested if/else-if with assignments.
+    fn fig5_body() -> Stmt {
+        // if (s == 0) { r <= c+g; a <= k; }
+        // else if (s == 1) r <= 0;
+        // else { a <= 0; if (b == 0) r <= r + 1; else r <= a * r; }
+        let sid = s(0);
+        let (c, g, k, b, r, a) = (s(1), s(2), s(3), s(4), s(5), s(6));
+        Stmt::if_else(
+            Expr::bin(BinaryOp::Eq, Expr::sig(sid), Expr::val(2, 0)),
+            Stmt::Block(vec![
+                Stmt::assign(r, Expr::bin(BinaryOp::Add, Expr::sig(c), Expr::sig(g)), false),
+                Stmt::assign(a, Expr::sig(k), false),
+            ]),
+            Stmt::if_else(
+                Expr::bin(BinaryOp::Eq, Expr::sig(sid), Expr::val(2, 1)),
+                Stmt::assign(r, Expr::val(8, 0), false),
+                Stmt::Block(vec![
+                    Stmt::assign(a, Expr::val(8, 0), false),
+                    Stmt::if_else(
+                        Expr::bin(BinaryOp::Eq, Expr::sig(b), Expr::val(1, 0)),
+                        Stmt::assign(r, Expr::bin(BinaryOp::Add, Expr::sig(r), Expr::val(8, 1)), false),
+                        Stmt::assign(r, Expr::bin(BinaryOp::Mul, Expr::sig(a), Expr::sig(r)), false),
+                    ),
+                ]),
+            ),
+        )
+    }
+
+    #[test]
+    fn fig5_structure() {
+        let mut body = fig5_body();
+        let vdg = Vdg::build(&mut body);
+        // Three decisions: s==0, s==1, b==0.
+        assert_eq!(vdg.decisions.len(), 3);
+        // Six assignments.
+        assert_eq!(vdg.segments.len(), 6);
+        assert_eq!(vdg.node_count(), 9);
+        // Decision read sets.
+        assert_eq!(vdg.decisions[0].reads, vec![s(0)]);
+        assert_eq!(vdg.decisions[1].reads, vec![s(0)]);
+        assert_eq!(vdg.decisions[2].reads, vec![s(4)]);
+        // First segment: r <= c + g reads {c, g}.
+        assert_eq!(vdg.segments[0].reads, vec![s(1), s(2)]);
+        assert_eq!(vdg.segments[0].target, s(5));
+        // Last segment: r <= a * r reads {r, a}.
+        assert_eq!(vdg.segments[5].reads, vec![s(5), s(6)]);
+    }
+
+    #[test]
+    fn ids_are_embedded_in_statements() {
+        let mut body = fig5_body();
+        let _ = Vdg::build(&mut body);
+        // Root decision must be d0.
+        match &body {
+            Stmt::If { decision, .. } => assert_eq!(*decision, DecisionId(0)),
+            _ => panic!("expected If"),
+        }
+    }
+
+    #[test]
+    fn partial_write_target_is_in_segment_reads() {
+        let mut body = Stmt::Assign {
+            lhs: LValue::PartSelect {
+                base: s(1),
+                hi: 3,
+                lo: 0,
+            },
+            rhs: Expr::sig(s(2)),
+            blocking: false,
+            segment: SegmentId(0),
+        };
+        let vdg = Vdg::build(&mut body);
+        assert_eq!(vdg.segments[0].reads, vec![s(1), s(2)]);
+        assert!(vdg.segments[0].partial);
+    }
+
+    #[test]
+    fn for_loop_contributes_one_decision() {
+        let mut body = Stmt::For {
+            init: Box::new(Stmt::assign(s(0), Expr::val(8, 0), true)),
+            cond: Expr::bin(BinaryOp::Lt, Expr::sig(s(0)), Expr::val(8, 4)),
+            step: Box::new(Stmt::assign(
+                s(0),
+                Expr::bin(BinaryOp::Add, Expr::sig(s(0)), Expr::val(8, 1)),
+                true,
+            )),
+            body: Box::new(Stmt::assign(s(1), Expr::sig(s(0)), true)),
+            decision: DecisionId(0),
+        };
+        let vdg = Vdg::build(&mut body);
+        assert_eq!(vdg.decisions.len(), 1);
+        assert_eq!(vdg.decisions[0].kind, DecisionKind::For);
+        assert_eq!(vdg.segments.len(), 3); // init, body, step
+    }
+
+    #[test]
+    fn case_decision_reads_labels() {
+        let mut body = Stmt::Case {
+            scrutinee: Expr::sig(s(0)),
+            arms: vec![crate::stmt::CaseArm {
+                labels: vec![Expr::sig(s(7))],
+                body: Stmt::Nop,
+            }],
+            default: None,
+            kind: crate::stmt::CaseKind::Exact,
+            decision: DecisionId(0),
+        };
+        let vdg = Vdg::build(&mut body);
+        assert_eq!(vdg.decisions[0].reads, vec![s(0), s(7)]);
+    }
+}

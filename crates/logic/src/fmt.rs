@@ -1,0 +1,138 @@
+//! Formatting of [`LogicVec`] values.
+
+use crate::{LogicBit, LogicVec};
+use std::fmt;
+
+impl fmt::Display for LogicVec {
+    /// Formats as a Verilog literal: hex when the width is a multiple of 4
+    /// and every hex digit is uniform (`16'hbeef`, `8'hxx`), binary
+    /// otherwise (`4'b10x1`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width() % 4 == 0 {
+            if let Some(hex) = self.try_hex_digits() {
+                return write!(f, "{}'h{}", self.width(), hex);
+            }
+        }
+        write!(f, "{}'b", self.width())?;
+        for i in (0..self.width()).rev() {
+            write!(f, "{}", self.bit(i).to_char())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for LogicVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LogicVec({self})")
+    }
+}
+
+impl fmt::LowerHex for LogicVec {
+    /// Hex digits only (no width prefix); digits mixing defined and unknown
+    /// bits print as `X`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width().div_ceil(4)).rev() {
+            match self.hex_digit(i) {
+                Some(c) => write!(f, "{c}")?,
+                None => write!(f, "X")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for LogicVec {
+    /// Bit characters only (no width prefix), MSB first.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width()).rev() {
+            write!(f, "{}", self.bit(i).to_char())?;
+        }
+        Ok(())
+    }
+}
+
+impl LogicVec {
+    /// The hex digit covering bits `4i..4i+4`, or `None` if the nibble mixes
+    /// defined and unknown bits. A uniform `x`/`z` nibble yields `x`/`z`.
+    fn hex_digit(&self, i: u32) -> Option<char> {
+        let bits: Vec<LogicBit> = (4 * i..(4 * i + 4).min(self.width()))
+            .map(|p| self.bit(p))
+            .collect();
+        if bits.iter().all(|b| *b == LogicBit::X) {
+            return Some('x');
+        }
+        if bits.iter().all(|b| *b == LogicBit::Z) {
+            return Some('z');
+        }
+        if bits.iter().all(|b| b.is_defined()) {
+            let mut val = 0u32;
+            for (k, b) in bits.iter().enumerate() {
+                if *b == LogicBit::One {
+                    val |= 1 << k;
+                }
+            }
+            return char::from_digit(val, 16);
+        }
+        None
+    }
+
+    /// All hex digits if each nibble is uniform, MSB first.
+    fn try_hex_digits(&self) -> Option<String> {
+        let n = self.width().div_ceil(4);
+        let mut out = String::with_capacity(n as usize);
+        for i in (0..n).rev() {
+            out.push(self.hex_digit(i)?);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::LogicVec;
+
+    #[test]
+    fn display_hex_when_clean() {
+        assert_eq!(LogicVec::from_u64(16, 0xbeef).to_string(), "16'hbeef");
+        assert_eq!(LogicVec::new_x(8).to_string(), "8'hxx");
+    }
+
+    #[test]
+    fn display_binary_when_mixed() {
+        let v = LogicVec::parse_literal("4'b10x1").unwrap();
+        assert_eq!(v.to_string(), "4'b10x1");
+    }
+
+    #[test]
+    fn display_binary_for_odd_width() {
+        let v = LogicVec::from_u64(3, 0b101);
+        assert_eq!(v.to_string(), "3'b101");
+    }
+
+    #[test]
+    fn lower_hex_marks_mixed_nibbles() {
+        let v = LogicVec::parse_literal("8'b1010_1x00").unwrap();
+        assert_eq!(format!("{v:x}"), "aX");
+    }
+
+    #[test]
+    fn binary_format() {
+        let v = LogicVec::parse_literal("4'b10z1").unwrap();
+        assert_eq!(format!("{v:b}"), "10z1");
+    }
+
+    #[test]
+    fn debug_includes_value() {
+        let v = LogicVec::from_u64(4, 5);
+        assert_eq!(format!("{v:?}"), "LogicVec(4'h5)");
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for s in ["16'hbeef", "4'b10x1", "8'hzz", "12'habc"] {
+            let v = LogicVec::parse_literal(s).unwrap();
+            let again = LogicVec::parse_literal(&v.to_string()).unwrap();
+            assert_eq!(v, again, "{s}");
+        }
+    }
+}

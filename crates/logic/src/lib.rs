@@ -1,0 +1,74 @@
+//! Four-state logic values for RTL simulation.
+//!
+//! This crate provides the value system used by the ERASER RTL fault
+//! simulation framework: arbitrary-width bit vectors where every bit is one
+//! of `0`, `1`, `Z` (high impedance) or `X` (unknown), mirroring the IEEE
+//! 1364 value set used by event-driven Verilog simulators.
+//!
+//! The two central types are:
+//!
+//! * [`LogicBit`] — a single four-state bit.
+//! * [`LogicVec`] — an arbitrary-width vector of four-state bits with the
+//!   full RTL operator set (bitwise, arithmetic, shifts, comparisons,
+//!   reductions, concatenation, part selects).
+//!
+//! # Encoding
+//!
+//! Values are stored VPI-style in two bit planes per 64-bit word: an `aval`
+//! plane and a `bval` plane. For a bit position, `(aval, bval)` encodes:
+//!
+//! | aval | bval | value |
+//! |------|------|-------|
+//! | 0    | 0    | `0`   |
+//! | 1    | 0    | `1`   |
+//! | 0    | 1    | `Z`   |
+//! | 1    | 1    | `X`   |
+//!
+//! Bits at positions `>= width` are always `(0, 0)` — every operation
+//! re-normalizes its result, so plane-equality is value-equality.
+//!
+//! # X-propagation
+//!
+//! Bitwise operators use the standard per-bit truth tables (`0 & X = 0`,
+//! `1 | X = 1`, otherwise unknown in = unknown out; `Z` behaves as `X` when
+//! read by an operator). Arithmetic operators are pessimistic: any `X`/`Z`
+//! bit in an operand makes the whole result `X`, as in mainstream RTL
+//! simulators.
+//!
+//! # Example
+//!
+//! ```
+//! use eraser_logic::{LogicVec, LogicBit};
+//!
+//! let a = LogicVec::from_u64(8, 0x0f);
+//! let b = LogicVec::parse_literal("8'b0000_10x0").unwrap();
+//! let anded = a.and(&b);
+//! assert_eq!(anded.bit(1), LogicBit::X);  // 1 & x = x
+//! assert_eq!(anded.bit(3), LogicBit::One);
+//! assert_eq!(anded.bit(4), LogicBit::Zero); // 0 & 1 = 0
+//! ```
+
+mod bit;
+mod fmt;
+mod ops;
+mod parse;
+mod vec;
+
+pub use bit::LogicBit;
+pub use parse::ParseLiteralError;
+pub use vec::LogicVec;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<LogicVec>();
+        assert_sync::<LogicVec>();
+        assert_send::<LogicBit>();
+        assert_sync::<LogicBit>();
+    }
+}

@@ -1,0 +1,673 @@
+//! The RTL operator set on [`LogicVec`].
+//!
+//! All binary operations self-extend both operands to the wider of the two
+//! widths (zero-extension), evaluate, and produce a result of that width —
+//! the simplified width model documented in the frontend. Comparison and
+//! reduction operators produce a [`LogicBit`].
+//!
+//! Arithmetic is unsigned and pessimistic about unknowns: any `X`/`Z` bit in
+//! any operand yields an all-`X` result, as in mainstream event-driven
+//! simulators.
+
+use crate::vec::{top_word_mask, words_for};
+use crate::{LogicBit, LogicVec};
+
+impl LogicVec {
+    /// Evaluates both operands at their common (max) width and combines the
+    /// planes word-by-word.
+    fn bitwise(&self, rhs: &LogicVec, f: impl Fn(u64, u64, u64, u64) -> (u64, u64)) -> LogicVec {
+        let w = self.width().max(rhs.width());
+        let l = self.resize(w);
+        let r = rhs.resize(w);
+        LogicVec::from_fn(w, |aval, bval| {
+            for i in 0..aval.len() {
+                let (a, b) = f(l.avals()[i], l.bvals()[i], r.avals()[i], r.bvals()[i]);
+                aval[i] = a;
+                bval[i] = b;
+            }
+        })
+    }
+
+    /// Bitwise four-state AND.
+    pub fn and(&self, rhs: &LogicVec) -> LogicVec {
+        self.bitwise(rhs, |la, lb, ra, rb| {
+            let def0 = (!la & !lb) | (!ra & !rb);
+            let x = (lb | rb) & !def0;
+            let one = (la & !lb) & (ra & !rb);
+            (one | x, x)
+        })
+    }
+
+    /// Bitwise four-state OR.
+    pub fn or(&self, rhs: &LogicVec) -> LogicVec {
+        self.bitwise(rhs, |la, lb, ra, rb| {
+            let one = (la & !lb) | (ra & !rb);
+            let x = (lb | rb) & !one;
+            (one | x, x)
+        })
+    }
+
+    /// Bitwise four-state XOR.
+    pub fn xor(&self, rhs: &LogicVec) -> LogicVec {
+        self.bitwise(rhs, |la, lb, ra, rb| {
+            let x = lb | rb;
+            (((la ^ ra) & !x) | x, x)
+        })
+    }
+
+    /// Bitwise four-state XNOR.
+    pub fn xnor(&self, rhs: &LogicVec) -> LogicVec {
+        self.bitwise(rhs, |la, lb, ra, rb| {
+            let x = lb | rb;
+            ((!(la ^ ra) & !x) | x, x)
+        })
+    }
+
+    /// Bitwise four-state NOT.
+    pub fn not(&self) -> LogicVec {
+        LogicVec::from_fn(self.width(), |aval, bval| {
+            for i in 0..aval.len() {
+                let (a, b) = (self.avals()[i], self.bvals()[i]);
+                aval[i] = (!a & !b) | b;
+                bval[i] = b;
+            }
+        })
+    }
+
+    /// Addition modulo `2^w` where `w = max(widths)`; all-`X` on unknowns.
+    pub fn add(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.width().max(rhs.width());
+        if self.has_unknown() || rhs.has_unknown() {
+            return LogicVec::new_x(w);
+        }
+        let l = self.resize(w);
+        let r = rhs.resize(w);
+        LogicVec::from_fn(w, |aval, _| {
+            let mut carry = 0u64;
+            for i in 0..aval.len() {
+                let (s1, c1) = l.avals()[i].overflowing_add(r.avals()[i]);
+                let (s2, c2) = s1.overflowing_add(carry);
+                aval[i] = s2;
+                carry = (c1 as u64) + (c2 as u64);
+            }
+        })
+    }
+
+    /// Subtraction modulo `2^w`; all-`X` on unknowns.
+    pub fn sub(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.width().max(rhs.width());
+        if self.has_unknown() || rhs.has_unknown() {
+            return LogicVec::new_x(w);
+        }
+        let l = self.resize(w);
+        let r = rhs.resize(w);
+        LogicVec::from_fn(w, |aval, _| {
+            let mut borrow = 0u64;
+            for i in 0..aval.len() {
+                let (d1, b1) = l.avals()[i].overflowing_sub(r.avals()[i]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                aval[i] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+        })
+    }
+
+    /// Two's-complement negation; all-`X` on unknowns.
+    pub fn neg(&self) -> LogicVec {
+        LogicVec::zeros(self.width()).sub(self)
+    }
+
+    /// Multiplication modulo `2^w`; all-`X` on unknowns.
+    pub fn mul(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.width().max(rhs.width());
+        if self.has_unknown() || rhs.has_unknown() {
+            return LogicVec::new_x(w);
+        }
+        let l = self.resize(w);
+        let r = rhs.resize(w);
+        let n = words_for(w);
+        LogicVec::from_fn(w, |aval, _| {
+            for i in 0..n {
+                let mut carry = 0u128;
+                for j in 0..(n - i) {
+                    let p = l.avals()[i] as u128 * r.avals()[j] as u128
+                        + aval[i + j] as u128
+                        + carry;
+                    aval[i + j] = p as u64;
+                    carry = p >> 64;
+                }
+            }
+        })
+    }
+
+    /// Unsigned division; all-`X` on unknowns or a zero divisor.
+    pub fn div(&self, rhs: &LogicVec) -> LogicVec {
+        self.div_rem(rhs).0
+    }
+
+    /// Unsigned remainder; all-`X` on unknowns or a zero divisor.
+    pub fn rem(&self, rhs: &LogicVec) -> LogicVec {
+        self.div_rem(rhs).1
+    }
+
+    /// Unsigned division and remainder together.
+    ///
+    /// Returns `(all-X, all-X)` if either operand has unknown bits or the
+    /// divisor is zero.
+    pub fn div_rem(&self, rhs: &LogicVec) -> (LogicVec, LogicVec) {
+        let w = self.width().max(rhs.width());
+        if self.has_unknown() || rhs.has_unknown() || rhs.is_zero() {
+            return (LogicVec::new_x(w), LogicVec::new_x(w));
+        }
+        if w <= 64 {
+            let a = self.to_u64().expect("defined <=64-bit value");
+            let b = rhs.to_u64().expect("defined <=64-bit value");
+            return (
+                LogicVec::from_u64(w, a / b),
+                LogicVec::from_u64(w, a % b),
+            );
+        }
+        // Bit-serial restoring division for wide values.
+        let l = self.resize(w);
+        let r = rhs.resize(w);
+        let n = words_for(w);
+        let mut quot = vec![0u64; n];
+        let mut remw = vec![0u64; n];
+        for i in (0..w).rev() {
+            // remw = remw << 1 | dividend[i]
+            let mut carry = (l.avals()[(i / 64) as usize] >> (i % 64)) & 1;
+            for word in remw.iter_mut() {
+                let top = *word >> 63;
+                *word = (*word << 1) | carry;
+                carry = top;
+            }
+            if ge_words(&remw, r.avals()) {
+                sub_words_in_place(&mut remw, r.avals());
+                quot[(i / 64) as usize] |= 1u64 << (i % 64);
+            }
+        }
+        let q = LogicVec::from_fn(w, |aval, _| aval.copy_from_slice(&quot));
+        let rm = LogicVec::from_fn(w, |aval, _| aval.copy_from_slice(&remw));
+        (q, rm)
+    }
+
+    /// Logical left shift by a constant amount (zero fill).
+    pub fn shl(&self, amount: u32) -> LogicVec {
+        let w = self.width();
+        if amount >= w {
+            return LogicVec::zeros(w);
+        }
+        shift_words(w, self, amount, ShiftKind::Left)
+    }
+
+    /// Logical right shift by a constant amount (zero fill).
+    pub fn lshr(&self, amount: u32) -> LogicVec {
+        let w = self.width();
+        if amount >= w {
+            return LogicVec::zeros(w);
+        }
+        shift_words(w, self, amount, ShiftKind::Right)
+    }
+
+    /// Arithmetic right shift by a constant amount (MSB fill; an `X`/`Z` MSB
+    /// fills with `X`).
+    pub fn ashr(&self, amount: u32) -> LogicVec {
+        let w = self.width();
+        let msb = self.bit(w - 1);
+        if amount >= w {
+            return LogicVec::filled(w, if msb.is_defined() { msb } else { LogicBit::X });
+        }
+        let mut out = self.lshr(amount);
+        let fill = if msb.is_defined() { msb } else { LogicBit::X };
+        for i in (w - amount)..w {
+            out.set_bit(i, fill);
+        }
+        out
+    }
+
+    /// Left shift by a vector amount; all-`X` if the amount has unknowns.
+    pub fn shl_vec(&self, amount: &LogicVec) -> LogicVec {
+        match amount.to_u64() {
+            Some(n) => self.shl(n.min(self.width() as u64) as u32),
+            None => LogicVec::new_x(self.width()),
+        }
+    }
+
+    /// Logical right shift by a vector amount; all-`X` if the amount has
+    /// unknowns.
+    pub fn lshr_vec(&self, amount: &LogicVec) -> LogicVec {
+        match amount.to_u64() {
+            Some(n) => self.lshr(n.min(self.width() as u64) as u32),
+            None => LogicVec::new_x(self.width()),
+        }
+    }
+
+    /// Arithmetic right shift by a vector amount; all-`X` if the amount has
+    /// unknowns.
+    pub fn ashr_vec(&self, amount: &LogicVec) -> LogicVec {
+        match amount.to_u64() {
+            Some(n) => self.ashr(n.min(self.width() as u64) as u32),
+            None => LogicVec::new_x(self.width()),
+        }
+    }
+
+    /// Four-state equality (`==`): `X` if either operand has unknown bits.
+    pub fn logic_eq(&self, rhs: &LogicVec) -> LogicBit {
+        if self.has_unknown() || rhs.has_unknown() {
+            return LogicBit::X;
+        }
+        let w = self.width().max(rhs.width());
+        LogicBit::from(self.resize(w) == rhs.resize(w))
+    }
+
+    /// Four-state inequality (`!=`).
+    pub fn logic_ne(&self, rhs: &LogicVec) -> LogicBit {
+        self.logic_eq(rhs).not()
+    }
+
+    /// Case equality (`===`): exact four-state identity including `X`/`Z`.
+    pub fn case_eq(&self, rhs: &LogicVec) -> bool {
+        let w = self.width().max(rhs.width());
+        self.resize(w) == rhs.resize(w)
+    }
+
+    /// `casez`-style match: `Z` (or `?`) bits in `pattern` match anything.
+    ///
+    /// Returns `false` (no match) if a non-wildcard pattern bit disagrees,
+    /// comparing four-state identity on the remaining bits.
+    pub fn casez_match(&self, pattern: &LogicVec) -> bool {
+        let w = self.width().max(pattern.width());
+        let v = self.resize(w);
+        let p = pattern.resize(w);
+        for i in 0..w {
+            let pb = p.bit(i);
+            if pb == LogicBit::Z {
+                continue;
+            }
+            if v.bit(i) != pb {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Unsigned `<`; `X` if either operand has unknown bits.
+    pub fn lt(&self, rhs: &LogicVec) -> LogicBit {
+        match self.cmp_unsigned(rhs) {
+            Some(ord) => LogicBit::from(ord == std::cmp::Ordering::Less),
+            None => LogicBit::X,
+        }
+    }
+
+    /// Unsigned `<=`; `X` if either operand has unknown bits.
+    pub fn le(&self, rhs: &LogicVec) -> LogicBit {
+        match self.cmp_unsigned(rhs) {
+            Some(ord) => LogicBit::from(ord != std::cmp::Ordering::Greater),
+            None => LogicBit::X,
+        }
+    }
+
+    /// Unsigned `>`; `X` if either operand has unknown bits.
+    pub fn gt(&self, rhs: &LogicVec) -> LogicBit {
+        rhs.lt(self)
+    }
+
+    /// Unsigned `>=`; `X` if either operand has unknown bits.
+    pub fn ge(&self, rhs: &LogicVec) -> LogicBit {
+        rhs.le(self)
+    }
+
+    /// Unsigned comparison, `None` if either side has unknown bits.
+    pub fn cmp_unsigned(&self, rhs: &LogicVec) -> Option<std::cmp::Ordering> {
+        if self.has_unknown() || rhs.has_unknown() {
+            return None;
+        }
+        let w = self.width().max(rhs.width());
+        let l = self.resize(w);
+        let r = rhs.resize(w);
+        for i in (0..l.avals().len()).rev() {
+            match l.avals()[i].cmp(&r.avals()[i]) {
+                std::cmp::Ordering::Equal => continue,
+                other => return Some(other),
+            }
+        }
+        Some(std::cmp::Ordering::Equal)
+    }
+
+    /// Reduction AND over all bits.
+    pub fn red_and(&self) -> LogicBit {
+        let mut saw_unknown = false;
+        for i in 0..self.avals().len() {
+            let (a, b) = (self.avals()[i], self.bvals()[i]);
+            let mask = if i == self.avals().len() - 1 {
+                top_word_mask(self.width())
+            } else {
+                u64::MAX
+            };
+            if (!a & !b) & mask != 0 {
+                return LogicBit::Zero;
+            }
+            if b & mask != 0 {
+                saw_unknown = true;
+            }
+        }
+        if saw_unknown {
+            LogicBit::X
+        } else {
+            LogicBit::One
+        }
+    }
+
+    /// Reduction OR over all bits.
+    pub fn red_or(&self) -> LogicBit {
+        let mut saw_unknown = false;
+        for i in 0..self.avals().len() {
+            let (a, b) = (self.avals()[i], self.bvals()[i]);
+            if a & !b != 0 {
+                return LogicBit::One;
+            }
+            if b != 0 {
+                saw_unknown = true;
+            }
+        }
+        if saw_unknown {
+            LogicBit::X
+        } else {
+            LogicBit::Zero
+        }
+    }
+
+    /// Reduction XOR (parity) over all bits; `X` if any bit is unknown.
+    pub fn red_xor(&self) -> LogicBit {
+        if self.has_unknown() {
+            return LogicBit::X;
+        }
+        let ones: u32 = self.avals().iter().map(|w| w.count_ones()).sum();
+        LogicBit::from(ones % 2 == 1)
+    }
+
+    /// The truth value used by `if`, `&&`, `||`, `!` and the ternary
+    /// condition: `1` if any bit is a defined `1`, `0` if all bits are
+    /// defined `0`, `X` otherwise.
+    pub fn truth(&self) -> LogicBit {
+        self.red_or()
+    }
+
+    /// Per-bit merge used when a ternary condition is unknown: bits where
+    /// both sides agree (and are defined) keep their value, all others
+    /// become `X`.
+    pub fn merge_x(&self, rhs: &LogicVec) -> LogicVec {
+        let w = self.width().max(rhs.width());
+        let l = self.resize(w);
+        let r = rhs.resize(w);
+        let mut out = LogicVec::zeros(w);
+        for i in 0..w {
+            let (a, b) = (l.bit(i), r.bit(i));
+            out.set_bit(i, if a == b && a.is_defined() { a } else { LogicBit::X });
+        }
+        out
+    }
+}
+
+enum ShiftKind {
+    Left,
+    Right,
+}
+
+/// Word-parallel shift of both planes. `amount < width` is guaranteed.
+fn shift_words(w: u32, v: &LogicVec, amount: u32, kind: ShiftKind) -> LogicVec {
+    let ws = (amount / 64) as usize;
+    let bs = amount % 64;
+    LogicVec::from_fn(w, |aval, bval| {
+        let n = aval.len();
+        let shift_plane = |src: &[u64], dst: &mut [u64]| {
+            for i in 0..n {
+                dst[i] = match kind {
+                    ShiftKind::Left => {
+                        let lo = if i >= ws { src[i - ws] << bs } else { 0 };
+                        let hi = if bs > 0 && i > ws { src[i - ws - 1] >> (64 - bs) } else { 0 };
+                        lo | hi
+                    }
+                    ShiftKind::Right => {
+                        let lo = if i + ws < n { src[i + ws] >> bs } else { 0 };
+                        let hi = if bs > 0 && i + ws + 1 < n {
+                            src[i + ws + 1] << (64 - bs)
+                        } else {
+                            0
+                        };
+                        lo | hi
+                    }
+                };
+            }
+        };
+        shift_plane(v.avals(), aval);
+        shift_plane(v.bvals(), bval);
+    })
+}
+
+/// Word-array unsigned `>=`.
+fn ge_words(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Greater => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Equal => continue,
+        }
+    }
+    true
+}
+
+/// Word-array in-place subtraction (`a -= b`), assuming `a >= b`.
+fn sub_words_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LogicBit, LogicVec};
+
+    fn v(w: u32, x: u64) -> LogicVec {
+        LogicVec::from_u64(w, x)
+    }
+
+    #[test]
+    fn and_or_xor_defined() {
+        assert_eq!(v(8, 0xcc).and(&v(8, 0xaa)).to_u64(), Some(0x88));
+        assert_eq!(v(8, 0xcc).or(&v(8, 0xaa)).to_u64(), Some(0xee));
+        assert_eq!(v(8, 0xcc).xor(&v(8, 0xaa)).to_u64(), Some(0x66));
+        assert_eq!(v(8, 0xcc).xnor(&v(8, 0xaa)).to_u64(), Some(0x99));
+        assert_eq!(v(8, 0xcc).not().to_u64(), Some(0x33));
+    }
+
+    #[test]
+    fn and_x_dominance() {
+        let mut x = v(4, 0b0101);
+        x.set_bit(3, LogicBit::X);
+        let r = x.and(&v(4, 0b1011));
+        assert_eq!(r.bit(0), LogicBit::One);
+        assert_eq!(r.bit(1), LogicBit::Zero);
+        assert_eq!(r.bit(2), LogicBit::Zero); // x's bit2=1 & rhs 0 -> 0
+        assert_eq!(r.bit(3), LogicBit::X); // X & 1 -> X
+    }
+
+    #[test]
+    fn or_one_dominates_x() {
+        let x = LogicVec::new_x(4);
+        let r = x.or(&v(4, 0b0011));
+        assert_eq!(r.bit(0), LogicBit::One);
+        assert_eq!(r.bit(1), LogicBit::One);
+        assert_eq!(r.bit(2), LogicBit::X);
+    }
+
+    #[test]
+    fn add_sub_basic() {
+        assert_eq!(v(8, 250).add(&v(8, 10)).to_u64(), Some(4)); // wraps
+        assert_eq!(v(8, 5).sub(&v(8, 10)).to_u64(), Some(251)); // wraps
+        assert_eq!(v(16, 5).add(&v(8, 10)).to_u64(), Some(15)); // width ext
+    }
+
+    #[test]
+    fn add_multiword_carry() {
+        let a = v(128, u64::MAX);
+        let one = v(128, 1);
+        let s = a.add(&one);
+        assert_eq!(s.avals()[0], 0);
+        assert_eq!(s.avals()[1], 1);
+    }
+
+    #[test]
+    fn arithmetic_is_pessimistic_about_x() {
+        let x = LogicVec::new_x(8);
+        assert!(v(8, 1).add(&x).has_unknown());
+        assert!(v(8, 1).mul(&x).has_unknown());
+        assert_eq!(v(8, 1).add(&x).to_u64(), None);
+    }
+
+    #[test]
+    fn neg_is_twos_complement() {
+        assert_eq!(v(8, 1).neg().to_u64(), Some(0xff));
+        assert_eq!(v(8, 0).neg().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = v(64, 0xdead_beef_1234_5678);
+        let b = v(64, 0x1000_0001);
+        let expect = (0xdead_beef_1234_5678u128 * 0x1000_0001u128) as u64;
+        assert_eq!(a.mul(&b).to_u64(), Some(expect));
+    }
+
+    #[test]
+    fn wide_mul() {
+        let a = v(128, u64::MAX);
+        let r = a.mul(&v(128, 2));
+        assert_eq!(r.avals()[0], u64::MAX - 1);
+        assert_eq!(r.avals()[1], 1);
+    }
+
+    #[test]
+    fn div_rem_narrow_and_wide() {
+        assert_eq!(v(8, 100).div(&v(8, 7)).to_u64(), Some(14));
+        assert_eq!(v(8, 100).rem(&v(8, 7)).to_u64(), Some(2));
+        let a = v(128, 1_000_000_007);
+        assert_eq!(a.div(&v(128, 13)).to_u64(), Some(1_000_000_007 / 13));
+        assert_eq!(a.rem(&v(128, 13)).to_u64(), Some(1_000_000_007 % 13));
+    }
+
+    #[test]
+    fn div_by_zero_is_x() {
+        assert!(v(8, 3).div(&v(8, 0)).has_unknown());
+        assert!(v(8, 3).rem(&v(8, 0)).has_unknown());
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(v(8, 0b0001_0110).shl(2).to_u64(), Some(0b0101_1000));
+        assert_eq!(v(8, 0b0001_0110).lshr(2).to_u64(), Some(0b0000_0101));
+        assert_eq!(v(8, 0x96).ashr(4).to_u64(), Some(0xf9));
+        assert_eq!(v(8, 0x16).ashr(4).to_u64(), Some(0x01));
+        assert_eq!(v(8, 1).shl(8).to_u64(), Some(0));
+        assert_eq!(v(8, 0x80).lshr(9).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn wide_shifts_cross_words() {
+        let a = v(128, 1).shl(100);
+        assert_eq!(a.avals()[1], 1u64 << 36);
+        assert_eq!(a.lshr(100).to_u64(), Some(1));
+        let b = v(192, 0xffff).shl(64);
+        assert_eq!(b.avals()[0], 0);
+        assert_eq!(b.avals()[1], 0xffff);
+    }
+
+    #[test]
+    fn shift_by_unknown_amount_is_x() {
+        let amt = LogicVec::new_x(3);
+        assert!(v(8, 1).shl_vec(&amt).has_unknown());
+        assert!(v(8, 1).lshr_vec(&amt).has_unknown());
+    }
+
+    #[test]
+    fn equality_operators() {
+        assert_eq!(v(8, 5).logic_eq(&v(8, 5)), LogicBit::One);
+        assert_eq!(v(8, 5).logic_eq(&v(8, 6)), LogicBit::Zero);
+        assert_eq!(v(8, 5).logic_ne(&v(8, 6)), LogicBit::One);
+        let x = LogicVec::new_x(8);
+        assert_eq!(v(8, 5).logic_eq(&x), LogicBit::X);
+        assert!(x.case_eq(&LogicVec::new_x(8)));
+        assert!(!x.case_eq(&v(8, 5)));
+    }
+
+    #[test]
+    fn casez_wildcards() {
+        let pat = LogicVec::parse_literal("4'b1?0?").unwrap();
+        assert!(v(4, 0b1000).casez_match(&pat));
+        assert!(v(4, 0b1101).casez_match(&pat));
+        assert!(!v(4, 0b0101).casez_match(&pat));
+        assert!(!v(4, 0b1110).casez_match(&pat));
+    }
+
+    #[test]
+    fn unsigned_compares() {
+        assert_eq!(v(8, 3).lt(&v(8, 5)), LogicBit::One);
+        assert_eq!(v(8, 5).lt(&v(8, 3)), LogicBit::Zero);
+        assert_eq!(v(8, 5).le(&v(8, 5)), LogicBit::One);
+        assert_eq!(v(8, 5).ge(&v(8, 6)), LogicBit::Zero);
+        assert_eq!(v(8, 7).gt(&v(8, 6)), LogicBit::One);
+        assert_eq!(v(8, 3).lt(&LogicVec::new_x(8)), LogicBit::X);
+    }
+
+    #[test]
+    fn wide_compare() {
+        let big = v(128, 1).shl(100);
+        assert_eq!(v(128, u64::MAX).lt(&big), LogicBit::One);
+        assert_eq!(big.gt(&v(128, u64::MAX)), LogicBit::One);
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(v(4, 0xf).red_and(), LogicBit::One);
+        assert_eq!(v(4, 0x7).red_and(), LogicBit::Zero);
+        assert_eq!(v(4, 0x0).red_or(), LogicBit::Zero);
+        assert_eq!(v(4, 0x2).red_or(), LogicBit::One);
+        assert_eq!(v(4, 0x3).red_xor(), LogicBit::Zero);
+        assert_eq!(v(4, 0x7).red_xor(), LogicBit::One);
+        let mut partial = v(4, 0x7);
+        partial.set_bit(3, LogicBit::X);
+        assert_eq!(partial.red_and(), LogicBit::X);
+        assert_eq!(partial.red_or(), LogicBit::One); // has a defined 1
+        assert_eq!(partial.red_xor(), LogicBit::X);
+        let mut zx = v(4, 0);
+        zx.set_bit(1, LogicBit::X);
+        assert_eq!(zx.red_or(), LogicBit::X);
+        assert_eq!(zx.red_and(), LogicBit::Zero);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(v(8, 0).truth(), LogicBit::Zero);
+        assert_eq!(v(8, 4).truth(), LogicBit::One);
+        let mut m = v(8, 0);
+        m.set_bit(7, LogicBit::X);
+        assert_eq!(m.truth(), LogicBit::X);
+        m.set_bit(0, LogicBit::One);
+        assert_eq!(m.truth(), LogicBit::One);
+    }
+
+    #[test]
+    fn merge_x_agreeing_bits_survive() {
+        let a = v(4, 0b1010);
+        let b = v(4, 0b1001);
+        let m = a.merge_x(&b);
+        assert_eq!(m.bit(3), LogicBit::One);
+        assert_eq!(m.bit(2), LogicBit::Zero);
+        assert_eq!(m.bit(1), LogicBit::X);
+        assert_eq!(m.bit(0), LogicBit::X);
+    }
+}

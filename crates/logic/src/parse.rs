@@ -1,0 +1,266 @@
+//! Parsing of Verilog-style literals into [`LogicVec`].
+
+use crate::{LogicBit, LogicVec};
+use std::fmt;
+use std::str::FromStr;
+
+/// Error produced when parsing a Verilog-style literal fails.
+///
+/// The message is suitable for embedding in compiler diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLiteralError {
+    message: String,
+}
+
+impl ParseLiteralError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseLiteralError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseLiteralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid literal: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseLiteralError {}
+
+impl LogicVec {
+    /// Parses a Verilog-style literal.
+    ///
+    /// Supported forms (underscores allowed between digits):
+    ///
+    /// * sized, based: `8'hFF`, `4'b10x0`, `12'o777`, `16'd1234`
+    /// * unsized, based: `'hBEEF` (32 bits)
+    /// * plain decimal: `42` (32 bits)
+    ///
+    /// `x`/`X` and `z`/`Z`/`?` digits are accepted in binary, octal and hex
+    /// bases. If the most significant written digit is `x` or `z` the value
+    /// is extended to the full width with that digit, per IEEE 1364.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLiteralError`] for malformed syntax, a zero width, an
+    /// unknown base letter, or digits invalid for the base.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use eraser_logic::{LogicBit, LogicVec};
+    ///
+    /// let v = LogicVec::parse_literal("8'hA5")?;
+    /// assert_eq!(v.to_u64(), Some(0xa5));
+    /// let w = LogicVec::parse_literal("4'b1x01")?;
+    /// assert_eq!(w.bit(2), LogicBit::X);
+    /// # Ok::<(), eraser_logic::ParseLiteralError>(())
+    /// ```
+    pub fn parse_literal(s: &str) -> Result<LogicVec, ParseLiteralError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseLiteralError::new("empty literal"));
+        }
+        match s.find('\'') {
+            None => {
+                // Plain decimal, 32 bits.
+                let digits: String = s.chars().filter(|&c| c != '_').collect();
+                let value: u64 = digits
+                    .parse()
+                    .map_err(|_| ParseLiteralError::new(format!("bad decimal `{s}`")))?;
+                Ok(LogicVec::from_u64(32, value))
+            }
+            Some(tick) => {
+                let width: u32 = if tick == 0 {
+                    32
+                } else {
+                    s[..tick]
+                        .trim()
+                        .parse()
+                        .map_err(|_| ParseLiteralError::new(format!("bad width in `{s}`")))?
+                };
+                if width == 0 {
+                    return Err(ParseLiteralError::new(format!("zero width in `{s}`")));
+                }
+                let rest = &s[tick + 1..];
+                let mut chars = rest.chars();
+                let base = chars
+                    .next()
+                    .ok_or_else(|| ParseLiteralError::new(format!("missing base in `{s}`")))?;
+                let digits: String = chars
+                    .collect::<String>()
+                    .chars()
+                    .filter(|&c| c != '_' && !c.is_whitespace())
+                    .collect();
+                if digits.is_empty() {
+                    return Err(ParseLiteralError::new(format!("missing digits in `{s}`")));
+                }
+                let bits_per_digit = match base.to_ascii_lowercase() {
+                    'b' => 1,
+                    'o' => 3,
+                    'h' => 4,
+                    'd' => {
+                        let value: u64 = digits.parse().map_err(|_| {
+                            ParseLiteralError::new(format!("bad decimal digits in `{s}`"))
+                        })?;
+                        return Ok(LogicVec::from_u64(width, value));
+                    }
+                    other => {
+                        return Err(ParseLiteralError::new(format!(
+                            "unknown base `{other}` in `{s}`"
+                        )))
+                    }
+                };
+                parse_based(width, bits_per_digit, &digits, s)
+            }
+        }
+    }
+}
+
+fn parse_based(
+    width: u32,
+    bits_per_digit: u32,
+    digits: &str,
+    original: &str,
+) -> Result<LogicVec, ParseLiteralError> {
+    // Determine the fill for upper bits from the leading digit.
+    let lead = digits.chars().next().expect("non-empty digits");
+    let fill = match lead {
+        'x' | 'X' => LogicBit::X,
+        'z' | 'Z' | '?' => LogicBit::Z,
+        _ => LogicBit::Zero,
+    };
+    let mut v = LogicVec::filled(width, fill);
+    let mut pos = 0u32; // next LSB position to write
+    for c in digits.chars().rev() {
+        let digit_bits: Vec<LogicBit> = match c {
+            'x' | 'X' => vec![LogicBit::X; bits_per_digit as usize],
+            'z' | 'Z' | '?' => vec![LogicBit::Z; bits_per_digit as usize],
+            _ => {
+                let val = c.to_digit(1 << bits_per_digit).ok_or_else(|| {
+                    ParseLiteralError::new(format!("digit `{c}` invalid in `{original}`"))
+                })?;
+                (0..bits_per_digit)
+                    .map(|i| LogicBit::from(val >> i & 1 == 1))
+                    .collect()
+            }
+        };
+        for (i, &b) in digit_bits.iter().enumerate() {
+            let p = pos + i as u32;
+            if p < width {
+                v.set_bit(p, b);
+            } else if b != fill && !(b == LogicBit::Zero && fill == LogicBit::Zero) {
+                // Truncating a significant bit is accepted (Verilog truncates),
+                // so nothing to do; kept as an explicit branch for clarity.
+            }
+        }
+        pos += bits_per_digit;
+        if pos >= width && fill == LogicBit::Zero {
+            // Remaining digits can only truncate; still validate them.
+            continue;
+        }
+    }
+    Ok(v)
+}
+
+impl FromStr for LogicVec {
+    type Err = ParseLiteralError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        LogicVec::parse_literal(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_decimal() {
+        let v = LogicVec::parse_literal("42").unwrap();
+        assert_eq!(v.width(), 32);
+        assert_eq!(v.to_u64(), Some(42));
+        assert_eq!(LogicVec::parse_literal("1_000").unwrap().to_u64(), Some(1000));
+    }
+
+    #[test]
+    fn sized_hex() {
+        let v = LogicVec::parse_literal("16'hBEEF").unwrap();
+        assert_eq!(v.width(), 16);
+        assert_eq!(v.to_u64(), Some(0xbeef));
+    }
+
+    #[test]
+    fn sized_binary_with_x() {
+        let v = LogicVec::parse_literal("4'b1x0z").unwrap();
+        assert_eq!(v.bit(3), LogicBit::One);
+        assert_eq!(v.bit(2), LogicBit::X);
+        assert_eq!(v.bit(1), LogicBit::Zero);
+        assert_eq!(v.bit(0), LogicBit::Z);
+    }
+
+    #[test]
+    fn sized_decimal() {
+        let v = LogicVec::parse_literal("10'd1000").unwrap();
+        assert_eq!(v.to_u64(), Some(1000));
+        assert_eq!(v.width(), 10);
+    }
+
+    #[test]
+    fn octal() {
+        let v = LogicVec::parse_literal("9'o777").unwrap();
+        assert_eq!(v.to_u64(), Some(0o777));
+    }
+
+    #[test]
+    fn leading_x_extends() {
+        let v = LogicVec::parse_literal("8'bx1").unwrap();
+        assert_eq!(v.bit(0), LogicBit::One);
+        for i in 2..8 {
+            assert_eq!(v.bit(i), LogicBit::X, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn leading_zero_extends_with_zero() {
+        let v = LogicVec::parse_literal("8'h5").unwrap();
+        assert_eq!(v.to_u64(), Some(5));
+    }
+
+    #[test]
+    fn unsized_based_is_32_bits() {
+        let v = LogicVec::parse_literal("'hff").unwrap();
+        assert_eq!(v.width(), 32);
+        assert_eq!(v.to_u64(), Some(0xff));
+    }
+
+    #[test]
+    fn truncation() {
+        let v = LogicVec::parse_literal("4'hff").unwrap();
+        assert_eq!(v.to_u64(), Some(0xf));
+    }
+
+    #[test]
+    fn underscores_everywhere() {
+        let v = LogicVec::parse_literal("16'b1010_1010_1010_1010").unwrap();
+        assert_eq!(v.to_u64(), Some(0xaaaa));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(LogicVec::parse_literal("").is_err());
+        assert!(LogicVec::parse_literal("8'q12").is_err());
+        assert!(LogicVec::parse_literal("8'b12").is_err());
+        assert!(LogicVec::parse_literal("0'b1").is_err());
+        assert!(LogicVec::parse_literal("8'hxyz").is_err()); // y invalid
+        assert!(LogicVec::parse_literal("abc").is_err());
+        assert!(LogicVec::parse_literal("8'd1x").is_err());
+    }
+
+    #[test]
+    fn from_str_trait() {
+        let v: LogicVec = "8'h80".parse().unwrap();
+        assert_eq!(v.to_u64(), Some(0x80));
+    }
+}

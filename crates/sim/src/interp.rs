@@ -1,0 +1,578 @@
+//! The behavioral interpreter.
+//!
+//! Executes one activation of a behavioral node against an arbitrary
+//! [`ValueSource`] — the good simulator passes its value store, the ERASER
+//! engine passes a *fault view* (diff entries overlaid on good values).
+//!
+//! Branch outcomes are computed through the VDG's
+//! [`DecisionEval`](eraser_ir::DecisionEval) payloads — the same `Evaluate`
+//! functions the implicit-redundancy check replays under fault values, so
+//! execution and redundancy detection can never disagree.
+//!
+//! An [`ExecMonitor`] observes the execution path as it unfolds: every path
+//! decision (with its outcome) and every dependency segment, together with
+//! the current blocking-write overlay. The ERASER engine's Algorithm 1
+//! implementation is such a monitor: it checks, per candidate fault and *at
+//! the good execution's own pace*, whether the fault's values would flip a
+//! decision or feed a visible difference into an executed segment. Running
+//! the check inside the execution (rather than on a recorded trace) is what
+//! makes it sound in the presence of blocking-assigned locals, e.g. loop
+//! variables: at any point where a candidate fault is still
+//! possibly-redundant, its locals provably equal the good execution's
+//! locals, so the monitor can evaluate decisions with "overlay for locals,
+//! fault view for committed state".
+
+use eraser_ir::{
+    BehavioralNode, DecisionId, Design, LValue, SegmentId, SignalId, Stmt, ValueSource, Vdg,
+};
+use eraser_logic::LogicVec;
+
+/// Iteration bound for `for` loops (defense against malformed designs).
+const MAX_LOOP_ITERATIONS: u32 = 1 << 16;
+
+/// One resolved write produced by an execution.
+///
+/// Dynamic indices are resolved at execution time, so a write is always a
+/// concrete (possibly partial) bit range of a target signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotWrite {
+    /// Target signal.
+    pub target: SignalId,
+    /// `Some((lo, width))` for a partial write, `None` for the full signal.
+    pub range: Option<(u32, u32)>,
+    /// The written value (already sized to the range/signal width).
+    pub value: LogicVec,
+}
+
+impl SlotWrite {
+    /// Applies this write on top of `current`, returning the new value of
+    /// the target signal.
+    pub fn apply(&self, current: &LogicVec) -> LogicVec {
+        match self.range {
+            None => self.value.resize(current.width()),
+            Some((lo, _w)) => {
+                let mut out = current.clone();
+                out.assign_slice(lo, &self.value);
+                out
+            }
+        }
+    }
+}
+
+/// One event of an execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A path decision node was evaluated with the given encoded outcome.
+    Decision {
+        /// The decision node.
+        id: DecisionId,
+        /// Encoded branch outcome (see
+        /// [`DecisionEval::evaluate`](eraser_ir::DecisionEval::evaluate)).
+        outcome: u32,
+    },
+    /// A path dependency segment (one assignment) was executed.
+    Segment(SegmentId),
+}
+
+/// The recorded execution path of one activation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecTrace {
+    /// Events in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Observer of an unfolding execution path.
+///
+/// `overlay` is the current blocking-write overlay (first-write order, last
+/// entry wins): the execution's local state at this point in the path.
+pub trait ExecMonitor {
+    /// Called after each path decision is evaluated.
+    fn on_decision(&mut self, id: DecisionId, outcome: u32, overlay: &[(SignalId, LogicVec)]);
+    /// Called before each dependency segment (assignment) executes.
+    fn on_segment(&mut self, id: SegmentId, overlay: &[(SignalId, LogicVec)]);
+}
+
+/// A monitor that ignores everything.
+pub struct NoopMonitor;
+
+impl ExecMonitor for NoopMonitor {
+    fn on_decision(&mut self, _: DecisionId, _: u32, _: &[(SignalId, LogicVec)]) {}
+    fn on_segment(&mut self, _: SegmentId, _: &[(SignalId, LogicVec)]) {}
+}
+
+/// A monitor that records the execution path as an [`ExecTrace`].
+#[derive(Default)]
+pub struct TraceMonitor {
+    /// The trace recorded so far.
+    pub trace: ExecTrace,
+}
+
+impl ExecMonitor for TraceMonitor {
+    fn on_decision(&mut self, id: DecisionId, outcome: u32, _: &[(SignalId, LogicVec)]) {
+        self.trace.events.push(TraceEvent::Decision { id, outcome });
+    }
+    fn on_segment(&mut self, id: SegmentId, _: &[(SignalId, LogicVec)]) {
+        self.trace.events.push(TraceEvent::Segment(id));
+    }
+}
+
+/// The result of executing one behavioral activation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecOutcome {
+    /// Non-blocking writes in execution order (committed in the NBA
+    /// region).
+    pub nba: Vec<SlotWrite>,
+    /// Blocking writes in execution order (resolved ranges), for replaying
+    /// onto a fault's state.
+    pub blocking_writes: Vec<SlotWrite>,
+    /// Final values of blocking-written signals, in first-write order.
+    pub blocking: Vec<(SignalId, LogicVec)>,
+}
+
+/// Executes one activation of `node` reading from `base`, with a no-op
+/// monitor. See [`execute_monitored`].
+pub fn execute_behavioral<S: ValueSource + ?Sized>(
+    design: &Design,
+    node: &BehavioralNode,
+    base: &S,
+    record_trace: bool,
+) -> (ExecOutcome, ExecTrace) {
+    if record_trace {
+        let mut mon = TraceMonitor::default();
+        let out = execute_monitored(design, node, base, &mut mon);
+        (out, mon.trace)
+    } else {
+        let mut mon = NoopMonitor;
+        (execute_monitored(design, node, base, &mut mon), ExecTrace::default())
+    }
+}
+
+/// Executes one activation of `node`, reading signal values from `base` and
+/// reporting the execution path to `monitor`.
+///
+/// Blocking writes become visible to subsequent reads within this execution
+/// (via an internal overlay) and are reported both as ordered
+/// [`SlotWrite`]s and as final per-signal values; non-blocking writes are
+/// collected in order for the NBA region.
+///
+/// # Panics
+///
+/// Panics if a `for` loop exceeds an internal iteration bound — a malformed
+/// design rather than a recoverable condition.
+pub fn execute_monitored<S: ValueSource + ?Sized, M: ExecMonitor + ?Sized>(
+    design: &Design,
+    node: &BehavioralNode,
+    base: &S,
+    monitor: &mut M,
+) -> ExecOutcome {
+    let mut interp = Interp {
+        design,
+        vdg: &node.vdg,
+        base,
+        overlay: Vec::new(),
+        nba: Vec::new(),
+        blocking_writes: Vec::new(),
+        monitor,
+        node_name: &node.name,
+    };
+    interp.exec_stmt(&node.body);
+    ExecOutcome {
+        nba: interp.nba,
+        blocking_writes: interp.blocking_writes,
+        blocking: interp.overlay,
+    }
+}
+
+struct Interp<'a, S: ?Sized, M: ?Sized> {
+    design: &'a Design,
+    vdg: &'a Vdg,
+    base: &'a S,
+    /// Blocking-write overlay, first-write order, linear scan (bodies write
+    /// few signals).
+    overlay: Vec<(SignalId, LogicVec)>,
+    nba: Vec<SlotWrite>,
+    blocking_writes: Vec<SlotWrite>,
+    monitor: &'a mut M,
+    node_name: &'a str,
+}
+
+/// A view that resolves blocking-written locals from an overlay and
+/// everything else from a base source. Public so redundancy monitors can
+/// build the same view over a fault's committed state.
+pub struct OverlayView<'a, S: ?Sized> {
+    /// Blocking-write overlay (last entry for a signal wins).
+    pub overlay: &'a [(SignalId, LogicVec)],
+    /// Base source for signals absent from the overlay.
+    pub base: &'a S,
+}
+
+impl<S: ValueSource + ?Sized> ValueSource for OverlayView<'_, S> {
+    fn value(&self, sig: SignalId) -> LogicVec {
+        for (s, v) in self.overlay.iter().rev() {
+            if *s == sig {
+                return v.clone();
+            }
+        }
+        self.base.value(sig)
+    }
+}
+
+impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
+    fn view(&self) -> OverlayView<'_, S> {
+        OverlayView {
+            overlay: &self.overlay,
+            base: self.base,
+        }
+    }
+
+    fn read(&self, sig: SignalId) -> LogicVec {
+        self.view().value(sig)
+    }
+
+    fn eval(&self, e: &eraser_ir::Expr) -> LogicVec {
+        eraser_ir::eval_expr(e, &self.view())
+    }
+
+    fn decide(&self, id: DecisionId) -> u32 {
+        self.vdg.decisions[id.index()].eval.evaluate(&self.view())
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec_stmt(s);
+                }
+            }
+            Stmt::Nop => {}
+            Stmt::Assign {
+                lhs,
+                rhs,
+                blocking,
+                segment,
+            } => {
+                self.monitor.on_segment(*segment, &self.overlay);
+                let value = self.eval(rhs);
+                let Some(write) = self.resolve_write(lhs, value) else {
+                    return; // unknown/out-of-range dynamic index: no write
+                };
+                if *blocking {
+                    let current = self.read(write.target);
+                    let next = write.apply(&current);
+                    self.blocking_writes.push(write);
+                    self.write_overlay_last(next);
+                } else {
+                    self.nba.push(write);
+                }
+            }
+            Stmt::If {
+                then_s,
+                else_s,
+                decision,
+                ..
+            } => {
+                let outcome = self.decide(*decision);
+                self.monitor.on_decision(*decision, outcome, &self.overlay);
+                if outcome == 1 {
+                    self.exec_stmt(then_s);
+                } else if let Some(e) = else_s {
+                    self.exec_stmt(e);
+                }
+            }
+            Stmt::Case {
+                arms,
+                default,
+                decision,
+                ..
+            } => {
+                let outcome = self.decide(*decision);
+                self.monitor.on_decision(*decision, outcome, &self.overlay);
+                if (outcome as usize) < arms.len() {
+                    self.exec_stmt(&arms[outcome as usize].body);
+                } else if let Some(d) = default {
+                    self.exec_stmt(d);
+                }
+            }
+            Stmt::For {
+                init,
+                step,
+                body,
+                decision,
+                ..
+            } => {
+                self.exec_stmt(init);
+                let mut iterations = 0u32;
+                loop {
+                    let outcome = self.decide(*decision);
+                    self.monitor.on_decision(*decision, outcome, &self.overlay);
+                    if outcome != 1 {
+                        break;
+                    }
+                    self.exec_stmt(body);
+                    self.exec_stmt(step);
+                    iterations += 1;
+                    assert!(
+                        iterations < MAX_LOOP_ITERATIONS,
+                        "for loop in `{}` exceeded {MAX_LOOP_ITERATIONS} iterations",
+                        self.node_name
+                    );
+                }
+            }
+        }
+    }
+
+    /// Resolves an lvalue into a concrete [`SlotWrite`], sizing `value` to
+    /// the written range. Returns `None` for unknown or out-of-range
+    /// dynamic indices (no bits are written, per simulator convention).
+    fn resolve_write(&self, lhs: &LValue, value: LogicVec) -> Option<SlotWrite> {
+        match lhs {
+            LValue::Full(sig) => Some(SlotWrite {
+                target: *sig,
+                range: None,
+                value: value.resize(self.design.signal(*sig).width),
+            }),
+            LValue::PartSelect { base, hi, lo } => Some(SlotWrite {
+                target: *base,
+                range: Some((*lo, hi - lo + 1)),
+                value: value.resize(hi - lo + 1),
+            }),
+            LValue::BitSelect { base, index } => {
+                let idx = self.eval(index).to_u64()?;
+                let width = self.design.signal(*base).width;
+                if idx >= width as u64 {
+                    return None;
+                }
+                Some(SlotWrite {
+                    target: *base,
+                    range: Some((idx as u32, 1)),
+                    value: value.resize(1),
+                })
+            }
+            LValue::IndexedPart { base, start, width } => {
+                let s = self.eval(start).to_u64()?;
+                let sig_w = self.design.signal(*base).width as u64;
+                if s >= sig_w {
+                    return None;
+                }
+                Some(SlotWrite {
+                    target: *base,
+                    range: Some((s as u32, *width)),
+                    value: value.resize(*width),
+                })
+            }
+        }
+    }
+
+    /// Updates the overlay with the final value of the last blocking write.
+    fn write_overlay_last(&mut self, value: LogicVec) {
+        let sig = self.blocking_writes.last().expect("just pushed").target;
+        for (s, v) in self.overlay.iter_mut() {
+            if *s == sig {
+                *v = value;
+                return;
+            }
+        }
+        self.overlay.push((sig, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ValueStore;
+    use eraser_frontend::compile;
+
+    fn setup(src: &str) -> (Design, ValueStore) {
+        let d = compile(src, None).unwrap();
+        let store = ValueStore::new(&d);
+        (d, store)
+    }
+
+    #[test]
+    fn blocking_writes_are_visible_within_execution() {
+        let (d, mut store) = setup(
+            "module m(input wire [7:0] a, output reg [7:0] q);
+               reg [7:0] t;
+               always @(*) begin
+                 t = a + 8'h01;
+                 q = t + t;
+               end
+             endmodule",
+        );
+        let a = d.find_signal("a").unwrap();
+        let q = d.find_signal("q").unwrap();
+        store.set(a, LogicVec::from_u64(8, 4));
+        let (out, _) = execute_behavioral(&d, &d.behavioral_nodes()[0], &store, false);
+        let qv = out.blocking.iter().find(|(s, _)| *s == q).unwrap();
+        assert_eq!(qv.1.to_u64(), Some(10));
+        assert!(out.nba.is_empty());
+        assert_eq!(out.blocking_writes.len(), 2);
+    }
+
+    #[test]
+    fn nba_writes_are_deferred_and_ordered() {
+        let (d, mut store) = setup(
+            "module m(input wire clk, input wire [3:0] a, output reg [3:0] q);
+               always @(posedge clk) begin
+                 q <= a;
+                 q <= a + 4'h1;
+               end
+             endmodule",
+        );
+        let a = d.find_signal("a").unwrap();
+        store.set(a, LogicVec::from_u64(4, 3));
+        let (out, _) = execute_behavioral(&d, &d.behavioral_nodes()[0], &store, false);
+        assert_eq!(out.nba.len(), 2);
+        // Last write wins when applied in order.
+        let q = d.find_signal("q").unwrap();
+        let mut cur = LogicVec::new_x(4);
+        for w in &out.nba {
+            assert_eq!(w.target, q);
+            cur = w.apply(&cur);
+        }
+        assert_eq!(cur.to_u64(), Some(4));
+        assert!(out.blocking.is_empty());
+    }
+
+    #[test]
+    fn trace_records_decisions_and_segments() {
+        let (d, mut store) = setup(
+            "module m(input wire s, input wire [3:0] a, output reg [3:0] q);
+               always @(*) begin
+                 if (s) q = a;
+                 else q = 4'h0;
+               end
+             endmodule",
+        );
+        let s = d.find_signal("s").unwrap();
+        store.set(s, LogicVec::from_u64(1, 1));
+        let (_, trace) = execute_behavioral(&d, &d.behavioral_nodes()[0], &store, true);
+        assert_eq!(trace.events.len(), 2);
+        assert!(matches!(
+            trace.events[0],
+            TraceEvent::Decision { outcome: 1, .. }
+        ));
+        assert!(matches!(trace.events[1], TraceEvent::Segment(_)));
+        // X condition takes the else path.
+        store.set(s, LogicVec::new_x(1));
+        let (_, trace) = execute_behavioral(&d, &d.behavioral_nodes()[0], &store, true);
+        assert!(matches!(
+            trace.events[0],
+            TraceEvent::Decision { outcome: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn case_decision_outcomes() {
+        let (d, mut store) = setup(
+            "module m(input wire [1:0] s, output reg [3:0] q);
+               always @(*) begin
+                 case (s)
+                   2'd0: q = 4'h1;
+                   2'd1: q = 4'h2;
+                   default: q = 4'hf;
+                 endcase
+               end
+             endmodule",
+        );
+        let s = d.find_signal("s").unwrap();
+        let node = &d.behavioral_nodes()[0];
+        store.set(s, LogicVec::from_u64(2, 1));
+        let (out, trace) = execute_behavioral(&d, node, &store, true);
+        assert!(matches!(
+            trace.events[0],
+            TraceEvent::Decision { outcome: 1, .. }
+        ));
+        assert_eq!(out.blocking[0].1.to_u64(), Some(2));
+        store.set(s, LogicVec::from_u64(2, 3));
+        let (out, trace) = execute_behavioral(&d, node, &store, true);
+        assert!(matches!(
+            trace.events[0],
+            TraceEvent::Decision { outcome: 2, .. }
+        ));
+        assert_eq!(out.blocking[0].1.to_u64(), Some(0xf));
+    }
+
+    #[test]
+    fn for_loop_executes_and_traces_each_iteration() {
+        let (d, mut store) = setup(
+            "module m(input wire [7:0] a, output reg [7:0] q);
+               integer i;
+               always @(*) begin
+                 q = 8'h00;
+                 for (i = 0; i < 8; i = i + 1)
+                   q[i] = a[i] ^ 1'b1;
+               end
+             endmodule",
+        );
+        let a = d.find_signal("a").unwrap();
+        let q = d.find_signal("q").unwrap();
+        store.set(a, LogicVec::from_u64(8, 0b1010_1010));
+        let (out, trace) = execute_behavioral(&d, &d.behavioral_nodes()[0], &store, true);
+        let qv = out.blocking.iter().find(|(s, _)| *s == q).unwrap();
+        assert_eq!(qv.1.to_u64(), Some(0b0101_0101));
+        // 9 loop-condition decisions (8 true + 1 false).
+        let decisions = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Decision { .. }))
+            .count();
+        assert_eq!(decisions, 9);
+    }
+
+    #[test]
+    fn unknown_dynamic_index_writes_nothing() {
+        let (d, store) = setup(
+            "module m(input wire [2:0] i, output reg [7:0] q);
+               always @(*) q[i] = 1'b1;
+             endmodule",
+        );
+        // i is X -> no write at all.
+        let (out, _) = execute_behavioral(&d, &d.behavioral_nodes()[0], &store, false);
+        assert!(out.blocking.is_empty());
+    }
+
+    #[test]
+    fn partial_write_preserves_other_bits() {
+        let (d, mut store) = setup(
+            "module m(input wire [3:0] a, output reg [7:0] q);
+               always @(*) q[7:4] = a;
+             endmodule",
+        );
+        let a = d.find_signal("a").unwrap();
+        let q = d.find_signal("q").unwrap();
+        store.set(a, LogicVec::from_u64(4, 0x9));
+        store.set(q, LogicVec::from_u64(8, 0x34));
+        let (out, _) = execute_behavioral(&d, &d.behavioral_nodes()[0], &store, false);
+        let qv = out.blocking.iter().find(|(s, _)| *s == q).unwrap();
+        assert_eq!(qv.1.to_u64(), Some(0x94));
+    }
+
+    #[test]
+    fn monitor_sees_overlay_state() {
+        struct OverlayProbe {
+            at_decision: Vec<usize>,
+        }
+        impl ExecMonitor for OverlayProbe {
+            fn on_decision(&mut self, _: DecisionId, _: u32, ov: &[(SignalId, LogicVec)]) {
+                self.at_decision.push(ov.len());
+            }
+            fn on_segment(&mut self, _: SegmentId, _: &[(SignalId, LogicVec)]) {}
+        }
+        let (d, store) = setup(
+            "module m(input wire c, output reg [3:0] q);
+               reg [3:0] t;
+               always @(*) begin
+                 t = 4'h1;
+                 if (c) q = t; else q = 4'h0;
+               end
+             endmodule",
+        );
+        let mut probe = OverlayProbe {
+            at_decision: Vec::new(),
+        };
+        execute_monitored(&d, &d.behavioral_nodes()[0], &store, &mut probe);
+        // By the time the `if` is evaluated, t is in the overlay.
+        assert_eq!(probe.at_decision, vec![1]);
+    }
+}

@@ -1,0 +1,470 @@
+//! The event-driven good (fault-free) simulator.
+
+use crate::interp::{execute_behavioral, SlotWrite};
+use crate::rtl_eval::eval_rtl_node;
+use crate::stimulus::Stimulus;
+use crate::store::ValueStore;
+use eraser_ir::{BehavioralId, Design, RtlNodeId, Sensitivity, SignalId};
+use eraser_logic::LogicVec;
+
+/// Bound on delta cycles per step (oscillation guard; combinational cycles
+/// are already rejected at design build time).
+const DELTA_LIMIT: usize = 10_000;
+
+/// An event-driven four-state RTL simulator for the fault-free design.
+///
+/// The evaluation discipline per delta cycle is:
+///
+/// 1. **Active region** — dirty RTL nodes and level-sensitive behavioral
+///    nodes are evaluated to a fixpoint, propagating value changes through
+///    their fanout.
+/// 2. **Deferred edge detection** — only after the active region settles are
+///    event (edge) expressions evaluated against the previously-latched
+///    values. This ordering is what the ERASER paper generalizes to the
+///    concurrent engine to avoid *fake events* (a bad gate prematurely
+///    seeing a good value as an edge).
+/// 3. Activated sequential nodes execute; their non-blocking assignments
+///    are queued.
+/// 4. **NBA region** — queued non-blocking writes commit in order, possibly
+///    scheduling another delta.
+///
+/// See the [crate docs](crate) for a usage example.
+#[derive(Debug, Clone)]
+pub struct Simulator<'d> {
+    design: &'d Design,
+    values: ValueStore,
+    /// Values as of the last edge-detection point, for all signals watched
+    /// by edge-triggered nodes.
+    edge_prev: Vec<LogicVec>,
+    rtl_dirty: Vec<bool>,
+    rtl_queue: Vec<RtlNodeId>,
+    beh_dirty: Vec<bool>,
+    beh_queue: Vec<BehavioralId>,
+    watch_changed: Vec<SignalId>,
+    watch_flag: Vec<bool>,
+    nba: Vec<SlotWrite>,
+    /// Permanently forced bits (`force` command semantics): re-applied on
+    /// every write to the signal.
+    forces: Vec<(SignalId, u32, eraser_logic::LogicBit)>,
+    /// Total delta cycles executed (exposed for instrumentation).
+    deltas: u64,
+}
+
+impl<'d> Simulator<'d> {
+    /// Creates a simulator with all signals at `X` and performs the initial
+    /// evaluation (constants and combinational logic settle).
+    pub fn new(design: &'d Design) -> Self {
+        let values = ValueStore::new(design);
+        let edge_prev = design
+            .signals()
+            .iter()
+            .map(|s| LogicVec::new_x(s.width))
+            .collect();
+        let mut sim = Simulator {
+            design,
+            values,
+            edge_prev,
+            rtl_dirty: vec![false; design.rtl_nodes().len()],
+            rtl_queue: Vec::new(),
+            beh_dirty: vec![false; design.behavioral_nodes().len()],
+            beh_queue: Vec::new(),
+            watch_changed: Vec::new(),
+            watch_flag: vec![false; design.num_signals()],
+            nba: Vec::new(),
+            forces: Vec::new(),
+            deltas: 0,
+        };
+        for i in 0..design.rtl_nodes().len() {
+            sim.mark_rtl(RtlNodeId::from_index(i));
+        }
+        for (i, b) in design.behavioral_nodes().iter().enumerate() {
+            if !b.sensitivity.is_edge() {
+                sim.mark_beh(BehavioralId::from_index(i));
+            }
+        }
+        sim.step();
+        sim
+    }
+
+    /// The design being simulated.
+    pub fn design(&self) -> &'d Design {
+        self.design
+    }
+
+    /// The current value of a signal.
+    pub fn value(&self, sig: SignalId) -> &LogicVec {
+        self.values.get(sig)
+    }
+
+    /// The full value store.
+    pub fn values(&self) -> &ValueStore {
+        &self.values
+    }
+
+    /// Total delta cycles executed so far.
+    pub fn deltas(&self) -> u64 {
+        self.deltas
+    }
+
+    /// Drives a primary input (or, for testing, forces any signal) to
+    /// `value`. Fanout is scheduled if the value changed; call
+    /// [`Simulator::step`] to propagate.
+    pub fn set_input(&mut self, sig: SignalId, value: LogicVec) {
+        let value = value.resize(self.design.signal(sig).width);
+        self.commit_value(sig, value);
+    }
+
+    /// Permanently forces one bit of a signal — the `force` command used by
+    /// force-based fault injection (the paper's IFsim baseline). The force
+    /// is applied immediately and re-applied on every subsequent write.
+    pub fn add_force(&mut self, sig: SignalId, bit: u32, value: eraser_logic::LogicBit) {
+        self.forces.push((sig, bit, value));
+        let current = self.values.get(sig).clone();
+        self.commit_value(sig, current);
+    }
+
+    /// Applies forces (if any) and commits a value, scheduling fanout on
+    /// change.
+    fn commit_value(&mut self, sig: SignalId, mut value: LogicVec) -> bool {
+        for &(fs, bit, b) in &self.forces {
+            if fs == sig && bit < value.width() {
+                value.set_bit(bit, b);
+            }
+        }
+        if self.values.set(sig, value) {
+            self.schedule_fanout(sig);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs delta cycles until the design is stable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design fails to settle within an internal delta bound
+    /// (an oscillation, which cannot arise from designs accepted by the
+    /// frontend).
+    pub fn step(&mut self) {
+        for _ in 0..DELTA_LIMIT {
+            self.deltas += 1;
+            self.settle_active();
+            let activated = self.detect_edges();
+            for b in &activated {
+                self.run_behavioral(*b);
+            }
+            let committed = self.commit_nba();
+            if !committed
+                && activated.is_empty()
+                && self.rtl_queue.is_empty()
+                && self.beh_queue.is_empty()
+            {
+                return;
+            }
+        }
+        panic!("design did not settle within {DELTA_LIMIT} delta cycles");
+    }
+
+    /// Convenience: one full clock cycle on `clk` (drive low, settle, drive
+    /// high, settle) — one rising edge per call.
+    pub fn clock_cycle(&mut self, clk: SignalId) {
+        self.set_input(clk, LogicVec::from_u64(1, 0));
+        self.step();
+        self.set_input(clk, LogicVec::from_u64(1, 1));
+        self.step();
+    }
+
+    /// Applies every step of a stimulus, settling after each.
+    pub fn run_stimulus(&mut self, stim: &Stimulus) {
+        for step in &stim.steps {
+            for (sig, val) in step {
+                self.set_input(*sig, val.clone());
+            }
+            self.step();
+        }
+    }
+
+    // ---- internals ----
+
+    fn mark_rtl(&mut self, id: RtlNodeId) {
+        if !self.rtl_dirty[id.index()] {
+            self.rtl_dirty[id.index()] = true;
+            self.rtl_queue.push(id);
+        }
+    }
+
+    fn mark_beh(&mut self, id: BehavioralId) {
+        if !self.beh_dirty[id.index()] {
+            self.beh_dirty[id.index()] = true;
+            self.beh_queue.push(id);
+        }
+    }
+
+    /// Schedules everything that reads `sig` after its value changed.
+    fn schedule_fanout(&mut self, sig: SignalId) {
+        for &n in self.design.rtl_fanout(sig) {
+            self.mark_rtl(n);
+        }
+        for &b in self.design.level_fanout(sig) {
+            self.mark_beh(b);
+        }
+        if !self.design.edge_fanout(sig).is_empty() && !self.watch_flag[sig.index()] {
+            self.watch_flag[sig.index()] = true;
+            self.watch_changed.push(sig);
+        }
+    }
+
+    /// Evaluates dirty RTL nodes and level-sensitive behavioral nodes to a
+    /// fixpoint.
+    fn settle_active(&mut self) {
+        loop {
+            if let Some(id) = self.rtl_queue.pop() {
+                self.rtl_dirty[id.index()] = false;
+                let node = self.design.rtl_node(id);
+                let out = eval_rtl_node(self.design, node, &self.values);
+                self.commit_value(node.output, out);
+                continue;
+            }
+            if let Some(id) = self.beh_queue.pop() {
+                self.beh_dirty[id.index()] = false;
+                self.run_behavioral(id);
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Executes one behavioral node: blocking results commit immediately,
+    /// non-blocking writes are queued for the NBA region.
+    fn run_behavioral(&mut self, id: BehavioralId) {
+        let node = self.design.behavioral(id);
+        let (outcome, _) = execute_behavioral(self.design, node, &self.values, false);
+        for (sig, val) in outcome.blocking {
+            self.commit_value(sig, val);
+        }
+        self.nba.extend(outcome.nba);
+    }
+
+    /// Deferred edge detection: compares watched signals against their
+    /// last-latched values and returns the activated sequential nodes.
+    fn detect_edges(&mut self) -> Vec<BehavioralId> {
+        let mut activated = Vec::new();
+        let changed = std::mem::take(&mut self.watch_changed);
+        for sig in changed {
+            self.watch_flag[sig.index()] = false;
+            let prev = self.edge_prev[sig.index()].clone();
+            let cur = self.values.get(sig).clone();
+            if prev == cur {
+                continue;
+            }
+            for &b in self.design.edge_fanout(sig) {
+                if activated.contains(&b) {
+                    continue;
+                }
+                let node = self.design.behavioral(b);
+                if let Sensitivity::Edges(edges) = &node.sensitivity {
+                    // Event expressions on vectors use bit 0, per common
+                    // simulator behavior.
+                    let fired = edges.iter().any(|(kind, s)| {
+                        *s == sig && kind.matches(prev.bit_or_x(0), cur.bit_or_x(0))
+                    });
+                    if fired {
+                        activated.push(b);
+                    }
+                }
+            }
+            self.edge_prev[sig.index()] = cur;
+        }
+        activated
+    }
+
+    /// Commits queued non-blocking writes in order; returns whether any
+    /// signal changed.
+    fn commit_nba(&mut self) -> bool {
+        if self.nba.is_empty() {
+            return false;
+        }
+        let writes = std::mem::take(&mut self.nba);
+        let mut any = false;
+        for w in writes {
+            let next = w.apply(self.values.get(w.target));
+            if self.commit_value(w.target, next) {
+                any = true;
+            }
+        }
+        any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eraser_frontend::compile;
+
+    fn v(w: u32, x: u64) -> LogicVec {
+        LogicVec::from_u64(w, x)
+    }
+
+    #[test]
+    fn combinational_propagation() {
+        let d = compile(
+            "module m(input wire [3:0] a, input wire [3:0] b, output wire [3:0] x);
+               wire [3:0] t;
+               assign t = a & b;
+               assign x = t | 4'h1;
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let a = d.find_signal("a").unwrap();
+        let b = d.find_signal("b").unwrap();
+        let x = d.find_signal("x").unwrap();
+        let mut sim = Simulator::new(&d);
+        sim.set_input(a, v(4, 0xc));
+        sim.set_input(b, v(4, 0xa));
+        sim.step();
+        assert_eq!(sim.value(x).to_u64(), Some(0x9));
+    }
+
+    #[test]
+    fn counter_counts() {
+        let d = compile(
+            "module m(input wire clk, input wire rst, output reg [7:0] q);
+               always @(posedge clk) begin
+                 if (rst) q <= 8'h00; else q <= q + 8'h01;
+               end
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let clk = d.find_signal("clk").unwrap();
+        let rst = d.find_signal("rst").unwrap();
+        let q = d.find_signal("q").unwrap();
+        let mut sim = Simulator::new(&d);
+        sim.set_input(rst, v(1, 1));
+        sim.clock_cycle(clk);
+        assert_eq!(sim.value(q).to_u64(), Some(0));
+        sim.set_input(rst, v(1, 0));
+        for _ in 0..3 {
+            sim.clock_cycle(clk);
+        }
+        assert_eq!(sim.value(q).to_u64(), Some(3));
+    }
+
+    #[test]
+    fn nba_swap_is_race_free() {
+        let d = compile(
+            "module m(input wire clk, input wire ld, input wire [3:0] a,
+                      output reg [3:0] x, output reg [3:0] y);
+               always @(posedge clk) begin
+                 if (ld) begin x <= a; y <= 4'h0; end
+                 else begin x <= y; y <= x; end
+               end
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let clk = d.find_signal("clk").unwrap();
+        let ld = d.find_signal("ld").unwrap();
+        let a = d.find_signal("a").unwrap();
+        let x = d.find_signal("x").unwrap();
+        let y = d.find_signal("y").unwrap();
+        let mut sim = Simulator::new(&d);
+        sim.set_input(ld, v(1, 1));
+        sim.set_input(a, v(4, 9));
+        sim.clock_cycle(clk);
+        sim.set_input(ld, v(1, 0));
+        sim.clock_cycle(clk);
+        // Swapped simultaneously through NBAs.
+        assert_eq!(sim.value(x).to_u64(), Some(0));
+        assert_eq!(sim.value(y).to_u64(), Some(9));
+        sim.clock_cycle(clk);
+        assert_eq!(sim.value(x).to_u64(), Some(9));
+        assert_eq!(sim.value(y).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn async_reset_fires_on_negedge() {
+        let d = compile(
+            "module m(input wire clk, input wire rst_n, input wire [3:0] a, output reg [3:0] q);
+               always @(posedge clk or negedge rst_n) begin
+                 if (!rst_n) q <= 4'h0; else q <= a;
+               end
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let clk = d.find_signal("clk").unwrap();
+        let rst_n = d.find_signal("rst_n").unwrap();
+        let a = d.find_signal("a").unwrap();
+        let q = d.find_signal("q").unwrap();
+        let mut sim = Simulator::new(&d);
+        // Drop reset without any clock: q clears asynchronously.
+        sim.set_input(rst_n, v(1, 0));
+        sim.step();
+        assert_eq!(sim.value(q).to_u64(), Some(0));
+        sim.set_input(rst_n, v(1, 1));
+        sim.set_input(a, v(4, 7));
+        sim.clock_cycle(clk);
+        assert_eq!(sim.value(q).to_u64(), Some(7));
+    }
+
+    #[test]
+    fn comb_always_reacts_to_inputs() {
+        let d = compile(
+            "module m(input wire [1:0] s, input wire [3:0] a, input wire [3:0] b,
+                      output reg [3:0] y);
+               always @(*) begin
+                 case (s)
+                   2'd0: y = a;
+                   2'd1: y = b;
+                   default: y = a ^ b;
+                 endcase
+               end
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let s = d.find_signal("s").unwrap();
+        let a = d.find_signal("a").unwrap();
+        let b = d.find_signal("b").unwrap();
+        let y = d.find_signal("y").unwrap();
+        let mut sim = Simulator::new(&d);
+        sim.set_input(a, v(4, 0x3));
+        sim.set_input(b, v(4, 0x5));
+        sim.set_input(s, v(2, 0));
+        sim.step();
+        assert_eq!(sim.value(y).to_u64(), Some(3));
+        sim.set_input(s, v(2, 1));
+        sim.step();
+        assert_eq!(sim.value(y).to_u64(), Some(5));
+        sim.set_input(s, v(2, 2));
+        sim.step();
+        assert_eq!(sim.value(y).to_u64(), Some(6));
+    }
+
+    #[test]
+    fn pipeline_through_hierarchy() {
+        let d = compile(
+            "module stage(input wire clk, input wire [7:0] din, output reg [7:0] dout);
+               always @(posedge clk) dout <= din + 8'h01;
+             endmodule
+             module top(input wire clk, input wire [7:0] din, output wire [7:0] dout);
+               wire [7:0] mid;
+               stage s0 (.clk(clk), .din(din), .dout(mid));
+               stage s1 (.clk(clk), .din(mid), .dout(dout));
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let clk = d.find_signal("clk").unwrap();
+        let din = d.find_signal("din").unwrap();
+        let dout = d.find_signal("dout").unwrap();
+        let mut sim = Simulator::new(&d);
+        sim.set_input(din, v(8, 10));
+        sim.clock_cycle(clk);
+        sim.clock_cycle(clk);
+        assert_eq!(sim.value(dout).to_u64(), Some(12));
+    }
+}

@@ -1,0 +1,115 @@
+//! Evaluation of primitive RTL nodes.
+
+use eraser_ir::{eval::eval_binary, Design, RtlNode, RtlOp, UnaryOp, ValueSource};
+use eraser_logic::{LogicBit, LogicVec};
+
+/// Evaluates one RTL operator on already-fetched input values, producing a
+/// value of `out_width` bits.
+///
+/// Used by the good simulator, the ERASER concurrent engine (for both good
+/// and per-fault evaluation) and the compiled baseline — the single source
+/// of truth for RTL node semantics.
+pub fn eval_rtl_op(op: &RtlOp, inputs: &[LogicVec], out_width: u32) -> LogicVec {
+    let v = match op {
+        RtlOp::Buf => inputs[0].clone(),
+        RtlOp::Const(c) => c.clone(),
+        RtlOp::Unary(u) => {
+            let a = &inputs[0];
+            match u {
+                UnaryOp::Not => a.not(),
+                UnaryOp::Neg => a.neg(),
+                UnaryOp::LogicalNot => LogicVec::from_bit(a.truth().not()),
+                UnaryOp::RedAnd => LogicVec::from_bit(a.red_and()),
+                UnaryOp::RedOr => LogicVec::from_bit(a.red_or()),
+                UnaryOp::RedXor => LogicVec::from_bit(a.red_xor()),
+            }
+        }
+        RtlOp::Binary(b) => eval_binary(*b, &inputs[0], &inputs[1]),
+        RtlOp::Mux => match inputs[0].truth() {
+            LogicBit::One => inputs[1].clone(),
+            LogicBit::Zero => inputs[2].clone(),
+            _ => inputs[1].merge_x(&inputs[2]),
+        },
+        RtlOp::Concat => {
+            // Node inputs are MSB-first (source order).
+            let refs: Vec<&LogicVec> = inputs.iter().rev().collect();
+            LogicVec::concat_lsb_first(&refs)
+        }
+        RtlOp::Replicate(n) => inputs[0].replicate(*n),
+        RtlOp::Slice { hi, lo } => inputs[0].slice(*hi, *lo),
+        RtlOp::Index => match inputs[1].to_u64() {
+            Some(i) if i <= u32::MAX as u64 => LogicVec::from_bit(inputs[0].bit_or_x(i as u32)),
+            _ => LogicVec::from_bit(LogicBit::X),
+        },
+        RtlOp::IndexedPart { width } => match inputs[1].to_u64() {
+            Some(s) if s + *width as u64 <= u32::MAX as u64 => {
+                inputs[0].slice(s as u32 + width - 1, s as u32)
+            }
+            _ => LogicVec::new_x(*width),
+        },
+    };
+    if v.width() == out_width {
+        v
+    } else {
+        v.resize(out_width)
+    }
+}
+
+/// Evaluates an RTL node by fetching its inputs from `src`.
+pub fn eval_rtl_node<S: ValueSource + ?Sized>(
+    design: &Design,
+    node: &RtlNode,
+    src: &S,
+) -> LogicVec {
+    let inputs: Vec<LogicVec> = node.inputs.iter().map(|&s| src.value(s)).collect();
+    eval_rtl_op(&node.op, &inputs, design.signal(node.output).width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eraser_ir::BinaryOp;
+
+    fn v(w: u32, x: u64) -> LogicVec {
+        LogicVec::from_u64(w, x)
+    }
+
+    #[test]
+    fn buf_resizes() {
+        assert_eq!(eval_rtl_op(&RtlOp::Buf, &[v(4, 0xf)], 8).to_u64(), Some(0xf));
+        assert_eq!(eval_rtl_op(&RtlOp::Buf, &[v(8, 0xff)], 4).to_u64(), Some(0xf));
+    }
+
+    #[test]
+    fn mux_with_unknown_cond_merges() {
+        let out = eval_rtl_op(
+            &RtlOp::Mux,
+            &[LogicVec::new_x(1), v(4, 0b1100), v(4, 0b1010)],
+            4,
+        );
+        assert_eq!(out.bit(3), LogicBit::One);
+        assert_eq!(out.bit(0), LogicBit::Zero);
+        assert_eq!(out.bit(1), LogicBit::X);
+    }
+
+    #[test]
+    fn concat_msb_first_inputs() {
+        // Source {a, b} with a=0xA (4b), b=0x5 (4b) -> 0xA5.
+        let out = eval_rtl_op(&RtlOp::Concat, &[v(4, 0xa), v(4, 0x5)], 8);
+        assert_eq!(out.to_u64(), Some(0xa5));
+    }
+
+    #[test]
+    fn index_unknown_is_x() {
+        let out = eval_rtl_op(&RtlOp::Index, &[v(8, 0xff), LogicVec::new_x(3)], 1);
+        assert_eq!(out.bit(0), LogicBit::X);
+        let out = eval_rtl_op(&RtlOp::Index, &[v(8, 0x04), v(4, 2)], 1);
+        assert_eq!(out.to_u64(), Some(1));
+    }
+
+    #[test]
+    fn binary_through_shared_eval() {
+        let out = eval_rtl_op(&RtlOp::Binary(BinaryOp::Add), &[v(8, 250), v(8, 10)], 8);
+        assert_eq!(out.to_u64(), Some(4));
+    }
+}

@@ -1,0 +1,98 @@
+//! Cycle-stepped input stimuli shared by all simulation engines.
+
+use eraser_ir::SignalId;
+use eraser_logic::LogicVec;
+
+/// A deterministic input waveform: per settle-step, the list of input
+/// changes to apply.
+///
+/// Every engine (good simulation, ERASER, every baseline) replays the same
+/// `Stimulus`, which is what makes fault-coverage parity checks meaningful.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Stimulus {
+    /// One entry per settle step; each entry is the set of `(input, value)`
+    /// changes applied before settling.
+    pub steps: Vec<Vec<(SignalId, LogicVec)>>,
+}
+
+impl Stimulus {
+    /// Number of settle steps.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of clock cycles if built with
+    /// [`StimulusBuilder::add_cycle`] (two steps per cycle).
+    pub fn num_cycles(&self) -> usize {
+        self.steps.len() / 2
+    }
+}
+
+/// Builder for [`Stimulus`] waveforms.
+///
+/// # Example
+///
+/// ```
+/// use eraser_ir::SignalId;
+/// use eraser_logic::LogicVec;
+/// use eraser_sim::StimulusBuilder;
+///
+/// let clk = SignalId(0);
+/// let data = SignalId(1);
+/// let mut b = StimulusBuilder::new();
+/// for i in 0..4 {
+///     b.add_cycle(clk, &[(data, LogicVec::from_u64(8, i))]);
+/// }
+/// let stim = b.finish();
+/// assert_eq!(stim.num_cycles(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StimulusBuilder {
+    steps: Vec<Vec<(SignalId, LogicVec)>>,
+}
+
+impl StimulusBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a raw settle step applying `changes`.
+    pub fn add_step(&mut self, changes: Vec<(SignalId, LogicVec)>) -> &mut Self {
+        self.steps.push(changes);
+        self
+    }
+
+    /// Appends one full clock cycle: a step driving `clk` low together with
+    /// `changes`, then a step driving `clk` high (the rising edge samples
+    /// the new inputs).
+    pub fn add_cycle(&mut self, clk: SignalId, changes: &[(SignalId, LogicVec)]) -> &mut Self {
+        let mut low: Vec<(SignalId, LogicVec)> = vec![(clk, LogicVec::from_u64(1, 0))];
+        low.extend(changes.iter().cloned());
+        self.steps.push(low);
+        self.steps.push(vec![(clk, LogicVec::from_u64(1, 1))]);
+        self
+    }
+
+    /// Finalizes the stimulus.
+    pub fn finish(self) -> Stimulus {
+        Stimulus { steps: self.steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_count() {
+        let clk = SignalId(0);
+        let mut b = StimulusBuilder::new();
+        b.add_cycle(clk, &[]);
+        b.add_cycle(clk, &[(SignalId(1), LogicVec::from_u64(4, 2))]);
+        let s = b.finish();
+        assert_eq!(s.num_steps(), 4);
+        assert_eq!(s.num_cycles(), 2);
+        assert_eq!(s.steps[2].len(), 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Dense per-signal value storage.
+
+use eraser_ir::{Design, SignalId, ValueSource};
+use eraser_logic::LogicVec;
+
+/// The current four-state value of every signal in a design.
+///
+/// Freshly created stores hold all-`X` values (the power-on state of an
+/// event-driven simulator).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueStore {
+    values: Vec<LogicVec>,
+}
+
+impl ValueStore {
+    /// Creates a store with every signal at all-`X`.
+    pub fn new(design: &Design) -> Self {
+        ValueStore {
+            values: design
+                .signals()
+                .iter()
+                .map(|s| LogicVec::new_x(s.width))
+                .collect(),
+        }
+    }
+
+    /// The value of `sig`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sig` is out of range for the design this store was built
+    /// for.
+    #[inline]
+    pub fn get(&self, sig: SignalId) -> &LogicVec {
+        &self.values[sig.index()]
+    }
+
+    /// Replaces the value of `sig`, returning `true` if it changed.
+    #[inline]
+    pub fn set(&mut self, sig: SignalId, value: LogicVec) -> bool {
+        let slot = &mut self.values[sig.index()];
+        if *slot == value {
+            false
+        } else {
+            *slot = value;
+            true
+        }
+    }
+
+    /// Number of signals.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the store covers no signals.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl ValueSource for ValueStore {
+    fn value(&self, sig: SignalId) -> LogicVec {
+        self.values[sig.index()].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eraser_ir::{DesignBuilder, PortDir};
+
+    #[test]
+    fn starts_all_x_and_tracks_changes() {
+        let mut b = DesignBuilder::new("t");
+        let a = b.add_port("a", 8, PortDir::Input);
+        let d = b.finish().unwrap();
+        let mut store = ValueStore::new(&d);
+        assert!(store.get(a).has_unknown());
+        assert!(store.set(a, LogicVec::from_u64(8, 5)));
+        assert!(!store.set(a, LogicVec::from_u64(8, 5)));
+        assert_eq!(store.get(a).to_u64(), Some(5));
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Value Change Dump (VCD) waveform output.
+//!
+//! Minimal IEEE 1364 §18 writer used to inspect good-simulation traces:
+//! register the signals to dump, then sample once per stimulus step.
+
+use crate::Simulator;
+use eraser_ir::{Design, SignalId};
+use eraser_logic::LogicVec;
+use std::io::{self, Write};
+
+/// Streams a VCD file for a chosen set of signals.
+///
+/// # Example
+///
+/// ```
+/// use eraser_frontend::compile;
+/// use eraser_logic::LogicVec;
+/// use eraser_sim::{Simulator, VcdWriter};
+///
+/// let design = compile(
+///     "module m(input wire clk, output reg [3:0] q);
+///        always @(posedge clk) q <= q + 4'h1;
+///      endmodule",
+///     None,
+/// )?;
+/// let clk = design.find_signal("clk").unwrap();
+/// let q = design.find_signal("q").unwrap();
+/// let mut sim = Simulator::new(&design);
+/// let mut out = Vec::new();
+/// let mut vcd = VcdWriter::new(&mut out, &design, &[clk, q])?;
+/// for _ in 0..3 {
+///     sim.clock_cycle(clk);
+///     vcd.sample(&sim)?;
+/// }
+/// vcd.finish()?;
+/// let text = String::from_utf8(out)?;
+/// assert!(text.contains("$var wire 4"));
+/// assert!(text.contains("#0") && text.contains("#3"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct VcdWriter<'d, W: Write> {
+    out: W,
+    design: &'d Design,
+    signals: Vec<SignalId>,
+    codes: Vec<String>,
+    last: Vec<Option<LogicVec>>,
+    time: u64,
+}
+
+impl<'d, W: Write> VcdWriter<'d, W> {
+    /// Writes the VCD header declaring `signals` and returns the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn new(mut out: W, design: &'d Design, signals: &[SignalId]) -> io::Result<Self> {
+        writeln!(out, "$version eraser RTL fault simulator $end")?;
+        writeln!(out, "$timescale 1ns $end")?;
+        writeln!(out, "$scope module {} $end", design.name())?;
+        let mut codes = Vec::with_capacity(signals.len());
+        for (i, &sig) in signals.iter().enumerate() {
+            let code = id_code(i);
+            let s = design.signal(sig);
+            // Dots are not legal in VCD identifiers; flatten hierarchy.
+            let name = s.name.replace('.', "_");
+            writeln!(out, "$var wire {} {} {} $end", s.width, code, name)?;
+            codes.push(code);
+        }
+        writeln!(out, "$upscope $end")?;
+        writeln!(out, "$enddefinitions $end")?;
+        Ok(VcdWriter {
+            out,
+            design,
+            signals: signals.to_vec(),
+            codes,
+            last: vec![None; signals.len()],
+            time: 0,
+        })
+    }
+
+    /// Emits a timestep with every changed signal's new value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn sample(&mut self, sim: &Simulator<'_>) -> io::Result<()> {
+        let mut header_written = false;
+        for (i, &sig) in self.signals.iter().enumerate() {
+            let cur = sim.value(sig);
+            if self.last[i].as_ref() == Some(cur) {
+                continue;
+            }
+            if !header_written {
+                writeln!(self.out, "#{}", self.time)?;
+                header_written = true;
+            }
+            let width = self.design.signal(sig).width;
+            if width == 1 {
+                writeln!(self.out, "{}{}", cur.bit(0).to_char(), self.codes[i])?;
+            } else {
+                writeln!(self.out, "b{:b} {}", cur, self.codes[i])?;
+            }
+            self.last[i] = Some(cur.clone());
+        }
+        self.time += 1;
+        Ok(())
+    }
+
+    /// Writes the final timestamp and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> io::Result<()> {
+        writeln!(self.out, "#{}", self.time)?;
+        self.out.flush()
+    }
+}
+
+/// VCD short identifier codes: `!`, `"`, ..., then two characters.
+fn id_code(index: usize) -> String {
+    const FIRST: u8 = b'!';
+    const COUNT: usize = (b'~' - b'!' + 1) as usize;
+    let mut s = String::new();
+    let mut i = index;
+    loop {
+        s.push((FIRST + (i % COUNT) as u8) as char);
+        i /= COUNT;
+        if i == 0 {
+            break;
+        }
+        i -= 1;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eraser_frontend::compile;
+
+    #[test]
+    fn id_codes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..5000 {
+            assert!(seen.insert(id_code(i)), "duplicate at {i}");
+        }
+        assert_eq!(id_code(0), "!");
+    }
+
+    #[test]
+    fn writes_header_and_changes() {
+        let design = compile(
+            "module m(input wire clk, input wire rst, output reg [7:0] q);
+               always @(posedge clk) begin
+                 if (rst) q <= 8'h00; else q <= q + 8'h01;
+               end
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let clk = design.find_signal("clk").unwrap();
+        let rst = design.find_signal("rst").unwrap();
+        let q = design.find_signal("q").unwrap();
+        let mut sim = Simulator::new(&design);
+        let mut buf = Vec::new();
+        let mut vcd = VcdWriter::new(&mut buf, &design, &[clk, rst, q]).unwrap();
+        sim.set_input(rst, LogicVec::from_u64(1, 1));
+        sim.clock_cycle(clk);
+        vcd.sample(&sim).unwrap();
+        sim.set_input(rst, LogicVec::from_u64(1, 0));
+        for _ in 0..2 {
+            sim.clock_cycle(clk);
+            vcd.sample(&sim).unwrap();
+        }
+        vcd.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("$var wire 1 ! clk $end"));
+        assert!(text.contains("$var wire 8"));
+        assert!(text.contains("$enddefinitions $end"));
+        assert!(text.contains("b00000000"), "{text}");
+        assert!(text.contains("b00000010"), "{text}");
+        // Unchanged signals are not re-emitted.
+        assert_eq!(text.matches("1!").count(), 1, "{text}");
+    }
+}

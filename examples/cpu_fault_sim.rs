@@ -1,0 +1,46 @@
+//! Engine comparison on a CPU workload: runs all four fault simulators on
+//! the PicoRV32-style core, checks they detect the identical fault set, and
+//! prints the wall-clock comparison — a single-design slice of Fig. 6.
+//!
+//! Run with `cargo run --release --example cpu_fault_sim`.
+
+use eraser::baselines::{run_cfsim, run_eraser, run_ifsim, run_vfsim};
+use eraser::designs::Benchmark;
+use eraser::fault::generate_faults;
+
+fn main() {
+    let bench = Benchmark::PicoRv32;
+    let design = bench.build();
+    let faults = generate_faults(&design, &bench.fault_config());
+    let stimulus = bench.stimulus(&design);
+    println!(
+        "{}: {} faults, {} stimulus steps",
+        bench.name(),
+        faults.len(),
+        stimulus.num_steps()
+    );
+
+    let ifsim = run_ifsim(&design, &faults, &stimulus);
+    let vfsim = run_vfsim(&design, &faults, &stimulus);
+    let cfsim = run_cfsim(&design, &faults, &stimulus);
+    let eraser = run_eraser(&design, &faults, &stimulus);
+
+    for r in [&vfsim, &cfsim, &eraser] {
+        assert!(
+            ifsim.coverage.same_detected_set(&r.coverage),
+            "{} disagrees with IFsim",
+            r.name
+        );
+    }
+    println!("all engines agree: {}", eraser.coverage);
+    println!();
+    let base = ifsim.wall.as_secs_f64();
+    for r in [&ifsim, &vfsim, &cfsim, &eraser] {
+        println!(
+            "{:<8} {:>9.3}s  ({:>5.1}x vs IFsim)",
+            r.name,
+            r.wall.as_secs_f64(),
+            base / r.wall.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! ERASER: efficient RTL fault simulation with trimmed execution redundancy.
+//!
+//! Umbrella crate re-exporting the full framework — a Rust reproduction of
+//! the DATE 2025 paper "ERASER: Efficient RTL FAult Simulation Framework
+//! with Trimmed Execution Redundancy":
+//!
+//! * [`logic`] — four-state values,
+//! * [`ir`] — the RTL graph IR with CFG/VDG analyses,
+//! * [`frontend`] — the Verilog-subset compiler,
+//! * [`sim`] — the event-driven kernel and good simulator,
+//! * [`fault`] — stuck-at fault model and coverage,
+//! * [`core`] — the ERASER concurrent engine (the paper's contribution),
+//! * [`baselines`] — IFsim / VFsim / CfSim comparison engines,
+//! * [`designs`] — the ten-benchmark suite with stimuli and golden models.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use eraser::core::{run_campaign, CampaignConfig, RedundancyMode};
+//! use eraser::designs::Benchmark;
+//! use eraser::fault::generate_faults;
+//!
+//! let design = Benchmark::Apb.build();
+//! let faults = generate_faults(&design, &Benchmark::Apb.fault_config());
+//! let stim = Benchmark::Apb.stimulus_with_cycles(&design, 60);
+//! let result = run_campaign(&design, &faults, &stim, &CampaignConfig {
+//!     mode: RedundancyMode::Full,
+//!     drop_detected: true,
+//! });
+//! println!("coverage: {}", result.coverage);
+//! # assert!(result.coverage.detected() > 0);
+//! ```
+
+pub use eraser_baselines as baselines;
+pub use eraser_core as core;
+pub use eraser_designs as designs;
+pub use eraser_fault as fault;
+pub use eraser_frontend as frontend;
+pub use eraser_ir as ir;
+pub use eraser_logic as logic;
+pub use eraser_sim as sim;

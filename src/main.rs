@@ -1,0 +1,229 @@
+//! `eraser` — command-line RTL fault simulation.
+//!
+//! Compiles a Verilog-subset file, generates per-bit stuck-at faults, runs
+//! an ERASER fault-simulation campaign against a generated clocked random
+//! stimulus, and prints coverage plus the redundancy breakdown.
+//!
+//! ```text
+//! eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]
+//!        [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]
+//! ```
+
+use eraser::core::{run_campaign, CampaignConfig, RedundancyMode};
+use eraser::fault::{generate_faults, FaultListConfig};
+use eraser::frontend::compile;
+use eraser::ir::Design;
+use eraser::logic::LogicVec;
+use eraser::sim::StimulusBuilder;
+use std::process::ExitCode;
+
+struct Options {
+    file: String,
+    top: Option<String>,
+    cycles: usize,
+    clock: Option<String>,
+    reset: Option<String>,
+    mode: RedundancyMode,
+    max_faults: Option<usize>,
+    seed: u64,
+    list_undetected: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]\n\
+         \x20             [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        file: String::new(),
+        top: None,
+        cycles: 500,
+        clock: None,
+        reset: None,
+        mode: RedundancyMode::Full,
+        max_faults: None,
+        seed: 1,
+        list_undetected: false,
+    };
+    let need = |a: Option<String>| a.unwrap_or_else(|| usage());
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => opts.top = Some(need(args.next())),
+            "--cycles" => opts.cycles = need(args.next()).parse().unwrap_or_else(|_| usage()),
+            "--clock" => opts.clock = Some(need(args.next())),
+            "--reset" => opts.reset = Some(need(args.next())),
+            "--mode" => {
+                opts.mode = match need(args.next()).as_str() {
+                    "full" => RedundancyMode::Full,
+                    "explicit" => RedundancyMode::Explicit,
+                    "none" => RedundancyMode::None,
+                    _ => usage(),
+                }
+            }
+            "--max-faults" => {
+                opts.max_faults = Some(need(args.next()).parse().unwrap_or_else(|_| usage()))
+            }
+            "--seed" => opts.seed = need(args.next()).parse().unwrap_or_else(|_| usage()),
+            "--list-undetected" => opts.list_undetected = true,
+            "--help" | "-h" => usage(),
+            _ if opts.file.is_empty() && !arg.starts_with('-') => opts.file = arg,
+            _ => usage(),
+        }
+    }
+    if opts.file.is_empty() {
+        usage();
+    }
+    opts
+}
+
+/// Picks the clock input: the `--clock` flag, else a 1-bit input named like
+/// a clock, else the first 1-bit input.
+fn find_clock(design: &Design, requested: &Option<String>) -> Option<eraser::ir::SignalId> {
+    if let Some(name) = requested {
+        return design.find_signal(name);
+    }
+    let one_bit_inputs: Vec<_> = design
+        .inputs()
+        .iter()
+        .copied()
+        .filter(|s| design.signal(*s).width == 1)
+        .collect();
+    one_bit_inputs
+        .iter()
+        .copied()
+        .find(|s| {
+            let n = design.signal(*s).name.to_ascii_lowercase();
+            n == "clk" || n == "clock" || n == "pclk" || n.ends_with("_clk")
+        })
+        .or_else(|| one_bit_inputs.first().copied())
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{}`: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let design = match compile(&source, opts.top.as_deref()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(clock) = find_clock(&design, &opts.clock) else {
+        eprintln!("error: no clock input found (use --clock NAME)");
+        return ExitCode::FAILURE;
+    };
+    let reset = match &opts.reset {
+        Some(name) => design.find_signal(name),
+        None => design.inputs().iter().copied().find(|s| {
+            let n = design.signal(*s).name.to_ascii_lowercase();
+            design.signal(*s).width == 1 && (n == "rst" || n == "reset" || n.ends_with("rst_n"))
+        }),
+    };
+
+    // Fault universe, excluding clock/reset.
+    let mut exclude = vec![design.signal(clock).name.clone()];
+    if let Some(r) = reset {
+        exclude.push(design.signal(r).name.clone());
+    }
+    let faults = generate_faults(
+        &design,
+        &FaultListConfig {
+            include_inputs: false,
+            exclude_names: exclude,
+            max_faults: opts.max_faults,
+        },
+    );
+
+    // Clocked random stimulus over the remaining inputs; reset (active
+    // high, or active low if its name ends in `_n`) held for two cycles.
+    let mut sb = StimulusBuilder::new();
+    let reset_active_low = reset
+        .map(|r| design.signal(r).name.ends_with("_n"))
+        .unwrap_or(false);
+    let data_inputs: Vec<_> = design
+        .inputs()
+        .iter()
+        .copied()
+        .filter(|s| Some(*s) != reset && *s != clock)
+        .collect();
+    let mut state = opts.seed | 1;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    for cycle in 0..opts.cycles {
+        let mut changes = Vec::new();
+        if let Some(r) = reset {
+            let asserted = cycle < 2;
+            // Active-high: asserted -> 1; active-low (`*_n`): asserted -> 0.
+            changes.push((r, LogicVec::from_u64(1, (asserted ^ reset_active_low) as u64)));
+        }
+        for &inp in &data_inputs {
+            let w = design.signal(inp).width;
+            let mut v = LogicVec::zeros(w);
+            for word in 0..w.div_ceil(64) {
+                let bits = LogicVec::from_u64(64.min(w - word * 64), rng());
+                v.assign_slice(word * 64, &bits);
+            }
+            changes.push((inp, v));
+        }
+        sb.add_cycle(clock, &changes);
+    }
+
+    println!(
+        "{}: {} signals, {} RTL nodes, {} behavioral nodes, {} faults, {} cycles",
+        design.name(),
+        design.num_signals(),
+        design.rtl_nodes().len(),
+        design.behavioral_nodes().len(),
+        faults.len(),
+        opts.cycles
+    );
+    let result = run_campaign(
+        &design,
+        &faults,
+        &sb.finish(),
+        &CampaignConfig {
+            mode: opts.mode,
+            drop_detected: true,
+        },
+    );
+    println!("mode {}: coverage {}", opts.mode, result.coverage);
+    let s = &result.stats;
+    println!(
+        "behavioral: {} activations, {} faulty executions of {} opportunities",
+        s.good_activations, s.fault_executions, s.opportunities
+    );
+    println!(
+        "eliminated: {} explicit ({:.1}%), {} implicit ({:.1}%)",
+        s.explicit_skipped,
+        s.explicit_percent(),
+        s.implicit_skipped,
+        s.implicit_percent()
+    );
+    if opts.list_undetected {
+        for id in result.coverage.undetected() {
+            let f = faults.fault(id);
+            println!(
+                "undetected: {} bit {} {}",
+                design.signal(f.signal).name,
+                f.bit,
+                f.stuck
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

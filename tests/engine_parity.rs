@@ -1,0 +1,101 @@
+//! Cross-engine fault-coverage parity — the correctness criterion of the
+//! paper's Table II: ERASER (in all three redundancy modes) must detect
+//! exactly the same fault set as the serial force-based simulator (IFsim),
+//! the levelized full-evaluation simulator (VFsim), and the concurrent
+//! explicit-only engine (CfSim).
+//!
+//! The default tests run shortened campaigns on a representative subset;
+//! the full-suite sweep (all ten benchmarks) runs in the benchmark harness
+//! and in the `--ignored` test below.
+
+use eraser::baselines::{run_cfsim, run_ifsim, run_vfsim};
+use eraser::core::{run_campaign, CampaignConfig, RedundancyMode};
+use eraser::designs::Benchmark;
+use eraser::fault::{generate_faults, FaultListConfig};
+
+fn parity_for(bench: Benchmark, cycles: usize, max_faults: usize) {
+    let design = bench.build();
+    let mut cfg: FaultListConfig = bench.fault_config();
+    cfg.max_faults = Some(max_faults.min(cfg.max_faults.unwrap_or(usize::MAX)));
+    let faults = generate_faults(&design, &cfg);
+    let stim = bench.stimulus_with_cycles(&design, cycles);
+
+    let ifsim = run_ifsim(&design, &faults, &stim);
+    let vfsim = run_vfsim(&design, &faults, &stim);
+    let cfsim = run_cfsim(&design, &faults, &stim);
+    assert!(
+        ifsim.coverage.same_detected_set(&vfsim.coverage),
+        "{}: IFsim {} vs VFsim {}",
+        bench.name(),
+        ifsim.coverage,
+        vfsim.coverage
+    );
+    assert!(
+        ifsim.coverage.same_detected_set(&cfsim.coverage),
+        "{}: IFsim {} vs CfSim {}",
+        bench.name(),
+        ifsim.coverage,
+        cfsim.coverage
+    );
+    for mode in [RedundancyMode::None, RedundancyMode::Explicit, RedundancyMode::Full] {
+        let res = run_campaign(
+            &design,
+            &faults,
+            &stim,
+            &CampaignConfig {
+                mode,
+                drop_detected: true,
+            },
+        );
+        assert!(
+            ifsim.coverage.same_detected_set(&res.coverage),
+            "{}: IFsim {} vs {mode} {} (mismatch at faults {:?} vs {:?})",
+            bench.name(),
+            ifsim.coverage,
+            res.coverage,
+            ifsim.coverage.undetected().len(),
+            res.coverage.undetected().len(),
+        );
+    }
+    // Sanity: campaigns actually detect something.
+    assert!(
+        ifsim.coverage.detected() > 0,
+        "{}: nothing detected",
+        bench.name()
+    );
+}
+
+#[test]
+fn parity_alu() {
+    parity_for(Benchmark::Alu64, 40, 80);
+}
+
+#[test]
+fn parity_apb() {
+    parity_for(Benchmark::Apb, 60, 80);
+}
+
+#[test]
+fn parity_picorv32() {
+    parity_for(Benchmark::PicoRv32, 60, 80);
+}
+
+#[test]
+fn parity_sha256_hv() {
+    parity_for(Benchmark::Sha256Hv, 72, 60);
+}
+
+#[test]
+fn parity_conv() {
+    parity_for(Benchmark::ConvAcc, 40, 60);
+}
+
+/// Full-suite parity across all ten benchmarks with larger fault samples.
+/// Slow in debug builds; run with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "slow: full benchmark sweep; run with --release -- --ignored"]
+fn parity_full_suite() {
+    for bench in Benchmark::all() {
+        parity_for(bench, bench.default_cycles() / 2, 250);
+    }
+}
