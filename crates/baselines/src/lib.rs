@@ -1,20 +1,54 @@
 //! Baseline RTL fault simulators for the ERASER evaluation.
 //!
 //! Implements the three comparison engines of the paper's Fig. 6, as
-//! documented substitutions (see `DESIGN.md`):
+//! documented substitutions (see `DESIGN.md`), all behind the
+//! [`FaultSimEngine`] trait from `eraser-core`:
 //!
-//! * [`run_ifsim`] — **IFsim**: per-fault serial *event-driven*
-//!   re-simulation with the fault imposed through a `force`, the
-//!   Icarus-Verilog-with-`force` baseline (the 1× reference of Fig. 6).
-//! * [`run_vfsim`] — **VFsim**: per-fault serial *levelized full
-//!   evaluation*: every combinational node is evaluated every settle step
-//!   in a precomputed topological order, with no event scheduling — the
-//!   performance character of Verilator-based fault simulation
-//!   (cheap, constant work per cycle; total cost ∝ faults × whole design).
-//! * [`run_cfsim`] — **CfSim**: the Z01X proxy — concurrent (batched) fault
-//!   simulation with *explicit* behavioral redundancy elimination only,
-//!   i.e. the ERASER engine with
+//! * [`IFsim`] — per-fault serial *event-driven* re-simulation with the
+//!   fault imposed through a `force`, the Icarus-Verilog-with-`force`
+//!   baseline (the 1× reference of Fig. 6).
+//! * [`VFsim`] — per-fault serial *levelized full evaluation*: every
+//!   combinational node is evaluated every settle step in a precomputed
+//!   topological order, with no event scheduling — the performance
+//!   character of Verilator-based fault simulation (cheap, constant work
+//!   per cycle; total cost ∝ faults × whole design).
+//! * [`CfSim`] — the Z01X proxy: concurrent (batched) fault simulation
+//!   with *explicit* behavioral redundancy elimination only, i.e. the
+//!   ERASER engine pinned to
 //!   [`RedundancyMode::Explicit`](eraser_core::RedundancyMode).
+//!
+//! [`all_engines`] returns the full Fig. 6 engine line-up (the three
+//! baselines plus full ERASER) as trait objects, so benchmark harnesses,
+//! parity tests and examples enumerate engines instead of hand-calling
+//! each one:
+//!
+//! ```
+//! use eraser_baselines::all_engines;
+//! use eraser_core::CampaignRunner;
+//! use eraser_fault::{generate_faults, FaultListConfig};
+//! use eraser_frontend::compile;
+//! use eraser_logic::LogicVec;
+//! use eraser_sim::StimulusBuilder;
+//!
+//! let design = compile(
+//!     "module dut(input wire clk, input wire [3:0] a, output reg [3:0] q);
+//!        always @(posedge clk) q <= q + a;
+//!      endmodule",
+//!     None,
+//! )?;
+//! let faults = generate_faults(&design, &FaultListConfig::default());
+//! let clk = design.find_signal("clk").unwrap();
+//! let a = design.find_signal("a").unwrap();
+//! let mut sb = StimulusBuilder::new();
+//! for i in 0..20 {
+//!     sb.add_cycle(clk, &[(a, LogicVec::from_u64(4, i * 7 % 16))]);
+//! }
+//! let stim = sb.finish();
+//! let runner = CampaignRunner::new(&design, &faults, &stim);
+//! let results = runner.run_all(&all_engines());
+//! CampaignRunner::check_parity(&results)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 //!
 //! All engines share the detection predicate
 //! ([`eraser_fault::detectable_mismatch`]), observation points (primary
@@ -26,100 +60,151 @@ mod compiled;
 mod serial;
 
 pub use compiled::CompiledSim;
-pub use serial::EngineResult;
+pub use eraser_core::{EngineResult, Eraser, FaultSimEngine};
 
-use eraser_core::{run_campaign, CampaignConfig, RedundancyMode};
+use eraser_core::CampaignConfig;
 use eraser_fault::FaultList;
 use eraser_ir::Design;
 use eraser_sim::{Simulator, Stimulus};
-use std::time::Instant;
 
-/// Runs the IFsim baseline: one event-driven re-simulation per fault, with
-/// the stuck-at imposed as a force; outputs are compared against a recorded
-/// good trace after every stimulus step, stopping at first detection.
-pub fn run_ifsim(design: &Design, faults: &FaultList, stimulus: &Stimulus) -> EngineResult {
-    serial::serial_campaign(
-        "IFsim",
-        design,
-        faults,
-        stimulus,
-        |fault| {
-            let mut sim = Simulator::new(design);
-            if let Some(f) = fault {
-                sim.add_force(f.signal, f.bit, f.stuck.bit());
-                // Settle the force at construction so all engines agree on
-                // when a forced power-on edge (X -> stuck value) fires
-                // relative to the first stimulus step.
+/// IFsim: one event-driven re-simulation per fault, with the stuck-at
+/// imposed as a force; outputs are compared against a recorded good trace
+/// after every stimulus step, stopping at first detection.
+///
+/// As a serial engine it always drops a fault at first detection (coverage
+/// is insensitive to dropping) and carries no redundancy instrumentation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IFsim;
+
+impl FaultSimEngine for IFsim {
+    fn name(&self) -> String {
+        "IFsim".to_string()
+    }
+
+    fn run(
+        &self,
+        design: &Design,
+        faults: &FaultList,
+        stimulus: &Stimulus,
+        _config: &CampaignConfig,
+    ) -> EngineResult {
+        serial::serial_campaign(
+            "IFsim",
+            design,
+            faults,
+            stimulus,
+            |fault| {
+                let mut sim = Simulator::new(design);
+                if let Some(f) = fault {
+                    sim.add_force(f.signal, f.bit, f.stuck.bit());
+                    // Settle the force at construction so all engines agree
+                    // on when a forced power-on edge (X -> stuck value)
+                    // fires relative to the first stimulus step.
+                    sim.step();
+                }
+                sim
+            },
+            |sim, changes| {
+                for (sig, v) in changes {
+                    sim.set_input(*sig, v.clone());
+                }
                 sim.step();
-            }
-            sim
-        },
-        |sim, changes| {
-            for (sig, v) in changes {
-                sim.set_input(*sig, v.clone());
-            }
-            sim.step();
-        },
-        |sim, sig| sim.value(sig).clone(),
-    )
+            },
+            |sim, sig| sim.value(sig).clone(),
+        )
+    }
 }
 
-/// Runs the VFsim baseline: one levelized full-evaluation simulation per
-/// fault (no event scheduling), same observation and dropping rules.
+/// VFsim: one levelized full-evaluation simulation per fault (no event
+/// scheduling), same observation and dropping rules as [`IFsim`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VFsim;
+
+impl FaultSimEngine for VFsim {
+    fn name(&self) -> String {
+        "VFsim".to_string()
+    }
+
+    fn run(
+        &self,
+        design: &Design,
+        faults: &FaultList,
+        stimulus: &Stimulus,
+        _config: &CampaignConfig,
+    ) -> EngineResult {
+        serial::serial_campaign(
+            "VFsim",
+            design,
+            faults,
+            stimulus,
+            |fault| {
+                let mut sim = CompiledSim::new(design);
+                if let Some(f) = fault {
+                    sim.add_force(f.signal, f.bit, f.stuck.bit());
+                }
+                sim
+            },
+            |sim, changes| sim.settle_step(changes),
+            |sim, sig| sim.value(sig).clone(),
+        )
+    }
+}
+
+/// CfSim (Z01X proxy): the concurrent engine pinned to explicit-only
+/// redundancy elimination. Honors every [`CampaignConfig`] field except
+/// `mode`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CfSim;
+
+impl FaultSimEngine for CfSim {
+    fn name(&self) -> String {
+        "CfSim".to_string()
+    }
+
+    fn run(
+        &self,
+        design: &Design,
+        faults: &FaultList,
+        stimulus: &Stimulus,
+        config: &CampaignConfig,
+    ) -> EngineResult {
+        let mut result = Eraser::explicit().run(design, faults, stimulus, config);
+        result.name = self.name();
+        result
+    }
+}
+
+/// The full Fig. 6 engine line-up as trait objects, in the paper's column
+/// order: IFsim (the 1× reference), VFsim, CfSim, and full ERASER.
+pub fn all_engines() -> Vec<Box<dyn FaultSimEngine>> {
+    vec![
+        Box::new(IFsim),
+        Box::new(VFsim),
+        Box::new(CfSim),
+        Box::new(Eraser::full()),
+    ]
+}
+
+/// Runs the IFsim baseline with default configuration (compatibility
+/// wrapper over [`IFsim`]).
+pub fn run_ifsim(design: &Design, faults: &FaultList, stimulus: &Stimulus) -> EngineResult {
+    IFsim.run(design, faults, stimulus, &CampaignConfig::default())
+}
+
+/// Runs the VFsim baseline with default configuration (compatibility
+/// wrapper over [`VFsim`]).
 pub fn run_vfsim(design: &Design, faults: &FaultList, stimulus: &Stimulus) -> EngineResult {
-    serial::serial_campaign(
-        "VFsim",
-        design,
-        faults,
-        stimulus,
-        |fault| {
-            let mut sim = CompiledSim::new(design);
-            if let Some(f) = fault {
-                sim.add_force(f.signal, f.bit, f.stuck.bit());
-            }
-            sim
-        },
-        |sim, changes| sim.settle_step(changes),
-        |sim, sig| sim.value(sig).clone(),
-    )
+    VFsim.run(design, faults, stimulus, &CampaignConfig::default())
 }
 
-/// Runs the CfSim baseline (Z01X proxy): the concurrent engine with
-/// explicit-only redundancy elimination.
+/// Runs the CfSim baseline with default configuration (compatibility
+/// wrapper over [`CfSim`]).
 pub fn run_cfsim(design: &Design, faults: &FaultList, stimulus: &Stimulus) -> EngineResult {
-    let t0 = Instant::now();
-    let res = run_campaign(
-        design,
-        faults,
-        stimulus,
-        &CampaignConfig {
-            mode: RedundancyMode::Explicit,
-            drop_detected: true,
-        },
-    );
-    EngineResult {
-        name: "CfSim".to_string(),
-        coverage: res.coverage,
-        wall: t0.elapsed(),
-    }
+    CfSim.run(design, faults, stimulus, &CampaignConfig::default())
 }
 
-/// Runs the full ERASER engine (for symmetric result collection in the
-/// benchmark harness).
+/// Runs the full ERASER engine with default configuration (compatibility
+/// wrapper over [`Eraser::full`]).
 pub fn run_eraser(design: &Design, faults: &FaultList, stimulus: &Stimulus) -> EngineResult {
-    let t0 = Instant::now();
-    let res = run_campaign(
-        design,
-        faults,
-        stimulus,
-        &CampaignConfig {
-            mode: RedundancyMode::Full,
-            drop_detected: true,
-        },
-    );
-    EngineResult {
-        name: "Eraser".to_string(),
-        coverage: res.coverage,
-        wall: t0.elapsed(),
-    }
+    Eraser::full().run(design, faults, stimulus, &CampaignConfig::default())
 }

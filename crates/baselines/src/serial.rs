@@ -1,21 +1,11 @@
 //! Shared driver for per-fault serial fault simulation.
 
+use eraser_core::EngineResult;
 use eraser_fault::{detectable_mismatch, CoverageReport, Detection, Fault, FaultList};
 use eraser_ir::Design;
 use eraser_logic::LogicVec;
 use eraser_sim::Stimulus;
-use std::time::{Duration, Instant};
-
-/// Coverage and wall time of one engine run, as plotted in Fig. 6.
-#[derive(Debug, Clone)]
-pub struct EngineResult {
-    /// Engine name (`IFsim`, `VFsim`, `CfSim`, `Eraser`).
-    pub name: String,
-    /// Detection records.
-    pub coverage: CoverageReport,
-    /// Wall-clock time of the whole campaign.
-    pub wall: Duration,
-}
+use std::time::Instant;
 
 /// Runs a serial (one-simulation-per-fault) campaign.
 ///
@@ -67,9 +57,5 @@ pub fn serial_campaign<Sim>(
             }
         }
     }
-    EngineResult {
-        name: name.to_string(),
-        coverage,
-        wall: t0.elapsed(),
-    }
+    EngineResult::new(name, coverage).with_wall(t0.elapsed())
 }

@@ -1,42 +1,25 @@
-//! Criterion micro-benchmarks backing Fig. 7: the three redundancy modes
-//! on behavioral-heavy and RTL-node-heavy designs.
+//! Micro-benchmarks backing Fig. 7: the three redundancy modes on
+//! behavioral-heavy and RTL-node-heavy designs, enumerated as
+//! [`Eraser::ablation`](eraser_core::Eraser::ablation) trait objects.
+//!
+//! Dependency-free `harness = false` target: run with
+//! `cargo bench -p eraser-bench --bench ablation`; `ERASER_BENCH_ITERS`
+//! controls the sample count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eraser_bench::prepare;
-use eraser_core::{run_campaign, CampaignConfig, RedundancyMode};
+use eraser_bench::{micro_bench, prepare};
+use eraser_core::{CampaignRunner, Eraser};
 use eraser_designs::Benchmark;
 
-fn bench_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_ablation");
-    group.sample_size(10);
+fn main() {
+    println!("# fig7_ablation micro-benchmarks (scale 0.2)");
     for bench in [Benchmark::Sha256Hv, Benchmark::Apb, Benchmark::Sha256C2v] {
         let p = prepare(bench, 0.2);
-        for (label, mode) in [
-            ("Eraser--", RedundancyMode::None),
-            ("Eraser-", RedundancyMode::Explicit),
-            ("Eraser", RedundancyMode::Full),
-        ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, bench.name()),
-                &(&p, mode),
-                |b, (p, mode)| {
-                    b.iter(|| {
-                        run_campaign(
-                            &p.design,
-                            &p.faults,
-                            &p.stimulus,
-                            &CampaignConfig {
-                                mode: *mode,
-                                drop_detected: true,
-                            },
-                        )
-                    })
-                },
-            );
+        let runner = CampaignRunner::new(&p.design, &p.faults, &p.stimulus);
+        for variant in &Eraser::ablation() {
+            micro_bench(&format!("{}/{}", variant.name(), bench.name()), || {
+                let r = runner.run(variant.as_ref());
+                assert!(r.coverage.total() == p.faults.len());
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

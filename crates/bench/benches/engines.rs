@@ -1,31 +1,26 @@
-//! Criterion micro-benchmarks backing Fig. 6: statistically rigorous
-//! per-design samples of each engine on shortened campaigns.
+//! Micro-benchmarks backing Fig. 6: repeated per-design samples of each
+//! engine on shortened campaigns, enumerated through the
+//! [`FaultSimEngine`](eraser_core::FaultSimEngine) trait.
+//!
+//! Dependency-free `harness = false` target: run with
+//! `cargo bench -p eraser-bench --bench engines`; `ERASER_BENCH_ITERS`
+//! controls the sample count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eraser_baselines::{run_cfsim, run_eraser, run_ifsim, run_vfsim};
-use eraser_bench::prepare;
+use eraser_baselines::all_engines;
+use eraser_bench::{micro_bench, prepare};
+use eraser_core::CampaignRunner;
 use eraser_designs::Benchmark;
 
-fn bench_engines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_engines");
-    group.sample_size(10);
+fn main() {
+    println!("# fig6_engines micro-benchmarks (scale 0.2)");
     for bench in [Benchmark::Alu64, Benchmark::Apb, Benchmark::PicoRv32] {
         let p = prepare(bench, 0.2);
-        group.bench_with_input(BenchmarkId::new("IFsim", bench.name()), &p, |b, p| {
-            b.iter(|| run_ifsim(&p.design, &p.faults, &p.stimulus))
-        });
-        group.bench_with_input(BenchmarkId::new("VFsim", bench.name()), &p, |b, p| {
-            b.iter(|| run_vfsim(&p.design, &p.faults, &p.stimulus))
-        });
-        group.bench_with_input(BenchmarkId::new("CfSim", bench.name()), &p, |b, p| {
-            b.iter(|| run_cfsim(&p.design, &p.faults, &p.stimulus))
-        });
-        group.bench_with_input(BenchmarkId::new("Eraser", bench.name()), &p, |b, p| {
-            b.iter(|| run_eraser(&p.design, &p.faults, &p.stimulus))
-        });
+        let runner = CampaignRunner::new(&p.design, &p.faults, &p.stimulus);
+        for engine in &all_engines() {
+            micro_bench(&format!("{}/{}", engine.name(), bench.name()), || {
+                let r = runner.run(engine.as_ref());
+                assert!(r.coverage.total() == p.faults.len());
+            });
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_engines);
-criterion_main!(benches);

@@ -1,10 +1,14 @@
 //! Regenerates **Fig. 1(b)**: the split of redundant behavioral executions
 //! into explicit (identical inputs) and implicit (differing inputs, same
-//! execution result) on SHA256, APB, Sodor Core and RISCV Mini.
+//! execution result) on SHA256, APB, Sodor Core and RISCV Mini. Emits
+//! `BENCH_fig1_redundancy_ratio.json`.
 
+use eraser_bench::json::{write_records, BenchRecord};
 use eraser_bench::{env_scale, prepare, print_environment};
-use eraser_core::{run_campaign, CampaignConfig, RedundancyMode};
+use eraser_core::{CampaignRunner, Eraser};
 use eraser_designs::Benchmark;
+
+const BINARY: &str = "fig1_redundancy_ratio";
 
 fn main() {
     print_environment("Fig. 1(b) — explicit vs implicit share of redundant executions");
@@ -19,18 +23,12 @@ fn main() {
         "benchmark", "#eliminated", "explicit share", "implicit share"
     );
     let scale = env_scale();
+    let mut records = Vec::new();
     for bench in circuits {
         let p = prepare(bench, scale);
-        let res = run_campaign(
-            &p.design,
-            &p.faults,
-            &p.stimulus,
-            &CampaignConfig {
-                mode: RedundancyMode::Full,
-                drop_detected: true,
-            },
-        );
-        let s = &res.stats;
+        let runner = CampaignRunner::new(&p.design, &p.faults, &p.stimulus);
+        let res = runner.run(&Eraser::full());
+        let s = res.stats.as_ref().expect("concurrent engine has stats");
         let elim = s.eliminated().max(1);
         let ex = 100.0 * s.explicit_skipped as f64 / elim as f64;
         let im = 100.0 * s.implicit_skipped as f64 / elim as f64;
@@ -45,8 +43,10 @@ fn main() {
             bar_e,
             bar_i
         );
+        records.push(BenchRecord::from_result(BINARY, &p, &res));
     }
     println!();
     println!("(paper: implicit redundancy is roughly half of all redundant executions on");
     println!(" these circuits — the overlooked bottleneck motivating ERASER)");
+    write_records(BINARY, &records);
 }

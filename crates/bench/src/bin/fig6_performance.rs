@@ -1,62 +1,78 @@
 //! Regenerates **Fig. 6**: execution time of IFsim / VFsim / CfSim (Z01X
 //! proxy) / ERASER on all ten benchmarks, with speedups relative to IFsim,
-//! plus the cross-engine coverage-parity check of Table II.
+//! plus the cross-engine coverage-parity check of Table II. The engines are
+//! enumerated through the [`FaultSimEngine`](eraser_core::FaultSimEngine)
+//! trait and driven by one [`CampaignRunner`]. Emits
+//! `BENCH_fig6_performance.json` (one record per engine/benchmark).
 
-use eraser_baselines::{run_cfsim, run_eraser, run_ifsim, run_vfsim};
+use eraser_baselines::all_engines;
+use eraser_bench::json::{write_records, BenchRecord};
 use eraser_bench::{env_scale, fmt_secs, prepare, print_environment};
+use eraser_core::CampaignRunner;
 use eraser_designs::Benchmark;
+
+const BINARY: &str = "fig6_performance";
 
 fn main() {
     print_environment("Fig. 6 — performance comparison of RTL fault simulators");
-    println!(
-        "{:<11} {:>10} {:>10} {:>10} {:>10}   {:>7} {:>7} {:>7}   coverage",
-        "benchmark", "IFsim", "VFsim", "CfSim", "Eraser", "VF x", "Cf x", "Er x"
-    );
+    let engines = all_engines();
+    print!("{:<11}", "benchmark");
+    for e in &engines {
+        print!(" {:>10}", e.name());
+    }
+    for e in &engines[1..] {
+        print!(" {:>7}", format!("{} x", e.name()));
+    }
+    println!("   coverage");
     let scale = env_scale();
-    let mut geo_cf = 0.0f64;
-    let mut geo_er = 0.0f64;
-    let mut geo_er_over_cf = 0.0f64;
+    let mut records = Vec::new();
+    let mut geo = vec![0.0f64; engines.len()];
     let mut n = 0usize;
     for bench in Benchmark::all() {
         let p = prepare(bench, scale);
-        let ifsim = run_ifsim(&p.design, &p.faults, &p.stimulus);
-        let vfsim = run_vfsim(&p.design, &p.faults, &p.stimulus);
-        let cfsim = run_cfsim(&p.design, &p.faults, &p.stimulus);
-        let eraser = run_eraser(&p.design, &p.faults, &p.stimulus);
-        for (name, r) in [("VFsim", &vfsim), ("CfSim", &cfsim), ("Eraser", &eraser)] {
-            assert!(
-                ifsim.coverage.same_detected_set(&r.coverage),
-                "{}: {name} coverage mismatch ({} vs {})",
-                bench.name(),
-                ifsim.coverage,
-                r.coverage
-            );
+        let runner = CampaignRunner::new(&p.design, &p.faults, &p.stimulus);
+        let results = runner.run_all(&engines);
+        if let Err(mismatch) = CampaignRunner::check_parity(&results) {
+            panic!("{}: {mismatch}", bench.name());
         }
-        let base = ifsim.wall.as_secs_f64();
-        let sp = |w: std::time::Duration| base / w.as_secs_f64();
-        println!(
-            "{:<11} {:>10} {:>10} {:>10} {:>10}   {:>6.1}x {:>6.1}x {:>6.1}x   {}",
-            bench.name(),
-            fmt_secs(ifsim.wall),
-            fmt_secs(vfsim.wall),
-            fmt_secs(cfsim.wall),
-            fmt_secs(eraser.wall),
-            sp(vfsim.wall),
-            sp(cfsim.wall),
-            sp(eraser.wall),
-            eraser.coverage
+        let base = results[0].wall.as_secs_f64();
+        print!("{:<11}", bench.name());
+        for r in &results {
+            print!(" {:>10}", fmt_secs(r.wall));
+        }
+        print!("  ");
+        for (i, r) in results.iter().enumerate() {
+            let sp = base / r.wall.as_secs_f64();
+            geo[i] += sp.ln();
+            if i > 0 {
+                print!(" {:>6.1}x", sp);
+            }
+        }
+        print!(" ");
+        println!("   {}", results.last().unwrap().coverage);
+        records.extend(
+            results
+                .iter()
+                .map(|r| BenchRecord::from_result(BINARY, &p, r)),
         );
-        geo_cf += sp(cfsim.wall).ln();
-        geo_er += sp(eraser.wall).ln();
-        geo_er_over_cf += (cfsim.wall.as_secs_f64() / eraser.wall.as_secs_f64()).ln();
         n += 1;
     }
     println!();
-    println!(
-        "geomean speedup vs IFsim: CfSim {:.2}x, Eraser {:.2}x; Eraser vs CfSim (Z01X proxy): {:.2}x",
-        (geo_cf / n as f64).exp(),
-        (geo_er / n as f64).exp(),
-        (geo_er_over_cf / n as f64).exp()
-    );
+    let gm = |i: usize| (geo[i] / n as f64).exp();
+    let reference = engines[0].name();
+    let parts: Vec<String> = engines
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, e)| format!("{} {:.2}x", e.name(), gm(i)))
+        .collect();
+    print!("geomean speedup vs {reference}: {}", parts.join(", "));
+    // The paper's headline ratio, when both engines are in the line-up.
+    let idx = |name: &str| engines.iter().position(|e| e.name() == name);
+    if let (Some(er), Some(cf)) = (idx("Eraser"), idx("CfSim")) {
+        print!("; Eraser vs CfSim (Z01X proxy): {:.2}x", gm(er) / gm(cf));
+    }
+    println!();
     println!("(paper: Eraser 3.9x vs Z01X, 5.9x vs VFsim on their testbed — compare shapes, not absolutes)");
+    write_records(BINARY, &records);
 }

@@ -1,10 +1,15 @@
 //! Regenerates **Fig. 7**: the redundancy-elimination ablation. Three
 //! engine variants on the paper's seven ablation circuits:
-//! Eraser-- (no elimination), Eraser- (explicit only), Eraser (full).
+//! Eraser-- (no elimination), Eraser- (explicit only), Eraser (full) —
+//! enumerated as [`Eraser::ablation`] trait objects. Emits
+//! `BENCH_fig7_ablation.json` (one record per variant/benchmark).
 
+use eraser_bench::json::{write_records, BenchRecord};
 use eraser_bench::{env_scale, fmt_secs, prepare, print_environment};
-use eraser_core::{run_campaign, CampaignConfig, RedundancyMode};
+use eraser_core::{CampaignRunner, Eraser};
 use eraser_designs::Benchmark;
+
+const BINARY: &str = "fig7_ablation";
 
 fn main() {
     print_environment("Fig. 7 — ablation study on redundancy elimination");
@@ -22,43 +27,33 @@ fn main() {
         "benchmark", "Eraser--", "Eraser-", "Eraser", "E- x", "E x"
     );
     let scale = env_scale();
+    let variants = Eraser::ablation();
+    let mut records = Vec::new();
     for bench in circuits {
         let p = prepare(bench, scale);
-        let mut walls = Vec::new();
-        let mut first = None;
-        for mode in [RedundancyMode::None, RedundancyMode::Explicit, RedundancyMode::Full] {
-            let t0 = std::time::Instant::now();
-            let res = run_campaign(
-                &p.design,
-                &p.faults,
-                &p.stimulus,
-                &CampaignConfig {
-                    mode,
-                    drop_detected: true,
-                },
-            );
-            walls.push(t0.elapsed());
-            match &first {
-                None => first = Some(res.coverage),
-                Some(base) => assert!(
-                    base.same_detected_set(&res.coverage),
-                    "{}: {mode} changes coverage",
-                    bench.name()
-                ),
-            }
+        let runner = CampaignRunner::new(&p.design, &p.faults, &p.stimulus);
+        let results = runner.run_all(&variants);
+        if let Err(mismatch) = CampaignRunner::check_parity(&results) {
+            panic!("{}: {mismatch}", bench.name());
         }
-        let base = walls[0].as_secs_f64();
+        let base = results[0].wall.as_secs_f64();
         println!(
             "{:<11} {:>10} {:>10} {:>10}   {:>8.2}x {:>8.2}x",
             bench.name(),
-            fmt_secs(walls[0]),
-            fmt_secs(walls[1]),
-            fmt_secs(walls[2]),
-            base / walls[1].as_secs_f64(),
-            base / walls[2].as_secs_f64(),
+            fmt_secs(results[0].wall),
+            fmt_secs(results[1].wall),
+            fmt_secs(results[2].wall),
+            base / results[1].wall.as_secs_f64(),
+            base / results[2].wall.as_secs_f64(),
+        );
+        records.extend(
+            results
+                .iter()
+                .map(|r| BenchRecord::from_result(BINARY, &p, r)),
         );
     }
     println!();
     println!("(paper: Eraser up to 2.8x over Eraser--; ~parity on SHA256_C2V where behavioral");
     println!(" nodes are a negligible share of the work — compare shapes, not absolutes)");
+    write_records(BINARY, &records);
 }

@@ -1,43 +1,59 @@
 //! Regenerates **Table II**: benchmark information (#stimulus, #cells,
-//! #faults) and the fault-coverage parity between ERASER and the Z01X
-//! proxy (CfSim) — plus IFsim as the force-based reference.
+//! #faults) and the fault-coverage parity across the whole engine line-up
+//! (IFsim as the force-based reference, VFsim, the Z01X-proxy CfSim, and
+//! ERASER), enumerated through the
+//! [`FaultSimEngine`](eraser_core::FaultSimEngine) trait. Emits
+//! `BENCH_table2_benchmarks.json` (one record per engine/benchmark).
 
-use eraser_baselines::{run_cfsim, run_eraser, run_ifsim};
+use eraser_baselines::all_engines;
+use eraser_bench::json::{write_records, BenchRecord};
 use eraser_bench::{env_scale, prepare, print_environment};
+use eraser_core::CampaignRunner;
 use eraser_designs::Benchmark;
 use eraser_ir::analysis::design_stats;
 
+const BINARY: &str = "table2_benchmarks";
+
 fn main() {
     print_environment("Table II — benchmark information and coverage parity");
-    println!(
-        "{:<11} {:>9} {:>7} {:>7}   {:>10} {:>10} {:>10}",
-        "benchmark", "#stimulus", "#cells", "#faults", "Eraser(%)", "CfSim(%)", "IFsim(%)"
+    let engines = all_engines();
+    print!(
+        "{:<11} {:>9} {:>7} {:>7}  ",
+        "benchmark", "#stimulus", "#cells", "#faults"
     );
+    for e in &engines {
+        print!(" {:>9}", format!("{}(%)", e.name()));
+    }
+    println!();
     let scale = env_scale();
+    let mut records = Vec::new();
     for bench in Benchmark::all() {
         let p = prepare(bench, scale);
         let st = design_stats(&p.design);
-        let eraser = run_eraser(&p.design, &p.faults, &p.stimulus);
-        let cfsim = run_cfsim(&p.design, &p.faults, &p.stimulus);
-        let ifsim = run_ifsim(&p.design, &p.faults, &p.stimulus);
-        assert!(
-            eraser.coverage.same_detected_set(&cfsim.coverage)
-                && eraser.coverage.same_detected_set(&ifsim.coverage),
-            "{}: coverage parity violated",
-            bench.name()
-        );
-        println!(
-            "{:<11} {:>9} {:>7} {:>7}   {:>10.2} {:>10.2} {:>10.2}",
+        let runner = CampaignRunner::new(&p.design, &p.faults, &p.stimulus);
+        let results = runner.run_all(&engines);
+        if let Err(mismatch) = CampaignRunner::check_parity(&results) {
+            panic!("{}: {mismatch}", bench.name());
+        }
+        print!(
+            "{:<11} {:>9} {:>7} {:>7}  ",
             bench.name(),
             p.stimulus.num_steps(),
             st.cells(),
-            p.faults.len(),
-            eraser.coverage.coverage_percent(),
-            cfsim.coverage.coverage_percent(),
-            ifsim.coverage.coverage_percent(),
+            p.faults.len()
+        );
+        for r in &results {
+            print!(" {:>9.2}", r.coverage.coverage_percent());
+        }
+        println!();
+        records.extend(
+            results
+                .iter()
+                .map(|r| BenchRecord::from_result(BINARY, &p, r)),
         );
     }
     println!();
-    println!("parity: identical detected fault sets across Eraser, CfSim and IFsim on every row");
+    println!("parity: identical detected fault sets across all engines on every row");
     println!("(paper: Eraser coverage equals Z01X on all benchmarks — the same criterion)");
+    write_records(BINARY, &records);
 }

@@ -2,11 +2,14 @@
 //! executions — time share of behavioral nodes, total faulty execution
 //! opportunities, eliminations, and the explicit/implicit split — plus the
 //! §V-C headline numbers (behavioral share of runtime, redundancy share of
-//! behavioral executions).
+//! behavioral executions). Emits `BENCH_table3_redundancy.json`.
 
+use eraser_bench::json::{write_records, BenchRecord};
 use eraser_bench::{env_scale, prepare, print_environment};
-use eraser_core::{run_campaign, CampaignConfig, RedundancyMode};
+use eraser_core::{CampaignRunner, Eraser};
 use eraser_designs::Benchmark;
+
+const BINARY: &str = "table3_redundancy";
 
 fn main() {
     print_environment("Table III — proportion of redundant behavioral node executions");
@@ -24,21 +27,15 @@ fn main() {
         "benchmark", "BN time%", "#total BN", "#eliminated", "explicit%", "implicit%"
     );
     let scale = env_scale();
+    let mut records = Vec::new();
     let mut sum_expl = 0.0;
     let mut sum_impl = 0.0;
     let mut n = 0.0;
     for bench in circuits {
         let p = prepare(bench, scale);
-        let res = run_campaign(
-            &p.design,
-            &p.faults,
-            &p.stimulus,
-            &CampaignConfig {
-                mode: RedundancyMode::Full,
-                drop_detected: true,
-            },
-        );
-        let s = &res.stats;
+        let runner = CampaignRunner::new(&p.design, &p.faults, &p.stimulus);
+        let res = runner.run(&Eraser::full());
+        let s = res.stats.as_ref().expect("concurrent engine has stats");
         println!(
             "{:<11} {:>9.0} {:>12} {:>12} {:>10.1} {:>10.1}",
             bench.name(),
@@ -51,12 +48,19 @@ fn main() {
         sum_expl += s.explicit_percent();
         sum_impl += s.implicit_percent();
         n += 1.0;
+        records.push(BenchRecord::from_result(BINARY, &p, &res));
     }
     println!(
         "{:<11} {:>9} {:>12} {:>12} {:>10.1} {:>10.1}",
-        "Average", "-", "-", "-", sum_expl / n, sum_impl / n
+        "Average",
+        "-",
+        "-",
+        "-",
+        sum_expl / n,
+        sum_impl / n
     );
     println!();
     println!("(paper: explicit and implicit redundancy average ~46% / ~44% of opportunities;");
     println!(" behavioral nodes ~60% of runtime except SHA256_C2V at ~1%)");
+    write_records(BINARY, &records);
 }

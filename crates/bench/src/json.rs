@@ -1,0 +1,146 @@
+//! Machine-readable benchmark records.
+//!
+//! Every report binary emits, next to its human-readable table, one JSON
+//! file `BENCH_<binary>.json` holding an array of records — one record per
+//! engine/benchmark pair — so the performance trajectory can be tracked
+//! across commits by tooling. The writer is dependency-free (hand-rolled
+//! JSON; all keys and the schema tag are fixed strings, values are numbers
+//! and escaped strings).
+//!
+//! Set `ERASER_BENCH_JSON_DIR` to redirect the output directory (default:
+//! the current working directory). Set it to `-` to suppress file output.
+
+use crate::Prepared;
+use eraser_core::EngineResult;
+use eraser_ir::analysis::design_stats;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Schema tag stamped into every record.
+pub const SCHEMA: &str = "eraser-bench-v1";
+
+/// One engine/benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Report binary that produced the record (e.g. `fig6_performance`).
+    pub binary: String,
+    /// Benchmark display name (Table II row).
+    pub benchmark: String,
+    /// Engine display name (`IFsim`, `VFsim`, `CfSim`, `Eraser`, ...).
+    pub engine: String,
+    /// Cell-count proxy of the design (RTL nodes + VDG nodes).
+    pub cells: usize,
+    /// Faults in the campaign universe.
+    pub faults: usize,
+    /// Stimulus length in settle steps.
+    pub stimulus_steps: usize,
+    /// Faults detected.
+    pub detected: usize,
+    /// Fault coverage in percent.
+    pub coverage_percent: f64,
+    /// Campaign wall time in seconds.
+    pub wall_seconds: f64,
+}
+
+impl BenchRecord {
+    /// Builds a record from a prepared benchmark and an engine result.
+    pub fn from_result(binary: &str, p: &Prepared, r: &EngineResult) -> Self {
+        let st = design_stats(&p.design);
+        BenchRecord {
+            binary: binary.to_string(),
+            benchmark: p.bench.name().to_string(),
+            engine: r.name.clone(),
+            cells: st.cells(),
+            faults: p.faults.len(),
+            stimulus_steps: p.stimulus.num_steps(),
+            detected: r.coverage.detected(),
+            coverage_percent: r.coverage.coverage_percent(),
+            wall_seconds: r.wall.as_secs_f64(),
+        }
+    }
+
+    /// Serializes the record as a single JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema\":\"{}\",\"binary\":\"{}\",\"benchmark\":\"{}\",",
+                "\"engine\":\"{}\",\"cells\":{},\"faults\":{},",
+                "\"stimulus_steps\":{},\"detected\":{},",
+                "\"coverage_percent\":{:.4},\"wall_seconds\":{:.6}}}"
+            ),
+            SCHEMA,
+            escape(&self.binary),
+            escape(&self.benchmark),
+            escape(&self.engine),
+            self.cells,
+            self.faults,
+            self.stimulus_steps,
+            self.detected,
+            self.coverage_percent,
+            self.wall_seconds,
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes `records` to `BENCH_<binary>.json` as a JSON array and reports
+/// the path on stdout. Honors `ERASER_BENCH_JSON_DIR` (`-` disables).
+pub fn write_records(binary: &str, records: &[BenchRecord]) {
+    let dir = std::env::var("ERASER_BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    if dir == "-" {
+        return;
+    }
+    let path = PathBuf::from(dir).join(format!("BENCH_{binary}.json"));
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| format!("  {}", r.to_json()))
+        .collect();
+    let text = format!("[\n{}\n]\n", body.join(",\n"));
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(text.as_bytes())) {
+        Ok(()) => println!("wrote {} records to {}", records.len(), path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let r = BenchRecord {
+            binary: "fig6_performance".into(),
+            benchmark: "ALU \"wide\"".into(),
+            engine: "Eraser".into(),
+            cells: 42,
+            faults: 100,
+            stimulus_steps: 600,
+            detected: 97,
+            coverage_percent: 97.0,
+            wall_seconds: 1.25,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"schema\":\"eraser-bench-v1\""));
+        assert!(j.contains("\\\"wide\\\""));
+        assert!(j.contains("\"wall_seconds\":1.250000"));
+        // Balanced quotes: an even count of unescaped quotes.
+        let unescaped = j.replace("\\\"", "");
+        assert_eq!(unescaped.matches('"').count() % 2, 0);
+    }
+}

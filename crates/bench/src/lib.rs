@@ -15,6 +15,8 @@
 //! environment variable `ERASER_BENCH_SCALE` (default `1.0`) scales every
 //! stimulus length, e.g. `ERASER_BENCH_SCALE=0.25` for a quick pass.
 
+pub mod json;
+
 use eraser_designs::Benchmark;
 use eraser_fault::{generate_faults, FaultList};
 use eraser_ir::analysis::design_stats;
@@ -63,12 +65,41 @@ pub fn fmt_secs(d: Duration) -> String {
     format!("{:.3}s", d.as_secs_f64())
 }
 
+/// Dependency-free micro-benchmark support for the `harness = false` bench
+/// targets: runs a closure repeatedly and reports min / mean wall time.
+/// `ERASER_BENCH_ITERS` overrides the sample count (default 5).
+pub fn micro_bench(label: &str, mut f: impl FnMut()) -> Duration {
+    let iters: u32 = std::env::var("ERASER_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|n: &u32| *n > 0)
+        .unwrap_or(5);
+    let mut min = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let t0 = std::time::Instant::now();
+        f();
+        let dt = t0.elapsed();
+        total += dt;
+        min = min.min(dt);
+    }
+    println!(
+        "{label:<32} min {:>10}  mean {:>10}  ({iters} runs)",
+        fmt_secs(min),
+        fmt_secs(total / iters)
+    );
+    min
+}
+
 /// Prints the evaluation-environment header (the analog of the paper's
 /// Table I) common to every report.
 pub fn print_environment(title: &str) {
     println!("# {title}");
     println!();
-    println!("Environment: {} / Rust (release), single-threaded;", std::env::consts::OS);
+    println!(
+        "Environment: {} / Rust (release), single-threaded;",
+        std::env::consts::OS
+    );
     println!(
         "scale = {} (set ERASER_BENCH_SCALE to adjust stimulus length).",
         env_scale()
@@ -96,7 +127,7 @@ mod tests {
     fn prepare_produces_consistent_bundle() {
         let p = prepare(Benchmark::Apb, 0.1);
         assert_eq!(p.bench, Benchmark::Apb);
-        assert!(p.faults.len() > 0);
+        assert!(!p.faults.is_empty());
         assert!(p.stimulus.num_steps() >= 16);
         assert!(design_summary(&p).contains("APB"));
     }

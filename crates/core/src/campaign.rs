@@ -97,7 +97,12 @@ mod tests {
         let stim = counter_stim(&d, 20);
         let res = run_campaign(&d, &faults, &stim, &CampaignConfig::default());
         // Every stuck-at on a free-running counter's bits is observable.
-        assert_eq!(res.coverage.detected(), 8, "undetected: {:?}", res.coverage.undetected());
+        assert_eq!(
+            res.coverage.detected(),
+            8,
+            "undetected: {:?}",
+            res.coverage.undetected()
+        );
     }
 
     #[test]
@@ -131,7 +136,9 @@ mod tests {
         sb.add_cycle(clk, &[(rst, LogicVec::from_u64(1, 1))]);
         let mut x = 7u64;
         for _ in 0..40 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             sb.add_cycle(
                 clk,
                 &[
@@ -142,7 +149,11 @@ mod tests {
         }
         let stim = sb.finish();
         let mut reports = Vec::new();
-        for mode in [RedundancyMode::None, RedundancyMode::Explicit, RedundancyMode::Full] {
+        for mode in [
+            RedundancyMode::None,
+            RedundancyMode::Explicit,
+            RedundancyMode::Full,
+        ] {
             let res = run_campaign(
                 &d,
                 &faults,
@@ -214,7 +225,10 @@ mod tests {
         for _ in 0..10 {
             sb.add_cycle(
                 clk,
-                &[(rst, LogicVec::from_u64(1, 0)), (s, LogicVec::from_u64(2, 0))],
+                &[
+                    (rst, LogicVec::from_u64(1, 0)),
+                    (s, LogicVec::from_u64(2, 0)),
+                ],
             );
         }
         let stim = sb.finish();

@@ -5,9 +5,7 @@ use crate::monitor::RedundancyMonitor;
 use crate::stats::RedundancyStats;
 use crate::RedundancyMode;
 use eraser_fault::{detectable_mismatch, CoverageReport, Detection, FaultId, FaultList};
-use eraser_ir::{
-    BehavioralId, Design, RtlNodeId, Sensitivity, SignalId, ValueSource,
-};
+use eraser_ir::{BehavioralId, Design, RtlNodeId, Sensitivity, SignalId, ValueSource};
 use eraser_logic::LogicVec;
 use eraser_sim::{
     eval_rtl_op, execute_monitored, ExecOutcome, NoopMonitor, SlotWrite, Stimulus, ValueStore,
@@ -370,7 +368,11 @@ impl<'d> EraserEngine<'d> {
         // Faults sited here but not in the update batch: re-apply the force
         // against the new good value (their networks received the same
         // write).
-        for fi in 0..(if good_write_applies_to_all { self.site_faults[si].len() } else { 0 }) {
+        for fi in 0..(if good_write_applies_to_all {
+            self.site_faults[si].len()
+        } else {
+            0
+        }) {
             let f = self.site_faults[si][fi];
             if !self.alive[f.index()] || processed.contains(&f) {
                 continue;
@@ -541,12 +543,9 @@ impl<'d> EraserEngine<'d> {
             // Faults with differences (past or present) on any term signal
             // may diverge from the good activation.
             let cands = union_ids(
-                terms.iter().flat_map(|(_, s)| {
-                    [
-                        &self.edge_prev_diffs[s.index()],
-                        &self.diffs[s.index()],
-                    ]
-                }),
+                terms
+                    .iter()
+                    .flat_map(|(_, s)| [&self.edge_prev_diffs[s.index()], &self.diffs[s.index()]]),
                 &self.alive,
             );
             let mut act = Activation {
@@ -670,10 +669,7 @@ impl<'d> EraserEngine<'d> {
         if has_nba {
             self.pending_nba.push(PendingNba {
                 good_writes: good_out.nba,
-                fault_writes: fault_outs
-                    .into_iter()
-                    .map(|(f, o)| (f, o.nba))
-                    .collect(),
+                fault_writes: fault_outs.into_iter().map(|(f, o)| (f, o.nba)).collect(),
                 suppressed: act.suppressed.clone(),
             });
         }
@@ -682,7 +678,11 @@ impl<'d> EraserEngine<'d> {
 
     /// Faults with a visible difference on any signal the node reads — the
     /// candidates that survive explicit redundancy elimination.
-    fn input_candidates(&self, node: &eraser_ir::BehavioralNode, suppressed: &[FaultId]) -> Vec<FaultId> {
+    fn input_candidates(
+        &self,
+        node: &eraser_ir::BehavioralNode,
+        suppressed: &[FaultId],
+    ) -> Vec<FaultId> {
         let mut c = union_ids(
             node.reads.iter().map(|s| &self.diffs[s.index()]),
             &self.alive,
@@ -778,8 +778,7 @@ impl<'d> EraserEngine<'d> {
         let pending = std::mem::take(&mut self.pending_nba);
         let mut any = false;
         for block in pending {
-            let mut targets: Vec<SignalId> =
-                block.good_writes.iter().map(|w| w.target).collect();
+            let mut targets: Vec<SignalId> = block.good_writes.iter().map(|w| w.target).collect();
             for (_, ws) in &block.fault_writes {
                 targets.extend(ws.iter().map(|w| w.target));
             }
@@ -855,6 +854,8 @@ impl<'d> EraserEngine<'d> {
         }
         // Any scheduling already happened inside commit_signal; report
         // whether another delta is needed.
-        any || !self.rtl_queue.is_empty() || !self.beh_queue.is_empty() || !self.watch_changed.is_empty()
+        any || !self.rtl_queue.is_empty()
+            || !self.beh_queue.is_empty()
+            || !self.watch_changed.is_empty()
     }
 }

@@ -70,12 +70,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod api;
 mod campaign;
 mod diff;
 mod engine;
 mod monitor;
 mod stats;
 
+pub use api::{CampaignRunner, EngineResult, Eraser, FaultSimEngine, ParityMismatch};
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
 pub use diff::DiffList;
 pub use engine::{EraserEngine, FaultView};

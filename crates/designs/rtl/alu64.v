@@ -1,0 +1,48 @@
+// 64-bit ALU with a behavioral case decode — the wide-datapath benchmark
+// (paper Table II "ALU"). One register stage: after a rising edge, the
+// outputs hold f(a, b, op) of the inputs sampled at that edge. The opcode
+// map matches `eraser_designs::golden::alu64` bit for bit.
+module alu64(
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [63:0] a,
+    input wire [63:0] b,
+    input wire [3:0] op,
+    output reg [63:0] result,
+    output reg zero,
+    output reg carry
+);
+    reg [63:0] tmp;
+    reg c;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            result <= 64'h0;
+            zero <= 1'b0;
+            carry <= 1'b0;
+        end
+        else if (start) begin
+            c = 1'b0;
+            case (op)
+                4'd0: begin tmp = a + b; c = tmp < a; end
+                4'd1: begin tmp = a - b; c = a < b; end
+                4'd2: tmp = a & b;
+                4'd3: tmp = a | b;
+                4'd4: tmp = a ^ b;
+                4'd5: tmp = ~(a | b);
+                4'd6: tmp = a << b[5:0];
+                4'd7: tmp = a >> b[5:0];
+                4'd8: tmp = {63'h0, a < b};
+                4'd9: tmp = a * b;
+                4'd10: tmp = (a << 32) | {32'h0, b[31:0]};
+                4'd11: tmp = a + {b[31:0], 32'h0};
+                4'd12: tmp = (a >> 32) ^ {32'h0, b[31:0]};
+                default: tmp = a;
+            endcase
+            result <= tmp;
+            zero <= tmp == 64'h0;
+            carry <= c;
+        end
+    end
+endmodule

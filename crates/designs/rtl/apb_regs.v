@@ -1,0 +1,78 @@
+// APB slave with an eight-word register file — the protocol-FSM benchmark
+// (paper Table II "APB"). Implements the AMBA APB3 SETUP/ACCESS handshake
+// with `pready` asserted in the ACCESS phase and `pslverr` for addresses
+// outside the register file. Writes land at the end of ACCESS; reads
+// return the addressed register (zero for out-of-range reads).
+module apb_regs(
+    input wire pclk,
+    input wire presetn,
+    input wire psel,
+    input wire penable,
+    input wire pwrite,
+    input wire [4:0] paddr,
+    input wire [31:0] pwdata,
+    output reg [31:0] prdata,
+    output reg pready,
+    output reg pslverr
+);
+    reg [31:0] r0, r1, r2, r3, r4, r5, r6, r7;
+    reg [1:0] state; // 0 idle, 1 setup seen, 2 access done
+
+    wire addr_ok = paddr < 5'd8;
+
+    always @(posedge pclk) begin
+        if (!presetn) begin
+            r0 <= 32'h0;
+            r1 <= 32'h0;
+            r2 <= 32'h0;
+            r3 <= 32'h0;
+            r4 <= 32'h0;
+            r5 <= 32'h0;
+            r6 <= 32'h0;
+            r7 <= 32'h0;
+            prdata <= 32'h0;
+            pready <= 1'b0;
+            pslverr <= 1'b0;
+            state <= 2'd0;
+        end
+        else begin
+            // Protocol FSM: track SETUP -> ACCESS; pready covers ACCESS.
+            if (psel & ~penable) state <= 2'd1;
+            else if (psel & penable) state <= 2'd2;
+            else state <= 2'd0;
+            pready <= psel & ~penable;
+            if (psel & penable) begin
+                pslverr <= ~addr_ok;
+                if (pwrite) begin
+                    if (addr_ok) begin
+                        case (paddr[2:0])
+                            3'd0: r0 <= pwdata;
+                            3'd1: r1 <= pwdata;
+                            3'd2: r2 <= pwdata;
+                            3'd3: r3 <= pwdata;
+                            3'd4: r4 <= pwdata;
+                            3'd5: r5 <= pwdata;
+                            3'd6: r6 <= pwdata;
+                            default: r7 <= pwdata;
+                        endcase
+                    end
+                end
+                else begin
+                    if (addr_ok) begin
+                        case (paddr[2:0])
+                            3'd0: prdata <= r0;
+                            3'd1: prdata <= r1;
+                            3'd2: prdata <= r2;
+                            3'd3: prdata <= r3;
+                            3'd4: prdata <= r4;
+                            3'd5: prdata <= r5;
+                            3'd6: prdata <= r6;
+                            default: prdata <= r7;
+                        endcase
+                    end
+                    else prdata <= 32'h0;
+                end
+            end
+        end
+    end
+endmodule

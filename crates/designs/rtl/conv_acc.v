@@ -1,0 +1,67 @@
+// 3x3 convolution accelerator — the hierarchical MAC-array benchmark
+// (paper Table II "Conv_acc"). Three `mac3` lanes each hold a row of
+// weights and register the dot product of their window row; the top level
+// saturates the lane sum to 16 bits. Latency: window -> lane accumulators
+// (1 cycle) -> `pixel_out` (1 more); the `valid` pipeline is one stage
+// deeper, so the first window of a burst fills the pipe.
+module mac3(
+    input wire clk,
+    input wire rst,
+    input wire load_w,
+    input wire [23:0] win,
+    input wire [23:0] wt,
+    output reg [17:0] psum
+);
+    reg [23:0] wreg;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            wreg <= 24'h0;
+            psum <= 18'h0;
+        end
+        else begin
+            if (load_w) wreg <= wt;
+            psum <= {2'b00, {8'h00, win[7:0]} * {8'h00, wreg[7:0]}}
+                  + {2'b00, {8'h00, win[15:8]} * {8'h00, wreg[15:8]}}
+                  + {2'b00, {8'h00, win[23:16]} * {8'h00, wreg[23:16]}};
+        end
+    end
+endmodule
+
+module conv_acc(
+    input wire clk,
+    input wire rst,
+    input wire load_w,
+    input wire valid_in,
+    input wire [71:0] window,
+    input wire [71:0] weights,
+    output reg [15:0] pixel_out,
+    output reg valid_out
+);
+    wire [17:0] p0, p1, p2;
+    reg v0, v1;
+
+    mac3 lane0 (.clk(clk), .rst(rst), .load_w(load_w),
+                .win(window[23:0]), .wt(weights[23:0]), .psum(p0));
+    mac3 lane1 (.clk(clk), .rst(rst), .load_w(load_w),
+                .win(window[47:24]), .wt(weights[47:24]), .psum(p1));
+    mac3 lane2 (.clk(clk), .rst(rst), .load_w(load_w),
+                .win(window[71:48]), .wt(weights[71:48]), .psum(p2));
+
+    wire [19:0] total = {2'b00, p0} + {2'b00, p1} + {2'b00, p2};
+
+    always @(posedge clk) begin
+        if (rst) begin
+            pixel_out <= 16'h0;
+            valid_out <= 1'b0;
+            v0 <= 1'b0;
+            v1 <= 1'b0;
+        end
+        else begin
+            pixel_out <= total > 20'h0ffff ? 16'hffff : total[15:0];
+            v0 <= valid_in & ~load_w;
+            v1 <= v0;
+            valid_out <= v1;
+        end
+    end
+endmodule

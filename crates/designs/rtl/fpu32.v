@@ -1,0 +1,107 @@
+// Single-precision add/multiply unit — the branch-heavy datapath benchmark
+// (paper Table II "FPU"). Truncating rounding, flush-to-zero on
+// zero-exponent operands and on underflow, saturate-to-infinity on
+// overflow; no NaN handling. This simplification contract is mirrored
+// exactly by `eraser_designs::golden::fpu32`. One register stage: after a
+// rising edge, `z` holds the result for the inputs sampled at that edge.
+module fpu32(
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire op_mul,
+    input wire [31:0] x,
+    input wire [31:0] y,
+    output reg [31:0] z
+);
+    reg sx, sy, sl;
+    reg [7:0] ex, ey, el, es, d;
+    reg [22:0] mx, my, mant;
+    reg [23:0] ml, ms, shifted, diff, norm;
+    reg [47:0] prod;
+    reg [9:0] exp10;
+    reg [24:0] sum;
+    reg [4:0] lead;
+    reg [31:0] res;
+    integer i;
+
+    always @(posedge clk) begin
+        if (rst) z <= 32'h0;
+        else if (start) begin
+            sx = x[31];
+            sy = y[31];
+            ex = x[30:23];
+            ey = y[30:23];
+            mx = x[22:0];
+            my = y[22:0];
+            if (op_mul) begin
+                // Multiply: full 48-bit product of the hidden-bit mantissas,
+                // then a single normalization step and truncation.
+                if (ex == 8'h0 || ey == 8'h0) res = 32'h0;
+                else begin
+                    prod = {24'h0, 1'b1, mx} * {24'h0, 1'b1, my};
+                    if (prod[47]) begin
+                        exp10 = {2'b00, ex} + {2'b00, ey} + 10'd1;
+                        mant = prod[46:24];
+                    end
+                    else begin
+                        exp10 = {2'b00, ex} + {2'b00, ey};
+                        mant = prod[45:23];
+                    end
+                    if (exp10 < 10'd128) res = 32'h0;
+                    else if (exp10 >= 10'd382) res = {sx ^ sy, 8'hff, 23'h0};
+                    else res = {sx ^ sy, exp10[7:0] - 8'd127, mant};
+                end
+            end
+            else begin
+                // Add: align the smaller magnitude, add or subtract by sign,
+                // renormalize with a leading-one scan.
+                if (ex == 8'h0) res = ey == 8'h0 ? 32'h0 : y;
+                else if (ey == 8'h0) res = x;
+                else begin
+                    if ({ex, mx} < {ey, my}) begin
+                        sl = sy;
+                        el = ey;
+                        ml = {1'b1, my};
+                        es = ex;
+                        ms = {1'b1, mx};
+                    end
+                    else begin
+                        sl = sx;
+                        el = ex;
+                        ml = {1'b1, mx};
+                        es = ey;
+                        ms = {1'b1, my};
+                    end
+                    d = el - es;
+                    if (d > 8'd24) res = {sl, el, ml[22:0]};
+                    else begin
+                        shifted = ms >> d;
+                        if (sx == sy) begin
+                            sum = {1'b0, ml} + {1'b0, shifted};
+                            if (sum[24]) begin
+                                if (el == 8'hfe) res = {sl, 8'hff, 23'h0};
+                                else res = {sl, el + 8'h1, sum[23:1]};
+                            end
+                            else res = {sl, el, sum[22:0]};
+                        end
+                        else begin
+                            diff = ml - shifted;
+                            if (diff == 24'h0) res = 32'h0;
+                            else begin
+                                lead = 5'd0;
+                                for (i = 0; i < 24; i = i + 1)
+                                    if (diff[i]) lead = i[4:0];
+                                if ({2'b00, el} + {5'h0, lead} < 10'd24) res = 32'h0;
+                                else begin
+                                    norm = diff << (5'd23 - lead);
+                                    res = {sl, el - (8'd23 - {3'b000, lead}), norm[22:0]};
+                                end
+                            end
+                        end
+                    end
+                end
+            end
+            z <= res;
+        end
+    end
+endmodule

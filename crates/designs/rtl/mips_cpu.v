@@ -1,0 +1,85 @@
+// Single-cycle MIPS-flavored CPU with an assign-heavy ALU (paper Table II
+// "MIPS CPU"): every ALU function is a dedicated continuous assign (RTL
+// nodes) selected by a flat result mux, with the register file and pc in a
+// single always block. Free-running on clock/reset; pc, the s/t registers
+// and the hi/lo accumulators are the observation surface.
+module mips_cpu(
+    input wire clk,
+    input wire rst,
+    output reg [7:0] pc,
+    output wire [15:0] alu_y,
+    output reg [15:0] hi,
+    output reg [15:0] lo
+);
+    reg [15:0] instr;
+    reg [15:0] s, t;
+
+    // Program ROM: {wb[1:0], fn[2:0], rt, 2'b00, imm[7:0]}.
+    // wb: 0 -> s, 1 -> t, 2 -> hi, 3 -> lo.
+    always @(*) begin
+        case (pc[3:0])
+            4'd0: instr = {2'd0, 3'd7, 1'b0, 2'b00, 8'h2b}; // s = s + 0x2b
+            4'd1: instr = {2'd1, 3'd7, 1'b0, 2'b00, 8'h91}; // t = s + 0x91
+            4'd2: instr = {2'd2, 3'd0, 1'b0, 2'b00, 8'h00}; // hi = s + t
+            4'd3: instr = {2'd0, 3'd4, 1'b0, 2'b00, 8'h00}; // s = s ^ t
+            4'd4: instr = {2'd3, 3'd6, 1'b0, 2'b00, 8'h00}; // lo = s << t[3:0]
+            4'd5: instr = {2'd1, 3'd1, 1'b0, 2'b00, 8'h00}; // t = s - t
+            4'd6: instr = {2'd0, 3'd2, 1'b0, 2'b00, 8'h00}; // s = s & t
+            4'd7: instr = {2'd2, 3'd3, 1'b0, 2'b00, 8'h00}; // hi = s | t
+            4'd8: instr = {2'd1, 3'd7, 1'b1, 2'b00, 8'h63}; // t = t + 0x63
+            4'd9: instr = {2'd0, 3'd5, 1'b0, 2'b00, 8'h00}; // s = s < t
+            4'd10: instr = {2'd3, 3'd0, 1'b0, 2'b00, 8'h00}; // lo = s + t
+            4'd11: instr = {2'd0, 3'd7, 1'b1, 2'b00, 8'hd9}; // s = t + 0xd9
+            4'd12: instr = {2'd1, 3'd4, 1'b0, 2'b00, 8'h00}; // t = s ^ t
+            4'd13: instr = {2'd2, 3'd1, 1'b0, 2'b00, 8'h00}; // hi = s - t
+            4'd14: instr = {2'd0, 3'd3, 1'b0, 2'b00, 8'h00}; // s = s | t
+            default: instr = {2'd3, 3'd2, 1'b0, 2'b00, 8'h00}; // lo = s & t
+        endcase
+    end
+
+    wire [1:0] wb = instr[15:14];
+    wire [2:0] fn = instr[13:11];
+    wire rt = instr[10];
+    wire [7:0] imm = instr[7:0];
+
+    // The assign-heavy ALU: one RTL expression tree per function.
+    wire [15:0] base = rt ? t : s;
+    wire [15:0] immx = {8'h00, imm};
+    wire [15:0] add_r = s + t;
+    wire [15:0] sub_r = s - t;
+    wire [15:0] and_r = s & t;
+    wire [15:0] or_r = s | t;
+    wire [15:0] xor_r = s ^ t;
+    wire [15:0] slt_r = {15'h0, s < t};
+    wire [15:0] sll_r = s << t[3:0];
+    wire [15:0] addi_r = base + immx;
+
+    assign alu_y =
+        fn == 3'd0 ? add_r :
+        fn == 3'd1 ? sub_r :
+        fn == 3'd2 ? and_r :
+        fn == 3'd3 ? or_r :
+        fn == 3'd4 ? xor_r :
+        fn == 3'd5 ? slt_r :
+        fn == 3'd6 ? sll_r :
+        addi_r;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            pc <= 8'h0;
+            s <= 16'h0;
+            t <= 16'h0;
+            hi <= 16'h0;
+            lo <= 16'h0;
+        end
+        else begin
+            pc <= pc[3:0] == 4'd15 ? 8'h0 : pc + 8'h1;
+            case (wb)
+                2'd0: s <= alu_y;
+                2'd1: t <= alu_y;
+                2'd2: hi <= alu_y;
+                default: lo <= alu_y;
+            endcase
+        end
+    end
+endmodule

@@ -1,0 +1,77 @@
+// Two-phase state-machine CPU with a casez instruction decoder, the
+// decode style of PicoRV32 (paper Table II "PicoRV32"): FETCH latches the
+// instruction from the internal ROM, EXEC dispatches through a casez with
+// wildcard opcode patterns. Accumulator + stack-pointer architecture;
+// free-running on clock/reset with pc, acc, sp and the trap flag as the
+// observation surface.
+module picorv32(
+    input wire clk,
+    input wire rst,
+    output reg [7:0] pc,
+    output reg [15:0] acc,
+    output reg [15:0] sp,
+    output reg trap
+);
+    reg [1:0] state; // 0 fetch, 1 execute
+    reg [15:0] instr;
+    reg [15:0] rom;
+
+    always @(*) begin
+        case (pc[4:0])
+            5'd0: rom = 16'h0011;  // addi 0x11
+            5'd1: rom = 16'h1234;  // xorh 0x34
+            5'd2: rom = 16'h4102;  // spadd 2
+            5'd3: rom = 16'h2100;  // rol in acc[0]=1
+            5'd4: rom = 16'h00e3;  // addi 0xe3
+            5'd5: rom = 16'hc000;  // and sp
+            5'd6: rom = 16'h2000;  // rol in 0
+            5'd7: rom = 16'h1477;  // xorh 0x77
+            5'd8: rom = 16'h41fe;  // spadd -2
+            5'd9: rom = 16'h800c;  // blt: branch to 12 if acc negative
+            5'd10: rom = 16'h0019; // addi 0x19
+            5'd11: rom = 16'h2100; // rol in 1
+            5'd12: rom = 16'h4103; // spadd 3
+            5'd13: rom = 16'hc000; // and sp
+            5'd14: rom = 16'h1455; // xorh 0x55
+            5'd15: rom = 16'h0007; // addi 7
+            5'd16: rom = 16'h2000; // rol in 0
+            5'd17: rom = 16'h8003; // blt: branch to 3 if acc negative
+            5'd18: rom = 16'h00c1; // addi 0xc1
+            default: rom = 16'he000; // trap-toggle, jump to 0
+        endcase
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            state <= 2'd0;
+            pc <= 8'h0;
+            acc <= 16'h0;
+            sp <= 16'h0100;
+            trap <= 1'b0;
+            instr <= 16'h0;
+        end
+        else if (state == 2'd0) begin
+            instr <= rom;
+            state <= 2'd1;
+        end
+        else begin
+            state <= 2'd0;
+            pc <= pc[4:0] == 5'd19 ? 8'h0 : pc + 8'h1;
+            casez (instr[15:8])
+                8'b0000_????: acc <= acc + {8'h00, instr[7:0]};
+                8'b0001_????: acc <= acc ^ {instr[7:0], 8'h00};
+                8'b001?_????: acc <= {acc[14:0], instr[8]};
+                8'b0100_????: sp <= sp + {{8{instr[7]}}, instr[7:0]};
+                8'b10??_????: begin
+                    if (acc[15]) pc <= {3'h0, instr[4:0]};
+                end
+                8'b110?_????: acc <= acc & sp;
+                8'b111?_????: begin
+                    trap <= ~trap;
+                    pc <= 8'h0;
+                end
+                default: ;
+            endcase
+        end
+    end
+endmodule

@@ -1,0 +1,86 @@
+// Single-cycle three-register RISC machine in the spirit of riscv-mini
+// (paper Table II "RISCV Mini"): every cycle fetches from the internal
+// 16-instruction ROM, reads a register, computes in the comb ALU and
+// writes back — pc, the register file and the ALU result are the
+// observation surface. A conditional backward branch keeps the program
+// looping through distinct phases.
+module riscv_mini(
+    input wire clk,
+    input wire rst,
+    output reg [7:0] pc,
+    output wire [15:0] alu_out,
+    output reg [15:0] x1,
+    output reg [15:0] x2,
+    output reg [15:0] x3
+);
+    reg [15:0] instr;
+    reg [15:0] va;
+
+    // Program ROM: {op[3:0], rd[1:0], ra[1:0], imm[7:0]}.
+    always @(*) begin
+        case (pc[3:0])
+            4'd0: instr = {4'd0, 2'd1, 2'd1, 8'h07};  // addi x1, x1, 7
+            4'd1: instr = {4'd1, 2'd2, 2'd1, 8'h3c};  // xori x2, x1, 0x3c
+            4'd2: instr = {4'd2, 2'd3, 2'd2, 8'h00};  // sll1 x3, x2
+            4'd3: instr = {4'd0, 2'd3, 2'd3, 8'hfe};  // addi x3, x3, 0xfe
+            4'd4: instr = {4'd3, 2'd1, 2'd2, 8'h00};  // and  x1, x2 (acc style)
+            4'd5: instr = {4'd4, 2'd2, 2'd3, 8'h00};  // or   x2, x3
+            4'd6: instr = {4'd5, 2'd1, 2'd1, 8'h55};  // xorr x1, x1, 0x55aa mix
+            4'd7: instr = {4'd6, 2'd3, 2'd1, 8'h00};  // slt  x3, x1 < x2
+            4'd8: instr = {4'd0, 2'd2, 2'd2, 8'h11};  // addi x2, x2, 0x11
+            4'd9: instr = {4'd7, 2'd0, 2'd3, 8'h00};  // bnez x3, +0 (fallthrough pc 0?) no: target imm
+            4'd10: instr = {4'd2, 2'd1, 2'd1, 8'h00}; // sll1 x1, x1
+            4'd11: instr = {4'd1, 2'd3, 2'd2, 8'hc7}; // xori x3, x2, 0xc7
+            4'd12: instr = {4'd0, 2'd1, 2'd3, 8'h02}; // addi x1, x3, 2
+            4'd13: instr = {4'd3, 2'd2, 2'd1, 8'h00}; // and  x2, x1
+            4'd14: instr = {4'd7, 2'd0, 2'd1, 8'h03}; // bnez x1 -> pc 3
+            default: instr = {4'd0, 2'd1, 2'd0, 8'h01}; // addi x1, x0, 1
+        endcase
+    end
+
+    wire [3:0] op = instr[15:12];
+    wire [1:0] rd = instr[11:10];
+    wire [1:0] ra = instr[9:8];
+    wire [7:0] imm = instr[7:0];
+
+    // Register read mux (x0 is hardwired zero).
+    always @(*) begin
+        case (ra)
+            2'd0: va = 16'h0;
+            2'd1: va = x1;
+            2'd2: va = x2;
+            default: va = x3;
+        endcase
+    end
+
+    assign alu_out =
+        op == 4'd0 ? va + {8'h00, imm} :
+        op == 4'd1 ? va ^ {8'h00, imm} :
+        op == 4'd2 ? {va[14:0], 1'b0} :
+        op == 4'd3 ? va & x2 :
+        op == 4'd4 ? va | x3 :
+        op == 4'd5 ? va ^ {imm, imm} :
+        op == 4'd6 ? {15'h0, va < x2} :
+        va;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            pc <= 8'h0;
+            x1 <= 16'h0;
+            x2 <= 16'h0;
+            x3 <= 16'h0;
+        end
+        else begin
+            if (op == 4'd7 && va != 16'h0) pc <= {4'h0, imm[3:0]};
+            else pc <= pc[3:0] == 4'd15 ? 8'h0 : pc + 8'h1;
+            if (op != 4'd7) begin
+                case (rd)
+                    2'd1: x1 <= alu_out;
+                    2'd2: x2 <= alu_out;
+                    2'd3: x3 <= alu_out;
+                    default: ;
+                endcase
+            end
+        end
+    end
+endmodule

@@ -1,0 +1,145 @@
+// SHA-256 single-block compression core, generator-flattened style — the
+// same function as `sha256_hv` but with all round combinational logic
+// flattened into continuous assigns (RTL nodes), the way a Chisel/C2V-style
+// generator emits it (paper Table II "SHA256_C2V"). The behavioral node is
+// reduced to register updates, so behavioral work is a negligible share —
+// the ablation contrast circuit of Fig. 7. Interface and bit-exact
+// behavior are identical to `sha256_hv`.
+module sha256_c2v(
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [511:0] block_in,
+    output reg [255:0] digest,
+    output reg done
+);
+    reg [1:0] state; // 0 idle, 1 rounds, 2 finalize
+    reg [6:0] round;
+    reg [31:0] a, b, c, d, e, f, g, h;
+    reg [31:0] w0, w1, w2, w3, w4, w5, w6, w7;
+    reg [31:0] w8, w9, w10, w11, w12, w13, w14, w15;
+
+    wire [5:0] r = round[5:0];
+    wire [31:0] kt =
+        r == 6'd0 ? 32'h428a2f98 : r == 6'd1 ? 32'h71374491 :
+        r == 6'd2 ? 32'hb5c0fbcf : r == 6'd3 ? 32'he9b5dba5 :
+        r == 6'd4 ? 32'h3956c25b : r == 6'd5 ? 32'h59f111f1 :
+        r == 6'd6 ? 32'h923f82a4 : r == 6'd7 ? 32'hab1c5ed5 :
+        r == 6'd8 ? 32'hd807aa98 : r == 6'd9 ? 32'h12835b01 :
+        r == 6'd10 ? 32'h243185be : r == 6'd11 ? 32'h550c7dc3 :
+        r == 6'd12 ? 32'h72be5d74 : r == 6'd13 ? 32'h80deb1fe :
+        r == 6'd14 ? 32'h9bdc06a7 : r == 6'd15 ? 32'hc19bf174 :
+        r == 6'd16 ? 32'he49b69c1 : r == 6'd17 ? 32'hefbe4786 :
+        r == 6'd18 ? 32'h0fc19dc6 : r == 6'd19 ? 32'h240ca1cc :
+        r == 6'd20 ? 32'h2de92c6f : r == 6'd21 ? 32'h4a7484aa :
+        r == 6'd22 ? 32'h5cb0a9dc : r == 6'd23 ? 32'h76f988da :
+        r == 6'd24 ? 32'h983e5152 : r == 6'd25 ? 32'ha831c66d :
+        r == 6'd26 ? 32'hb00327c8 : r == 6'd27 ? 32'hbf597fc7 :
+        r == 6'd28 ? 32'hc6e00bf3 : r == 6'd29 ? 32'hd5a79147 :
+        r == 6'd30 ? 32'h06ca6351 : r == 6'd31 ? 32'h14292967 :
+        r == 6'd32 ? 32'h27b70a85 : r == 6'd33 ? 32'h2e1b2138 :
+        r == 6'd34 ? 32'h4d2c6dfc : r == 6'd35 ? 32'h53380d13 :
+        r == 6'd36 ? 32'h650a7354 : r == 6'd37 ? 32'h766a0abb :
+        r == 6'd38 ? 32'h81c2c92e : r == 6'd39 ? 32'h92722c85 :
+        r == 6'd40 ? 32'ha2bfe8a1 : r == 6'd41 ? 32'ha81a664b :
+        r == 6'd42 ? 32'hc24b8b70 : r == 6'd43 ? 32'hc76c51a3 :
+        r == 6'd44 ? 32'hd192e819 : r == 6'd45 ? 32'hd6990624 :
+        r == 6'd46 ? 32'hf40e3585 : r == 6'd47 ? 32'h106aa070 :
+        r == 6'd48 ? 32'h19a4c116 : r == 6'd49 ? 32'h1e376c08 :
+        r == 6'd50 ? 32'h2748774c : r == 6'd51 ? 32'h34b0bcb5 :
+        r == 6'd52 ? 32'h391c0cb3 : r == 6'd53 ? 32'h4ed8aa4a :
+        r == 6'd54 ? 32'h5b9cca4f : r == 6'd55 ? 32'h682e6ff3 :
+        r == 6'd56 ? 32'h748f82ee : r == 6'd57 ? 32'h78a5636f :
+        r == 6'd58 ? 32'h84c87814 : r == 6'd59 ? 32'h8cc70208 :
+        r == 6'd60 ? 32'h90befffa : r == 6'd61 ? 32'ha4506ceb :
+        r == 6'd62 ? 32'hbef9a3f7 : 32'hc67178f2;
+
+    wire [31:0] s1 = {e[5:0], e[31:6]} ^ {e[10:0], e[31:11]} ^ {e[24:0], e[31:25]};
+    wire [31:0] ch = (e & f) ^ (~e & g);
+    wire [31:0] t1 = h + s1 + ch + kt + w0;
+    wire [31:0] s0 = {a[1:0], a[31:2]} ^ {a[12:0], a[31:13]} ^ {a[21:0], a[31:22]};
+    wire [31:0] maj = (a & b) ^ (a & c) ^ (b & c);
+    wire [31:0] t2 = s0 + maj;
+    wire [31:0] a_next = t1 + t2;
+    wire [31:0] e_next = d + t1;
+    wire [31:0] ws0 = {w1[6:0], w1[31:7]} ^ {w1[17:0], w1[31:18]} ^ (w1 >> 3);
+    wire [31:0] ws1 = {w14[16:0], w14[31:17]} ^ {w14[18:0], w14[31:19]} ^ (w14 >> 10);
+    wire [31:0] wnext = w0 + ws0 + w9 + ws1;
+    wire [255:0] final_digest = {32'h6a09e667 + a, 32'hbb67ae85 + b,
+                                 32'h3c6ef372 + c, 32'ha54ff53a + d,
+                                 32'h510e527f + e, 32'h9b05688c + f,
+                                 32'h1f83d9ab + g, 32'h5be0cd19 + h};
+
+    always @(posedge clk) begin
+        if (rst) begin
+            state <= 2'd0;
+            round <= 7'd0;
+            digest <= 256'h0;
+            done <= 1'b0;
+        end
+        else if (state == 2'd0) begin
+            if (start) begin
+                w0 <= block_in[511:480];
+                w1 <= block_in[479:448];
+                w2 <= block_in[447:416];
+                w3 <= block_in[415:384];
+                w4 <= block_in[383:352];
+                w5 <= block_in[351:320];
+                w6 <= block_in[319:288];
+                w7 <= block_in[287:256];
+                w8 <= block_in[255:224];
+                w9 <= block_in[223:192];
+                w10 <= block_in[191:160];
+                w11 <= block_in[159:128];
+                w12 <= block_in[127:96];
+                w13 <= block_in[95:64];
+                w14 <= block_in[63:32];
+                w15 <= block_in[31:0];
+                a <= 32'h6a09e667;
+                b <= 32'hbb67ae85;
+                c <= 32'h3c6ef372;
+                d <= 32'ha54ff53a;
+                e <= 32'h510e527f;
+                f <= 32'h9b05688c;
+                g <= 32'h1f83d9ab;
+                h <= 32'h5be0cd19;
+                round <= 7'd0;
+                done <= 1'b0;
+                state <= 2'd1;
+            end
+        end
+        else if (state == 2'd1) begin
+            h <= g;
+            g <= f;
+            f <= e;
+            e <= e_next;
+            d <= c;
+            c <= b;
+            b <= a;
+            a <= a_next;
+            w0 <= w1;
+            w1 <= w2;
+            w2 <= w3;
+            w3 <= w4;
+            w4 <= w5;
+            w5 <= w6;
+            w6 <= w7;
+            w7 <= w8;
+            w8 <= w9;
+            w9 <= w10;
+            w10 <= w11;
+            w11 <= w12;
+            w12 <= w13;
+            w13 <= w14;
+            w14 <= w15;
+            w15 <= wnext;
+            round <= round + 7'd1;
+            if (round == 7'd63) state <= 2'd2;
+        end
+        else begin
+            digest <= final_digest;
+            done <= 1'b1;
+            state <= 2'd0;
+        end
+    end
+endmodule

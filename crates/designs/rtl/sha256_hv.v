@@ -1,0 +1,176 @@
+// SHA-256 single-block compression core, handwritten behavioral style —
+// the behavioral-node-dominated benchmark (paper Table II "SHA256_HV").
+// All round logic lives inside one big edge-triggered always block with
+// blocking temporaries (the work profile the ERASER implicit-redundancy
+// check targets). Protocol: pulse `start` with `block_in` valid for one
+// cycle; 64 round cycles plus one finalize cycle later `done` rises and
+// `digest` holds the FIPS 180-4 compression of the block against the
+// standard IV. `block_in[511:480]` is message word 0; `digest[255:224]` is
+// hash word 0 — both matching `eraser_designs::golden::sha256_compress`.
+module sha256_hv(
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [511:0] block_in,
+    output reg [255:0] digest,
+    output reg done
+);
+    reg [1:0] state; // 0 idle, 1 rounds, 2 finalize
+    reg [6:0] round;
+    reg [31:0] a, b, c, d, e, f, g, h;
+    reg [31:0] w0, w1, w2, w3, w4, w5, w6, w7;
+    reg [31:0] w8, w9, w10, w11, w12, w13, w14, w15;
+    reg [31:0] kt, s0, s1, ch, maj, t1, t2, ws0, ws1, wnext;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            state <= 2'd0;
+            round <= 7'd0;
+            digest <= 256'h0;
+            done <= 1'b0;
+        end
+        else if (state == 2'd0) begin
+            if (start) begin
+                w0 <= block_in[511:480];
+                w1 <= block_in[479:448];
+                w2 <= block_in[447:416];
+                w3 <= block_in[415:384];
+                w4 <= block_in[383:352];
+                w5 <= block_in[351:320];
+                w6 <= block_in[319:288];
+                w7 <= block_in[287:256];
+                w8 <= block_in[255:224];
+                w9 <= block_in[223:192];
+                w10 <= block_in[191:160];
+                w11 <= block_in[159:128];
+                w12 <= block_in[127:96];
+                w13 <= block_in[95:64];
+                w14 <= block_in[63:32];
+                w15 <= block_in[31:0];
+                a <= 32'h6a09e667;
+                b <= 32'hbb67ae85;
+                c <= 32'h3c6ef372;
+                d <= 32'ha54ff53a;
+                e <= 32'h510e527f;
+                f <= 32'h9b05688c;
+                g <= 32'h1f83d9ab;
+                h <= 32'h5be0cd19;
+                round <= 7'd0;
+                done <= 1'b0;
+                state <= 2'd1;
+            end
+        end
+        else if (state == 2'd1) begin
+            case (round[5:0])
+                6'd0: kt = 32'h428a2f98;
+                6'd1: kt = 32'h71374491;
+                6'd2: kt = 32'hb5c0fbcf;
+                6'd3: kt = 32'he9b5dba5;
+                6'd4: kt = 32'h3956c25b;
+                6'd5: kt = 32'h59f111f1;
+                6'd6: kt = 32'h923f82a4;
+                6'd7: kt = 32'hab1c5ed5;
+                6'd8: kt = 32'hd807aa98;
+                6'd9: kt = 32'h12835b01;
+                6'd10: kt = 32'h243185be;
+                6'd11: kt = 32'h550c7dc3;
+                6'd12: kt = 32'h72be5d74;
+                6'd13: kt = 32'h80deb1fe;
+                6'd14: kt = 32'h9bdc06a7;
+                6'd15: kt = 32'hc19bf174;
+                6'd16: kt = 32'he49b69c1;
+                6'd17: kt = 32'hefbe4786;
+                6'd18: kt = 32'h0fc19dc6;
+                6'd19: kt = 32'h240ca1cc;
+                6'd20: kt = 32'h2de92c6f;
+                6'd21: kt = 32'h4a7484aa;
+                6'd22: kt = 32'h5cb0a9dc;
+                6'd23: kt = 32'h76f988da;
+                6'd24: kt = 32'h983e5152;
+                6'd25: kt = 32'ha831c66d;
+                6'd26: kt = 32'hb00327c8;
+                6'd27: kt = 32'hbf597fc7;
+                6'd28: kt = 32'hc6e00bf3;
+                6'd29: kt = 32'hd5a79147;
+                6'd30: kt = 32'h06ca6351;
+                6'd31: kt = 32'h14292967;
+                6'd32: kt = 32'h27b70a85;
+                6'd33: kt = 32'h2e1b2138;
+                6'd34: kt = 32'h4d2c6dfc;
+                6'd35: kt = 32'h53380d13;
+                6'd36: kt = 32'h650a7354;
+                6'd37: kt = 32'h766a0abb;
+                6'd38: kt = 32'h81c2c92e;
+                6'd39: kt = 32'h92722c85;
+                6'd40: kt = 32'ha2bfe8a1;
+                6'd41: kt = 32'ha81a664b;
+                6'd42: kt = 32'hc24b8b70;
+                6'd43: kt = 32'hc76c51a3;
+                6'd44: kt = 32'hd192e819;
+                6'd45: kt = 32'hd6990624;
+                6'd46: kt = 32'hf40e3585;
+                6'd47: kt = 32'h106aa070;
+                6'd48: kt = 32'h19a4c116;
+                6'd49: kt = 32'h1e376c08;
+                6'd50: kt = 32'h2748774c;
+                6'd51: kt = 32'h34b0bcb5;
+                6'd52: kt = 32'h391c0cb3;
+                6'd53: kt = 32'h4ed8aa4a;
+                6'd54: kt = 32'h5b9cca4f;
+                6'd55: kt = 32'h682e6ff3;
+                6'd56: kt = 32'h748f82ee;
+                6'd57: kt = 32'h78a5636f;
+                6'd58: kt = 32'h84c87814;
+                6'd59: kt = 32'h8cc70208;
+                6'd60: kt = 32'h90befffa;
+                6'd61: kt = 32'ha4506ceb;
+                6'd62: kt = 32'hbef9a3f7;
+                default: kt = 32'hc67178f2;
+            endcase
+            // Round: compression function on the working variables.
+            s1 = {e[5:0], e[31:6]} ^ {e[10:0], e[31:11]} ^ {e[24:0], e[31:25]};
+            ch = (e & f) ^ (~e & g);
+            t1 = h + s1 + ch + kt + w0;
+            s0 = {a[1:0], a[31:2]} ^ {a[12:0], a[31:13]} ^ {a[21:0], a[31:22]};
+            maj = (a & b) ^ (a & c) ^ (b & c);
+            t2 = s0 + maj;
+            h <= g;
+            g <= f;
+            f <= e;
+            e <= d + t1;
+            d <= c;
+            c <= b;
+            b <= a;
+            a <= t1 + t2;
+            // Message schedule: sliding 16-word window, w0 is W[round].
+            ws0 = {w1[6:0], w1[31:7]} ^ {w1[17:0], w1[31:18]} ^ (w1 >> 3);
+            ws1 = {w14[16:0], w14[31:17]} ^ {w14[18:0], w14[31:19]} ^ (w14 >> 10);
+            wnext = w0 + ws0 + w9 + ws1;
+            w0 <= w1;
+            w1 <= w2;
+            w2 <= w3;
+            w3 <= w4;
+            w4 <= w5;
+            w5 <= w6;
+            w6 <= w7;
+            w7 <= w8;
+            w8 <= w9;
+            w9 <= w10;
+            w10 <= w11;
+            w11 <= w12;
+            w12 <= w13;
+            w13 <= w14;
+            w14 <= w15;
+            w15 <= wnext;
+            round <= round + 7'd1;
+            if (round == 7'd63) state <= 2'd2;
+        end
+        else begin
+            digest <= {32'h6a09e667 + a, 32'hbb67ae85 + b, 32'h3c6ef372 + c,
+                       32'ha54ff53a + d, 32'h510e527f + e, 32'h9b05688c + f,
+                       32'h1f83d9ab + g, 32'h5be0cd19 + h};
+            done <= 1'b1;
+            state <= 2'd0;
+        end
+    end
+endmodule

@@ -1,0 +1,116 @@
+// Multicycle accumulator CPU in the spirit of the Sodor 5-stage teaching
+// cores (paper Table II "Sodor Core"): a four-state FETCH/DECODE/EXEC/WB
+// control FSM over a 16-instruction internal program ROM. Free-running:
+// only clock and reset are driven; the architectural state (pc, acc,
+// registers, output port) is the observation surface.
+module sodor_core(
+    input wire clk,
+    input wire rst,
+    output reg [7:0] pc,
+    output reg [15:0] acc,
+    output reg [15:0] outp,
+    output reg [1:0] state
+);
+    reg [15:0] instr;
+    reg [15:0] r0, r1, r2, r3;
+    reg [15:0] alu;
+    reg [15:0] rom;
+    reg [15:0] rv;
+    reg [3:0] op;
+    reg [1:0] rs;
+    reg [7:0] imm;
+
+    // Program ROM: {op[3:0], rs[1:0], 2'b00, imm[7:0]}.
+    always @(*) begin
+        case (pc[3:0])
+            4'd0: rom = {4'd0, 2'd0, 2'b00, 8'h05};  // ADDI 0x05
+            4'd1: rom = {4'd2, 2'd1, 2'b00, 8'h00};  // MOV  r1 <- acc
+            4'd2: rom = {4'd1, 2'd0, 2'b00, 8'ha3};  // XORI 0xa3
+            4'd3: rom = {4'd3, 2'd1, 2'b00, 8'h00};  // ADD  r1
+            4'd4: rom = {4'd5, 2'd0, 2'b00, 8'h00};  // ROL
+            4'd5: rom = {4'd2, 2'd2, 2'b00, 8'h00};  // MOV  r2 <- acc
+            4'd6: rom = {4'd6, 2'd0, 2'b00, 8'hf7};  // ANDI 0xf7f7
+            4'd7: rom = {4'd4, 2'd0, 2'b00, 8'h00};  // OUT
+            4'd8: rom = {4'd7, 2'd2, 2'b00, 8'h00};  // SUB  r2
+            4'd9: rom = {4'd0, 2'd0, 2'b00, 8'h1b};  // ADDI 0x1b
+            4'd10: rom = {4'd2, 2'd3, 2'b00, 8'h00}; // MOV  r3 <- acc
+            4'd11: rom = {4'd3, 2'd3, 2'b00, 8'h00}; // ADD  r3
+            4'd12: rom = {4'd8, 2'd0, 2'b00, 8'h00}; // SWAP
+            4'd13: rom = {4'd1, 2'd0, 2'b00, 8'h5c}; // XORI 0x5c
+            4'd14: rom = {4'd3, 2'd0, 2'b00, 8'h00}; // ADD  r0
+            default: rom = {4'd4, 2'd0, 2'b00, 8'h00}; // OUT
+        endcase
+    end
+
+    // Register-file read mux for the EXEC stage.
+    always @(*) begin
+        case (rs)
+            2'd0: rv = r0;
+            2'd1: rv = r1;
+            2'd2: rv = r2;
+            default: rv = r3;
+        endcase
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            pc <= 8'h0;
+            acc <= 16'h0;
+            outp <= 16'h0;
+            state <= 2'd0;
+            instr <= 16'h0;
+            r0 <= 16'h0;
+            r1 <= 16'h0;
+            r2 <= 16'h0;
+            r3 <= 16'h0;
+            alu <= 16'h0;
+            op <= 4'h0;
+            rs <= 2'h0;
+            imm <= 8'h0;
+        end
+        else begin
+            case (state)
+                2'd0: begin // FETCH
+                    instr <= rom;
+                    state <= 2'd1;
+                end
+                2'd1: begin // DECODE
+                    op <= instr[15:12];
+                    rs <= instr[11:10];
+                    imm <= instr[7:0];
+                    state <= 2'd2;
+                end
+                2'd2: begin // EXEC
+                    case (op)
+                        4'd0: alu <= acc + {8'h00, imm};
+                        4'd1: alu <= acc ^ {8'h00, imm};
+                        4'd3: alu <= acc + rv;
+                        4'd4: alu <= outp ^ acc;
+                        4'd5: alu <= {acc[14:0], acc[15]};
+                        4'd6: alu <= acc & {imm, imm};
+                        4'd7: alu <= acc - rv;
+                        4'd8: alu <= {acc[7:0], acc[15:8]};
+                        default: alu <= acc;
+                    endcase
+                    state <= 2'd3;
+                end
+                default: begin // WB
+                    case (op)
+                        4'd2: begin
+                            case (rs)
+                                2'd0: r0 <= acc;
+                                2'd1: r1 <= acc;
+                                2'd2: r2 <= acc;
+                                default: r3 <= acc;
+                            endcase
+                        end
+                        4'd4: outp <= alu;
+                        default: acc <= alu;
+                    endcase
+                    pc <= pc[3:0] == 4'd15 ? 8'h0 : pc + 8'h1;
+                    state <= 2'd0;
+                end
+            endcase
+        end
+    end
+endmodule

@@ -196,8 +196,8 @@ mod tests {
         assert_eq!(
             digest,
             [
-                0xba7816bf, 0x8f01cfea, 0x414140de, 0x5dae2223, 0xb00361a3, 0x96177a9c,
-                0xb410ff61, 0xf20015ad
+                0xba7816bf, 0x8f01cfea, 0x414140de, 0x5dae2223, 0xb00361a3, 0x96177a9c, 0xb410ff61,
+                0xf20015ad
             ]
         );
     }

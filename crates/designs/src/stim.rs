@@ -176,7 +176,10 @@ fn conv(d: &Design, cycles: usize) -> Stimulus {
     for k in 0..9 {
         wv.assign_slice(k * 8, &v(8, rng.below(256)));
     }
-    sb.add_cycle(clk, &[(rst, v(1, 1)), (load_w, v(1, 0)), (valid_in, v(1, 0))]);
+    sb.add_cycle(
+        clk,
+        &[(rst, v(1, 1)), (load_w, v(1, 0)), (valid_in, v(1, 0))],
+    );
     sb.add_cycle(clk, &[(rst, v(1, 0)), (load_w, v(1, 1)), (weights, wv)]);
     sb.add_cycle(clk, &[(load_w, v(1, 0)), (valid_in, v(1, 1))]);
     for i in 0..cycles.saturating_sub(3) {
@@ -190,9 +193,15 @@ fn conv(d: &Design, cycles: usize) -> Stimulus {
             for k in 0..9 {
                 nw.assign_slice(k * 8, &v(8, rng.below(256)));
             }
-            sb.add_cycle(clk, &[(load_w, v(1, 1)), (weights, nw), (valid_in, v(1, 0))]);
+            sb.add_cycle(
+                clk,
+                &[(load_w, v(1, 1)), (weights, nw), (valid_in, v(1, 0))],
+            );
         } else {
-            sb.add_cycle(clk, &[(load_w, v(1, 0)), (valid_in, v(1, 1)), (window, win)]);
+            sb.add_cycle(
+                clk,
+                &[(load_w, v(1, 0)), (valid_in, v(1, 1)), (window, win)],
+            );
         }
     }
     sb.finish()

@@ -42,9 +42,21 @@ fn alu64_matches_golden() {
         sim.set_input(op, v(4, opv as u64));
         sim.clock_cycle(clk);
         let (er, ez, ec) = golden::alu64(opv, av, bv);
-        assert_eq!(sim.value(result).to_u64(), Some(er), "op {opv} a {av:#x} b {bv:#x}");
-        assert_eq!(sim.value(zero).to_u64(), Some(ez as u64), "zero for op {opv}");
-        assert_eq!(sim.value(carry).to_u64(), Some(ec as u64), "carry for op {opv}");
+        assert_eq!(
+            sim.value(result).to_u64(),
+            Some(er),
+            "op {opv} a {av:#x} b {bv:#x}"
+        );
+        assert_eq!(
+            sim.value(zero).to_u64(),
+            Some(ez as u64),
+            "zero for op {opv}"
+        );
+        assert_eq!(
+            sim.value(carry).to_u64(),
+            Some(ec as u64),
+            "carry for op {opv}"
+        );
     }
 }
 

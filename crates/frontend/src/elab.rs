@@ -8,8 +8,8 @@
 use crate::ast::*;
 use crate::error::CompileError;
 use eraser_ir::{
-    analysis::expr_width_with, eval::eval_binary, Design, DesignBuilder, Expr, LValue,
-    PortDir, RtlOp, Sensitivity, SignalId, SignalKind, Stmt, UnaryOp,
+    analysis::expr_width_with, eval::eval_binary, Design, DesignBuilder, Expr, LValue, PortDir,
+    RtlOp, Sensitivity, SignalId, SignalKind, Stmt, UnaryOp,
 };
 use eraser_logic::{LogicBit, LogicVec};
 use std::collections::HashMap;
@@ -27,7 +27,10 @@ pub fn elaborate(unit: &SourceUnit, top: Option<&str>) -> Result<Design, Compile
     let mut modules: HashMap<&str, &ModuleDecl> = HashMap::new();
     for m in &unit.modules {
         if modules.insert(m.name.as_str(), m).is_some() {
-            return Err(CompileError::at(m.line, format!("duplicate module `{}`", m.name)));
+            return Err(CompileError::at(
+                m.line,
+                format!("duplicate module `{}`", m.name),
+            ));
         }
     }
     let top_decl = match top {
@@ -84,7 +87,10 @@ impl<'a> Elaborator<'a> {
         if self.depth > 64 {
             return Err(CompileError::at(
                 decl.line,
-                format!("instantiation depth limit exceeded at `{}` (recursive hierarchy?)", decl.name),
+                format!(
+                    "instantiation depth limit exceeded at `{}` (recursive hierarchy?)",
+                    decl.name
+                ),
             ));
         }
         let mut scope = Scope {
@@ -195,7 +201,10 @@ impl<'a> Elaborator<'a> {
         if let Some(conns) = conns {
             for (pname, conn) in conns {
                 let port_sig = *scope.signals.get(&pname).ok_or_else(|| {
-                    CompileError::at(conn.line, format!("module `{}` has no port `{pname}`", decl.name))
+                    CompileError::at(
+                        conn.line,
+                        format!("module `{}` has no port `{pname}`", decl.name),
+                    )
                 })?;
                 match (conn.dir, conn.parent) {
                     (AstPortDir::Input, Some(src)) => {
@@ -272,36 +281,44 @@ impl<'a> Elaborator<'a> {
                         overrides.insert(pname.clone(), self.const_eval(pexpr, &scope)?);
                     }
                     // Prepare connections in the parent scope.
-                    let port_dirs: HashMap<&str, AstPortDir> =
-                        child.ports.iter().map(|p| (p.name.as_str(), p.dir)).collect();
+                    let port_dirs: HashMap<&str, AstPortDir> = child
+                        .ports
+                        .iter()
+                        .map(|p| (p.name.as_str(), p.dir))
+                        .collect();
                     let mut prepared = HashMap::new();
                     for (pname, pexpr) in raw_conns {
                         let dir = *port_dirs.get(pname.as_str()).ok_or_else(|| {
-                            CompileError::at(*line, format!("module `{module}` has no port `{pname}`"))
+                            CompileError::at(
+                                *line,
+                                format!("module `{module}` has no port `{pname}`"),
+                            )
                         })?;
-                        let parent = match pexpr {
-                            None => None,
-                            Some(e) => Some(match dir {
-                                AstPortDir::Input => {
-                                    let resolved = self.resolve_expr(e, &scope)?;
-                                    self.flatten(&resolved)
-                                }
-                                AstPortDir::Output => match e {
-                                    AstExpr::Ident(n, l) => self.lookup(n, &scope, *l)?,
-                                    other => {
-                                        return Err(CompileError::at(
+                        let parent =
+                            match pexpr {
+                                None => None,
+                                Some(e) => Some(match dir {
+                                    AstPortDir::Input => {
+                                        let resolved = self.resolve_expr(e, &scope)?;
+                                        self.flatten(&resolved)
+                                    }
+                                    AstPortDir::Output => match e {
+                                        AstExpr::Ident(n, l) => self.lookup(n, &scope, *l)?,
+                                        other => return Err(CompileError::at(
                                             other.line(),
                                             "output port connections must be plain signal names",
-                                        ))
-                                    }
-                                },
-                            }),
-                        };
-                        prepared.insert(pname.clone(), PreparedConn {
-                            dir,
-                            parent,
-                            line: *line,
-                        });
+                                        )),
+                                    },
+                                }),
+                            };
+                        prepared.insert(
+                            pname.clone(),
+                            PreparedConn {
+                                dir,
+                                parent,
+                                line: *line,
+                            },
+                        );
                     }
                     let child_prefix = format!("{prefix}{name}.");
                     self.instantiate(child, &child_prefix, &overrides, Some(prepared))?;
@@ -360,10 +377,14 @@ impl<'a> Elaborator<'a> {
     /// Constant expression evaluation (literals, parameters, operators).
     fn const_eval(&mut self, e: &AstExpr, scope: &Scope) -> Result<LogicVec, CompileError> {
         match e {
-            AstExpr::Literal(raw, line) => LogicVec::parse_literal(raw)
-                .map_err(|err| CompileError::at(*line, err.to_string())),
+            AstExpr::Literal(raw, line) => {
+                LogicVec::parse_literal(raw).map_err(|err| CompileError::at(*line, err.to_string()))
+            }
             AstExpr::Ident(name, line) => scope.params.get(name).cloned().ok_or_else(|| {
-                CompileError::at(*line, format!("`{name}` is not a constant (parameter) here"))
+                CompileError::at(
+                    *line,
+                    format!("`{name}` is not a constant (parameter) here"),
+                )
             }),
             AstExpr::Unary(op, inner) => {
                 let v = self.const_eval(inner, scope)?;
@@ -465,7 +486,10 @@ impl<'a> Elaborator<'a> {
                 let h = self.const_u32(hi, scope)?;
                 let l = self.const_u32(lo, scope)?;
                 if h < l {
-                    return Err(CompileError::at(*line, "part select `[hi:lo]` requires hi >= lo"));
+                    return Err(CompileError::at(
+                        *line,
+                        "part select `[hi:lo]` requires hi >= lo",
+                    ));
                 }
                 Expr::Slice {
                     base: sig,
@@ -528,7 +552,12 @@ impl<'a> Elaborator<'a> {
         })
     }
 
-    fn resolve_lvalue(&mut self, lv: &AstLValue, scope: &Scope, line: u32) -> Result<LValue, CompileError> {
+    fn resolve_lvalue(
+        &mut self,
+        lv: &AstLValue,
+        scope: &Scope,
+        line: u32,
+    ) -> Result<LValue, CompileError> {
         Ok(match lv {
             AstLValue::Ident(n) => LValue::Full(self.lookup(n, scope, line)?),
             AstLValue::Bit { base, index } => {
@@ -695,7 +724,8 @@ impl<'a> Elaborator<'a> {
                 self.builder.add_rtl_node(RtlOp::Buf, vec![*s], out);
             }
             Expr::Const(v) => {
-                self.builder.add_rtl_node(RtlOp::Const(v.clone()), vec![], out);
+                self.builder
+                    .add_rtl_node(RtlOp::Const(v.clone()), vec![], out);
             }
             Expr::Unary(op, e) => {
                 let a = self.flatten(e);
@@ -704,7 +734,8 @@ impl<'a> Elaborator<'a> {
             Expr::Binary(op, l, r) => {
                 let a = self.flatten(l);
                 let b = self.flatten(r);
-                self.builder.add_rtl_node(RtlOp::Binary(*op), vec![a, b], out);
+                self.builder
+                    .add_rtl_node(RtlOp::Binary(*op), vec![a, b], out);
             }
             Expr::Ternary {
                 cond,
@@ -722,7 +753,8 @@ impl<'a> Elaborator<'a> {
             }
             Expr::Replicate(n, e) => {
                 let a = self.flatten(e);
-                self.builder.add_rtl_node(RtlOp::Replicate(*n), vec![a], out);
+                self.builder
+                    .add_rtl_node(RtlOp::Replicate(*n), vec![a], out);
             }
             Expr::Slice { base, hi, lo } => {
                 self.builder
@@ -734,8 +766,11 @@ impl<'a> Elaborator<'a> {
             }
             Expr::IndexedPart { base, start, width } => {
                 let s = self.flatten(start);
-                self.builder
-                    .add_rtl_node(RtlOp::IndexedPart { width: *width }, vec![*base, s], out);
+                self.builder.add_rtl_node(
+                    RtlOp::IndexedPart { width: *width },
+                    vec![*base, s],
+                    out,
+                );
             }
         }
         out
@@ -839,10 +874,7 @@ mod tests {
                assign x = a[3];
              endmodule",
         );
-        assert!(matches!(
-            d.rtl_nodes()[0].op,
-            RtlOp::Slice { hi: 3, lo: 3 }
-        ));
+        assert!(matches!(d.rtl_nodes()[0].op, RtlOp::Slice { hi: 3, lo: 3 }));
     }
 
     #[test]
@@ -881,7 +913,8 @@ mod tests {
 
     #[test]
     fn error_nonzero_lsb() {
-        let e = compile_err("module m(input wire [7:4] a, output wire x); assign x = a[4]; endmodule");
+        let e =
+            compile_err("module m(input wire [7:4] a, output wire x); assign x = a[4]; endmodule");
         assert!(e.message.contains("[msb:0]"));
     }
 
@@ -908,9 +941,7 @@ mod tests {
 
     #[test]
     fn recursive_instantiation_is_caught() {
-        let e = compile_err(
-            "module a(input wire x); a u (.x(x)); endmodule",
-        );
+        let e = compile_err("module a(input wire x); a u (.x(x)); endmodule");
         assert!(e.message.contains("depth"));
     }
 }

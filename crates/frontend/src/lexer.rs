@@ -323,7 +323,10 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
                 }
             }
             other => {
-                return Err(CompileError::at(line, format!("unexpected character `{other}`")));
+                return Err(CompileError::at(
+                    line,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }

@@ -700,9 +700,8 @@ mod tests {
 
     #[test]
     fn ansi_ports_with_carryover() {
-        let u = parse_src(
-            "module m(input wire clk, input [7:0] a, b, output reg [3:0] q); endmodule",
-        );
+        let u =
+            parse_src("module m(input wire clk, input [7:0] a, b, output reg [3:0] q); endmodule");
         let ports = &u.modules[0].ports;
         assert_eq!(ports.len(), 4);
         assert_eq!(ports[0].name, "clk");
@@ -740,7 +739,10 @@ mod tests {
         );
         let items = &u.modules[0].items;
         match &items[1] {
-            Item::Always { sens: AstSens::Edges(e), .. } => {
+            Item::Always {
+                sens: AstSens::Edges(e),
+                ..
+            } => {
                 assert_eq!(e.len(), 2);
                 assert_eq!(e[0].0, EdgeKind::Pos);
                 assert_eq!(e[1].0, EdgeKind::Neg);
@@ -749,7 +751,10 @@ mod tests {
         }
         assert!(matches!(
             &items[2],
-            Item::Always { sens: AstSens::Star, .. }
+            Item::Always {
+                sens: AstSens::Star,
+                ..
+            }
         ));
     }
 
@@ -774,19 +779,34 @@ mod tests {
              endmodule",
         );
         match &u.modules[0].items[2] {
-            Item::Always { body: AstStmt::Block(stmts), .. } => {
+            Item::Always {
+                body: AstStmt::Block(stmts),
+                ..
+            } => {
                 assert_eq!(stmts.len(), 6);
                 assert!(matches!(stmts[0], AstStmt::If { .. }));
-                assert!(matches!(stmts[1], AstStmt::Case { wildcard: false, .. }));
+                assert!(matches!(
+                    stmts[1],
+                    AstStmt::Case {
+                        wildcard: false,
+                        ..
+                    }
+                ));
                 assert!(matches!(stmts[2], AstStmt::Case { wildcard: true, .. }));
                 assert!(matches!(stmts[3], AstStmt::For { .. }));
                 assert!(matches!(
                     stmts[4],
-                    AstStmt::Assign { lhs: AstLValue::Part { .. }, .. }
+                    AstStmt::Assign {
+                        lhs: AstLValue::Part { .. },
+                        ..
+                    }
                 ));
                 assert!(matches!(
                     stmts[5],
-                    AstStmt::Assign { lhs: AstLValue::IndexedPart { .. }, .. }
+                    AstStmt::Assign {
+                        lhs: AstLValue::IndexedPart { .. },
+                        ..
+                    }
                 ));
             }
             other => panic!("unexpected {other:?}"),
@@ -817,7 +837,10 @@ mod tests {
     fn ternary_binds_loosest_and_right_assoc() {
         let u = parse_src("module m(input a); wire x; assign x = a ? 1 : a ? 2 : 3; endmodule");
         match &u.modules[0].items[1] {
-            Item::Assign { rhs: AstExpr::Ternary(_, _, e), .. } => {
+            Item::Assign {
+                rhs: AstExpr::Ternary(_, _, e),
+                ..
+            } => {
                 assert!(matches!(e.as_ref(), AstExpr::Ternary(..)));
             }
             other => panic!("unexpected {other:?}"),
@@ -826,9 +849,13 @@ mod tests {
 
     #[test]
     fn concat_and_replicate() {
-        let u = parse_src("module m(input a); wire [7:0] x; assign x = {a, {3{a}}, 4'h0}; endmodule");
+        let u =
+            parse_src("module m(input a); wire [7:0] x; assign x = {a, {3{a}}, 4'h0}; endmodule");
         match &u.modules[0].items[1] {
-            Item::Assign { rhs: AstExpr::Concat(parts), .. } => {
+            Item::Assign {
+                rhs: AstExpr::Concat(parts),
+                ..
+            } => {
                 assert_eq!(parts.len(), 3);
                 assert!(matches!(parts[1], AstExpr::Replicate(..)));
             }
@@ -845,7 +872,13 @@ mod tests {
              endmodule",
         );
         match &u.modules[0].items[1] {
-            Item::Instance { module, name, params, conns, .. } => {
+            Item::Instance {
+                module,
+                name,
+                params,
+                conns,
+                ..
+            } => {
                 assert_eq!(module, "sub");
                 assert_eq!(name, "u0");
                 assert_eq!(params.len(), 2);
@@ -860,7 +893,10 @@ mod tests {
     fn unary_reductions() {
         let u = parse_src("module m(input [3:0] a); wire x; assign x = &a | ^a; endmodule");
         match &u.modules[0].items[1] {
-            Item::Assign { rhs: AstExpr::Binary(BinaryOp::Or, l, r), .. } => {
+            Item::Assign {
+                rhs: AstExpr::Binary(BinaryOp::Or, l, r),
+                ..
+            } => {
                 assert!(matches!(l.as_ref(), AstExpr::Unary(UnaryOp::RedAnd, _)));
                 assert!(matches!(r.as_ref(), AstExpr::Unary(UnaryOp::RedXor, _)));
             }

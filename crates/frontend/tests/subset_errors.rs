@@ -26,20 +26,16 @@ fn syntax_errors_carry_line_numbers() {
 #[test]
 fn structural_errors() {
     assert!(err("module a(); endmodule module a(); endmodule").contains("duplicate module"));
-    assert!(err(
-        "module m(output wire x);
+    assert!(err("module m(output wire x);
            assign x = 1'b0;
            assign x = 1'b1;
-         endmodule"
-    )
+         endmodule")
     .contains("multiple drivers"));
-    assert!(err(
-        "module m(input wire a, output wire x);
+    assert!(err("module m(input wire a, output wire x);
            wire y;
            assign x = y;
            assign y = x;
-         endmodule"
-    )
+         endmodule")
     .contains("combinational cycle"));
     assert!(err("module m(input reg a); endmodule").contains("input ports cannot be `reg`"));
 }
@@ -47,43 +43,33 @@ fn structural_errors() {
 #[test]
 fn elaboration_errors() {
     assert!(err("module m(output wire [3:1] x); endmodule").contains("[msb:0]"));
-    assert!(err(
-        "module m(output wire x);
+    assert!(err("module m(output wire x);
            sub u0 (.p(x));
-         endmodule"
-    )
+         endmodule")
     .contains("unknown module"));
-    assert!(err(
-        "module s(input wire p); endmodule
+    assert!(err("module s(input wire p); endmodule
          module m(input wire a);
            s u0 (.nope(a));
-         endmodule"
-    )
+         endmodule")
     .contains("no port"));
-    assert!(err(
-        "module m(input wire [3:0] a, output wire x);
+    assert!(err("module m(input wire [3:0] a, output wire x);
            assign x = a[b];
-         endmodule"
-    )
+         endmodule")
     .contains("unknown signal"));
-    assert!(err(
-        "module m(input wire a, output wire x);
+    assert!(err("module m(input wire a, output wire x);
            wire [a:0] y;
            assign x = a;
-         endmodule"
-    )
+         endmodule")
     .contains("not a constant"));
 }
 
 #[test]
 fn subset_limits_are_reported() {
     // reg with initializer is outside the subset.
-    assert!(err(
-        "module m(input wire c, output wire x);
+    assert!(err("module m(input wire c, output wire x);
            reg r = 1'b0;
            assign x = c;
-         endmodule"
-    )
+         endmodule")
     .contains("wire"));
 }
 

@@ -200,11 +200,20 @@ mod tests {
     fn rtl_widths_and_arity() {
         assert_eq!(rtl_output_width(&RtlOp::Buf, &[8]), Some(8));
         assert_eq!(rtl_output_width(&RtlOp::Buf, &[8, 8]), None);
-        assert_eq!(rtl_output_width(&RtlOp::Binary(BinaryOp::Add), &[8, 16]), Some(16));
-        assert_eq!(rtl_output_width(&RtlOp::Binary(BinaryOp::Lt), &[8, 16]), Some(1));
+        assert_eq!(
+            rtl_output_width(&RtlOp::Binary(BinaryOp::Add), &[8, 16]),
+            Some(16)
+        );
+        assert_eq!(
+            rtl_output_width(&RtlOp::Binary(BinaryOp::Lt), &[8, 16]),
+            Some(1)
+        );
         assert_eq!(rtl_output_width(&RtlOp::Mux, &[1, 8, 8]), Some(8));
         assert_eq!(rtl_output_width(&RtlOp::Mux, &[1, 8]), None);
-        assert_eq!(rtl_output_width(&RtlOp::Slice { hi: 3, lo: 1 }, &[8]), Some(3));
+        assert_eq!(
+            rtl_output_width(&RtlOp::Slice { hi: 3, lo: 1 }, &[8]),
+            Some(3)
+        );
         assert_eq!(rtl_output_width(&RtlOp::Index, &[8, 3]), Some(1));
         assert_eq!(rtl_output_width(&RtlOp::Replicate(4), &[2]), Some(8));
     }

@@ -296,7 +296,12 @@ impl DesignBuilder {
     }
 
     /// Registers a signal and returns its id.
-    pub fn add_signal(&mut self, name: impl Into<String>, width: u32, kind: SignalKind) -> SignalId {
+    pub fn add_signal(
+        &mut self,
+        name: impl Into<String>,
+        width: u32,
+        kind: SignalKind,
+    ) -> SignalId {
         self.add_signal_full(name, width, kind, None, false)
     }
 
@@ -341,7 +346,12 @@ impl DesignBuilder {
     }
 
     /// Adds a primitive RTL node driving `output`.
-    pub fn add_rtl_node(&mut self, op: RtlOp, inputs: Vec<SignalId>, output: SignalId) -> RtlNodeId {
+    pub fn add_rtl_node(
+        &mut self,
+        op: RtlOp,
+        inputs: Vec<SignalId>,
+        output: SignalId,
+    ) -> RtlNodeId {
         let id = RtlNodeId::from_index(self.rtl_nodes.len());
         self.rtl_nodes.push(RtlNode { op, inputs, output });
         id
@@ -423,7 +433,11 @@ impl DesignBuilder {
                 return Err(BuildError::MultipleDrivers { signal: sig_name() });
             }
             drivers[out] = Some(Driver::Rtl(nid));
-            let widths: Vec<u32> = node.inputs.iter().map(|s| signals[s.index()].width).collect();
+            let widths: Vec<u32> = node
+                .inputs
+                .iter()
+                .map(|s| signals[s.index()].width)
+                .collect();
             match rtl_output_width(&node.op, &widths) {
                 Some(w) => {
                     // Buf tolerates width mismatch (port-connection resize).
@@ -459,9 +473,7 @@ impl DesignBuilder {
                 match drivers[w.index()] {
                     None => drivers[w.index()] = Some(Driver::Behavioral(bid)),
                     Some(Driver::Behavioral(other)) if other == bid => {}
-                    Some(_) => {
-                        return Err(BuildError::MultipleDrivers { signal: sig_name() })
-                    }
+                    Some(_) => return Err(BuildError::MultipleDrivers { signal: sig_name() }),
                 }
             }
             let vdg = Vdg::build(&mut body);
@@ -585,12 +597,12 @@ fn levelize(
     // Kahn's algorithm.
     let mut indegree = vec![0usize; n_items];
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_items];
-    for item in 0..n_items {
+    for (item, deg) in indegree.iter_mut().enumerate() {
         for sig in item_inputs(item) {
             if let Some(p) = producer[sig.index()] {
                 if p != item {
                     dependents[p].push(item);
-                    indegree[item] += 1;
+                    *deg += 1;
                 }
             }
         }
@@ -751,7 +763,11 @@ mod tests {
         b.add_behavioral(
             "comb",
             Sensitivity::Star,
-            Stmt::assign(q, Expr::bin(BinaryOp::And, Expr::sig(a), Expr::sig(c)), true),
+            Stmt::assign(
+                q,
+                Expr::bin(BinaryOp::And, Expr::sig(a), Expr::sig(c)),
+                true,
+            ),
         );
         let d = b.finish().unwrap();
         assert_eq!(d.level_fanout(a), &[BehavioralId(0)]);

@@ -138,7 +138,11 @@ mod tests {
     #[test]
     fn arith_and_compare() {
         let s = src(vec![LogicVec::from_u64(8, 10), LogicVec::from_u64(8, 3)]);
-        let e = Expr::bin(BinaryOp::Add, Expr::sig(SignalId(0)), Expr::sig(SignalId(1)));
+        let e = Expr::bin(
+            BinaryOp::Add,
+            Expr::sig(SignalId(0)),
+            Expr::sig(SignalId(1)),
+        );
         assert_eq!(eval_expr(&e, &s).to_u64(), Some(13));
         let c = Expr::bin(BinaryOp::Lt, Expr::sig(SignalId(1)), Expr::sig(SignalId(0)));
         assert_eq!(eval_expr(&c, &s).to_u64(), Some(1));
@@ -178,7 +182,10 @@ mod tests {
 
     #[test]
     fn dynamic_index() {
-        let s = src(vec![LogicVec::from_u64(8, 0b0100), LogicVec::from_u64(3, 2)]);
+        let s = src(vec![
+            LogicVec::from_u64(8, 0b0100),
+            LogicVec::from_u64(3, 2),
+        ]);
         let e = Expr::Index {
             base: SignalId(0),
             index: Box::new(Expr::sig(SignalId(1))),
@@ -191,7 +198,10 @@ mod tests {
 
     #[test]
     fn indexed_part_select() {
-        let s = src(vec![LogicVec::from_u64(16, 0xabcd), LogicVec::from_u64(4, 4)]);
+        let s = src(vec![
+            LogicVec::from_u64(16, 0xabcd),
+            LogicVec::from_u64(4, 4),
+        ]);
         let e = Expr::IndexedPart {
             base: SignalId(0),
             start: Box::new(Expr::sig(SignalId(1))),
@@ -220,7 +230,11 @@ mod tests {
     #[test]
     fn shift_keeps_lhs_width() {
         let s = src(vec![LogicVec::from_u64(8, 0x81), LogicVec::from_u64(4, 1)]);
-        let e = Expr::bin(BinaryOp::Shl, Expr::sig(SignalId(0)), Expr::sig(SignalId(1)));
+        let e = Expr::bin(
+            BinaryOp::Shl,
+            Expr::sig(SignalId(0)),
+            Expr::sig(SignalId(1)),
+        );
         let v = eval_expr(&e, &s);
         assert_eq!(v.width(), 8);
         assert_eq!(v.to_u64(), Some(0x02));

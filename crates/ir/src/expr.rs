@@ -257,7 +257,11 @@ mod tests {
         let e = Expr::bin(
             BinaryOp::Add,
             Expr::sig(SignalId(3)),
-            Expr::bin(BinaryOp::And, Expr::sig(SignalId(1)), Expr::sig(SignalId(3))),
+            Expr::bin(
+                BinaryOp::And,
+                Expr::sig(SignalId(1)),
+                Expr::sig(SignalId(3)),
+            ),
         );
         assert_eq!(e.reads(), vec![SignalId(1), SignalId(3)]);
     }

@@ -29,7 +29,9 @@ pub mod node;
 pub mod stmt;
 pub mod vdg;
 
-pub use design::{BuildError, CombItem, Design, DesignBuilder, Driver, PortDir, Signal, SignalKind};
+pub use design::{
+    BuildError, CombItem, Design, DesignBuilder, Driver, PortDir, Signal, SignalKind,
+};
 pub use eval::{eval_expr, ValueSource};
 pub use expr::{BinaryOp, Expr, UnaryOp};
 pub use ids::{BehavioralId, DecisionId, RtlNodeId, SegmentId, SignalId};

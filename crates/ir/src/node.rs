@@ -1,7 +1,7 @@
 //! RTL nodes and behavioral nodes — the two node classes of the RTL graph.
 
 use crate::expr::{BinaryOp, UnaryOp};
-use crate::ids::{SignalId};
+use crate::ids::SignalId;
 use crate::stmt::Stmt;
 use crate::vdg::Vdg;
 

@@ -68,9 +68,7 @@ impl DecisionEval {
     /// Computes the branch outcome under `src`.
     pub fn evaluate<S: ValueSource + ?Sized>(&self, src: &S) -> u32 {
         match self {
-            DecisionEval::Truth(cond) => {
-                (eval_expr(cond, src).truth() == LogicBit::One) as u32
-            }
+            DecisionEval::Truth(cond) => (eval_expr(cond, src).truth() == LogicBit::One) as u32,
             DecisionEval::Case {
                 scrutinee,
                 arm_labels,
@@ -292,7 +290,11 @@ mod tests {
         Stmt::if_else(
             Expr::bin(BinaryOp::Eq, Expr::sig(sid), Expr::val(2, 0)),
             Stmt::Block(vec![
-                Stmt::assign(r, Expr::bin(BinaryOp::Add, Expr::sig(c), Expr::sig(g)), false),
+                Stmt::assign(
+                    r,
+                    Expr::bin(BinaryOp::Add, Expr::sig(c), Expr::sig(g)),
+                    false,
+                ),
                 Stmt::assign(a, Expr::sig(k), false),
             ]),
             Stmt::if_else(
@@ -302,8 +304,16 @@ mod tests {
                     Stmt::assign(a, Expr::val(8, 0), false),
                     Stmt::if_else(
                         Expr::bin(BinaryOp::Eq, Expr::sig(b), Expr::val(1, 0)),
-                        Stmt::assign(r, Expr::bin(BinaryOp::Add, Expr::sig(r), Expr::val(8, 1)), false),
-                        Stmt::assign(r, Expr::bin(BinaryOp::Mul, Expr::sig(a), Expr::sig(r)), false),
+                        Stmt::assign(
+                            r,
+                            Expr::bin(BinaryOp::Add, Expr::sig(r), Expr::val(8, 1)),
+                            false,
+                        ),
+                        Stmt::assign(
+                            r,
+                            Expr::bin(BinaryOp::Mul, Expr::sig(a), Expr::sig(r)),
+                            false,
+                        ),
                     ),
                 ]),
             ),

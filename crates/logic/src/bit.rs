@@ -76,6 +76,9 @@ impl LogicBit {
     }
 
     /// Logical negation: `!0 = 1`, `!1 = 0`, unknown otherwise.
+    ///
+    /// Also available through [`std::ops::Not`] (`!bit`).
+    #[allow(clippy::should_implement_trait)] // `Not` is implemented below; the inherent name stays for call-chaining.
     #[inline]
     pub fn not(self) -> Self {
         match self {
@@ -152,6 +155,14 @@ impl From<bool> for LogicBit {
         } else {
             LogicBit::Zero
         }
+    }
+}
+
+impl std::ops::Not for LogicBit {
+    type Output = LogicBit;
+
+    fn not(self) -> LogicBit {
+        LogicBit::not(self)
     }
 }
 

@@ -8,7 +8,7 @@ impl fmt::Display for LogicVec {
     /// and every hex digit is uniform (`16'hbeef`, `8'hxx`), binary
     /// otherwise (`4'b10x1`).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.width() % 4 == 0 {
+        if self.width().is_multiple_of(4) {
             if let Some(hex) = self.try_hex_digits() {
                 return write!(f, "{}'h{}", self.width(), hex);
             }

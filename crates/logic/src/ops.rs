@@ -84,10 +84,10 @@ impl LogicVec {
         let r = rhs.resize(w);
         LogicVec::from_fn(w, |aval, _| {
             let mut carry = 0u64;
-            for i in 0..aval.len() {
+            for (i, slot) in aval.iter_mut().enumerate() {
                 let (s1, c1) = l.avals()[i].overflowing_add(r.avals()[i]);
                 let (s2, c2) = s1.overflowing_add(carry);
-                aval[i] = s2;
+                *slot = s2;
                 carry = (c1 as u64) + (c2 as u64);
             }
         })
@@ -103,10 +103,10 @@ impl LogicVec {
         let r = rhs.resize(w);
         LogicVec::from_fn(w, |aval, _| {
             let mut borrow = 0u64;
-            for i in 0..aval.len() {
+            for (i, slot) in aval.iter_mut().enumerate() {
                 let (d1, b1) = l.avals()[i].overflowing_sub(r.avals()[i]);
                 let (d2, b2) = d1.overflowing_sub(borrow);
-                aval[i] = d2;
+                *slot = d2;
                 borrow = (b1 as u64) + (b2 as u64);
             }
         })
@@ -130,9 +130,8 @@ impl LogicVec {
             for i in 0..n {
                 let mut carry = 0u128;
                 for j in 0..(n - i) {
-                    let p = l.avals()[i] as u128 * r.avals()[j] as u128
-                        + aval[i + j] as u128
-                        + carry;
+                    let p =
+                        l.avals()[i] as u128 * r.avals()[j] as u128 + aval[i + j] as u128 + carry;
                     aval[i + j] = p as u64;
                     carry = p >> 64;
                 }
@@ -162,10 +161,7 @@ impl LogicVec {
         if w <= 64 {
             let a = self.to_u64().expect("defined <=64-bit value");
             let b = rhs.to_u64().expect("defined <=64-bit value");
-            return (
-                LogicVec::from_u64(w, a / b),
-                LogicVec::from_u64(w, a % b),
-            );
+            return (LogicVec::from_u64(w, a / b), LogicVec::from_u64(w, a % b));
         }
         // Bit-serial restoring division for wide values.
         let l = self.resize(w);
@@ -403,7 +399,14 @@ impl LogicVec {
         let mut out = LogicVec::zeros(w);
         for i in 0..w {
             let (a, b) = (l.bit(i), r.bit(i));
-            out.set_bit(i, if a == b && a.is_defined() { a } else { LogicBit::X });
+            out.set_bit(
+                i,
+                if a == b && a.is_defined() {
+                    a
+                } else {
+                    LogicBit::X
+                },
+            );
         }
         out
     }
@@ -425,7 +428,11 @@ fn shift_words(w: u32, v: &LogicVec, amount: u32, kind: ShiftKind) -> LogicVec {
                 dst[i] = match kind {
                     ShiftKind::Left => {
                         let lo = if i >= ws { src[i - ws] << bs } else { 0 };
-                        let hi = if bs > 0 && i > ws { src[i - ws - 1] >> (64 - bs) } else { 0 };
+                        let hi = if bs > 0 && i > ws {
+                            src[i - ws - 1] >> (64 - bs)
+                        } else {
+                            0
+                        };
                         lo | hi
                     }
                     ShiftKind::Right => {

@@ -181,7 +181,10 @@ mod tests {
         let v = LogicVec::parse_literal("42").unwrap();
         assert_eq!(v.width(), 32);
         assert_eq!(v.to_u64(), Some(42));
-        assert_eq!(LogicVec::parse_literal("1_000").unwrap().to_u64(), Some(1000));
+        assert_eq!(
+            LogicVec::parse_literal("1_000").unwrap().to_u64(),
+            Some(1000)
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::LogicBit;
 /// Number of 64-bit words needed for `width` bits.
 #[inline]
 pub(crate) fn words_for(width: u32) -> usize {
-    ((width as usize) + 63) / 64
+    (width as usize).div_ceil(64)
 }
 
 /// Mask for the valid bits of the top word of a `width`-bit vector.
@@ -208,7 +208,11 @@ impl LogicVec {
     /// (possibly out-of-range) indices.
     #[inline]
     pub fn bit(&self, i: u32) -> LogicBit {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         let w = (i / 64) as usize;
         let m = 1u64 << (i % 64);
         LogicBit::from_planes(self.avals()[w] & m != 0, self.bvals()[w] & m != 0)
@@ -231,19 +235,39 @@ impl LogicVec {
     ///
     /// Panics if `i >= width`.
     pub fn set_bit(&mut self, i: u32, bit: LogicBit) {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         let w = (i / 64) as usize;
         let m = 1u64 << (i % 64);
         let (a, b) = bit.planes();
         let n = words_for(self.width);
         match &mut self.buf {
             Buf::Inline { aval, bval } => {
-                if a { *aval |= m } else { *aval &= !m }
-                if b { *bval |= m } else { *bval &= !m }
+                if a {
+                    *aval |= m
+                } else {
+                    *aval &= !m
+                }
+                if b {
+                    *bval |= m
+                } else {
+                    *bval &= !m
+                }
             }
             Buf::Heap(words) => {
-                if a { words[w] |= m } else { words[w] &= !m }
-                if b { words[n + w] |= m } else { words[n + w] &= !m }
+                if a {
+                    words[w] |= m
+                } else {
+                    words[w] &= !m
+                }
+                if b {
+                    words[n + w] |= m
+                } else {
+                    words[n + w] &= !m
+                }
             }
         }
     }

@@ -1,30 +1,49 @@
 //! Property-based tests for the four-state value system.
+//!
+//! Implemented as a dependency-free randomized harness: each property is
+//! checked against a few hundred cases drawn from a fixed-seed LCG, so the
+//! suite is deterministic across runs and platforms while still sweeping
+//! the operand space the way a proptest-style generator would.
 
 use eraser_logic::{LogicBit, LogicVec};
-use proptest::prelude::*;
 
-fn mask(width: u32, v: u64) -> u64 {
-    if width >= 64 {
-        v
-    } else {
-        v & ((1u64 << width) - 1)
-    }
+const CASES: usize = 300;
+
+/// Deterministic 64-bit LCG (same constants as the stimulus generators).
+struct Rng {
+    state: u64,
 }
 
-prop_compose! {
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng {
+            state: seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state >> 1 ^ self.state >> 33
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
     /// A width in 1..=64 and a value masked to it.
-    fn narrow()(width in 1u32..=64, raw in any::<u64>()) -> (u32, u64) {
-        (width, mask(width, raw))
+    fn narrow(&mut self) -> (u32, u64) {
+        let width = 1 + self.below(64) as u32;
+        (width, mask(width, self.next_u64()))
     }
-}
 
-prop_compose! {
     /// An arbitrary four-state vector of width 1..=200.
-    fn any_vec()(width in 1u32..=200, seed in proptest::collection::vec(0u8..4, 1..=200))
-        -> LogicVec
-    {
-        let bits: Vec<LogicBit> = (0..width as usize)
-            .map(|i| match seed[i % seed.len()] {
+    fn any_vec(&mut self) -> LogicVec {
+        let width = 1 + self.below(200) as u32;
+        let bits: Vec<LogicBit> = (0..width)
+            .map(|_| match self.below(4) {
                 0 => LogicBit::Zero,
                 1 => LogicBit::One,
                 2 => LogicBit::Z,
@@ -35,152 +54,245 @@ prop_compose! {
     }
 }
 
-proptest! {
-    #[test]
-    fn u64_roundtrip((w, v) in narrow()) {
-        prop_assert_eq!(LogicVec::from_u64(w, v).to_u64(), Some(v));
+fn mask(width: u32, v: u64) -> u64 {
+    if width >= 64 {
+        v
+    } else {
+        v & ((1u64 << width) - 1)
     }
+}
 
-    #[test]
-    fn add_matches_wrapping_u64((w, a) in narrow(), (_, braw) in narrow()) {
-        let b = mask(w, braw);
+#[test]
+fn u64_roundtrip() {
+    let mut rng = Rng::new(1);
+    for _ in 0..CASES {
+        let (w, v) = rng.narrow();
+        assert_eq!(LogicVec::from_u64(w, v).to_u64(), Some(v));
+    }
+}
+
+#[test]
+fn add_matches_wrapping_u64() {
+    let mut rng = Rng::new(2);
+    for _ in 0..CASES {
+        let (w, a) = rng.narrow();
+        let b = mask(w, rng.next_u64());
         let sum = LogicVec::from_u64(w, a).add(&LogicVec::from_u64(w, b));
-        prop_assert_eq!(sum.to_u64(), Some(mask(w, a.wrapping_add(b))));
+        assert_eq!(sum.to_u64(), Some(mask(w, a.wrapping_add(b))));
     }
+}
 
-    #[test]
-    fn sub_is_add_inverse((w, a) in narrow(), (_, braw) in narrow()) {
-        let b = mask(w, braw);
+#[test]
+fn sub_is_add_inverse() {
+    let mut rng = Rng::new(3);
+    for _ in 0..CASES {
+        let (w, a) = rng.narrow();
+        let b = mask(w, rng.next_u64());
         let av = LogicVec::from_u64(w, a);
         let bv = LogicVec::from_u64(w, b);
-        prop_assert_eq!(av.add(&bv).sub(&bv), av);
+        assert_eq!(av.add(&bv).sub(&bv), av);
     }
+}
 
-    #[test]
-    fn mul_matches_wrapping_u64((w, a) in narrow(), (_, braw) in narrow()) {
-        let b = mask(w, braw);
+#[test]
+fn mul_matches_wrapping_u64() {
+    let mut rng = Rng::new(4);
+    for _ in 0..CASES {
+        let (w, a) = rng.narrow();
+        let b = mask(w, rng.next_u64());
         let prod = LogicVec::from_u64(w, a).mul(&LogicVec::from_u64(w, b));
         let expect = mask(w, (a as u128).wrapping_mul(b as u128) as u64);
-        prop_assert_eq!(prod.to_u64(), Some(expect));
+        assert_eq!(prod.to_u64(), Some(expect), "width {w}: {a} * {b}");
     }
+}
 
-    #[test]
-    fn div_rem_reconstruct((w, a) in narrow(), (_, braw) in narrow()) {
-        let b = mask(w, braw);
-        prop_assume!(b != 0);
+#[test]
+fn div_rem_reconstruct() {
+    let mut rng = Rng::new(5);
+    for _ in 0..CASES {
+        let (w, a) = rng.narrow();
+        let b = mask(w, rng.next_u64());
+        if b == 0 {
+            continue;
+        }
         let av = LogicVec::from_u64(w, a);
         let bv = LogicVec::from_u64(w, b);
         let (q, r) = av.div_rem(&bv);
-        prop_assert_eq!(q.to_u64(), Some(a / b));
-        prop_assert_eq!(r.to_u64(), Some(a % b));
+        assert_eq!(q.to_u64(), Some(a / b));
+        assert_eq!(r.to_u64(), Some(a % b));
         // a = q*b + r
-        prop_assert_eq!(q.mul(&bv).add(&r).to_u64(), Some(a));
+        assert_eq!(q.mul(&bv).add(&r).to_u64(), Some(a));
     }
+}
 
-    #[test]
-    fn wide_div_rem_matches_u128(a in any::<u64>(), b in 1u64..) {
+#[test]
+fn wide_div_rem_matches_u128() {
+    let mut rng = Rng::new(6);
+    for _ in 0..CASES {
         // Exercise the bit-serial path with 128-bit operands.
+        let a = rng.next_u64();
+        let b = 1 + rng.below(u64::MAX);
         let av = LogicVec::from_u64(128, a);
         let bv = LogicVec::from_u64(128, b);
         let (q, r) = av.div_rem(&bv);
-        prop_assert_eq!(q.to_u64(), Some(a / b));
-        prop_assert_eq!(r.to_u64(), Some(a % b));
+        assert_eq!(q.to_u64(), Some(a / b));
+        assert_eq!(r.to_u64(), Some(a % b));
     }
+}
 
-    #[test]
-    fn bitwise_matches_u64((w, a) in narrow(), (_, braw) in narrow()) {
-        let b = mask(w, braw);
+#[test]
+fn bitwise_matches_u64() {
+    let mut rng = Rng::new(7);
+    for _ in 0..CASES {
+        let (w, a) = rng.narrow();
+        let b = mask(w, rng.next_u64());
         let av = LogicVec::from_u64(w, a);
         let bv = LogicVec::from_u64(w, b);
-        prop_assert_eq!(av.and(&bv).to_u64(), Some(a & b));
-        prop_assert_eq!(av.or(&bv).to_u64(), Some(a | b));
-        prop_assert_eq!(av.xor(&bv).to_u64(), Some(a ^ b));
-        prop_assert_eq!(av.not().to_u64(), Some(mask(w, !a)));
+        assert_eq!(av.and(&bv).to_u64(), Some(a & b));
+        assert_eq!(av.or(&bv).to_u64(), Some(a | b));
+        assert_eq!(av.xor(&bv).to_u64(), Some(a ^ b));
+        assert_eq!(av.not().to_u64(), Some(mask(w, !a)));
     }
+}
 
-    #[test]
-    fn shifts_match_u64((w, a) in narrow(), amt in 0u32..80) {
+#[test]
+fn shifts_match_u64() {
+    let mut rng = Rng::new(8);
+    for _ in 0..CASES {
+        let (w, a) = rng.narrow();
+        let amt = rng.below(80) as u32;
         let av = LogicVec::from_u64(w, a);
         let expect_shl = if amt >= w { 0 } else { mask(w, a << amt) };
         let expect_shr = if amt >= 64 { 0 } else { a >> amt };
-        prop_assert_eq!(av.shl(amt).to_u64(), Some(expect_shl));
-        prop_assert_eq!(av.lshr(amt).to_u64(), Some(if amt >= w { 0 } else { expect_shr }));
+        assert_eq!(av.shl(amt).to_u64(), Some(expect_shl));
+        assert_eq!(
+            av.lshr(amt).to_u64(),
+            Some(if amt >= w { 0 } else { expect_shr })
+        );
     }
+}
 
-    #[test]
-    fn compare_matches_u64((w, a) in narrow(), (_, braw) in narrow()) {
-        let b = mask(w, braw);
+#[test]
+fn compare_matches_u64() {
+    let mut rng = Rng::new(9);
+    for _ in 0..CASES {
+        let (w, a) = rng.narrow();
+        let b = mask(w, rng.next_u64());
         let av = LogicVec::from_u64(w, a);
         let bv = LogicVec::from_u64(w, b);
-        prop_assert_eq!(av.lt(&bv), LogicBit::from(a < b));
-        prop_assert_eq!(av.le(&bv), LogicBit::from(a <= b));
-        prop_assert_eq!(av.logic_eq(&bv), LogicBit::from(a == b));
+        assert_eq!(av.lt(&bv), LogicBit::from(a < b));
+        assert_eq!(av.le(&bv), LogicBit::from(a <= b));
+        assert_eq!(av.logic_eq(&bv), LogicBit::from(a == b));
     }
+}
 
-    #[test]
-    fn not_is_involution_on_defined((w, a) in narrow()) {
+#[test]
+fn not_is_involution_on_defined() {
+    let mut rng = Rng::new(10);
+    for _ in 0..CASES {
+        let (w, a) = rng.narrow();
         let av = LogicVec::from_u64(w, a);
-        prop_assert_eq!(av.not().not(), av);
+        assert_eq!(av.not().not(), av);
     }
+}
 
-    #[test]
-    fn de_morgan_on_defined((w, a) in narrow(), (_, braw) in narrow()) {
-        let b = mask(w, braw);
+#[test]
+fn de_morgan_on_defined() {
+    let mut rng = Rng::new(11);
+    for _ in 0..CASES {
+        let (w, a) = rng.narrow();
+        let b = mask(w, rng.next_u64());
         let av = LogicVec::from_u64(w, a);
         let bv = LogicVec::from_u64(w, b);
-        prop_assert_eq!(av.and(&bv).not(), av.not().or(&bv.not()));
+        assert_eq!(av.and(&bv).not(), av.not().or(&bv.not()));
     }
+}
 
-    #[test]
-    fn concat_slice_roundtrip(v in any_vec(), w in any_vec()) {
+#[test]
+fn concat_slice_roundtrip() {
+    let mut rng = Rng::new(12);
+    for _ in 0..CASES {
+        let v = rng.any_vec();
+        let w = rng.any_vec();
         let c = LogicVec::concat_lsb_first(&[&v, &w]);
-        prop_assert_eq!(c.width(), v.width() + w.width());
-        prop_assert_eq!(c.slice(v.width() - 1, 0), v.clone());
-        prop_assert_eq!(c.slice(c.width() - 1, v.width()), w);
+        assert_eq!(c.width(), v.width() + w.width());
+        assert_eq!(c.slice(v.width() - 1, 0), v);
+        assert_eq!(c.slice(c.width() - 1, v.width()), w);
     }
+}
 
-    #[test]
-    fn replicate_slices_back(v in any_vec(), n in 1u32..4) {
+#[test]
+fn replicate_slices_back() {
+    let mut rng = Rng::new(13);
+    for _ in 0..CASES {
+        let v = rng.any_vec();
+        let n = 1 + rng.below(3) as u32;
         let r = v.replicate(n);
         for k in 0..n {
-            prop_assert_eq!(r.slice((k + 1) * v.width() - 1, k * v.width()), v.clone());
+            assert_eq!(r.slice((k + 1) * v.width() - 1, k * v.width()), v);
         }
     }
+}
 
-    #[test]
-    fn resize_preserves_low_bits(v in any_vec(), extra in 0u32..70) {
+#[test]
+fn resize_preserves_low_bits() {
+    let mut rng = Rng::new(14);
+    for _ in 0..CASES {
+        let v = rng.any_vec();
+        let extra = rng.below(70) as u32;
         let grown = v.resize(v.width() + extra);
-        prop_assert_eq!(grown.slice(v.width() - 1, 0), v.clone());
+        assert_eq!(grown.slice(v.width() - 1, 0), v);
         for i in v.width()..grown.width() {
-            prop_assert_eq!(grown.bit(i), LogicBit::Zero);
+            assert_eq!(grown.bit(i), LogicBit::Zero);
         }
     }
+}
 
-    #[test]
-    fn case_eq_is_exact_identity(v in any_vec()) {
-        prop_assert!(v.case_eq(&v.clone()));
+#[test]
+fn case_eq_is_exact_identity() {
+    let mut rng = Rng::new(15);
+    for _ in 0..CASES {
+        let v = rng.any_vec();
+        assert!(v.case_eq(&v.clone()));
     }
+}
 
-    #[test]
-    fn display_parse_roundtrip(v in any_vec()) {
+#[test]
+fn display_parse_roundtrip() {
+    let mut rng = Rng::new(16);
+    for _ in 0..CASES {
+        let v = rng.any_vec();
         let s = v.to_string();
         let back = LogicVec::parse_literal(&s).unwrap();
-        prop_assert_eq!(back, v);
+        assert_eq!(back, v, "roundtrip through `{s}`");
     }
+}
 
-    #[test]
-    fn xor_with_self_is_zero_on_defined((w, a) in narrow()) {
+#[test]
+fn xor_with_self_is_zero_on_defined() {
+    let mut rng = Rng::new(17);
+    for _ in 0..CASES {
+        let (w, a) = rng.narrow();
         let av = LogicVec::from_u64(w, a);
-        prop_assert!(av.xor(&av).is_zero());
+        assert!(av.xor(&av).is_zero());
     }
+}
 
-    #[test]
-    fn unknown_poisons_arithmetic(v in any_vec(), (w, a) in narrow()) {
-        prop_assume!(v.has_unknown());
+#[test]
+fn unknown_poisons_arithmetic() {
+    let mut rng = Rng::new(18);
+    let mut checked = 0;
+    while checked < CASES {
+        let v = rng.any_vec();
+        if !v.has_unknown() {
+            continue;
+        }
+        checked += 1;
+        let (w, a) = rng.narrow();
         let d = LogicVec::from_u64(w, a);
-        prop_assert!(v.add(&d).has_unknown());
-        prop_assert!(v.mul(&d).has_unknown());
-        prop_assert_eq!(v.logic_eq(&d), LogicBit::X);
-        prop_assert_eq!(v.lt(&d), LogicBit::X);
+        assert!(v.add(&d).has_unknown());
+        assert!(v.mul(&d).has_unknown());
+        assert_eq!(v.logic_eq(&d), LogicBit::X);
+        assert_eq!(v.lt(&d), LogicBit::X);
     }
 }

@@ -143,7 +143,10 @@ pub fn execute_behavioral<S: ValueSource + ?Sized>(
         (out, mon.trace)
     } else {
         let mut mon = NoopMonitor;
-        (execute_monitored(design, node, base, &mut mon), ExecTrace::default())
+        (
+            execute_monitored(design, node, base, &mut mon),
+            ExecTrace::default(),
+        )
     }
 }
 

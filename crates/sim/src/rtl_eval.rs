@@ -76,8 +76,14 @@ mod tests {
 
     #[test]
     fn buf_resizes() {
-        assert_eq!(eval_rtl_op(&RtlOp::Buf, &[v(4, 0xf)], 8).to_u64(), Some(0xf));
-        assert_eq!(eval_rtl_op(&RtlOp::Buf, &[v(8, 0xff)], 4).to_u64(), Some(0xf));
+        assert_eq!(
+            eval_rtl_op(&RtlOp::Buf, &[v(4, 0xf)], 8).to_u64(),
+            Some(0xf)
+        );
+        assert_eq!(
+            eval_rtl_op(&RtlOp::Buf, &[v(8, 0xff)], 4).to_u64(),
+            Some(0xf)
+        );
     }
 
     #[test]

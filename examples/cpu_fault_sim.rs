@@ -1,10 +1,14 @@
-//! Engine comparison on a CPU workload: runs all four fault simulators on
-//! the PicoRV32-style core, checks they detect the identical fault set, and
-//! prints the wall-clock comparison — a single-design slice of Fig. 6.
+//! Engine comparison on a CPU workload: enumerates all four fault
+//! simulators through the [`FaultSimEngine`](eraser::core::FaultSimEngine)
+//! trait, runs them on the PicoRV32-style core via one
+//! [`CampaignRunner`](eraser::core::CampaignRunner), checks they detect the
+//! identical fault set, and prints the wall-clock comparison — a
+//! single-design slice of Fig. 6.
 //!
 //! Run with `cargo run --release --example cpu_fault_sim`.
 
-use eraser::baselines::{run_cfsim, run_eraser, run_ifsim, run_vfsim};
+use eraser::baselines::all_engines;
+use eraser::core::CampaignRunner;
 use eraser::designs::Benchmark;
 use eraser::fault::generate_faults;
 
@@ -20,22 +24,15 @@ fn main() {
         stimulus.num_steps()
     );
 
-    let ifsim = run_ifsim(&design, &faults, &stimulus);
-    let vfsim = run_vfsim(&design, &faults, &stimulus);
-    let cfsim = run_cfsim(&design, &faults, &stimulus);
-    let eraser = run_eraser(&design, &faults, &stimulus);
-
-    for r in [&vfsim, &cfsim, &eraser] {
-        assert!(
-            ifsim.coverage.same_detected_set(&r.coverage),
-            "{} disagrees with IFsim",
-            r.name
-        );
+    let runner = CampaignRunner::new(&design, &faults, &stimulus);
+    let results = runner.run_all(&all_engines());
+    if let Err(mismatch) = CampaignRunner::check_parity(&results) {
+        panic!("{mismatch}");
     }
-    println!("all engines agree: {}", eraser.coverage);
+    println!("all engines agree: {}", results[0].coverage);
     println!();
-    let base = ifsim.wall.as_secs_f64();
-    for r in [&ifsim, &vfsim, &cfsim, &eraser] {
+    let base = results[0].wall.as_secs_f64();
+    for r in &results {
         println!(
             "{:<8} {:>9.3}s  ({:>5.1}x vs IFsim)",
             r.name,

@@ -34,7 +34,11 @@ fn main() {
     );
     println!();
 
-    for mode in [RedundancyMode::None, RedundancyMode::Explicit, RedundancyMode::Full] {
+    for mode in [
+        RedundancyMode::None,
+        RedundancyMode::Explicit,
+        RedundancyMode::Full,
+    ] {
         let t0 = std::time::Instant::now();
         let res = run_campaign(
             &design,

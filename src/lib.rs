@@ -9,8 +9,14 @@
 //! * [`frontend`] — the Verilog-subset compiler,
 //! * [`sim`] — the event-driven kernel and good simulator,
 //! * [`fault`] — stuck-at fault model and coverage,
-//! * [`core`] — the ERASER concurrent engine (the paper's contribution),
-//! * [`baselines`] — IFsim / VFsim / CfSim comparison engines,
+//! * [`core`] — the ERASER concurrent engine (the paper's contribution)
+//!   and the engine-agnostic campaign API
+//!   ([`FaultSimEngine`](core::FaultSimEngine),
+//!   [`CampaignRunner`](core::CampaignRunner),
+//!   [`EngineResult`](core::EngineResult)),
+//! * [`baselines`] — IFsim / VFsim / CfSim comparison engines behind the
+//!   same trait ([`all_engines`](baselines::all_engines) returns the full
+//!   Fig. 6 line-up),
 //! * [`designs`] — the ten-benchmark suite with stimuli and golden models.
 //!
 //! # Quickstart
@@ -29,6 +35,28 @@
 //! });
 //! println!("coverage: {}", result.coverage);
 //! # assert!(result.coverage.detected() > 0);
+//! ```
+//!
+//! # Comparing engines
+//!
+//! Every engine — ERASER in all three ablation modes and the three
+//! baselines — is driven through the [`core::FaultSimEngine`] trait, so a
+//! campaign can enumerate them against identical inputs:
+//!
+//! ```
+//! use eraser::baselines::all_engines;
+//! use eraser::core::CampaignRunner;
+//! use eraser::designs::Benchmark;
+//! use eraser::fault::generate_faults;
+//!
+//! let design = Benchmark::Alu64.build();
+//! let faults = generate_faults(&design, &Benchmark::Alu64.fault_config());
+//! let stim = Benchmark::Alu64.stimulus_with_cycles(&design, 20);
+//! let runner = CampaignRunner::new(&design, &faults, &stim);
+//! let results = runner.run_all(&all_engines());
+//! CampaignRunner::check_parity(&results)?;
+//! # assert_eq!(results.len(), 4);
+//! # Ok::<(), eraser::core::ParityMismatch>(())
 //! ```
 
 pub use eraser_baselines as baselines;

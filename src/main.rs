@@ -169,7 +169,10 @@ fn main() -> ExitCode {
         if let Some(r) = reset {
             let asserted = cycle < 2;
             // Active-high: asserted -> 1; active-low (`*_n`): asserted -> 0.
-            changes.push((r, LogicVec::from_u64(1, (asserted ^ reset_active_low) as u64)));
+            changes.push((
+                r,
+                LogicVec::from_u64(1, (asserted ^ reset_active_low) as u64),
+            ));
         }
         for &inp in &data_inputs {
             let w = design.signal(inp).width;

@@ -4,14 +4,29 @@
 //! the levelized full-evaluation simulator (VFsim), and the concurrent
 //! explicit-only engine (CfSim).
 //!
+//! All engines are enumerated polymorphically through the
+//! [`FaultSimEngine`](eraser::core::FaultSimEngine) trait and driven by one
+//! [`CampaignRunner`](eraser::core::CampaignRunner), so adding an engine to
+//! the line-up automatically adds it to the parity check.
+//!
 //! The default tests run shortened campaigns on a representative subset;
 //! the full-suite sweep (all ten benchmarks) runs in the benchmark harness
 //! and in the `--ignored` test below.
 
-use eraser::baselines::{run_cfsim, run_ifsim, run_vfsim};
-use eraser::core::{run_campaign, CampaignConfig, RedundancyMode};
+use eraser::baselines::all_engines;
+use eraser::core::{CampaignRunner, Eraser, FaultSimEngine};
 use eraser::designs::Benchmark;
 use eraser::fault::{generate_faults, FaultListConfig};
+
+/// The full line-up under test: the Fig. 6 engines (IFsim, VFsim, CfSim,
+/// Eraser) plus the remaining two ablation variants of the concurrent
+/// engine (Eraser--, Eraser-).
+fn engines_under_test() -> Vec<Box<dyn FaultSimEngine>> {
+    let mut engines = all_engines();
+    engines.push(Box::new(Eraser::none()));
+    engines.push(Box::new(Eraser::explicit()));
+    engines
+}
 
 fn parity_for(bench: Benchmark, cycles: usize, max_faults: usize) {
     let design = bench.build();
@@ -20,49 +35,31 @@ fn parity_for(bench: Benchmark, cycles: usize, max_faults: usize) {
     let faults = generate_faults(&design, &cfg);
     let stim = bench.stimulus_with_cycles(&design, cycles);
 
-    let ifsim = run_ifsim(&design, &faults, &stim);
-    let vfsim = run_vfsim(&design, &faults, &stim);
-    let cfsim = run_cfsim(&design, &faults, &stim);
-    assert!(
-        ifsim.coverage.same_detected_set(&vfsim.coverage),
-        "{}: IFsim {} vs VFsim {}",
-        bench.name(),
-        ifsim.coverage,
-        vfsim.coverage
-    );
-    assert!(
-        ifsim.coverage.same_detected_set(&cfsim.coverage),
-        "{}: IFsim {} vs CfSim {}",
-        bench.name(),
-        ifsim.coverage,
-        cfsim.coverage
-    );
-    for mode in [RedundancyMode::None, RedundancyMode::Explicit, RedundancyMode::Full] {
-        let res = run_campaign(
-            &design,
-            &faults,
-            &stim,
-            &CampaignConfig {
-                mode,
-                drop_detected: true,
-            },
-        );
-        assert!(
-            ifsim.coverage.same_detected_set(&res.coverage),
-            "{}: IFsim {} vs {mode} {} (mismatch at faults {:?} vs {:?})",
-            bench.name(),
-            ifsim.coverage,
-            res.coverage,
-            ifsim.coverage.undetected().len(),
-            res.coverage.undetected().len(),
-        );
+    let runner = CampaignRunner::new(&design, &faults, &stim);
+    let results = runner.run_all(&engines_under_test());
+    assert_eq!(results.len(), 6);
+    if let Err(mismatch) = CampaignRunner::check_parity(&results) {
+        panic!("{}: {mismatch}", bench.name());
     }
     // Sanity: campaigns actually detect something.
     assert!(
-        ifsim.coverage.detected() > 0,
-        "{}: nothing detected",
-        bench.name()
+        results[0].coverage.detected() > 0,
+        "{}: nothing detected ({})",
+        bench.name(),
+        results[0].coverage
     );
+    // The concurrent engines carry redundancy instrumentation; the serial
+    // baselines do not.
+    for r in &results {
+        let concurrent = r.name.starts_with("Eraser") || r.name == "CfSim";
+        assert_eq!(
+            r.stats.is_some(),
+            concurrent,
+            "{}: unexpected stats presence for {}",
+            bench.name(),
+            r.name
+        );
+    }
 }
 
 #[test]

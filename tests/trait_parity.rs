@@ -1,0 +1,155 @@
+//! Behavioral contract of the [`FaultSimEngine`] abstraction itself:
+//! engines are interchangeable trait objects, the [`CampaignRunner`] times
+//! them uniformly, and — the Table II criterion — every engine reports
+//! bit-identical fault coverage on real benchmark designs.
+
+use eraser::baselines::{all_engines, CfSim};
+use eraser::core::{CampaignConfig, CampaignRunner, Eraser, RedundancyMode};
+use eraser::designs::Benchmark;
+use eraser::fault::{generate_faults, FaultListConfig};
+
+fn setup(
+    bench: Benchmark,
+    cycles: usize,
+    max_faults: usize,
+) -> (
+    eraser::ir::Design,
+    eraser::fault::FaultList,
+    eraser::sim::Stimulus,
+) {
+    let design = bench.build();
+    let mut cfg: FaultListConfig = bench.fault_config();
+    cfg.max_faults = Some(max_faults.min(cfg.max_faults.unwrap_or(usize::MAX)));
+    let faults = generate_faults(&design, &cfg);
+    let stim = bench.stimulus_with_cycles(&design, cycles);
+    (design, faults, stim)
+}
+
+/// All engines, enumerated as trait objects, report bit-identical coverage
+/// on three benchmark designs of different character (datapath, protocol
+/// FSM, CPU) — and each fault's detected/undetected verdict matches
+/// per-fault across every engine pair, not just in aggregate.
+#[test]
+fn engines_report_bit_identical_coverage_on_three_benchmarks() {
+    for (bench, cycles, max_faults) in [
+        (Benchmark::Alu64, 30, 48),
+        (Benchmark::Apb, 48, 48),
+        (Benchmark::RiscvMini, 40, 48),
+    ] {
+        let (design, faults, stim) = setup(bench, cycles, max_faults);
+        let runner = CampaignRunner::new(&design, &faults, &stim);
+        let results = runner.run_all(&all_engines());
+        assert_eq!(results.len(), 4, "{}", bench.name());
+        for pair in results.windows(2) {
+            assert!(
+                pair[0].coverage.same_detected_set(&pair[1].coverage),
+                "{}: {} ({}) vs {} ({})",
+                bench.name(),
+                pair[0].name,
+                pair[0].coverage,
+                pair[1].name,
+                pair[1].coverage
+            );
+            // Bit-identical per fault, not just equal counts.
+            for f in faults.iter() {
+                assert_eq!(
+                    pair[0].coverage.is_detected(f.id),
+                    pair[1].coverage.is_detected(f.id),
+                    "{}: fault {} verdict differs between {} and {}",
+                    bench.name(),
+                    f.id,
+                    pair[0].name,
+                    pair[1].name
+                );
+            }
+        }
+        assert!(
+            results[0].coverage.detected() > 0,
+            "{}: campaign detected nothing",
+            bench.name()
+        );
+    }
+}
+
+/// Engine names are stable and every runner-produced result carries a
+/// measured wall time.
+#[test]
+fn runner_captures_names_and_timing() {
+    let (design, faults, stim) = setup(Benchmark::Apb, 30, 24);
+    let runner = CampaignRunner::new(&design, &faults, &stim);
+    let results = runner.run_all(&all_engines());
+    let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(names, ["IFsim", "VFsim", "CfSim", "Eraser"]);
+    for r in &results {
+        assert!(r.wall.as_nanos() > 0, "{} has no wall time", r.name);
+        assert_eq!(r.coverage.total(), faults.len());
+    }
+}
+
+/// The `Eraser` trait impl pins its own ablation mode, overriding the
+/// shared campaign config — so a heterogeneous engine list runs correctly
+/// under one config — while CfSim is exactly the explicit-mode engine
+/// under a different name.
+#[test]
+fn eraser_mode_overrides_shared_config() {
+    let (design, faults, stim) = setup(Benchmark::PicoRv32, 40, 40);
+    let config = CampaignConfig {
+        mode: RedundancyMode::None, // would disable all elimination
+        drop_detected: true,
+    };
+    let runner = CampaignRunner::new(&design, &faults, &stim).with_config(config);
+
+    let full = runner.run(&Eraser::full());
+    let stats = full.stats.as_ref().expect("concurrent engine has stats");
+    assert!(
+        stats.eliminated() > 0,
+        "full mode must eliminate redundancy despite config.mode = None"
+    );
+
+    let cfsim = runner.run(&CfSim);
+    let explicit = runner.run(&Eraser::explicit());
+    assert_eq!(cfsim.name, "CfSim");
+    assert_eq!(explicit.name, "Eraser-");
+    assert!(cfsim.coverage.same_detected_set(&explicit.coverage));
+    let (cf, ex) = (cfsim.stats.unwrap(), explicit.stats.unwrap());
+    assert_eq!(cf.fault_executions, ex.fault_executions);
+    assert_eq!(cf.explicit_skipped, ex.explicit_skipped);
+    assert_eq!(cf.implicit_skipped, 0);
+}
+
+/// The three ablation variants agree on coverage and are monotone in
+/// executed work (Eraser-- >= Eraser- >= Eraser), driven purely through
+/// the trait.
+#[test]
+fn ablation_line_up_is_monotone() {
+    let (design, faults, stim) = setup(Benchmark::Sha256Hv, 72, 32);
+    let runner = CampaignRunner::new(&design, &faults, &stim);
+    let results = runner.run_all(&Eraser::ablation());
+    let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(names, ["Eraser--", "Eraser-", "Eraser"]);
+    CampaignRunner::check_parity(&results).expect("ablation parity");
+    let execs: Vec<u64> = results
+        .iter()
+        .map(|r| r.stats.as_ref().unwrap().fault_executions)
+        .collect();
+    assert!(
+        execs[0] >= execs[1] && execs[1] >= execs[2],
+        "executions not monotone: {execs:?}"
+    );
+}
+
+/// `check_parity` reports the offending engine pair instead of silently
+/// passing when coverage disagrees.
+#[test]
+fn check_parity_names_the_disagreeing_engine() {
+    let (design, faults, stim) = setup(Benchmark::Alu64, 20, 16);
+    let runner = CampaignRunner::new(&design, &faults, &stim);
+    let mut results = runner.run_all(&Eraser::ablation());
+    // Forge a disagreement: replace one result's coverage with an empty
+    // report of the same size.
+    results[2].coverage = eraser::fault::CoverageReport::new(faults.len());
+    let err = CampaignRunner::check_parity(&results).unwrap_err();
+    assert_eq!(err.baseline.0, "Eraser--");
+    assert_eq!(err.other.0, "Eraser");
+    assert!(err.to_string().contains("parity"));
+}
