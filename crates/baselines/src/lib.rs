@@ -60,7 +60,7 @@ mod compiled;
 mod serial;
 
 pub use compiled::CompiledSim;
-pub use eraser_core::{EngineResult, Eraser, FaultSimEngine};
+pub use eraser_core::{EngineResult, Eraser, FaultSimEngine, Parallel, ParallelConfig};
 
 use eraser_core::CampaignConfig;
 use eraser_fault::FaultList;
@@ -182,6 +182,26 @@ pub fn all_engines() -> Vec<Box<dyn FaultSimEngine>> {
         Box::new(VFsim),
         Box::new(CfSim),
         Box::new(Eraser::full()),
+    ]
+}
+
+/// Every engine of the workspace — the Fig. 6 line-up plus the remaining
+/// two ERASER ablation variants — wrapped in the fault-parallel
+/// [`Parallel`] adapter under one shared [`ParallelConfig`], in the same
+/// order as [`all_engines`] followed by `Eraser-` and `Eraser--`.
+///
+/// The serial baselines ignore `CampaignConfig::parallel` on their own;
+/// wrapping them is the one code path that parallelizes every engine, and
+/// merged coverage stays bit-identical for each of them, so the whole
+/// line-up still passes the Table II parity check.
+pub fn all_engines_parallel(config: ParallelConfig) -> Vec<Box<dyn FaultSimEngine>> {
+    vec![
+        Box::new(Parallel::new(IFsim, config)),
+        Box::new(Parallel::new(VFsim, config)),
+        Box::new(Parallel::new(CfSim, config)),
+        Box::new(Parallel::new(Eraser::full(), config)),
+        Box::new(Parallel::new(Eraser::explicit(), config)),
+        Box::new(Parallel::new(Eraser::none(), config)),
     ]
 }
 

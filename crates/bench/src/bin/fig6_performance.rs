@@ -7,9 +7,8 @@
 
 use eraser_baselines::all_engines;
 use eraser_bench::json::{write_records, BenchRecord};
-use eraser_bench::{env_scale, fmt_secs, prepare, print_environment};
+use eraser_bench::{env_scale, fmt_secs, prepare, print_environment, selected_benchmarks};
 use eraser_core::CampaignRunner;
-use eraser_designs::Benchmark;
 
 const BINARY: &str = "fig6_performance";
 
@@ -28,7 +27,7 @@ fn main() {
     let mut records = Vec::new();
     let mut geo = vec![0.0f64; engines.len()];
     let mut n = 0usize;
-    for bench in Benchmark::all() {
+    for bench in selected_benchmarks() {
         let p = prepare(bench, scale);
         let runner = CampaignRunner::new(&p.design, &p.faults, &p.stimulus);
         let results = runner.run_all(&engines);

@@ -1,0 +1,103 @@
+//! **Fig. 8** (beyond the paper): fault-parallel scaling of the full
+//! ERASER engine. For every benchmark, the campaign runs serially (the
+//! reference) and then through the [`Parallel`] adapter at 1/2/4/8 worker
+//! threads under the configured partition strategy, asserting that every
+//! merged coverage report is *bit-identical* to the serial one (detections,
+//! first-detection steps, outputs) and reporting wall-time speedups. Emits
+//! `BENCH_fig8_scaling.json` (one record per benchmark/thread-count, with
+//! the `threads` field set).
+//!
+//! `ERASER_PARTITION` selects the strategy (default `site-affinity`);
+//! `ERASER_BENCH_ONLY` restricts the benchmark set (used by CI to keep the
+//! record fresh on two small designs); `ERASER_FIG8_THREADS` overrides the
+//! sweep (comma-separated, default `1,2,4,8`).
+
+use eraser_bench::json::{write_records, BenchRecord};
+use eraser_bench::{env_scale, fmt_secs, prepare, print_environment, selected_benchmarks};
+use eraser_core::{CampaignConfig, Eraser, FaultSimEngine, Parallel, ParallelConfig};
+
+const BINARY: &str = "fig8_scaling";
+
+fn thread_sweep() -> Vec<usize> {
+    std::env::var("ERASER_FIG8_THREADS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&t| t > 0)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+fn main() {
+    print_environment("Fig. 8 — fault-parallel scaling of the ERASER engine");
+    let scale = env_scale();
+    let threads = thread_sweep();
+    let strategy = ParallelConfig::default().strategy;
+    // The reference and all shard campaigns run under one serial config;
+    // the Parallel adapter owns every thread.
+    let config = CampaignConfig::serial();
+
+    print!("{:<11} {:>10}", "benchmark", "serial");
+    for &t in &threads {
+        print!(" {:>9}", format!("p{t}"));
+    }
+    for &t in &threads {
+        print!(" {:>6}", format!("p{t} x"));
+    }
+    println!("   coverage");
+
+    let mut records = Vec::new();
+    let mut geo = vec![0.0f64; threads.len()];
+    let mut n = 0usize;
+    for bench in selected_benchmarks() {
+        let p = prepare(bench, scale);
+        let serial = Eraser::full().run(&p.design, &p.faults, &p.stimulus, &config);
+        let mut row = Vec::new();
+        for &t in &threads {
+            let engine = Parallel::new(
+                Eraser::full(),
+                ParallelConfig {
+                    threads: t,
+                    strategy,
+                },
+            );
+            let result = engine.run(&p.design, &p.faults, &p.stimulus, &config);
+            assert_eq!(
+                serial.coverage,
+                result.coverage,
+                "{} p{t}: merged coverage is not bit-identical to the serial run",
+                bench.name()
+            );
+            records.push(BenchRecord::from_result(BINARY, &p, &result));
+            row.push(result);
+        }
+        print!("{:<11} {:>10}", bench.name(), fmt_secs(serial.wall));
+        for r in &row {
+            print!(" {:>9}", fmt_secs(r.wall));
+        }
+        for (i, r) in row.iter().enumerate() {
+            let sp = serial.wall.as_secs_f64() / r.wall.as_secs_f64();
+            geo[i] += sp.ln();
+            print!(" {:>5.1}x", sp);
+        }
+        println!("   {}", serial.coverage);
+        records.push(BenchRecord::from_result(BINARY, &p, &serial));
+        n += 1;
+    }
+
+    println!();
+    let parts: Vec<String> = threads
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("p{t} {:.2}x", (geo[i] / n as f64).exp()))
+        .collect();
+    println!(
+        "geomean speedup vs serial ({strategy} partition): {}",
+        parts.join(", ")
+    );
+    println!("(coverage asserted bit-identical to the serial engine at every thread count)");
+    write_records(BINARY, &records);
+}

@@ -7,9 +7,8 @@
 
 use eraser_baselines::all_engines;
 use eraser_bench::json::{write_records, BenchRecord};
-use eraser_bench::{env_scale, prepare, print_environment};
+use eraser_bench::{env_scale, prepare, print_environment, selected_benchmarks};
 use eraser_core::CampaignRunner;
-use eraser_designs::Benchmark;
 use eraser_ir::analysis::design_stats;
 
 const BINARY: &str = "table2_benchmarks";
@@ -27,7 +26,7 @@ fn main() {
     println!();
     let scale = env_scale();
     let mut records = Vec::new();
-    for bench in Benchmark::all() {
+    for bench in selected_benchmarks() {
         let p = prepare(bench, scale);
         let st = design_stats(&p.design);
         let runner = CampaignRunner::new(&p.design, &p.faults, &p.stimulus);

@@ -16,8 +16,9 @@ use eraser_ir::analysis::design_stats;
 use std::io::Write;
 use std::path::PathBuf;
 
-/// Schema tag stamped into every record.
-pub const SCHEMA: &str = "eraser-bench-v1";
+/// Schema tag stamped into every record. `v2` added the `threads` field
+/// (fault-parallel worker count; `1` for serial campaigns).
+pub const SCHEMA: &str = "eraser-bench-v2";
 
 /// One engine/benchmark measurement.
 #[derive(Debug, Clone)]
@@ -40,10 +41,14 @@ pub struct BenchRecord {
     pub coverage_percent: f64,
     /// Campaign wall time in seconds.
     pub wall_seconds: f64,
+    /// Fault-parallel worker threads used for the campaign (1 = serial).
+    pub threads: usize,
 }
 
 impl BenchRecord {
-    /// Builds a record from a prepared benchmark and an engine result.
+    /// Builds a record from a prepared benchmark and an engine result. The
+    /// `threads` field comes from [`EngineResult::threads`] — the worker
+    /// count the campaign actually ran with, as reported by the engine.
     pub fn from_result(binary: &str, p: &Prepared, r: &EngineResult) -> Self {
         let st = design_stats(&p.design);
         BenchRecord {
@@ -56,7 +61,14 @@ impl BenchRecord {
             detected: r.coverage.detected(),
             coverage_percent: r.coverage.coverage_percent(),
             wall_seconds: r.wall.as_secs_f64(),
+            threads: r.threads,
         }
+    }
+
+    /// Stamps the fault-parallel worker count the campaign ran with.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Serializes the record as a single JSON object.
@@ -66,7 +78,8 @@ impl BenchRecord {
                 "{{\"schema\":\"{}\",\"binary\":\"{}\",\"benchmark\":\"{}\",",
                 "\"engine\":\"{}\",\"cells\":{},\"faults\":{},",
                 "\"stimulus_steps\":{},\"detected\":{},",
-                "\"coverage_percent\":{:.4},\"wall_seconds\":{:.6}}}"
+                "\"coverage_percent\":{:.4},\"wall_seconds\":{:.6},",
+                "\"threads\":{}}}"
             ),
             SCHEMA,
             escape(&self.binary),
@@ -78,6 +91,7 @@ impl BenchRecord {
             self.detected,
             self.coverage_percent,
             self.wall_seconds,
+            self.threads,
         )
     }
 }
@@ -133,12 +147,14 @@ mod tests {
             detected: 97,
             coverage_percent: 97.0,
             wall_seconds: 1.25,
+            threads: 4,
         };
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
-        assert!(j.contains("\"schema\":\"eraser-bench-v1\""));
+        assert!(j.contains("\"schema\":\"eraser-bench-v2\""));
         assert!(j.contains("\\\"wide\\\""));
         assert!(j.contains("\"wall_seconds\":1.250000"));
+        assert!(j.contains("\"threads\":4"));
         // Balanced quotes: an even count of unescaped quotes.
         let unescaped = j.replace("\\\"", "");
         assert_eq!(unescaped.matches('"').count() % 2, 0);

@@ -10,13 +10,18 @@
 //! | `fig6_performance` | Fig. 6 engine time comparison + speedups |
 //! | `fig7_ablation` | Fig. 7 Eraser--/Eraser-/Eraser ablation |
 //! | `table3_redundancy` | Table III redundancy proportions + §V-C time split |
+//! | `fig8_scaling` | fault-parallel thread-count scaling (1/2/4/8) |
 //!
 //! Run with `cargo run --release -p eraser-bench --bin <name>`. The
 //! environment variable `ERASER_BENCH_SCALE` (default `1.0`) scales every
-//! stimulus length, e.g. `ERASER_BENCH_SCALE=0.25` for a quick pass.
+//! stimulus length, e.g. `ERASER_BENCH_SCALE=0.25` for a quick pass;
+//! `ERASER_BENCH_ONLY` (comma-separated Table II names) restricts the
+//! benchmark set; `ERASER_THREADS` / `ERASER_PARTITION` configure
+//! fault-parallel campaign execution for every report.
 
 pub mod json;
 
+use eraser_core::ParallelConfig;
 use eraser_designs::Benchmark;
 use eraser_fault::{generate_faults, FaultList};
 use eraser_ir::analysis::design_stats;
@@ -43,6 +48,43 @@ pub fn env_scale() -> f64 {
         .and_then(|s| s.parse().ok())
         .filter(|s: &f64| *s > 0.0)
         .unwrap_or(1.0)
+}
+
+/// The benchmarks a report binary should cover: all ten by default, or the
+/// subset named in `ERASER_BENCH_ONLY` (comma-separated Table II display
+/// names, case-insensitive — e.g. `ERASER_BENCH_ONLY="APB,ALU"`). An
+/// unset or blank variable selects the full suite; any name that matches
+/// no benchmark is a configuration error and aborts, so a typo can never
+/// silently change what a run covers.
+pub fn selected_benchmarks() -> Vec<Benchmark> {
+    let all = Benchmark::all();
+    let Ok(filter) = std::env::var("ERASER_BENCH_ONLY") else {
+        return all.to_vec();
+    };
+    let wanted: Vec<String> = filter
+        .split(',')
+        .map(|s| s.trim().to_ascii_lowercase())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if wanted.is_empty() {
+        return all.to_vec();
+    }
+    let unmatched: Vec<&str> = wanted
+        .iter()
+        .filter(|w| !all.iter().any(|b| b.name().eq_ignore_ascii_case(w)))
+        .map(String::as_str)
+        .collect();
+    if !unmatched.is_empty() {
+        eprintln!(
+            "error: ERASER_BENCH_ONLY names unknown benchmark(s) {unmatched:?}; \
+             valid names: {}",
+            all.map(|b| b.name()).join(", ")
+        );
+        std::process::exit(2);
+    }
+    all.into_iter()
+        .filter(|b| wanted.iter().any(|w| b.name().eq_ignore_ascii_case(w)))
+        .collect()
 }
 
 /// Compiles a benchmark, generates its fault universe and builds its
@@ -92,13 +134,16 @@ pub fn micro_bench(label: &str, mut f: impl FnMut()) -> Duration {
 }
 
 /// Prints the evaluation-environment header (the analog of the paper's
-/// Table I) common to every report.
+/// Table I) common to every report, including the actual fault-parallel
+/// thread count the campaigns will use (from `ERASER_THREADS`, default 1).
 pub fn print_environment(title: &str) {
+    let parallel = ParallelConfig::default();
     println!("# {title}");
     println!();
     println!(
-        "Environment: {} / Rust (release), single-threaded;",
-        std::env::consts::OS
+        "Environment: {} / Rust (release), {} (set ERASER_THREADS / ERASER_PARTITION);",
+        std::env::consts::OS,
+        parallel
     );
     println!(
         "scale = {} (set ERASER_BENCH_SCALE to adjust stimulus length).",

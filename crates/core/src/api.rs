@@ -43,6 +43,10 @@ pub struct EngineResult {
     pub stats: Option<RedundancyStats>,
     /// Wall-clock time of the whole campaign.
     pub wall: Duration,
+    /// Worker threads the campaign actually ran with (1 = serial). Set by
+    /// engines that honor [`CampaignConfig::parallel`] and by the
+    /// [`Parallel`](crate::Parallel) adapter; serial engines leave 1.
+    pub threads: usize,
 }
 
 impl EngineResult {
@@ -54,6 +58,7 @@ impl EngineResult {
             coverage,
             stats: None,
             wall: Duration::ZERO,
+            threads: 1,
         }
     }
 
@@ -66,6 +71,12 @@ impl EngineResult {
     /// Attaches a wall time.
     pub fn with_wall(mut self, wall: Duration) -> Self {
         self.wall = wall;
+        self
+    }
+
+    /// Records the worker-thread count the campaign ran with.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -172,9 +183,17 @@ impl FaultSimEngine for Eraser {
                 ..config.clone()
             },
         );
+        // Mirror run_campaign's decision: universes of ≤ 1 fault run
+        // serially regardless of the configured thread count.
+        let threads = if faults.len() > 1 {
+            config.parallel.effective_threads()
+        } else {
+            1
+        };
         EngineResult::new(self.name(), res.coverage)
             .with_stats(res.stats)
             .with_wall(t0.elapsed())
+            .with_threads(threads)
     }
 }
 
@@ -263,6 +282,17 @@ impl<'a> CampaignRunner<'a> {
     /// Replaces the campaign configuration.
     pub fn with_config(mut self, config: CampaignConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Replaces the fault-parallel execution settings, keeping the rest of
+    /// the configuration. Engines honoring [`CampaignConfig::parallel`]
+    /// (the concurrent ERASER family) fan campaigns out over worker
+    /// threads; merged coverage stays bit-identical, so
+    /// [`check_parity`](Self::check_parity) keeps working unchanged on the
+    /// merged results.
+    pub fn with_parallel(mut self, parallel: crate::ParallelConfig) -> Self {
+        self.config.parallel = parallel;
         self
     }
 

@@ -1,6 +1,7 @@
 //! One-call fault-simulation campaign driver.
 
 use crate::engine::EraserEngine;
+use crate::parallel::{run_sharded, ParallelConfig};
 use crate::stats::RedundancyStats;
 use crate::RedundancyMode;
 use eraser_fault::{CoverageReport, FaultList};
@@ -16,6 +17,10 @@ pub struct CampaignConfig {
     /// Stop simulating a fault once detected (fault dropping), as
     /// commercial tools do. Coverage is unaffected; runtime improves.
     pub drop_detected: bool,
+    /// Fault-parallel execution: worker threads and partition strategy.
+    /// The default honors `ERASER_THREADS` / `ERASER_PARTITION`; coverage
+    /// is bit-identical at any thread count.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for CampaignConfig {
@@ -23,6 +28,19 @@ impl Default for CampaignConfig {
         CampaignConfig {
             mode: RedundancyMode::Full,
             drop_detected: true,
+            parallel: ParallelConfig::default(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The default campaign pinned to strictly serial execution, ignoring
+    /// the environment — the reference configuration for determinism
+    /// checks and scaling baselines.
+    pub fn serial() -> Self {
+        CampaignConfig {
+            parallel: ParallelConfig::serial(),
+            ..Default::default()
         }
     }
 }
@@ -32,14 +50,28 @@ impl Default for CampaignConfig {
 pub struct CampaignResult {
     /// Detection records and the coverage metric.
     pub coverage: CoverageReport,
-    /// Redundancy and timing counters (`time_total` is the campaign wall
-    /// time including engine construction).
+    /// Redundancy and timing counters. `time_total` is the total compute
+    /// time including engine construction: for a serial campaign that is
+    /// the campaign wall time; for a fault-parallel campaign it is the sum
+    /// of the shard walls (aggregate CPU time), so
+    /// [`RedundancyStats::behavioral_time_percent`] stays a meaningful
+    /// compute-share at any thread count. Wall time of a parallel campaign
+    /// is what the caller measures around [`run_campaign`] (as
+    /// [`CampaignRunner`](crate::CampaignRunner) does).
     pub stats: RedundancyStats,
 }
 
 /// Runs a complete fault-simulation campaign: builds the engine, replays
 /// the stimulus with observation after every settle step, and returns
 /// coverage plus statistics.
+///
+/// With `config.parallel` requesting more than one thread, the fault
+/// universe is partitioned into shards executed by a scoped worker pool
+/// (one independent engine per shard) and the shard results are merged;
+/// coverage — detections, first-detection steps and outputs — is
+/// bit-identical to the serial run at any thread count. Merged stats sum
+/// per-shard counters and per-shard walls (see [`RedundancyStats::merge`]
+/// and [`CampaignResult::stats`]).
 pub fn run_campaign(
     design: &Design,
     faults: &FaultList,
@@ -47,6 +79,33 @@ pub fn run_campaign(
     config: &CampaignConfig,
 ) -> CampaignResult {
     let t0 = Instant::now();
+    let threads = config.parallel.effective_threads();
+    if threads > 1 && faults.len() > 1 {
+        let mut shards = faults.partition(
+            config.parallel.shard_count(faults.len()),
+            config.parallel.strategy,
+        );
+        // Site-affinity may leave shards empty when the faults cluster on
+        // fewer signals than there are shards; simulating those would
+        // replay the whole stimulus for zero faults.
+        shards.retain(|s| !s.is_empty());
+        let shard_results = run_sharded(&shards, threads, |shard| {
+            let shard_t0 = Instant::now();
+            let mut engine =
+                EraserEngine::new(design, &shard.list, config.mode, config.drop_detected);
+            engine.run(stimulus);
+            let mut stats = engine.stats().clone();
+            stats.time_total = shard_t0.elapsed();
+            (engine.coverage().clone(), stats)
+        });
+        let mut coverage = CoverageReport::new(faults.len());
+        let mut stats = RedundancyStats::default();
+        for (shard, (shard_cov, shard_stats)) in shards.iter().zip(&shard_results) {
+            shard.merge_coverage_into(shard_cov, &mut coverage);
+            stats.merge(shard_stats);
+        }
+        return CampaignResult { coverage, stats };
+    }
     let mut engine = EraserEngine::new(design, faults, config.mode, config.drop_detected);
     engine.run(stimulus);
     let mut stats = engine.stats().clone();
@@ -161,6 +220,7 @@ mod tests {
                 &CampaignConfig {
                     mode,
                     drop_detected: true,
+                    ..Default::default()
                 },
             );
             reports.push((mode, res));
@@ -239,6 +299,7 @@ mod tests {
             &CampaignConfig {
                 mode: RedundancyMode::Full,
                 drop_detected: false,
+                ..Default::default()
             },
         );
         let expl = run_campaign(
@@ -248,6 +309,7 @@ mod tests {
             &CampaignConfig {
                 mode: RedundancyMode::Explicit,
                 drop_detected: false,
+                ..Default::default()
             },
         );
         assert!(
@@ -271,6 +333,7 @@ mod tests {
             &CampaignConfig {
                 mode: RedundancyMode::Full,
                 drop_detected: false,
+                ..Default::default()
             },
         );
         let drop = run_campaign(&d, &faults, &stim, &CampaignConfig::default());

@@ -30,6 +30,19 @@
 //!    stimulus step, with detection at the primary-output observation
 //!    points.
 //!
+//! # Fault-parallel execution
+//!
+//! The [`parallel`](ParallelConfig) subsystem adds the structural axis on
+//! top of the concurrent engine: the fault universe is
+//! [partitioned](eraser_fault::FaultList::partition) into disjoint shards,
+//! a scoped-thread worker pool drains the shard queue dynamically
+//! ([`run_sharded`]), and shard results recombine losslessly — merged
+//! coverage is bit-identical to the serial run at any thread count.
+//! [`CampaignConfig::parallel`] drives [`run_campaign`] directly (honoring
+//! `ERASER_THREADS` / `ERASER_PARTITION` by default), and the
+//! [`Parallel`] adapter turns *any* [`FaultSimEngine`] — ERASER or the
+//! serial baselines — into a fault-parallel engine behind the same trait.
+//!
 //! # Ablation modes
 //!
 //! [`RedundancyMode`] selects the paper's ablation variants: `None`
@@ -75,6 +88,7 @@ mod campaign;
 mod diff;
 mod engine;
 mod monitor;
+mod parallel;
 mod stats;
 
 pub use api::{CampaignRunner, EngineResult, Eraser, FaultSimEngine, ParityMismatch};
@@ -82,6 +96,7 @@ pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
 pub use diff::DiffList;
 pub use engine::{EraserEngine, FaultView};
 pub use monitor::RedundancyMonitor;
+pub use parallel::{merge_shard_results, run_sharded, Parallel, ParallelConfig};
 pub use stats::RedundancyStats;
 
 /// Which redundancy-elimination layers are active — the paper's ablation

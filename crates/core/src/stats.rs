@@ -40,6 +40,36 @@ pub struct RedundancyStats {
 }
 
 impl RedundancyStats {
+    /// Accumulates another run's counters into this one — the reduction
+    /// step of a fault-parallel campaign, where each shard produces its own
+    /// stats.
+    ///
+    /// All counters and durations sum. Note that per-shard good-network
+    /// work (`good_activations`, `rtl_good_evals`, `deltas`) is repeated in
+    /// every shard, so merged totals count that repetition — they measure
+    /// aggregate work performed, not serial-equivalent work. Summed
+    /// `time_*` fields are aggregate compute (CPU) time, **not** wall
+    /// time: drivers stamp each shard's `time_total` with that shard's
+    /// wall before merging, keeping
+    /// [`behavioral_time_percent`](Self::behavioral_time_percent) a valid
+    /// compute-share (≤ 100%) at any thread count. Campaign wall time
+    /// lives in [`EngineResult::wall`](crate::EngineResult) or the
+    /// caller's own timer.
+    pub fn merge(&mut self, other: &RedundancyStats) {
+        self.good_activations += other.good_activations;
+        self.opportunities += other.opportunities;
+        self.explicit_skipped += other.explicit_skipped;
+        self.implicit_skipped += other.implicit_skipped;
+        self.fault_executions += other.fault_executions;
+        self.fault_only_activations += other.fault_only_activations;
+        self.suppressed_activations += other.suppressed_activations;
+        self.rtl_good_evals += other.rtl_good_evals;
+        self.rtl_fault_evals += other.rtl_fault_evals;
+        self.deltas += other.deltas;
+        self.time_behavioral += other.time_behavioral;
+        self.time_total += other.time_total;
+    }
+
     /// Opportunities eliminated by any mechanism (Table III
     /// "#Elimination").
     pub fn eliminated(&self) -> u64 {
@@ -93,6 +123,36 @@ mod tests {
         assert_eq!(s.eliminated(), 160);
         assert!((s.explicit_percent() - 50.0).abs() < 1e-9);
         assert!((s.implicit_percent() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_all_counters() {
+        let mut a = RedundancyStats {
+            good_activations: 3,
+            opportunities: 100,
+            explicit_skipped: 40,
+            implicit_skipped: 10,
+            fault_executions: 50,
+            fault_only_activations: 2,
+            suppressed_activations: 1,
+            rtl_good_evals: 7,
+            rtl_fault_evals: 11,
+            deltas: 9,
+            time_behavioral: Duration::from_millis(5),
+            time_total: Duration::from_millis(20),
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.opportunities, 200);
+        assert_eq!(a.fault_executions, 100);
+        assert_eq!(a.eliminated(), 100);
+        assert_eq!(a.time_behavioral, Duration::from_millis(10));
+        assert_eq!(a.deltas, 18);
+        // Merging an empty (all-dropped or empty-shard) stats block is the
+        // identity.
+        let before = a.clone();
+        a.merge(&RedundancyStats::default());
+        assert_eq!(a, before);
     }
 
     #[test]

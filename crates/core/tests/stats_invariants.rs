@@ -28,6 +28,7 @@ fn check(bench: Benchmark, mode: RedundancyMode) {
         &CampaignConfig {
             mode,
             drop_detected: true,
+            ..Default::default()
         },
     );
     let s = &res.stats;
@@ -100,6 +101,7 @@ fn full_mode_never_executes_more_than_explicit() {
                 &CampaignConfig {
                     mode,
                     drop_detected: true,
+                    ..Default::default()
                 },
             );
             execs.push(res.stats.fault_executions);

@@ -10,14 +10,19 @@
 //! * [`FaultList`] and [`generate_faults`] — fault universe construction
 //!   with the usual exclusions (clocks/resets, synthetic nets) and optional
 //!   deterministic sampling,
+//! * [`FaultList::partition`], [`FaultShard`] and [`PartitionStrategy`] —
+//!   disjoint sharding of a universe for fault-parallel campaigns,
 //! * [`CoverageReport`] — detection bookkeeping and the coverage metric
-//!   reported in Table II of the paper.
+//!   reported in Table II of the paper, with lossless shard
+//!   [merging](CoverageReport::merge).
 
 mod coverage;
 mod list;
+mod partition;
 
 pub use coverage::{CoverageReport, Detection};
 pub use list::{generate_faults, FaultList, FaultListConfig};
+pub use partition::{FaultShard, PartitionStrategy};
 
 use eraser_ir::SignalId;
 use eraser_logic::{LogicBit, LogicVec};

@@ -1,0 +1,411 @@
+//! Fault-list partitioning for fault-parallel campaign execution.
+//!
+//! A fault universe is split into disjoint [`FaultShard`]s, each a
+//! self-contained [`FaultList`] with dense local ids plus the mapping back
+//! to the global universe. Any engine can run a shard unchanged; shard
+//! coverage reports are [lifted](FaultShard::lift_coverage) into the global
+//! id space and recombined with [`CoverageReport::merge`]. Because the
+//! concurrent engine's per-fault semantics are independent of which other
+//! faults share its batch, the merged result is bit-identical to a single
+//! serial run over the whole universe — partitioning is purely a
+//! parallelism axis, never a semantics axis.
+
+use crate::{CoverageReport, Fault, FaultId, FaultList};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// How a fault universe is split into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PartitionStrategy {
+    /// Consecutive id ranges; shard sizes differ by at most one.
+    Contiguous,
+    /// Fault `i` goes to shard `i % n` — maximally interleaved, evens out
+    /// clustered hard faults.
+    RoundRobin,
+    /// Faults sited on the same signal stay in one shard, groups spread
+    /// greedily by size (longest-processing-time first). Keeps ERASER's
+    /// per-signal diff lists dense inside each shard.
+    #[default]
+    SiteAffinity,
+}
+
+impl PartitionStrategy {
+    /// All strategies, in declaration order.
+    pub fn all() -> [PartitionStrategy; 3] {
+        [
+            PartitionStrategy::Contiguous,
+            PartitionStrategy::RoundRobin,
+            PartitionStrategy::SiteAffinity,
+        ]
+    }
+}
+
+impl fmt::Display for PartitionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionStrategy::Contiguous => write!(f, "contiguous"),
+            PartitionStrategy::RoundRobin => write!(f, "round-robin"),
+            PartitionStrategy::SiteAffinity => write!(f, "site-affinity"),
+        }
+    }
+}
+
+impl FromStr for PartitionStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "contiguous" => Ok(PartitionStrategy::Contiguous),
+            "round-robin" | "roundrobin" => Ok(PartitionStrategy::RoundRobin),
+            "site-affinity" | "siteaffinity" | "affinity" => Ok(PartitionStrategy::SiteAffinity),
+            other => Err(format!(
+                "unknown partition strategy `{other}` \
+                 (expected contiguous, round-robin or site-affinity)"
+            )),
+        }
+    }
+}
+
+/// One shard of a partitioned fault universe: a dense local [`FaultList`]
+/// plus the mapping of local ids back to the global universe.
+#[derive(Debug, Clone)]
+pub struct FaultShard {
+    /// Shard number within its partition.
+    pub index: usize,
+    /// The shard's faults with dense local ids (`0..len`). Engines run this
+    /// list exactly as they would a whole universe.
+    pub list: FaultList,
+    /// Local id index -> global [`FaultId`], ascending.
+    global: Vec<FaultId>,
+}
+
+impl FaultShard {
+    /// Number of faults in the shard.
+    pub fn len(&self) -> usize {
+        self.global.len()
+    }
+
+    /// True if the shard holds no faults (possible when a universe is split
+    /// into more shards than it has faults).
+    pub fn is_empty(&self) -> bool {
+        self.global.is_empty()
+    }
+
+    /// The global id of a shard-local fault.
+    pub fn global_id(&self, local: FaultId) -> FaultId {
+        self.global[local.index()]
+    }
+
+    /// All global ids covered by this shard, in local-id order.
+    pub fn global_ids(&self) -> &[FaultId] {
+        &self.global
+    }
+
+    /// Expands a shard-local coverage report into the global universe of
+    /// `total` faults: every local detection is re-recorded under its
+    /// global id; faults outside the shard stay undetected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` was not produced over this shard's fault list.
+    pub fn lift_coverage(&self, local: &CoverageReport, total: usize) -> CoverageReport {
+        let mut lifted = CoverageReport::new(total);
+        self.merge_coverage_into(local, &mut lifted);
+        lifted
+    }
+
+    /// Records every detection of a shard-local report directly into a
+    /// global-universe accumulator — the single reduction rule every
+    /// fault-parallel driver uses, and the efficient form of
+    /// [`lift_coverage`](Self::lift_coverage) +
+    /// [`CoverageReport::merge`]: O(shard size) per shard, no intermediate
+    /// full-universe report. Shards of one partition are disjoint, so the
+    /// accumulated result is independent of merge order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` was not produced over this shard's fault list.
+    pub fn merge_coverage_into(&self, local: &CoverageReport, global: &mut CoverageReport) {
+        assert_eq!(
+            local.total(),
+            self.len(),
+            "shard {}: coverage report covers {} faults, shard holds {}",
+            self.index,
+            local.total(),
+            self.len()
+        );
+        for (li, &gid) in self.global.iter().enumerate() {
+            if let Some(d) = local.detection(FaultId(li as u32)) {
+                global.record(gid, d);
+            }
+        }
+    }
+}
+
+impl FaultList {
+    /// Splits the universe into `n` disjoint shards under `strategy`.
+    ///
+    /// Always returns exactly `max(n, 1)` shards; trailing shards may be
+    /// empty when the universe is smaller than `n`. Every fault appears in
+    /// exactly one shard, and within each shard faults keep their global
+    /// relative order (local ids ascend with global ids), so shard runs are
+    /// deterministic regardless of strategy.
+    pub fn partition(&self, n: usize, strategy: PartitionStrategy) -> Vec<FaultShard> {
+        let n = n.max(1);
+        let mut buckets: Vec<Vec<&Fault>> = vec![Vec::new(); n];
+        match strategy {
+            PartitionStrategy::Contiguous => {
+                let base = self.len() / n;
+                let extra = self.len() % n;
+                let mut next = 0usize;
+                for (i, bucket) in buckets.iter_mut().enumerate() {
+                    let take = base + usize::from(i < extra);
+                    bucket.extend(self.faults()[next..next + take].iter());
+                    next += take;
+                }
+            }
+            PartitionStrategy::RoundRobin => {
+                for (i, f) in self.iter().enumerate() {
+                    buckets[i % n].push(f);
+                }
+            }
+            PartitionStrategy::SiteAffinity => {
+                // Group faults by injection site, first appearance order.
+                let mut site_of: HashMap<usize, usize> = HashMap::new();
+                let mut groups: Vec<Vec<&Fault>> = Vec::new();
+                for f in self.iter() {
+                    let gi = *site_of.entry(f.signal.index()).or_insert_with(|| {
+                        groups.push(Vec::new());
+                        groups.len() - 1
+                    });
+                    groups[gi].push(f);
+                }
+                // Longest-processing-time-first onto the least-loaded
+                // shard; ties broken by first global id, then shard index —
+                // fully deterministic.
+                groups.sort_by_key(|g| (usize::MAX - g.len(), g[0].id));
+                let mut load = vec![0usize; n];
+                for group in groups {
+                    let target = (0..n).min_by_key(|&i| (load[i], i)).unwrap();
+                    load[target] += group.len();
+                    buckets[target].extend(group);
+                }
+                for bucket in &mut buckets {
+                    bucket.sort_by_key(|f| f.id);
+                }
+            }
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .map(|(index, faults)| {
+                let global: Vec<FaultId> = faults.iter().map(|f| f.id).collect();
+                FaultShard {
+                    index,
+                    list: faults.into_iter().copied().collect(),
+                    global,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Detection, StuckAt};
+    use eraser_ir::SignalId;
+
+    /// A universe of `n` faults over `sites` signals (round-robin siting),
+    /// mimicking generate_faults' dense ids.
+    fn universe(n: usize, sites: usize) -> FaultList {
+        (0..n)
+            .map(|i| Fault {
+                id: FaultId(0), // reassigned by FromIterator
+                signal: SignalId(((i / 2) % sites) as u32),
+                bit: (i / 2 / sites) as u32,
+                stuck: if i % 2 == 0 {
+                    StuckAt::Zero
+                } else {
+                    StuckAt::One
+                },
+            })
+            .collect()
+    }
+
+    fn assert_lossless(list: &FaultList, shards: &[FaultShard]) {
+        let mut seen: Vec<FaultId> = shards
+            .iter()
+            .flat_map(|s| s.global.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        let all: Vec<FaultId> = list.iter().map(|f| f.id).collect();
+        assert_eq!(seen, all, "faults lost or duplicated");
+        for shard in shards {
+            assert_eq!(shard.list.len(), shard.len());
+            // Local ids dense, global mapping ascending, faults preserved.
+            let mut prev = None;
+            for (li, f) in shard.list.iter().enumerate() {
+                assert_eq!(f.id.index(), li);
+                let gid = shard.global_id(f.id);
+                assert!(
+                    prev.map(|p| p < gid).unwrap_or(true),
+                    "global ids not ascending"
+                );
+                prev = Some(gid);
+                let orig = list.fault(gid);
+                assert_eq!(
+                    (f.signal, f.bit, f.stuck),
+                    (orig.signal, orig.bit, orig.stuck)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_balances_sizes() {
+        let list = universe(23, 4);
+        let shards = list.partition(5, PartitionStrategy::Contiguous);
+        assert_eq!(shards.len(), 5);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, [5, 5, 5, 4, 4]);
+        assert_lossless(&list, &shards);
+        // Consecutive ranges.
+        assert_eq!(
+            shards[0].global_ids(),
+            &[FaultId(0), FaultId(1), FaultId(2), FaultId(3), FaultId(4)]
+        );
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let list = universe(10, 3);
+        let shards = list.partition(3, PartitionStrategy::RoundRobin);
+        assert_lossless(&list, &shards);
+        assert_eq!(
+            shards[0].global_ids(),
+            &[FaultId(0), FaultId(3), FaultId(6), FaultId(9)]
+        );
+        assert_eq!(
+            shards[1].global_ids(),
+            &[FaultId(1), FaultId(4), FaultId(7)]
+        );
+    }
+
+    #[test]
+    fn site_affinity_keeps_groups_whole() {
+        let list = universe(40, 5);
+        let shards = list.partition(3, PartitionStrategy::SiteAffinity);
+        assert_lossless(&list, &shards);
+        // Every signal's faults live in exactly one shard.
+        for sig in 0..5u32 {
+            let holders: Vec<usize> = shards
+                .iter()
+                .filter(|s| s.list.iter().any(|f| f.signal == SignalId(sig)))
+                .map(|s| s.index)
+                .collect();
+            assert_eq!(
+                holders.len(),
+                1,
+                "signal {sig} split across shards {holders:?}"
+            );
+        }
+        // Load is balanced within the largest group size.
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        let max_group = 8; // 40 faults over 5 sites
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= max_group);
+    }
+
+    #[test]
+    fn more_shards_than_faults_yields_empty_shards() {
+        let list = universe(3, 2);
+        for strategy in PartitionStrategy::all() {
+            let shards = list.partition(8, strategy);
+            assert_eq!(shards.len(), 8, "{strategy}");
+            assert_lossless(&list, &shards);
+            assert!(shards.iter().any(|s| s.is_empty()), "{strategy}");
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let list = universe(6, 2);
+        for strategy in PartitionStrategy::all() {
+            let shards = list.partition(0, strategy);
+            assert_eq!(shards.len(), 1);
+            assert_eq!(shards[0].len(), 6);
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let list = universe(64, 7);
+        for strategy in PartitionStrategy::all() {
+            let a = list.partition(4, strategy);
+            let b = list.partition(4, strategy);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.global_ids(), y.global_ids(), "{strategy}");
+            }
+        }
+    }
+
+    #[test]
+    fn lift_coverage_remaps_detections() {
+        let list = universe(10, 3);
+        let shards = list.partition(3, PartitionStrategy::RoundRobin);
+        // Detect the second local fault of shard 1 (global id 4).
+        let mut local = CoverageReport::new(shards[1].len());
+        let det = Detection {
+            step: 7,
+            output: SignalId(0),
+        };
+        local.record(FaultId(1), det);
+        let lifted = shards[1].lift_coverage(&local, list.len());
+        assert_eq!(lifted.total(), 10);
+        assert_eq!(lifted.detection(FaultId(4)), Some(det));
+        assert_eq!(lifted.detected(), 1);
+    }
+
+    #[test]
+    fn merge_coverage_into_matches_lift_then_merge() {
+        let list = universe(20, 4);
+        let shards = list.partition(4, PartitionStrategy::SiteAffinity);
+        let mut direct = CoverageReport::new(list.len());
+        let mut lifted = CoverageReport::new(list.len());
+        for shard in &shards {
+            // Detect every even local fault at a shard-dependent step.
+            let mut local = CoverageReport::new(shard.len());
+            for li in (0..shard.len()).step_by(2) {
+                local.record(
+                    FaultId(li as u32),
+                    Detection {
+                        step: shard.index + 1,
+                        output: SignalId(0),
+                    },
+                );
+            }
+            shard.merge_coverage_into(&local, &mut direct);
+            lifted.merge(&shard.lift_coverage(&local, list.len()));
+        }
+        assert_eq!(direct, lifted);
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage report covers")]
+    fn lift_coverage_rejects_foreign_report() {
+        let list = universe(10, 3);
+        let shards = list.partition(2, PartitionStrategy::Contiguous);
+        let wrong = CoverageReport::new(3);
+        shards[0].lift_coverage(&wrong, 10);
+    }
+
+    #[test]
+    fn strategy_round_trips_through_strings() {
+        for strategy in PartitionStrategy::all() {
+            let parsed: PartitionStrategy = strategy.to_string().parse().unwrap();
+            assert_eq!(parsed, strategy);
+        }
+        assert!("diagonal".parse::<PartitionStrategy>().is_err());
+    }
+}

@@ -26,6 +26,7 @@ fn main() {
         &CampaignConfig {
             mode: RedundancyMode::Full,
             drop_detected: true,
+            ..Default::default()
         },
     );
     println!("coverage: {}", result.coverage);

@@ -47,6 +47,7 @@ fn main() {
             &CampaignConfig {
                 mode,
                 drop_detected: true,
+                ..Default::default()
             },
         );
         let wall = t0.elapsed();

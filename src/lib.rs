@@ -32,9 +32,37 @@
 //! let result = run_campaign(&design, &faults, &stim, &CampaignConfig {
 //!     mode: RedundancyMode::Full,
 //!     drop_detected: true,
+//!     ..Default::default()
 //! });
 //! println!("coverage: {}", result.coverage);
 //! # assert!(result.coverage.detected() > 0);
+//! ```
+//!
+//! # Parallel campaigns
+//!
+//! Campaigns fan out over the fault dimension: the universe is
+//! [partitioned](fault::FaultList::partition) into disjoint shards, a
+//! scoped-thread pool drains the shard queue, and the merged coverage is
+//! **bit-identical** to the serial run at any thread count. Set
+//! [`CampaignConfig::parallel`](core::CampaignConfig) (or the
+//! `ERASER_THREADS` / `ERASER_PARTITION` environment variables, which the
+//! default config honors), or wrap any engine in
+//! [`core::Parallel`]:
+//!
+//! ```
+//! use eraser::core::{run_campaign, CampaignConfig, ParallelConfig};
+//! use eraser::designs::Benchmark;
+//! use eraser::fault::generate_faults;
+//!
+//! let design = Benchmark::Apb.build();
+//! let faults = generate_faults(&design, &Benchmark::Apb.fault_config());
+//! let stim = Benchmark::Apb.stimulus_with_cycles(&design, 60);
+//! let serial = run_campaign(&design, &faults, &stim, &CampaignConfig::serial());
+//! let parallel = run_campaign(&design, &faults, &stim, &CampaignConfig {
+//!     parallel: ParallelConfig::with_threads(4),
+//!     ..CampaignConfig::serial()
+//! });
+//! assert_eq!(serial.coverage, parallel.coverage); // bit-identical
 //! ```
 //!
 //! # Comparing engines

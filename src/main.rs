@@ -7,10 +7,16 @@
 //! ```text
 //! eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]
 //!        [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]
+//!        [--threads N] [--partition contiguous|round-robin|site-affinity]
 //! ```
+//!
+//! `--threads N` runs the campaign fault-parallel over N worker threads
+//! (0 = one per hardware thread); `--partition` picks the fault-sharding
+//! strategy. Defaults come from `ERASER_THREADS` / `ERASER_PARTITION`.
+//! Coverage is bit-identical at any thread count.
 
-use eraser::core::{run_campaign, CampaignConfig, RedundancyMode};
-use eraser::fault::{generate_faults, FaultListConfig};
+use eraser::core::{run_campaign, CampaignConfig, ParallelConfig, RedundancyMode};
+use eraser::fault::{generate_faults, FaultListConfig, PartitionStrategy};
 use eraser::frontend::compile;
 use eraser::ir::Design;
 use eraser::logic::LogicVec;
@@ -27,12 +33,14 @@ struct Options {
     max_faults: Option<usize>,
     seed: u64,
     list_undetected: bool,
+    parallel: ParallelConfig,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]\n\
-         \x20             [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]"
+         \x20             [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]\n\
+         \x20             [--threads N] [--partition contiguous|round-robin|site-affinity]"
     );
     std::process::exit(2);
 }
@@ -49,6 +57,7 @@ fn parse_args() -> Options {
         max_faults: None,
         seed: 1,
         list_undetected: false,
+        parallel: ParallelConfig::from_env(),
     };
     let need = |a: Option<String>| a.unwrap_or_else(|| usage());
     while let Some(arg) = args.next() {
@@ -69,6 +78,17 @@ fn parse_args() -> Options {
                 opts.max_faults = Some(need(args.next()).parse().unwrap_or_else(|_| usage()))
             }
             "--seed" => opts.seed = need(args.next()).parse().unwrap_or_else(|_| usage()),
+            "--threads" => {
+                opts.parallel.threads = need(args.next()).parse().unwrap_or_else(|_| usage())
+            }
+            "--partition" => {
+                opts.parallel.strategy = need(args.next())
+                    .parse::<PartitionStrategy>()
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        usage()
+                    })
+            }
             "--list-undetected" => opts.list_undetected = true,
             "--help" | "-h" => usage(),
             _ if opts.file.is_empty() && !arg.starts_with('-') => opts.file = arg,
@@ -195,6 +215,9 @@ fn main() -> ExitCode {
         faults.len(),
         opts.cycles
     );
+    if opts.parallel.is_parallel() {
+        println!("parallel: {}", opts.parallel);
+    }
     let result = run_campaign(
         &design,
         &faults,
@@ -202,6 +225,7 @@ fn main() -> ExitCode {
         &CampaignConfig {
             mode: opts.mode,
             drop_detected: true,
+            parallel: opts.parallel,
         },
     );
     println!("mode {}: coverage {}", opts.mode, result.coverage);

@@ -96,6 +96,7 @@ fn eraser_mode_overrides_shared_config() {
     let config = CampaignConfig {
         mode: RedundancyMode::None, // would disable all elimination
         drop_detected: true,
+        ..Default::default()
     };
     let runner = CampaignRunner::new(&design, &faults, &stim).with_config(config);
 
