@@ -1,0 +1,303 @@
+//! **Fig. 7 (hot path)** — before/after measurement of the
+//! zero-allocation evaluation core.
+//!
+//! For every selected benchmark (default `APB,ALU`; override with
+//! `ERASER_BENCH_ONLY`), the report:
+//!
+//! 1. replays the full stimulus on the frozen **pre-change replica**
+//!    ([`eraser_bench::legacy::LegacySimulator`]: clone-per-read, fresh
+//!    `LogicVec` per AST node, fresh work lists per activation) and on the
+//!    current zero-allocation [`Simulator`], asserting **bit-identical
+//!    outputs after every settle step**,
+//! 2. reports cycles/sec for both, and the speedup,
+//! 3. counts heap allocations (via the `alloc-count` counting global
+//!    allocator) over a steady-state window after warm-up, for the good
+//!    simulator and for the full ERASER engine campaign loop,
+//! 4. writes `BENCH_fig7_hotpath.json` (schema `eraser-fig7-hotpath-v1`,
+//!    one record per benchmark/mode).
+//!
+//! With `ERASER_FIG7_STRICT=1` (the CI perf-smoke job), the binary exits
+//! nonzero if any steady-state hot-path allocation count is nonzero or the
+//! parity check fails — the allocation-freedom regression gate.
+
+use eraser_bench::json::write_json_objects;
+use eraser_bench::legacy::LegacySimulator;
+use eraser_bench::{env_scale, prepare, print_environment, selected_benchmarks, Prepared};
+use eraser_core::{EraserEngine, RedundancyMode};
+use eraser_designs::Benchmark;
+use eraser_logic::counting_alloc::CountingAlloc;
+use eraser_sim::Simulator;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const BINARY: &str = "fig7_hotpath";
+const SCHEMA: &str = "eraser-fig7-hotpath-v1";
+
+/// Warm-up cycles before the allocation-count window opens.
+const WARMUP_CYCLES: usize = 100;
+
+struct Record {
+    benchmark: String,
+    mode: &'static str,
+    cycles: usize,
+    wall_seconds: f64,
+    cycles_per_sec: f64,
+    steady_allocs: u64,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema\":\"{}\",\"binary\":\"{}\",\"benchmark\":\"{}\",",
+                "\"mode\":\"{}\",\"cycles\":{},\"wall_seconds\":{:.6},",
+                "\"cycles_per_sec\":{:.1},\"steady_allocs\":{}}}"
+            ),
+            SCHEMA,
+            BINARY,
+            self.benchmark,
+            self.mode,
+            self.cycles,
+            self.wall_seconds,
+            self.cycles_per_sec,
+            self.steady_allocs,
+        )
+    }
+}
+
+fn write_records(records: &[Record]) {
+    let lines: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    write_json_objects(BINARY, &lines);
+}
+
+/// One stimulus entry: the input drives of a settle step.
+type StimStep = Vec<(eraser_ir::SignalId, eraser_logic::LogicVec)>;
+
+/// Steady-state allocation count of any stepper over the shared window:
+/// warm up on the first half (capped at [`WARMUP_CYCLES`]), count over the
+/// rest. The single window definition keeps the before/after comparison
+/// honest for every simulator variant.
+fn windowed_allocs<S>(p: &Prepared, sim: &mut S, mut apply: impl FnMut(&mut S, &StimStep)) -> u64 {
+    let warm = WARMUP_CYCLES.min(p.stimulus.steps.len() / 2);
+    for step in &p.stimulus.steps[..warm] {
+        apply(sim, step);
+    }
+    let before = CountingAlloc::allocations();
+    for step in &p.stimulus.steps[warm..] {
+        apply(sim, step);
+    }
+    CountingAlloc::allocations() - before
+}
+
+/// Steady-state allocation count of the good simulator.
+fn sim_steady_allocs(p: &Prepared) -> u64 {
+    let mut sim = Simulator::new(&p.design);
+    windowed_allocs(p, &mut sim, |sim, step| {
+        for (sig, val) in step {
+            sim.set_input(*sig, val.clone());
+        }
+        sim.step();
+    })
+}
+
+/// Steady-state allocation count of the pre-change replica over the same
+/// window — the "before" number the zero-allocation core is gated against.
+fn legacy_steady_allocs(p: &Prepared) -> u64 {
+    let mut sim = LegacySimulator::new(&p.design);
+    windowed_allocs(p, &mut sim, |sim, step| {
+        for (sig, val) in step {
+            sim.set_input(*sig, val.clone());
+        }
+        sim.step();
+    })
+}
+
+/// Steady-state allocation count and measured-window wall time of the full
+/// ERASER engine loop (set-inputs, settle, observe with fault dropping).
+/// Warm-up is one complete stimulus pass — every reachable buffer shape has
+/// been seen — and the measured window replays the stimulus a second time.
+fn engine_steady(p: &Prepared) -> (u64, f64, usize) {
+    let mut engine = EraserEngine::new(&p.design, &p.faults, RedundancyMode::Full, true);
+    let drive = |engine: &mut EraserEngine, steps: &[StimStep]| {
+        for step in steps {
+            for (sig, val) in step {
+                engine.set_input(*sig, val.clone());
+            }
+            engine.step();
+            engine.observe();
+        }
+    };
+    // Two warm-up passes: the first sizes every pooled buffer, the second
+    // settles the high-water marks that shift as detected faults drop out.
+    drive(&mut engine, &p.stimulus.steps);
+    drive(&mut engine, &p.stimulus.steps);
+    let before = CountingAlloc::allocations();
+    let t0 = Instant::now();
+    if std::env::var("ERASER_FIG7_DEBUG").is_ok() {
+        for (i, step) in p.stimulus.steps.iter().enumerate() {
+            let b0 = CountingAlloc::allocations();
+            for (sig, val) in step {
+                engine.set_input(*sig, val.clone());
+            }
+            let b1 = CountingAlloc::allocations();
+            engine.step();
+            let b2 = CountingAlloc::allocations();
+            engine.observe();
+            let b3 = CountingAlloc::allocations();
+            if b3 - b0 > 0 {
+                eprintln!(
+                    "  debug: step {i}: set_input {} step {} observe {}",
+                    b1 - b0,
+                    b2 - b1,
+                    b3 - b2
+                );
+            }
+        }
+    } else {
+        drive(&mut engine, &p.stimulus.steps);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    (
+        CountingAlloc::allocations() - before,
+        wall,
+        p.stimulus.steps.len(),
+    )
+}
+
+fn main() {
+    print_environment("Fig. 7 (hot path) — zero-allocation evaluation core, before/after");
+    let scale = env_scale();
+    let strict = std::env::var("ERASER_FIG7_STRICT").is_ok_and(|v| v == "1");
+
+    println!(
+        "{:<11} {:>12} {:>12} {:>8} {:>13} {:>13}",
+        "benchmark", "legacy c/s", "zeroalloc", "speedup", "sim allocs", "engine allocs"
+    );
+
+    let mut records = Vec::new();
+    let mut failed = false;
+    for bench in selected(scale) {
+        let p = prepare(bench, scale);
+        let cycles = p.stimulus.steps.len();
+        let outputs = p.design.outputs().to_vec();
+
+        // Parity pass: legacy replica and zero-allocation core in
+        // lockstep, outputs compared after every settle step.
+        let mut legacy = LegacySimulator::new(&p.design);
+        let mut current = Simulator::new(&p.design);
+        for step in &p.stimulus.steps {
+            for (sig, val) in step {
+                legacy.set_input(*sig, val.clone());
+            }
+            legacy.step();
+            for (sig, val) in step {
+                current.set_input(*sig, val.clone());
+            }
+            current.step();
+            for &o in &outputs {
+                if legacy.value(o) != current.value(o) {
+                    eprintln!(
+                        "PARITY FAILURE: {} output {:?} diverged from the pre-change replica",
+                        bench.name(),
+                        o
+                    );
+                    failed = true;
+                }
+            }
+        }
+
+        // Timing: separate uninterleaved full-stimulus replays on fresh
+        // instances, best of two (the box may be noisy).
+        let legacy_wall = (0..2)
+            .map(|_| {
+                let mut sim = LegacySimulator::new(&p.design);
+                let t0 = Instant::now();
+                sim.run_stimulus(&p.stimulus);
+                t0.elapsed()
+            })
+            .min()
+            .unwrap();
+        let current_wall = (0..2)
+            .map(|_| {
+                let mut sim = Simulator::new(&p.design);
+                let t0 = Instant::now();
+                sim.run_stimulus(&p.stimulus);
+                t0.elapsed()
+            })
+            .min()
+            .unwrap();
+
+        let baseline_allocs = legacy_steady_allocs(&p);
+        let sim_allocs = sim_steady_allocs(&p);
+        let (engine_allocs, engine_wall, engine_cycles) = engine_steady(&p);
+
+        let legacy_cps = cycles as f64 / legacy_wall.as_secs_f64();
+        let current_cps = cycles as f64 / current_wall.as_secs_f64();
+        let speedup = current_cps / legacy_cps;
+        println!(
+            "{:<11} {:>12.0} {:>12.0} {:>7.2}x {:>13} {:>13}",
+            bench.name(),
+            legacy_cps,
+            current_cps,
+            speedup,
+            sim_allocs,
+            engine_allocs
+        );
+
+        records.push(Record {
+            benchmark: bench.name().to_string(),
+            mode: "baseline",
+            cycles,
+            wall_seconds: legacy_wall.as_secs_f64(),
+            cycles_per_sec: legacy_cps,
+            steady_allocs: baseline_allocs,
+        });
+        records.push(Record {
+            benchmark: bench.name().to_string(),
+            mode: "zero_alloc",
+            cycles,
+            wall_seconds: current_wall.as_secs_f64(),
+            cycles_per_sec: current_cps,
+            steady_allocs: sim_allocs,
+        });
+        records.push(Record {
+            benchmark: bench.name().to_string(),
+            mode: "engine_zero_alloc",
+            cycles: engine_cycles,
+            wall_seconds: engine_wall,
+            cycles_per_sec: engine_cycles as f64 / engine_wall,
+            steady_allocs: engine_allocs,
+        });
+
+        // The zero-allocation guarantee is defined for designs whose
+        // signals all fit the 64-bit inline representation; wider designs
+        // reuse storage opportunistically and are reported but not gated.
+        let inline_only = p.design.signals().iter().all(|s| s.width <= 64);
+        if inline_only && (sim_allocs != 0 || engine_allocs != 0) {
+            eprintln!(
+                "STEADY-STATE ALLOCATIONS on {}: sim={sim_allocs} engine={engine_allocs}",
+                bench.name()
+            );
+            failed = true;
+        }
+    }
+
+    write_records(&records);
+    if strict && failed {
+        eprintln!("fig7_hotpath: strict mode failure (parity or nonzero steady-state allocations)");
+        std::process::exit(1);
+    }
+}
+
+/// Benchmarks to run: `ERASER_BENCH_ONLY` if set, else APB + ALU (the CI
+/// perf-smoke gate pair, all-inline widths) plus Conv_acc (wide values,
+/// where trimming clone-per-read buys the most).
+fn selected(_scale: f64) -> Vec<Benchmark> {
+    if std::env::var("ERASER_BENCH_ONLY").is_ok() {
+        selected_benchmarks()
+    } else {
+        vec![Benchmark::Apb, Benchmark::Alu64, Benchmark::ConvAcc]
+    }
+}

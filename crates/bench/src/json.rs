@@ -115,18 +115,25 @@ fn escape(s: &str) -> String {
 /// Writes `records` to `BENCH_<binary>.json` as a JSON array and reports
 /// the path on stdout. Honors `ERASER_BENCH_JSON_DIR` (`-` disables).
 pub fn write_records(binary: &str, records: &[BenchRecord]) {
+    let lines: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    write_json_objects(binary, &lines);
+}
+
+/// Writes pre-serialized JSON objects to `BENCH_<binary>.json` as an array
+/// and reports the path on stdout — the single implementation of the
+/// record-file convention (`ERASER_BENCH_JSON_DIR` redirection, `-`
+/// suppression, formatting, error reporting) shared by every report
+/// binary, including those with custom record schemas.
+pub fn write_json_objects(binary: &str, objects: &[String]) {
     let dir = std::env::var("ERASER_BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
     if dir == "-" {
         return;
     }
     let path = PathBuf::from(dir).join(format!("BENCH_{binary}.json"));
-    let body: Vec<String> = records
-        .iter()
-        .map(|r| format!("  {}", r.to_json()))
-        .collect();
+    let body: Vec<String> = objects.iter().map(|o| format!("  {o}")).collect();
     let text = format!("[\n{}\n]\n", body.join(",\n"));
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(text.as_bytes())) {
-        Ok(()) => println!("wrote {} records to {}", records.len(), path.display()),
+        Ok(()) => println!("wrote {} records to {}", objects.len(), path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
 }

@@ -1,0 +1,655 @@
+//! A frozen replica of the **pre-change** good simulator, kept as the
+//! "before" cost model for the `fig7_hotpath` report.
+//!
+//! This is the evaluation core as it existed before the zero-allocation
+//! rework: every signal read clones (`eval_expr_cloning`), every RTL node
+//! evaluation collects its inputs into a fresh `Vec` and materializes a
+//! fresh `LogicVec` result, every behavioral activation builds its overlay
+//! and write lists from scratch, and every commit replaces the stored
+//! value. It is semantically identical to [`eraser_sim::Simulator`] — the
+//! report asserts bit-identical outputs cycle by cycle — but pays the
+//! allocator on every step, which is precisely the redundancy the
+//! zero-allocation core trims.
+//!
+//! Not used by any engine; compiled only into the benchmark harness.
+
+use eraser_ir::{
+    BehavioralId, BehavioralNode, BinaryOp, CaseKind, DecisionEval, Design, Expr, LValue, RtlNode,
+    RtlNodeId, RtlOp, Sensitivity, SignalId, Stmt, UnaryOp, ValueSource,
+};
+use eraser_logic::{LogicBit, LogicVec};
+use eraser_sim::{OverlayView, SlotWrite, Stimulus, ValueStore};
+
+const DELTA_LIMIT: usize = 10_000;
+const MAX_LOOP_ITERATIONS: u32 = 1 << 16;
+
+// ---- frozen pre-change LogicVec kernels ----
+//
+// The zero-allocation rework also made several `LogicVec` kernels
+// word-parallel (slice, assign_slice, merge_x) and allocation-free
+// (comparisons no longer resize-clone). The replica freezes the original
+// bit-loop / resize-cloning forms so the baseline measures the true
+// pre-change cost model.
+
+fn legacy_slice(v: &LogicVec, hi: u32, lo: u32) -> LogicVec {
+    let out_w = hi - lo + 1;
+    let mut out = LogicVec::zeros(out_w);
+    for i in 0..out_w {
+        out.set_bit(i, v.bit_or_x(lo + i));
+    }
+    out
+}
+
+fn legacy_assign_slice(target: &mut LogicVec, lo: u32, value: &LogicVec) {
+    for i in 0..value.width() {
+        let pos = lo + i;
+        if pos < target.width() {
+            target.set_bit(pos, value.bit(i));
+        }
+    }
+}
+
+fn legacy_concat_lsb_first(parts: &[&LogicVec]) -> LogicVec {
+    let total: u32 = parts.iter().map(|p| p.width()).sum();
+    let mut out = LogicVec::zeros(total);
+    let mut lo = 0;
+    for p in parts {
+        legacy_assign_slice(&mut out, lo, p);
+        lo += p.width();
+    }
+    out
+}
+
+fn legacy_replicate(v: &LogicVec, n: u32) -> LogicVec {
+    let mut out = LogicVec::zeros(v.width() * n);
+    for k in 0..n {
+        legacy_assign_slice(&mut out, k * v.width(), v);
+    }
+    out
+}
+
+fn legacy_merge_x(l: &LogicVec, r: &LogicVec) -> LogicVec {
+    let w = l.width().max(r.width());
+    let l = l.resize(w);
+    let r = r.resize(w);
+    let mut out = LogicVec::zeros(w);
+    for i in 0..w {
+        let (a, b) = (l.bit(i), r.bit(i));
+        out.set_bit(
+            i,
+            if a == b && a.is_defined() {
+                a
+            } else {
+                LogicBit::X
+            },
+        );
+    }
+    out
+}
+
+fn legacy_case_eq(l: &LogicVec, r: &LogicVec) -> bool {
+    let w = l.width().max(r.width());
+    l.resize(w) == r.resize(w)
+}
+
+fn legacy_casez_match(v: &LogicVec, pattern: &LogicVec) -> bool {
+    let w = v.width().max(pattern.width());
+    let v = v.resize(w);
+    let p = pattern.resize(w);
+    for i in 0..w {
+        let pb = p.bit(i);
+        if pb == LogicBit::Z {
+            continue;
+        }
+        if v.bit(i) != pb {
+            return false;
+        }
+    }
+    true
+}
+
+fn legacy_logic_eq(l: &LogicVec, r: &LogicVec) -> LogicBit {
+    if l.has_unknown() || r.has_unknown() {
+        return LogicBit::X;
+    }
+    let w = l.width().max(r.width());
+    LogicBit::from(l.resize(w) == r.resize(w))
+}
+
+fn legacy_binary(op: BinaryOp, lv: &LogicVec, rv: &LogicVec) -> LogicVec {
+    match op {
+        BinaryOp::Eq => LogicVec::from_bit(legacy_logic_eq(lv, rv)),
+        BinaryOp::Ne => LogicVec::from_bit(legacy_logic_eq(lv, rv).not()),
+        BinaryOp::CaseEq => LogicVec::from_bit(LogicBit::from(legacy_case_eq(lv, rv))),
+        BinaryOp::CaseNe => LogicVec::from_bit(LogicBit::from(!legacy_case_eq(lv, rv))),
+        // The remaining operators were word-parallel before the rework;
+        // the library's pure forms retain the same cost shape.
+        _ => eraser_ir::eval_binary(op, lv, rv),
+    }
+}
+
+/// The frozen pre-change expression evaluator: one clone per signal read,
+/// one fresh `LogicVec` per AST node, bit-loop slice/concat/merge kernels.
+fn legacy_eval_expr(expr: &Expr, src: &OverlayView<'_, ValueStore>) -> LogicVec {
+    match expr {
+        Expr::Const(v) => v.clone(),
+        Expr::Signal(s) => src.value(*s).clone(),
+        Expr::Unary(op, e) => {
+            let v = legacy_eval_expr(e, src);
+            match op {
+                UnaryOp::Not => v.not(),
+                UnaryOp::Neg => v.neg(),
+                UnaryOp::LogicalNot => LogicVec::from_bit(v.truth().not()),
+                UnaryOp::RedAnd => LogicVec::from_bit(v.red_and()),
+                UnaryOp::RedOr => LogicVec::from_bit(v.red_or()),
+                UnaryOp::RedXor => LogicVec::from_bit(v.red_xor()),
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            let lv = legacy_eval_expr(l, src);
+            let rv = legacy_eval_expr(r, src);
+            legacy_binary(*op, &lv, &rv)
+        }
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            let c = legacy_eval_expr(cond, src).truth();
+            match c {
+                LogicBit::One => {
+                    let t = legacy_eval_expr(then_e, src);
+                    let e = legacy_eval_expr(else_e, src);
+                    t.resize(t.width().max(e.width()))
+                }
+                LogicBit::Zero => {
+                    let t = legacy_eval_expr(then_e, src);
+                    let e = legacy_eval_expr(else_e, src);
+                    e.resize(t.width().max(e.width()))
+                }
+                _ => legacy_merge_x(
+                    &legacy_eval_expr(then_e, src),
+                    &legacy_eval_expr(else_e, src),
+                ),
+            }
+        }
+        Expr::Concat(parts) => {
+            let vals: Vec<LogicVec> = parts.iter().map(|p| legacy_eval_expr(p, src)).collect();
+            let refs: Vec<&LogicVec> = vals.iter().rev().collect();
+            legacy_concat_lsb_first(&refs)
+        }
+        Expr::Replicate(n, e) => legacy_replicate(&legacy_eval_expr(e, src), *n),
+        Expr::Slice { base, hi, lo } => legacy_slice(src.value(*base), *hi, *lo),
+        Expr::Index { base, index } => {
+            let idx = legacy_eval_expr(index, src);
+            let b = src.value(*base).clone();
+            match idx.to_u64() {
+                Some(i) if i <= u32::MAX as u64 => LogicVec::from_bit(b.bit_or_x(i as u32)),
+                _ => LogicVec::from_bit(LogicBit::X),
+            }
+        }
+        Expr::IndexedPart { base, start, width } => {
+            let st = legacy_eval_expr(start, src);
+            let b = src.value(*base).clone();
+            match st.to_u64() {
+                Some(s) if s + *width as u64 <= u32::MAX as u64 => {
+                    legacy_slice(&b, s as u32 + width - 1, s as u32)
+                }
+                _ => LogicVec::new_x(*width),
+            }
+        }
+    }
+}
+
+/// Pre-change RTL operator evaluation: owned inputs, fresh result,
+/// bit-loop concat/slice/replicate kernels.
+fn legacy_eval_rtl_op(op: &RtlOp, inputs: &[LogicVec], out_width: u32) -> LogicVec {
+    let v = match op {
+        RtlOp::Buf => inputs[0].clone(),
+        RtlOp::Const(c) => c.clone(),
+        RtlOp::Unary(u) => {
+            let a = &inputs[0];
+            match u {
+                UnaryOp::Not => a.not(),
+                UnaryOp::Neg => a.neg(),
+                UnaryOp::LogicalNot => LogicVec::from_bit(a.truth().not()),
+                UnaryOp::RedAnd => LogicVec::from_bit(a.red_and()),
+                UnaryOp::RedOr => LogicVec::from_bit(a.red_or()),
+                UnaryOp::RedXor => LogicVec::from_bit(a.red_xor()),
+            }
+        }
+        RtlOp::Binary(b) => legacy_binary(*b, &inputs[0], &inputs[1]),
+        RtlOp::Mux => match inputs[0].truth() {
+            LogicBit::One => inputs[1].clone(),
+            LogicBit::Zero => inputs[2].clone(),
+            _ => legacy_merge_x(&inputs[1], &inputs[2]),
+        },
+        RtlOp::Concat => {
+            let refs: Vec<&LogicVec> = inputs.iter().rev().collect();
+            legacy_concat_lsb_first(&refs)
+        }
+        RtlOp::Replicate(n) => legacy_replicate(&inputs[0], *n),
+        RtlOp::Slice { hi, lo } => legacy_slice(&inputs[0], *hi, *lo),
+        RtlOp::Index => match inputs[1].to_u64() {
+            Some(i) if i <= u32::MAX as u64 => LogicVec::from_bit(inputs[0].bit_or_x(i as u32)),
+            _ => LogicVec::from_bit(LogicBit::X),
+        },
+        RtlOp::IndexedPart { width } => match inputs[1].to_u64() {
+            Some(s) if s + *width as u64 <= u32::MAX as u64 => {
+                legacy_slice(&inputs[0], s as u32 + width - 1, s as u32)
+            }
+            _ => LogicVec::new_x(*width),
+        },
+    };
+    if v.width() == out_width {
+        v
+    } else {
+        v.resize(out_width)
+    }
+}
+
+/// Pre-change decision evaluation through the frozen expression evaluator.
+fn legacy_decide(eval: &DecisionEval, view: &OverlayView<'_, ValueStore>) -> u32 {
+    match eval {
+        DecisionEval::Truth(cond) => (legacy_eval_expr(cond, view).truth() == LogicBit::One) as u32,
+        DecisionEval::Case {
+            scrutinee,
+            arm_labels,
+            kind,
+        } => {
+            let scrut = legacy_eval_expr(scrutinee, view);
+            for (i, labels) in arm_labels.iter().enumerate() {
+                for label in labels {
+                    let lv = legacy_eval_expr(label, view);
+                    let hit = match kind {
+                        CaseKind::Exact => legacy_case_eq(&scrut, &lv),
+                        CaseKind::Z => legacy_casez_match(&scrut, &lv),
+                    };
+                    if hit {
+                        return i as u32;
+                    }
+                }
+            }
+            arm_labels.len() as u32
+        }
+    }
+}
+
+/// Pre-change write application: resize-clone for full writes, clone plus
+/// bit-loop patch for partial writes.
+fn legacy_apply(w: &SlotWrite, current: &LogicVec) -> LogicVec {
+    match w.range {
+        None => w.value.resize(current.width()),
+        Some((lo, _)) => {
+            let mut out = current.clone();
+            legacy_assign_slice(&mut out, lo, &w.value);
+            out
+        }
+    }
+}
+
+/// Pre-change behavioral execution: fresh overlay and write lists per
+/// activation, clone-per-read evaluation.
+struct LegacyInterp<'a> {
+    design: &'a Design,
+    node: &'a BehavioralNode,
+    base: &'a ValueStore,
+    overlay: Vec<(SignalId, LogicVec)>,
+    nba: Vec<SlotWrite>,
+}
+
+impl<'a> LegacyInterp<'a> {
+    fn view(&self) -> OverlayView<'_, ValueStore> {
+        OverlayView {
+            overlay: &self.overlay,
+            base: self.base,
+        }
+    }
+
+    fn eval(&self, e: &Expr) -> LogicVec {
+        legacy_eval_expr(e, &self.view())
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec_stmt(s);
+                }
+            }
+            Stmt::Nop => {}
+            Stmt::Assign {
+                lhs, rhs, blocking, ..
+            } => {
+                let value = self.eval(rhs);
+                let Some(write) = self.resolve_write(lhs, value) else {
+                    return;
+                };
+                if *blocking {
+                    let current = self.view().value_cloned(write.target);
+                    let next = legacy_apply(&write, &current);
+                    let sig = write.target;
+                    for (s, v) in self.overlay.iter_mut() {
+                        if *s == sig {
+                            *v = next;
+                            return;
+                        }
+                    }
+                    self.overlay.push((sig, next));
+                } else {
+                    self.nba.push(write);
+                }
+            }
+            Stmt::If {
+                then_s,
+                else_s,
+                decision,
+                ..
+            } => {
+                let eval = &self.node.vdg.decisions[decision.index()].eval;
+                if legacy_decide(eval, &self.view()) == 1 {
+                    self.exec_stmt(then_s);
+                } else if let Some(e) = else_s {
+                    self.exec_stmt(e);
+                }
+            }
+            Stmt::Case {
+                arms,
+                default,
+                decision,
+                ..
+            } => {
+                let eval = &self.node.vdg.decisions[decision.index()].eval;
+                let outcome = legacy_decide(eval, &self.view());
+                if (outcome as usize) < arms.len() {
+                    self.exec_stmt(&arms[outcome as usize].body);
+                } else if let Some(d) = default {
+                    self.exec_stmt(d);
+                }
+            }
+            Stmt::For {
+                init,
+                step,
+                body,
+                decision,
+                ..
+            } => {
+                self.exec_stmt(init);
+                let mut iterations = 0u32;
+                loop {
+                    let eval = &self.node.vdg.decisions[decision.index()].eval;
+                    if legacy_decide(eval, &self.view()) != 1 {
+                        break;
+                    }
+                    self.exec_stmt(body);
+                    self.exec_stmt(step);
+                    iterations += 1;
+                    assert!(iterations < MAX_LOOP_ITERATIONS, "legacy for-loop bound");
+                }
+            }
+        }
+    }
+
+    fn resolve_write(&self, lhs: &LValue, value: LogicVec) -> Option<SlotWrite> {
+        match lhs {
+            LValue::Full(sig) => Some(SlotWrite {
+                target: *sig,
+                range: None,
+                value: value.resize(self.design.signal(*sig).width),
+            }),
+            LValue::PartSelect { base, hi, lo } => Some(SlotWrite {
+                target: *base,
+                range: Some((*lo, hi - lo + 1)),
+                value: value.resize(hi - lo + 1),
+            }),
+            LValue::BitSelect { base, index } => {
+                let idx = self.eval(index).to_u64()?;
+                let width = self.design.signal(*base).width;
+                if idx >= width as u64 {
+                    return None;
+                }
+                Some(SlotWrite {
+                    target: *base,
+                    range: Some((idx as u32, 1)),
+                    value: value.resize(1),
+                })
+            }
+            LValue::IndexedPart { base, start, width } => {
+                let s = self.eval(start).to_u64()?;
+                if s >= self.design.signal(*base).width as u64 {
+                    return None;
+                }
+                Some(SlotWrite {
+                    target: *base,
+                    range: Some((s as u32, *width)),
+                    value: value.resize(*width),
+                })
+            }
+        }
+    }
+}
+
+trait ValueCloned {
+    fn value_cloned(&self, sig: SignalId) -> LogicVec;
+}
+
+impl ValueCloned for OverlayView<'_, ValueStore> {
+    fn value_cloned(&self, sig: SignalId) -> LogicVec {
+        self.value(sig).clone()
+    }
+}
+
+/// The pre-change event-driven good simulator: identical semantics to
+/// [`eraser_sim::Simulator`], pre-change allocation profile.
+pub struct LegacySimulator<'d> {
+    design: &'d Design,
+    values: ValueStore,
+    edge_prev: Vec<LogicVec>,
+    rtl_dirty: Vec<bool>,
+    rtl_queue: Vec<RtlNodeId>,
+    beh_dirty: Vec<bool>,
+    beh_queue: Vec<BehavioralId>,
+    watch_changed: Vec<SignalId>,
+    watch_flag: Vec<bool>,
+    nba: Vec<SlotWrite>,
+}
+
+impl<'d> LegacySimulator<'d> {
+    /// Creates the simulator and performs the initial evaluation.
+    pub fn new(design: &'d Design) -> Self {
+        let values = ValueStore::new(design);
+        let edge_prev = design
+            .signals()
+            .iter()
+            .map(|s| LogicVec::new_x(s.width))
+            .collect();
+        let mut sim = LegacySimulator {
+            design,
+            values,
+            edge_prev,
+            rtl_dirty: vec![false; design.rtl_nodes().len()],
+            rtl_queue: Vec::new(),
+            beh_dirty: vec![false; design.behavioral_nodes().len()],
+            beh_queue: Vec::new(),
+            watch_changed: Vec::new(),
+            watch_flag: vec![false; design.num_signals()],
+            nba: Vec::new(),
+        };
+        for i in 0..design.rtl_nodes().len() {
+            sim.mark_rtl(RtlNodeId::from_index(i));
+        }
+        for (i, b) in design.behavioral_nodes().iter().enumerate() {
+            if !b.sensitivity.is_edge() {
+                sim.mark_beh(BehavioralId::from_index(i));
+            }
+        }
+        sim.step();
+        sim
+    }
+
+    /// The current value of a signal.
+    pub fn value(&self, sig: SignalId) -> &LogicVec {
+        self.values.get(sig)
+    }
+
+    /// Drives a primary input, pre-change style: unconditional resize.
+    pub fn set_input(&mut self, sig: SignalId, value: LogicVec) {
+        let value = value.resize(self.design.signal(sig).width);
+        self.commit_value(sig, value);
+    }
+
+    /// Applies every step of a stimulus, settling after each.
+    pub fn run_stimulus(&mut self, stim: &Stimulus) {
+        for step in &stim.steps {
+            for (sig, val) in step {
+                self.set_input(*sig, val.clone());
+            }
+            self.step();
+        }
+    }
+
+    fn commit_value(&mut self, sig: SignalId, value: LogicVec) -> bool {
+        if self.values.set(sig, value) {
+            self.schedule_fanout(sig);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs delta cycles until the design is stable.
+    pub fn step(&mut self) {
+        for _ in 0..DELTA_LIMIT {
+            self.settle_active();
+            let activated = self.detect_edges();
+            for b in &activated {
+                self.run_behavioral(*b);
+            }
+            let committed = self.commit_nba();
+            if !committed
+                && activated.is_empty()
+                && self.rtl_queue.is_empty()
+                && self.beh_queue.is_empty()
+            {
+                return;
+            }
+        }
+        panic!("design did not settle within {DELTA_LIMIT} delta cycles");
+    }
+
+    fn mark_rtl(&mut self, id: RtlNodeId) {
+        if !self.rtl_dirty[id.index()] {
+            self.rtl_dirty[id.index()] = true;
+            self.rtl_queue.push(id);
+        }
+    }
+
+    fn mark_beh(&mut self, id: BehavioralId) {
+        if !self.beh_dirty[id.index()] {
+            self.beh_dirty[id.index()] = true;
+            self.beh_queue.push(id);
+        }
+    }
+
+    fn schedule_fanout(&mut self, sig: SignalId) {
+        for &n in self.design.rtl_fanout(sig) {
+            self.mark_rtl(n);
+        }
+        for &b in self.design.level_fanout(sig) {
+            self.mark_beh(b);
+        }
+        if !self.design.edge_fanout(sig).is_empty() && !self.watch_flag[sig.index()] {
+            self.watch_flag[sig.index()] = true;
+            self.watch_changed.push(sig);
+        }
+    }
+
+    fn eval_rtl_node(&self, node: &RtlNode) -> LogicVec {
+        // Pre-change: clone every input into a fresh vector.
+        let inputs: Vec<LogicVec> = node
+            .inputs
+            .iter()
+            .map(|&s| self.values.get(s).clone())
+            .collect();
+        legacy_eval_rtl_op(&node.op, &inputs, self.design.signal(node.output).width)
+    }
+
+    fn settle_active(&mut self) {
+        loop {
+            if let Some(id) = self.rtl_queue.pop() {
+                self.rtl_dirty[id.index()] = false;
+                let node = self.design.rtl_node(id);
+                let out = self.eval_rtl_node(node);
+                self.commit_value(node.output, out);
+                continue;
+            }
+            if let Some(id) = self.beh_queue.pop() {
+                self.beh_dirty[id.index()] = false;
+                self.run_behavioral(id);
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn run_behavioral(&mut self, id: BehavioralId) {
+        let node = self.design.behavioral(id);
+        let mut interp = LegacyInterp {
+            design: self.design,
+            node,
+            base: &self.values,
+            overlay: Vec::new(),
+            nba: Vec::new(),
+        };
+        interp.exec_stmt(&node.body);
+        let (overlay, nba) = (interp.overlay, interp.nba);
+        for (sig, val) in overlay {
+            self.commit_value(sig, val);
+        }
+        self.nba.extend(nba);
+    }
+
+    fn detect_edges(&mut self) -> Vec<BehavioralId> {
+        let mut activated = Vec::new();
+        let changed = std::mem::take(&mut self.watch_changed);
+        for sig in changed {
+            self.watch_flag[sig.index()] = false;
+            let prev = self.edge_prev[sig.index()].clone();
+            let cur = self.values.get(sig).clone();
+            if prev == cur {
+                continue;
+            }
+            for &b in self.design.edge_fanout(sig) {
+                if activated.contains(&b) {
+                    continue;
+                }
+                let node = self.design.behavioral(b);
+                if let Sensitivity::Edges(edges) = &node.sensitivity {
+                    let fired = edges.iter().any(|(kind, s)| {
+                        *s == sig && kind.matches(prev.bit_or_x(0), cur.bit_or_x(0))
+                    });
+                    if fired {
+                        activated.push(b);
+                    }
+                }
+            }
+            self.edge_prev[sig.index()] = cur;
+        }
+        activated
+    }
+
+    fn commit_nba(&mut self) -> bool {
+        if self.nba.is_empty() {
+            return false;
+        }
+        let writes = std::mem::take(&mut self.nba);
+        let mut any = false;
+        for w in writes {
+            let next = legacy_apply(&w, self.values.get(w.target));
+            if self.commit_value(w.target, next) {
+                any = true;
+            }
+        }
+        any
+    }
+}

@@ -20,6 +20,7 @@
 //! fault-parallel campaign execution for every report.
 
 pub mod json;
+pub mod legacy;
 
 use eraser_core::ParallelConfig;
 use eraser_designs::Benchmark;

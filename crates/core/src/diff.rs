@@ -21,6 +21,15 @@ impl DiffList {
         Self::default()
     }
 
+    /// Creates an empty list with room for `capacity` entries — pre-sized
+    /// from the number of faults sited on the signal so the common steady
+    /// state never grows the backing vector.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DiffList {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
     /// The visible value of `fault`, if any.
     #[inline]
     pub fn get(&self, fault: FaultId) -> Option<&LogicVec> {
@@ -44,6 +53,43 @@ impl DiffList {
             Ok(i) => self.entries[i].1 = value,
             Err(i) => self.entries.insert(i, (fault, value)),
         }
+    }
+
+    /// Inserts or updates the entry for `fault` through `write`, with a
+    /// single binary search. On overwrite the existing [`LogicVec`] buffer
+    /// is handed to `write` for in-place reuse instead of being freed and
+    /// replaced; on a miss `write` fills a default vector that is then
+    /// inserted.
+    pub fn upsert_with(&mut self, fault: FaultId, write: impl FnOnce(&mut LogicVec)) {
+        match self.entries.binary_search_by_key(&fault, |(f, _)| *f) {
+            Ok(i) => write(&mut self.entries[i].1),
+            Err(i) => {
+                let mut v = LogicVec::default();
+                write(&mut v);
+                self.entries.insert(i, (fault, v));
+            }
+        }
+    }
+
+    /// Makes `self` an entry-wise copy of `other`, reusing both the backing
+    /// vector's capacity and the existing entries' value buffers (the
+    /// allocation-free `clone_from`).
+    pub fn assign_from(&mut self, other: &DiffList) {
+        let common = self.entries.len().min(other.entries.len());
+        for (dst, src) in self.entries.iter_mut().zip(&other.entries) {
+            dst.0 = src.0;
+            dst.1.assign_from(&src.1);
+        }
+        self.entries.truncate(other.entries.len());
+        self.entries
+            .extend(other.entries[common..].iter().map(|(f, v)| (*f, v.clone())));
+    }
+
+    /// The visible value of `fault`, or `good` when the fault holds the
+    /// good value (no entry).
+    #[inline]
+    pub fn view<'a>(&'a self, fault: FaultId, good: &'a LogicVec) -> &'a LogicVec {
+        self.get(fault).unwrap_or(good)
     }
 
     /// Removes the entry for `fault`, returning its previous value.
@@ -83,13 +129,24 @@ impl DiffList {
 /// Merges the fault ids of several diff lists into one sorted, deduplicated
 /// vector, keeping only live faults.
 pub fn union_ids<'a>(lists: impl Iterator<Item = &'a DiffList>, alive: &[bool]) -> Vec<FaultId> {
-    let mut ids: Vec<FaultId> = Vec::new();
-    for l in lists {
-        ids.extend(l.ids().filter(|f| alive[f.index()]));
-    }
-    ids.sort_unstable();
-    ids.dedup();
+    let mut ids = Vec::new();
+    union_ids_into(lists, alive, &mut ids);
     ids
+}
+
+/// [`union_ids`] into a caller-owned buffer (cleared first, capacity kept)
+/// — the allocation-free form for hot loops.
+pub fn union_ids_into<'a>(
+    lists: impl Iterator<Item = &'a DiffList>,
+    alive: &[bool],
+    out: &mut Vec<FaultId>,
+) {
+    out.clear();
+    for l in lists {
+        out.extend(l.ids().filter(|f| alive[f.index()]));
+    }
+    out.sort_unstable();
+    out.dedup();
 }
 
 #[cfg(test)]

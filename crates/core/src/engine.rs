@@ -1,14 +1,29 @@
 //! The concurrent fault simulation engine.
+//!
+//! # Zero-allocation steady state
+//!
+//! The engine owns a [`Workspace`] of pooled buffers — fault-id lists,
+//! fault-update batches, behavioral execution outcomes, activation records,
+//! `LogicVec` temporaries — and every hot method works out of it. After a
+//! few warm-up cycles the pools reach their steady sizes and a settle step
+//! performs **zero heap allocations** on designs whose signals fit in 64
+//! bits (the `LogicVec` inline representation): signal reads borrow through
+//! [`ValueSource`], diff entries are updated in place via
+//! [`DiffList::upsert_with`], and expression evaluation runs through the
+//! scratch-arena `eval_expr_into` path.
 
-use crate::diff::{union_ids, DiffList};
+use crate::diff::{union_ids_into, DiffList};
 use crate::monitor::RedundancyMonitor;
 use crate::stats::RedundancyStats;
 use crate::RedundancyMode;
 use eraser_fault::{detectable_mismatch, CoverageReport, Detection, FaultId, FaultList};
-use eraser_ir::{BehavioralId, Design, RtlNodeId, Sensitivity, SignalId, ValueSource};
+use eraser_ir::{
+    BehavioralId, Design, EdgeKind, EvalScratch, RtlNodeId, Sensitivity, SignalId, ValueSource,
+};
 use eraser_logic::LogicVec;
 use eraser_sim::{
-    eval_rtl_op, execute_monitored, ExecOutcome, NoopMonitor, SlotWrite, Stimulus, ValueStore,
+    eval_rtl_op_with, execute_into, ExecCtx, ExecOutcome, NoopMonitor, SlotWrite, Stimulus,
+    ValueStore,
 };
 use std::time::Instant;
 
@@ -16,7 +31,8 @@ use std::time::Instant;
 const DELTA_LIMIT: usize = 10_000;
 
 /// A fault's view of the committed design state: the diff entry where
-/// visible, the good value otherwise.
+/// visible, the good value otherwise. All lookups borrow — building or
+/// reading a view never clones a value.
 pub struct FaultView<'e> {
     diffs: &'e [DiffList],
     good: &'e ValueStore,
@@ -31,11 +47,8 @@ impl<'e> FaultView<'e> {
 }
 
 impl ValueSource for FaultView<'_> {
-    fn value(&self, sig: SignalId) -> LogicVec {
-        match self.diffs[sig.index()].get(self.fault) {
-            Some(v) => v.clone(),
-            None => self.good.get(sig).clone(),
-        }
+    fn value(&self, sig: SignalId) -> &LogicVec {
+        self.diffs[sig.index()].view(self.fault, self.good.get(sig))
     }
 }
 
@@ -51,13 +64,113 @@ struct Activation {
 }
 
 /// Queued non-blocking effects of one behavioral activation.
+///
+/// Fault writes are stored flat (grouped per fault via `executed` ranges)
+/// so the whole block is three reusable vectors instead of a vector of
+/// vectors.
+#[derive(Debug, Default)]
 struct PendingNba {
     good_writes: Vec<SlotWrite>,
-    /// Writes of faults that executed individually.
-    fault_writes: Vec<(FaultId, Vec<SlotWrite>)>,
+    /// Non-blocking writes of individually executed faults, flat, grouped
+    /// consecutively per fault.
+    fault_writes: Vec<SlotWrite>,
+    /// `(fault, start, end)` ranges into `fault_writes`; every individually
+    /// executed fault appears here, possibly with an empty range.
+    executed: Vec<(FaultId, u32, u32)>,
     /// Faults whose activation was suppressed: their targets are pinned to
     /// the pre-commit values.
     suppressed: Vec<FaultId>,
+}
+
+impl PendingNba {
+    fn clear(&mut self) {
+        self.good_writes.clear();
+        self.fault_writes.clear();
+        self.executed.clear();
+        self.suppressed.clear();
+    }
+}
+
+/// Reusable buffers for the engine's hot path. Every vector and `LogicVec`
+/// here is taken, used, cleared and returned — capacities persist across
+/// steps, so the steady state never touches the allocator.
+#[derive(Default)]
+struct Workspace {
+    /// `LogicVec` temporaries and RTL-expression scratch.
+    bufs: EvalScratch,
+    /// Behavioral-interpreter scratch.
+    exec_ctx: ExecCtx,
+    /// Redundancy-monitor decision re-evaluation scratch.
+    mon_scratch: EvalScratch,
+    id_pool: Vec<Vec<FaultId>>,
+    news_pool: Vec<Vec<(FaultId, LogicVec)>>,
+    sig_pool: Vec<Vec<SignalId>>,
+    out_pool: Vec<ExecOutcome>,
+    act_pool: Vec<Activation>,
+    /// Activations of the current delta.
+    act_list: Vec<(BehavioralId, Activation)>,
+    /// Per-fault outcomes of the current activation.
+    fault_outs: Vec<(FaultId, ExecOutcome)>,
+    /// Swap buffer for draining `watch_changed` without losing capacity.
+    changed: Vec<SignalId>,
+    /// Dense changed-this-delta flags (reset after each detection).
+    changed_flag: Vec<bool>,
+    /// Edge-node worklist of the current delta.
+    nodes: Vec<BehavioralId>,
+    /// Sensitivity terms on changed signals.
+    terms: Vec<(EdgeKind, SignalId)>,
+}
+
+impl Workspace {
+    fn take_ids(&mut self) -> Vec<FaultId> {
+        self.id_pool.pop().unwrap_or_default()
+    }
+
+    fn put_ids(&mut self, mut v: Vec<FaultId>) {
+        v.clear();
+        self.id_pool.push(v);
+    }
+
+    fn take_news(&mut self) -> Vec<(FaultId, LogicVec)> {
+        self.news_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a fault-update batch, recycling its value buffers.
+    fn put_news(&mut self, mut v: Vec<(FaultId, LogicVec)>) {
+        for (_, buf) in v.drain(..) {
+            self.bufs.put(buf);
+        }
+        self.news_pool.push(v);
+    }
+
+    fn take_sigs(&mut self) -> Vec<SignalId> {
+        self.sig_pool.pop().unwrap_or_default()
+    }
+
+    fn put_sigs(&mut self, mut v: Vec<SignalId>) {
+        v.clear();
+        self.sig_pool.push(v);
+    }
+
+    fn take_out(&mut self) -> ExecOutcome {
+        self.out_pool.pop().unwrap_or_default()
+    }
+
+    fn put_out(&mut self, mut o: ExecOutcome) {
+        o.clear();
+        self.out_pool.push(o);
+    }
+
+    fn take_act(&mut self) -> Activation {
+        self.act_pool.pop().unwrap_or_default()
+    }
+
+    fn put_act(&mut self, mut a: Activation) {
+        a.good = false;
+        a.fault_only.clear();
+        a.suppressed.clear();
+        self.act_pool.push(a);
+    }
 }
 
 /// The ERASER concurrent fault simulation engine.
@@ -89,6 +202,9 @@ pub struct EraserEngine<'d> {
     edge_prev_diffs: Vec<DiffList>,
 
     pending_nba: Vec<PendingNba>,
+    nba_pool: Vec<PendingNba>,
+
+    ws: Workspace,
 
     coverage: CoverageReport,
     stats: RedundancyStats,
@@ -116,13 +232,19 @@ impl<'d> EraserEngine<'d> {
             .iter()
             .map(|s| LogicVec::new_x(s.width))
             .collect();
+        // Pre-size each signal's diff list from its site-affinity fault
+        // count — the guaranteed-resident entries.
+        let diffs = site_faults
+            .iter()
+            .map(|v| DiffList::with_capacity(v.len()))
+            .collect();
         let mut engine = EraserEngine {
             design,
             faults,
             mode,
             drop_detected,
             good,
-            diffs: vec![DiffList::new(); n_sig],
+            diffs,
             site_faults,
             alive: vec![true; faults.len()],
             alive_count: faults.len() as u64,
@@ -135,6 +257,8 @@ impl<'d> EraserEngine<'d> {
             edge_prev_good,
             edge_prev_diffs: vec![DiffList::new(); n_sig],
             pending_nba: Vec::new(),
+            nba_pool: Vec::new(),
+            ws: Workspace::default(),
             coverage: CoverageReport::new(faults.len()),
             stats: RedundancyStats::default(),
             step_index: 0,
@@ -142,13 +266,17 @@ impl<'d> EraserEngine<'d> {
         };
         // Initial state: materialize the stuck-at forces against the all-X
         // power-on values, then evaluate everything once.
+        let mut ws = std::mem::take(&mut engine.ws);
         for sig in 0..n_sig {
             let id = SignalId::from_index(sig);
             if !engine.site_faults[sig].is_empty() {
-                let v = engine.good.get(id).clone();
-                engine.commit_signal(id, v, &[], true);
+                let mut v = ws.bufs.take();
+                v.assign_from(engine.good.get(id));
+                engine.commit_signal(&mut ws, id, &v, &[], true);
+                ws.bufs.put(v);
             }
         }
+        engine.ws = ws;
         for i in 0..design.rtl_nodes().len() {
             engine.mark_rtl(RtlNodeId::from_index(i));
         }
@@ -178,7 +306,9 @@ impl<'d> EraserEngine<'d> {
 
     /// The value of `sig` as seen by `fault`.
     pub fn fault_value(&self, sig: SignalId, fault: FaultId) -> LogicVec {
-        FaultView::new(&self.diffs, &self.good, fault).value(sig)
+        FaultView::new(&self.diffs, &self.good, fault)
+            .value(sig)
+            .clone()
     }
 
     /// Number of faults still being simulated.
@@ -186,10 +316,17 @@ impl<'d> EraserEngine<'d> {
         self.alive_count
     }
 
-    /// Drives a primary input.
+    /// Drives a primary input. An unchanged value is skipped outright:
+    /// committing an identical good value re-derives exactly the same
+    /// forced entries and diff state, so there is nothing to schedule.
     pub fn set_input(&mut self, sig: SignalId, value: LogicVec) {
-        let value = value.resize(self.design.signal(sig).width);
-        self.commit_signal(sig, value, &[], true);
+        let value = value.into_width(self.design.signal(sig).width);
+        if *self.good.get(sig) == value {
+            return;
+        }
+        let mut ws = std::mem::take(&mut self.ws);
+        self.commit_signal(&mut ws, sig, &value, &[], true);
+        self.ws = ws;
     }
 
     /// Runs the full stimulus with observation (and optional fault
@@ -212,19 +349,26 @@ impl<'d> EraserEngine<'d> {
     ///
     /// Panics if the design does not settle within an internal delta bound.
     pub fn step(&mut self) {
+        let mut ws = std::mem::take(&mut self.ws);
+        self.step_inner(&mut ws);
+        self.ws = ws;
+    }
+
+    fn step_inner(&mut self, ws: &mut Workspace) {
         for _ in 0..DELTA_LIMIT {
             self.stats.deltas += 1;
-            self.settle_active();
-            let activations = self.detect_edges();
-            for (id, act) in &activations {
-                self.process_activation(*id, act);
+            self.settle_active(ws);
+            let n_acts = self.detect_edges(ws);
+            let mut list = std::mem::take(&mut ws.act_list);
+            for (id, act) in &list {
+                self.process_activation(ws, *id, act);
             }
-            let committed = self.commit_nba();
-            if !committed
-                && activations.is_empty()
-                && self.rtl_queue.is_empty()
-                && self.beh_queue.is_empty()
-            {
+            for (_, act) in list.drain(..) {
+                ws.put_act(act);
+            }
+            ws.act_list = list;
+            let committed = self.commit_nba(ws);
+            if !committed && n_acts == 0 && self.rtl_queue.is_empty() && self.beh_queue.is_empty() {
                 return;
             }
         }
@@ -235,16 +379,24 @@ impl<'d> EraserEngine<'d> {
     /// good/fault mismatches; records detections and drops detected faults
     /// when configured.
     pub fn observe(&mut self) {
+        let design = self.design;
+        let mut ws = std::mem::take(&mut self.ws);
+        let mut hits = ws.take_ids();
         let mut newly_dead = false;
-        for &o in self.design.outputs() {
-            let good = self.good.get(o).clone();
-            let hits: Vec<FaultId> = self.diffs[o.index()]
-                .entries()
-                .iter()
-                .filter(|(f, v)| self.alive[f.index()] && detectable_mismatch(&good, v))
-                .map(|(f, _)| *f)
-                .collect();
-            for f in hits {
+        for &o in design.outputs() {
+            hits.clear();
+            {
+                let good = self.good.get(o);
+                let alive = &self.alive;
+                hits.extend(
+                    self.diffs[o.index()]
+                        .entries()
+                        .iter()
+                        .filter(|(f, v)| alive[f.index()] && detectable_mismatch(good, v))
+                        .map(|(f, _)| *f),
+                );
+            }
+            for &f in &hits {
                 if self.coverage.record(
                     f,
                     Detection {
@@ -259,6 +411,8 @@ impl<'d> EraserEngine<'d> {
                 }
             }
         }
+        ws.put_ids(hits);
+        self.ws = ws;
         if newly_dead {
             self.need_sweep = true;
         }
@@ -329,16 +483,17 @@ impl<'d> EraserEngine<'d> {
     /// fault's network, untouched faults keep their private values.
     fn commit_signal(
         &mut self,
+        ws: &mut Workspace,
         sig: SignalId,
-        new_good: LogicVec,
+        new_good: &LogicVec,
         fault_news: &[(FaultId, LogicVec)],
         good_write_applies_to_all: bool,
     ) {
         let si = sig.index();
-        let old_good = self.good.get(sig).clone();
-        let good_changed = old_good != new_good;
+        let good_changed = self.good.get(sig) != new_good;
         let mut view_changed = false;
-        let mut processed: Vec<FaultId> = Vec::with_capacity(fault_news.len());
+        let mut processed = ws.take_ids();
+        let mut forced = ws.bufs.take();
 
         for (f, v) in fault_news {
             if !self.alive[f.index()] {
@@ -346,89 +501,84 @@ impl<'d> EraserEngine<'d> {
             }
             processed.push(*f);
             let fault = self.faults.fault(*f);
-            let forced = if fault.signal == sig {
-                fault.apply(v)
-            } else {
-                v.clone()
-            };
-            let old_view = self.diffs[si]
-                .get(*f)
-                .cloned()
-                .unwrap_or_else(|| old_good.clone());
-            if forced != old_view {
+            forced.assign_from(v);
+            if fault.signal == sig {
+                fault.apply_assign(&mut forced);
+            }
+            // The good store is updated last, so this is still the old view.
+            if forced != *self.diffs[si].view(*f, self.good.get(sig)) {
                 view_changed = true;
             }
-            if forced != new_good {
-                self.diffs[si].set(*f, forced);
-            } else {
-                self.diffs[si].remove(*f);
+            if forced != *new_good {
+                let fv = &forced;
+                self.diffs[si].upsert_with(*f, |slot| slot.assign_from(fv));
+            } else if let Some(buf) = self.diffs[si].remove(*f) {
+                ws.bufs.put(buf);
             }
         }
 
         // Faults sited here but not in the update batch: re-apply the force
         // against the new good value (their networks received the same
         // write).
-        for fi in 0..(if good_write_applies_to_all {
-            self.site_faults[si].len()
-        } else {
-            0
-        }) {
-            let f = self.site_faults[si][fi];
-            if !self.alive[f.index()] || processed.contains(&f) {
-                continue;
-            }
-            processed.push(f);
-            let fault = self.faults.fault(f);
-            let forced = fault.apply(&new_good);
-            let old_view = self.diffs[si]
-                .get(f)
-                .cloned()
-                .unwrap_or_else(|| old_good.clone());
-            if forced != old_view {
-                view_changed = true;
-            }
-            if forced != new_good {
-                self.diffs[si].set(f, forced);
-            } else {
-                self.diffs[si].remove(f);
+        if good_write_applies_to_all {
+            for fi in 0..self.site_faults[si].len() {
+                let f = self.site_faults[si][fi];
+                if !self.alive[f.index()] || processed.contains(&f) {
+                    continue;
+                }
+                processed.push(f);
+                let fault = self.faults.fault(f);
+                forced.assign_from(new_good);
+                fault.apply_assign(&mut forced);
+                if forced != *self.diffs[si].view(f, self.good.get(sig)) {
+                    view_changed = true;
+                }
+                if forced != *new_good {
+                    let fv = &forced;
+                    self.diffs[si].upsert_with(f, |slot| slot.assign_from(fv));
+                } else if let Some(buf) = self.diffs[si].remove(f) {
+                    ws.bufs.put(buf);
+                }
             }
         }
 
         // Untouched entries keep their absolute value; those now equal to
         // the good value became invisible, dead entries are purged.
         processed.sort_unstable();
-        let alive = &self.alive;
-        self.diffs[si].retain(|f, v| {
-            if processed.binary_search(&f).is_ok() {
-                return true;
-            }
-            alive[f.index()] && *v != new_good
-        });
+        {
+            let alive = &self.alive;
+            let processed = &processed;
+            self.diffs[si].retain(|f, v| {
+                if processed.binary_search(&f).is_ok() {
+                    return true;
+                }
+                alive[f.index()] && v != new_good
+            });
+        }
 
-        self.good.set(sig, new_good);
+        self.good.commit(sig, new_good);
         if good_changed || view_changed {
             self.schedule_fanout(sig);
         }
+        ws.bufs.put(forced);
+        ws.put_ids(processed);
     }
 
     // ---- RTL nodes (concurrent) ----
 
-    fn settle_active(&mut self) {
+    fn settle_active(&mut self, ws: &mut Workspace) {
         loop {
             if let Some(id) = self.rtl_queue.pop() {
                 self.rtl_dirty[id.index()] = false;
-                self.eval_rtl_concurrent(id);
+                self.eval_rtl_concurrent(ws, id);
                 continue;
             }
             if let Some(id) = self.beh_queue.pop() {
                 self.beh_dirty[id.index()] = false;
-                self.process_activation(
-                    id,
-                    &Activation {
-                        good: true,
-                        ..Default::default()
-                    },
-                );
+                let mut act = ws.take_act();
+                act.good = true;
+                self.process_activation(ws, id, &act);
+                ws.put_act(act);
                 continue;
             }
             break;
@@ -439,54 +589,71 @@ impl<'d> EraserEngine<'d> {
     /// exactly the faults with a visible difference on an input, an
     /// existing (possibly stale) difference on the output, or a fault site
     /// on the output.
-    fn eval_rtl_concurrent(&mut self, id: RtlNodeId) {
-        let node = self.design.rtl_node(id);
-        let out_width = self.design.signal(node.output).width;
-        let good_inputs: Vec<LogicVec> = node
-            .inputs
-            .iter()
-            .map(|&s| self.good.get(s).clone())
-            .collect();
-        let good_out = eval_rtl_op(&node.op, &good_inputs, out_width);
+    fn eval_rtl_concurrent(&mut self, ws: &mut Workspace, id: RtlNodeId) {
+        let design = self.design;
+        let node = design.rtl_node(id);
+        let out_width = design.signal(node.output).width;
+
+        let mut good_out = ws.bufs.take();
+        {
+            let good = &self.good;
+            eval_rtl_op_with(
+                &node.op,
+                &|k| good.get(node.inputs[k]),
+                node.inputs.len(),
+                out_width,
+                &mut ws.bufs,
+                &mut good_out,
+            );
+        }
         self.stats.rtl_good_evals += 1;
 
-        let mut candidates = union_ids(
+        let mut candidates = ws.take_ids();
+        union_ids_into(
             node.inputs
                 .iter()
                 .map(|s| &self.diffs[s.index()])
                 .chain(std::iter::once(&self.diffs[node.output.index()])),
             &self.alive,
+            &mut candidates,
         );
         // Sited faults are re-forced by commit_signal; they only need
         // explicit evaluation when an input difference feeds them, which
-        // the union above already covers. Remove duplicates only.
-        candidates.dedup();
+        // the union above already covers.
 
-        let mut fault_news: Vec<(FaultId, LogicVec)> = Vec::with_capacity(candidates.len());
-        let mut fin = Vec::with_capacity(node.inputs.len());
-        for f in candidates {
-            fin.clear();
-            let mut any_diff = false;
-            for (k, &s) in node.inputs.iter().enumerate() {
-                match self.diffs[s.index()].get(f) {
-                    Some(v) => {
-                        any_diff = true;
-                        fin.push(v.clone());
-                    }
-                    None => fin.push(good_inputs[k].clone()),
-                }
-            }
-            let out = if any_diff {
+        let mut fault_news = ws.take_news();
+        for &f in &candidates {
+            let any_diff = node
+                .inputs
+                .iter()
+                .any(|s| self.diffs[s.index()].contains(f));
+            let mut out_v = ws.bufs.take();
+            if any_diff {
                 self.stats.rtl_fault_evals += 1;
-                eval_rtl_op(&node.op, &fin, out_width)
+                let diffs = &self.diffs;
+                let good = &self.good;
+                eval_rtl_op_with(
+                    &node.op,
+                    &|k| {
+                        let s = node.inputs[k];
+                        diffs[s.index()].view(f, good.get(s))
+                    },
+                    node.inputs.len(),
+                    out_width,
+                    &mut ws.bufs,
+                    &mut out_v,
+                );
             } else {
                 // No visible input difference: the fault's output equals the
                 // good output (explicit redundancy at the RTL node level).
-                good_out.clone()
-            };
-            fault_news.push((f, out));
+                out_v.assign_from(&good_out);
+            }
+            fault_news.push((f, out_v));
         }
-        self.commit_signal(node.output, good_out, &fault_news, true);
+        self.commit_signal(ws, node.output, &good_out, &fault_news, true);
+        ws.put_news(fault_news);
+        ws.put_ids(candidates);
+        ws.bufs.put(good_out);
     }
 
     // ---- edge detection (concurrent, fake-event-safe) ----
@@ -494,46 +661,50 @@ impl<'d> EraserEngine<'d> {
     /// Evaluates event expressions once per delta, after the active region
     /// has settled, for the good values and every diff-carrying fault
     /// together — the generalization of deferred edge detection that
-    /// prevents the paper's *fake events*.
-    fn detect_edges(&mut self) -> Vec<(BehavioralId, Activation)> {
-        let changed = std::mem::take(&mut self.watch_changed);
-        if changed.is_empty() {
-            return Vec::new();
+    /// prevents the paper's *fake events*. Fills `ws.act_list` and returns
+    /// its length.
+    fn detect_edges(&mut self, ws: &mut Workspace) -> usize {
+        std::mem::swap(&mut self.watch_changed, &mut ws.changed);
+        if ws.changed.is_empty() {
+            return 0;
         }
-        let mut nodes: Vec<BehavioralId> = Vec::new();
-        for &sig in &changed {
+        let design = self.design;
+        let n_sig = design.num_signals();
+        if ws.changed_flag.len() < n_sig {
+            ws.changed_flag.resize(n_sig, false);
+        }
+        ws.nodes.clear();
+        for i in 0..ws.changed.len() {
+            let sig = ws.changed[i];
             self.watch_flag[sig.index()] = false;
-            for &b in self.design.edge_fanout(sig) {
-                if !nodes.contains(&b) {
-                    nodes.push(b);
+            ws.changed_flag[sig.index()] = true;
+            for &b in design.edge_fanout(sig) {
+                if !ws.nodes.contains(&b) {
+                    ws.nodes.push(b);
                 }
             }
         }
-        let changed_set: Vec<bool> = {
-            let mut v = vec![false; self.design.num_signals()];
-            for &s in &changed {
-                v[s.index()] = true;
-            }
-            v
-        };
 
-        let mut result = Vec::new();
-        for b in nodes {
-            let node = self.design.behavioral(b);
+        for ni in 0..ws.nodes.len() {
+            let b = ws.nodes[ni];
+            let node = design.behavioral(b);
             let Sensitivity::Edges(edges) = &node.sensitivity else {
                 continue;
             };
             // Terms on signals that changed this delta.
-            let terms: Vec<(eraser_ir::EdgeKind, SignalId)> = edges
-                .iter()
-                .filter(|(_, s)| changed_set[s.index()])
-                .copied()
-                .collect();
-            if terms.is_empty() {
+            ws.terms.clear();
+            ws.terms.extend(
+                edges
+                    .iter()
+                    .filter(|(_, s)| ws.changed_flag[s.index()])
+                    .copied(),
+            );
+            if ws.terms.is_empty() {
                 continue;
             }
             let mut good_fired = false;
-            for &(kind, s) in &terms {
+            for ti in 0..ws.terms.len() {
+                let (kind, s) = ws.terms[ti];
                 let prev = self.edge_prev_good[s.index()].bit_or_x(0);
                 let cur = self.good.get(s).bit_or_x(0);
                 if kind.matches(prev, cur) {
@@ -542,22 +713,22 @@ impl<'d> EraserEngine<'d> {
             }
             // Faults with differences (past or present) on any term signal
             // may diverge from the good activation.
-            let cands = union_ids(
-                terms
+            let mut cands = ws.take_ids();
+            union_ids_into(
+                ws.terms
                     .iter()
                     .flat_map(|(_, s)| [&self.edge_prev_diffs[s.index()], &self.diffs[s.index()]]),
                 &self.alive,
+                &mut cands,
             );
-            let mut act = Activation {
-                good: good_fired,
-                ..Default::default()
-            };
-            for f in cands {
+            let mut act = ws.take_act();
+            act.good = good_fired;
+            for &f in &cands {
                 let mut fault_fired = false;
                 for &(kind, s) in edges.iter() {
                     // Unchanged signals contribute no transition for the
                     // fault either (its view there is stable this delta).
-                    if !changed_set[s.index()] {
+                    if !ws.changed_flag[s.index()] {
                         continue;
                     }
                     let prev = self.edge_prev_diffs[s.index()]
@@ -578,16 +749,23 @@ impl<'d> EraserEngine<'d> {
                     _ => {}
                 }
             }
+            ws.put_ids(cands);
             if act.good || !act.fault_only.is_empty() {
-                result.push((b, act));
+                ws.act_list.push((b, act));
+            } else {
+                ws.put_act(act);
             }
         }
-        // Latch the settled values for the next detection point.
-        for &sig in &changed {
-            self.edge_prev_good[sig.index()] = self.good.get(sig).clone();
-            self.edge_prev_diffs[sig.index()] = self.diffs[sig.index()].clone();
+        // Latch the settled values for the next detection point and reset
+        // the changed flags.
+        for i in 0..ws.changed.len() {
+            let sig = ws.changed[i];
+            ws.changed_flag[sig.index()] = false;
+            self.edge_prev_good[sig.index()].assign_from(self.good.get(sig));
+            self.edge_prev_diffs[sig.index()].assign_from(&self.diffs[sig.index()]);
         }
-        result
+        ws.changed.clear();
+        ws.act_list.len()
     }
 
     // ---- behavioral nodes (concurrent + redundancy elimination) ----
@@ -596,13 +774,13 @@ impl<'d> EraserEngine<'d> {
     /// redundancy monitor in `Full` mode), candidate selection, faulty
     /// executions for the non-redundant faults, blocking commit, and NBA
     /// queuing.
-    fn process_activation(&mut self, id: BehavioralId, act: &Activation) {
+    fn process_activation(&mut self, ws: &mut Workspace, id: BehavioralId, act: &Activation) {
         let t0 = Instant::now();
         let design = self.design;
         let node = design.behavioral(id);
 
-        let mut good_out = ExecOutcome::default();
-        let mut exec_list: Vec<FaultId> = Vec::new();
+        let mut good_out = ws.take_out();
+        let mut exec_list = ws.take_ids();
 
         if act.good {
             self.stats.good_activations += 1;
@@ -612,83 +790,146 @@ impl<'d> EraserEngine<'d> {
             // Candidate selection (explicit redundancy elimination).
             match self.mode {
                 RedundancyMode::None => {
-                    exec_list = (0..self.faults.len() as u32)
-                        .map(FaultId)
-                        .filter(|f| self.alive[f.index()] && !act.suppressed.contains(f))
-                        .collect();
-                    good_out = execute_monitored(design, node, &self.good, &mut NoopMonitor);
+                    exec_list.extend(
+                        (0..self.faults.len() as u32)
+                            .map(FaultId)
+                            .filter(|f| self.alive[f.index()] && !act.suppressed.contains(f)),
+                    );
+                    execute_into(
+                        design,
+                        node,
+                        &self.good,
+                        &mut NoopMonitor,
+                        &mut ws.exec_ctx,
+                        &mut good_out,
+                    );
                 }
                 RedundancyMode::Explicit => {
-                    let candidates = self.input_candidates(node, &act.suppressed);
+                    self.input_candidates(node, &act.suppressed, &mut exec_list);
                     self.stats.explicit_skipped +=
-                        self.alive_count - act.suppressed.len() as u64 - candidates.len() as u64;
-                    exec_list = candidates;
-                    good_out = execute_monitored(design, node, &self.good, &mut NoopMonitor);
+                        self.alive_count - act.suppressed.len() as u64 - exec_list.len() as u64;
+                    execute_into(
+                        design,
+                        node,
+                        &self.good,
+                        &mut NoopMonitor,
+                        &mut ws.exec_ctx,
+                        &mut good_out,
+                    );
                 }
                 RedundancyMode::Full => {
-                    let candidates = self.input_candidates(node, &act.suppressed);
+                    let mut cands = ws.take_ids();
+                    self.input_candidates(node, &act.suppressed, &mut cands);
                     self.stats.explicit_skipped +=
-                        self.alive_count - act.suppressed.len() as u64 - candidates.len() as u64;
-                    let mut mon =
-                        RedundancyMonitor::new(&self.diffs, &self.good, &node.vdg, candidates);
-                    good_out = execute_monitored(design, node, &self.good, &mut mon);
+                        self.alive_count - act.suppressed.len() as u64 - cands.len() as u64;
+                    let killed = std::mem::take(&mut exec_list);
+                    let mut mon = RedundancyMonitor::new(
+                        &self.diffs,
+                        &self.good,
+                        &node.vdg,
+                        cands,
+                        killed,
+                        &mut ws.mon_scratch,
+                    );
+                    execute_into(
+                        design,
+                        node,
+                        &self.good,
+                        &mut mon,
+                        &mut ws.exec_ctx,
+                        &mut good_out,
+                    );
                     let (redundant, must_exec) = mon.into_verdicts();
                     self.stats.implicit_skipped += redundant.len() as u64;
                     exec_list = must_exec;
+                    ws.put_ids(redundant);
                 }
             }
         }
 
         // Individual faulty executions: non-redundant candidates plus
         // divergent fault-only activations.
-        let mut fault_outs: Vec<(FaultId, ExecOutcome)> =
-            Vec::with_capacity(exec_list.len() + act.fault_only.len());
-        for f in exec_list {
-            let view = FaultView::new(&self.diffs, &self.good, f);
-            let out = execute_monitored(design, node, &view, &mut NoopMonitor);
+        let mut fault_outs = std::mem::take(&mut ws.fault_outs);
+        for &f in &exec_list {
+            let mut out = ws.take_out();
+            {
+                let view = FaultView::new(&self.diffs, &self.good, f);
+                execute_into(
+                    design,
+                    node,
+                    &view,
+                    &mut NoopMonitor,
+                    &mut ws.exec_ctx,
+                    &mut out,
+                );
+            }
             fault_outs.push((f, out));
         }
         self.stats.fault_executions += fault_outs.len() as u64;
-        for &f in &act.fault_only {
+        for fi in 0..act.fault_only.len() {
+            let f = act.fault_only[fi];
             if !self.alive[f.index()] {
                 continue;
             }
-            let view = FaultView::new(&self.diffs, &self.good, f);
-            let out = execute_monitored(design, node, &view, &mut NoopMonitor);
+            let mut out = ws.take_out();
+            {
+                let view = FaultView::new(&self.diffs, &self.good, f);
+                execute_into(
+                    design,
+                    node,
+                    &view,
+                    &mut NoopMonitor,
+                    &mut ws.exec_ctx,
+                    &mut out,
+                );
+            }
             fault_outs.push((f, out));
             self.stats.fault_only_activations += 1;
             self.stats.fault_executions += 1;
         }
 
-        self.commit_blocking(act, &good_out, &fault_outs);
+        self.commit_blocking(ws, act, &good_out, &fault_outs);
 
         // Queue non-blocking effects.
-        let has_nba = !good_out.nba.is_empty()
-            || fault_outs.iter().any(|(_, o)| !o.nba.is_empty())
-            || (!act.suppressed.is_empty() && !good_out.nba.is_empty());
+        let has_nba = !good_out.nba.is_empty() || fault_outs.iter().any(|(_, o)| !o.nba.is_empty());
         if has_nba {
-            self.pending_nba.push(PendingNba {
-                good_writes: good_out.nba,
-                fault_writes: fault_outs.into_iter().map(|(f, o)| (f, o.nba)).collect(),
-                suppressed: act.suppressed.clone(),
-            });
+            let mut block = self.nba_pool.pop().unwrap_or_default();
+            block.good_writes.append(&mut good_out.nba);
+            for (f, o) in fault_outs.iter_mut() {
+                let start = block.fault_writes.len() as u32;
+                block.fault_writes.append(&mut o.nba);
+                block
+                    .executed
+                    .push((*f, start, block.fault_writes.len() as u32));
+            }
+            block.suppressed.extend(act.suppressed.iter().copied());
+            self.pending_nba.push(block);
         }
+
+        for (_, o) in fault_outs.drain(..) {
+            ws.put_out(o);
+        }
+        ws.fault_outs = fault_outs;
+        ws.put_out(good_out);
+        ws.put_ids(exec_list);
         self.stats.time_behavioral += t0.elapsed();
     }
 
     /// Faults with a visible difference on any signal the node reads — the
-    /// candidates that survive explicit redundancy elimination.
+    /// candidates that survive explicit redundancy elimination. Fills
+    /// `out` (cleared first).
     fn input_candidates(
         &self,
         node: &eraser_ir::BehavioralNode,
         suppressed: &[FaultId],
-    ) -> Vec<FaultId> {
-        let mut c = union_ids(
+        out: &mut Vec<FaultId>,
+    ) {
+        union_ids_into(
             node.reads.iter().map(|s| &self.diffs[s.index()]),
             &self.alive,
+            out,
         );
-        c.retain(|f| !suppressed.contains(f));
-        c
+        out.retain(|f| !suppressed.contains(f));
     }
 
     /// Commits blocking effects of one activation: the good finals, each
@@ -697,73 +938,86 @@ impl<'d> EraserEngine<'d> {
     /// carry differences on written targets.
     fn commit_blocking(
         &mut self,
+        ws: &mut Workspace,
         act: &Activation,
         good_out: &ExecOutcome,
         fault_outs: &[(FaultId, ExecOutcome)],
     ) {
         // Union of blocking-written targets.
-        let mut targets: Vec<SignalId> = good_out.blocking.iter().map(|(s, _)| *s).collect();
+        let mut targets = ws.take_sigs();
+        targets.extend(good_out.blocking.iter().map(|(s, _)| *s));
         for (_, o) in fault_outs {
             targets.extend(o.blocking.iter().map(|(s, _)| *s));
         }
         targets.sort_unstable();
         targets.dedup();
         if targets.is_empty() {
+            ws.put_sigs(targets);
             return;
         }
 
+        let mut new_good = ws.bufs.take();
         for &t in &targets {
-            let good_final = good_out
-                .blocking
-                .iter()
-                .find(|(s, _)| *s == t)
-                .map(|(_, v)| v.clone());
+            let good_final = good_out.blocking.iter().find(|(s, _)| *s == t);
             let good_wrote = good_final.is_some();
-            let new_good = good_final.unwrap_or_else(|| self.good.get(t).clone());
-            let old_view = |engine: &Self, f: FaultId| -> LogicVec {
-                engine.diffs[t.index()]
-                    .get(f)
-                    .cloned()
-                    .unwrap_or_else(|| engine.good.get(t).clone())
-            };
+            match good_final {
+                Some((_, v)) => new_good.assign_from(v),
+                None => new_good.assign_from(self.good.get(t)),
+            }
 
-            let mut fault_news: Vec<(FaultId, LogicVec)> = Vec::new();
-            let mut covered: Vec<FaultId> = Vec::new();
+            let mut fault_news = ws.take_news();
+            let mut covered = ws.take_ids();
             for (f, o) in fault_outs {
                 covered.push(*f);
+                let mut val = ws.bufs.take();
                 match o.blocking.iter().find(|(s, _)| *s == t) {
-                    Some((_, v)) => fault_news.push((*f, v.clone())),
+                    Some((_, v)) => val.assign_from(v),
                     // Executed but did not write this target: its value is
                     // pinned at its own pre-commit view.
-                    None => fault_news.push((*f, old_view(self, *f))),
+                    None => val.assign_from(self.diffs[t.index()].view(*f, self.good.get(t))),
                 }
+                fault_news.push((*f, val));
             }
             if act.good && good_wrote {
                 for &f in &act.suppressed {
                     if self.alive[f.index()] {
                         covered.push(f);
-                        fault_news.push((f, old_view(self, f)));
+                        let mut val = ws.bufs.take();
+                        val.assign_from(self.diffs[t.index()].view(f, self.good.get(t)));
+                        fault_news.push((f, val));
                     }
                 }
                 // Faults skipped as redundant with an existing difference
                 // on the target: replay the good writes onto their state.
                 covered.sort_unstable();
-                let replays: Vec<FaultId> = self.diffs[t.index()]
-                    .ids()
-                    .filter(|f| self.alive[f.index()] && covered.binary_search(f).is_err())
-                    .collect();
-                for f in replays {
-                    let mut v = old_view(self, f);
+                let mut replays = ws.take_ids();
+                {
+                    let alive = &self.alive;
+                    let covered = &covered;
+                    replays.extend(
+                        self.diffs[t.index()]
+                            .ids()
+                            .filter(|f| alive[f.index()] && covered.binary_search(f).is_err()),
+                    );
+                }
+                for &f in &replays {
+                    let mut val = ws.bufs.take();
+                    val.assign_from(self.diffs[t.index()].view(f, self.good.get(t)));
                     for w in &good_out.blocking_writes {
                         if w.target == t {
-                            v = w.apply(&v);
+                            w.apply_assign(&mut val);
                         }
                     }
-                    fault_news.push((f, v));
+                    fault_news.push((f, val));
                 }
+                ws.put_ids(replays);
             }
-            self.commit_signal(t, new_good, &fault_news, good_wrote);
+            self.commit_signal(ws, t, &new_good, &fault_news, good_wrote);
+            ws.put_news(fault_news);
+            ws.put_ids(covered);
         }
+        ws.bufs.put(new_good);
+        ws.put_sigs(targets);
     }
 
     /// Commits the NBA region: for every pending activation block and every
@@ -771,89 +1025,107 @@ impl<'d> EraserEngine<'d> {
     /// fault's new value (own writes for executed faults, pinned values for
     /// suppressed ones, replayed good writes for skipped faults with
     /// differences).
-    fn commit_nba(&mut self) -> bool {
+    fn commit_nba(&mut self, ws: &mut Workspace) -> bool {
         if self.pending_nba.is_empty() {
             return false;
         }
-        let pending = std::mem::take(&mut self.pending_nba);
+        let mut pending = std::mem::take(&mut self.pending_nba);
         let mut any = false;
-        for block in pending {
-            let mut targets: Vec<SignalId> = block.good_writes.iter().map(|w| w.target).collect();
-            for (_, ws) in &block.fault_writes {
-                targets.extend(ws.iter().map(|w| w.target));
-            }
+        for block in &pending {
+            let mut targets = ws.take_sigs();
+            targets.extend(block.good_writes.iter().map(|w| w.target));
+            targets.extend(block.fault_writes.iter().map(|w| w.target));
             targets.sort_unstable();
             targets.dedup();
 
+            let mut old_good = ws.bufs.take();
+            let mut new_good = ws.bufs.take();
             for &t in &targets {
-                let old_good = self.good.get(t).clone();
-                let mut new_good = old_good.clone();
+                old_good.assign_from(self.good.get(t));
+                new_good.assign_from(&old_good);
                 let mut good_wrote = false;
                 for w in &block.good_writes {
                     if w.target == t {
-                        new_good = w.apply(&new_good);
+                        w.apply_assign(&mut new_good);
                         good_wrote = true;
                     }
                 }
-                let old_view = |engine: &Self, f: FaultId| -> LogicVec {
-                    engine.diffs[t.index()]
-                        .get(f)
-                        .cloned()
-                        .unwrap_or_else(|| old_good.clone())
-                };
 
-                let mut fault_news: Vec<(FaultId, LogicVec)> = Vec::new();
-                let mut covered: Vec<FaultId> = Vec::new();
-                for (f, ws) in &block.fault_writes {
+                let mut fault_news = ws.take_news();
+                let mut covered = ws.take_ids();
+                for &(f, start, end) in &block.executed {
                     if !self.alive[f.index()] {
                         continue;
                     }
-                    covered.push(*f);
-                    let mut v = old_view(self, *f);
+                    covered.push(f);
+                    let mut val = ws.bufs.take();
+                    val.assign_from(self.diffs[t.index()].view(f, &old_good));
                     let mut wrote = false;
-                    for w in ws {
+                    for w in &block.fault_writes[start as usize..end as usize] {
                         if w.target == t {
-                            v = w.apply(&v);
+                            w.apply_assign(&mut val);
                             wrote = true;
                         }
                     }
                     if wrote || good_wrote {
-                        fault_news.push((*f, v));
+                        fault_news.push((f, val));
+                    } else {
+                        ws.bufs.put(val);
                     }
                 }
                 if good_wrote {
                     for &f in &block.suppressed {
                         if self.alive[f.index()] {
                             covered.push(f);
-                            fault_news.push((f, old_view(self, f)));
+                            let mut val = ws.bufs.take();
+                            val.assign_from(self.diffs[t.index()].view(f, &old_good));
+                            fault_news.push((f, val));
                         }
                     }
                     covered.sort_unstable();
-                    let replays: Vec<FaultId> = self.diffs[t.index()]
-                        .ids()
-                        .filter(|f| self.alive[f.index()] && covered.binary_search(f).is_err())
-                        .collect();
-                    for f in replays {
-                        let mut v = old_view(self, f);
+                    let mut replays = ws.take_ids();
+                    {
+                        let alive = &self.alive;
+                        let covered = &covered;
+                        replays.extend(
+                            self.diffs[t.index()]
+                                .ids()
+                                .filter(|f| alive[f.index()] && covered.binary_search(f).is_err()),
+                        );
+                    }
+                    for &f in &replays {
+                        let mut val = ws.bufs.take();
+                        val.assign_from(self.diffs[t.index()].view(f, &old_good));
                         for w in &block.good_writes {
                             if w.target == t {
-                                v = w.apply(&v);
+                                w.apply_assign(&mut val);
                             }
                         }
-                        fault_news.push((f, v));
+                        fault_news.push((f, val));
                     }
+                    ws.put_ids(replays);
                 }
 
                 let before_good_changed = old_good != new_good;
                 let before_entries = self.diffs[t.index()].len();
-                self.commit_signal(t, new_good, &fault_news, good_wrote);
+                self.commit_signal(ws, t, &new_good, &fault_news, good_wrote);
                 if before_good_changed || self.diffs[t.index()].len() != before_entries {
                     any = true;
                 }
+                ws.put_news(fault_news);
+                ws.put_ids(covered);
             }
+            ws.bufs.put(old_good);
+            ws.bufs.put(new_good);
+            ws.put_sigs(targets);
         }
-        // Any scheduling already happened inside commit_signal; report
-        // whether another delta is needed.
+        // Recycle the blocks; any scheduling already happened inside
+        // commit_signal — report whether another delta is needed.
+        for mut block in pending.drain(..) {
+            block.clear();
+            self.nba_pool.push(block);
+        }
+        self.pending_nba = pending;
         any || !self.rtl_queue.is_empty()
             || !self.beh_queue.is_empty()
             || !self.watch_changed.is_empty()

@@ -93,7 +93,7 @@ mod stats;
 
 pub use api::{CampaignRunner, EngineResult, Eraser, FaultSimEngine, ParityMismatch};
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
-pub use diff::DiffList;
+pub use diff::{union_ids, union_ids_into, DiffList};
 pub use engine::{EraserEngine, FaultView};
 pub use monitor::RedundancyMonitor;
 pub use parallel::{merge_shard_results, run_sharded, Parallel, ParallelConfig};

@@ -3,7 +3,7 @@
 use crate::diff::DiffList;
 use crate::engine::FaultView;
 use eraser_fault::FaultId;
-use eraser_ir::{DecisionId, SegmentId, SignalId, Vdg};
+use eraser_ir::{DecisionId, EvalScratch, SegmentId, SignalId, Vdg};
 use eraser_logic::LogicVec;
 use eraser_sim::{ExecMonitor, OverlayView, ValueStore};
 
@@ -41,22 +41,33 @@ pub struct RedundancyMonitor<'e> {
     live: Vec<FaultId>,
     /// Candidates proven non-redundant (must execute).
     killed: Vec<FaultId>,
+    /// Scratch arena for re-evaluating decisions under fault values.
+    scratch: &'e mut EvalScratch,
 }
 
 impl<'e> RedundancyMonitor<'e> {
     /// Creates a monitor over `candidates` for one behavioral activation.
+    ///
+    /// `killed` is an empty (typically pooled) buffer that collects the
+    /// proven-non-redundant faults; `scratch` supplies decision
+    /// re-evaluation temporaries. Both come from the engine's workspace so
+    /// steady-state monitoring never allocates.
     pub fn new(
         diffs: &'e [DiffList],
         good: &'e ValueStore,
         vdg: &'e Vdg,
         candidates: Vec<FaultId>,
+        killed: Vec<FaultId>,
+        scratch: &'e mut EvalScratch,
     ) -> Self {
+        debug_assert!(killed.is_empty());
         RedundancyMonitor {
             diffs,
             good,
             vdg,
             live: candidates,
-            killed: Vec::new(),
+            killed,
+            scratch,
         }
     }
 
@@ -74,6 +85,7 @@ impl ExecMonitor for RedundancyMonitor<'_> {
         let info = &self.vdg.decisions[id.index()];
         let diffs = self.diffs;
         let good = self.good;
+        let scratch = &mut *self.scratch;
         let mut killed = std::mem::take(&mut self.killed);
         self.live.retain(|&f| {
             // Only faults whose values feed the Evaluate function can flip
@@ -87,7 +99,7 @@ impl ExecMonitor for RedundancyMonitor<'_> {
                 overlay,
                 base: &fault_committed,
             };
-            if info.eval.evaluate(&view) != outcome {
+            if info.eval.evaluate_with(&view, scratch) != outcome {
                 killed.push(f);
                 false
             } else {

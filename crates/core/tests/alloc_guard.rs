@@ -1,0 +1,121 @@
+//! Steady-state allocation guard.
+//!
+//! Runs the APB benchmark under a counting global allocator and asserts
+//! that, after a warm-up phase that sizes every pooled buffer, the
+//! simulation hot path — good-simulator stepping, the serial ERASER engine,
+//! and the per-worker engines of a 2-way fault-parallel campaign (what each
+//! `ERASER_THREADS=2` worker executes) — performs **zero** heap
+//! allocations. APB's signals all fit in 64 bits, so `LogicVec` values stay
+//! inline and any allocation would come from a missing buffer-reuse path.
+
+use eraser_core::{EraserEngine, RedundancyMode};
+use eraser_designs::Benchmark;
+use eraser_fault::{generate_faults, PartitionStrategy};
+use eraser_logic::counting_alloc::CountingAlloc;
+use eraser_sim::Simulator;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const WARMUP_CYCLES: usize = 100;
+const MEASURED_CYCLES: usize = 100;
+
+#[test]
+fn good_simulator_steady_state_is_allocation_free() {
+    let design = Benchmark::Apb.build();
+    let stim = Benchmark::Apb.stimulus_with_cycles(&design, WARMUP_CYCLES + MEASURED_CYCLES);
+    let mut sim = Simulator::new(&design);
+
+    let apply = |sim: &mut Simulator, range: std::ops::Range<usize>| {
+        for step in &stim.steps[range] {
+            for (sig, val) in step {
+                sim.set_input(*sig, val.clone());
+            }
+            sim.step();
+        }
+    };
+    apply(&mut sim, 0..WARMUP_CYCLES);
+
+    let before = CountingAlloc::allocations();
+    apply(&mut sim, WARMUP_CYCLES..WARMUP_CYCLES + MEASURED_CYCLES);
+    let after = CountingAlloc::allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "good simulator allocated {} times in {MEASURED_CYCLES} steady-state cycles",
+        after - before
+    );
+}
+
+/// Drives `engine` through `range` of the stimulus with observation, the
+/// way `EraserEngine::run` does.
+fn drive(engine: &mut EraserEngine, stim: &eraser_sim::Stimulus, range: std::ops::Range<usize>) {
+    for step in &stim.steps[range] {
+        for (sig, val) in step {
+            engine.set_input(*sig, val.clone());
+        }
+        engine.step();
+        engine.observe();
+    }
+}
+
+#[test]
+fn eraser_engine_steady_state_is_allocation_free() {
+    let design = Benchmark::Apb.build();
+    let faults = generate_faults(&design, &Benchmark::Apb.fault_config());
+    let stim = Benchmark::Apb.stimulus_with_cycles(&design, WARMUP_CYCLES + MEASURED_CYCLES);
+    let mut engine = EraserEngine::new(&design, &faults, RedundancyMode::Full, true);
+
+    drive(&mut engine, &stim, 0..WARMUP_CYCLES);
+
+    let before = CountingAlloc::allocations();
+    drive(
+        &mut engine,
+        &stim,
+        WARMUP_CYCLES..WARMUP_CYCLES + MEASURED_CYCLES,
+    );
+    let after = CountingAlloc::allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "ERASER engine allocated {} times in {MEASURED_CYCLES} steady-state cycles",
+        after - before
+    );
+}
+
+#[test]
+fn two_way_sharded_workers_are_allocation_free_in_steady_state() {
+    // The per-worker hot loop of an ERASER_THREADS=2 campaign: each worker
+    // owns one site-affinity shard and steps its own engine. Thread spawn
+    // and result merging are per-campaign setup, not steady state, so the
+    // guard drives both shard engines directly.
+    let design = Benchmark::Apb.build();
+    let faults = generate_faults(&design, &Benchmark::Apb.fault_config());
+    let stim = Benchmark::Apb.stimulus_with_cycles(&design, WARMUP_CYCLES + MEASURED_CYCLES);
+    let shards = faults.partition(2, PartitionStrategy::SiteAffinity);
+    assert_eq!(shards.len(), 2);
+
+    let mut engines: Vec<EraserEngine> = shards
+        .iter()
+        .map(|s| EraserEngine::new(&design, &s.list, RedundancyMode::Full, true))
+        .collect();
+    for engine in &mut engines {
+        drive(engine, &stim, 0..WARMUP_CYCLES);
+    }
+
+    let before = CountingAlloc::allocations();
+    for engine in &mut engines {
+        drive(
+            engine,
+            &stim,
+            WARMUP_CYCLES..WARMUP_CYCLES + MEASURED_CYCLES,
+        );
+    }
+    let after = CountingAlloc::allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "sharded workers allocated {} times in {MEASURED_CYCLES} steady-state cycles",
+        after - before
+    );
+}

@@ -36,12 +36,15 @@ use std::fmt;
 /// engines in this workspace share this predicate, which is what makes
 /// their coverage numbers comparable.
 pub fn detectable_mismatch(good: &LogicVec, faulty: &LogicVec) -> bool {
-    let w = good.width().max(faulty.width());
-    let g = good.resize(w);
-    let f = faulty.resize(w);
-    for i in 0..g.avals().len() {
-        let defined = !g.bvals()[i] & !f.bvals()[i];
-        if (g.avals()[i] ^ f.avals()[i]) & defined != 0 {
+    // Compare on zero-padded words (the word-level view of zero-extension
+    // to the common width) — no intermediate vectors, no allocation.
+    let pad = |words: &[u64], i: usize| words.get(i).copied().unwrap_or(0);
+    let n = (good.width().max(faulty.width()) as usize).div_ceil(64);
+    let (ga, gb) = (good.avals(), good.bvals());
+    let (fa, fb) = (faulty.avals(), faulty.bvals());
+    for i in 0..n {
+        let defined = !pad(gb, i) & !pad(fb, i);
+        if (pad(ga, i) ^ pad(fa, i)) & defined != 0 {
             return true;
         }
     }
@@ -113,10 +116,17 @@ impl Fault {
     /// network always observes `value` with the stuck bit overridden.
     pub fn apply(&self, value: &LogicVec) -> LogicVec {
         let mut out = value.clone();
-        if self.bit < out.width() {
-            out.set_bit(self.bit, self.stuck.bit());
-        }
+        self.apply_assign(&mut out);
         out
+    }
+
+    /// Applies the force onto `value` in place — the allocation-free form
+    /// of [`Fault::apply`].
+    #[inline]
+    pub fn apply_assign(&self, value: &mut LogicVec) {
+        if self.bit < value.width() {
+            value.set_bit(self.bit, self.stuck.bit());
+        }
     }
 
     /// True if forcing `value` would actually change it (the fault is

@@ -5,7 +5,20 @@
 //! reads its value store, the ERASER engine reads a fault's *view* (diff
 //! entry if visible, good value otherwise), the compiled baseline reads its
 //! dense two-state arrays. The [`ValueSource`] trait abstracts exactly that
-//! lookup.
+//! lookup, and does so **by borrow** — a signal read never clones.
+//!
+//! The hot entry point is [`eval_expr_into`], which evaluates an expression
+//! into a caller-owned output buffer, drawing temporaries from a reusable
+//! [`EvalScratch`] arena. After a few evaluations the arena holds one buffer
+//! per live recursion slot and steady-state evaluation performs **zero heap
+//! allocations** for designs whose signals fit in 64 bits (wider values
+//! reuse their boxed words whenever the word count matches).
+//!
+//! [`eval_expr`] is the pure convenience wrapper (fresh scratch and output
+//! per call); [`eval_expr_cloning`] is the frozen pre-change evaluator —
+//! clone per signal read, fresh `LogicVec` per AST node — kept as the
+//! reference oracle for property tests and as the baseline the
+//! `fig7_hotpath` report measures against.
 
 use crate::expr::{BinaryOp, Expr, UnaryOp};
 use crate::ids::SignalId;
@@ -13,93 +26,300 @@ use eraser_logic::{LogicBit, LogicVec};
 
 /// A source of current signal values.
 pub trait ValueSource {
-    /// The current value of `sig`. Must have the signal's declared width.
-    fn value(&self, sig: SignalId) -> LogicVec;
+    /// The current value of `sig`, borrowed from the source's storage. Must
+    /// have the signal's declared width.
+    fn value(&self, sig: SignalId) -> &LogicVec;
 }
 
-impl<F> ValueSource for F
-where
-    F: Fn(SignalId) -> LogicVec,
-{
-    fn value(&self, sig: SignalId) -> LogicVec {
-        self(sig)
+impl ValueSource for [LogicVec] {
+    fn value(&self, sig: SignalId) -> &LogicVec {
+        &self[sig.index()]
     }
 }
 
-/// Evaluates `expr` against `src` with full four-state semantics.
+impl ValueSource for Vec<LogicVec> {
+    fn value(&self, sig: SignalId) -> &LogicVec {
+        &self[sig.index()]
+    }
+}
+
+/// A reusable arena of [`LogicVec`] temporaries for expression evaluation.
+///
+/// The pool is filled lazily: each recursion slot takes a buffer (or a
+/// fresh inline 1-bit vector, which costs no heap allocation) and returns
+/// it when done. Sized once per design during warm-up, then reused across
+/// all evaluations.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    pool: Vec<LogicVec>,
+    /// Pooled buffer lists for n-ary nodes (concatenations), so their
+    /// evaluation is iterative — one list per live nesting level.
+    lists: Vec<Vec<LogicVec>>,
+}
+
+impl EvalScratch {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a buffer out of the arena (contents unspecified).
+    #[inline]
+    pub fn take(&mut self) -> LogicVec {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the arena for reuse.
+    #[inline]
+    pub fn put(&mut self, v: LogicVec) {
+        self.pool.push(v);
+    }
+
+    /// Takes an empty buffer list out of the arena.
+    #[inline]
+    fn take_list(&mut self) -> Vec<LogicVec> {
+        self.lists.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer list, recycling its elements into the pool.
+    #[inline]
+    fn put_list(&mut self, mut l: Vec<LogicVec>) {
+        self.pool.append(&mut l);
+        self.lists.push(l);
+    }
+}
+
+/// Evaluates `expr` against `src` with full four-state semantics, writing
+/// the result into `out` (reshaped as needed) and drawing temporaries from
+/// `scratch`.
 ///
 /// The width model matches [`crate::analysis::expr_width`]; conditions with
-/// unknown truth values merge ternary branches bit-wise.
-pub fn eval_expr<S: ValueSource + ?Sized>(expr: &Expr, src: &S) -> LogicVec {
+/// unknown truth values merge ternary branches bit-wise. Bit-identical to
+/// [`eval_expr_cloning`].
+pub fn eval_expr_into<S: ValueSource + ?Sized>(
+    expr: &Expr,
+    src: &S,
+    scratch: &mut EvalScratch,
+    out: &mut LogicVec,
+) {
     match expr {
-        Expr::Const(v) => v.clone(),
-        Expr::Signal(s) => src.value(*s),
+        Expr::Const(v) => out.assign_from(v),
+        Expr::Signal(s) => out.assign_from(src.value(*s)),
         Expr::Unary(op, e) => {
-            let v = eval_expr(e, src);
+            eval_expr_into(e, src, scratch, out);
             match op {
-                UnaryOp::Not => v.not(),
-                UnaryOp::Neg => v.neg(),
-                UnaryOp::LogicalNot => LogicVec::from_bit(v.truth().not()),
-                UnaryOp::RedAnd => LogicVec::from_bit(v.red_and()),
-                UnaryOp::RedOr => LogicVec::from_bit(v.red_or()),
-                UnaryOp::RedXor => LogicVec::from_bit(v.red_xor()),
+                UnaryOp::Not => out.not_assign(),
+                UnaryOp::Neg => out.neg_assign(),
+                UnaryOp::LogicalNot => {
+                    let b = out.truth().not();
+                    out.assign_bit(b);
+                }
+                UnaryOp::RedAnd => {
+                    let b = out.red_and();
+                    out.assign_bit(b);
+                }
+                UnaryOp::RedOr => {
+                    let b = out.red_or();
+                    out.assign_bit(b);
+                }
+                UnaryOp::RedXor => {
+                    let b = out.red_xor();
+                    out.assign_bit(b);
+                }
             }
         }
         Expr::Binary(op, l, r) => {
-            let lv = eval_expr(l, src);
-            let rv = eval_expr(r, src);
-            eval_binary(*op, &lv, &rv)
+            eval_expr_into(l, src, scratch, out);
+            let mut rv = scratch.take();
+            eval_expr_into(r, src, scratch, &mut rv);
+            eval_binary_assign(*op, out, &rv, scratch);
+            scratch.put(rv);
         }
         Expr::Ternary {
             cond,
             then_e,
             else_e,
         } => {
-            let c = eval_expr(cond, src).truth();
-            match c {
+            let mut c = scratch.take();
+            eval_expr_into(cond, src, scratch, &mut c);
+            let truth = c.truth();
+            scratch.put(c);
+            match truth {
                 LogicBit::One => {
-                    let t = eval_expr(then_e, src);
-                    let e = eval_expr(else_e, src);
-                    t.resize(t.width().max(e.width()))
+                    eval_expr_into(then_e, src, scratch, out);
+                    let mut e = scratch.take();
+                    eval_expr_into(else_e, src, scratch, &mut e);
+                    let w = out.width().max(e.width());
+                    out.resize_assign(w);
+                    scratch.put(e);
                 }
                 LogicBit::Zero => {
-                    let t = eval_expr(then_e, src);
-                    let e = eval_expr(else_e, src);
-                    e.resize(t.width().max(e.width()))
+                    let mut t = scratch.take();
+                    eval_expr_into(then_e, src, scratch, &mut t);
+                    eval_expr_into(else_e, src, scratch, out);
+                    let w = out.width().max(t.width());
+                    out.resize_assign(w);
+                    scratch.put(t);
                 }
-                _ => eval_expr(then_e, src).merge_x(&eval_expr(else_e, src)),
+                _ => {
+                    eval_expr_into(then_e, src, scratch, out);
+                    let mut e = scratch.take();
+                    eval_expr_into(else_e, src, scratch, &mut e);
+                    out.merge_x_assign(&e);
+                    scratch.put(e);
+                }
             }
         }
         Expr::Concat(parts) => {
-            let vals: Vec<LogicVec> = parts.iter().map(|p| eval_expr(p, src)).collect();
-            // Source order is MSB-first; concat_lsb_first wants the reverse.
-            let refs: Vec<&LogicVec> = vals.iter().rev().collect();
-            LogicVec::concat_lsb_first(&refs)
-        }
-        Expr::Replicate(n, e) => eval_expr(e, src).replicate(*n),
-        Expr::Slice { base, hi, lo } => src.value(*base).slice(*hi, *lo),
-        Expr::Index { base, index } => {
-            let idx = eval_expr(index, src);
-            let b = src.value(*base);
-            match idx.to_u64() {
-                Some(i) if i <= u32::MAX as u64 => LogicVec::from_bit(b.bit_or_x(i as u32)),
-                _ => LogicVec::from_bit(LogicBit::X),
+            assert!(!parts.is_empty(), "concat needs at least one part");
+            // Iterative over the parts (stack depth stays proportional to
+            // the expression tree depth, not the part count), LSB-first.
+            let mut vals = scratch.take_list();
+            for p in parts.iter().rev() {
+                let mut v = scratch.take();
+                eval_expr_into(p, src, scratch, &mut v);
+                vals.push(v);
             }
+            let total: u32 = vals.iter().map(|v| v.width()).sum();
+            out.make_zeros(total);
+            let mut lo = 0;
+            for v in &vals {
+                out.assign_slice(lo, v);
+                lo += v.width();
+            }
+            scratch.put_list(vals);
+        }
+        Expr::Replicate(n, e) => {
+            let mut v = scratch.take();
+            eval_expr_into(e, src, scratch, &mut v);
+            assert!(*n > 0, "replication count must be positive");
+            out.make_zeros(v.width() * n);
+            for k in 0..*n {
+                out.assign_slice(k * v.width(), &v);
+            }
+            scratch.put(v);
+        }
+        Expr::Slice { base, hi, lo } => src.value(*base).slice_into(*hi, *lo, out),
+        Expr::Index { base, index } => {
+            let mut idx = scratch.take();
+            eval_expr_into(index, src, scratch, &mut idx);
+            let b = src.value(*base);
+            let bit = match idx.to_u64() {
+                Some(i) if i <= u32::MAX as u64 => b.bit_or_x(i as u32),
+                _ => LogicBit::X,
+            };
+            out.assign_bit(bit);
+            scratch.put(idx);
         }
         Expr::IndexedPart { base, start, width } => {
-            let st = eval_expr(start, src);
+            let mut st = scratch.take();
+            eval_expr_into(start, src, scratch, &mut st);
             let b = src.value(*base);
             match st.to_u64() {
                 Some(s) if s + *width as u64 <= u32::MAX as u64 => {
-                    b.slice(s as u32 + width - 1, s as u32)
+                    b.slice_into(s as u32 + width - 1, s as u32, out)
                 }
-                _ => LogicVec::new_x(*width),
+                _ => out.make_x(*width),
             }
+            scratch.put(st);
         }
     }
 }
 
-/// Evaluates one binary operator on already-computed operands.
+/// Evaluates `expr` against `src`, allocating a fresh result.
+///
+/// Convenience wrapper over [`eval_expr_into`] with a throwaway scratch
+/// arena; use the `_into` form on hot paths.
+pub fn eval_expr<S: ValueSource + ?Sized>(expr: &Expr, src: &S) -> LogicVec {
+    let mut scratch = EvalScratch::new();
+    let mut out = LogicVec::default();
+    eval_expr_into(expr, src, &mut scratch, &mut out);
+    out
+}
+
+/// Applies one binary operator in place: `acc = acc <op> rhs`.
+///
+/// `scratch` supplies a temporary for the few operators (multiplication)
+/// that cannot accumulate into their left operand.
+pub fn eval_binary_assign(
+    op: BinaryOp,
+    acc: &mut LogicVec,
+    rhs: &LogicVec,
+    scratch: &mut EvalScratch,
+) {
+    match op {
+        BinaryOp::And => acc.and_assign(rhs),
+        BinaryOp::Or => acc.or_assign(rhs),
+        BinaryOp::Xor => acc.xor_assign(rhs),
+        BinaryOp::Xnor => acc.xnor_assign(rhs),
+        BinaryOp::Add => acc.add_assign(rhs),
+        BinaryOp::Sub => acc.sub_assign(rhs),
+        BinaryOp::Mul => {
+            let mut tmp = scratch.take();
+            acc.mul_into(rhs, &mut tmp);
+            std::mem::swap(acc, &mut tmp);
+            scratch.put(tmp);
+        }
+        BinaryOp::Div => {
+            let mut tmp = scratch.take();
+            acc.div_into(rhs, &mut tmp);
+            std::mem::swap(acc, &mut tmp);
+            scratch.put(tmp);
+        }
+        BinaryOp::Rem => {
+            let mut tmp = scratch.take();
+            acc.rem_into(rhs, &mut tmp);
+            std::mem::swap(acc, &mut tmp);
+            scratch.put(tmp);
+        }
+        BinaryOp::Shl => acc.shl_vec_assign(rhs),
+        BinaryOp::Shr => acc.lshr_vec_assign(rhs),
+        BinaryOp::AShr => acc.ashr_vec_assign(rhs),
+        BinaryOp::Eq => {
+            let b = acc.logic_eq(rhs);
+            acc.assign_bit(b);
+        }
+        BinaryOp::Ne => {
+            let b = acc.logic_ne(rhs);
+            acc.assign_bit(b);
+        }
+        BinaryOp::CaseEq => {
+            let b = LogicBit::from(acc.case_eq(rhs));
+            acc.assign_bit(b);
+        }
+        BinaryOp::CaseNe => {
+            let b = LogicBit::from(!acc.case_eq(rhs));
+            acc.assign_bit(b);
+        }
+        BinaryOp::Lt => {
+            let b = acc.lt(rhs);
+            acc.assign_bit(b);
+        }
+        BinaryOp::Le => {
+            let b = acc.le(rhs);
+            acc.assign_bit(b);
+        }
+        BinaryOp::Gt => {
+            let b = acc.gt(rhs);
+            acc.assign_bit(b);
+        }
+        BinaryOp::Ge => {
+            let b = acc.ge(rhs);
+            acc.assign_bit(b);
+        }
+        BinaryOp::LogicalAnd => {
+            let b = acc.truth().and(rhs.truth());
+            acc.assign_bit(b);
+        }
+        BinaryOp::LogicalOr => {
+            let b = acc.truth().or(rhs.truth());
+            acc.assign_bit(b);
+        }
+    }
+}
+
+/// Evaluates one binary operator on already-computed operands, allocating
+/// the result.
 pub fn eval_binary(op: BinaryOp, lv: &LogicVec, rv: &LogicVec) -> LogicVec {
     match op {
         BinaryOp::And => lv.and(rv),
@@ -127,12 +347,88 @@ pub fn eval_binary(op: BinaryOp, lv: &LogicVec, rv: &LogicVec) -> LogicVec {
     }
 }
 
+/// The frozen pre-change evaluator: one clone per signal read, one fresh
+/// [`LogicVec`] per AST node.
+///
+/// Kept verbatim as (a) the oracle that property tests compare
+/// [`eval_expr_into`] against, and (b) the "before" cost model that the
+/// `fig7_hotpath` report binary measures the zero-allocation core against.
+/// Not used by any engine.
+pub fn eval_expr_cloning<S: ValueSource + ?Sized>(expr: &Expr, src: &S) -> LogicVec {
+    match expr {
+        Expr::Const(v) => v.clone(),
+        Expr::Signal(s) => src.value(*s).clone(),
+        Expr::Unary(op, e) => {
+            let v = eval_expr_cloning(e, src);
+            match op {
+                UnaryOp::Not => v.not(),
+                UnaryOp::Neg => v.neg(),
+                UnaryOp::LogicalNot => LogicVec::from_bit(v.truth().not()),
+                UnaryOp::RedAnd => LogicVec::from_bit(v.red_and()),
+                UnaryOp::RedOr => LogicVec::from_bit(v.red_or()),
+                UnaryOp::RedXor => LogicVec::from_bit(v.red_xor()),
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            let lv = eval_expr_cloning(l, src);
+            let rv = eval_expr_cloning(r, src);
+            eval_binary(*op, &lv, &rv)
+        }
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            let c = eval_expr_cloning(cond, src).truth();
+            match c {
+                LogicBit::One => {
+                    let t = eval_expr_cloning(then_e, src);
+                    let e = eval_expr_cloning(else_e, src);
+                    t.resize(t.width().max(e.width()))
+                }
+                LogicBit::Zero => {
+                    let t = eval_expr_cloning(then_e, src);
+                    let e = eval_expr_cloning(else_e, src);
+                    e.resize(t.width().max(e.width()))
+                }
+                _ => eval_expr_cloning(then_e, src).merge_x(&eval_expr_cloning(else_e, src)),
+            }
+        }
+        Expr::Concat(parts) => {
+            let vals: Vec<LogicVec> = parts.iter().map(|p| eval_expr_cloning(p, src)).collect();
+            // Source order is MSB-first; concat_lsb_first wants the reverse.
+            let refs: Vec<&LogicVec> = vals.iter().rev().collect();
+            LogicVec::concat_lsb_first(&refs)
+        }
+        Expr::Replicate(n, e) => eval_expr_cloning(e, src).replicate(*n),
+        Expr::Slice { base, hi, lo } => src.value(*base).slice(*hi, *lo),
+        Expr::Index { base, index } => {
+            let idx = eval_expr_cloning(index, src);
+            let b = src.value(*base).clone();
+            match idx.to_u64() {
+                Some(i) if i <= u32::MAX as u64 => LogicVec::from_bit(b.bit_or_x(i as u32)),
+                _ => LogicVec::from_bit(LogicBit::X),
+            }
+        }
+        Expr::IndexedPart { base, start, width } => {
+            let st = eval_expr_cloning(start, src);
+            let b = src.value(*base).clone();
+            match st.to_u64() {
+                Some(s) if s + *width as u64 <= u32::MAX as u64 => {
+                    b.slice(s as u32 + width - 1, s as u32)
+                }
+                _ => LogicVec::new_x(*width),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn src(vals: Vec<LogicVec>) -> impl ValueSource {
-        move |s: SignalId| vals[s.index()].clone()
+    fn src(vals: Vec<LogicVec>) -> Vec<LogicVec> {
+        vals
     }
 
     #[test]
@@ -238,5 +534,45 @@ mod tests {
         let v = eval_expr(&e, &s);
         assert_eq!(v.width(), 8);
         assert_eq!(v.to_u64(), Some(0x02));
+    }
+
+    #[test]
+    fn into_matches_cloning_on_reused_buffers() {
+        // The same scratch arena and output buffer across dissimilar
+        // expressions — shapes and widths must never leak between calls.
+        let s = src(vec![
+            LogicVec::from_u64(8, 0xcd),
+            LogicVec::from_u64(16, 0xbeef),
+            LogicVec::new_x(4),
+        ]);
+        let exprs = vec![
+            Expr::bin(
+                BinaryOp::Add,
+                Expr::sig(SignalId(0)),
+                Expr::sig(SignalId(1)),
+            ),
+            Expr::Concat(vec![
+                Expr::sig(SignalId(1)),
+                Expr::sig(SignalId(0)),
+                Expr::sig(SignalId(2)),
+            ]),
+            Expr::Unary(UnaryOp::RedXor, Box::new(Expr::sig(SignalId(1)))),
+            Expr::bin(
+                BinaryOp::Mul,
+                Expr::sig(SignalId(0)),
+                Expr::sig(SignalId(1)),
+            ),
+            Expr::Ternary {
+                cond: Box::new(Expr::sig(SignalId(2))),
+                then_e: Box::new(Expr::sig(SignalId(0))),
+                else_e: Box::new(Expr::sig(SignalId(1))),
+            },
+        ];
+        let mut scratch = EvalScratch::new();
+        let mut out = LogicVec::default();
+        for e in &exprs {
+            eval_expr_into(e, &s, &mut scratch, &mut out);
+            assert_eq!(out, eval_expr_cloning(e, &s));
+        }
     }
 }

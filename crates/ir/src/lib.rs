@@ -32,7 +32,10 @@ pub mod vdg;
 pub use design::{
     BuildError, CombItem, Design, DesignBuilder, Driver, PortDir, Signal, SignalKind,
 };
-pub use eval::{eval_expr, ValueSource};
+pub use eval::{
+    eval_binary, eval_binary_assign, eval_expr, eval_expr_cloning, eval_expr_into, EvalScratch,
+    ValueSource,
+};
 pub use expr::{BinaryOp, Expr, UnaryOp};
 pub use ids::{BehavioralId, DecisionId, RtlNodeId, SegmentId, SignalId};
 pub use node::{BehavioralNode, EdgeKind, RtlNode, RtlOp, Sensitivity};

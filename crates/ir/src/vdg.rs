@@ -22,7 +22,7 @@
 //! interpreter record the path as a flat sequence of ids embedded in the
 //! statement tree.
 
-use crate::eval::eval_expr;
+use crate::eval::{eval_expr_into, EvalScratch};
 use crate::expr::Expr;
 use crate::ids::{DecisionId, SegmentId, SignalId};
 use crate::stmt::{CaseKind, LValue, Stmt};
@@ -65,31 +65,54 @@ pub enum DecisionEval {
 }
 
 impl DecisionEval {
-    /// Computes the branch outcome under `src`.
-    pub fn evaluate<S: ValueSource + ?Sized>(&self, src: &S) -> u32 {
+    /// Computes the branch outcome under `src`, drawing temporaries from
+    /// `scratch` — the allocation-free hot path.
+    pub fn evaluate_with<S: ValueSource + ?Sized>(
+        &self,
+        src: &S,
+        scratch: &mut EvalScratch,
+    ) -> u32 {
         match self {
-            DecisionEval::Truth(cond) => (eval_expr(cond, src).truth() == LogicBit::One) as u32,
+            DecisionEval::Truth(cond) => {
+                let mut v = scratch.take();
+                eval_expr_into(cond, src, scratch, &mut v);
+                let outcome = (v.truth() == LogicBit::One) as u32;
+                scratch.put(v);
+                outcome
+            }
             DecisionEval::Case {
                 scrutinee,
                 arm_labels,
                 kind,
             } => {
-                let scrut = eval_expr(scrutinee, src);
-                for (i, labels) in arm_labels.iter().enumerate() {
+                let mut scrut = scratch.take();
+                eval_expr_into(scrutinee, src, scratch, &mut scrut);
+                let mut lv = scratch.take();
+                let mut outcome = arm_labels.len() as u32;
+                'arms: for (i, labels) in arm_labels.iter().enumerate() {
                     for label in labels {
-                        let lv = eval_expr(label, src);
+                        eval_expr_into(label, src, scratch, &mut lv);
                         let hit = match kind {
                             CaseKind::Exact => scrut.case_eq(&lv),
                             CaseKind::Z => scrut.casez_match(&lv),
                         };
                         if hit {
-                            return i as u32;
+                            outcome = i as u32;
+                            break 'arms;
                         }
                     }
                 }
-                arm_labels.len() as u32
+                scratch.put(lv);
+                scratch.put(scrut);
+                outcome
             }
         }
+    }
+
+    /// Computes the branch outcome under `src` with a throwaway scratch
+    /// arena. Use [`DecisionEval::evaluate_with`] on hot paths.
+    pub fn evaluate<S: ValueSource + ?Sized>(&self, src: &S) -> u32 {
+        self.evaluate_with(src, &mut EvalScratch::new())
     }
 }
 

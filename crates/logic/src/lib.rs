@@ -49,6 +49,8 @@
 //! ```
 
 mod bit;
+#[cfg(feature = "alloc-count")]
+pub mod counting_alloc;
 mod fmt;
 mod ops;
 mod parse;

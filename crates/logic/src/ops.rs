@@ -8,29 +8,56 @@
 //! Arithmetic is unsigned and pessimistic about unknowns: any `X`/`Z` bit in
 //! any operand yields an all-`X` result, as in mainstream event-driven
 //! simulators.
+//!
+//! Every hot operator exists in two forms: an **in-place** variant
+//! (`and_assign`, `add_assign`, `not_assign`, `shl_vec_assign`,
+//! `merge_x_assign`, ...) that mutates the left operand without touching
+//! the allocator (for widths up to 64 bits, and for wider values whose word
+//! count is unchanged), and the original **pure** form, kept as a thin
+//! wrapper that clones and delegates. Comparisons and reductions operate on
+//! zero-padded words directly and never allocate.
 
 use crate::vec::{top_word_mask, words_for};
 use crate::{LogicBit, LogicVec};
 
+/// Word `i` of a plane, reading past the end as zero — the word-level view
+/// of zero-extension to a common width.
+#[inline]
+fn padded(words: &[u64], i: usize) -> u64 {
+    words.get(i).copied().unwrap_or(0)
+}
+
 impl LogicVec {
-    /// Evaluates both operands at their common (max) width and combines the
-    /// planes word-by-word.
-    fn bitwise(&self, rhs: &LogicVec, f: impl Fn(u64, u64, u64, u64) -> (u64, u64)) -> LogicVec {
+    /// Widens `self` to the common (max) width and combines the planes
+    /// word-by-word with `rhs` (zero-padded) in place.
+    fn bitwise_assign_with(
+        &mut self,
+        rhs: &LogicVec,
+        f: impl Fn(u64, u64, u64, u64) -> (u64, u64),
+    ) {
         let w = self.width().max(rhs.width());
-        let l = self.resize(w);
-        let r = rhs.resize(w);
-        LogicVec::from_fn(w, |aval, bval| {
-            for i in 0..aval.len() {
-                let (a, b) = f(l.avals()[i], l.bvals()[i], r.avals()[i], r.bvals()[i]);
-                aval[i] = a;
-                bval[i] = b;
-            }
-        })
+        // Inline fast path: both operands are single (normalized) words.
+        if let (Some((la, lb)), Some((ra, rb))) = (self.inline_parts(), rhs.inline_parts()) {
+            let (a, b) = f(la, lb, ra, rb);
+            let m = top_word_mask(w);
+            self.set_inline(w, a & m, b & m);
+            return;
+        }
+        self.resize_assign(w);
+        let (ra, rb) = (rhs.avals(), rhs.bvals());
+        let (a, b) = self.planes_mut();
+        for i in 0..a.len() {
+            let (na, nb) = f(a[i], b[i], padded(ra, i), padded(rb, i));
+            a[i] = na;
+            b[i] = nb;
+        }
+        self.normalize();
     }
 
-    /// Bitwise four-state AND.
-    pub fn and(&self, rhs: &LogicVec) -> LogicVec {
-        self.bitwise(rhs, |la, lb, ra, rb| {
+    /// In-place bitwise four-state AND: `self = self & rhs` at the common
+    /// width. Allocation-free unless `self` must grow across a word count.
+    pub fn and_assign(&mut self, rhs: &LogicVec) {
+        self.bitwise_assign_with(rhs, |la, lb, ra, rb| {
             let def0 = (!la & !lb) | (!ra & !rb);
             let x = (lb | rb) & !def0;
             let one = (la & !lb) & (ra & !rb);
@@ -38,105 +65,238 @@ impl LogicVec {
         })
     }
 
-    /// Bitwise four-state OR.
-    pub fn or(&self, rhs: &LogicVec) -> LogicVec {
-        self.bitwise(rhs, |la, lb, ra, rb| {
+    /// In-place bitwise four-state OR.
+    pub fn or_assign(&mut self, rhs: &LogicVec) {
+        self.bitwise_assign_with(rhs, |la, lb, ra, rb| {
             let one = (la & !lb) | (ra & !rb);
             let x = (lb | rb) & !one;
             (one | x, x)
         })
     }
 
-    /// Bitwise four-state XOR.
-    pub fn xor(&self, rhs: &LogicVec) -> LogicVec {
-        self.bitwise(rhs, |la, lb, ra, rb| {
+    /// In-place bitwise four-state XOR.
+    pub fn xor_assign(&mut self, rhs: &LogicVec) {
+        self.bitwise_assign_with(rhs, |la, lb, ra, rb| {
             let x = lb | rb;
             (((la ^ ra) & !x) | x, x)
         })
     }
 
-    /// Bitwise four-state XNOR.
-    pub fn xnor(&self, rhs: &LogicVec) -> LogicVec {
-        self.bitwise(rhs, |la, lb, ra, rb| {
+    /// In-place bitwise four-state XNOR.
+    pub fn xnor_assign(&mut self, rhs: &LogicVec) {
+        self.bitwise_assign_with(rhs, |la, lb, ra, rb| {
             let x = lb | rb;
             ((!(la ^ ra) & !x) | x, x)
         })
     }
 
+    /// In-place bitwise four-state NOT.
+    pub fn not_assign(&mut self) {
+        if let Some((a, b)) = self.inline_parts() {
+            let m = top_word_mask(self.width());
+            self.set_inline(self.width(), ((!a & !b) | b) & m, b);
+            return;
+        }
+        let (a, b) = self.planes_mut();
+        for i in 0..a.len() {
+            let (av, bv) = (a[i], b[i]);
+            a[i] = (!av & !bv) | bv;
+        }
+        self.normalize();
+    }
+
+    /// Bitwise four-state AND.
+    pub fn and(&self, rhs: &LogicVec) -> LogicVec {
+        let mut out = self.clone();
+        out.and_assign(rhs);
+        out
+    }
+
+    /// Bitwise four-state OR.
+    pub fn or(&self, rhs: &LogicVec) -> LogicVec {
+        let mut out = self.clone();
+        out.or_assign(rhs);
+        out
+    }
+
+    /// Bitwise four-state XOR.
+    pub fn xor(&self, rhs: &LogicVec) -> LogicVec {
+        let mut out = self.clone();
+        out.xor_assign(rhs);
+        out
+    }
+
+    /// Bitwise four-state XNOR.
+    pub fn xnor(&self, rhs: &LogicVec) -> LogicVec {
+        let mut out = self.clone();
+        out.xnor_assign(rhs);
+        out
+    }
+
     /// Bitwise four-state NOT.
     pub fn not(&self) -> LogicVec {
-        LogicVec::from_fn(self.width(), |aval, bval| {
-            for i in 0..aval.len() {
-                let (a, b) = (self.avals()[i], self.bvals()[i]);
-                aval[i] = (!a & !b) | b;
-                bval[i] = b;
+        let mut out = self.clone();
+        out.not_assign();
+        out
+    }
+
+    /// In-place addition modulo `2^w` where `w = max(widths)`; all-`X` on
+    /// unknowns.
+    pub fn add_assign(&mut self, rhs: &LogicVec) {
+        let w = self.width().max(rhs.width());
+        if let (Some((la, lb)), Some((ra, rb))) = (self.inline_parts(), rhs.inline_parts()) {
+            let m = top_word_mask(w);
+            if lb | rb == 0 {
+                self.set_inline(w, la.wrapping_add(ra) & m, 0);
+            } else {
+                self.set_inline(w, m, m); // all-X
             }
-        })
+            return;
+        }
+        if self.has_unknown() || rhs.has_unknown() {
+            self.make_x(w);
+            return;
+        }
+        self.resize_assign(w);
+        let ra = rhs.avals();
+        let (a, _) = self.planes_mut();
+        let mut carry = 0u64;
+        for (i, slot) in a.iter_mut().enumerate() {
+            let (s1, c1) = slot.overflowing_add(padded(ra, i));
+            let (s2, c2) = s1.overflowing_add(carry);
+            *slot = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        self.normalize();
+    }
+
+    /// In-place subtraction modulo `2^w`; all-`X` on unknowns.
+    pub fn sub_assign(&mut self, rhs: &LogicVec) {
+        let w = self.width().max(rhs.width());
+        if let (Some((la, lb)), Some((ra, rb))) = (self.inline_parts(), rhs.inline_parts()) {
+            let m = top_word_mask(w);
+            if lb | rb == 0 {
+                self.set_inline(w, la.wrapping_sub(ra) & m, 0);
+            } else {
+                self.set_inline(w, m, m); // all-X
+            }
+            return;
+        }
+        if self.has_unknown() || rhs.has_unknown() {
+            self.make_x(w);
+            return;
+        }
+        self.resize_assign(w);
+        let ra = rhs.avals();
+        let (a, _) = self.planes_mut();
+        let mut borrow = 0u64;
+        for (i, slot) in a.iter_mut().enumerate() {
+            let (d1, b1) = slot.overflowing_sub(padded(ra, i));
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *slot = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        self.normalize();
+    }
+
+    /// In-place two's-complement negation; all-`X` on unknowns.
+    pub fn neg_assign(&mut self) {
+        if self.has_unknown() {
+            let w = self.width();
+            self.make_x(w);
+            return;
+        }
+        let (a, _) = self.planes_mut();
+        let mut carry = 1u64;
+        for slot in a.iter_mut() {
+            let (s, c) = (!*slot).overflowing_add(carry);
+            *slot = s;
+            carry = c as u64;
+        }
+        self.normalize();
     }
 
     /// Addition modulo `2^w` where `w = max(widths)`; all-`X` on unknowns.
     pub fn add(&self, rhs: &LogicVec) -> LogicVec {
-        let w = self.width().max(rhs.width());
-        if self.has_unknown() || rhs.has_unknown() {
-            return LogicVec::new_x(w);
-        }
-        let l = self.resize(w);
-        let r = rhs.resize(w);
-        LogicVec::from_fn(w, |aval, _| {
-            let mut carry = 0u64;
-            for (i, slot) in aval.iter_mut().enumerate() {
-                let (s1, c1) = l.avals()[i].overflowing_add(r.avals()[i]);
-                let (s2, c2) = s1.overflowing_add(carry);
-                *slot = s2;
-                carry = (c1 as u64) + (c2 as u64);
-            }
-        })
+        let mut out = self.clone();
+        out.add_assign(rhs);
+        out
     }
 
     /// Subtraction modulo `2^w`; all-`X` on unknowns.
     pub fn sub(&self, rhs: &LogicVec) -> LogicVec {
-        let w = self.width().max(rhs.width());
-        if self.has_unknown() || rhs.has_unknown() {
-            return LogicVec::new_x(w);
-        }
-        let l = self.resize(w);
-        let r = rhs.resize(w);
-        LogicVec::from_fn(w, |aval, _| {
-            let mut borrow = 0u64;
-            for (i, slot) in aval.iter_mut().enumerate() {
-                let (d1, b1) = l.avals()[i].overflowing_sub(r.avals()[i]);
-                let (d2, b2) = d1.overflowing_sub(borrow);
-                *slot = d2;
-                borrow = (b1 as u64) + (b2 as u64);
-            }
-        })
+        let mut out = self.clone();
+        out.sub_assign(rhs);
+        out
     }
 
     /// Two's-complement negation; all-`X` on unknowns.
     pub fn neg(&self) -> LogicVec {
-        LogicVec::zeros(self.width()).sub(self)
+        let mut out = self.clone();
+        out.neg_assign();
+        out
+    }
+
+    /// Multiplication modulo `2^w` written into `out` (which must not alias
+    /// an operand — guaranteed by `&mut`); all-`X` on unknowns.
+    /// Allocation-free when `out`'s storage already fits `w` bits.
+    pub fn mul_into(&self, rhs: &LogicVec, out: &mut LogicVec) {
+        let w = self.width().max(rhs.width());
+        if self.has_unknown() || rhs.has_unknown() {
+            out.make_x(w);
+            return;
+        }
+        out.make_zeros(w);
+        let n = words_for(w);
+        let (la, ra) = (self.avals(), rhs.avals());
+        let (aval, _) = out.planes_mut();
+        for i in 0..n {
+            let mut carry = 0u128;
+            for j in 0..(n - i) {
+                let p = padded(la, i) as u128 * padded(ra, j) as u128 + aval[i + j] as u128 + carry;
+                aval[i + j] = p as u64;
+                carry = p >> 64;
+            }
+        }
+        out.normalize();
     }
 
     /// Multiplication modulo `2^w`; all-`X` on unknowns.
     pub fn mul(&self, rhs: &LogicVec) -> LogicVec {
+        let mut out = LogicVec::zeros(1);
+        self.mul_into(rhs, &mut out);
+        out
+    }
+
+    /// Unsigned division written into `out`; all-`X` on unknowns or a zero
+    /// divisor. Allocation-free for widths up to 64 bits (the wide path
+    /// allocates working buffers internally).
+    pub fn div_into(&self, rhs: &LogicVec, out: &mut LogicVec) {
         let w = self.width().max(rhs.width());
-        if self.has_unknown() || rhs.has_unknown() {
-            return LogicVec::new_x(w);
+        if self.has_unknown() || rhs.has_unknown() || rhs.is_zero() {
+            out.make_x(w);
+        } else if w <= 64 {
+            let a = self.to_u64().expect("defined <=64-bit value");
+            let b = rhs.to_u64().expect("defined <=64-bit value");
+            out.assign_u64(w, a / b);
+        } else {
+            out.assign_from(&self.div_rem(rhs).0);
         }
-        let l = self.resize(w);
-        let r = rhs.resize(w);
-        let n = words_for(w);
-        LogicVec::from_fn(w, |aval, _| {
-            for i in 0..n {
-                let mut carry = 0u128;
-                for j in 0..(n - i) {
-                    let p =
-                        l.avals()[i] as u128 * r.avals()[j] as u128 + aval[i + j] as u128 + carry;
-                    aval[i + j] = p as u64;
-                    carry = p >> 64;
-                }
-            }
-        })
+    }
+
+    /// Unsigned remainder written into `out`; all-`X` on unknowns or a zero
+    /// divisor. Allocation-free for widths up to 64 bits.
+    pub fn rem_into(&self, rhs: &LogicVec, out: &mut LogicVec) {
+        let w = self.width().max(rhs.width());
+        if self.has_unknown() || rhs.has_unknown() || rhs.is_zero() {
+            out.make_x(w);
+        } else if w <= 64 {
+            let a = self.to_u64().expect("defined <=64-bit value");
+            let b = rhs.to_u64().expect("defined <=64-bit value");
+            out.assign_u64(w, a % b);
+        } else {
+            out.assign_from(&self.div_rem(rhs).1);
+        }
     }
 
     /// Unsigned division; all-`X` on unknowns or a zero divisor.
@@ -187,73 +347,148 @@ impl LogicVec {
         (q, rm)
     }
 
-    /// Logical left shift by a constant amount (zero fill).
-    pub fn shl(&self, amount: u32) -> LogicVec {
+    /// In-place logical left shift by a constant amount (zero fill).
+    pub fn shl_assign(&mut self, amount: u32) {
         let w = self.width();
         if amount >= w {
-            return LogicVec::zeros(w);
+            self.make_zeros(w);
+            return;
         }
-        shift_words(w, self, amount, ShiftKind::Left)
+        if amount == 0 {
+            return;
+        }
+        let ws = (amount / 64) as usize;
+        let bs = amount % 64;
+        let (a, b) = self.planes_mut();
+        shift_plane_left(a, ws, bs);
+        shift_plane_left(b, ws, bs);
+        self.normalize();
+    }
+
+    /// In-place logical right shift by a constant amount (zero fill).
+    pub fn lshr_assign(&mut self, amount: u32) {
+        let w = self.width();
+        if amount >= w {
+            self.make_zeros(w);
+            return;
+        }
+        if amount == 0 {
+            return;
+        }
+        let ws = (amount / 64) as usize;
+        let bs = amount % 64;
+        let (a, b) = self.planes_mut();
+        shift_plane_right(a, ws, bs);
+        shift_plane_right(b, ws, bs);
+        self.normalize();
+    }
+
+    /// In-place arithmetic right shift by a constant amount (MSB fill; an
+    /// `X`/`Z` MSB fills with `X`).
+    pub fn ashr_assign(&mut self, amount: u32) {
+        let w = self.width();
+        let msb = self.bit(w - 1);
+        let fill = if msb.is_defined() { msb } else { LogicBit::X };
+        if amount >= w {
+            self.make_filled(w, fill);
+            return;
+        }
+        self.lshr_assign(amount);
+        for i in (w - amount)..w {
+            self.set_bit(i, fill);
+        }
+    }
+
+    /// In-place left shift by a vector amount; all-`X` if the amount has
+    /// unknowns.
+    pub fn shl_vec_assign(&mut self, amount: &LogicVec) {
+        match amount.to_u64() {
+            Some(n) => self.shl_assign(n.min(self.width() as u64) as u32),
+            None => {
+                let w = self.width();
+                self.make_x(w);
+            }
+        }
+    }
+
+    /// In-place logical right shift by a vector amount; all-`X` if the
+    /// amount has unknowns.
+    pub fn lshr_vec_assign(&mut self, amount: &LogicVec) {
+        match amount.to_u64() {
+            Some(n) => self.lshr_assign(n.min(self.width() as u64) as u32),
+            None => {
+                let w = self.width();
+                self.make_x(w);
+            }
+        }
+    }
+
+    /// In-place arithmetic right shift by a vector amount; all-`X` if the
+    /// amount has unknowns.
+    pub fn ashr_vec_assign(&mut self, amount: &LogicVec) {
+        match amount.to_u64() {
+            Some(n) => self.ashr_assign(n.min(self.width() as u64) as u32),
+            None => {
+                let w = self.width();
+                self.make_x(w);
+            }
+        }
+    }
+
+    /// Logical left shift by a constant amount (zero fill).
+    pub fn shl(&self, amount: u32) -> LogicVec {
+        let mut out = self.clone();
+        out.shl_assign(amount);
+        out
     }
 
     /// Logical right shift by a constant amount (zero fill).
     pub fn lshr(&self, amount: u32) -> LogicVec {
-        let w = self.width();
-        if amount >= w {
-            return LogicVec::zeros(w);
-        }
-        shift_words(w, self, amount, ShiftKind::Right)
+        let mut out = self.clone();
+        out.lshr_assign(amount);
+        out
     }
 
     /// Arithmetic right shift by a constant amount (MSB fill; an `X`/`Z` MSB
     /// fills with `X`).
     pub fn ashr(&self, amount: u32) -> LogicVec {
-        let w = self.width();
-        let msb = self.bit(w - 1);
-        if amount >= w {
-            return LogicVec::filled(w, if msb.is_defined() { msb } else { LogicBit::X });
-        }
-        let mut out = self.lshr(amount);
-        let fill = if msb.is_defined() { msb } else { LogicBit::X };
-        for i in (w - amount)..w {
-            out.set_bit(i, fill);
-        }
+        let mut out = self.clone();
+        out.ashr_assign(amount);
         out
     }
 
     /// Left shift by a vector amount; all-`X` if the amount has unknowns.
     pub fn shl_vec(&self, amount: &LogicVec) -> LogicVec {
-        match amount.to_u64() {
-            Some(n) => self.shl(n.min(self.width() as u64) as u32),
-            None => LogicVec::new_x(self.width()),
-        }
+        let mut out = self.clone();
+        out.shl_vec_assign(amount);
+        out
     }
 
     /// Logical right shift by a vector amount; all-`X` if the amount has
     /// unknowns.
     pub fn lshr_vec(&self, amount: &LogicVec) -> LogicVec {
-        match amount.to_u64() {
-            Some(n) => self.lshr(n.min(self.width() as u64) as u32),
-            None => LogicVec::new_x(self.width()),
-        }
+        let mut out = self.clone();
+        out.lshr_vec_assign(amount);
+        out
     }
 
     /// Arithmetic right shift by a vector amount; all-`X` if the amount has
     /// unknowns.
     pub fn ashr_vec(&self, amount: &LogicVec) -> LogicVec {
-        match amount.to_u64() {
-            Some(n) => self.ashr(n.min(self.width() as u64) as u32),
-            None => LogicVec::new_x(self.width()),
-        }
+        let mut out = self.clone();
+        out.ashr_vec_assign(amount);
+        out
     }
 
     /// Four-state equality (`==`): `X` if either operand has unknown bits.
+    /// Never allocates: operands are compared on zero-padded words.
     pub fn logic_eq(&self, rhs: &LogicVec) -> LogicBit {
         if self.has_unknown() || rhs.has_unknown() {
             return LogicBit::X;
         }
-        let w = self.width().max(rhs.width());
-        LogicBit::from(self.resize(w) == rhs.resize(w))
+        let n = words_for(self.width().max(rhs.width()));
+        let (la, ra) = (self.avals(), rhs.avals());
+        LogicBit::from((0..n).all(|i| padded(la, i) == padded(ra, i)))
     }
 
     /// Four-state inequality (`!=`).
@@ -261,26 +496,29 @@ impl LogicVec {
         self.logic_eq(rhs).not()
     }
 
-    /// Case equality (`===`): exact four-state identity including `X`/`Z`.
+    /// Case equality (`===`): exact four-state identity including `X`/`Z`,
+    /// at the zero-extended common width. Never allocates.
     pub fn case_eq(&self, rhs: &LogicVec) -> bool {
-        let w = self.width().max(rhs.width());
-        self.resize(w) == rhs.resize(w)
+        let n = words_for(self.width().max(rhs.width()));
+        let (la, lb) = (self.avals(), self.bvals());
+        let (ra, rb) = (rhs.avals(), rhs.bvals());
+        (0..n).all(|i| padded(la, i) == padded(ra, i) && padded(lb, i) == padded(rb, i))
     }
 
     /// `casez`-style match: `Z` (or `?`) bits in `pattern` match anything.
     ///
     /// Returns `false` (no match) if a non-wildcard pattern bit disagrees,
-    /// comparing four-state identity on the remaining bits.
+    /// comparing four-state identity on the remaining bits. Never
+    /// allocates.
     pub fn casez_match(&self, pattern: &LogicVec) -> bool {
-        let w = self.width().max(pattern.width());
-        let v = self.resize(w);
-        let p = pattern.resize(w);
-        for i in 0..w {
-            let pb = p.bit(i);
-            if pb == LogicBit::Z {
-                continue;
-            }
-            if v.bit(i) != pb {
+        let n = words_for(self.width().max(pattern.width()));
+        let (va, vb) = (self.avals(), self.bvals());
+        let (pa, pb) = (pattern.avals(), pattern.bvals());
+        for i in 0..n {
+            let (pav, pbv) = (padded(pa, i), padded(pb, i));
+            // Z pattern bits (a=0, b=1) are wildcards.
+            let wild = !pav & pbv;
+            if (padded(va, i) ^ pav) & !wild != 0 || (padded(vb, i) ^ pbv) & !wild != 0 {
                 return false;
             }
         }
@@ -313,16 +551,16 @@ impl LogicVec {
         rhs.le(self)
     }
 
-    /// Unsigned comparison, `None` if either side has unknown bits.
+    /// Unsigned comparison, `None` if either side has unknown bits. Never
+    /// allocates.
     pub fn cmp_unsigned(&self, rhs: &LogicVec) -> Option<std::cmp::Ordering> {
         if self.has_unknown() || rhs.has_unknown() {
             return None;
         }
-        let w = self.width().max(rhs.width());
-        let l = self.resize(w);
-        let r = rhs.resize(w);
-        for i in (0..l.avals().len()).rev() {
-            match l.avals()[i].cmp(&r.avals()[i]) {
+        let n = words_for(self.width().max(rhs.width()));
+        let (la, ra) = (self.avals(), rhs.avals());
+        for i in (0..n).rev() {
+            match padded(la, i).cmp(&padded(ra, i)) {
                 std::cmp::Ordering::Equal => continue,
                 other => return Some(other),
             }
@@ -389,67 +627,59 @@ impl LogicVec {
         self.red_or()
     }
 
+    /// In-place per-bit merge used when a ternary condition is unknown:
+    /// bits where both sides agree (and are defined) keep their value, all
+    /// others become `X`. Word-parallel, never allocates (up to the usual
+    /// word-count caveat on growth).
+    pub fn merge_x_assign(&mut self, rhs: &LogicVec) {
+        self.bitwise_assign_with(rhs, |la, lb, ra, rb| {
+            // agree = identical four-state bit, keep = agree and defined;
+            // everything else becomes X (a=1, b=1).
+            let agree = !(la ^ ra) & !(lb ^ rb);
+            let keep = agree & !lb;
+            ((la & keep) | !keep, !keep)
+        })
+    }
+
     /// Per-bit merge used when a ternary condition is unknown: bits where
     /// both sides agree (and are defined) keep their value, all others
     /// become `X`.
     pub fn merge_x(&self, rhs: &LogicVec) -> LogicVec {
-        let w = self.width().max(rhs.width());
-        let l = self.resize(w);
-        let r = rhs.resize(w);
-        let mut out = LogicVec::zeros(w);
-        for i in 0..w {
-            let (a, b) = (l.bit(i), r.bit(i));
-            out.set_bit(
-                i,
-                if a == b && a.is_defined() {
-                    a
-                } else {
-                    LogicBit::X
-                },
-            );
-        }
+        let mut out = self.clone();
+        out.merge_x_assign(rhs);
         out
     }
 }
 
-enum ShiftKind {
-    Left,
-    Right,
+/// In-place word-parallel left shift of one plane (`ws` whole words plus
+/// `bs < 64` bits). Writes descending indices, so each word is read before
+/// it is overwritten.
+fn shift_plane_left(p: &mut [u64], ws: usize, bs: u32) {
+    let n = p.len();
+    for i in (0..n).rev() {
+        let lo = if i >= ws { p[i - ws] << bs } else { 0 };
+        let hi = if bs > 0 && i > ws {
+            p[i - ws - 1] >> (64 - bs)
+        } else {
+            0
+        };
+        p[i] = lo | hi;
+    }
 }
 
-/// Word-parallel shift of both planes. `amount < width` is guaranteed.
-fn shift_words(w: u32, v: &LogicVec, amount: u32, kind: ShiftKind) -> LogicVec {
-    let ws = (amount / 64) as usize;
-    let bs = amount % 64;
-    LogicVec::from_fn(w, |aval, bval| {
-        let n = aval.len();
-        let shift_plane = |src: &[u64], dst: &mut [u64]| {
-            for i in 0..n {
-                dst[i] = match kind {
-                    ShiftKind::Left => {
-                        let lo = if i >= ws { src[i - ws] << bs } else { 0 };
-                        let hi = if bs > 0 && i > ws {
-                            src[i - ws - 1] >> (64 - bs)
-                        } else {
-                            0
-                        };
-                        lo | hi
-                    }
-                    ShiftKind::Right => {
-                        let lo = if i + ws < n { src[i + ws] >> bs } else { 0 };
-                        let hi = if bs > 0 && i + ws + 1 < n {
-                            src[i + ws + 1] << (64 - bs)
-                        } else {
-                            0
-                        };
-                        lo | hi
-                    }
-                };
-            }
+/// In-place word-parallel right shift of one plane. Writes ascending
+/// indices, so each word is read before it is overwritten.
+fn shift_plane_right(p: &mut [u64], ws: usize, bs: u32) {
+    let n = p.len();
+    for i in 0..n {
+        let lo = if i + ws < n { p[i + ws] >> bs } else { 0 };
+        let hi = if bs > 0 && i + ws + 1 < n {
+            p[i + ws + 1] << (64 - bs)
+        } else {
+            0
         };
-        shift_plane(v.avals(), aval);
-        shift_plane(v.bvals(), bval);
-    })
+        p[i] = lo | hi;
+    }
 }
 
 /// Word-array unsigned `>=`.

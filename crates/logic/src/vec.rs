@@ -160,8 +160,188 @@ impl LogicVec {
         v
     }
 
+    // ---- in-place storage management (the zero-allocation hot path) ----
+    //
+    // These methods reshape an existing vector without touching the
+    // allocator whenever the backing storage already fits: widths up to 64
+    // bits are always inline, and wider vectors reuse their boxed words
+    // when the word count is unchanged. They are the foundation of the
+    // `*_assign` operator variants in `ops.rs` and of the scratch-arena
+    // expression evaluator in `eraser-ir`.
+
+    /// Reshapes `self` into an all-zero vector of `width` bits, reusing the
+    /// existing storage when possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn make_zeros(&mut self, width: u32) {
+        assert!(width > 0, "LogicVec width must be positive");
+        let n = words_for(width);
+        if n == 1 {
+            self.buf = Buf::Inline { aval: 0, bval: 0 };
+        } else {
+            match &mut self.buf {
+                Buf::Heap(words) if words.len() == 2 * n => words.fill(0),
+                _ => self.buf = Buf::Heap(vec![0u64; 2 * n].into_boxed_slice()),
+            }
+        }
+        self.width = width;
+    }
+
+    /// Reshapes `self` into a vector of `width` bits all set to `bit`,
+    /// reusing the existing storage when possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn make_filled(&mut self, width: u32, bit: LogicBit) {
+        self.make_zeros(width);
+        let (a, b) = bit.planes();
+        let aw = if a { u64::MAX } else { 0 };
+        let bw = if b { u64::MAX } else { 0 };
+        let (av, bv) = self.planes_mut();
+        av.fill(aw);
+        bv.fill(bw);
+        self.normalize();
+    }
+
+    /// Reshapes `self` into `width` bits of `X`, reusing storage. The
+    /// in-place counterpart of [`LogicVec::new_x`].
+    pub fn make_x(&mut self, width: u32) {
+        self.make_filled(width, LogicBit::X);
+    }
+
+    /// Makes `self` an exact copy of `src`, reusing storage when possible.
+    ///
+    /// The in-place counterpart of `clone_from` that never allocates for
+    /// widths up to 64 bits, nor when the word counts already match.
+    #[inline]
+    pub fn assign_from(&mut self, src: &LogicVec) {
+        // Inline source: as cheap as the pre-change register-copy clone.
+        if let Buf::Inline { aval, bval } = src.buf {
+            self.width = src.width;
+            self.buf = Buf::Inline { aval, bval };
+            return;
+        }
+        self.copy_resized(src, src.width());
+    }
+
+    /// Makes `self` the value of `src` zero-extended or truncated to
+    /// `new_width` — the in-place counterpart of [`LogicVec::resize`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is zero.
+    pub fn copy_resized(&mut self, src: &LogicVec, new_width: u32) {
+        assert!(new_width > 0, "LogicVec width must be positive");
+        if new_width <= 64 {
+            let mask = top_word_mask(new_width);
+            self.width = new_width;
+            self.buf = Buf::Inline {
+                aval: src.avals()[0] & mask,
+                bval: src.bvals()[0] & mask,
+            };
+            return;
+        }
+        self.make_zeros(new_width);
+        let (sa, sb) = (src.avals(), src.bvals());
+        let (a, b) = self.planes_mut();
+        for (i, w) in a.iter_mut().enumerate() {
+            *w = sa.get(i).copied().unwrap_or(0);
+        }
+        for (i, w) in b.iter_mut().enumerate() {
+            *w = sb.get(i).copied().unwrap_or(0);
+        }
+        self.normalize();
+    }
+
+    /// Zero-extends or truncates `self` to `new_width` in place. A no-op on
+    /// equal width; allocation-free unless the word count changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is zero.
+    pub fn resize_assign(&mut self, new_width: u32) {
+        assert!(new_width > 0, "LogicVec width must be positive");
+        if new_width == self.width {
+            return;
+        }
+        if words_for(new_width) == words_for(self.width) {
+            self.width = new_width;
+            self.normalize();
+        } else {
+            *self = self.resize(new_width);
+        }
+    }
+
+    /// Makes `self` a 1-bit vector holding `bit`, without allocating.
+    pub fn assign_bit(&mut self, bit: LogicBit) {
+        let (a, b) = bit.planes();
+        self.width = 1;
+        self.buf = Buf::Inline {
+            aval: a as u64,
+            bval: b as u64,
+        };
+    }
+
+    /// Makes `self` the low `width` bits of `value` — the in-place
+    /// counterpart of [`LogicVec::from_u64`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn assign_u64(&mut self, width: u32, value: u64) {
+        self.make_zeros(width);
+        self.planes_mut().0[0] = value;
+        self.normalize();
+    }
+
+    /// Consumes `self`, returning it resized to `new_width`. A true no-op
+    /// (no clone, no allocation) when the width already matches — use this
+    /// instead of [`LogicVec::resize`] when the value is owned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is zero.
+    pub fn into_width(mut self, new_width: u32) -> Self {
+        self.resize_assign(new_width);
+        self
+    }
+
+    /// The two planes as plain words when the value is inline (width <=
+    /// 64), for branch-light fast paths in the operators.
+    #[inline]
+    pub(crate) fn inline_parts(&self) -> Option<(u64, u64)> {
+        match self.buf {
+            Buf::Inline { aval, bval } => Some((aval, bval)),
+            _ => None,
+        }
+    }
+
+    /// Replaces the value with inline planes (caller masks to `width`).
+    #[inline]
+    pub(crate) fn set_inline(&mut self, width: u32, aval: u64, bval: u64) {
+        self.width = width;
+        self.buf = Buf::Inline { aval, bval };
+    }
+
+    /// Mutable access to both planes (`aval`, `bval`), LSB word first.
+    /// Callers must re-[`normalize`](Self::normalize) if they may set bits
+    /// at positions `>= width`.
+    #[inline]
+    pub(crate) fn planes_mut(&mut self) -> (&mut [u64], &mut [u64]) {
+        match &mut self.buf {
+            Buf::Inline { aval, bval } => (std::slice::from_mut(aval), std::slice::from_mut(bval)),
+            Buf::Heap(words) => {
+                let n = words.len() / 2;
+                words.split_at_mut(n)
+            }
+        }
+    }
+
     /// Masks off bits above `width` in both planes.
-    fn normalize(&mut self) {
+    pub(crate) fn normalize(&mut self) {
         let mask = top_word_mask(self.width);
         match &mut self.buf {
             Buf::Inline { aval, bval } => {
@@ -353,25 +533,130 @@ impl LogicVec {
     ///
     /// Panics if `hi < lo`.
     pub fn slice(&self, hi: u32, lo: u32) -> Self {
+        let mut out = Self::zeros(1);
+        self.slice_into(hi, lo, &mut out);
+        out
+    }
+
+    /// In-place variant of [`LogicVec::slice`]: writes bits `hi..=lo` of
+    /// `self` into `out`, which is reshaped to width `hi - lo + 1`.
+    /// Word-parallel and allocation-free (up to the usual word-count caveat
+    /// on `out`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo`.
+    pub fn slice_into(&self, hi: u32, lo: u32, out: &mut LogicVec) {
         assert!(hi >= lo, "slice hi ({hi}) must be >= lo ({lo})");
         let out_w = hi - lo + 1;
-        let mut out = Self::zeros(out_w);
-        for i in 0..out_w {
-            out.set_bit(i, self.bit_or_x(lo + i));
+        // Inline fast path: shift, X-fill the out-of-range tail, mask.
+        if out_w <= 64 {
+            if let Some((a, b)) = self.inline_parts() {
+                let (mut oa, mut ob) = if lo < 64 { (a >> lo, b >> lo) } else { (0, 0) };
+                if hi >= self.width {
+                    let from = self.width.saturating_sub(lo);
+                    let xm = if from >= 64 { 0 } else { !((1u64 << from) - 1) };
+                    oa |= xm;
+                    ob |= xm;
+                }
+                let m = top_word_mask(out_w);
+                out.set_inline(out_w, oa & m, ob & m);
+                return;
+            }
         }
-        out
+        out.make_zeros(out_w);
+        let ws = (lo / 64) as usize;
+        let bs = lo % 64;
+        let gather = |src: &[u64], i: usize| -> u64 {
+            let low = src.get(i + ws).copied().unwrap_or(0) >> bs;
+            let high = if bs > 0 {
+                src.get(i + ws + 1).copied().unwrap_or(0) << (64 - bs)
+            } else {
+                0
+            };
+            low | high
+        };
+        let (sa, sb) = (self.avals(), self.bvals());
+        {
+            let (oa, ob) = out.planes_mut();
+            for i in 0..oa.len() {
+                oa[i] = gather(sa, i);
+                ob[i] = gather(sb, i);
+            }
+        }
+        // Bits beyond the source width read as X (out-of-range part
+        // select): force X from the first out-of-range output bit on.
+        if hi >= self.width {
+            let from = self.width.saturating_sub(lo);
+            let (oa, ob) = out.planes_mut();
+            let start = (from / 64) as usize;
+            for i in start..oa.len() {
+                let m = if i == start {
+                    !((1u64 << (from % 64)) - 1)
+                } else {
+                    u64::MAX
+                };
+                oa[i] |= m;
+                ob[i] |= m;
+            }
+        }
+        out.normalize();
     }
 
     /// Writes `value` into bits `lo..lo + value.width()`.
     ///
     /// Bits of `value` that would land above `self.width()` are dropped —
     /// the Verilog semantics of an out-of-range part-select store.
+    /// Word-parallel; never allocates.
     pub fn assign_slice(&mut self, lo: u32, value: &LogicVec) {
-        for i in 0..value.width() {
-            let pos = lo + i;
-            if pos < self.width {
-                self.set_bit(pos, value.bit(i));
-            }
+        if lo >= self.width {
+            return;
+        }
+        let n_bits = value.width().min(self.width - lo);
+        // Inline fast path: one mask-and-merge.
+        if let (Some((ta, tb)), Some((va, vb))) = (self.inline_parts(), value.inline_parts()) {
+            let mask = (if n_bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << n_bits) - 1
+            }) << lo;
+            self.set_inline(
+                self.width,
+                (ta & !mask) | ((va << lo) & mask),
+                (tb & !mask) | ((vb << lo) & mask),
+            );
+            return;
+        }
+        let (va, vb) = (value.avals(), value.bvals());
+        // 64 bits of a plane starting at `bit` (zero-padded past the end).
+        let window = |src: &[u64], bit: u32| -> u64 {
+            let wi = (bit / 64) as usize;
+            let sh = bit % 64;
+            let low = src.get(wi).copied().unwrap_or(0) >> sh;
+            let high = if sh > 0 {
+                src.get(wi + 1).copied().unwrap_or(0) << (64 - sh)
+            } else {
+                0
+            };
+            low | high
+        };
+        let (a, b) = self.planes_mut();
+        let mut written = 0u32;
+        while written < n_bits {
+            let dst_bit = lo + written;
+            let di = (dst_bit / 64) as usize;
+            let off = dst_bit % 64;
+            let take = (64 - off).min(n_bits - written);
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << take) - 1) << off
+            };
+            let sa = window(va, written);
+            let sb = window(vb, written);
+            a[di] = (a[di] & !mask) | ((sa << off) & mask);
+            b[di] = (b[di] & !mask) | ((sb << off) & mask);
+            written += take;
         }
     }
 

@@ -1,0 +1,484 @@
+//! Property tests for the in-place (`*_assign` / `*_into`) operator
+//! variants: every one must be bit-identical to an independent per-bit /
+//! wide-integer oracle — and to its pure counterpart — across the width set
+//! {1, 7, 64, 65, 128} and all four logic states, including when the output
+//! buffer is reused dirty across calls of different widths and shapes.
+//!
+//! Dependency-free: cases are drawn from a fixed-seed xorshift64* stream,
+//! so the suite is deterministic across runs and platforms.
+
+use eraser_logic::{LogicBit, LogicVec};
+
+const CASES: usize = 400;
+const WIDTHS: [u32; 5] = [1, 7, 64, 65, 128];
+
+/// Deterministic xorshift64* generator.
+struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift {
+            state: seed | 1, // never zero
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    fn width(&mut self) -> u32 {
+        WIDTHS[self.below(WIDTHS.len() as u64) as usize]
+    }
+
+    fn bit(&mut self, defined_only: bool) -> LogicBit {
+        match self.below(if defined_only { 2 } else { 4 }) {
+            0 => LogicBit::Zero,
+            1 => LogicBit::One,
+            2 => LogicBit::Z,
+            _ => LogicBit::X,
+        }
+    }
+
+    /// A four-state vector of the given width; `defined_only` restricts to
+    /// 0/1 bits (for the integer-arithmetic oracles).
+    fn vec(&mut self, width: u32, defined_only: bool) -> LogicVec {
+        let bits: Vec<LogicBit> = (0..width).map(|_| self.bit(defined_only)).collect();
+        LogicVec::from_bits(&bits)
+    }
+
+    /// A dirty buffer of random shape to exercise in-place storage reuse.
+    fn dirty(&mut self) -> LogicVec {
+        let w = self.width();
+        self.vec(w, false)
+    }
+}
+
+/// Converts a fully defined vector of width <= 128 to u128.
+fn to_u128(v: &LogicVec) -> u128 {
+    assert!(v.is_fully_defined() && v.width() <= 128);
+    let a = v.avals();
+    let lo = a[0] as u128;
+    let hi = if a.len() > 1 { a[1] as u128 } else { 0 };
+    lo | (hi << 64)
+}
+
+/// Builds a vector of `width` bits from the low bits of a u128.
+fn from_u128(width: u32, x: u128) -> LogicVec {
+    let bits: Vec<LogicBit> = (0..width)
+        .map(|i| LogicBit::from((x >> i) & 1 == 1))
+        .collect();
+    LogicVec::from_bits(&bits)
+}
+
+fn mask128(width: u32) -> u128 {
+    if width >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+/// Per-bit four-state truth tables, written out independently of the
+/// word-parallel implementations under test.
+fn ref_and(a: LogicBit, b: LogicBit) -> LogicBit {
+    match (a, b) {
+        (LogicBit::Zero, _) | (_, LogicBit::Zero) => LogicBit::Zero,
+        (LogicBit::One, LogicBit::One) => LogicBit::One,
+        _ => LogicBit::X,
+    }
+}
+
+fn ref_or(a: LogicBit, b: LogicBit) -> LogicBit {
+    match (a, b) {
+        (LogicBit::One, _) | (_, LogicBit::One) => LogicBit::One,
+        (LogicBit::Zero, LogicBit::Zero) => LogicBit::Zero,
+        _ => LogicBit::X,
+    }
+}
+
+fn ref_xor(a: LogicBit, b: LogicBit) -> LogicBit {
+    match (a.to_bool(), b.to_bool()) {
+        (Some(x), Some(y)) => LogicBit::from(x ^ y),
+        _ => LogicBit::X,
+    }
+}
+
+fn ref_not(a: LogicBit) -> LogicBit {
+    match a {
+        LogicBit::Zero => LogicBit::One,
+        LogicBit::One => LogicBit::Zero,
+        _ => LogicBit::X,
+    }
+}
+
+/// Bit-wise binary oracle at the zero-extended common width.
+fn bitwise_oracle(l: &LogicVec, r: &LogicVec, f: fn(LogicBit, LogicBit) -> LogicBit) -> LogicVec {
+    let w = l.width().max(r.width());
+    let ext = |v: &LogicVec, i: u32| {
+        if i < v.width() {
+            v.bit(i)
+        } else {
+            LogicBit::Zero
+        }
+    };
+    let bits: Vec<LogicBit> = (0..w).map(|i| f(ext(l, i), ext(r, i))).collect();
+    LogicVec::from_bits(&bits)
+}
+
+#[test]
+fn bitwise_assign_matches_per_bit_oracle_and_pure_form() {
+    let mut rng = XorShift::new(0xe5a5e5);
+    for _ in 0..CASES {
+        let wl_ = rng.width();
+        let l = rng.vec(wl_, false);
+        let wr_ = rng.width();
+        let r = rng.vec(wr_, false);
+
+        type Case = (
+            fn(&mut LogicVec, &LogicVec),
+            fn(&LogicVec, &LogicVec) -> LogicVec,
+            fn(LogicBit, LogicBit) -> LogicBit,
+        );
+        let cases: [Case; 3] = [
+            (LogicVec::and_assign, LogicVec::and, ref_and),
+            (LogicVec::or_assign, LogicVec::or, ref_or),
+            (LogicVec::xor_assign, LogicVec::xor, ref_xor),
+        ];
+        for (assign, pure, oracle) in cases {
+            let expect = bitwise_oracle(&l, &r, oracle);
+            let mut out = rng.dirty();
+            out.assign_from(&l);
+            assign(&mut out, &r);
+            assert_eq!(out, expect, "assign form diverged");
+            assert_eq!(pure(&l, &r), expect, "pure form diverged");
+        }
+
+        // XNOR = NOT(XOR), NOT per-bit.
+        let expect = {
+            let x = bitwise_oracle(&l, &r, ref_xor);
+            let bits: Vec<LogicBit> = x.iter_bits().map(ref_not).collect();
+            LogicVec::from_bits(&bits)
+        };
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.xnor_assign(&r);
+        assert_eq!(out, expect);
+        assert_eq!(l.xnor(&r), expect);
+
+        let expect: Vec<LogicBit> = l.iter_bits().map(ref_not).collect();
+        let expect = LogicVec::from_bits(&expect);
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.not_assign();
+        assert_eq!(out, expect);
+        assert_eq!(l.not(), expect);
+    }
+}
+
+#[test]
+fn arithmetic_assign_matches_u128_oracle() {
+    let mut rng = XorShift::new(0xadd1);
+    for _ in 0..CASES {
+        let (wl, wr) = (rng.width(), rng.width());
+        let w = wl.max(wr);
+        let l = rng.vec(wl, true);
+        let r = rng.vec(wr, true);
+        let (a, b) = (to_u128(&l), to_u128(&r));
+
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.add_assign(&r);
+        assert_eq!(out, from_u128(w, a.wrapping_add(b) & mask128(w)));
+        assert_eq!(l.add(&r), out);
+
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.sub_assign(&r);
+        assert_eq!(out, from_u128(w, a.wrapping_sub(b) & mask128(w)));
+        assert_eq!(l.sub(&r), out);
+
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.neg_assign();
+        assert_eq!(out, from_u128(wl, a.wrapping_neg() & mask128(wl)));
+        assert_eq!(l.neg(), out);
+
+        let mut out = rng.dirty();
+        l.mul_into(&r, &mut out);
+        assert_eq!(out, from_u128(w, a.wrapping_mul(b) & mask128(w)));
+        assert_eq!(l.mul(&r), out);
+
+        let mut out = rng.dirty();
+        l.div_into(&r, &mut out);
+        match a.checked_div(b) {
+            None => assert!(out.iter_bits().all(|bit| bit == LogicBit::X)),
+            Some(q) => assert_eq!(out, from_u128(w, q & mask128(w))),
+        }
+        assert_eq!(l.div(&r), out);
+
+        let mut out = rng.dirty();
+        l.rem_into(&r, &mut out);
+        if b != 0 {
+            assert_eq!(out, from_u128(w, (a % b) & mask128(w)));
+        }
+        assert_eq!(l.rem(&r), out);
+    }
+}
+
+#[test]
+fn arithmetic_assign_is_pessimistic_about_unknowns() {
+    let mut rng = XorShift::new(0xdeadd);
+    for _ in 0..CASES {
+        let wl_ = rng.width();
+        let l = rng.vec(wl_, false);
+        let wr_ = rng.width();
+        let r = rng.vec(wr_, false);
+        if !l.has_unknown() && !r.has_unknown() {
+            continue;
+        }
+        let w = l.width().max(r.width());
+        let all_x = LogicVec::new_x(w);
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.add_assign(&r);
+        assert_eq!(out, all_x);
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.sub_assign(&r);
+        assert_eq!(out, all_x);
+        let mut out = rng.dirty();
+        l.mul_into(&r, &mut out);
+        assert_eq!(out, all_x);
+    }
+}
+
+#[test]
+fn shift_assign_matches_u128_oracle_and_pure_form() {
+    let mut rng = XorShift::new(0x5417);
+    for _ in 0..CASES {
+        let w = rng.width();
+        let l = rng.vec(w, true);
+        let a = to_u128(&l);
+        let amount = rng.below(w as u64 + 10) as u32;
+
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.shl_assign(amount);
+        let expect = if amount >= w {
+            0
+        } else {
+            (a << amount) & mask128(w)
+        };
+        assert_eq!(out, from_u128(w, expect));
+        assert_eq!(l.shl(amount), out);
+
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.lshr_assign(amount);
+        let expect = if amount >= w { 0 } else { a >> amount };
+        assert_eq!(out, from_u128(w, expect));
+        assert_eq!(l.lshr(amount), out);
+
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.ashr_assign(amount);
+        let msb = (a >> (w - 1)) & 1 == 1;
+        let expect = if amount >= w {
+            if msb {
+                mask128(w)
+            } else {
+                0
+            }
+        } else {
+            let shifted = a >> amount;
+            if msb {
+                (shifted | (mask128(w) << (w - amount))) & mask128(w)
+            } else {
+                shifted
+            }
+        };
+        assert_eq!(out, from_u128(w, expect));
+        assert_eq!(l.ashr(amount), out);
+
+        // Vector-amount forms: unknown amount means all-X.
+        let amt_vec = LogicVec::from_u64(8, amount as u64);
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.shl_vec_assign(&amt_vec);
+        assert_eq!(out, l.shl_vec(&amt_vec));
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.lshr_vec_assign(&LogicVec::new_x(4));
+        assert_eq!(out, LogicVec::new_x(w));
+    }
+}
+
+#[test]
+fn comparisons_match_u128_oracle_without_allocating_semantics() {
+    let mut rng = XorShift::new(0xc0ffee);
+    for _ in 0..CASES {
+        let wl_ = rng.width();
+        let l = rng.vec(wl_, true);
+        let wr_ = rng.width();
+        let r = rng.vec(wr_, true);
+        let (a, b) = (to_u128(&l), to_u128(&r));
+        assert_eq!(l.logic_eq(&r), LogicBit::from(a == b));
+        assert_eq!(l.lt(&r), LogicBit::from(a < b));
+        assert_eq!(l.le(&r), LogicBit::from(a <= b));
+        assert_eq!(l.gt(&r), LogicBit::from(a > b));
+        assert_eq!(l.ge(&r), LogicBit::from(a >= b));
+        assert_eq!(l.case_eq(&r), a == b);
+
+        // Unknown operands: X for logic compares, exact identity for ===.
+        let wx_ = rng.width();
+        let x = rng.vec(wx_, false);
+        if x.has_unknown() {
+            assert_eq!(l.logic_eq(&x), LogicBit::X);
+            assert_eq!(l.lt(&x), LogicBit::X);
+            assert!(x.case_eq(&x.clone()));
+        }
+    }
+}
+
+#[test]
+fn merge_x_assign_matches_per_bit_oracle() {
+    let mut rng = XorShift::new(0x3e23e);
+    for _ in 0..CASES {
+        let wl_ = rng.width();
+        let l = rng.vec(wl_, false);
+        let wr_ = rng.width();
+        let r = rng.vec(wr_, false);
+        let w = l.width().max(r.width());
+        let ext = |v: &LogicVec, i: u32| {
+            if i < v.width() {
+                v.bit(i)
+            } else {
+                LogicBit::Zero
+            }
+        };
+        let bits: Vec<LogicBit> = (0..w)
+            .map(|i| {
+                let (a, b) = (ext(&l, i), ext(&r, i));
+                if a == b && a.is_defined() {
+                    a
+                } else {
+                    LogicBit::X
+                }
+            })
+            .collect();
+        let expect = LogicVec::from_bits(&bits);
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.merge_x_assign(&r);
+        assert_eq!(out, expect);
+        assert_eq!(l.merge_x(&r), expect);
+    }
+}
+
+#[test]
+fn word_parallel_slice_matches_per_bit_oracle() {
+    let mut rng = XorShift::new(0x51ce);
+    for _ in 0..CASES {
+        let wv = rng.width();
+        let v = rng.vec(wv, false);
+        // hi may exceed the width: out-of-range bits must read X.
+        let hi = rng.below(wv as u64 + 70) as u32;
+        let lo = rng.below(hi as u64 + 1) as u32;
+        let expect: Vec<LogicBit> = (lo..=hi)
+            .map(|i| if i < wv { v.bit(i) } else { LogicBit::X })
+            .collect();
+        let expect = LogicVec::from_bits(&expect);
+        let mut out = rng.dirty();
+        v.slice_into(hi, lo, &mut out);
+        assert_eq!(out, expect, "slice_into({hi},{lo}) of width {wv}");
+        assert_eq!(v.slice(hi, lo), expect);
+    }
+}
+
+#[test]
+fn word_parallel_assign_slice_matches_per_bit_oracle() {
+    let mut rng = XorShift::new(0xa551);
+    for _ in 0..CASES {
+        let wt = rng.width();
+        let target = rng.vec(wt, false);
+        let wv = rng.width();
+        let value = rng.vec(wv, false);
+        // lo may push part (or all) of the value out of range: those bits
+        // are dropped.
+        let lo = rng.below(wt as u64 + 10) as u32;
+        let expect: Vec<LogicBit> = (0..wt)
+            .map(|i| {
+                if i >= lo && i - lo < wv {
+                    value.bit(i - lo)
+                } else {
+                    target.bit(i)
+                }
+            })
+            .collect();
+        let expect = LogicVec::from_bits(&expect);
+        let mut out = target.clone();
+        out.assign_slice(lo, &value);
+        assert_eq!(out, expect, "assign_slice({lo}) of {wv} bits into {wt}");
+    }
+}
+
+#[test]
+fn storage_management_roundtrips() {
+    let mut rng = XorShift::new(0x57012a6e);
+    for _ in 0..CASES {
+        let wv_ = rng.width();
+        let v = rng.vec(wv_, false);
+
+        // assign_from reproduces the source exactly through any prior shape.
+        let mut out = rng.dirty();
+        out.assign_from(&v);
+        assert_eq!(out, v);
+
+        // copy_resized == resize.
+        let new_w = rng.width();
+        let mut out = rng.dirty();
+        out.copy_resized(&v, new_w);
+        assert_eq!(out, v.resize(new_w));
+
+        // resize_assign == resize, in place.
+        let mut out = v.clone();
+        out.resize_assign(new_w);
+        assert_eq!(out, v.resize(new_w));
+
+        // into_width on equal width is identity.
+        assert_eq!(v.clone().into_width(v.width()), v);
+
+        // slice_into == slice through a dirty buffer.
+        let hi = rng.below(v.width() as u64 + 8) as u32;
+        let lo = rng.below(hi as u64 + 1) as u32;
+        let mut out = rng.dirty();
+        v.slice_into(hi, lo, &mut out);
+        assert_eq!(out, v.slice(hi, lo));
+
+        // assign_bit / assign_u64 / make_filled match their constructors.
+        let bit = rng.bit(false);
+        let mut out = rng.dirty();
+        out.assign_bit(bit);
+        assert_eq!(out, LogicVec::from_bit(bit));
+        let w = rng.width().min(64);
+        let raw = rng.next_u64();
+        let mut out = rng.dirty();
+        out.assign_u64(w, raw);
+        assert_eq!(out, LogicVec::from_u64(w, raw));
+        let w = rng.width();
+        let mut out = rng.dirty();
+        out.make_filled(w, bit);
+        assert_eq!(out, LogicVec::filled(w, bit));
+    }
+}

@@ -23,7 +23,8 @@
 //! fault view for committed state".
 
 use eraser_ir::{
-    BehavioralNode, DecisionId, Design, LValue, SegmentId, SignalId, Stmt, ValueSource, Vdg,
+    eval_expr_into, BehavioralNode, DecisionId, Design, EvalScratch, LValue, SegmentId, SignalId,
+    Stmt, ValueSource, Vdg,
 };
 use eraser_logic::LogicVec;
 
@@ -48,13 +49,20 @@ impl SlotWrite {
     /// Applies this write on top of `current`, returning the new value of
     /// the target signal.
     pub fn apply(&self, current: &LogicVec) -> LogicVec {
+        let mut out = current.clone();
+        self.apply_assign(&mut out);
+        out
+    }
+
+    /// Applies this write onto `current` in place — the allocation-free
+    /// form of [`SlotWrite::apply`].
+    pub fn apply_assign(&self, current: &mut LogicVec) {
         match self.range {
-            None => self.value.resize(current.width()),
-            Some((lo, _w)) => {
-                let mut out = current.clone();
-                out.assign_slice(lo, &self.value);
-                out
+            None => {
+                let w = current.width();
+                current.copy_resized(&self.value, w);
             }
+            Some((lo, _w)) => current.assign_slice(lo, &self.value),
         }
     }
 }
@@ -129,8 +137,34 @@ pub struct ExecOutcome {
     pub blocking: Vec<(SignalId, LogicVec)>,
 }
 
+/// Reusable execution context: the scratch arena behavioral executions draw
+/// expression temporaries from. Hold one per engine (or per worker thread)
+/// and pass it to [`execute_into`] so steady-state activations never touch
+/// the allocator.
+#[derive(Debug, Clone, Default)]
+pub struct ExecCtx {
+    /// Expression-evaluation scratch arena.
+    pub scratch: EvalScratch,
+}
+
+impl ExecCtx {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ExecOutcome {
+    /// Clears all three write lists, keeping their capacity for reuse.
+    pub fn clear(&mut self) {
+        self.nba.clear();
+        self.blocking_writes.clear();
+        self.blocking.clear();
+    }
+}
+
 /// Executes one activation of `node` reading from `base`, with a no-op
-/// monitor. See [`execute_monitored`].
+/// monitor. See [`execute_into`].
 pub fn execute_behavioral<S: ValueSource + ?Sized>(
     design: &Design,
     node: &BehavioralNode,
@@ -150,11 +184,28 @@ pub fn execute_behavioral<S: ValueSource + ?Sized>(
     }
 }
 
-/// Executes one activation of `node`, reading signal values from `base` and
-/// reporting the execution path to `monitor`.
+/// Executes one activation of `node` with a throwaway context, returning a
+/// fresh outcome. Convenience wrapper over [`execute_into`]; use that form
+/// on hot paths.
+pub fn execute_monitored<S: ValueSource + ?Sized, M: ExecMonitor + ?Sized>(
+    design: &Design,
+    node: &BehavioralNode,
+    base: &S,
+    monitor: &mut M,
+) -> ExecOutcome {
+    let mut ctx = ExecCtx::new();
+    let mut out = ExecOutcome::default();
+    execute_into(design, node, base, monitor, &mut ctx, &mut out);
+    out
+}
+
+/// Executes one activation of `node`, reading signal values from `base` by
+/// borrow, reporting the execution path to `monitor`, drawing temporaries
+/// from `ctx` and writing the results into `out` (cleared first, capacity
+/// kept).
 ///
 /// Blocking writes become visible to subsequent reads within this execution
-/// (via an internal overlay) and are reported both as ordered
+/// (via the overlay in `out.blocking`) and are reported both as ordered
 /// [`SlotWrite`]s and as final per-signal values; non-blocking writes are
 /// collected in order for the NBA region.
 ///
@@ -162,28 +213,27 @@ pub fn execute_behavioral<S: ValueSource + ?Sized>(
 ///
 /// Panics if a `for` loop exceeds an internal iteration bound — a malformed
 /// design rather than a recoverable condition.
-pub fn execute_monitored<S: ValueSource + ?Sized, M: ExecMonitor + ?Sized>(
+pub fn execute_into<S: ValueSource + ?Sized, M: ExecMonitor + ?Sized>(
     design: &Design,
     node: &BehavioralNode,
     base: &S,
     monitor: &mut M,
-) -> ExecOutcome {
+    ctx: &mut ExecCtx,
+    out: &mut ExecOutcome,
+) {
+    out.clear();
     let mut interp = Interp {
         design,
         vdg: &node.vdg,
         base,
-        overlay: Vec::new(),
-        nba: Vec::new(),
-        blocking_writes: Vec::new(),
+        overlay: &mut out.blocking,
+        nba: &mut out.nba,
+        blocking_writes: &mut out.blocking_writes,
+        scratch: &mut ctx.scratch,
         monitor,
         node_name: &node.name,
     };
     interp.exec_stmt(&node.body);
-    ExecOutcome {
-        nba: interp.nba,
-        blocking_writes: interp.blocking_writes,
-        blocking: interp.overlay,
-    }
 }
 
 struct Interp<'a, S: ?Sized, M: ?Sized> {
@@ -191,10 +241,11 @@ struct Interp<'a, S: ?Sized, M: ?Sized> {
     vdg: &'a Vdg,
     base: &'a S,
     /// Blocking-write overlay, first-write order, linear scan (bodies write
-    /// few signals).
-    overlay: Vec<(SignalId, LogicVec)>,
-    nba: Vec<SlotWrite>,
-    blocking_writes: Vec<SlotWrite>,
+    /// few signals). Doubles as the outcome's final-values list.
+    overlay: &'a mut Vec<(SignalId, LogicVec)>,
+    nba: &'a mut Vec<SlotWrite>,
+    blocking_writes: &'a mut Vec<SlotWrite>,
+    scratch: &'a mut EvalScratch,
     monitor: &'a mut M,
     node_name: &'a str,
 }
@@ -210,10 +261,10 @@ pub struct OverlayView<'a, S: ?Sized> {
 }
 
 impl<S: ValueSource + ?Sized> ValueSource for OverlayView<'_, S> {
-    fn value(&self, sig: SignalId) -> LogicVec {
+    fn value(&self, sig: SignalId) -> &LogicVec {
         for (s, v) in self.overlay.iter().rev() {
             if *s == sig {
-                return v.clone();
+                return v;
             }
         }
         self.base.value(sig)
@@ -221,23 +272,24 @@ impl<S: ValueSource + ?Sized> ValueSource for OverlayView<'_, S> {
 }
 
 impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
-    fn view(&self) -> OverlayView<'_, S> {
-        OverlayView {
-            overlay: &self.overlay,
+    /// Evaluates `e` under the overlay view into `out`, drawing temporaries
+    /// from the context's scratch arena.
+    fn eval_into(&mut self, e: &eraser_ir::Expr, out: &mut LogicVec) {
+        let view = OverlayView {
+            overlay: self.overlay,
             base: self.base,
-        }
+        };
+        eval_expr_into(e, &view, self.scratch, out);
     }
 
-    fn read(&self, sig: SignalId) -> LogicVec {
-        self.view().value(sig)
-    }
-
-    fn eval(&self, e: &eraser_ir::Expr) -> LogicVec {
-        eraser_ir::eval_expr(e, &self.view())
-    }
-
-    fn decide(&self, id: DecisionId) -> u32 {
-        self.vdg.decisions[id.index()].eval.evaluate(&self.view())
+    fn decide(&mut self, id: DecisionId) -> u32 {
+        let view = OverlayView {
+            overlay: self.overlay,
+            base: self.base,
+        };
+        self.vdg.decisions[id.index()]
+            .eval
+            .evaluate_with(&view, self.scratch)
     }
 
     fn exec_stmt(&mut self, stmt: &Stmt) {
@@ -254,16 +306,21 @@ impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
                 blocking,
                 segment,
             } => {
-                self.monitor.on_segment(*segment, &self.overlay);
-                let value = self.eval(rhs);
-                let Some(write) = self.resolve_write(lhs, value) else {
-                    return; // unknown/out-of-range dynamic index: no write
+                self.monitor.on_segment(*segment, self.overlay);
+                let mut value = self.scratch.take();
+                self.eval_into(rhs, &mut value);
+                let write = match self.resolve_write(lhs, value) {
+                    Ok(write) => write,
+                    // Unknown/out-of-range dynamic index: no write; the
+                    // value buffer goes back to the pool.
+                    Err(value) => {
+                        self.scratch.put(value);
+                        return;
+                    }
                 };
                 if *blocking {
-                    let current = self.read(write.target);
-                    let next = write.apply(&current);
                     self.blocking_writes.push(write);
-                    self.write_overlay_last(next);
+                    self.apply_last_blocking();
                 } else {
                     self.nba.push(write);
                 }
@@ -275,7 +332,7 @@ impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
                 ..
             } => {
                 let outcome = self.decide(*decision);
-                self.monitor.on_decision(*decision, outcome, &self.overlay);
+                self.monitor.on_decision(*decision, outcome, self.overlay);
                 if outcome == 1 {
                     self.exec_stmt(then_s);
                 } else if let Some(e) = else_s {
@@ -289,7 +346,7 @@ impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
                 ..
             } => {
                 let outcome = self.decide(*decision);
-                self.monitor.on_decision(*decision, outcome, &self.overlay);
+                self.monitor.on_decision(*decision, outcome, self.overlay);
                 if (outcome as usize) < arms.len() {
                     self.exec_stmt(&arms[outcome as usize].body);
                 } else if let Some(d) = default {
@@ -307,7 +364,7 @@ impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
                 let mut iterations = 0u32;
                 loop {
                     let outcome = self.decide(*decision);
-                    self.monitor.on_decision(*decision, outcome, &self.overlay);
+                    self.monitor.on_decision(*decision, outcome, self.overlay);
                     if outcome != 1 {
                         break;
                     }
@@ -325,57 +382,82 @@ impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
     }
 
     /// Resolves an lvalue into a concrete [`SlotWrite`], sizing `value` to
-    /// the written range. Returns `None` for unknown or out-of-range
-    /// dynamic indices (no bits are written, per simulator convention).
-    fn resolve_write(&self, lhs: &LValue, value: LogicVec) -> Option<SlotWrite> {
+    /// the written range (a no-op when the width already matches). Returns
+    /// the untouched value buffer as `Err` for unknown or out-of-range
+    /// dynamic indices (no bits are written, per simulator convention), so
+    /// the caller can recycle it.
+    fn resolve_write(&mut self, lhs: &LValue, value: LogicVec) -> Result<SlotWrite, LogicVec> {
         match lhs {
-            LValue::Full(sig) => Some(SlotWrite {
+            LValue::Full(sig) => Ok(SlotWrite {
                 target: *sig,
                 range: None,
-                value: value.resize(self.design.signal(*sig).width),
+                value: value.into_width(self.design.signal(*sig).width),
             }),
-            LValue::PartSelect { base, hi, lo } => Some(SlotWrite {
+            LValue::PartSelect { base, hi, lo } => Ok(SlotWrite {
                 target: *base,
                 range: Some((*lo, hi - lo + 1)),
-                value: value.resize(hi - lo + 1),
+                value: value.into_width(hi - lo + 1),
             }),
             LValue::BitSelect { base, index } => {
-                let idx = self.eval(index).to_u64()?;
+                let Some(idx) = self.eval_index(index) else {
+                    return Err(value);
+                };
                 let width = self.design.signal(*base).width;
                 if idx >= width as u64 {
-                    return None;
+                    return Err(value);
                 }
-                Some(SlotWrite {
+                Ok(SlotWrite {
                     target: *base,
                     range: Some((idx as u32, 1)),
-                    value: value.resize(1),
+                    value: value.into_width(1),
                 })
             }
             LValue::IndexedPart { base, start, width } => {
-                let s = self.eval(start).to_u64()?;
+                let Some(s) = self.eval_index(start) else {
+                    return Err(value);
+                };
                 let sig_w = self.design.signal(*base).width as u64;
                 if s >= sig_w {
-                    return None;
+                    return Err(value);
                 }
-                Some(SlotWrite {
+                Ok(SlotWrite {
                     target: *base,
                     range: Some((s as u32, *width)),
-                    value: value.resize(*width),
+                    value: value.into_width(*width),
                 })
             }
         }
     }
 
-    /// Updates the overlay with the final value of the last blocking write.
-    fn write_overlay_last(&mut self, value: LogicVec) {
-        let sig = self.blocking_writes.last().expect("just pushed").target;
-        for (s, v) in self.overlay.iter_mut() {
-            if *s == sig {
-                *v = value;
-                return;
+    /// Evaluates a dynamic lvalue index, returning `None` when unknown.
+    fn eval_index(&mut self, e: &eraser_ir::Expr) -> Option<u64> {
+        let mut idx = self.scratch.take();
+        self.eval_into(e, &mut idx);
+        let r = idx.to_u64();
+        self.scratch.put(idx);
+        r
+    }
+
+    /// Folds the most recently pushed blocking write into the overlay, in
+    /// place: partial writes patch the existing overlay entry (seeding it
+    /// from the base value on first touch), full writes replace it.
+    fn apply_last_blocking(&mut self) {
+        let w = self.blocking_writes.last().expect("just pushed");
+        let sig = w.target;
+        if let Some((_, slot)) = self.overlay.iter_mut().find(|(s, _)| *s == sig) {
+            w.apply_assign(slot);
+            return;
+        }
+        let mut cur = self.scratch.take();
+        match w.range {
+            // Full write: the overlay entry is exactly the written value.
+            None => cur.assign_from(&w.value),
+            Some(_) => {
+                cur.assign_from(self.base.value(sig));
+                w.apply_assign(&mut cur);
             }
         }
-        self.overlay.push((sig, value));
+        self.overlay.push((sig, cur));
     }
 }
 

@@ -1,7 +1,7 @@
 //! The event-driven good (fault-free) simulator.
 
-use crate::interp::{execute_behavioral, SlotWrite};
-use crate::rtl_eval::eval_rtl_node;
+use crate::interp::{execute_into, ExecCtx, ExecOutcome, NoopMonitor, SlotWrite};
+use crate::rtl_eval::eval_rtl_node_into;
 use crate::stimulus::Stimulus;
 use crate::store::ValueStore;
 use eraser_ir::{BehavioralId, Design, RtlNodeId, Sensitivity, SignalId};
@@ -48,6 +48,22 @@ pub struct Simulator<'d> {
     forces: Vec<(SignalId, u32, eraser_logic::LogicBit)>,
     /// Total delta cycles executed (exposed for instrumentation).
     deltas: u64,
+
+    // Reusable workspace — all steady-state stepping works out of these
+    // buffers, so `step()` performs zero heap allocations once warm.
+    /// Expression-evaluation scratch arena.
+    ctx: ExecCtx,
+    /// Behavioral-execution outcome, cleared and refilled per activation.
+    outcome: ExecOutcome,
+    /// RTL node output buffer.
+    rtl_out: LogicVec,
+    /// Commit temporaries (force application, NBA write folding).
+    tmp: LogicVec,
+    nba_tmp: LogicVec,
+    /// Swap buffer for draining `watch_changed` without losing capacity.
+    ws_changed: Vec<SignalId>,
+    /// Edge-activated nodes of the current delta.
+    ws_activated: Vec<BehavioralId>,
 }
 
 impl<'d> Simulator<'d> {
@@ -73,6 +89,13 @@ impl<'d> Simulator<'d> {
             nba: Vec::new(),
             forces: Vec::new(),
             deltas: 0,
+            ctx: ExecCtx::new(),
+            outcome: ExecOutcome::default(),
+            rtl_out: LogicVec::default(),
+            tmp: LogicVec::default(),
+            nba_tmp: LogicVec::default(),
+            ws_changed: Vec::new(),
+            ws_activated: Vec::new(),
         };
         for i in 0..design.rtl_nodes().len() {
             sim.mark_rtl(RtlNodeId::from_index(i));
@@ -107,10 +130,15 @@ impl<'d> Simulator<'d> {
     }
 
     /// Drives a primary input (or, for testing, forces any signal) to
-    /// `value`. Fanout is scheduled if the value changed; call
-    /// [`Simulator::step`] to propagate.
+    /// `value`. A width-matching value is committed as-is (no resize, no
+    /// clone) and an unchanged value skips the commit entirely. Fanout is
+    /// scheduled if the value changed; call [`Simulator::step`] to
+    /// propagate.
     pub fn set_input(&mut self, sig: SignalId, value: LogicVec) {
-        let value = value.resize(self.design.signal(sig).width);
+        let value = value.into_width(self.design.signal(sig).width);
+        if self.forces.is_empty() && self.values.get(sig) == &value {
+            return;
+        }
         self.commit_value(sig, value);
     }
 
@@ -123,20 +151,34 @@ impl<'d> Simulator<'d> {
         self.commit_value(sig, current);
     }
 
-    /// Applies forces (if any) and commits a value, scheduling fanout on
-    /// change.
-    fn commit_value(&mut self, sig: SignalId, mut value: LogicVec) -> bool {
-        for &(fs, bit, b) in &self.forces {
-            if fs == sig && bit < value.width() {
-                value.set_bit(bit, b);
-            }
-        }
-        if self.values.set(sig, value) {
-            self.schedule_fanout(sig);
-            true
+    /// Applies forces (if any) and commits an owned value, scheduling
+    /// fanout on change.
+    fn commit_value(&mut self, sig: SignalId, value: LogicVec) -> bool {
+        self.commit_borrowed(sig, &value)
+    }
+
+    /// Applies forces (if any) and commits a borrowed value in place,
+    /// scheduling fanout on change. The store slot's storage is reused, so
+    /// steady-state commits never allocate.
+    fn commit_borrowed(&mut self, sig: SignalId, value: &LogicVec) -> bool {
+        let changed = if self.forces.is_empty() {
+            self.values.commit(sig, value)
         } else {
-            false
+            let mut forced = std::mem::take(&mut self.tmp);
+            forced.assign_from(value);
+            for &(fs, bit, b) in &self.forces {
+                if fs == sig && bit < forced.width() {
+                    forced.set_bit(bit, b);
+                }
+            }
+            let changed = self.values.commit(sig, &forced);
+            self.tmp = forced;
+            changed
+        };
+        if changed {
+            self.schedule_fanout(sig);
         }
+        changed
     }
 
     /// Runs delta cycles until the design is stable.
@@ -150,13 +192,14 @@ impl<'d> Simulator<'d> {
         for _ in 0..DELTA_LIMIT {
             self.deltas += 1;
             self.settle_active();
-            let activated = self.detect_edges();
-            for b in &activated {
-                self.run_behavioral(*b);
+            let n_activated = self.detect_edges();
+            for i in 0..n_activated {
+                let b = self.ws_activated[i];
+                self.run_behavioral(b);
             }
             let committed = self.commit_nba();
             if !committed
-                && activated.is_empty()
+                && n_activated == 0
                 && self.rtl_queue.is_empty()
                 && self.beh_queue.is_empty()
             {
@@ -218,12 +261,15 @@ impl<'d> Simulator<'d> {
     /// Evaluates dirty RTL nodes and level-sensitive behavioral nodes to a
     /// fixpoint.
     fn settle_active(&mut self) {
+        let design = self.design;
         loop {
             if let Some(id) = self.rtl_queue.pop() {
                 self.rtl_dirty[id.index()] = false;
-                let node = self.design.rtl_node(id);
-                let out = eval_rtl_node(self.design, node, &self.values);
-                self.commit_value(node.output, out);
+                let node = design.rtl_node(id);
+                let mut out = std::mem::take(&mut self.rtl_out);
+                eval_rtl_node_into(design, node, &self.values, &mut self.ctx.scratch, &mut out);
+                self.commit_borrowed(node.output, &out);
+                self.rtl_out = out;
                 continue;
             }
             if let Some(id) = self.beh_queue.pop() {
@@ -236,47 +282,63 @@ impl<'d> Simulator<'d> {
     }
 
     /// Executes one behavioral node: blocking results commit immediately,
-    /// non-blocking writes are queued for the NBA region.
+    /// non-blocking writes are queued for the NBA region. Works entirely
+    /// out of the reusable execution workspace.
     fn run_behavioral(&mut self, id: BehavioralId) {
-        let node = self.design.behavioral(id);
-        let (outcome, _) = execute_behavioral(self.design, node, &self.values, false);
-        for (sig, val) in outcome.blocking {
-            self.commit_value(sig, val);
+        let design = self.design;
+        let node = design.behavioral(id);
+        let mut outcome = std::mem::take(&mut self.outcome);
+        execute_into(
+            design,
+            node,
+            &self.values,
+            &mut NoopMonitor,
+            &mut self.ctx,
+            &mut outcome,
+        );
+        for (sig, val) in &outcome.blocking {
+            self.commit_borrowed(*sig, val);
         }
-        self.nba.extend(outcome.nba);
+        self.nba.append(&mut outcome.nba);
+        self.outcome = outcome;
     }
 
     /// Deferred edge detection: compares watched signals against their
-    /// last-latched values and returns the activated sequential nodes.
-    fn detect_edges(&mut self) -> Vec<BehavioralId> {
-        let mut activated = Vec::new();
-        let changed = std::mem::take(&mut self.watch_changed);
-        for sig in changed {
+    /// last-latched values and collects the activated sequential nodes into
+    /// `ws_activated`, returning their count.
+    fn detect_edges(&mut self) -> usize {
+        self.ws_activated.clear();
+        std::mem::swap(&mut self.watch_changed, &mut self.ws_changed);
+        let design = self.design;
+        for i in 0..self.ws_changed.len() {
+            let sig = self.ws_changed[i];
             self.watch_flag[sig.index()] = false;
-            let prev = self.edge_prev[sig.index()].clone();
-            let cur = self.values.get(sig).clone();
+            let prev = &self.edge_prev[sig.index()];
+            let cur = self.values.get(sig);
             if prev == cur {
                 continue;
             }
-            for &b in self.design.edge_fanout(sig) {
-                if activated.contains(&b) {
+            // Event expressions on vectors use bit 0, per common simulator
+            // behavior.
+            let (prev0, cur0) = (prev.bit_or_x(0), cur.bit_or_x(0));
+            for &b in design.edge_fanout(sig) {
+                if self.ws_activated.contains(&b) {
                     continue;
                 }
-                let node = self.design.behavioral(b);
+                let node = design.behavioral(b);
                 if let Sensitivity::Edges(edges) = &node.sensitivity {
-                    // Event expressions on vectors use bit 0, per common
-                    // simulator behavior.
-                    let fired = edges.iter().any(|(kind, s)| {
-                        *s == sig && kind.matches(prev.bit_or_x(0), cur.bit_or_x(0))
-                    });
+                    let fired = edges
+                        .iter()
+                        .any(|(kind, s)| *s == sig && kind.matches(prev0, cur0));
                     if fired {
-                        activated.push(b);
+                        self.ws_activated.push(b);
                     }
                 }
             }
-            self.edge_prev[sig.index()] = cur;
+            self.edge_prev[sig.index()].assign_from(self.values.get(sig));
         }
-        activated
+        self.ws_changed.clear();
+        self.ws_activated.len()
     }
 
     /// Commits queued non-blocking writes in order; returns whether any
@@ -285,14 +347,19 @@ impl<'d> Simulator<'d> {
         if self.nba.is_empty() {
             return false;
         }
-        let writes = std::mem::take(&mut self.nba);
+        let mut writes = std::mem::take(&mut self.nba);
+        let mut next = std::mem::take(&mut self.nba_tmp);
         let mut any = false;
-        for w in writes {
-            let next = w.apply(self.values.get(w.target));
-            if self.commit_value(w.target, next) {
+        for w in &writes {
+            next.assign_from(self.values.get(w.target));
+            w.apply_assign(&mut next);
+            if self.commit_borrowed(w.target, &next) {
                 any = true;
             }
         }
+        self.nba_tmp = next;
+        writes.clear();
+        self.nba = writes;
         any
     }
 }

@@ -52,11 +52,11 @@ mod store;
 mod vcd;
 
 pub use interp::{
-    execute_behavioral, execute_monitored, ExecMonitor, ExecOutcome, ExecTrace, NoopMonitor,
-    OverlayView, SlotWrite, TraceEvent, TraceMonitor,
+    execute_behavioral, execute_into, execute_monitored, ExecCtx, ExecMonitor, ExecOutcome,
+    ExecTrace, NoopMonitor, OverlayView, SlotWrite, TraceEvent, TraceMonitor,
 };
 pub use kernel::Simulator;
-pub use rtl_eval::{eval_rtl_node, eval_rtl_op};
+pub use rtl_eval::{eval_rtl_node, eval_rtl_node_into, eval_rtl_op, eval_rtl_op_with};
 pub use stimulus::{Stimulus, StimulusBuilder};
 pub use store::ValueStore;
 pub use vcd::VcdWriter;

@@ -1,68 +1,140 @@
 //! Evaluation of primitive RTL nodes.
 
-use eraser_ir::{eval::eval_binary, Design, RtlNode, RtlOp, UnaryOp, ValueSource};
+use eraser_ir::{eval_binary_assign, Design, EvalScratch, RtlNode, RtlOp, UnaryOp, ValueSource};
 use eraser_logic::{LogicBit, LogicVec};
 
-/// Evaluates one RTL operator on already-fetched input values, producing a
-/// value of `out_width` bits.
+/// Evaluates one RTL operator into `out`, reading operand `k` through
+/// `input(k)` (of `n_inputs` total) and drawing temporaries from `scratch`.
 ///
-/// Used by the good simulator, the ERASER concurrent engine (for both good
-/// and per-fault evaluation) and the compiled baseline — the single source
-/// of truth for RTL node semantics.
-pub fn eval_rtl_op(op: &RtlOp, inputs: &[LogicVec], out_width: u32) -> LogicVec {
-    let v = match op {
-        RtlOp::Buf => inputs[0].clone(),
-        RtlOp::Const(c) => c.clone(),
+/// The closure-based operand access lets callers feed borrowed values from
+/// heterogeneous storage (a value store, a fault's diff overlay) without
+/// materializing a slice — combined with the in-place `LogicVec` ops this
+/// makes steady-state node evaluation allocation-free. Used by the good
+/// simulator, the ERASER concurrent engine (for both good and per-fault
+/// evaluation) and the compiled baseline — the single source of truth for
+/// RTL node semantics.
+pub fn eval_rtl_op_with<'a, F: Fn(usize) -> &'a LogicVec>(
+    op: &RtlOp,
+    input: &F,
+    n_inputs: usize,
+    out_width: u32,
+    scratch: &mut EvalScratch,
+    out: &mut LogicVec,
+) {
+    match op {
+        RtlOp::Buf => out.assign_from(input(0)),
+        RtlOp::Const(c) => out.assign_from(c),
         RtlOp::Unary(u) => {
-            let a = &inputs[0];
+            let a = input(0);
             match u {
-                UnaryOp::Not => a.not(),
-                UnaryOp::Neg => a.neg(),
-                UnaryOp::LogicalNot => LogicVec::from_bit(a.truth().not()),
-                UnaryOp::RedAnd => LogicVec::from_bit(a.red_and()),
-                UnaryOp::RedOr => LogicVec::from_bit(a.red_or()),
-                UnaryOp::RedXor => LogicVec::from_bit(a.red_xor()),
+                UnaryOp::Not => {
+                    out.assign_from(a);
+                    out.not_assign();
+                }
+                UnaryOp::Neg => {
+                    out.assign_from(a);
+                    out.neg_assign();
+                }
+                UnaryOp::LogicalNot => out.assign_bit(a.truth().not()),
+                UnaryOp::RedAnd => out.assign_bit(a.red_and()),
+                UnaryOp::RedOr => out.assign_bit(a.red_or()),
+                UnaryOp::RedXor => out.assign_bit(a.red_xor()),
             }
         }
-        RtlOp::Binary(b) => eval_binary(*b, &inputs[0], &inputs[1]),
-        RtlOp::Mux => match inputs[0].truth() {
-            LogicBit::One => inputs[1].clone(),
-            LogicBit::Zero => inputs[2].clone(),
-            _ => inputs[1].merge_x(&inputs[2]),
+        RtlOp::Binary(b) => {
+            out.assign_from(input(0));
+            eval_binary_assign(*b, out, input(1), scratch);
+        }
+        RtlOp::Mux => match input(0).truth() {
+            LogicBit::One => out.assign_from(input(1)),
+            LogicBit::Zero => out.assign_from(input(2)),
+            _ => {
+                out.assign_from(input(1));
+                out.merge_x_assign(input(2));
+            }
         },
         RtlOp::Concat => {
             // Node inputs are MSB-first (source order).
-            let refs: Vec<&LogicVec> = inputs.iter().rev().collect();
-            LogicVec::concat_lsb_first(&refs)
-        }
-        RtlOp::Replicate(n) => inputs[0].replicate(*n),
-        RtlOp::Slice { hi, lo } => inputs[0].slice(*hi, *lo),
-        RtlOp::Index => match inputs[1].to_u64() {
-            Some(i) if i <= u32::MAX as u64 => LogicVec::from_bit(inputs[0].bit_or_x(i as u32)),
-            _ => LogicVec::from_bit(LogicBit::X),
-        },
-        RtlOp::IndexedPart { width } => match inputs[1].to_u64() {
-            Some(s) if s + *width as u64 <= u32::MAX as u64 => {
-                inputs[0].slice(s as u32 + width - 1, s as u32)
+            let total: u32 = (0..n_inputs).map(|k| input(k).width()).sum();
+            out.make_zeros(total);
+            let mut lo = 0;
+            for k in (0..n_inputs).rev() {
+                let p = input(k);
+                out.assign_slice(lo, p);
+                lo += p.width();
             }
-            _ => LogicVec::new_x(*width),
+        }
+        RtlOp::Replicate(n) => {
+            let v = input(0);
+            out.make_zeros(v.width() * n);
+            for k in 0..*n {
+                out.assign_slice(k * v.width(), v);
+            }
+        }
+        RtlOp::Slice { hi, lo } => input(0).slice_into(*hi, *lo, out),
+        RtlOp::Index => match input(1).to_u64() {
+            Some(i) if i <= u32::MAX as u64 => out.assign_bit(input(0).bit_or_x(i as u32)),
+            _ => out.assign_bit(LogicBit::X),
         },
-    };
-    if v.width() == out_width {
-        v
-    } else {
-        v.resize(out_width)
+        RtlOp::IndexedPart { width } => match input(1).to_u64() {
+            Some(s) if s + *width as u64 <= u32::MAX as u64 => {
+                input(0).slice_into(s as u32 + width - 1, s as u32, out)
+            }
+            _ => out.make_x(*width),
+        },
+    }
+    if out.width() != out_width {
+        out.resize_assign(out_width);
     }
 }
 
-/// Evaluates an RTL node by fetching its inputs from `src`.
+/// Evaluates one RTL operator on already-fetched input values, producing a
+/// fresh value of `out_width` bits. Convenience wrapper over
+/// [`eval_rtl_op_with`]; use that form on hot paths.
+pub fn eval_rtl_op(op: &RtlOp, inputs: &[LogicVec], out_width: u32) -> LogicVec {
+    let mut scratch = EvalScratch::new();
+    let mut out = LogicVec::default();
+    eval_rtl_op_with(
+        op,
+        &|k| &inputs[k],
+        inputs.len(),
+        out_width,
+        &mut scratch,
+        &mut out,
+    );
+    out
+}
+
+/// Evaluates an RTL node into `out`, fetching its inputs from `src` by
+/// borrow.
+pub fn eval_rtl_node_into<S: ValueSource + ?Sized>(
+    design: &Design,
+    node: &RtlNode,
+    src: &S,
+    scratch: &mut EvalScratch,
+    out: &mut LogicVec,
+) {
+    eval_rtl_op_with(
+        &node.op,
+        &|k| src.value(node.inputs[k]),
+        node.inputs.len(),
+        design.signal(node.output).width,
+        scratch,
+        out,
+    );
+}
+
+/// Evaluates an RTL node by fetching its inputs from `src`, producing a
+/// fresh value. Convenience wrapper over [`eval_rtl_node_into`].
 pub fn eval_rtl_node<S: ValueSource + ?Sized>(
     design: &Design,
     node: &RtlNode,
     src: &S,
 ) -> LogicVec {
-    let inputs: Vec<LogicVec> = node.inputs.iter().map(|&s| src.value(s)).collect();
-    eval_rtl_op(&node.op, &inputs, design.signal(node.output).width)
+    let mut scratch = EvalScratch::new();
+    let mut out = LogicVec::default();
+    eval_rtl_node_into(design, node, src, &mut scratch, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -117,5 +189,31 @@ mod tests {
     fn binary_through_shared_eval() {
         let out = eval_rtl_op(&RtlOp::Binary(BinaryOp::Add), &[v(8, 250), v(8, 10)], 8);
         assert_eq!(out.to_u64(), Some(4));
+    }
+
+    #[test]
+    fn into_reuses_output_buffer_across_shapes() {
+        let mut scratch = EvalScratch::new();
+        let mut out = LogicVec::default();
+        let (a, b) = (v(4, 0xa), v(4, 0x5));
+        eval_rtl_op_with(
+            &RtlOp::Concat,
+            &|k| [&a, &b][k],
+            2,
+            8,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out.to_u64(), Some(0xa5));
+        let (c, d) = (v(8, 9), v(8, 9));
+        eval_rtl_op_with(
+            &RtlOp::Binary(BinaryOp::Mul),
+            &|k| [&c, &d][k],
+            2,
+            8,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out.to_u64(), Some(81));
     }
 }

@@ -47,6 +47,20 @@ impl ValueStore {
         }
     }
 
+    /// In-place commit: compares and overwrites the stored value without
+    /// taking ownership, returning `true` if it changed. The slot's storage
+    /// is reused, so a steady-state commit never allocates.
+    #[inline]
+    pub fn commit(&mut self, sig: SignalId, value: &LogicVec) -> bool {
+        let slot = &mut self.values[sig.index()];
+        if slot == value {
+            false
+        } else {
+            slot.assign_from(value);
+            true
+        }
+    }
+
     /// Number of signals.
     pub fn len(&self) -> usize {
         self.values.len()
@@ -59,8 +73,8 @@ impl ValueStore {
 }
 
 impl ValueSource for ValueStore {
-    fn value(&self, sig: SignalId) -> LogicVec {
-        self.values[sig.index()].clone()
+    fn value(&self, sig: SignalId) -> &LogicVec {
+        &self.values[sig.index()]
     }
 }
 
