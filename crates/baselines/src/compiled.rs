@@ -1,8 +1,14 @@
 //! Levelized full-evaluation simulator (the VFsim substrate).
 
-use eraser_ir::{BehavioralId, CombItem, Design, Sensitivity, SignalId};
+use eraser_ir::{
+    run_tape, tapes_for_backend, BehavioralId, CombItem, Design, EvalBackend, Sensitivity,
+    SignalId, TapeProgram, TapeRef,
+};
 use eraser_logic::{LogicBit, LogicVec};
-use eraser_sim::{eval_rtl_node, execute_behavioral, SlotWrite, ValueStore};
+use eraser_sim::{
+    eval_rtl_node, execute_behavioral, execute_tape_into, ExecCtx, ExecOutcome, NoopMonitor,
+    SlotWrite, ValueStore,
+};
 
 /// Bound on evaluation rounds per settle step.
 const ROUND_LIMIT: usize = 10_000;
@@ -19,6 +25,10 @@ const ROUND_LIMIT: usize = 10_000;
 #[derive(Debug, Clone)]
 pub struct CompiledSim<'d> {
     design: &'d Design,
+    /// Compiled evaluation tapes when running on the tape backend.
+    tapes: Option<TapeRef<'d>>,
+    /// Execution scratch (expression arena + tape slots).
+    ctx: ExecCtx,
     values: ValueStore,
     edge_prev: Vec<LogicVec>,
     /// Signals watched by edge-triggered nodes (precomputed).
@@ -28,8 +38,24 @@ pub struct CompiledSim<'d> {
 }
 
 impl<'d> CompiledSim<'d> {
-    /// Creates the simulator and performs the initial full evaluation.
+    /// Creates the simulator and performs the initial full evaluation. The
+    /// evaluation backend follows `ERASER_EVAL` (tree walker by default).
     pub fn new(design: &'d Design) -> Self {
+        Self::with_backend(design, EvalBackend::from_env())
+    }
+
+    /// Creates the simulator pinned to `backend`.
+    pub fn with_backend(design: &'d Design, backend: EvalBackend) -> Self {
+        Self::build(design, tapes_for_backend(design, backend))
+    }
+
+    /// Creates the simulator on the tape backend with a shared,
+    /// pre-compiled program (one lowering per campaign, not per fault).
+    pub fn with_tapes(design: &'d Design, tapes: &'d TapeProgram) -> Self {
+        Self::build(design, Some(TapeRef::Shared(tapes)))
+    }
+
+    fn build(design: &'d Design, tapes: Option<TapeRef<'d>>) -> Self {
         let values = ValueStore::new(design);
         let edge_prev = design
             .signals()
@@ -42,6 +68,8 @@ impl<'d> CompiledSim<'d> {
             .collect();
         let mut sim = CompiledSim {
             design,
+            tapes,
+            ctx: ExecCtx::new(),
             values,
             edge_prev,
             watched,
@@ -109,12 +137,23 @@ impl<'d> CompiledSim<'d> {
                 match item {
                     CombItem::Rtl(id) => {
                         let node = self.design.rtl_node(*id);
-                        let out = eval_rtl_node(self.design, node, &self.values);
+                        let out = match &self.tapes {
+                            Some(t) => {
+                                let mut out = LogicVec::default();
+                                run_tape(
+                                    t.program().rtl(id.index()),
+                                    &self.values,
+                                    &mut self.ctx.tape,
+                                    &mut out,
+                                );
+                                out
+                            }
+                            None => eval_rtl_node(self.design, node, &self.values),
+                        };
                         changed |= self.commit(node.output, out);
                     }
                     CombItem::Beh(id) => {
-                        let node = self.design.behavioral(*id);
-                        let (out, _) = execute_behavioral(self.design, node, &self.values, false);
+                        let out = self.execute_behavioral(*id);
                         for (sig, val) in out.blocking {
                             changed |= self.commit(sig, val);
                         }
@@ -127,6 +166,27 @@ impl<'d> CompiledSim<'d> {
             }
         }
         panic!("combinational network failed to reach a fixpoint");
+    }
+
+    /// Executes one behavioral node on the configured backend.
+    fn execute_behavioral(&mut self, id: BehavioralId) -> ExecOutcome {
+        let node = self.design.behavioral(id);
+        match &self.tapes {
+            Some(t) => {
+                let mut out = ExecOutcome::default();
+                execute_tape_into(
+                    self.design,
+                    node,
+                    t.program().behavioral(id.index()),
+                    &self.values,
+                    &mut NoopMonitor,
+                    &mut self.ctx,
+                    &mut out,
+                );
+                out
+            }
+            None => execute_behavioral(self.design, node, &self.values, false).0,
+        }
     }
 
     fn detect_edges(&mut self) -> Vec<BehavioralId> {
@@ -158,8 +218,7 @@ impl<'d> CompiledSim<'d> {
     }
 
     fn run_seq(&mut self, id: BehavioralId) {
-        let node = self.design.behavioral(id);
-        let (out, _) = execute_behavioral(self.design, node, &self.values, false);
+        let out = self.execute_behavioral(id);
         for (sig, val) in out.blocking {
             self.commit(sig, val);
         }
@@ -210,7 +269,7 @@ mod tests {
         let mut ev = Simulator::new(&d);
         let mut cp = CompiledSim::new(&d);
         let drive = |ev: &mut Simulator, cp: &mut CompiledSim, sig, val: u64, w| {
-            ev.set_input(sig, LogicVec::from_u64(w, val));
+            ev.set_input(sig, &LogicVec::from_u64(w, val));
             ev.step();
             cp.settle_step(&[(sig, LogicVec::from_u64(w, val))]);
         };

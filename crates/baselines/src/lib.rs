@@ -62,10 +62,17 @@ mod serial;
 pub use compiled::CompiledSim;
 pub use eraser_core::{EngineResult, Eraser, FaultSimEngine, Parallel, ParallelConfig};
 
-use eraser_core::CampaignConfig;
+use eraser_core::{CampaignConfig, EvalBackend, TapeProgram};
 use eraser_fault::FaultList;
 use eraser_ir::Design;
 use eraser_sim::{Simulator, Stimulus};
+
+/// The per-campaign tape compilation a serial baseline shares across its
+/// per-fault simulator instances: lowering happens once, not once per
+/// fault.
+fn campaign_tapes(design: &Design, config: &CampaignConfig) -> Option<TapeProgram> {
+    TapeProgram::for_backend(design, config.backend)
+}
 
 /// IFsim: one event-driven re-simulation per fault, with the stuck-at
 /// imposed as a force; outputs are compared against a recorded good trace
@@ -73,6 +80,8 @@ use eraser_sim::{Simulator, Stimulus};
 ///
 /// As a serial engine it always drops a fault at first detection (coverage
 /// is insensitive to dropping) and carries no redundancy instrumentation.
+/// Honors [`CampaignConfig::backend`]: on the tape backend the design is
+/// lowered once and every per-fault simulator replays the shared program.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct IFsim;
 
@@ -86,15 +95,19 @@ impl FaultSimEngine for IFsim {
         design: &Design,
         faults: &FaultList,
         stimulus: &Stimulus,
-        _config: &CampaignConfig,
+        config: &CampaignConfig,
     ) -> EngineResult {
+        let tapes = campaign_tapes(design, config);
         serial::serial_campaign(
             "IFsim",
             design,
             faults,
             stimulus,
             |fault| {
-                let mut sim = Simulator::new(design);
+                let mut sim = match &tapes {
+                    Some(tp) => Simulator::with_tapes(design, tp),
+                    None => Simulator::with_backend(design, EvalBackend::Tree),
+                };
                 if let Some(f) = fault {
                     sim.add_force(f.signal, f.bit, f.stuck.bit());
                     // Settle the force at construction so all engines agree
@@ -106,7 +119,7 @@ impl FaultSimEngine for IFsim {
             },
             |sim, changes| {
                 for (sig, v) in changes {
-                    sim.set_input(*sig, v.clone());
+                    sim.set_input(*sig, v);
                 }
                 sim.step();
             },
@@ -116,7 +129,8 @@ impl FaultSimEngine for IFsim {
 }
 
 /// VFsim: one levelized full-evaluation simulation per fault (no event
-/// scheduling), same observation and dropping rules as [`IFsim`].
+/// scheduling), same observation and dropping rules as [`IFsim`]. Honors
+/// [`CampaignConfig::backend`] with one shared tape compilation.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct VFsim;
 
@@ -130,15 +144,19 @@ impl FaultSimEngine for VFsim {
         design: &Design,
         faults: &FaultList,
         stimulus: &Stimulus,
-        _config: &CampaignConfig,
+        config: &CampaignConfig,
     ) -> EngineResult {
+        let tapes = campaign_tapes(design, config);
         serial::serial_campaign(
             "VFsim",
             design,
             faults,
             stimulus,
             |fault| {
-                let mut sim = CompiledSim::new(design);
+                let mut sim = match &tapes {
+                    Some(tp) => CompiledSim::with_tapes(design, tp),
+                    None => CompiledSim::with_backend(design, EvalBackend::Tree),
+                };
                 if let Some(f) = fault {
                     sim.add_force(f.signal, f.bit, f.stuck.bit());
                 }

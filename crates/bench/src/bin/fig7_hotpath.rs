@@ -1,29 +1,34 @@
 //! **Fig. 7 (hot path)** — before/after measurement of the
-//! zero-allocation evaluation core.
+//! zero-allocation evaluation core and the compiled-tape backend.
 //!
-//! For every selected benchmark (default `APB,ALU`; override with
-//! `ERASER_BENCH_ONLY`), the report:
+//! For every selected benchmark (default `APB,ALU,Conv_acc`; override
+//! with `ERASER_BENCH_ONLY`), the report:
 //!
 //! 1. replays the full stimulus on the frozen **pre-change replica**
 //!    ([`eraser_bench::legacy::LegacySimulator`]: clone-per-read, fresh
 //!    `LogicVec` per AST node, fresh work lists per activation) and on the
-//!    current zero-allocation [`Simulator`], asserting **bit-identical
-//!    outputs after every settle step**,
-//! 2. reports cycles/sec for both, and the speedup,
+//!    current zero-allocation [`Simulator`] on **both** evaluation
+//!    backends — the tree walker and the compiled instruction tapes —
+//!    asserting **bit-identical outputs after every settle step**,
+//! 2. reports cycles/sec for all three, the zero-alloc speedup over the
+//!    replica, and the tape speedup over the tree walker,
 //! 3. counts heap allocations (via the `alloc-count` counting global
 //!    allocator) over a steady-state window after warm-up, for the good
-//!    simulator and for the full ERASER engine campaign loop,
-//! 4. writes `BENCH_fig7_hotpath.json` (schema `eraser-fig7-hotpath-v1`,
-//!    one record per benchmark/mode).
+//!    simulator and the full ERASER engine campaign loop, per backend,
+//! 4. writes `BENCH_fig7_hotpath.json` (schema `eraser-fig7-hotpath-v2`:
+//!    v1 plus a `backend` field — `legacy`, `tree` or `tape` — with one
+//!    record per benchmark/mode/backend), so the perf trajectory tracks
+//!    both backends.
 //!
 //! With `ERASER_FIG7_STRICT=1` (the CI perf-smoke job), the binary exits
-//! nonzero if any steady-state hot-path allocation count is nonzero or the
-//! parity check fails — the allocation-freedom regression gate.
+//! nonzero if any steady-state hot-path allocation count is nonzero on
+//! either backend or any parity check fails — the allocation-freedom and
+//! backend-equivalence regression gate.
 
 use eraser_bench::json::write_json_objects;
 use eraser_bench::legacy::LegacySimulator;
 use eraser_bench::{env_scale, prepare, print_environment, selected_benchmarks, Prepared};
-use eraser_core::{EraserEngine, RedundancyMode};
+use eraser_core::{EraserEngine, EvalBackend, RedundancyMode};
 use eraser_designs::Benchmark;
 use eraser_logic::counting_alloc::CountingAlloc;
 use eraser_sim::Simulator;
@@ -33,7 +38,7 @@ use std::time::Instant;
 static ALLOC: CountingAlloc = CountingAlloc;
 
 const BINARY: &str = "fig7_hotpath";
-const SCHEMA: &str = "eraser-fig7-hotpath-v1";
+const SCHEMA: &str = "eraser-fig7-hotpath-v2";
 
 /// Warm-up cycles before the allocation-count window opens.
 const WARMUP_CYCLES: usize = 100;
@@ -41,6 +46,7 @@ const WARMUP_CYCLES: usize = 100;
 struct Record {
     benchmark: String,
     mode: &'static str,
+    backend: &'static str,
     cycles: usize,
     wall_seconds: f64,
     cycles_per_sec: f64,
@@ -52,13 +58,14 @@ impl Record {
         format!(
             concat!(
                 "{{\"schema\":\"{}\",\"binary\":\"{}\",\"benchmark\":\"{}\",",
-                "\"mode\":\"{}\",\"cycles\":{},\"wall_seconds\":{:.6},",
-                "\"cycles_per_sec\":{:.1},\"steady_allocs\":{}}}"
+                "\"mode\":\"{}\",\"backend\":\"{}\",\"cycles\":{},",
+                "\"wall_seconds\":{:.6},\"cycles_per_sec\":{:.1},\"steady_allocs\":{}}}"
             ),
             SCHEMA,
             BINARY,
             self.benchmark,
             self.mode,
+            self.backend,
             self.cycles,
             self.wall_seconds,
             self.cycles_per_sec,
@@ -91,12 +98,12 @@ fn windowed_allocs<S>(p: &Prepared, sim: &mut S, mut apply: impl FnMut(&mut S, &
     CountingAlloc::allocations() - before
 }
 
-/// Steady-state allocation count of the good simulator.
-fn sim_steady_allocs(p: &Prepared) -> u64 {
-    let mut sim = Simulator::new(&p.design);
+/// Steady-state allocation count of the good simulator on `backend`.
+fn sim_steady_allocs(p: &Prepared, backend: EvalBackend) -> u64 {
+    let mut sim = Simulator::with_backend(&p.design, backend);
     windowed_allocs(p, &mut sim, |sim, step| {
         for (sig, val) in step {
-            sim.set_input(*sig, val.clone());
+            sim.set_input(*sig, val);
         }
         sim.step();
     })
@@ -115,22 +122,23 @@ fn legacy_steady_allocs(p: &Prepared) -> u64 {
 }
 
 /// Steady-state allocation count and measured-window wall time of the full
-/// ERASER engine loop (set-inputs, settle, observe with fault dropping).
-/// Warm-up is one complete stimulus pass — every reachable buffer shape has
-/// been seen — and the measured window replays the stimulus a second time.
-fn engine_steady(p: &Prepared) -> (u64, f64, usize) {
-    let mut engine = EraserEngine::new(&p.design, &p.faults, RedundancyMode::Full, true);
+/// ERASER engine loop (set-inputs, settle, observe with fault dropping) on
+/// `backend`. Warm-up is two complete stimulus passes — every reachable
+/// buffer shape has been seen — and the measured window replays the
+/// stimulus a third time (the same methodology as the pre-tape recordings,
+/// so the trajectory stays comparable).
+fn engine_steady(p: &Prepared, backend: EvalBackend) -> (u64, f64, usize) {
+    let mut engine =
+        EraserEngine::with_backend(&p.design, &p.faults, RedundancyMode::Full, true, backend);
     let drive = |engine: &mut EraserEngine, steps: &[StimStep]| {
         for step in steps {
             for (sig, val) in step {
-                engine.set_input(*sig, val.clone());
+                engine.set_input(*sig, val);
             }
             engine.step();
             engine.observe();
         }
     };
-    // Two warm-up passes: the first sizes every pooled buffer, the second
-    // settles the high-water marks that shift as detected faults drop out.
     drive(&mut engine, &p.stimulus.steps);
     drive(&mut engine, &p.stimulus.steps);
     let before = CountingAlloc::allocations();
@@ -139,7 +147,7 @@ fn engine_steady(p: &Prepared) -> (u64, f64, usize) {
         for (i, step) in p.stimulus.steps.iter().enumerate() {
             let b0 = CountingAlloc::allocations();
             for (sig, val) in step {
-                engine.set_input(*sig, val.clone());
+                engine.set_input(*sig, val);
             }
             let b1 = CountingAlloc::allocations();
             engine.step();
@@ -166,14 +174,39 @@ fn engine_steady(p: &Prepared) -> (u64, f64, usize) {
     )
 }
 
+/// Best-of-three full-stimulus replay wall time of the current simulator
+/// on `backend` (fresh instance per attempt; the box may be noisy).
+fn sim_wall(p: &Prepared, backend: EvalBackend) -> std::time::Duration {
+    (0..3)
+        .map(|_| {
+            let mut sim = Simulator::with_backend(&p.design, backend);
+            let t0 = Instant::now();
+            sim.run_stimulus(&p.stimulus);
+            t0.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
 fn main() {
-    print_environment("Fig. 7 (hot path) — zero-allocation evaluation core, before/after");
+    print_environment(
+        "Fig. 7 (hot path) — zero-allocation core + compiled-tape backend, before/after",
+    );
     let scale = env_scale();
     let strict = std::env::var("ERASER_FIG7_STRICT").is_ok_and(|v| v == "1");
 
     println!(
-        "{:<11} {:>12} {:>12} {:>8} {:>13} {:>13}",
-        "benchmark", "legacy c/s", "zeroalloc", "speedup", "sim allocs", "engine allocs"
+        "{:<11} {:>11} {:>11} {:>11} {:>8} {:>8} {:>6} {:>6} {:>6} {:>6}",
+        "benchmark",
+        "legacy c/s",
+        "tree c/s",
+        "tape c/s",
+        "tree/lg",
+        "tape/tr",
+        "simT",
+        "simTp",
+        "engT",
+        "engTp"
     );
 
     let mut records = Vec::new();
@@ -183,23 +216,26 @@ fn main() {
         let cycles = p.stimulus.steps.len();
         let outputs = p.design.outputs().to_vec();
 
-        // Parity pass: legacy replica and zero-allocation core in
+        // Parity pass: legacy replica, tree walker and tape backend in
         // lockstep, outputs compared after every settle step.
         let mut legacy = LegacySimulator::new(&p.design);
-        let mut current = Simulator::new(&p.design);
+        let mut tree = Simulator::with_backend(&p.design, EvalBackend::Tree);
+        let mut tape = Simulator::with_backend(&p.design, EvalBackend::Tape);
         for step in &p.stimulus.steps {
             for (sig, val) in step {
                 legacy.set_input(*sig, val.clone());
             }
             legacy.step();
             for (sig, val) in step {
-                current.set_input(*sig, val.clone());
+                tree.set_input(*sig, val);
+                tape.set_input(*sig, val);
             }
-            current.step();
+            tree.step();
+            tape.step();
             for &o in &outputs {
-                if legacy.value(o) != current.value(o) {
+                if legacy.value(o) != tree.value(o) || tree.value(o) != tape.value(o) {
                     eprintln!(
-                        "PARITY FAILURE: {} output {:?} diverged from the pre-change replica",
+                        "PARITY FAILURE: {} output {:?} diverged (legacy/tree/tape)",
                         bench.name(),
                         o
                     );
@@ -209,8 +245,9 @@ fn main() {
         }
 
         // Timing: separate uninterleaved full-stimulus replays on fresh
-        // instances, best of two (the box may be noisy).
-        let legacy_wall = (0..2)
+        // instances, best of three for every simulator variant (identical
+        // sampling keeps the cross-variant ratios unbiased).
+        let legacy_wall = (0..3)
             .map(|_| {
                 let mut sim = LegacySimulator::new(&p.design);
                 let t0 = Instant::now();
@@ -219,65 +256,83 @@ fn main() {
             })
             .min()
             .unwrap();
-        let current_wall = (0..2)
-            .map(|_| {
-                let mut sim = Simulator::new(&p.design);
-                let t0 = Instant::now();
-                sim.run_stimulus(&p.stimulus);
-                t0.elapsed()
-            })
-            .min()
-            .unwrap();
+        let tree_wall = sim_wall(&p, EvalBackend::Tree);
+        let tape_wall = sim_wall(&p, EvalBackend::Tape);
 
         let baseline_allocs = legacy_steady_allocs(&p);
-        let sim_allocs = sim_steady_allocs(&p);
-        let (engine_allocs, engine_wall, engine_cycles) = engine_steady(&p);
+        let sim_allocs_tree = sim_steady_allocs(&p, EvalBackend::Tree);
+        let sim_allocs_tape = sim_steady_allocs(&p, EvalBackend::Tape);
+        let (eng_allocs_tree, eng_wall_tree, eng_cycles) = engine_steady(&p, EvalBackend::Tree);
+        let (eng_allocs_tape, eng_wall_tape, _) = engine_steady(&p, EvalBackend::Tape);
 
         let legacy_cps = cycles as f64 / legacy_wall.as_secs_f64();
-        let current_cps = cycles as f64 / current_wall.as_secs_f64();
-        let speedup = current_cps / legacy_cps;
+        let tree_cps = cycles as f64 / tree_wall.as_secs_f64();
+        let tape_cps = cycles as f64 / tape_wall.as_secs_f64();
         println!(
-            "{:<11} {:>12.0} {:>12.0} {:>7.2}x {:>13} {:>13}",
+            "{:<11} {:>11.0} {:>11.0} {:>11.0} {:>7.2}x {:>7.2}x {:>6} {:>6} {:>6} {:>6}",
             bench.name(),
             legacy_cps,
-            current_cps,
-            speedup,
-            sim_allocs,
-            engine_allocs
+            tree_cps,
+            tape_cps,
+            tree_cps / legacy_cps,
+            tape_cps / tree_cps,
+            sim_allocs_tree,
+            sim_allocs_tape,
+            eng_allocs_tree,
+            eng_allocs_tape
         );
 
         records.push(Record {
             benchmark: bench.name().to_string(),
             mode: "baseline",
+            backend: "legacy",
             cycles,
             wall_seconds: legacy_wall.as_secs_f64(),
             cycles_per_sec: legacy_cps,
             steady_allocs: baseline_allocs,
         });
-        records.push(Record {
-            benchmark: bench.name().to_string(),
-            mode: "zero_alloc",
-            cycles,
-            wall_seconds: current_wall.as_secs_f64(),
-            cycles_per_sec: current_cps,
-            steady_allocs: sim_allocs,
-        });
-        records.push(Record {
-            benchmark: bench.name().to_string(),
-            mode: "engine_zero_alloc",
-            cycles: engine_cycles,
-            wall_seconds: engine_wall,
-            cycles_per_sec: engine_cycles as f64 / engine_wall,
-            steady_allocs: engine_allocs,
-        });
+        for (backend, wall, cps, allocs) in [
+            ("tree", tree_wall, tree_cps, sim_allocs_tree),
+            ("tape", tape_wall, tape_cps, sim_allocs_tape),
+        ] {
+            records.push(Record {
+                benchmark: bench.name().to_string(),
+                mode: "zero_alloc",
+                backend,
+                cycles,
+                wall_seconds: wall.as_secs_f64(),
+                cycles_per_sec: cps,
+                steady_allocs: allocs,
+            });
+        }
+        for (backend, wall, allocs) in [
+            ("tree", eng_wall_tree, eng_allocs_tree),
+            ("tape", eng_wall_tape, eng_allocs_tape),
+        ] {
+            records.push(Record {
+                benchmark: bench.name().to_string(),
+                mode: "engine_zero_alloc",
+                backend,
+                cycles: eng_cycles,
+                wall_seconds: wall,
+                cycles_per_sec: eng_cycles as f64 / wall,
+                steady_allocs: allocs,
+            });
+        }
 
         // The zero-allocation guarantee is defined for designs whose
         // signals all fit the 64-bit inline representation; wider designs
         // reuse storage opportunistically and are reported but not gated.
         let inline_only = p.design.signals().iter().all(|s| s.width <= 64);
-        if inline_only && (sim_allocs != 0 || engine_allocs != 0) {
+        if inline_only
+            && (sim_allocs_tree != 0
+                || sim_allocs_tape != 0
+                || eng_allocs_tree != 0
+                || eng_allocs_tape != 0)
+        {
             eprintln!(
-                "STEADY-STATE ALLOCATIONS on {}: sim={sim_allocs} engine={engine_allocs}",
+                "STEADY-STATE ALLOCATIONS on {}: sim tree={sim_allocs_tree} tape={sim_allocs_tape} \
+                 engine tree={eng_allocs_tree} tape={eng_allocs_tape}",
                 bench.name()
             );
             failed = true;

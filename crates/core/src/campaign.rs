@@ -5,7 +5,7 @@ use crate::parallel::{run_sharded, ParallelConfig};
 use crate::stats::RedundancyStats;
 use crate::RedundancyMode;
 use eraser_fault::{CoverageReport, FaultList};
-use eraser_ir::Design;
+use eraser_ir::{Design, EvalBackend, TapeProgram};
 use eraser_sim::Stimulus;
 use std::time::Instant;
 
@@ -21,6 +21,12 @@ pub struct CampaignConfig {
     /// The default honors `ERASER_THREADS` / `ERASER_PARTITION`; coverage
     /// is bit-identical at any thread count.
     pub parallel: ParallelConfig,
+    /// Expression-evaluation backend: the tree walker (reference oracle)
+    /// or compiled instruction tapes. The default honors `ERASER_EVAL`;
+    /// coverage and redundancy counters are bit-identical on both. For the
+    /// tape backend the design is lowered once per campaign and the
+    /// program is shared across every fault-parallel shard worker.
+    pub backend: EvalBackend,
 }
 
 impl Default for CampaignConfig {
@@ -29,6 +35,7 @@ impl Default for CampaignConfig {
             mode: RedundancyMode::Full,
             drop_detected: true,
             parallel: ParallelConfig::default(),
+            backend: EvalBackend::from_env(),
         }
     }
 }
@@ -40,6 +47,14 @@ impl CampaignConfig {
     pub fn serial() -> Self {
         CampaignConfig {
             parallel: ParallelConfig::serial(),
+            ..Default::default()
+        }
+    }
+
+    /// The campaign pinned to an explicit evaluation backend.
+    pub fn with_backend(backend: EvalBackend) -> Self {
+        CampaignConfig {
+            backend,
             ..Default::default()
         }
     }
@@ -79,6 +94,9 @@ pub fn run_campaign(
     config: &CampaignConfig,
 ) -> CampaignResult {
     let t0 = Instant::now();
+    // Tape backend: lower the design once, share the immutable program
+    // with every worker (and the serial path below).
+    let tapes = TapeProgram::for_backend(design, config.backend);
     let threads = config.parallel.effective_threads();
     if threads > 1 && faults.len() > 1 {
         let mut shards = faults.partition(
@@ -91,8 +109,7 @@ pub fn run_campaign(
         shards.retain(|s| !s.is_empty());
         let shard_results = run_sharded(&shards, threads, |shard| {
             let shard_t0 = Instant::now();
-            let mut engine =
-                EraserEngine::new(design, &shard.list, config.mode, config.drop_detected);
+            let mut engine = build_engine(design, &shard.list, config, tapes.as_ref());
             engine.run(stimulus);
             let mut stats = engine.stats().clone();
             stats.time_total = shard_t0.elapsed();
@@ -106,13 +123,33 @@ pub fn run_campaign(
         }
         return CampaignResult { coverage, stats };
     }
-    let mut engine = EraserEngine::new(design, faults, config.mode, config.drop_detected);
+    let mut engine = build_engine(design, faults, config, tapes.as_ref());
     engine.run(stimulus);
     let mut stats = engine.stats().clone();
     stats.time_total = t0.elapsed();
     CampaignResult {
         coverage: engine.coverage().clone(),
         stats,
+    }
+}
+
+/// Builds one campaign engine on the configured backend, attaching the
+/// shared tape program when present.
+fn build_engine<'d>(
+    design: &'d Design,
+    faults: &'d FaultList,
+    config: &CampaignConfig,
+    tapes: Option<&'d TapeProgram>,
+) -> EraserEngine<'d> {
+    match tapes {
+        Some(tp) => EraserEngine::with_tapes(design, faults, config.mode, config.drop_detected, tp),
+        None => EraserEngine::with_backend(
+            design,
+            faults,
+            config.mode,
+            config.drop_detected,
+            EvalBackend::Tree,
+        ),
     }
 }
 
@@ -366,8 +403,8 @@ mod tests {
         let mut sim = eraser_sim::Simulator::new(&d);
         for step in &stim.steps {
             for (sig, v) in step {
-                engine.set_input(*sig, v.clone());
-                sim.set_input(*sig, v.clone());
+                engine.set_input(*sig, v);
+                sim.set_input(*sig, v);
             }
             engine.step();
             sim.step();

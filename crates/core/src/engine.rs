@@ -18,12 +18,13 @@ use crate::stats::RedundancyStats;
 use crate::RedundancyMode;
 use eraser_fault::{detectable_mismatch, CoverageReport, Detection, FaultId, FaultList};
 use eraser_ir::{
-    BehavioralId, Design, EdgeKind, EvalScratch, RtlNodeId, Sensitivity, SignalId, ValueSource,
+    run_tape, tapes_for_backend, BehavioralId, Design, EdgeKind, EvalBackend, EvalScratch,
+    RtlNodeId, Sensitivity, SignalId, TapeProgram, TapeRef, TapeScratch, ValueSource,
 };
 use eraser_logic::LogicVec;
 use eraser_sim::{
-    eval_rtl_op_with, execute_into, ExecCtx, ExecOutcome, NoopMonitor, SlotWrite, Stimulus,
-    ValueStore,
+    eval_rtl_op_with, execute_into, execute_tape_into, ExecCtx, ExecMonitor, ExecOutcome,
+    NoopMonitor, SlotWrite, Stimulus, ValueStore,
 };
 use std::time::Instant;
 
@@ -98,6 +99,8 @@ impl PendingNba {
 struct Workspace {
     /// `LogicVec` temporaries and RTL-expression scratch.
     bufs: EvalScratch,
+    /// Tape-execution slot arena (tape backend's RTL evaluation).
+    tape: TapeScratch,
     /// Behavioral-interpreter scratch.
     exec_ctx: ExecCtx,
     /// Redundancy-monitor decision re-evaluation scratch.
@@ -184,6 +187,10 @@ pub struct EraserEngine<'d> {
     faults: &'d FaultList,
     mode: RedundancyMode,
     drop_detected: bool,
+    /// Compiled evaluation tapes when running on the tape backend —
+    /// compiled once per campaign and shared by reference across
+    /// fault-parallel shard workers, or owned when constructed standalone.
+    tapes: Option<TapeRef<'d>>,
 
     good: ValueStore,
     diffs: Vec<DiffList>,
@@ -214,12 +221,63 @@ pub struct EraserEngine<'d> {
 
 impl<'d> EraserEngine<'d> {
     /// Creates an engine over `design` with the fault batch `faults`, in
-    /// redundancy mode `mode`, and performs the initial evaluation.
+    /// redundancy mode `mode`, and performs the initial evaluation. The
+    /// evaluation backend follows `ERASER_EVAL` (tree walker by default);
+    /// use [`EraserEngine::with_backend`] or [`EraserEngine::with_tapes`]
+    /// to pin one explicitly.
     pub fn new(
         design: &'d Design,
         faults: &'d FaultList,
         mode: RedundancyMode,
         drop_detected: bool,
+    ) -> Self {
+        Self::with_backend(design, faults, mode, drop_detected, EvalBackend::from_env())
+    }
+
+    /// Creates an engine pinned to `backend` (compiling a private tape
+    /// program for [`EvalBackend::Tape`]).
+    pub fn with_backend(
+        design: &'d Design,
+        faults: &'d FaultList,
+        mode: RedundancyMode,
+        drop_detected: bool,
+        backend: EvalBackend,
+    ) -> Self {
+        Self::build(
+            design,
+            faults,
+            mode,
+            drop_detected,
+            tapes_for_backend(design, backend),
+        )
+    }
+
+    /// Creates an engine on the tape backend executing a shared,
+    /// pre-compiled program — what [`run_campaign`](crate::run_campaign)
+    /// hands every fault-parallel shard worker so the design is lowered
+    /// once per campaign.
+    pub fn with_tapes(
+        design: &'d Design,
+        faults: &'d FaultList,
+        mode: RedundancyMode,
+        drop_detected: bool,
+        tapes: &'d TapeProgram,
+    ) -> Self {
+        Self::build(
+            design,
+            faults,
+            mode,
+            drop_detected,
+            Some(TapeRef::Shared(tapes)),
+        )
+    }
+
+    fn build(
+        design: &'d Design,
+        faults: &'d FaultList,
+        mode: RedundancyMode,
+        drop_detected: bool,
+        tapes: Option<TapeRef<'d>>,
     ) -> Self {
         let n_sig = design.num_signals();
         let mut site_faults: Vec<Vec<FaultId>> = vec![Vec::new(); n_sig];
@@ -243,6 +301,7 @@ impl<'d> EraserEngine<'d> {
             faults,
             mode,
             drop_detected,
+            tapes,
             good,
             diffs,
             site_faults,
@@ -316,25 +375,37 @@ impl<'d> EraserEngine<'d> {
         self.alive_count
     }
 
-    /// Drives a primary input. An unchanged value is skipped outright:
+    /// Drives a primary input, by borrow — no clone, no resize for
+    /// width-matching values. An unchanged value is skipped outright:
     /// committing an identical good value re-derives exactly the same
-    /// forced entries and diff state, so there is nothing to schedule.
-    pub fn set_input(&mut self, sig: SignalId, value: LogicVec) {
-        let value = value.into_width(self.design.signal(sig).width);
-        if *self.good.get(sig) == value {
-            return;
-        }
+    /// forced entries and diff state (faults sited on the input keep their
+    /// materialized stuck-bit diff entries from construction), so there is
+    /// nothing to schedule.
+    pub fn set_input(&mut self, sig: SignalId, value: &LogicVec) {
+        let width = self.design.signal(sig).width;
         let mut ws = std::mem::take(&mut self.ws);
-        self.commit_signal(&mut ws, sig, &value, &[], true);
+        if value.width() == width {
+            if self.good.get(sig) != value {
+                self.commit_signal(&mut ws, sig, value, &[], true);
+            }
+        } else {
+            let mut resized = ws.bufs.take();
+            resized.copy_resized(value, width);
+            if self.good.get(sig) != &resized {
+                self.commit_signal(&mut ws, sig, &resized, &[], true);
+            }
+            ws.bufs.put(resized);
+        }
         self.ws = ws;
     }
 
     /// Runs the full stimulus with observation (and optional fault
-    /// dropping) after every settle step.
+    /// dropping) after every settle step. Stimulus values are read by
+    /// borrow — the whole campaign loop is clone-free.
     pub fn run(&mut self, stim: &Stimulus) {
         for step in &stim.steps {
             for (sig, val) in step {
-                self.set_input(*sig, val.clone());
+                self.set_input(*sig, val);
             }
             self.step();
             self.observe();
@@ -593,18 +664,22 @@ impl<'d> EraserEngine<'d> {
         let design = self.design;
         let node = design.rtl_node(id);
         let out_width = design.signal(node.output).width;
+        let tapes = self.tapes.as_ref().map(|t| t.program());
 
         let mut good_out = ws.bufs.take();
-        {
-            let good = &self.good;
-            eval_rtl_op_with(
-                &node.op,
-                &|k| good.get(node.inputs[k]),
-                node.inputs.len(),
-                out_width,
-                &mut ws.bufs,
-                &mut good_out,
-            );
+        match tapes {
+            Some(tp) => run_tape(tp.rtl(id.index()), &self.good, &mut ws.tape, &mut good_out),
+            None => {
+                let good = &self.good;
+                eval_rtl_op_with(
+                    &node.op,
+                    &|k| good.get(node.inputs[k]),
+                    node.inputs.len(),
+                    out_width,
+                    &mut ws.bufs,
+                    &mut good_out,
+                );
+            }
         }
         self.stats.rtl_good_evals += 1;
 
@@ -630,19 +705,27 @@ impl<'d> EraserEngine<'d> {
             let mut out_v = ws.bufs.take();
             if any_diff {
                 self.stats.rtl_fault_evals += 1;
-                let diffs = &self.diffs;
-                let good = &self.good;
-                eval_rtl_op_with(
-                    &node.op,
-                    &|k| {
-                        let s = node.inputs[k];
-                        diffs[s.index()].view(f, good.get(s))
-                    },
-                    node.inputs.len(),
-                    out_width,
-                    &mut ws.bufs,
-                    &mut out_v,
-                );
+                match tapes {
+                    Some(tp) => {
+                        let view = FaultView::new(&self.diffs, &self.good, f);
+                        run_tape(tp.rtl(id.index()), &view, &mut ws.tape, &mut out_v);
+                    }
+                    None => {
+                        let diffs = &self.diffs;
+                        let good = &self.good;
+                        eval_rtl_op_with(
+                            &node.op,
+                            &|k| {
+                                let s = node.inputs[k];
+                                diffs[s.index()].view(f, good.get(s))
+                            },
+                            node.inputs.len(),
+                            out_width,
+                            &mut ws.bufs,
+                            &mut out_v,
+                        );
+                    }
+                }
             } else {
                 // No visible input difference: the fault's output equals the
                 // good output (explicit redundancy at the RTL node level).
@@ -778,6 +861,10 @@ impl<'d> EraserEngine<'d> {
         let t0 = Instant::now();
         let design = self.design;
         let node = design.behavioral(id);
+        let beh_tapes = self
+            .tapes
+            .as_ref()
+            .map(|t| t.program().behavioral(id.index()));
 
         let mut good_out = ws.take_out();
         let mut exec_list = ws.take_ids();
@@ -795,9 +882,10 @@ impl<'d> EraserEngine<'d> {
                             .map(FaultId)
                             .filter(|f| self.alive[f.index()] && !act.suppressed.contains(f)),
                     );
-                    execute_into(
+                    exec_node(
                         design,
                         node,
+                        beh_tapes,
                         &self.good,
                         &mut NoopMonitor,
                         &mut ws.exec_ctx,
@@ -808,9 +896,10 @@ impl<'d> EraserEngine<'d> {
                     self.input_candidates(node, &act.suppressed, &mut exec_list);
                     self.stats.explicit_skipped +=
                         self.alive_count - act.suppressed.len() as u64 - exec_list.len() as u64;
-                    execute_into(
+                    exec_node(
                         design,
                         node,
+                        beh_tapes,
                         &self.good,
                         &mut NoopMonitor,
                         &mut ws.exec_ctx,
@@ -831,9 +920,10 @@ impl<'d> EraserEngine<'d> {
                         killed,
                         &mut ws.mon_scratch,
                     );
-                    execute_into(
+                    exec_node(
                         design,
                         node,
+                        beh_tapes,
                         &self.good,
                         &mut mon,
                         &mut ws.exec_ctx,
@@ -854,9 +944,10 @@ impl<'d> EraserEngine<'d> {
             let mut out = ws.take_out();
             {
                 let view = FaultView::new(&self.diffs, &self.good, f);
-                execute_into(
+                exec_node(
                     design,
                     node,
+                    beh_tapes,
                     &view,
                     &mut NoopMonitor,
                     &mut ws.exec_ctx,
@@ -874,9 +965,10 @@ impl<'d> EraserEngine<'d> {
             let mut out = ws.take_out();
             {
                 let view = FaultView::new(&self.diffs, &self.good, f);
-                execute_into(
+                exec_node(
                     design,
                     node,
+                    beh_tapes,
                     &view,
                     &mut NoopMonitor,
                     &mut ws.exec_ctx,
@@ -1129,5 +1221,23 @@ impl<'d> EraserEngine<'d> {
         any || !self.rtl_queue.is_empty()
             || !self.beh_queue.is_empty()
             || !self.watch_changed.is_empty()
+    }
+}
+
+/// Executes one behavioral activation on the configured backend: the
+/// node's compiled tapes when present, the tree walker otherwise.
+#[allow(clippy::too_many_arguments)]
+fn exec_node<S: ValueSource + ?Sized, M: ExecMonitor + ?Sized>(
+    design: &Design,
+    node: &eraser_ir::BehavioralNode,
+    tapes: Option<&eraser_ir::BehavioralTapes>,
+    base: &S,
+    monitor: &mut M,
+    ctx: &mut ExecCtx,
+    out: &mut ExecOutcome,
+) {
+    match tapes {
+        Some(bt) => execute_tape_into(design, node, bt, base, monitor, ctx, out),
+        None => execute_into(design, node, base, monitor, ctx, out),
     }
 }

@@ -99,6 +99,11 @@ pub use monitor::RedundancyMonitor;
 pub use parallel::{merge_shard_results, run_sharded, Parallel, ParallelConfig};
 pub use stats::RedundancyStats;
 
+// The evaluation-backend knob and the shareable compiled program, re-
+// exported so campaign drivers configure backends without naming
+// `eraser-ir` directly.
+pub use eraser_ir::{EvalBackend, TapeProgram};
+
 /// Which redundancy-elimination layers are active — the paper's ablation
 /// axis (Fig. 7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

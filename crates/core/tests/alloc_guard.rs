@@ -2,13 +2,17 @@
 //!
 //! Runs the APB benchmark under a counting global allocator and asserts
 //! that, after a warm-up phase that sizes every pooled buffer, the
-//! simulation hot path — good-simulator stepping, the serial ERASER engine,
-//! and the per-worker engines of a 2-way fault-parallel campaign (what each
-//! `ERASER_THREADS=2` worker executes) — performs **zero** heap
-//! allocations. APB's signals all fit in 64 bits, so `LogicVec` values stay
-//! inline and any allocation would come from a missing buffer-reuse path.
+//! simulation hot path — good-simulator stepping, the serial ERASER engine
+//! (both driven step by step and through the full [`EraserEngine::run`]
+//! campaign loop), and the per-worker engines of a 2-way fault-parallel
+//! campaign (what each `ERASER_THREADS=2` worker executes) — performs
+//! **zero** heap allocations, on **both** evaluation backends (tree walker
+//! and compiled tapes). APB's signals all fit in 64 bits, so `LogicVec`
+//! values stay inline and any allocation would come from a missing
+//! buffer-reuse path — including a stimulus-value clone in `run()` or a
+//! tape slot reused at the wrong storage shape.
 
-use eraser_core::{EraserEngine, RedundancyMode};
+use eraser_core::{EraserEngine, EvalBackend, RedundancyMode};
 use eraser_designs::Benchmark;
 use eraser_fault::{generate_faults, PartitionStrategy};
 use eraser_logic::counting_alloc::CountingAlloc;
@@ -17,34 +21,55 @@ use eraser_sim::Simulator;
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
+/// The allocation counter is process-global and even libtest's own
+/// machinery (thread spawning, output capture) allocates concurrently
+/// with running tests, so this binary opts out of the harness
+/// (`harness = false` in `Cargo.toml`) and runs its checks strictly
+/// sequentially from `main` — measured windows can never overlap with
+/// any other allocation source.
+fn main() {
+    good_simulator_steady_state_is_allocation_free();
+    println!("alloc_guard: good simulator ... ok");
+    eraser_engine_steady_state_is_allocation_free();
+    println!("alloc_guard: eraser engine ... ok");
+    engine_run_path_is_clone_free();
+    println!("alloc_guard: engine run() path ... ok");
+    two_way_sharded_workers_are_allocation_free_in_steady_state();
+    println!("alloc_guard: 2-way sharded workers ... ok");
+}
+
 const WARMUP_CYCLES: usize = 100;
 const MEASURED_CYCLES: usize = 100;
 
-#[test]
+const BACKENDS: [EvalBackend; 2] = [EvalBackend::Tree, EvalBackend::Tape];
+
 fn good_simulator_steady_state_is_allocation_free() {
     let design = Benchmark::Apb.build();
     let stim = Benchmark::Apb.stimulus_with_cycles(&design, WARMUP_CYCLES + MEASURED_CYCLES);
-    let mut sim = Simulator::new(&design);
+    for backend in BACKENDS {
+        let mut sim = Simulator::with_backend(&design, backend);
 
-    let apply = |sim: &mut Simulator, range: std::ops::Range<usize>| {
-        for step in &stim.steps[range] {
-            for (sig, val) in step {
-                sim.set_input(*sig, val.clone());
+        let apply = |sim: &mut Simulator, range: std::ops::Range<usize>| {
+            for step in &stim.steps[range] {
+                for (sig, val) in step {
+                    sim.set_input(*sig, val);
+                }
+                sim.step();
             }
-            sim.step();
-        }
-    };
-    apply(&mut sim, 0..WARMUP_CYCLES);
+        };
+        apply(&mut sim, 0..WARMUP_CYCLES);
 
-    let before = CountingAlloc::allocations();
-    apply(&mut sim, WARMUP_CYCLES..WARMUP_CYCLES + MEASURED_CYCLES);
-    let after = CountingAlloc::allocations();
-    assert_eq!(
-        after - before,
-        0,
-        "good simulator allocated {} times in {MEASURED_CYCLES} steady-state cycles",
-        after - before
-    );
+        let before = CountingAlloc::allocations();
+        apply(&mut sim, WARMUP_CYCLES..WARMUP_CYCLES + MEASURED_CYCLES);
+        let after = CountingAlloc::allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "good simulator ({backend} backend) allocated {} times in \
+             {MEASURED_CYCLES} steady-state cycles",
+            after - before
+        );
+    }
 }
 
 /// Drives `engine` through `range` of the stimulus with observation, the
@@ -52,70 +77,119 @@ fn good_simulator_steady_state_is_allocation_free() {
 fn drive(engine: &mut EraserEngine, stim: &eraser_sim::Stimulus, range: std::ops::Range<usize>) {
     for step in &stim.steps[range] {
         for (sig, val) in step {
-            engine.set_input(*sig, val.clone());
+            engine.set_input(*sig, val);
         }
         engine.step();
         engine.observe();
     }
 }
 
-#[test]
 fn eraser_engine_steady_state_is_allocation_free() {
     let design = Benchmark::Apb.build();
     let faults = generate_faults(&design, &Benchmark::Apb.fault_config());
     let stim = Benchmark::Apb.stimulus_with_cycles(&design, WARMUP_CYCLES + MEASURED_CYCLES);
-    let mut engine = EraserEngine::new(&design, &faults, RedundancyMode::Full, true);
+    for backend in BACKENDS {
+        let mut engine =
+            EraserEngine::with_backend(&design, &faults, RedundancyMode::Full, true, backend);
 
-    drive(&mut engine, &stim, 0..WARMUP_CYCLES);
+        drive(&mut engine, &stim, 0..WARMUP_CYCLES);
 
-    let before = CountingAlloc::allocations();
-    drive(
-        &mut engine,
-        &stim,
-        WARMUP_CYCLES..WARMUP_CYCLES + MEASURED_CYCLES,
-    );
-    let after = CountingAlloc::allocations();
-    assert_eq!(
-        after - before,
-        0,
-        "ERASER engine allocated {} times in {MEASURED_CYCLES} steady-state cycles",
-        after - before
-    );
+        let before = CountingAlloc::allocations();
+        drive(
+            &mut engine,
+            &stim,
+            WARMUP_CYCLES..WARMUP_CYCLES + MEASURED_CYCLES,
+        );
+        let after = CountingAlloc::allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "ERASER engine ({backend} backend) allocated {} times in \
+             {MEASURED_CYCLES} steady-state cycles",
+            after - before
+        );
+    }
 }
 
-#[test]
+/// The full campaign loop — [`EraserEngine::run`] reading every stimulus
+/// value by borrow — must be exactly as allocation-free as hand-driven
+/// stepping: a clone per input drive would show up here immediately.
+fn engine_run_path_is_clone_free() {
+    let design = Benchmark::Apb.build();
+    let faults = generate_faults(&design, &Benchmark::Apb.fault_config());
+    let stim = Benchmark::Apb.stimulus_with_cycles(&design, WARMUP_CYCLES + MEASURED_CYCLES);
+    for backend in BACKENDS {
+        let mut engine =
+            EraserEngine::with_backend(&design, &faults, RedundancyMode::Full, true, backend);
+        // Three warm-up passes: the first sizes every pooled buffer, the
+        // later ones settle high-water marks that shift as detected faults
+        // drop out and the replayed stimulus meets new engine states.
+        engine.run(&stim);
+        engine.run(&stim);
+        engine.run(&stim);
+
+        let before = CountingAlloc::allocations();
+        engine.run(&stim);
+        let after = CountingAlloc::allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "EraserEngine::run ({backend} backend) allocated {} times over \
+             a full steady-state stimulus pass",
+            after - before
+        );
+    }
+}
+
 fn two_way_sharded_workers_are_allocation_free_in_steady_state() {
     // The per-worker hot loop of an ERASER_THREADS=2 campaign: each worker
     // owns one site-affinity shard and steps its own engine. Thread spawn
     // and result merging are per-campaign setup, not steady state, so the
-    // guard drives both shard engines directly.
+    // guard drives both shard engines directly. On the tape backend the
+    // workers share one campaign-level program, exactly as `run_campaign`
+    // wires them.
     let design = Benchmark::Apb.build();
     let faults = generate_faults(&design, &Benchmark::Apb.fault_config());
     let stim = Benchmark::Apb.stimulus_with_cycles(&design, WARMUP_CYCLES + MEASURED_CYCLES);
     let shards = faults.partition(2, PartitionStrategy::SiteAffinity);
     assert_eq!(shards.len(), 2);
 
-    let mut engines: Vec<EraserEngine> = shards
-        .iter()
-        .map(|s| EraserEngine::new(&design, &s.list, RedundancyMode::Full, true))
-        .collect();
-    for engine in &mut engines {
-        drive(engine, &stim, 0..WARMUP_CYCLES);
-    }
+    let tapes = eraser_core::TapeProgram::compile(&design);
+    for backend in BACKENDS {
+        let mut engines: Vec<EraserEngine> = shards
+            .iter()
+            .map(|s| match backend {
+                EvalBackend::Tree => EraserEngine::with_backend(
+                    &design,
+                    &s.list,
+                    RedundancyMode::Full,
+                    true,
+                    backend,
+                ),
+                EvalBackend::Tape => {
+                    EraserEngine::with_tapes(&design, &s.list, RedundancyMode::Full, true, &tapes)
+                }
+            })
+            .collect();
+        for engine in &mut engines {
+            drive(engine, &stim, 0..WARMUP_CYCLES);
+        }
 
-    let before = CountingAlloc::allocations();
-    for engine in &mut engines {
-        drive(
-            engine,
-            &stim,
-            WARMUP_CYCLES..WARMUP_CYCLES + MEASURED_CYCLES,
+        let before = CountingAlloc::allocations();
+        for engine in &mut engines {
+            drive(
+                engine,
+                &stim,
+                WARMUP_CYCLES..WARMUP_CYCLES + MEASURED_CYCLES,
+            );
+        }
+        let after = CountingAlloc::allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "sharded workers ({backend} backend) allocated {} times in \
+             {MEASURED_CYCLES} steady-state cycles",
+            after - before
         );
     }
-    let after = CountingAlloc::allocations();
-    assert_eq!(
-        after - before,
-        0,
-        "sharded workers allocated {} times in {MEASURED_CYCLES} steady-state cycles",
-        after - before
-    );
 }

@@ -43,9 +43,9 @@ fn value_parity(design: &Design, stim: &eraser_sim::Stimulus, mode: RedundancyMo
         .collect();
     for (si, step) in stim.steps.iter().enumerate() {
         for (sig, v) in step {
-            engine.set_input(*sig, v.clone());
+            engine.set_input(*sig, v);
             for s in serials.iter_mut() {
-                s.set_input(*sig, v.clone());
+                s.set_input(*sig, v);
             }
         }
         engine.step();

@@ -27,19 +27,19 @@ fn alu64_matches_golden() {
         d.find_signal("carry").unwrap(),
     );
     let mut sim = Simulator::new(&d);
-    sim.set_input(rst, v(1, 1));
-    sim.set_input(start, v(1, 0));
+    sim.set_input(rst, &v(1, 1));
+    sim.set_input(start, &v(1, 0));
     sim.clock_cycle(clk);
-    sim.set_input(rst, v(1, 0));
-    sim.set_input(start, v(1, 1));
+    sim.set_input(rst, &v(1, 0));
+    sim.set_input(start, &v(1, 1));
     let mut rng = Lcg::new(7);
     for i in 0..200u64 {
         let av = rng.next_u64();
         let bv = rng.next_u64();
         let opv = (i % 14) as u8;
-        sim.set_input(a, v(64, av));
-        sim.set_input(b, v(64, bv));
-        sim.set_input(op, v(4, opv as u64));
+        sim.set_input(a, &v(64, av));
+        sim.set_input(b, &v(64, bv));
+        sim.set_input(op, &v(4, opv as u64));
         sim.clock_cycle(clk);
         let (er, ez, ec) = golden::alu64(opv, av, bv);
         assert_eq!(
@@ -73,11 +73,11 @@ fn fpu32_matches_golden() {
     );
     let z = d.find_signal("z").unwrap();
     let mut sim = Simulator::new(&d);
-    sim.set_input(rst, v(1, 1));
-    sim.set_input(start, v(1, 0));
+    sim.set_input(rst, &v(1, 1));
+    sim.set_input(start, &v(1, 0));
     sim.clock_cycle(clk);
-    sim.set_input(rst, v(1, 0));
-    sim.set_input(start, v(1, 1));
+    sim.set_input(rst, &v(1, 0));
+    sim.set_input(start, &v(1, 1));
     let mut rng = Lcg::new(99);
     for i in 0..400u64 {
         let mk = |rng: &mut Lcg| -> u32 {
@@ -93,9 +93,9 @@ fn fpu32_matches_golden() {
         let xv = mk(&mut rng);
         let yv = mk(&mut rng);
         let mul = i % 2 == 1;
-        sim.set_input(x, v(32, xv as u64));
-        sim.set_input(y, v(32, yv as u64));
-        sim.set_input(op_mul, v(1, mul as u64));
+        sim.set_input(x, &v(32, xv as u64));
+        sim.set_input(y, &v(32, yv as u64));
+        sim.set_input(op_mul, &v(1, mul as u64));
         sim.clock_cycle(clk);
         let expect = golden::fpu32(mul, xv, yv);
         assert_eq!(
@@ -116,10 +116,10 @@ fn check_sha(bench: Benchmark) {
     let digest = d.find_signal("digest").unwrap();
     let done = d.find_signal("done").unwrap();
     let mut sim = Simulator::new(&d);
-    sim.set_input(rst, v(1, 1));
-    sim.set_input(start, v(1, 0));
+    sim.set_input(rst, &v(1, 1));
+    sim.set_input(start, &v(1, 0));
     sim.clock_cycle(clk);
-    sim.set_input(rst, v(1, 0));
+    sim.set_input(rst, &v(1, 0));
     let mut rng = Lcg::new(5);
     for hash in 0..3 {
         // Build a block; words[0] is bits 511..480.
@@ -137,10 +137,10 @@ fn check_sha(bench: Benchmark) {
         for (i, w) in words.iter().enumerate() {
             blk.assign_slice(511 - 32 * i as u32 - 31, &v(32, *w as u64));
         }
-        sim.set_input(block, blk);
-        sim.set_input(start, v(1, 1));
+        sim.set_input(block, &blk);
+        sim.set_input(start, &v(1, 1));
         sim.clock_cycle(clk);
-        sim.set_input(start, v(1, 0));
+        sim.set_input(start, &v(1, 0));
         for _ in 0..66 {
             sim.clock_cycle(clk);
         }
@@ -199,16 +199,16 @@ fn conv_acc_matches_golden() {
         x
     };
     let mut sim = Simulator::new(&d);
-    sim.set_input(rst, v(1, 1));
-    sim.set_input(load_w, v(1, 0));
-    sim.set_input(valid_in, v(1, 0));
+    sim.set_input(rst, &v(1, 1));
+    sim.set_input(load_w, &v(1, 0));
+    sim.set_input(valid_in, &v(1, 0));
     sim.clock_cycle(clk);
-    sim.set_input(rst, v(1, 0));
-    sim.set_input(load_w, v(1, 1));
-    sim.set_input(weights, pack(&wbytes));
+    sim.set_input(rst, &v(1, 0));
+    sim.set_input(load_w, &v(1, 1));
+    sim.set_input(weights, &pack(&wbytes));
     sim.clock_cycle(clk);
-    sim.set_input(load_w, v(1, 0));
-    sim.set_input(valid_in, v(1, 1));
+    sim.set_input(load_w, &v(1, 0));
+    sim.set_input(valid_in, &v(1, 1));
 
     // Data latency: window -> PE accumulators (1 cycle) -> pixel_out
     // (1 more). The valid pipeline is one stage deeper, so the first
@@ -221,7 +221,7 @@ fn conv_acc_matches_golden() {
             *b = rng.below(256) as u8;
         }
         expected.push(golden::conv3x3(&win, &wbytes));
-        sim.set_input(window, pack(&win));
+        sim.set_input(window, &pack(&win));
         sim.clock_cycle(clk);
         if i >= 2 {
             assert_eq!(sim.value(valid_out).to_u64(), Some(1), "cycle {i}");

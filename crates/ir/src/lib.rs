@@ -27,6 +27,7 @@ pub mod expr;
 pub mod ids;
 pub mod node;
 pub mod stmt;
+pub mod tape;
 pub mod vdg;
 
 pub use design::{
@@ -40,4 +41,8 @@ pub use expr::{BinaryOp, Expr, UnaryOp};
 pub use ids::{BehavioralId, DecisionId, RtlNodeId, SegmentId, SignalId};
 pub use node::{BehavioralNode, EdgeKind, RtlNode, RtlOp, Sensitivity};
 pub use stmt::{CaseArm, CaseKind, LValue, Stmt};
+pub use tape::{
+    compile_expr, run_tape, tapes_for_backend, BehavioralTapes, DecisionTape, EvalBackend,
+    EvalTape, SegmentTapes, TapeProgram, TapeRef, TapeScratch,
+};
 pub use vdg::{DecisionEval, DecisionInfo, SegmentInfo, Vdg, VdgNode};

@@ -399,11 +399,31 @@ impl LogicVec {
         }
     }
 
+    /// The shift amount `amount` encodes, saturated to "shift everything
+    /// out" (`self.width()`), or `None` for a genuinely unknown amount.
+    ///
+    /// A fully-defined amount that merely does not fit in 64 bits is still
+    /// a valid (huge) shift count — it saturates like any amount `>=
+    /// width`, it does not poison the result. Only `X`/`Z` bits in the
+    /// amount yield `None` (and an all-`X` result in the callers).
+    #[inline]
+    fn saturated_shift_amount(&self, amount: &LogicVec) -> Option<u32> {
+        if amount.has_unknown() {
+            return None;
+        }
+        Some(match amount.to_u64() {
+            Some(n) => n.min(self.width() as u64) as u32,
+            // Defined but wider than 64 bits: shifts everything out.
+            None => self.width(),
+        })
+    }
+
     /// In-place left shift by a vector amount; all-`X` if the amount has
-    /// unknowns.
+    /// unknowns, zero fill when a defined amount reaches or exceeds the
+    /// width (however wide the amount vector is).
     pub fn shl_vec_assign(&mut self, amount: &LogicVec) {
-        match amount.to_u64() {
-            Some(n) => self.shl_assign(n.min(self.width() as u64) as u32),
+        match self.saturated_shift_amount(amount) {
+            Some(n) => self.shl_assign(n),
             None => {
                 let w = self.width();
                 self.make_x(w);
@@ -412,10 +432,11 @@ impl LogicVec {
     }
 
     /// In-place logical right shift by a vector amount; all-`X` if the
-    /// amount has unknowns.
+    /// amount has unknowns, zero fill when a defined amount reaches or
+    /// exceeds the width.
     pub fn lshr_vec_assign(&mut self, amount: &LogicVec) {
-        match amount.to_u64() {
-            Some(n) => self.lshr_assign(n.min(self.width() as u64) as u32),
+        match self.saturated_shift_amount(amount) {
+            Some(n) => self.lshr_assign(n),
             None => {
                 let w = self.width();
                 self.make_x(w);
@@ -424,10 +445,11 @@ impl LogicVec {
     }
 
     /// In-place arithmetic right shift by a vector amount; all-`X` if the
-    /// amount has unknowns.
+    /// amount has unknowns, sign (MSB) fill when a defined amount reaches
+    /// or exceeds the width.
     pub fn ashr_vec_assign(&mut self, amount: &LogicVec) {
-        match amount.to_u64() {
-            Some(n) => self.ashr_assign(n.min(self.width() as u64) as u32),
+        match self.saturated_shift_amount(amount) {
+            Some(n) => self.ashr_assign(n),
             None => {
                 let w = self.width();
                 self.make_x(w);

@@ -309,6 +309,37 @@ impl LogicVec {
         self
     }
 
+    /// The least-significant word of each plane as `(aval, bval)`.
+    ///
+    /// For vectors up to 64 bits wide this is the complete value (both
+    /// planes are normalized, so bits at positions `>= width` are zero) —
+    /// the read half of the single-word fast paths used by compiled
+    /// evaluation tapes. Wider vectors return only their low word.
+    #[inline]
+    pub fn word_planes(&self) -> (u64, u64) {
+        match &self.buf {
+            Buf::Inline { aval, bval } => (*aval, *bval),
+            Buf::Heap(words) => (words[0], words[words.len() / 2]),
+        }
+    }
+
+    /// Makes `self` a `width`-bit vector (`width <= 64`) with the given
+    /// plane words, masking bits at positions `>= width`. Never allocates —
+    /// the write half of the single-word fast paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    #[inline]
+    pub fn assign_word(&mut self, width: u32, aval: u64, bval: u64) {
+        assert!(
+            width > 0 && width <= 64,
+            "assign_word width must be in 1..=64, got {width}"
+        );
+        let m = top_word_mask(width);
+        self.set_inline(width, aval & m, bval & m);
+    }
+
     /// The two planes as plain words when the value is inline (width <=
     /// 64), for branch-light fast paths in the operators.
     #[inline]

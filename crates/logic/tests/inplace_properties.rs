@@ -324,6 +324,89 @@ fn shift_assign_matches_u128_oracle_and_pure_form() {
     }
 }
 
+/// A *fully-defined* shift amount that does not fit in `u64` is still a
+/// valid (huge) count: it must saturate to "everything shifted out" — zero
+/// fill for `<<` / `>>`, sign fill for `>>>` — exactly as a constant amount
+/// `>= width` does. Only genuinely unknown (`X`/`Z`) amounts may poison the
+/// result to all-`X`.
+#[test]
+fn wide_defined_shift_amounts_saturate_not_x() {
+    let mut rng = XorShift::new(0x5111f7ed);
+    for _ in 0..CASES {
+        let w = rng.width();
+        let l = rng.vec(w, false);
+        // A defined amount vector wider than 64 bits with a high word bit
+        // set, so to_u64() is None although nothing is unknown.
+        let mut amt = LogicVec::zeros(65 + rng.below(64) as u32);
+        amt.set_bit(64, LogicBit::One);
+        if rng.below(2) == 0 {
+            amt.set_bit(rng.below(64) as u32, LogicBit::One);
+        }
+        assert!(!amt.has_unknown() && amt.to_u64().is_none());
+
+        // Oracle: identical to shifting by the (saturating) width itself.
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.shl_vec_assign(&amt);
+        assert_eq!(out, l.shl(w), "shl by wide defined amount");
+        assert_eq!(out, LogicVec::zeros(w));
+        assert_eq!(l.shl_vec(&amt), out);
+
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.lshr_vec_assign(&amt);
+        assert_eq!(out, l.lshr(w), "lshr by wide defined amount");
+        assert_eq!(out, LogicVec::zeros(w));
+        assert_eq!(l.lshr_vec(&amt), out);
+
+        let mut out = rng.dirty();
+        out.assign_from(&l);
+        out.ashr_vec_assign(&amt);
+        assert_eq!(out, l.ashr(w), "ashr by wide defined amount");
+        // Sign fill: the MSB everywhere (X-fill for an undefined MSB).
+        let msb = l.bit(w - 1);
+        let fill = if msb.is_defined() { msb } else { LogicBit::X };
+        assert_eq!(out, LogicVec::filled(w, fill));
+        assert_eq!(l.ashr_vec(&amt), out);
+    }
+}
+
+/// Unknown amounts — whether the unknown bit sits below or above bit 64 —
+/// still produce all-`X` results for every vector-amount shift.
+#[test]
+fn unknown_shift_amounts_are_all_x_at_any_amount_width() {
+    let mut rng = XorShift::new(0xa11f00d);
+    for amt_w in [3u32, 64, 65, 128] {
+        for _ in 0..40 {
+            let w = rng.width();
+            let l = rng.vec(w, false);
+            let mut amt = LogicVec::zeros(amt_w);
+            let pos = rng.below(amt_w as u64) as u32;
+            amt.set_bit(
+                pos,
+                if rng.below(2) == 0 {
+                    LogicBit::X
+                } else {
+                    LogicBit::Z
+                },
+            );
+            for (inplace, pure) in [
+                (LogicVec::shl_vec_assign as fn(&mut LogicVec, &LogicVec), {
+                    LogicVec::shl_vec as fn(&LogicVec, &LogicVec) -> LogicVec
+                }),
+                (LogicVec::lshr_vec_assign, LogicVec::lshr_vec),
+                (LogicVec::ashr_vec_assign, LogicVec::ashr_vec),
+            ] {
+                let mut out = rng.dirty();
+                out.assign_from(&l);
+                inplace(&mut out, &amt);
+                assert_eq!(out, LogicVec::new_x(w), "amount width {amt_w}");
+                assert_eq!(pure(&l, &amt), out);
+            }
+        }
+    }
+}
+
 #[test]
 fn comparisons_match_u128_oracle_without_allocating_semantics() {
     let mut rng = XorShift::new(0xc0ffee);

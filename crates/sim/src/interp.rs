@@ -23,8 +23,8 @@
 //! fault view for committed state".
 
 use eraser_ir::{
-    eval_expr_into, BehavioralNode, DecisionId, Design, EvalScratch, LValue, SegmentId, SignalId,
-    Stmt, ValueSource, Vdg,
+    eval_expr_into, run_tape, BehavioralNode, BehavioralTapes, DecisionId, Design, EvalScratch,
+    EvalTape, LValue, SegmentId, SignalId, Stmt, TapeScratch, ValueSource, Vdg,
 };
 use eraser_logic::LogicVec;
 
@@ -143,8 +143,15 @@ pub struct ExecOutcome {
 /// the allocator.
 #[derive(Debug, Clone, Default)]
 pub struct ExecCtx {
-    /// Expression-evaluation scratch arena.
+    /// Expression-evaluation scratch arena (tree backend).
     pub scratch: EvalScratch,
+    /// Tape-execution slot arena (tape backend).
+    pub tape: TapeScratch,
+    /// Dense per-signal index into the blocking-write overlay
+    /// (`u32::MAX` = not overlaid), sized to the design on first use and
+    /// cleared after every execution — signal reads during a body resolve
+    /// locals in O(1) instead of scanning the overlay list.
+    overlay_map: Vec<u32>,
 }
 
 impl ExecCtx {
@@ -221,31 +228,76 @@ pub fn execute_into<S: ValueSource + ?Sized, M: ExecMonitor + ?Sized>(
     ctx: &mut ExecCtx,
     out: &mut ExecOutcome,
 ) {
+    execute_backend_into(design, node, None, base, monitor, ctx, out)
+}
+
+/// [`execute_into`] on the compiled-tape backend: right-hand sides, branch
+/// decisions and dynamic lvalue indices are evaluated by replaying the
+/// node's pre-compiled [`BehavioralTapes`] instead of walking its
+/// expression trees. Bit-identical outcomes, same zero-allocation
+/// guarantees (the tape slot arena lives in `ctx`).
+pub fn execute_tape_into<S: ValueSource + ?Sized, M: ExecMonitor + ?Sized>(
+    design: &Design,
+    node: &BehavioralNode,
+    tapes: &BehavioralTapes,
+    base: &S,
+    monitor: &mut M,
+    ctx: &mut ExecCtx,
+    out: &mut ExecOutcome,
+) {
+    execute_backend_into(design, node, Some(tapes), base, monitor, ctx, out)
+}
+
+fn execute_backend_into<S: ValueSource + ?Sized, M: ExecMonitor + ?Sized>(
+    design: &Design,
+    node: &BehavioralNode,
+    tapes: Option<&BehavioralTapes>,
+    base: &S,
+    monitor: &mut M,
+    ctx: &mut ExecCtx,
+    out: &mut ExecOutcome,
+) {
     out.clear();
+    if ctx.overlay_map.len() < design.num_signals() {
+        ctx.overlay_map.resize(design.num_signals(), u32::MAX);
+    }
     let mut interp = Interp {
         design,
         vdg: &node.vdg,
+        tapes,
         base,
         overlay: &mut out.blocking,
+        overlay_map: &mut ctx.overlay_map,
         nba: &mut out.nba,
         blocking_writes: &mut out.blocking_writes,
         scratch: &mut ctx.scratch,
+        tape_scratch: &mut ctx.tape,
         monitor,
         node_name: &node.name,
     };
     interp.exec_stmt(&node.body);
+    // Reset the dense index for the next activation (only the overlaid
+    // signals were touched).
+    for (sig, _) in &out.blocking {
+        ctx.overlay_map[sig.index()] = u32::MAX;
+    }
 }
 
 struct Interp<'a, S: ?Sized, M: ?Sized> {
     design: &'a Design,
     vdg: &'a Vdg,
+    /// Compiled tapes of this node when running on the tape backend.
+    tapes: Option<&'a BehavioralTapes>,
     base: &'a S,
-    /// Blocking-write overlay, first-write order, linear scan (bodies write
-    /// few signals). Doubles as the outcome's final-values list.
+    /// Blocking-write overlay, first-write order. Doubles as the
+    /// outcome's final-values list.
     overlay: &'a mut Vec<(SignalId, LogicVec)>,
+    /// Dense per-signal index into `overlay` (`u32::MAX` = absent).
+    overlay_map: &'a mut Vec<u32>,
     nba: &'a mut Vec<SlotWrite>,
     blocking_writes: &'a mut Vec<SlotWrite>,
     scratch: &'a mut EvalScratch,
+    tape_scratch: &'a mut TapeScratch,
     monitor: &'a mut M,
     node_name: &'a str,
 }
@@ -271,25 +323,51 @@ impl<S: ValueSource + ?Sized> ValueSource for OverlayView<'_, S> {
     }
 }
 
+/// The interpreter's internal overlay view: resolves blocking-written
+/// locals through a dense per-signal index in O(1) (the overlay holds at
+/// most one entry per signal, kept current in place), everything else from
+/// the base source. Equivalent to [`OverlayView`], which remains the
+/// allocation-free general form for monitors that overlay arbitrary
+/// slices.
+struct MappedOverlay<'a, S: ?Sized> {
+    overlay: &'a [(SignalId, LogicVec)],
+    map: &'a [u32],
+    base: &'a S,
+}
+
+impl<S: ValueSource + ?Sized> ValueSource for MappedOverlay<'_, S> {
+    fn value(&self, sig: SignalId) -> &LogicVec {
+        match self.map[sig.index()] {
+            u32::MAX => self.base.value(sig),
+            i => &self.overlay[i as usize].1,
+        }
+    }
+}
+
 impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
     /// Evaluates `e` under the overlay view into `out`, drawing temporaries
     /// from the context's scratch arena.
     fn eval_into(&mut self, e: &eraser_ir::Expr, out: &mut LogicVec) {
-        let view = OverlayView {
+        let view = MappedOverlay {
             overlay: self.overlay,
+            map: self.overlay_map,
             base: self.base,
         };
         eval_expr_into(e, &view, self.scratch, out);
     }
 
     fn decide(&mut self, id: DecisionId) -> u32 {
-        let view = OverlayView {
+        let view = MappedOverlay {
             overlay: self.overlay,
+            map: self.overlay_map,
             base: self.base,
         };
-        self.vdg.decisions[id.index()]
-            .eval
-            .evaluate_with(&view, self.scratch)
+        match self.tapes {
+            Some(bt) => bt.decisions[id.index()].evaluate_with(&view, self.tape_scratch),
+            None => self.vdg.decisions[id.index()]
+                .eval
+                .evaluate_with(&view, self.scratch),
+        }
     }
 
     fn exec_stmt(&mut self, stmt: &Stmt) {
@@ -308,8 +386,20 @@ impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
             } => {
                 self.monitor.on_segment(*segment, self.overlay);
                 let mut value = self.scratch.take();
-                self.eval_into(rhs, &mut value);
-                let write = match self.resolve_write(lhs, value) {
+                let seg_tapes = self.tapes.map(|bt| &bt.segments[segment.index()]);
+                match seg_tapes {
+                    Some(st) => {
+                        let view = MappedOverlay {
+                            overlay: self.overlay,
+                            map: self.overlay_map,
+                            base: self.base,
+                        };
+                        run_tape(&st.rhs, &view, self.tape_scratch, &mut value);
+                    }
+                    None => self.eval_into(rhs, &mut value),
+                }
+                let lv_tape = seg_tapes.and_then(|st| st.lv_index.as_ref());
+                let write = match self.resolve_write(lhs, lv_tape, value) {
                     Ok(write) => write,
                     // Unknown/out-of-range dynamic index: no write; the
                     // value buffer goes back to the pool.
@@ -382,11 +472,17 @@ impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
     }
 
     /// Resolves an lvalue into a concrete [`SlotWrite`], sizing `value` to
-    /// the written range (a no-op when the width already matches). Returns
-    /// the untouched value buffer as `Err` for unknown or out-of-range
-    /// dynamic indices (no bits are written, per simulator convention), so
-    /// the caller can recycle it.
-    fn resolve_write(&mut self, lhs: &LValue, value: LogicVec) -> Result<SlotWrite, LogicVec> {
+    /// the written range (a no-op when the width already matches). Dynamic
+    /// indices evaluate through `lv_tape` on the tape backend. Returns the
+    /// untouched value buffer as `Err` for unknown or out-of-range dynamic
+    /// indices (no bits are written, per simulator convention), so the
+    /// caller can recycle it.
+    fn resolve_write(
+        &mut self,
+        lhs: &LValue,
+        lv_tape: Option<&EvalTape>,
+        value: LogicVec,
+    ) -> Result<SlotWrite, LogicVec> {
         match lhs {
             LValue::Full(sig) => Ok(SlotWrite {
                 target: *sig,
@@ -399,7 +495,7 @@ impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
                 value: value.into_width(hi - lo + 1),
             }),
             LValue::BitSelect { base, index } => {
-                let Some(idx) = self.eval_index(index) else {
+                let Some(idx) = self.eval_index(index, lv_tape) else {
                     return Err(value);
                 };
                 let width = self.design.signal(*base).width;
@@ -413,7 +509,7 @@ impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
                 })
             }
             LValue::IndexedPart { base, start, width } => {
-                let Some(s) = self.eval_index(start) else {
+                let Some(s) = self.eval_index(start, lv_tape) else {
                     return Err(value);
                 };
                 let sig_w = self.design.signal(*base).width as u64;
@@ -430,9 +526,19 @@ impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
     }
 
     /// Evaluates a dynamic lvalue index, returning `None` when unknown.
-    fn eval_index(&mut self, e: &eraser_ir::Expr) -> Option<u64> {
+    fn eval_index(&mut self, e: &eraser_ir::Expr, lv_tape: Option<&EvalTape>) -> Option<u64> {
         let mut idx = self.scratch.take();
-        self.eval_into(e, &mut idx);
+        match lv_tape {
+            Some(t) => {
+                let view = MappedOverlay {
+                    overlay: self.overlay,
+                    map: self.overlay_map,
+                    base: self.base,
+                };
+                run_tape(t, &view, self.tape_scratch, &mut idx);
+            }
+            None => self.eval_into(e, &mut idx),
+        }
         let r = idx.to_u64();
         self.scratch.put(idx);
         r
@@ -444,8 +550,9 @@ impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
     fn apply_last_blocking(&mut self) {
         let w = self.blocking_writes.last().expect("just pushed");
         let sig = w.target;
-        if let Some((_, slot)) = self.overlay.iter_mut().find(|(s, _)| *s == sig) {
-            w.apply_assign(slot);
+        let idx = self.overlay_map[sig.index()];
+        if idx != u32::MAX {
+            w.apply_assign(&mut self.overlay[idx as usize].1);
             return;
         }
         let mut cur = self.scratch.take();
@@ -457,6 +564,7 @@ impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
                 w.apply_assign(&mut cur);
             }
         }
+        self.overlay_map[sig.index()] = self.overlay.len() as u32;
         self.overlay.push((sig, cur));
     }
 }

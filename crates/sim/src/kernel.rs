@@ -1,10 +1,15 @@
 //! The event-driven good (fault-free) simulator.
 
-use crate::interp::{execute_into, ExecCtx, ExecOutcome, NoopMonitor, SlotWrite};
+use crate::interp::{
+    execute_into, execute_tape_into, ExecCtx, ExecOutcome, NoopMonitor, SlotWrite,
+};
 use crate::rtl_eval::eval_rtl_node_into;
 use crate::stimulus::Stimulus;
 use crate::store::ValueStore;
-use eraser_ir::{BehavioralId, Design, RtlNodeId, Sensitivity, SignalId};
+use eraser_ir::{
+    run_tape, tapes_for_backend, BehavioralId, Design, EvalBackend, RtlNodeId, Sensitivity,
+    SignalId, TapeProgram, TapeRef,
+};
 use eraser_logic::LogicVec;
 
 /// Bound on delta cycles per step (oscillation guard; combinational cycles
@@ -32,6 +37,9 @@ const DELTA_LIMIT: usize = 10_000;
 #[derive(Debug, Clone)]
 pub struct Simulator<'d> {
     design: &'d Design,
+    /// Compiled evaluation tapes when running on the tape backend
+    /// (`None` = tree walker).
+    tapes: Option<TapeRef<'d>>,
     values: ValueStore,
     /// Values as of the last edge-detection point, for all signals watched
     /// by edge-triggered nodes.
@@ -57,9 +65,11 @@ pub struct Simulator<'d> {
     outcome: ExecOutcome,
     /// RTL node output buffer.
     rtl_out: LogicVec,
-    /// Commit temporaries (force application, NBA write folding).
+    /// Commit temporaries (force application, NBA write folding, input
+    /// resize).
     tmp: LogicVec,
     nba_tmp: LogicVec,
+    in_tmp: LogicVec,
     /// Swap buffer for draining `watch_changed` without losing capacity.
     ws_changed: Vec<SignalId>,
     /// Edge-activated nodes of the current delta.
@@ -68,8 +78,27 @@ pub struct Simulator<'d> {
 
 impl<'d> Simulator<'d> {
     /// Creates a simulator with all signals at `X` and performs the initial
-    /// evaluation (constants and combinational logic settle).
+    /// evaluation (constants and combinational logic settle). The
+    /// evaluation backend follows `ERASER_EVAL` (tree walker by default);
+    /// use [`Simulator::with_backend`] to pin one explicitly.
     pub fn new(design: &'d Design) -> Self {
+        Self::with_backend(design, EvalBackend::from_env())
+    }
+
+    /// Creates a simulator pinned to `backend` (compiling a private tape
+    /// program for [`EvalBackend::Tape`]).
+    pub fn with_backend(design: &'d Design, backend: EvalBackend) -> Self {
+        Self::build(design, tapes_for_backend(design, backend))
+    }
+
+    /// Creates a simulator on the tape backend executing a shared,
+    /// pre-compiled program — what per-fault re-simulation baselines use to
+    /// compile once per campaign instead of once per fault.
+    pub fn with_tapes(design: &'d Design, tapes: &'d TapeProgram) -> Self {
+        Self::build(design, Some(TapeRef::Shared(tapes)))
+    }
+
+    fn build(design: &'d Design, tapes: Option<TapeRef<'d>>) -> Self {
         let values = ValueStore::new(design);
         let edge_prev = design
             .signals()
@@ -78,6 +107,7 @@ impl<'d> Simulator<'d> {
             .collect();
         let mut sim = Simulator {
             design,
+            tapes,
             values,
             edge_prev,
             rtl_dirty: vec![false; design.rtl_nodes().len()],
@@ -94,6 +124,7 @@ impl<'d> Simulator<'d> {
             rtl_out: LogicVec::default(),
             tmp: LogicVec::default(),
             nba_tmp: LogicVec::default(),
+            in_tmp: LogicVec::default(),
             ws_changed: Vec::new(),
             ws_activated: Vec::new(),
         };
@@ -130,16 +161,26 @@ impl<'d> Simulator<'d> {
     }
 
     /// Drives a primary input (or, for testing, forces any signal) to
-    /// `value`. A width-matching value is committed as-is (no resize, no
-    /// clone) and an unchanged value skips the commit entirely. Fanout is
-    /// scheduled if the value changed; call [`Simulator::step`] to
-    /// propagate.
-    pub fn set_input(&mut self, sig: SignalId, value: LogicVec) {
-        let value = value.into_width(self.design.signal(sig).width);
-        if self.forces.is_empty() && self.values.get(sig) == &value {
+    /// `value`, by borrow — a width-matching value is committed straight
+    /// from the caller's storage (no resize, no clone), an unchanged value
+    /// skips the commit entirely, and a mismatched width resizes through a
+    /// pooled temporary. Fanout is scheduled if the value changed; call
+    /// [`Simulator::step`] to propagate.
+    pub fn set_input(&mut self, sig: SignalId, value: &LogicVec) {
+        let width = self.design.signal(sig).width;
+        if value.width() == width {
+            if self.forces.is_empty() && self.values.get(sig) == value {
+                return;
+            }
+            self.commit_borrowed(sig, value);
             return;
         }
-        self.commit_value(sig, value);
+        let mut resized = std::mem::take(&mut self.in_tmp);
+        resized.copy_resized(value, width);
+        if !(self.forces.is_empty() && self.values.get(sig) == &resized) {
+            self.commit_borrowed(sig, &resized);
+        }
+        self.in_tmp = resized;
     }
 
     /// Permanently forces one bit of a signal — the `force` command used by
@@ -212,17 +253,18 @@ impl<'d> Simulator<'d> {
     /// Convenience: one full clock cycle on `clk` (drive low, settle, drive
     /// high, settle) — one rising edge per call.
     pub fn clock_cycle(&mut self, clk: SignalId) {
-        self.set_input(clk, LogicVec::from_u64(1, 0));
+        self.set_input(clk, &LogicVec::from_u64(1, 0));
         self.step();
-        self.set_input(clk, LogicVec::from_u64(1, 1));
+        self.set_input(clk, &LogicVec::from_u64(1, 1));
         self.step();
     }
 
-    /// Applies every step of a stimulus, settling after each.
+    /// Applies every step of a stimulus, settling after each. Values are
+    /// read by borrow — the whole replay is clone-free.
     pub fn run_stimulus(&mut self, stim: &Stimulus) {
         for step in &stim.steps {
             for (sig, val) in step {
-                self.set_input(*sig, val.clone());
+                self.set_input(*sig, val);
             }
             self.step();
         }
@@ -267,7 +309,21 @@ impl<'d> Simulator<'d> {
                 self.rtl_dirty[id.index()] = false;
                 let node = design.rtl_node(id);
                 let mut out = std::mem::take(&mut self.rtl_out);
-                eval_rtl_node_into(design, node, &self.values, &mut self.ctx.scratch, &mut out);
+                match &self.tapes {
+                    Some(t) => run_tape(
+                        t.program().rtl(id.index()),
+                        &self.values,
+                        &mut self.ctx.tape,
+                        &mut out,
+                    ),
+                    None => eval_rtl_node_into(
+                        design,
+                        node,
+                        &self.values,
+                        &mut self.ctx.scratch,
+                        &mut out,
+                    ),
+                }
                 self.commit_borrowed(node.output, &out);
                 self.rtl_out = out;
                 continue;
@@ -288,14 +344,25 @@ impl<'d> Simulator<'d> {
         let design = self.design;
         let node = design.behavioral(id);
         let mut outcome = std::mem::take(&mut self.outcome);
-        execute_into(
-            design,
-            node,
-            &self.values,
-            &mut NoopMonitor,
-            &mut self.ctx,
-            &mut outcome,
-        );
+        match &self.tapes {
+            Some(t) => execute_tape_into(
+                design,
+                node,
+                t.program().behavioral(id.index()),
+                &self.values,
+                &mut NoopMonitor,
+                &mut self.ctx,
+                &mut outcome,
+            ),
+            None => execute_into(
+                design,
+                node,
+                &self.values,
+                &mut NoopMonitor,
+                &mut self.ctx,
+                &mut outcome,
+            ),
+        }
         for (sig, val) in &outcome.blocking {
             self.commit_borrowed(*sig, val);
         }
@@ -388,8 +455,8 @@ mod tests {
         let b = d.find_signal("b").unwrap();
         let x = d.find_signal("x").unwrap();
         let mut sim = Simulator::new(&d);
-        sim.set_input(a, v(4, 0xc));
-        sim.set_input(b, v(4, 0xa));
+        sim.set_input(a, &v(4, 0xc));
+        sim.set_input(b, &v(4, 0xa));
         sim.step();
         assert_eq!(sim.value(x).to_u64(), Some(0x9));
     }
@@ -409,10 +476,10 @@ mod tests {
         let rst = d.find_signal("rst").unwrap();
         let q = d.find_signal("q").unwrap();
         let mut sim = Simulator::new(&d);
-        sim.set_input(rst, v(1, 1));
+        sim.set_input(rst, &v(1, 1));
         sim.clock_cycle(clk);
         assert_eq!(sim.value(q).to_u64(), Some(0));
-        sim.set_input(rst, v(1, 0));
+        sim.set_input(rst, &v(1, 0));
         for _ in 0..3 {
             sim.clock_cycle(clk);
         }
@@ -438,10 +505,10 @@ mod tests {
         let x = d.find_signal("x").unwrap();
         let y = d.find_signal("y").unwrap();
         let mut sim = Simulator::new(&d);
-        sim.set_input(ld, v(1, 1));
-        sim.set_input(a, v(4, 9));
+        sim.set_input(ld, &v(1, 1));
+        sim.set_input(a, &v(4, 9));
         sim.clock_cycle(clk);
-        sim.set_input(ld, v(1, 0));
+        sim.set_input(ld, &v(1, 0));
         sim.clock_cycle(clk);
         // Swapped simultaneously through NBAs.
         assert_eq!(sim.value(x).to_u64(), Some(0));
@@ -468,11 +535,11 @@ mod tests {
         let q = d.find_signal("q").unwrap();
         let mut sim = Simulator::new(&d);
         // Drop reset without any clock: q clears asynchronously.
-        sim.set_input(rst_n, v(1, 0));
+        sim.set_input(rst_n, &v(1, 0));
         sim.step();
         assert_eq!(sim.value(q).to_u64(), Some(0));
-        sim.set_input(rst_n, v(1, 1));
-        sim.set_input(a, v(4, 7));
+        sim.set_input(rst_n, &v(1, 1));
+        sim.set_input(a, &v(4, 7));
         sim.clock_cycle(clk);
         assert_eq!(sim.value(q).to_u64(), Some(7));
     }
@@ -498,15 +565,15 @@ mod tests {
         let b = d.find_signal("b").unwrap();
         let y = d.find_signal("y").unwrap();
         let mut sim = Simulator::new(&d);
-        sim.set_input(a, v(4, 0x3));
-        sim.set_input(b, v(4, 0x5));
-        sim.set_input(s, v(2, 0));
+        sim.set_input(a, &v(4, 0x3));
+        sim.set_input(b, &v(4, 0x5));
+        sim.set_input(s, &v(2, 0));
         sim.step();
         assert_eq!(sim.value(y).to_u64(), Some(3));
-        sim.set_input(s, v(2, 1));
+        sim.set_input(s, &v(2, 1));
         sim.step();
         assert_eq!(sim.value(y).to_u64(), Some(5));
-        sim.set_input(s, v(2, 2));
+        sim.set_input(s, &v(2, 2));
         sim.step();
         assert_eq!(sim.value(y).to_u64(), Some(6));
     }
@@ -529,9 +596,63 @@ mod tests {
         let din = d.find_signal("din").unwrap();
         let dout = d.find_signal("dout").unwrap();
         let mut sim = Simulator::new(&d);
-        sim.set_input(din, v(8, 10));
+        sim.set_input(din, &v(8, 10));
         sim.clock_cycle(clk);
         sim.clock_cycle(clk);
         assert_eq!(sim.value(dout).to_u64(), Some(12));
+    }
+
+    #[test]
+    fn tape_backend_matches_tree_backend_in_lockstep() {
+        use eraser_ir::EvalBackend;
+        // RTL nodes, a casez decoder, dynamic bit writes and NBAs — every
+        // evaluation path the tape backend serves, compared signal-for-
+        // signal against the tree walker after every settle step.
+        let d = compile(
+            "module m(input wire clk, input wire rst, input wire [3:0] a,
+                      input wire [2:0] i, output reg [7:0] q, output wire [7:0] w);
+               reg [7:0] acc;
+               assign w = (acc << a[1:0]) ^ {a, a};
+               always @(posedge clk) begin
+                 if (rst) begin acc <= 8'h00; q <= 8'h00; end
+                 else begin
+                   casez (a)
+                     4'b1???: acc <= acc + {4'h0, a};
+                     4'b01??: acc <= acc ^ 8'h3c;
+                     default: acc <= acc - 8'h01;
+                   endcase
+                   q[i] <= a[0];
+                 end
+               end
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let sigs: Vec<_> = ["clk", "rst", "a", "i", "q", "w", "acc"]
+            .iter()
+            .map(|n| d.find_signal(n).unwrap())
+            .collect();
+        let (clk, rst, a, i) = (sigs[0], sigs[1], sigs[2], sigs[3]);
+        let mut tree = Simulator::with_backend(&d, EvalBackend::Tree);
+        let mut tape = Simulator::with_backend(&d, EvalBackend::Tape);
+        let drive = |tree: &mut Simulator, tape: &mut Simulator, sig, val: &LogicVec| {
+            tree.set_input(sig, val);
+            tree.step();
+            tape.set_input(sig, val);
+            tape.step();
+        };
+        drive(&mut tree, &mut tape, rst, &v(1, 1));
+        for cycle in 0..24u64 {
+            drive(&mut tree, &mut tape, a, &v(4, cycle * 7 % 16));
+            drive(&mut tree, &mut tape, i, &v(3, cycle * 3 % 8));
+            if cycle == 1 {
+                drive(&mut tree, &mut tape, rst, &v(1, 0));
+            }
+            drive(&mut tree, &mut tape, clk, &v(1, 0));
+            drive(&mut tree, &mut tape, clk, &v(1, 1));
+            for &s in &sigs {
+                assert_eq!(tree.value(s), tape.value(s), "cycle {cycle}");
+            }
+        }
     }
 }

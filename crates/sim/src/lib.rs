@@ -34,9 +34,9 @@
 //! let rst = design.find_signal("rst").unwrap();
 //! let q = design.find_signal("q").unwrap();
 //! let mut sim = Simulator::new(&design);
-//! sim.set_input(rst, LogicVec::from_u64(1, 1));
+//! sim.set_input(rst, &LogicVec::from_u64(1, 1));
 //! sim.clock_cycle(clk);
-//! sim.set_input(rst, LogicVec::from_u64(1, 0));
+//! sim.set_input(rst, &LogicVec::from_u64(1, 0));
 //! for _ in 0..5 {
 //!     sim.clock_cycle(clk);
 //! }
@@ -52,8 +52,8 @@ mod store;
 mod vcd;
 
 pub use interp::{
-    execute_behavioral, execute_into, execute_monitored, ExecCtx, ExecMonitor, ExecOutcome,
-    ExecTrace, NoopMonitor, OverlayView, SlotWrite, TraceEvent, TraceMonitor,
+    execute_behavioral, execute_into, execute_monitored, execute_tape_into, ExecCtx, ExecMonitor,
+    ExecOutcome, ExecTrace, NoopMonitor, OverlayView, SlotWrite, TraceEvent, TraceMonitor,
 };
 pub use kernel::Simulator;
 pub use rtl_eval::{eval_rtl_node, eval_rtl_node_into, eval_rtl_op, eval_rtl_op_with};

@@ -165,10 +165,10 @@ mod tests {
         let mut sim = Simulator::new(&design);
         let mut buf = Vec::new();
         let mut vcd = VcdWriter::new(&mut buf, &design, &[clk, rst, q]).unwrap();
-        sim.set_input(rst, LogicVec::from_u64(1, 1));
+        sim.set_input(rst, &LogicVec::from_u64(1, 1));
         sim.clock_cycle(clk);
         vcd.sample(&sim).unwrap();
-        sim.set_input(rst, LogicVec::from_u64(1, 0));
+        sim.set_input(rst, &LogicVec::from_u64(1, 0));
         for _ in 0..2 {
             sim.clock_cycle(clk);
             vcd.sample(&sim).unwrap();

@@ -8,14 +8,17 @@
 //! eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]
 //!        [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]
 //!        [--threads N] [--partition contiguous|round-robin|site-affinity]
+//!        [--eval tree|tape]
 //! ```
 //!
 //! `--threads N` runs the campaign fault-parallel over N worker threads
 //! (0 = one per hardware thread); `--partition` picks the fault-sharding
-//! strategy. Defaults come from `ERASER_THREADS` / `ERASER_PARTITION`.
-//! Coverage is bit-identical at any thread count.
+//! strategy; `--eval` selects the expression-evaluation backend (the tree
+//! walker or compiled instruction tapes). Defaults come from
+//! `ERASER_THREADS` / `ERASER_PARTITION` / `ERASER_EVAL`. Coverage is
+//! bit-identical at any thread count and on either backend.
 
-use eraser::core::{run_campaign, CampaignConfig, ParallelConfig, RedundancyMode};
+use eraser::core::{run_campaign, CampaignConfig, EvalBackend, ParallelConfig, RedundancyMode};
 use eraser::fault::{generate_faults, FaultListConfig, PartitionStrategy};
 use eraser::frontend::compile;
 use eraser::ir::Design;
@@ -34,13 +37,15 @@ struct Options {
     seed: u64,
     list_undetected: bool,
     parallel: ParallelConfig,
+    backend: EvalBackend,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]\n\
          \x20             [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]\n\
-         \x20             [--threads N] [--partition contiguous|round-robin|site-affinity]"
+         \x20             [--threads N] [--partition contiguous|round-robin|site-affinity]\n\
+         \x20             [--eval tree|tape]"
     );
     std::process::exit(2);
 }
@@ -58,6 +63,7 @@ fn parse_args() -> Options {
         seed: 1,
         list_undetected: false,
         parallel: ParallelConfig::from_env(),
+        backend: EvalBackend::from_env(),
     };
     let need = |a: Option<String>| a.unwrap_or_else(|| usage());
     while let Some(arg) = args.next() {
@@ -84,6 +90,14 @@ fn parse_args() -> Options {
             "--partition" => {
                 opts.parallel.strategy = need(args.next())
                     .parse::<PartitionStrategy>()
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        usage()
+                    })
+            }
+            "--eval" => {
+                opts.backend = need(args.next())
+                    .parse::<EvalBackend>()
                     .unwrap_or_else(|e| {
                         eprintln!("error: {e}");
                         usage()
@@ -226,9 +240,13 @@ fn main() -> ExitCode {
             mode: opts.mode,
             drop_detected: true,
             parallel: opts.parallel,
+            backend: opts.backend,
         },
     );
-    println!("mode {}: coverage {}", opts.mode, result.coverage);
+    println!(
+        "mode {} ({} backend): coverage {}",
+        opts.mode, opts.backend, result.coverage
+    );
     let s = &result.stats;
     println!(
         "behavioral: {} activations, {} faulty executions of {} opportunities",
