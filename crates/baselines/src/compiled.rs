@@ -1,13 +1,14 @@
 //! Levelized full-evaluation simulator (the VFsim substrate).
 
 use eraser_ir::{
-    run_tape, tapes_for_backend, BehavioralId, CombItem, Design, EvalBackend, Sensitivity,
-    SignalId, TapeProgram, TapeRef,
+    run_tape, tapes_for_backend, BehavioralId, BehavioralNode, CombItem, Design, EvalBackend,
+    Sensitivity, SignalId, TapeProgram, TapeRef,
 };
 use eraser_logic::{LogicBit, LogicVec};
 use eraser_sim::{
-    eval_rtl_node, execute_behavioral, execute_tape_into, ExecCtx, ExecOutcome, NoopMonitor,
-    SlotWrite, ValueStore,
+    assign_logic_slice, eval_rtl_node, execute_into, execute_tape_into, ExecCtx, ExecMonitor,
+    ExecOutcome, NoopMonitor, ProbeMonitor, ReplaySim, SimSnapshot, SiteProbe, SlotWrite,
+    ValueStore,
 };
 
 /// Bound on evaluation rounds per settle step.
@@ -35,6 +36,9 @@ pub struct CompiledSim<'d> {
     watched: Vec<SignalId>,
     forces: Vec<(SignalId, u32, LogicBit)>,
     nba: Vec<SlotWrite>,
+    /// Activation probe for instrumented good replays (`None` = the
+    /// zero-overhead default).
+    probe: Option<Box<SiteProbe>>,
 }
 
 impl<'d> CompiledSim<'d> {
@@ -75,6 +79,7 @@ impl<'d> CompiledSim<'d> {
             watched,
             forces: Vec::new(),
             nba: Vec::new(),
+            probe: None,
         };
         sim.settle_step(&[]);
         sim
@@ -98,6 +103,9 @@ impl<'d> CompiledSim<'d> {
             if fs == sig && bit < value.width() {
                 value.set_bit(bit, b);
             }
+        }
+        if let Some(p) = &mut self.probe {
+            p.observe_commit(sig, &value);
         }
         self.values.set(sig, value)
     }
@@ -168,24 +176,40 @@ impl<'d> CompiledSim<'d> {
         panic!("combinational network failed to reach a fixpoint");
     }
 
-    /// Executes one behavioral node on the configured backend.
+    /// Executes one behavioral node on the configured backend, feeding the
+    /// activation probe when one is attached.
     fn execute_behavioral(&mut self, id: BehavioralId) -> ExecOutcome {
         let node = self.design.behavioral(id);
-        match &self.tapes {
-            Some(t) => {
-                let mut out = ExecOutcome::default();
-                execute_tape_into(
-                    self.design,
-                    node,
-                    t.program().behavioral(id.index()),
-                    &self.values,
-                    &mut NoopMonitor,
-                    &mut self.ctx,
-                    &mut out,
-                );
-                out
+        let mut out = ExecOutcome::default();
+        match self.probe.take() {
+            Some(mut p) => {
+                let mut mon = ProbeMonitor::new(&mut p, &node.vdg);
+                self.exec_node(node, id, &mut mon, &mut out);
+                self.probe = Some(p);
             }
-            None => execute_behavioral(self.design, node, &self.values, false).0,
+            None => self.exec_node(node, id, &mut NoopMonitor, &mut out),
+        }
+        out
+    }
+
+    fn exec_node<M: ExecMonitor + ?Sized>(
+        &mut self,
+        node: &BehavioralNode,
+        id: BehavioralId,
+        monitor: &mut M,
+        out: &mut ExecOutcome,
+    ) {
+        match &self.tapes {
+            Some(t) => execute_tape_into(
+                self.design,
+                node,
+                t.program().behavioral(id.index()),
+                &self.values,
+                monitor,
+                &mut self.ctx,
+                out,
+            ),
+            None => execute_into(self.design, node, &self.values, monitor, &mut self.ctx, out),
         }
     }
 
@@ -239,6 +263,63 @@ impl<'d> CompiledSim<'d> {
     }
 }
 
+impl ReplaySim for CompiledSim<'_> {
+    fn capture_into(&self, snap: &mut SimSnapshot) {
+        assert!(self.nba.is_empty(), "capture requires a settled simulator");
+        assign_logic_slice(&mut snap.values, self.values.as_slice());
+        assign_logic_slice(&mut snap.edge_prev, &self.edge_prev);
+        snap.forces.clear();
+        snap.forces.extend_from_slice(&self.forces);
+        snap.deltas = 0;
+    }
+
+    fn restore_from(&mut self, snap: &SimSnapshot) {
+        self.values.restore_from_slice(&snap.values);
+        assert_eq!(
+            self.edge_prev.len(),
+            snap.edge_prev.len(),
+            "snapshot covers a different design"
+        );
+        for (slot, v) in self.edge_prev.iter_mut().zip(&snap.edge_prev) {
+            slot.assign_from(v);
+        }
+        self.forces.clear();
+        self.forces.extend_from_slice(&snap.forces);
+        self.nba.clear();
+    }
+
+    fn replay_step(&mut self, changes: &[(SignalId, LogicVec)]) {
+        self.settle_step(changes);
+    }
+
+    fn signal_value(&self, sig: SignalId) -> &LogicVec {
+        self.value(sig)
+    }
+
+    fn force_bit(&mut self, sig: SignalId, bit: u32, value: LogicBit) {
+        self.add_force(sig, bit, value);
+    }
+
+    fn attach_probe(&mut self, mut probe: SiteProbe) {
+        probe.observe_initial(self.design, &self.values);
+        self.probe = Some(Box::new(probe));
+    }
+
+    fn take_probe(&mut self) -> Option<SiteProbe> {
+        self.probe.take().map(|p| *p)
+    }
+
+    fn begin_probe_step(&mut self, step: usize) {
+        if let Some(p) = &mut self.probe {
+            p.begin_step(step);
+        }
+    }
+
+    fn fully_defined(&self) -> bool {
+        self.values.fully_defined()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +364,59 @@ mod tests {
             drive(&mut ev, &mut cp, clk, 1, 1);
             assert_eq!(ev.value(acc), cp.value(acc), "cycle {i}");
             assert_eq!(ev.value(mix), cp.value(mix), "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_matches_uninterrupted_run() {
+        let d = compile(
+            "module m(input wire clk, input wire rst, input wire [3:0] a,
+                      output reg [7:0] acc, output wire [7:0] mix);
+               wire [7:0] ext;
+               assign ext = {a, a};
+               assign mix = acc ^ ext;
+               always @(posedge clk) begin
+                 if (rst) acc <= 8'h00;
+                 else acc <= acc + ext;
+               end
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let clk = d.find_signal("clk").unwrap();
+        let rst = d.find_signal("rst").unwrap();
+        let a = d.find_signal("a").unwrap();
+        let steps: Vec<Vec<(SignalId, LogicVec)>> = (0..20u64)
+            .flat_map(|i| {
+                vec![
+                    vec![
+                        (clk, LogicVec::from_u64(1, 0)),
+                        (rst, LogicVec::from_u64(1, (i < 2) as u64)),
+                        (a, LogicVec::from_u64(4, i * 11 % 16)),
+                    ],
+                    vec![(clk, LogicVec::from_u64(1, 1))],
+                ]
+            })
+            .collect();
+        let mut full = CompiledSim::new(&d);
+        let mut snap = SimSnapshot::new();
+        let k = 13;
+        for (si, step) in steps.iter().enumerate() {
+            if si == k {
+                full.capture_into(&mut snap);
+            }
+            full.settle_step(step);
+        }
+        // Restore into a dirty instance and replay only the suffix.
+        let mut resumed = CompiledSim::new(&d);
+        resumed.settle_step(&steps[0]);
+        resumed.restore_from(&snap);
+        for step in &steps[k..] {
+            resumed.settle_step(step);
+        }
+        for i in 0..d.num_signals() {
+            let s = SignalId::from_index(i);
+            assert_eq!(full.value(s), resumed.value(s), "signal {i} diverged");
         }
     }
 

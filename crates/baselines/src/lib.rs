@@ -65,7 +65,7 @@ pub use eraser_core::{EngineResult, Eraser, FaultSimEngine, Parallel, ParallelCo
 use eraser_core::{CampaignConfig, EvalBackend, TapeProgram};
 use eraser_fault::FaultList;
 use eraser_ir::Design;
-use eraser_sim::{Simulator, Stimulus};
+use eraser_sim::{ReplaySim, Simulator, Stimulus};
 
 /// The per-campaign tape compilation a serial baseline shares across its
 /// per-fault simulator instances: lowering happens once, not once per
@@ -79,9 +79,15 @@ fn campaign_tapes(design: &Design, config: &CampaignConfig) -> Option<TapeProgra
 /// after every stimulus step, stopping at first detection.
 ///
 /// As a serial engine it always drops a fault at first detection (coverage
-/// is insensitive to dropping) and carries no redundancy instrumentation.
-/// Honors [`CampaignConfig::backend`]: on the tape backend the design is
-/// lowered once and every per-fault simulator replays the shared program.
+/// is insensitive to dropping). Honors [`CampaignConfig::backend`]: on the
+/// tape backend the design is lowered once and every per-fault simulator
+/// replays the shared program. Honors [`CampaignConfig::checkpoint`]:
+/// with checkpointing enabled the good run is snapshotted periodically,
+/// each fault starts from the latest checkpoint preceding its activation
+/// window (bit-identical coverage, see
+/// [`eraser_fault::ActivationWindows`]), and the result carries
+/// [`RedundancyStats`](eraser_core::RedundancyStats) with the
+/// skipped-prefix / skipped-fault / dropped-fault counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct IFsim;
 
@@ -103,34 +109,23 @@ impl FaultSimEngine for IFsim {
             design,
             faults,
             stimulus,
-            |fault| {
-                let mut sim = match &tapes {
-                    Some(tp) => Simulator::with_tapes(design, tp),
-                    None => Simulator::with_backend(design, EvalBackend::Tree),
-                };
-                if let Some(f) = fault {
-                    sim.add_force(f.signal, f.bit, f.stuck.bit());
-                    // Settle the force at construction so all engines agree
-                    // on when a forced power-on edge (X -> stuck value)
-                    // fires relative to the first stimulus step.
-                    sim.step();
-                }
-                sim
+            config.checkpoint,
+            || match &tapes {
+                Some(tp) => Simulator::with_tapes(design, tp),
+                None => Simulator::with_backend(design, EvalBackend::Tree),
             },
-            |sim, changes| {
-                for (sig, v) in changes {
-                    sim.set_input(*sig, v);
-                }
-                sim.step();
-            },
-            |sim, sig| sim.value(sig).clone(),
+            // Settle the force at injection so all engines agree on when a
+            // forced power-on edge (X -> stuck value) fires relative to
+            // the next stimulus step (ReplaySim::force_bit steps the sim).
+            |sim, f| sim.force_bit(f.signal, f.bit, f.stuck.bit()),
         )
     }
 }
 
 /// VFsim: one levelized full-evaluation simulation per fault (no event
-/// scheduling), same observation and dropping rules as [`IFsim`]. Honors
-/// [`CampaignConfig::backend`] with one shared tape compilation.
+/// scheduling), same observation, dropping and checkpointing rules as
+/// [`IFsim`]. Honors [`CampaignConfig::backend`] with one shared tape
+/// compilation.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct VFsim;
 
@@ -152,18 +147,12 @@ impl FaultSimEngine for VFsim {
             design,
             faults,
             stimulus,
-            |fault| {
-                let mut sim = match &tapes {
-                    Some(tp) => CompiledSim::with_tapes(design, tp),
-                    None => CompiledSim::with_backend(design, EvalBackend::Tree),
-                };
-                if let Some(f) = fault {
-                    sim.add_force(f.signal, f.bit, f.stuck.bit());
-                }
-                sim
+            config.checkpoint,
+            || match &tapes {
+                Some(tp) => CompiledSim::with_tapes(design, tp),
+                None => CompiledSim::with_backend(design, EvalBackend::Tree),
             },
-            |sim, changes| sim.settle_step(changes),
-            |sim, sig| sim.value(sig).clone(),
+            |sim, f| sim.force_bit(f.signal, f.bit, f.stuck.bit()),
         )
     }
 }

@@ -1,61 +1,184 @@
-//! Shared driver for per-fault serial fault simulation.
+//! Shared driver for per-fault serial fault simulation, with optional
+//! checkpointed good-state replay.
+//!
+//! The driver is generic over [`ReplaySim`], so one implementation serves
+//! both the event-driven IFsim substrate ([`Simulator`](eraser_sim::Simulator))
+//! and the levelized VFsim substrate ([`CompiledSim`](crate::CompiledSim)).
+//!
+//! # Non-checkpointed mode (`CheckpointConfig::disabled`)
+//!
+//! The historical protocol: simulate the fault-free design once recording
+//! the value of every primary output after each stimulus step (the good
+//! trace); then, per fault, a fresh simulator with the force applied
+//! replays the whole stimulus, comparing outputs against the good trace
+//! and stopping at the first detection (per-fault dropping).
+//!
+//! # Checkpointed mode
+//!
+//! The good replay additionally carries a [`SiteProbe`] and captures a
+//! [`SimSnapshot`] every `interval` settle steps (noting whether the
+//! state is fully defined). [`ActivationWindows`] then gives each fault
+//! its earliest possible divergence step, and the fault loop — ordered by
+//! ascending window, so faults sharing a start checkpoint run
+//! consecutively — restores the latest eligible checkpoint, applies the
+//! force, and replays only the suffix. Faults that provably cannot
+//! diverge within the stimulus are skipped outright. Coverage records
+//! (first-detection steps and outputs included) are bit-identical to the
+//! non-checkpointed run (see the soundness model in
+//! [`eraser_fault::ActivationWindows`]); what changes is the work, which
+//! the returned [`RedundancyStats`] quantifies via `skipped_prefix_steps`,
+//! `skipped_faults` and `dropped_faults`.
 
-use eraser_core::EngineResult;
-use eraser_fault::{detectable_mismatch, CoverageReport, Detection, Fault, FaultList};
+use eraser_core::{CheckpointConfig, EngineResult, RedundancyStats};
+use eraser_fault::{
+    detectable_mismatch, ActivationWindows, CoverageReport, Detection, Fault, FaultList,
+};
 use eraser_ir::Design;
 use eraser_logic::LogicVec;
-use eraser_sim::Stimulus;
+use eraser_sim::{ReplaySim, SimSnapshot, SiteProbe, Stimulus};
 use std::time::Instant;
 
-/// Runs a serial (one-simulation-per-fault) campaign.
-///
-/// First simulates the fault-free design once, recording the value of every
-/// primary output after each stimulus step (the good trace). Then, per
-/// fault: a fresh simulator with the force applied replays the stimulus;
-/// after each step the outputs are compared against the good trace with the
-/// shared detection predicate; the simulation stops at the first detection
-/// (per-fault dropping).
-pub fn serial_campaign<Sim>(
+/// Runs a serial (one-simulation-per-fault) campaign; checkpointed
+/// good-state replay when `checkpoint` is enabled. `make_sim` builds a
+/// fault-free simulator; `inject` applies one stuck-at force and settles.
+pub fn serial_campaign<Sim: ReplaySim>(
     name: &str,
     design: &Design,
     faults: &FaultList,
     stimulus: &Stimulus,
-    mut make_sim: impl FnMut(Option<&Fault>) -> Sim,
-    mut apply_step: impl FnMut(&mut Sim, &[(eraser_ir::SignalId, LogicVec)]),
-    mut read: impl FnMut(&Sim, eraser_ir::SignalId) -> LogicVec,
+    checkpoint: CheckpointConfig,
+    mut make_sim: impl FnMut() -> Sim,
+    mut inject: impl FnMut(&mut Sim, &Fault),
 ) -> EngineResult {
     let t0 = Instant::now();
     let outputs = design.outputs().to_vec();
+    let steps = &stimulus.steps;
 
-    // Good trace: outputs after every step.
-    let mut good_trace: Vec<Vec<LogicVec>> = Vec::with_capacity(stimulus.steps.len());
-    {
-        let mut sim = make_sim(None);
-        for step in &stimulus.steps {
-            apply_step(&mut sim, step);
-            good_trace.push(outputs.iter().map(|&o| read(&sim, o)).collect());
+    if !checkpoint.is_enabled() {
+        // Historical protocol: full replay per fault from a fresh sim.
+        let good_trace = record_good_trace(&mut make_sim(), steps, &outputs);
+        let mut coverage = CoverageReport::new(faults.len());
+        for fault in faults.iter() {
+            let mut sim = make_sim();
+            inject(&mut sim, fault);
+            replay_fault(
+                &mut sim,
+                steps,
+                0,
+                &outputs,
+                &good_trace,
+                fault,
+                &mut coverage,
+            );
         }
+        return EngineResult::new(name, coverage).with_wall(t0.elapsed());
     }
 
+    // Instrumented good replay: trace + probe + periodic snapshots.
+    let mut sim = make_sim();
+    sim.attach_probe(SiteProbe::new(design, faults.iter().map(|f| f.signal)));
+    let mut checkpoints: Vec<(usize, bool, SimSnapshot)> = Vec::new();
+    let mut good_trace: Vec<Vec<LogicVec>> = Vec::with_capacity(steps.len());
+    for (si, step) in steps.iter().enumerate() {
+        if checkpoint.is_boundary(si) {
+            let mut snap = SimSnapshot::new();
+            sim.capture_into(&mut snap);
+            checkpoints.push((si, sim.fully_defined(), snap));
+        }
+        sim.begin_probe_step(si);
+        sim.replay_step(step);
+        good_trace.push(
+            outputs
+                .iter()
+                .map(|&o| sim.signal_value(o).clone())
+                .collect(),
+        );
+    }
+    let probe = sim.take_probe().expect("probe attached above");
+    let windows = ActivationWindows::derive(design, faults, &probe, steps.len());
+    let boundaries: Vec<(usize, bool)> = checkpoints.iter().map(|&(s, d, _)| (s, d)).collect();
+
+    // Activation-window schedule: ascending window, so consecutive faults
+    // share start checkpoints; the good sim doubles as the reusable fault
+    // workhorse.
+    let mut stats = RedundancyStats::default();
     let mut coverage = CoverageReport::new(faults.len());
-    for fault in faults.iter() {
-        let mut sim = make_sim(Some(fault));
-        'steps: for (si, step) in stimulus.steps.iter().enumerate() {
-            apply_step(&mut sim, step);
-            for (oi, &o) in outputs.iter().enumerate() {
-                let fv = read(&sim, o);
-                if detectable_mismatch(&good_trace[si][oi], &fv) {
-                    coverage.record(
-                        fault.id,
-                        Detection {
-                            step: si,
-                            output: o,
-                        },
-                    );
-                    break 'steps;
-                }
+    for id in windows.order_by_window() {
+        let fault = faults.fault(id);
+        if windows.never_active(id) {
+            stats.skipped_faults += 1;
+            continue;
+        }
+        let ci = windows.start_checkpoint(fault, &boundaries);
+        let (start, _, snap) = &checkpoints[ci];
+        sim.restore_from(snap);
+        inject(&mut sim, fault);
+        stats.skipped_prefix_steps += *start as u64;
+        if replay_fault(
+            &mut sim,
+            steps,
+            *start,
+            &outputs,
+            &good_trace,
+            fault,
+            &mut coverage,
+        ) {
+            stats.dropped_faults += 1;
+        }
+    }
+    stats.time_total = t0.elapsed();
+    EngineResult::new(name, coverage)
+        .with_stats(stats)
+        .with_wall(t0.elapsed())
+}
+
+/// Replays the whole stimulus on the fault-free simulator, recording every
+/// output after each settle step.
+fn record_good_trace<Sim: ReplaySim>(
+    sim: &mut Sim,
+    steps: &[Vec<(eraser_ir::SignalId, LogicVec)>],
+    outputs: &[eraser_ir::SignalId],
+) -> Vec<Vec<LogicVec>> {
+    let mut trace = Vec::with_capacity(steps.len());
+    for step in steps {
+        sim.replay_step(step);
+        trace.push(
+            outputs
+                .iter()
+                .map(|&o| sim.signal_value(o).clone())
+                .collect(),
+        );
+    }
+    trace
+}
+
+/// Replays steps `start..` on a forced simulator, comparing outputs
+/// against the good trace after each settle step and stopping at the
+/// first detection. Returns whether the fault was detected (and thus
+/// dropped).
+fn replay_fault<Sim: ReplaySim>(
+    sim: &mut Sim,
+    steps: &[Vec<(eraser_ir::SignalId, LogicVec)>],
+    start: usize,
+    outputs: &[eraser_ir::SignalId],
+    good_trace: &[Vec<LogicVec>],
+    fault: &Fault,
+    coverage: &mut CoverageReport,
+) -> bool {
+    for (si, step) in steps.iter().enumerate().skip(start) {
+        sim.replay_step(step);
+        for (oi, &o) in outputs.iter().enumerate() {
+            if detectable_mismatch(&good_trace[si][oi], sim.signal_value(o)) {
+                coverage.record(
+                    fault.id,
+                    Detection {
+                        step: si,
+                        output: o,
+                    },
+                );
+                return true;
             }
         }
     }
-    EngineResult::new(name, coverage).with_wall(t0.elapsed())
+    false
 }

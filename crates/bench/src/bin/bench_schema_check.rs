@@ -1,0 +1,79 @@
+//! Validates every `BENCH_*.json` record file against the registered
+//! schemas (see [`eraser_bench::schema`]), so CI fails on malformed
+//! records instead of uploading them silently.
+//!
+//! Usage: `bench_schema_check [dir-or-file ...]` — defaults to scanning
+//! the current directory. Exits nonzero if any file is missing a known
+//! schema, carries a stray/missing/mistyped key, or is not valid JSON.
+//! Scanning a directory with no `BENCH_*.json` files at all is also an
+//! error (a silently-empty upload is as bad as a malformed one).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn collect_targets(args: &[String]) -> Vec<PathBuf> {
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        vec![PathBuf::from(".")]
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+    let mut files = Vec::new();
+    for root in roots {
+        if root.is_dir() {
+            let mut entries: Vec<PathBuf> = std::fs::read_dir(&root)
+                .map(|rd| {
+                    rd.filter_map(|e| e.ok())
+                        .map(|e| e.path())
+                        .filter(|p| is_record_file(p))
+                        .collect()
+                })
+                .unwrap_or_default();
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(root);
+        }
+    }
+    files
+}
+
+fn is_record_file(p: &Path) -> bool {
+    p.file_name()
+        .and_then(|n| n.to_str())
+        .map(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .unwrap_or(false)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files = collect_targets(&args);
+    if files.is_empty() {
+        eprintln!("bench_schema_check: no BENCH_*.json files found");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0usize;
+    for path in &files {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("FAIL {}: cannot read: {e}", path.display());
+                failures += 1;
+            }
+            Ok(text) => match eraser_bench::schema::validate_records(&text) {
+                Ok(n) => println!("ok   {} ({n} records)", path.display()),
+                Err(e) => {
+                    eprintln!("FAIL {}: {e}", path.display());
+                    failures += 1;
+                }
+            },
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_schema_check: {failures}/{} files failed",
+            files.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_schema_check: {} files valid", files.len());
+    ExitCode::SUCCESS
+}

@@ -4,7 +4,7 @@
 //! `BENCH_fig1_redundancy_ratio.json`.
 
 use eraser_bench::json::{write_records, BenchRecord};
-use eraser_bench::{env_scale, prepare, print_environment};
+use eraser_bench::{env_scale, prepare, print_environment, selected_subset};
 use eraser_core::{CampaignRunner, Eraser};
 use eraser_designs::Benchmark;
 
@@ -12,12 +12,12 @@ const BINARY: &str = "fig1_redundancy_ratio";
 
 fn main() {
     print_environment("Fig. 1(b) — explicit vs implicit share of redundant executions");
-    let circuits = [
+    let circuits = selected_subset(&[
         Benchmark::Sha256Hv,
         Benchmark::Apb,
         Benchmark::SodorCore,
         Benchmark::RiscvMini,
-    ];
+    ]);
     println!(
         "{:<11} {:>12} {:>14} {:>14}  bar (e=explicit, i=implicit)",
         "benchmark", "#eliminated", "explicit share", "implicit share"

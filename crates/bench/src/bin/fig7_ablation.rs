@@ -5,7 +5,7 @@
 //! `BENCH_fig7_ablation.json` (one record per variant/benchmark).
 
 use eraser_bench::json::{write_records, BenchRecord};
-use eraser_bench::{env_scale, fmt_secs, prepare, print_environment};
+use eraser_bench::{env_scale, fmt_secs, prepare, print_environment, selected_subset};
 use eraser_core::{CampaignRunner, Eraser};
 use eraser_designs::Benchmark;
 
@@ -13,7 +13,7 @@ const BINARY: &str = "fig7_ablation";
 
 fn main() {
     print_environment("Fig. 7 — ablation study on redundancy elimination");
-    let circuits = [
+    let circuits = selected_subset(&[
         Benchmark::Alu64,
         Benchmark::Fpu32,
         Benchmark::Sha256Hv,
@@ -21,7 +21,7 @@ fn main() {
         Benchmark::RiscvMini,
         Benchmark::PicoRv32,
         Benchmark::Sha256C2v,
-    ];
+    ]);
     println!(
         "{:<11} {:>10} {:>10} {:>10}   {:>9} {:>9}",
         "benchmark", "Eraser--", "Eraser-", "Eraser", "E- x", "E x"

@@ -1,0 +1,197 @@
+//! **Fig. 9** (beyond the paper): temporal redundancy trimming on the
+//! serial baselines — checkpointed good-state replay plus activation
+//! windows.
+//!
+//! For every selected benchmark, runs IFsim and VFsim once without and
+//! once with checkpointing (`--` the identical campaign otherwise),
+//! asserts the coverage records are **bit-identical** (first-detection
+//! steps and outputs included), and reports the wall-time speedup next to
+//! the trimming counters: good-prefix settle steps skipped, faults
+//! skipped outright (activation window beyond the stimulus) and faults
+//! dropped at first detection. Emits `BENCH_fig9_checkpoint.json`
+//! (schema `eraser-fig9-checkpoint-v1`).
+//!
+//! Knobs: `ERASER_FIG9_CKPT` overrides the checkpoint interval in settle
+//! steps (default: `stimulus_steps / 16`, at least 4);
+//! `ERASER_BENCH_ONLY` restricts the benchmark set; `ERASER_FIG9_STRICT=1`
+//! additionally fails the run unless at least one design recorded a
+//! nonzero prefix skip (the CI gate against the analysis silently
+//! collapsing every window to zero).
+
+use eraser_baselines::{IFsim, VFsim};
+use eraser_bench::json::write_json_objects;
+use eraser_bench::{
+    env_scale, fmt_secs, prepare, print_environment, selected_benchmarks, Prepared,
+};
+use eraser_core::{CampaignConfig, CheckpointConfig, EngineResult, FaultSimEngine, ParallelConfig};
+
+const BINARY: &str = "fig9_checkpoint";
+const SCHEMA: &str = "eraser-fig9-checkpoint-v1";
+
+struct Record {
+    benchmark: String,
+    engine: String,
+    faults: usize,
+    stimulus_steps: usize,
+    checkpoint_interval: usize,
+    wall_off_seconds: f64,
+    wall_on_seconds: f64,
+    speedup: f64,
+    skipped_prefix_steps: u64,
+    skipped_faults: u64,
+    dropped_faults: u64,
+    detected: usize,
+    coverage_percent: f64,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema\":\"{}\",\"binary\":\"{}\",\"benchmark\":\"{}\",",
+                "\"engine\":\"{}\",\"faults\":{},\"stimulus_steps\":{},",
+                "\"checkpoint_interval\":{},\"wall_off_seconds\":{:.6},",
+                "\"wall_on_seconds\":{:.6},\"speedup\":{:.4},",
+                "\"skipped_prefix_steps\":{},\"skipped_faults\":{},",
+                "\"dropped_faults\":{},\"detected\":{},\"coverage_percent\":{:.4}}}"
+            ),
+            SCHEMA,
+            BINARY,
+            self.benchmark,
+            self.engine,
+            self.faults,
+            self.stimulus_steps,
+            self.checkpoint_interval,
+            self.wall_off_seconds,
+            self.wall_on_seconds,
+            self.speedup,
+            self.skipped_prefix_steps,
+            self.skipped_faults,
+            self.dropped_faults,
+            self.detected,
+            self.coverage_percent,
+        )
+    }
+}
+
+fn interval_for(steps: usize) -> usize {
+    std::env::var("ERASER_FIG9_CKPT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(|| (steps / 16).max(4))
+}
+
+/// One engine, off vs on, with the coverage-identity assertion.
+fn measure(
+    engine: &dyn FaultSimEngine,
+    p: &Prepared,
+    interval: usize,
+) -> (EngineResult, EngineResult) {
+    let base = CampaignConfig {
+        parallel: ParallelConfig::serial(),
+        checkpoint: CheckpointConfig::disabled(),
+        ..Default::default()
+    };
+    let off = engine.run(&p.design, &p.faults, &p.stimulus, &base);
+    let on = engine.run(
+        &p.design,
+        &p.faults,
+        &p.stimulus,
+        &CampaignConfig {
+            checkpoint: CheckpointConfig::every(interval),
+            ..base
+        },
+    );
+    assert_eq!(
+        off.coverage,
+        on.coverage,
+        "{} on {}: checkpointed coverage records diverged",
+        engine.name(),
+        p.bench.name()
+    );
+    (off, on)
+}
+
+fn main() {
+    print_environment("Fig. 9 — checkpointed good-state replay on the serial baselines");
+    let scale = env_scale();
+    let engines: Vec<Box<dyn FaultSimEngine>> = vec![Box::new(IFsim), Box::new(VFsim)];
+
+    println!(
+        "{:<11} {:<6} {:>6} {:>10} {:>10} {:>7} {:>12} {:>8} {:>8}   coverage",
+        "benchmark", "engine", "ckpt", "off", "on", "x", "skip-steps", "skip-f", "drop-f"
+    );
+
+    let mut records = Vec::new();
+    let mut geo: Vec<(String, f64, usize)> =
+        engines.iter().map(|e| (e.name(), 0.0f64, 0usize)).collect();
+    let mut any_prefix_skip = false;
+    for bench in selected_benchmarks() {
+        let p = prepare(bench, scale);
+        let interval = interval_for(p.stimulus.num_steps());
+        for (ei, engine) in engines.iter().enumerate() {
+            let (off, on) = measure(engine.as_ref(), &p, interval);
+            let stats = on
+                .stats
+                .as_ref()
+                .expect("checkpointed serial campaigns carry stats");
+            let speedup = off.wall.as_secs_f64() / on.wall.as_secs_f64();
+            geo[ei].1 += speedup.ln();
+            geo[ei].2 += 1;
+            any_prefix_skip |= stats.skipped_prefix_steps > 0;
+            println!(
+                "{:<11} {:<6} {:>6} {:>10} {:>10} {:>6.2}x {:>12} {:>8} {:>8}   {}",
+                bench.name(),
+                on.name,
+                interval,
+                fmt_secs(off.wall),
+                fmt_secs(on.wall),
+                speedup,
+                stats.skipped_prefix_steps,
+                stats.skipped_faults,
+                stats.dropped_faults,
+                on.coverage
+            );
+            records.push(Record {
+                benchmark: bench.name().to_string(),
+                engine: on.name.clone(),
+                faults: p.faults.len(),
+                stimulus_steps: p.stimulus.num_steps(),
+                checkpoint_interval: interval,
+                wall_off_seconds: off.wall.as_secs_f64(),
+                wall_on_seconds: on.wall.as_secs_f64(),
+                speedup,
+                skipped_prefix_steps: stats.skipped_prefix_steps,
+                skipped_faults: stats.skipped_faults,
+                dropped_faults: stats.dropped_faults,
+                detected: on.coverage.detected(),
+                coverage_percent: on.coverage.coverage_percent(),
+            });
+        }
+    }
+
+    println!();
+    for (name, ln_sum, n) in &geo {
+        if *n > 0 {
+            println!(
+                "{name}: geomean speedup with checkpointing {:.2}x over {n} designs",
+                (ln_sum / *n as f64).exp()
+            );
+        }
+    }
+    println!("(coverage records asserted bit-identical, checkpointing on vs off, per design)");
+    let lines: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    write_json_objects(BINARY, &lines);
+
+    if std::env::var("ERASER_FIG9_STRICT")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        && !any_prefix_skip
+    {
+        eprintln!(
+            "STRICT: no design recorded a nonzero skipped-prefix — activation windows collapsed"
+        );
+        std::process::exit(1);
+    }
+}

@@ -5,7 +5,7 @@
 //! behavioral executions). Emits `BENCH_table3_redundancy.json`.
 
 use eraser_bench::json::{write_records, BenchRecord};
-use eraser_bench::{env_scale, prepare, print_environment};
+use eraser_bench::{env_scale, prepare, print_environment, selected_subset};
 use eraser_core::{CampaignRunner, Eraser};
 use eraser_designs::Benchmark;
 
@@ -13,7 +13,7 @@ const BINARY: &str = "table3_redundancy";
 
 fn main() {
     print_environment("Table III — proportion of redundant behavioral node executions");
-    let circuits = [
+    let circuits = selected_subset(&[
         Benchmark::Alu64,
         Benchmark::Fpu32,
         Benchmark::Sha256Hv,
@@ -21,7 +21,7 @@ fn main() {
         Benchmark::RiscvMini,
         Benchmark::PicoRv32,
         Benchmark::Sha256C2v,
-    ];
+    ]);
     println!(
         "{:<11} {:>9} {:>12} {:>12} {:>10} {:>10}",
         "benchmark", "BN time%", "#total BN", "#eliminated", "explicit%", "implicit%"

@@ -130,8 +130,12 @@ pub fn write_json_objects(binary: &str, objects: &[String]) {
         return;
     }
     let path = PathBuf::from(dir).join(format!("BENCH_{binary}.json"));
-    let body: Vec<String> = objects.iter().map(|o| format!("  {o}")).collect();
-    let text = format!("[\n{}\n]\n", body.join(",\n"));
+    let text = if objects.is_empty() {
+        "[]\n".to_string()
+    } else {
+        let body: Vec<String> = objects.iter().map(|o| format!("  {o}")).collect();
+        format!("[\n{}\n]\n", body.join(",\n"))
+    };
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(text.as_bytes())) {
         Ok(()) => println!("wrote {} records to {}", objects.len(), path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),

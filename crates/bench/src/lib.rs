@@ -11,6 +11,8 @@
 //! | `fig7_ablation` | Fig. 7 Eraser--/Eraser-/Eraser ablation |
 //! | `table3_redundancy` | Table III redundancy proportions + §V-C time split |
 //! | `fig8_scaling` | fault-parallel thread-count scaling (1/2/4/8) |
+//! | `fig9_checkpoint` | checkpointed good-state replay on the serial baselines |
+//! | `bench_schema_check` | validates every `BENCH_*.json` against its schema |
 //!
 //! Run with `cargo run --release -p eraser-bench --bin <name>`. The
 //! environment variable `ERASER_BENCH_SCALE` (default `1.0`) scales every
@@ -21,6 +23,7 @@
 
 pub mod json;
 pub mod legacy;
+pub mod schema;
 
 use eraser_core::ParallelConfig;
 use eraser_designs::Benchmark;
@@ -85,6 +88,21 @@ pub fn selected_benchmarks() -> Vec<Benchmark> {
     }
     all.into_iter()
         .filter(|b| wanted.iter().any(|w| b.name().eq_ignore_ascii_case(w)))
+        .collect()
+}
+
+/// Intersects a report's fixed default circuit list with the
+/// `ERASER_BENCH_ONLY` selection, so every report binary honors the
+/// filter even when it does not cover the full Table II suite. An unset
+/// filter keeps the defaults; names outside `defaults` simply select
+/// nothing from this report (they still validate against the full suite
+/// in [`selected_benchmarks`]).
+pub fn selected_subset(defaults: &[Benchmark]) -> Vec<Benchmark> {
+    let selected = selected_benchmarks();
+    defaults
+        .iter()
+        .copied()
+        .filter(|b| selected.contains(b))
         .collect()
 }
 

@@ -1,0 +1,380 @@
+//! Benchmark-record schema validation.
+//!
+//! Every report binary emits `BENCH_<binary>.json` — an array of flat
+//! records, each stamped with a `schema` tag. This module holds the
+//! registry of known schemas (tag → required keys and their types) and a
+//! dependency-free JSON reader, so CI can validate every uploaded record
+//! file and fail the build on malformed output instead of letting it land
+//! silently (the `bench_schema_check` binary).
+//!
+//! Validation is **strict**: a record must carry exactly the registered
+//! key set of its schema (no missing keys, no strays), with the right
+//! primitive type per key — the cheapest way to catch a renamed field or
+//! a half-migrated writer.
+
+use std::collections::BTreeMap;
+
+/// Value type a schema key must hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// A JSON string.
+    Str,
+    /// A JSON number.
+    Num,
+}
+
+/// The registered schemas: tag → `(key, type)` list.
+///
+/// Adding a record format to any report binary requires registering it
+/// here, or CI rejects the file — by design.
+pub fn registry() -> Vec<(&'static str, Vec<(&'static str, Ty)>)> {
+    use Ty::*;
+    vec![
+        (
+            // The shared BenchRecord (crate::json::SCHEMA).
+            "eraser-bench-v2",
+            vec![
+                ("schema", Str),
+                ("binary", Str),
+                ("benchmark", Str),
+                ("engine", Str),
+                ("cells", Num),
+                ("faults", Num),
+                ("stimulus_steps", Num),
+                ("detected", Num),
+                ("coverage_percent", Num),
+                ("wall_seconds", Num),
+                ("threads", Num),
+            ],
+        ),
+        (
+            // fig7_hotpath per-backend hot-path records.
+            "eraser-fig7-hotpath-v2",
+            vec![
+                ("schema", Str),
+                ("binary", Str),
+                ("benchmark", Str),
+                ("mode", Str),
+                ("backend", Str),
+                ("cycles", Num),
+                ("wall_seconds", Num),
+                ("cycles_per_sec", Num),
+                ("steady_allocs", Num),
+            ],
+        ),
+        (
+            // fig9_checkpoint temporal-redundancy records.
+            "eraser-fig9-checkpoint-v1",
+            vec![
+                ("schema", Str),
+                ("binary", Str),
+                ("benchmark", Str),
+                ("engine", Str),
+                ("faults", Num),
+                ("stimulus_steps", Num),
+                ("checkpoint_interval", Num),
+                ("wall_off_seconds", Num),
+                ("wall_on_seconds", Num),
+                ("speedup", Num),
+                ("skipped_prefix_steps", Num),
+                ("skipped_faults", Num),
+                ("dropped_faults", Num),
+                ("detected", Num),
+                ("coverage_percent", Num),
+            ],
+        ),
+    ]
+}
+
+/// A parsed flat JSON value (only what bench records need).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// String.
+    Str(String),
+    /// Number (kept as text; records never need the numeric value).
+    Num(String),
+    /// `true`/`false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (sorted map — record keys are unique).
+    Obj(BTreeMap<String, Json>),
+}
+
+/// Parses a complete JSON document (object/array/scalar), rejecting
+/// trailing garbage.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let Json::Str(key) = parse_value(b, pos)? else {
+                    return Err(format!("object key at byte {pos} is not a string"));
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                if map.insert(key.clone(), value).is_some() {
+                    return Err(format!("duplicate key `{key}`"));
+                }
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'b') => s.push('\u{8}'),
+                            Some(b'f') => s.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex =
+                                    b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                s.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                                *pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {pos}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&c) => {
+                        // Multi-byte UTF-8 passes through unmodified.
+                        let ch_len = utf8_len(c);
+                        let chunk = b
+                            .get(*pos..*pos + ch_len)
+                            .ok_or("truncated UTF-8 sequence")?;
+                        s.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                        *pos += ch_len;
+                    }
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map_err(|_| format!("bad number `{text}`"))?;
+            Ok(Json::Num(text.to_string()))
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(&c) => Err(format!("unexpected byte `{}` at {pos}", c as char)),
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Validates one record file's text: a JSON array of records, each
+/// matching its registered schema exactly. Returns the record count.
+pub fn validate_records(text: &str) -> Result<usize, String> {
+    let registry = registry();
+    let doc = parse_json(text)?;
+    let Json::Arr(records) = doc else {
+        return Err("top level is not an array".into());
+    };
+    for (i, rec) in records.iter().enumerate() {
+        validate_record(rec, &registry).map_err(|e| format!("record {i}: {e}"))?;
+    }
+    Ok(records.len())
+}
+
+fn validate_record(
+    rec: &Json,
+    registry: &[(&'static str, Vec<(&'static str, Ty)>)],
+) -> Result<(), String> {
+    let Json::Obj(map) = rec else {
+        return Err("not an object".into());
+    };
+    let Some(Json::Str(tag)) = map.get("schema") else {
+        return Err("missing `schema` string".into());
+    };
+    let Some((_, keys)) = registry.iter().find(|(t, _)| t == tag) else {
+        return Err(format!("unknown schema `{tag}`"));
+    };
+    for (key, ty) in keys {
+        match (map.get(*key), ty) {
+            (Some(Json::Str(_)), Ty::Str) | (Some(Json::Num(_)), Ty::Num) => {}
+            (Some(v), _) => return Err(format!("key `{key}` has wrong type: {v:?}")),
+            (None, _) => return Err(format!("missing key `{key}`")),
+        }
+    }
+    for key in map.keys() {
+        if !keys.iter().any(|(k, _)| k == key) {
+            return Err(format!("stray key `{key}` not in schema `{tag}`"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::BenchRecord;
+
+    fn sample_record() -> String {
+        BenchRecord {
+            binary: "fig6_performance".into(),
+            benchmark: "APB".into(),
+            engine: "Eraser".into(),
+            cells: 42,
+            faults: 100,
+            stimulus_steps: 600,
+            detected: 97,
+            coverage_percent: 97.0,
+            wall_seconds: 1.25,
+            threads: 1,
+        }
+        .to_json()
+    }
+
+    #[test]
+    fn accepts_well_formed_bench_records() {
+        let text = format!("[\n  {}\n]\n", sample_record());
+        assert_eq!(validate_records(&text).unwrap(), 1);
+        assert_eq!(validate_records("[]").unwrap(), 0);
+    }
+
+    #[test]
+    fn rejects_malformations() {
+        // Unknown schema tag.
+        let bad = sample_record().replace("eraser-bench-v2", "eraser-bench-v999");
+        assert!(validate_records(&format!("[{bad}]"))
+            .unwrap_err()
+            .contains("unknown schema"));
+        // Missing key.
+        let bad = sample_record().replace("\"threads\":1", "\"threadz\":1");
+        let err = validate_records(&format!("[{bad}]")).unwrap_err();
+        assert!(err.contains("missing key `threads`") || err.contains("stray key"));
+        // Wrong type.
+        let bad = sample_record().replace("\"threads\":1", "\"threads\":\"one\"");
+        assert!(validate_records(&format!("[{bad}]"))
+            .unwrap_err()
+            .contains("wrong type"));
+        // Not an array.
+        assert!(validate_records(&sample_record()).is_err());
+        // Trailing garbage / syntax errors.
+        assert!(validate_records("[{}] x").is_err());
+        assert!(validate_records("[{]").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_numbers() {
+        let v = parse_json(r#"{"a":"q\"\nA","b":-1.5e3,"c":[true,false,null]}"#).unwrap();
+        let Json::Obj(m) = v else { panic!() };
+        assert_eq!(m["a"], Json::Str("q\"\nA".into()));
+        assert_eq!(m["b"], Json::Num("-1.5e3".into()));
+        let Json::Arr(arr) = &m["c"] else { panic!() };
+        assert_eq!(arr.len(), 3);
+        // Duplicate keys are rejected.
+        assert!(parse_json(r#"{"a":1,"a":2}"#).is_err());
+    }
+
+    #[test]
+    fn registry_covers_every_emitted_schema() {
+        // The shared BenchRecord tag must stay registered under the same
+        // name the writer stamps.
+        assert!(registry().iter().any(|(t, _)| *t == crate::json::SCHEMA));
+    }
+}

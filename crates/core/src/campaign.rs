@@ -1,5 +1,6 @@
 //! One-call fault-simulation campaign driver.
 
+use crate::checkpoint::CheckpointConfig;
 use crate::engine::EraserEngine;
 use crate::parallel::{run_sharded, ParallelConfig};
 use crate::stats::RedundancyStats;
@@ -27,6 +28,13 @@ pub struct CampaignConfig {
     /// tape backend the design is lowered once per campaign and the
     /// program is shared across every fault-parallel shard worker.
     pub backend: EvalBackend,
+    /// Checkpointed good-state replay: the snapshot interval for engines
+    /// that trim the per-fault good prefix (the serial IFsim/VFsim
+    /// baselines). The default honors `ERASER_CKPT` (disabled when
+    /// unset). Coverage records are bit-identical at any interval; the
+    /// concurrent engines are checkpoint-transparent (see
+    /// [`CheckpointConfig`]).
+    pub checkpoint: CheckpointConfig,
 }
 
 impl Default for CampaignConfig {
@@ -36,6 +44,7 @@ impl Default for CampaignConfig {
             drop_detected: true,
             parallel: ParallelConfig::default(),
             backend: EvalBackend::from_env(),
+            checkpoint: CheckpointConfig::from_env(),
         }
     }
 }

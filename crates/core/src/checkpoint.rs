@@ -1,0 +1,120 @@
+//! Checkpointed good-state replay configuration.
+//!
+//! The temporal-redundancy knob of the framework: with a nonzero interval,
+//! campaign drivers that support it (today the serial IFsim/VFsim
+//! baselines in `eraser-baselines`) run the good machine once with an
+//! activation probe attached, capture a [`SimSnapshot`](eraser_sim::SimSnapshot)
+//! of the good state every `interval` settle steps, derive per-fault
+//! [`ActivationWindows`](eraser_fault::ActivationWindows), and then start
+//! each fault from the latest eligible checkpoint preceding its window —
+//! skipping the fault-free prefix that serial re-simulation would
+//! otherwise replay per fault, and skipping outright the faults whose
+//! window lies beyond the stimulus. Coverage records (first-detection
+//! steps and outputs included) are bit-identical to the non-checkpointed
+//! run by construction.
+//!
+//! The concurrent ERASER engine is *checkpoint-transparent*: it already
+//! runs the good network exactly once per campaign, and a dormant fault
+//! (no visible differences) costs it nothing beyond membership in the
+//! live count — which the redundancy counters deliberately include, so a
+//! prefix-skipped batch start would change `opportunities` and
+//! `rtl_fault_evals` relative to the from-zero run. Keeping the
+//! concurrent engines on the from-zero path is what keeps their
+//! redundancy counters bit-identical across checkpoint settings.
+//!
+//! Configured via `ERASER_CKPT` (settle steps between checkpoints, `0` or
+//! unset = disabled), the CLI's `--checkpoint-interval`, or
+//! [`CampaignConfig::checkpoint`](crate::CampaignConfig).
+
+/// Checkpointing configuration: the good-state snapshot interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Settle steps between good-state checkpoints; `0` disables
+    /// checkpointing (every fault replays from step 0, the historical
+    /// behavior).
+    pub interval: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpointing disabled.
+    pub fn disabled() -> Self {
+        CheckpointConfig { interval: 0 }
+    }
+
+    /// A checkpoint every `interval` settle steps (`0` disables).
+    pub fn every(interval: usize) -> Self {
+        CheckpointConfig { interval }
+    }
+
+    /// Reads `ERASER_CKPT` (default: disabled). Unparsable values fall
+    /// back to disabled.
+    pub fn from_env() -> Self {
+        Self::parse_env(std::env::var("ERASER_CKPT").ok().as_deref())
+    }
+
+    /// The `ERASER_CKPT` parsing rule, separated for testability.
+    fn parse_env(value: Option<&str>) -> Self {
+        CheckpointConfig {
+            interval: value.and_then(|s| s.trim().parse().ok()).unwrap_or(0),
+        }
+    }
+
+    /// True if campaigns under this config take checkpoints.
+    pub fn is_enabled(&self) -> bool {
+        self.interval > 0
+    }
+
+    /// True if a checkpoint is captured before applying stimulus step
+    /// `step` (step 0 — the construction-settled state — is always a
+    /// boundary when enabled).
+    pub fn is_boundary(&self, step: usize) -> bool {
+        self.interval > 0 && step.is_multiple_of(self.interval)
+    }
+}
+
+/// The default honors the environment (`ERASER_CKPT`), mirroring the
+/// `ERASER_THREADS` / `ERASER_EVAL` convention, so existing drivers gain
+/// the knob without code changes.
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig::from_env()
+    }
+}
+
+impl std::fmt::Display for CheckpointConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_enabled() {
+            write!(f, "every {} steps", self.interval)
+        } else {
+            write!(f, "off")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rules() {
+        assert_eq!(CheckpointConfig::parse_env(None).interval, 0);
+        assert_eq!(CheckpointConfig::parse_env(Some("8")).interval, 8);
+        assert_eq!(CheckpointConfig::parse_env(Some(" 16 ")).interval, 16);
+        assert_eq!(CheckpointConfig::parse_env(Some("0")).interval, 0);
+        assert_eq!(CheckpointConfig::parse_env(Some("nope")).interval, 0);
+    }
+
+    #[test]
+    fn boundaries() {
+        let off = CheckpointConfig::disabled();
+        assert!(!off.is_enabled());
+        assert!(!off.is_boundary(0));
+        let on = CheckpointConfig::every(8);
+        assert!(on.is_enabled());
+        assert!(on.is_boundary(0));
+        assert!(on.is_boundary(16));
+        assert!(!on.is_boundary(4));
+        assert_eq!(on.to_string(), "every 8 steps");
+        assert_eq!(off.to_string(), "off");
+    }
+}

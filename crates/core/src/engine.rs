@@ -478,6 +478,7 @@ impl<'d> EraserEngine<'d> {
                 {
                     self.alive[f.index()] = false;
                     self.alive_count -= 1;
+                    self.stats.dropped_faults += 1;
                     newly_dead = true;
                 }
             }

@@ -43,6 +43,20 @@
 //! [`Parallel`] adapter turns *any* [`FaultSimEngine`] — ERASER or the
 //! serial baselines — into a fault-parallel engine behind the same trait.
 //!
+//! # Temporal redundancy trimming
+//!
+//! [`CheckpointConfig`] (env `ERASER_CKPT`, CLI `--checkpoint-interval`)
+//! enables checkpointed good-state replay for the serial baselines: the
+//! good machine runs once with an activation probe, snapshots its settled
+//! state every N steps, and each fault starts from the latest checkpoint
+//! preceding its [activation window](eraser_fault::ActivationWindows) —
+//! or is skipped entirely when it provably cannot diverge within the
+//! stimulus. Combined with fault dropping
+//! ([`CampaignConfig::drop_detected`]) this trims the *temporal* axis of
+//! execution redundancy; [`RedundancyStats::skipped_prefix_steps`],
+//! [`RedundancyStats::skipped_faults`] and
+//! [`RedundancyStats::dropped_faults`] quantify it.
+//!
 //! # Ablation modes
 //!
 //! [`RedundancyMode`] selects the paper's ablation variants: `None`
@@ -85,6 +99,7 @@
 
 mod api;
 mod campaign;
+mod checkpoint;
 mod diff;
 mod engine;
 mod monitor;
@@ -93,6 +108,7 @@ mod stats;
 
 pub use api::{CampaignRunner, EngineResult, Eraser, FaultSimEngine, ParityMismatch};
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use checkpoint::CheckpointConfig;
 pub use diff::{union_ids, union_ids_into, DiffList};
 pub use engine::{EraserEngine, FaultView};
 pub use monitor::RedundancyMonitor;

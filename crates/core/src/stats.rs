@@ -32,6 +32,18 @@ pub struct RedundancyStats {
     pub rtl_fault_evals: u64,
     /// Delta cycles executed.
     pub deltas: u64,
+    /// Good-prefix settle steps *not* replayed thanks to checkpointed
+    /// fault starts, summed over all faults (checkpointed serial
+    /// campaigns; 0 elsewhere). The temporal-redundancy analogue of the
+    /// skip counters above.
+    pub skipped_prefix_steps: u64,
+    /// Faults never simulated because activation-window analysis proved
+    /// they cannot diverge within the stimulus (undetected by
+    /// construction).
+    pub skipped_faults: u64,
+    /// Faults removed from the live set at their first detection (fault
+    /// dropping).
+    pub dropped_faults: u64,
     /// Wall time inside behavioral-node processing (good + fault execution
     /// + redundancy checks + commits).
     pub time_behavioral: Duration,
@@ -66,6 +78,9 @@ impl RedundancyStats {
         self.rtl_good_evals += other.rtl_good_evals;
         self.rtl_fault_evals += other.rtl_fault_evals;
         self.deltas += other.deltas;
+        self.skipped_prefix_steps += other.skipped_prefix_steps;
+        self.skipped_faults += other.skipped_faults;
+        self.dropped_faults += other.dropped_faults;
         self.time_behavioral += other.time_behavioral;
         self.time_total += other.time_total;
     }
@@ -138,6 +153,9 @@ mod tests {
             rtl_good_evals: 7,
             rtl_fault_evals: 11,
             deltas: 9,
+            skipped_prefix_steps: 13,
+            skipped_faults: 2,
+            dropped_faults: 4,
             time_behavioral: Duration::from_millis(5),
             time_total: Duration::from_millis(20),
         };
@@ -148,6 +166,9 @@ mod tests {
         assert_eq!(a.eliminated(), 100);
         assert_eq!(a.time_behavioral, Duration::from_millis(10));
         assert_eq!(a.deltas, 18);
+        assert_eq!(a.skipped_prefix_steps, 26);
+        assert_eq!(a.skipped_faults, 4);
+        assert_eq!(a.dropped_faults, 8);
         // Merging an empty (all-dropped or empty-shard) stats block is the
         // identity.
         let before = a.clone();

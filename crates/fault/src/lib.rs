@@ -12,14 +12,20 @@
 //!   deterministic sampling,
 //! * [`FaultList::partition`], [`FaultShard`] and [`PartitionStrategy`] —
 //!   disjoint sharding of a universe for fault-parallel campaigns,
+//! * [`ActivationWindows`] — per-fault activation-window analysis over an
+//!   instrumented good replay: the earliest step each fault can first
+//!   diverge, the restart-eligibility rule for checkpointed campaigns,
+//!   and the activation-ordered fault schedule,
 //! * [`CoverageReport`] — detection bookkeeping and the coverage metric
 //!   reported in Table II of the paper, with lossless shard
 //!   [merging](CoverageReport::merge).
 
+mod activation;
 mod coverage;
 mod list;
 mod partition;
 
+pub use activation::ActivationWindows;
 pub use coverage::{CoverageReport, Detection};
 pub use list::{generate_faults, FaultList, FaultListConfig};
 pub use partition::{FaultShard, PartitionStrategy};

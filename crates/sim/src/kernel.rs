@@ -1,9 +1,11 @@
 //! The event-driven good (fault-free) simulator.
 
 use crate::interp::{
-    execute_into, execute_tape_into, ExecCtx, ExecOutcome, NoopMonitor, SlotWrite,
+    execute_into, execute_tape_into, ExecCtx, ExecMonitor, ExecOutcome, NoopMonitor, SlotWrite,
 };
+use crate::probe::{ProbeMonitor, SiteProbe};
 use crate::rtl_eval::eval_rtl_node_into;
+use crate::snapshot::{assign_logic_slice, ReplaySim, SimSnapshot};
 use crate::stimulus::Stimulus;
 use crate::store::ValueStore;
 use eraser_ir::{
@@ -56,6 +58,9 @@ pub struct Simulator<'d> {
     forces: Vec<(SignalId, u32, eraser_logic::LogicBit)>,
     /// Total delta cycles executed (exposed for instrumentation).
     deltas: u64,
+    /// Activation probe for instrumented good replays (`None` = the
+    /// zero-overhead default).
+    probe: Option<Box<SiteProbe>>,
 
     // Reusable workspace — all steady-state stepping works out of these
     // buffers, so `step()` performs zero heap allocations once warm.
@@ -119,6 +124,7 @@ impl<'d> Simulator<'d> {
             nba: Vec::new(),
             forces: Vec::new(),
             deltas: 0,
+            probe: None,
             ctx: ExecCtx::new(),
             outcome: ExecOutcome::default(),
             rtl_out: LogicVec::default(),
@@ -217,6 +223,9 @@ impl<'d> Simulator<'d> {
             changed
         };
         if changed {
+            if let Some(p) = &mut self.probe {
+                p.observe_commit(sig, self.values.get(sig));
+            }
             self.schedule_fanout(sig);
         }
         changed
@@ -268,6 +277,58 @@ impl<'d> Simulator<'d> {
             }
             self.step();
         }
+    }
+
+    /// True if no queued work is pending — the settle-point condition under
+    /// which snapshots are defined.
+    pub fn is_settled(&self) -> bool {
+        self.rtl_queue.is_empty()
+            && self.beh_queue.is_empty()
+            && self.nba.is_empty()
+            && self.watch_changed.is_empty()
+    }
+
+    /// Captures the full settle-point state into `snap`, reusing its
+    /// buffers (see [`SimSnapshot`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called between [`Simulator::set_input`] and
+    /// [`Simulator::step`] — snapshots are defined at settle points only.
+    pub fn capture_into(&self, snap: &mut SimSnapshot) {
+        assert!(self.is_settled(), "capture requires a settled simulator");
+        assign_logic_slice(&mut snap.values, self.values.as_slice());
+        assign_logic_slice(&mut snap.edge_prev, &self.edge_prev);
+        snap.forces.clear();
+        snap.forces.extend_from_slice(&self.forces);
+        snap.deltas = self.deltas;
+    }
+
+    /// Restores a captured settle-point state, discarding all current state
+    /// and pending work. The snapshot must come from a simulator over the
+    /// same design.
+    pub fn restore_from(&mut self, snap: &SimSnapshot) {
+        self.values.restore_from_slice(&snap.values);
+        assert_eq!(
+            self.edge_prev.len(),
+            snap.edge_prev.len(),
+            "snapshot covers a different design"
+        );
+        for (slot, v) in self.edge_prev.iter_mut().zip(&snap.edge_prev) {
+            slot.assign_from(v);
+        }
+        self.forces.clear();
+        self.forces.extend_from_slice(&snap.forces);
+        self.deltas = snap.deltas;
+        // Re-establish the quiescent scheduling state the snapshot was
+        // taken in.
+        self.rtl_dirty.fill(false);
+        self.rtl_queue.clear();
+        self.beh_dirty.fill(false);
+        self.beh_queue.clear();
+        self.watch_flag.fill(false);
+        self.watch_changed.clear();
+        self.nba.clear();
     }
 
     // ---- internals ----
@@ -344,30 +405,42 @@ impl<'d> Simulator<'d> {
         let design = self.design;
         let node = design.behavioral(id);
         let mut outcome = std::mem::take(&mut self.outcome);
-        match &self.tapes {
-            Some(t) => execute_tape_into(
-                design,
-                node,
-                t.program().behavioral(id.index()),
-                &self.values,
-                &mut NoopMonitor,
-                &mut self.ctx,
-                &mut outcome,
-            ),
-            None => execute_into(
-                design,
-                node,
-                &self.values,
-                &mut NoopMonitor,
-                &mut self.ctx,
-                &mut outcome,
-            ),
+        match self.probe.take() {
+            Some(mut p) => {
+                let mut mon = ProbeMonitor::new(&mut p, &node.vdg);
+                self.exec_node(id, &mut mon, &mut outcome);
+                self.probe = Some(p);
+            }
+            None => self.exec_node(id, &mut NoopMonitor, &mut outcome),
         }
         for (sig, val) in &outcome.blocking {
             self.commit_borrowed(*sig, val);
         }
         self.nba.append(&mut outcome.nba);
         self.outcome = outcome;
+    }
+
+    /// Executes one activation on the configured backend under `monitor`.
+    fn exec_node<M: ExecMonitor + ?Sized>(
+        &mut self,
+        id: BehavioralId,
+        monitor: &mut M,
+        outcome: &mut ExecOutcome,
+    ) {
+        let design = self.design;
+        let node = design.behavioral(id);
+        match &self.tapes {
+            Some(t) => execute_tape_into(
+                design,
+                node,
+                t.program().behavioral(id.index()),
+                &self.values,
+                monitor,
+                &mut self.ctx,
+                outcome,
+            ),
+            None => execute_into(design, node, &self.values, monitor, &mut self.ctx, outcome),
+        }
     }
 
     /// Deferred edge detection: compares watched signals against their
@@ -428,6 +501,51 @@ impl<'d> Simulator<'d> {
         writes.clear();
         self.nba = writes;
         any
+    }
+}
+
+impl ReplaySim for Simulator<'_> {
+    fn capture_into(&self, snap: &mut SimSnapshot) {
+        Simulator::capture_into(self, snap);
+    }
+
+    fn restore_from(&mut self, snap: &SimSnapshot) {
+        Simulator::restore_from(self, snap);
+    }
+
+    fn replay_step(&mut self, changes: &[(SignalId, LogicVec)]) {
+        for (sig, v) in changes {
+            self.set_input(*sig, v);
+        }
+        self.step();
+    }
+
+    fn signal_value(&self, sig: SignalId) -> &LogicVec {
+        self.value(sig)
+    }
+
+    fn force_bit(&mut self, sig: SignalId, bit: u32, value: eraser_logic::LogicBit) {
+        self.add_force(sig, bit, value);
+        self.step();
+    }
+
+    fn attach_probe(&mut self, mut probe: SiteProbe) {
+        probe.observe_initial(self.design, &self.values);
+        self.probe = Some(Box::new(probe));
+    }
+
+    fn take_probe(&mut self) -> Option<SiteProbe> {
+        self.probe.take().map(|p| *p)
+    }
+
+    fn begin_probe_step(&mut self, step: usize) {
+        if let Some(p) = &mut self.probe {
+            p.begin_step(step);
+        }
+    }
+
+    fn fully_defined(&self) -> bool {
+        self.values.fully_defined()
     }
 }
 

@@ -13,7 +13,11 @@
 //!   evaluated only after the active region settles — the discipline whose
 //!   concurrent-simulation analogue prevents the paper's "fake events"),
 //!   and a non-blocking-assignment commit region,
-//! * [`Stimulus`] — a cycle-stepped input waveform shared by all engines.
+//! * [`Stimulus`] — a cycle-stepped input waveform shared by all engines,
+//! * [`SimSnapshot`] / [`ReplaySim`] — settle-point state capture/restore
+//!   for checkpointed good-state replay, and [`SiteProbe`] — the
+//!   commit-granular activation/hazard recorder behind fault
+//!   activation-window analysis.
 //!
 //! # Example
 //!
@@ -46,7 +50,9 @@
 
 mod interp;
 mod kernel;
+mod probe;
 mod rtl_eval;
+mod snapshot;
 mod stimulus;
 mod store;
 mod vcd;
@@ -56,7 +62,9 @@ pub use interp::{
     ExecOutcome, ExecTrace, NoopMonitor, OverlayView, SlotWrite, TraceEvent, TraceMonitor,
 };
 pub use kernel::Simulator;
+pub use probe::{BitFirsts, ProbeMonitor, SiteProbe, NEVER};
 pub use rtl_eval::{eval_rtl_node, eval_rtl_node_into, eval_rtl_op, eval_rtl_op_with};
+pub use snapshot::{assign_logic_slice, ReplaySim, SimSnapshot};
 pub use stimulus::{Stimulus, StimulusBuilder};
 pub use store::ValueStore;
 pub use vcd::VcdWriter;

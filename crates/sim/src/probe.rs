@@ -1,0 +1,381 @@
+//! Good-run activation probing — the measurement side of activation-window
+//! analysis.
+//!
+//! A [`SiteProbe`] rides along one instrumented replay of the fault-free
+//! design and records, with **commit granularity** (every committed value
+//! change, including transients inside a settle step), everything the
+//! activation-window derivation in `eraser-fault` needs:
+//!
+//! * per fault-site signal and bit: the first stimulus step at which the
+//!   bit committed a defined `0`, a defined `1`, and an unknown (`X`/`Z`)
+//!   — from which the first *contradiction* of each stuck-at polarity and
+//!   the first *refinement divergence* (forced unknown) follow directly;
+//! * per signal: the first step at which an **X hazard** involving it was
+//!   observed. Hazards are the points where the monotone-refinement
+//!   argument breaks — the places where a fault network that merely
+//!   *refines* the good network (defined values where the good run has
+//!   `X`) could nonetheless diverge in behavior:
+//!   - a path decision whose outcome is unknown-sensitive (an `if`/`for`
+//!     condition with `X` truth, a `case` scrutinee or label carrying
+//!     unknowns) — refinement can flip the branch,
+//!   - a dynamic lvalue index that evaluated to unknown (the write is
+//!     skipped; refinement would perform it),
+//!   - an edge-watched signal whose bit 0 held `X` (IEEE event rules fire
+//!     `X -> 1` as posedge, so refinement changes firing),
+//!   - a level-sensitive block with an incomplete sensitivity list (its
+//!     activation under refinement is not reproducible from the good run).
+//!
+//! The probe is deliberately fault-agnostic: it tracks *signals*, and the
+//! derivation joins its data against a concrete fault list. Everything is
+//! step-stamped by the driving campaign via
+//! [`ReplaySim::begin_probe_step`](crate::ReplaySim::begin_probe_step);
+//! state present before the first step (the power-on/construction settle)
+//! is recorded as step 0 by [`SiteProbe::observe_initial`].
+
+use crate::interp::ExecMonitor;
+use crate::store::ValueStore;
+use eraser_ir::{
+    eval_expr_into, DecisionEval, DecisionId, DecisionInfo, Design, EvalScratch, Expr, SegmentId,
+    Sensitivity, SignalId, ValueSource, Vdg,
+};
+use eraser_logic::{LogicBit, LogicVec};
+
+/// Marker for "never observed".
+pub const NEVER: usize = usize::MAX;
+
+/// First-occurrence steps of each bit state at one tracked site bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFirsts {
+    /// First step the bit committed a defined `0`.
+    pub zero: usize,
+    /// First step the bit committed a defined `1`.
+    pub one: usize,
+    /// First step the bit committed an unknown (`X` or `Z`).
+    pub x: usize,
+}
+
+impl Default for BitFirsts {
+    fn default() -> Self {
+        BitFirsts {
+            zero: NEVER,
+            one: NEVER,
+            x: NEVER,
+        }
+    }
+}
+
+/// Commit-granular activation/hazard recorder for one good replay. See the
+/// [module docs](self).
+#[derive(Debug, Clone)]
+pub struct SiteProbe {
+    step: usize,
+    /// Per signal: per-bit first-occurrence records for tracked sites.
+    sites: Vec<Option<Box<[BitFirsts]>>>,
+    /// Per signal: first step an X hazard involving it was observed
+    /// ([`NEVER`] = none).
+    hazard: Vec<usize>,
+    /// Per signal: the signal feeds an edge sensitivity list.
+    edge_watched: Vec<bool>,
+    scratch: EvalScratch,
+}
+
+impl SiteProbe {
+    /// Creates a probe over `design` tracking the given site signals
+    /// (duplicates are fine).
+    pub fn new(design: &Design, sites: impl IntoIterator<Item = SignalId>) -> Self {
+        let n = design.num_signals();
+        let mut probe = SiteProbe {
+            step: 0,
+            sites: vec![None; n],
+            hazard: vec![NEVER; n],
+            edge_watched: (0..n)
+                .map(|i| !design.edge_fanout(SignalId::from_index(i)).is_empty())
+                .collect(),
+            scratch: EvalScratch::new(),
+        };
+        for sig in sites {
+            let width = design.signal(sig).width as usize;
+            probe.sites[sig.index()]
+                .get_or_insert_with(|| vec![BitFirsts::default(); width].into_boxed_slice());
+        }
+        probe
+    }
+
+    /// Sets the stimulus step subsequent observations are attributed to.
+    pub fn begin_step(&mut self, step: usize) {
+        self.step = step;
+    }
+
+    /// Records the baseline: the current (construction-settled) state of
+    /// every tracked site, power-on X hazards on edge-watched signals, and
+    /// static decision hazards of the level-sensitive blocks that executed
+    /// during construction. Called by
+    /// [`ReplaySim::attach_probe`](crate::ReplaySim::attach_probe)
+    /// implementations.
+    pub fn observe_initial(&mut self, design: &Design, values: &ValueStore) {
+        for i in 0..self.sites.len() {
+            let sig = SignalId::from_index(i);
+            if self.sites[i].is_some() {
+                self.record_bits(sig, values.get(sig));
+            }
+            if self.edge_watched[i]
+                && !matches!(values.get(sig).bit_or_x(0), LogicBit::Zero | LogicBit::One)
+            {
+                self.mark_hazard(sig);
+            }
+        }
+        for node in design.behavioral_nodes() {
+            match &node.sensitivity {
+                Sensitivity::Edges(_) => {}
+                Sensitivity::Star => self.static_decision_scan(&node.vdg, values),
+                Sensitivity::Level(list) => {
+                    self.static_decision_scan(&node.vdg, values);
+                    // Incomplete sensitivity list: activations under a
+                    // refined fault network are not reproducible from the
+                    // good run — conservatively hazard everything the
+                    // block reads.
+                    if node.reads.iter().any(|r| !list.contains(r)) {
+                        for &r in &node.reads {
+                            self.mark_hazard(r);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a committed value of `sig` (called for every changed commit
+    /// and harmlessly idempotent on repeats).
+    #[inline]
+    pub fn observe_commit(&mut self, sig: SignalId, value: &LogicVec) {
+        if self.sites[sig.index()].is_some() {
+            self.record_bits(sig, value);
+        }
+        if self.edge_watched[sig.index()]
+            && !matches!(value.bit_or_x(0), LogicBit::Zero | LogicBit::One)
+        {
+            self.mark_hazard(sig);
+        }
+    }
+
+    /// Checks one evaluated path decision for unknown-sensitivity and, if
+    /// its outcome could flip under X refinement, hazards every read
+    /// signal currently carrying unknowns.
+    pub fn decision_hazard(&mut self, info: &DecisionInfo, view: &dyn ValueSource) {
+        // Fast pre-filter: a decision over fully defined reads can never
+        // flip under refinement.
+        if !info.reads.iter().any(|r| view.value(*r).has_unknown()) {
+            return;
+        }
+        let flippable = match &info.eval {
+            DecisionEval::Truth(cond) => {
+                let mut v = self.scratch.take();
+                eval_expr_into(cond, view, &mut self.scratch, &mut v);
+                let t = v.truth();
+                self.scratch.put(v);
+                // A defined `1` (some defined one-bit) or defined `0` (all
+                // bits defined zero) truth survives any refinement.
+                !matches!(t, LogicBit::Zero | LogicBit::One)
+            }
+            DecisionEval::Case {
+                scrutinee,
+                arm_labels,
+                ..
+            } => {
+                let mut v = self.scratch.take();
+                eval_expr_into(scrutinee, view, &mut self.scratch, &mut v);
+                let mut unknown = v.has_unknown();
+                if !unknown {
+                    'labels: for labels in arm_labels {
+                        for label in labels {
+                            eval_expr_into(label, view, &mut self.scratch, &mut v);
+                            if v.has_unknown() {
+                                unknown = true;
+                                break 'labels;
+                            }
+                        }
+                    }
+                }
+                self.scratch.put(v);
+                unknown
+            }
+        };
+        if flippable {
+            for &r in &info.reads {
+                if view.value(r).has_unknown() {
+                    self.mark_hazard(r);
+                }
+            }
+        }
+    }
+
+    /// Records a dynamic lvalue index that evaluated to unknown: the write
+    /// was skipped, refinement would perform it. Hazards the unknown-valued
+    /// reads of the index expression.
+    pub fn index_hazard(&mut self, index: &Expr, view: &dyn ValueSource) {
+        let mut reads = Vec::new();
+        index.collect_reads(&mut reads);
+        for r in reads {
+            if view.value(r).has_unknown() {
+                self.mark_hazard(r);
+            }
+        }
+    }
+
+    /// Per-bit first-occurrence records of a tracked site, if tracked.
+    pub fn site_firsts(&self, sig: SignalId) -> Option<&[BitFirsts]> {
+        self.sites[sig.index()].as_deref()
+    }
+
+    /// First step an X hazard involving `sig` was observed ([`NEVER`] if
+    /// none).
+    pub fn hazard_step(&self, sig: SignalId) -> usize {
+        self.hazard[sig.index()]
+    }
+
+    // ---- internals ----
+
+    fn mark_hazard(&mut self, sig: SignalId) {
+        let h = &mut self.hazard[sig.index()];
+        *h = (*h).min(self.step);
+    }
+
+    fn record_bits(&mut self, sig: SignalId, value: &LogicVec) {
+        let step = self.step;
+        let firsts = self.sites[sig.index()].as_mut().expect("tracked");
+        for (bit, f) in firsts.iter_mut().enumerate() {
+            let slot = match value.bit_or_x(bit as u32) {
+                LogicBit::Zero => &mut f.zero,
+                LogicBit::One => &mut f.one,
+                _ => &mut f.x,
+            };
+            *slot = (*slot).min(step);
+        }
+    }
+
+    fn static_decision_scan(&mut self, vdg: &Vdg, values: &ValueStore) {
+        for d in &vdg.decisions {
+            self.decision_hazard(d, values);
+        }
+    }
+}
+
+/// The [`ExecMonitor`] that feeds a [`SiteProbe`] during instrumented
+/// behavioral executions of the good replay. Constructed per activation
+/// with the node's VDG, so decision ids resolve to their read sets and
+/// `Evaluate` payloads.
+pub struct ProbeMonitor<'a> {
+    probe: &'a mut SiteProbe,
+    vdg: &'a Vdg,
+}
+
+impl<'a> ProbeMonitor<'a> {
+    /// Wraps `probe` for one activation of the node owning `vdg`.
+    pub fn new(probe: &'a mut SiteProbe, vdg: &'a Vdg) -> Self {
+        ProbeMonitor { probe, vdg }
+    }
+}
+
+impl ExecMonitor for ProbeMonitor<'_> {
+    fn on_decision(&mut self, _: DecisionId, _: u32, _: &[(SignalId, LogicVec)]) {}
+    fn on_segment(&mut self, _: SegmentId, _: &[(SignalId, LogicVec)]) {}
+
+    fn on_decision_view(&mut self, id: DecisionId, view: &dyn ValueSource) {
+        self.probe
+            .decision_hazard(&self.vdg.decisions[id.index()], view);
+    }
+
+    fn on_unknown_index(&mut self, index: &Expr, view: &dyn ValueSource) {
+        self.probe.index_hazard(index, view);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eraser_frontend::compile;
+
+    #[test]
+    fn records_site_firsts_and_edge_hazards() {
+        let d = compile(
+            "module m(input wire clk, input wire [1:0] a, output reg [1:0] q);
+               always @(posedge clk) q <= a;
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let q = d.find_signal("q").unwrap();
+        let clk = d.find_signal("clk").unwrap();
+        let store = ValueStore::new(&d);
+        let mut probe = SiteProbe::new(&d, [q]);
+        probe.observe_initial(&d, &store);
+        // Power-on: q is X at step 0; clk (edge-watched) is X -> hazard.
+        let firsts = probe.site_firsts(q).unwrap();
+        assert_eq!(firsts[0].x, 0);
+        assert_eq!(firsts[0].zero, NEVER);
+        assert_eq!(probe.hazard_step(clk), 0);
+        // Commit a defined value at step 3.
+        probe.begin_step(3);
+        probe.observe_commit(q, &LogicVec::from_u64(2, 0b10));
+        let firsts = probe.site_firsts(q).unwrap();
+        assert_eq!(firsts[0].zero, 3);
+        assert_eq!(firsts[1].one, 3);
+        assert_eq!(firsts[1].zero, NEVER);
+        // Untracked signals are ignored without panicking.
+        probe.observe_commit(clk, &LogicVec::from_u64(1, 1));
+        assert!(probe.site_firsts(clk).is_none());
+    }
+
+    #[test]
+    fn x_decision_hazards_unknown_reads_only() {
+        let d = compile(
+            "module m(input wire s, input wire [3:0] a, output reg [3:0] q);
+               always @(*) begin
+                 if (s) q = a; else q = 4'h0;
+               end
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let s = d.find_signal("s").unwrap();
+        let a = d.find_signal("a").unwrap();
+        let mut store = ValueStore::new(&d);
+        store.set(a, LogicVec::from_u64(4, 5));
+        let mut probe = SiteProbe::new(&d, []);
+        probe.begin_step(2);
+        let vdg = &d.behavioral_nodes()[0].vdg;
+        // s is X: the decision can flip under refinement.
+        probe.decision_hazard(&vdg.decisions[0], &store);
+        assert_eq!(probe.hazard_step(s), 2);
+        assert_eq!(probe.hazard_step(a), NEVER, "defined reads stay clean");
+        // With s defined the decision is refinement-stable.
+        let mut probe = SiteProbe::new(&d, []);
+        store.set(s, LogicVec::from_u64(1, 1));
+        probe.decision_hazard(&vdg.decisions[0], &store);
+        assert_eq!(probe.hazard_step(s), NEVER);
+    }
+
+    #[test]
+    fn defined_one_truth_with_other_unknowns_is_stable() {
+        // Condition (a | b): a has a defined 1 bit -> truth is One even
+        // though b is X; refinement cannot flip it.
+        let d = compile(
+            "module m(input wire [1:0] a, input wire [1:0] b, output reg [1:0] q);
+               always @(*) begin
+                 if (a | b) q = 2'h1; else q = 2'h0;
+               end
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let a = d.find_signal("a").unwrap();
+        let b = d.find_signal("b").unwrap();
+        let mut store = ValueStore::new(&d);
+        store.set(a, LogicVec::from_u64(2, 0b01));
+        let mut probe = SiteProbe::new(&d, []);
+        let vdg = &d.behavioral_nodes()[0].vdg;
+        probe.decision_hazard(&vdg.decisions[0], &store);
+        assert_eq!(probe.hazard_step(a), NEVER);
+        assert_eq!(probe.hazard_step(b), NEVER);
+    }
+}

@@ -61,6 +61,34 @@ impl ValueStore {
         }
     }
 
+    /// All values, indexed by signal id — the snapshot/capture view.
+    pub fn as_slice(&self) -> &[LogicVec] {
+        &self.values
+    }
+
+    /// Overwrites every slot from `vals` in place, reusing each slot's
+    /// storage (the snapshot-restore path; zero allocations for inline
+    /// widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` covers a different number of signals.
+    pub fn restore_from_slice(&mut self, vals: &[LogicVec]) {
+        assert_eq!(
+            self.values.len(),
+            vals.len(),
+            "snapshot covers a different design"
+        );
+        for (slot, v) in self.values.iter_mut().zip(vals) {
+            slot.assign_from(v);
+        }
+    }
+
+    /// True if every signal's value is fully defined (no `X`/`Z` bits).
+    pub fn fully_defined(&self) -> bool {
+        self.values.iter().all(|v| !v.has_unknown())
+    }
+
     /// Number of signals.
     pub fn len(&self) -> usize {
         self.values.len()

@@ -8,7 +8,7 @@
 //! eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]
 //!        [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]
 //!        [--threads N] [--partition contiguous|round-robin|site-affinity]
-//!        [--eval tree|tape]
+//!        [--eval tree|tape] [--checkpoint-interval N]
 //! ```
 //!
 //! `--threads N` runs the campaign fault-parallel over N worker threads
@@ -18,7 +18,9 @@
 //! `ERASER_THREADS` / `ERASER_PARTITION` / `ERASER_EVAL`. Coverage is
 //! bit-identical at any thread count and on either backend.
 
-use eraser::core::{run_campaign, CampaignConfig, EvalBackend, ParallelConfig, RedundancyMode};
+use eraser::core::{
+    run_campaign, CampaignConfig, CheckpointConfig, EvalBackend, ParallelConfig, RedundancyMode,
+};
 use eraser::fault::{generate_faults, FaultListConfig, PartitionStrategy};
 use eraser::frontend::compile;
 use eraser::ir::Design;
@@ -38,6 +40,7 @@ struct Options {
     list_undetected: bool,
     parallel: ParallelConfig,
     backend: EvalBackend,
+    checkpoint: CheckpointConfig,
 }
 
 fn usage() -> ! {
@@ -45,7 +48,7 @@ fn usage() -> ! {
         "usage: eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]\n\
          \x20             [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]\n\
          \x20             [--threads N] [--partition contiguous|round-robin|site-affinity]\n\
-         \x20             [--eval tree|tape]"
+         \x20             [--eval tree|tape] [--checkpoint-interval N]"
     );
     std::process::exit(2);
 }
@@ -64,6 +67,7 @@ fn parse_args() -> Options {
         list_undetected: false,
         parallel: ParallelConfig::from_env(),
         backend: EvalBackend::from_env(),
+        checkpoint: CheckpointConfig::from_env(),
     };
     let need = |a: Option<String>| a.unwrap_or_else(|| usage());
     while let Some(arg) = args.next() {
@@ -102,6 +106,10 @@ fn parse_args() -> Options {
                         eprintln!("error: {e}");
                         usage()
                     })
+            }
+            "--checkpoint-interval" => {
+                opts.checkpoint =
+                    CheckpointConfig::every(need(args.next()).parse().unwrap_or_else(|_| usage()))
             }
             "--list-undetected" => opts.list_undetected = true,
             "--help" | "-h" => usage(),
@@ -232,6 +240,17 @@ fn main() -> ExitCode {
     if opts.parallel.is_parallel() {
         println!("parallel: {}", opts.parallel);
     }
+    if opts.checkpoint.is_enabled() {
+        // The CLI drives the concurrent ERASER engine, which is
+        // checkpoint-transparent (results and counters never move with the
+        // interval); the knob matters for the serial baselines behind the
+        // library/bench surfaces, so say so instead of implying a trim ran.
+        println!(
+            "checkpointing: {} (concurrent engine is checkpoint-transparent; \
+             affects the serial IFsim/VFsim baselines)",
+            opts.checkpoint
+        );
+    }
     let result = run_campaign(
         &design,
         &faults,
@@ -241,6 +260,7 @@ fn main() -> ExitCode {
             drop_detected: true,
             parallel: opts.parallel,
             backend: opts.backend,
+            checkpoint: opts.checkpoint,
         },
     );
     println!(

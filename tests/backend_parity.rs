@@ -27,7 +27,7 @@ fn assert_stats_identical(
     b: &RedundancyStats,
 ) {
     let key = |s: &RedundancyStats| {
-        (
+        [
             s.good_activations,
             s.opportunities,
             s.explicit_skipped,
@@ -38,7 +38,10 @@ fn assert_stats_identical(
             s.rtl_good_evals,
             s.rtl_fault_evals,
             s.deltas,
-        )
+            s.skipped_prefix_steps,
+            s.skipped_faults,
+            s.dropped_faults,
+        ]
     };
     assert_eq!(
         key(a),

@@ -48,13 +48,15 @@ fn parity_for(bench: Benchmark, cycles: usize, max_faults: usize) {
         bench.name(),
         results[0].coverage
     );
-    // The concurrent engines carry redundancy instrumentation; the serial
-    // baselines do not.
+    // The concurrent engines always carry redundancy instrumentation; the
+    // serial baselines carry it only when checkpointed good-state replay
+    // (which their skip counters quantify) is enabled via `ERASER_CKPT`.
+    let serial_stats = eraser::core::CheckpointConfig::from_env().is_enabled();
     for r in &results {
         let concurrent = r.name.starts_with("Eraser") || r.name == "CfSim";
         assert_eq!(
             r.stats.is_some(),
-            concurrent,
+            concurrent || serial_stats,
             "{}: unexpected stats presence for {}",
             bench.name(),
             r.name
