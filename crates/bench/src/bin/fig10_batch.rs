@@ -1,0 +1,185 @@
+//! **Fig. 10** (beyond the paper): bit-parallel fault batching — 64-wide
+//! PPSFP-style evaluation on the RTL plane of the concurrent engine.
+//!
+//! For every selected benchmark, runs the concurrent ERASER engine once
+//! scalar and once with `--batch` (the identical campaign otherwise, both
+//! on the compiled-tape backend), asserts the coverage records are
+//! **bit-identical**, and reports wall-time speedup, fault throughput and
+//! the batch occupancy counters: groups formed, lanes filled (occupancy)
+//! and scalar fallbacks. Designs whose RTL plane is empty or unbatchable
+//! legitimately show no engagement — the batch path concerns RTL nodes
+//! only. Emits `BENCH_fig10_batch.json` (schema `eraser-fig10-batch-v1`).
+//!
+//! Knobs: `ERASER_BENCH_ONLY` restricts the benchmark set;
+//! `ERASER_FIG10_STRICT=1` additionally fails the run unless at least one
+//! design filled batch lanes (the CI gate against the batch path silently
+//! never engaging).
+
+use eraser_bench::json::write_json_objects;
+use eraser_bench::{
+    env_scale, fmt_secs, prepare, print_environment, selected_benchmarks, Prepared,
+};
+use eraser_core::{
+    run_campaign, BatchConfig, CampaignConfig, CampaignResult, EvalBackend, ParallelConfig,
+    RedundancyMode,
+};
+use std::time::Instant;
+
+const BINARY: &str = "fig10_batch";
+const SCHEMA: &str = "eraser-fig10-batch-v1";
+
+struct Record {
+    benchmark: String,
+    backend: String,
+    faults: usize,
+    stimulus_steps: usize,
+    wall_scalar_seconds: f64,
+    wall_batch_seconds: f64,
+    speedup: f64,
+    faults_per_sec_scalar: f64,
+    faults_per_sec_batch: f64,
+    batch_groups: u64,
+    batch_lanes: u64,
+    batch_scalar_fallbacks: u64,
+    lane_occupancy_percent: f64,
+    detected: usize,
+    coverage_percent: f64,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema\":\"{}\",\"binary\":\"{}\",\"benchmark\":\"{}\",",
+                "\"backend\":\"{}\",\"faults\":{},\"stimulus_steps\":{},",
+                "\"wall_scalar_seconds\":{:.6},\"wall_batch_seconds\":{:.6},",
+                "\"speedup\":{:.4},\"faults_per_sec_scalar\":{:.2},",
+                "\"faults_per_sec_batch\":{:.2},\"batch_groups\":{},",
+                "\"batch_lanes\":{},\"batch_scalar_fallbacks\":{},",
+                "\"lane_occupancy_percent\":{:.2},\"detected\":{},",
+                "\"coverage_percent\":{:.4}}}"
+            ),
+            SCHEMA,
+            BINARY,
+            self.benchmark,
+            self.backend,
+            self.faults,
+            self.stimulus_steps,
+            self.wall_scalar_seconds,
+            self.wall_batch_seconds,
+            self.speedup,
+            self.faults_per_sec_scalar,
+            self.faults_per_sec_batch,
+            self.batch_groups,
+            self.batch_lanes,
+            self.batch_scalar_fallbacks,
+            self.lane_occupancy_percent,
+            self.detected,
+            self.coverage_percent,
+        )
+    }
+}
+
+/// One timed campaign on the tape backend.
+fn timed_run(p: &Prepared, batch: BatchConfig) -> (CampaignResult, f64) {
+    let t0 = Instant::now();
+    let result = run_campaign(
+        &p.design,
+        &p.faults,
+        &p.stimulus,
+        &CampaignConfig {
+            mode: RedundancyMode::Full,
+            drop_detected: true,
+            parallel: ParallelConfig::serial(),
+            backend: EvalBackend::Tape,
+            batch,
+            ..Default::default()
+        },
+    );
+    (result, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    print_environment("Fig. 10 — bit-parallel fault batching (64-wide PPSFP on the RTL plane)");
+    let scale = env_scale();
+
+    println!(
+        "{:<11} {:>6} {:>10} {:>10} {:>7} {:>9} {:>7} {:>9}   coverage",
+        "benchmark", "faults", "scalar", "batch", "x", "groups", "occ%", "fallback"
+    );
+
+    let mut records = Vec::new();
+    let mut ln_sum = 0.0f64;
+    let mut n = 0usize;
+    let mut any_lanes = false;
+    for bench in selected_benchmarks() {
+        let p = prepare(bench, scale);
+        let (scalar, wall_scalar) = timed_run(&p, BatchConfig::disabled());
+        let (batched, wall_batch) = timed_run(&p, BatchConfig::enabled());
+        assert_eq!(
+            scalar.coverage,
+            batched.coverage,
+            "{}: batched coverage records diverged from scalar",
+            bench.name()
+        );
+        let s = &batched.stats;
+        let speedup = wall_scalar / wall_batch;
+        ln_sum += speedup.ln();
+        n += 1;
+        any_lanes |= s.batch_lanes > 0;
+        let occupancy = if s.batch_groups > 0 {
+            100.0 * s.batch_lanes as f64 / (s.batch_groups * 64) as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<11} {:>6} {:>10} {:>10} {:>6.2}x {:>9} {:>6.1}% {:>9}   {}",
+            bench.name(),
+            p.faults.len(),
+            fmt_secs(std::time::Duration::from_secs_f64(wall_scalar)),
+            fmt_secs(std::time::Duration::from_secs_f64(wall_batch)),
+            speedup,
+            s.batch_groups,
+            occupancy,
+            s.batch_scalar_fallbacks,
+            batched.coverage
+        );
+        records.push(Record {
+            benchmark: bench.name().to_string(),
+            backend: EvalBackend::Tape.to_string(),
+            faults: p.faults.len(),
+            stimulus_steps: p.stimulus.num_steps(),
+            wall_scalar_seconds: wall_scalar,
+            wall_batch_seconds: wall_batch,
+            speedup,
+            faults_per_sec_scalar: p.faults.len() as f64 / wall_scalar,
+            faults_per_sec_batch: p.faults.len() as f64 / wall_batch,
+            batch_groups: s.batch_groups,
+            batch_lanes: s.batch_lanes,
+            batch_scalar_fallbacks: s.batch_scalar_fallbacks,
+            lane_occupancy_percent: occupancy,
+            detected: batched.coverage.detected(),
+            coverage_percent: batched.coverage.coverage_percent(),
+        });
+    }
+
+    println!();
+    if n > 0 {
+        println!(
+            "geomean speedup with batching {:.2}x over {n} designs",
+            (ln_sum / n as f64).exp()
+        );
+    }
+    println!("(coverage records asserted bit-identical, batching on vs off, per design)");
+    let lines: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    write_json_objects(BINARY, &lines);
+
+    if std::env::var("ERASER_FIG10_STRICT")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        && !any_lanes
+    {
+        eprintln!("STRICT: no design filled any batch lane — the batch path never engaged");
+        std::process::exit(1);
+    }
+}

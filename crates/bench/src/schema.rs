@@ -83,6 +83,29 @@ pub fn registry() -> Vec<(&'static str, Vec<(&'static str, Ty)>)> {
                 ("coverage_percent", Num),
             ],
         ),
+        (
+            // fig10_batch bit-parallel fault-batching records.
+            "eraser-fig10-batch-v1",
+            vec![
+                ("schema", Str),
+                ("binary", Str),
+                ("benchmark", Str),
+                ("backend", Str),
+                ("faults", Num),
+                ("stimulus_steps", Num),
+                ("wall_scalar_seconds", Num),
+                ("wall_batch_seconds", Num),
+                ("speedup", Num),
+                ("faults_per_sec_scalar", Num),
+                ("faults_per_sec_batch", Num),
+                ("batch_groups", Num),
+                ("batch_lanes", Num),
+                ("batch_scalar_fallbacks", Num),
+                ("lane_occupancy_percent", Num),
+                ("detected", Num),
+                ("coverage_percent", Num),
+            ],
+        ),
     ]
 }
 

@@ -1,0 +1,72 @@
+//! The bit-parallel fault-batching knob.
+//!
+//! Batching packs up to [`eraser_logic::LANES`] faults of one engine into
+//! the lanes of word-wide value planes ([`eraser_logic::LanePlanes`]) and
+//! evaluates batchable RTL nodes for all of them in one bit-sliced pass
+//! (PPSFP applied to the RTL plane — see [`eraser_ir::batch`]). It is a
+//! pure evaluation-strategy change: coverage and every semantic
+//! [`RedundancyStats`](crate::RedundancyStats) counter stay bit-identical
+//! to the scalar path, which the differential tests enforce.
+
+/// Whether engines evaluate RTL fault candidates in 64-wide batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchConfig {
+    /// True to enable the bit-parallel RTL batch path.
+    pub enabled: bool,
+}
+
+impl BatchConfig {
+    /// Batching off — the scalar concurrent evaluation path.
+    pub fn disabled() -> Self {
+        BatchConfig { enabled: false }
+    }
+
+    /// Batching on.
+    pub fn enabled() -> Self {
+        BatchConfig { enabled: true }
+    }
+
+    /// Reads `ERASER_BATCH`: unset, empty or `0` is off, `1` is on.
+    /// Anything else is a configuration error and panics, mirroring the
+    /// `ERASER_EVAL` convention.
+    pub fn from_env() -> Self {
+        match std::env::var("ERASER_BATCH") {
+            Err(_) => Self::disabled(),
+            Ok(v) => Self::parse_env(&v),
+        }
+    }
+
+    /// The `ERASER_BATCH` parsing rule, separated for testability.
+    fn parse_env(value: &str) -> Self {
+        match value.trim() {
+            "" | "0" => Self::disabled(),
+            "1" => Self::enabled(),
+            other => panic!("invalid ERASER_BATCH value {other:?} (expected 0 or 1)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rules() {
+        assert!(!BatchConfig::parse_env("").enabled);
+        assert!(!BatchConfig::parse_env("0").enabled);
+        assert!(!BatchConfig::parse_env(" 0 ").enabled);
+        assert!(BatchConfig::parse_env("1").enabled);
+        assert!(BatchConfig::parse_env(" 1 ").enabled);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ERASER_BATCH")]
+    fn unrecognized_value_panics() {
+        BatchConfig::parse_env("yes");
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert_eq!(BatchConfig::default(), BatchConfig::disabled());
+    }
+}

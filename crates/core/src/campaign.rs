@@ -1,12 +1,13 @@
 //! One-call fault-simulation campaign driver.
 
+use crate::batch::BatchConfig;
 use crate::checkpoint::CheckpointConfig;
 use crate::engine::EraserEngine;
 use crate::parallel::{run_sharded, ParallelConfig};
 use crate::stats::RedundancyStats;
 use crate::RedundancyMode;
 use eraser_fault::{CoverageReport, FaultList};
-use eraser_ir::{Design, EvalBackend, TapeProgram};
+use eraser_ir::{BatchProgram, Design, EvalBackend, TapeProgram};
 use eraser_sim::Stimulus;
 use std::time::Instant;
 
@@ -35,6 +36,13 @@ pub struct CampaignConfig {
     /// concurrent engines are checkpoint-transparent (see
     /// [`CheckpointConfig`]).
     pub checkpoint: CheckpointConfig,
+    /// Bit-parallel fault batching: evaluate up to 64 fault candidates of a
+    /// batchable RTL node in one word-parallel pass (PPSFP applied to the
+    /// RTL plane). The default honors `ERASER_BATCH` (disabled when
+    /// unset). Coverage and all semantic counters are bit-identical with
+    /// batching on or off; the batch program is compiled once per campaign
+    /// and shared across every fault-parallel shard worker.
+    pub batch: BatchConfig,
 }
 
 impl Default for CampaignConfig {
@@ -45,6 +53,7 @@ impl Default for CampaignConfig {
             parallel: ParallelConfig::default(),
             backend: EvalBackend::from_env(),
             checkpoint: CheckpointConfig::from_env(),
+            batch: BatchConfig::from_env(),
         }
     }
 }
@@ -104,8 +113,10 @@ pub fn run_campaign(
 ) -> CampaignResult {
     let t0 = Instant::now();
     // Tape backend: lower the design once, share the immutable program
-    // with every worker (and the serial path below).
+    // with every worker (and the serial path below). Likewise the batch
+    // program when bit-parallel fault batching is on.
     let tapes = TapeProgram::for_backend(design, config.backend);
+    let batch = config.batch.enabled.then(|| BatchProgram::compile(design));
     let threads = config.parallel.effective_threads();
     if threads > 1 && faults.len() > 1 {
         let mut shards = faults.partition(
@@ -118,7 +129,8 @@ pub fn run_campaign(
         shards.retain(|s| !s.is_empty());
         let shard_results = run_sharded(&shards, threads, |shard| {
             let shard_t0 = Instant::now();
-            let mut engine = build_engine(design, &shard.list, config, tapes.as_ref());
+            let mut engine =
+                build_engine(design, &shard.list, config, tapes.as_ref(), batch.as_ref());
             engine.run(stimulus);
             let mut stats = engine.stats().clone();
             stats.time_total = shard_t0.elapsed();
@@ -132,7 +144,7 @@ pub fn run_campaign(
         }
         return CampaignResult { coverage, stats };
     }
-    let mut engine = build_engine(design, faults, config, tapes.as_ref());
+    let mut engine = build_engine(design, faults, config, tapes.as_ref(), batch.as_ref());
     engine.run(stimulus);
     let mut stats = engine.stats().clone();
     stats.time_total = t0.elapsed();
@@ -143,23 +155,22 @@ pub fn run_campaign(
 }
 
 /// Builds one campaign engine on the configured backend, attaching the
-/// shared tape program when present.
+/// shared tape and batch programs when present.
 fn build_engine<'d>(
     design: &'d Design,
     faults: &'d FaultList,
     config: &CampaignConfig,
     tapes: Option<&'d TapeProgram>,
+    batch: Option<&'d BatchProgram>,
 ) -> EraserEngine<'d> {
-    match tapes {
-        Some(tp) => EraserEngine::with_tapes(design, faults, config.mode, config.drop_detected, tp),
-        None => EraserEngine::with_backend(
-            design,
-            faults,
-            config.mode,
-            config.drop_detected,
-            EvalBackend::Tree,
-        ),
-    }
+    EraserEngine::with_programs(
+        design,
+        faults,
+        config.mode,
+        config.drop_detected,
+        tapes,
+        batch,
+    )
 }
 
 #[cfg(test)]

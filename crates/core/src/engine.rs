@@ -12,16 +12,18 @@
 //! [`DiffList::upsert_with`], and expression evaluation runs through the
 //! scratch-arena `eval_expr_into` path.
 
+use crate::batch::BatchConfig;
 use crate::diff::{union_ids_into, DiffList};
 use crate::monitor::RedundancyMonitor;
 use crate::stats::RedundancyStats;
 use crate::RedundancyMode;
-use eraser_fault::{detectable_mismatch, CoverageReport, Detection, FaultId, FaultList};
+use eraser_fault::{detectable_mismatch, BatchPlan, CoverageReport, Detection, FaultId, FaultList};
 use eraser_ir::{
-    run_tape, tapes_for_backend, BehavioralId, Design, EdgeKind, EvalBackend, EvalScratch,
-    RtlNodeId, Sensitivity, SignalId, TapeProgram, TapeRef, TapeScratch, ValueSource,
+    run_batch, run_tape, tapes_for_backend, BatchProgram, BatchRef, BehavioralId, Design, EdgeKind,
+    EvalBackend, EvalScratch, RtlNode, RtlNodeId, Sensitivity, SignalId, TapeProgram, TapeRef,
+    TapeScratch, ValueSource,
 };
-use eraser_logic::LogicVec;
+use eraser_logic::{LanePlanes, LogicVec};
 use eraser_sim::{
     eval_rtl_op_with, execute_into, execute_tape_into, ExecCtx, ExecMonitor, ExecOutcome,
     NoopMonitor, SlotWrite, Stimulus, ValueStore,
@@ -30,6 +32,18 @@ use std::time::Instant;
 
 /// Bound on delta cycles per step (oscillation guard).
 const DELTA_LIMIT: usize = 10_000;
+
+/// Smallest batch chunk worth transposing into lane planes; below this the
+/// per-chunk fixed cost (lane-word fills plus the 64×64 bit-matrix
+/// transposes of the input and output planes, ~400 word operations each)
+/// exceeds the scalar evaluations it replaces, so the engine falls back to
+/// the scalar path (counted in
+/// [`RedundancyStats::batch_scalar_fallbacks`]). Word-level scalar
+/// evaluation already packs a node's full width into one word, so batching
+/// only wins where per-fault overheads (tape dispatch, diff-list searches)
+/// amortize across well-filled lanes — measured break-even sits near a
+/// quarter-full word.
+const MIN_BATCH_LANES: usize = 16;
 
 /// A fault's view of the committed design state: the diff entry where
 /// visible, the good value otherwise. All lookups borrow — building or
@@ -122,6 +136,12 @@ struct Workspace {
     nodes: Vec<BehavioralId>,
     /// Sensitivity terms on changed signals.
     terms: Vec<(EdgeKind, SignalId)>,
+    /// Per-input lane planes of the bit-parallel RTL batch path.
+    planes: Vec<LanePlanes>,
+    /// Output lane plane of the batch path.
+    out_plane: LanePlanes,
+    /// `(batch, lane, fault)` slots of the current node's candidates.
+    slots: Vec<(u32, u8, FaultId)>,
 }
 
 impl Workspace {
@@ -191,6 +211,12 @@ pub struct EraserEngine<'d> {
     /// compiled once per campaign and shared by reference across
     /// fault-parallel shard workers, or owned when constructed standalone.
     tapes: Option<TapeRef<'d>>,
+    /// Bit-parallel batch program when fault batching is enabled — like
+    /// `tapes`, compiled once per campaign and shared across shard workers,
+    /// or owned when constructed standalone.
+    batch: Option<BatchRef<'d>>,
+    /// Static `(batch, lane)` fault assignment; present iff `batch` is.
+    plan: Option<BatchPlan>,
 
     good: ValueStore,
     diffs: Vec<DiffList>,
@@ -222,9 +248,11 @@ pub struct EraserEngine<'d> {
 impl<'d> EraserEngine<'d> {
     /// Creates an engine over `design` with the fault batch `faults`, in
     /// redundancy mode `mode`, and performs the initial evaluation. The
-    /// evaluation backend follows `ERASER_EVAL` (tree walker by default);
-    /// use [`EraserEngine::with_backend`] or [`EraserEngine::with_tapes`]
-    /// to pin one explicitly.
+    /// evaluation backend follows `ERASER_EVAL` (tree walker by default)
+    /// and bit-parallel fault batching follows `ERASER_BATCH` (off by
+    /// default); use [`EraserEngine::with_backend`],
+    /// [`EraserEngine::with_tapes`] or [`EraserEngine::with_programs`] to
+    /// pin them explicitly.
     pub fn new(
         design: &'d Design,
         faults: &'d FaultList,
@@ -235,7 +263,7 @@ impl<'d> EraserEngine<'d> {
     }
 
     /// Creates an engine pinned to `backend` (compiling a private tape
-    /// program for [`EvalBackend::Tape`]).
+    /// program for [`EvalBackend::Tape`]). Batching follows `ERASER_BATCH`.
     pub fn with_backend(
         design: &'d Design,
         faults: &'d FaultList,
@@ -249,13 +277,14 @@ impl<'d> EraserEngine<'d> {
             mode,
             drop_detected,
             tapes_for_backend(design, backend),
+            Self::batch_from_env(design),
         )
     }
 
     /// Creates an engine on the tape backend executing a shared,
     /// pre-compiled program — what [`run_campaign`](crate::run_campaign)
     /// hands every fault-parallel shard worker so the design is lowered
-    /// once per campaign.
+    /// once per campaign. Batching follows `ERASER_BATCH`.
     pub fn with_tapes(
         design: &'d Design,
         faults: &'d FaultList,
@@ -269,7 +298,38 @@ impl<'d> EraserEngine<'d> {
             mode,
             drop_detected,
             Some(TapeRef::Shared(tapes)),
+            Self::batch_from_env(design),
         )
+    }
+
+    /// Creates an engine with explicit shared programs for both axes: the
+    /// evaluation tapes (`None` pins the tree walker) and the bit-parallel
+    /// batch program (`None` disables batching). The campaign driver
+    /// compiles each at most once and hands them to every shard worker.
+    pub fn with_programs(
+        design: &'d Design,
+        faults: &'d FaultList,
+        mode: RedundancyMode,
+        drop_detected: bool,
+        tapes: Option<&'d TapeProgram>,
+        batch: Option<&'d BatchProgram>,
+    ) -> Self {
+        Self::build(
+            design,
+            faults,
+            mode,
+            drop_detected,
+            tapes.map(TapeRef::Shared),
+            batch.map(BatchRef::Shared),
+        )
+    }
+
+    /// The `ERASER_BATCH`-driven owned batch program of the standalone
+    /// constructors.
+    fn batch_from_env(design: &'d Design) -> Option<BatchRef<'d>> {
+        BatchConfig::from_env()
+            .enabled
+            .then(|| BatchRef::Owned(BatchProgram::compile(design)))
     }
 
     fn build(
@@ -278,6 +338,7 @@ impl<'d> EraserEngine<'d> {
         mode: RedundancyMode,
         drop_detected: bool,
         tapes: Option<TapeRef<'d>>,
+        batch: Option<BatchRef<'d>>,
     ) -> Self {
         let n_sig = design.num_signals();
         let mut site_faults: Vec<Vec<FaultId>> = vec![Vec::new(); n_sig];
@@ -296,12 +357,15 @@ impl<'d> EraserEngine<'d> {
             .iter()
             .map(|v| DiffList::with_capacity(v.len()))
             .collect();
+        let plan = batch.as_ref().map(|_| BatchPlan::build(faults));
         let mut engine = EraserEngine {
             design,
             faults,
             mode,
             drop_detected,
             tapes,
+            batch,
+            plan,
             good,
             diffs,
             site_faults,
@@ -667,7 +731,7 @@ impl<'d> EraserEngine<'d> {
         let out_width = design.signal(node.output).width;
         let tapes = self.tapes.as_ref().map(|t| t.program());
 
-        let mut good_out = ws.bufs.take();
+        let mut good_out = ws.bufs.take_for(out_width);
         match tapes {
             Some(tp) => run_tape(tp.rtl(id.index()), &self.good, &mut ws.tape, &mut good_out),
             None => {
@@ -698,46 +762,188 @@ impl<'d> EraserEngine<'d> {
         // the union above already covers.
 
         let mut fault_news = ws.take_news();
-        for &f in &candidates {
-            let any_diff = node
-                .inputs
-                .iter()
-                .any(|s| self.diffs[s.index()].contains(f));
-            let mut out_v = ws.bufs.take();
-            if any_diff {
-                self.stats.rtl_fault_evals += 1;
-                match tapes {
-                    Some(tp) => {
-                        let view = FaultView::new(&self.diffs, &self.good, f);
-                        run_tape(tp.rtl(id.index()), &view, &mut ws.tape, &mut out_v);
-                    }
-                    None => {
-                        let diffs = &self.diffs;
-                        let good = &self.good;
-                        eval_rtl_op_with(
-                            &node.op,
-                            &|k| {
-                                let s = node.inputs[k];
-                                diffs[s.index()].view(f, good.get(s))
-                            },
-                            node.inputs.len(),
+        let batching = self.batch.is_some();
+        let batch_tape = self
+            .batch
+            .as_ref()
+            .and_then(|b| b.program().rtl(id.index()));
+
+        if let (Some(bt), Some(plan)) = (batch_tape, self.plan.as_ref()) {
+            // Bit-parallel path. Candidates with a visible input difference
+            // are ordered by their static `BatchPlan` slot — site-major, so
+            // faults sharing sites (and therefore diff entries) land next
+            // to each other — then packed *densely* into 64-lane chunks: a
+            // lane is the fault's position in its chunk, so every chunk but
+            // the last is full regardless of how candidates spread across
+            // static batches, and the per-chunk transpose cost is paid
+            // ceil(n/64) times per node evaluation instead of once per
+            // static batch touched. Candidates with no visible input
+            // difference copy the good output exactly as in the scalar
+            // path (explicit redundancy).
+            let mut slots = std::mem::take(&mut ws.slots);
+            slots.clear();
+            for &f in &candidates {
+                let any_diff = node
+                    .inputs
+                    .iter()
+                    .any(|s| self.diffs[s.index()].contains(f));
+                if any_diff {
+                    let (b, l) = plan.slot(f);
+                    slots.push((b, l, f));
+                } else {
+                    let mut out_v = ws.bufs.take_for(out_width);
+                    out_v.assign_from(&good_out);
+                    fault_news.push((f, out_v));
+                }
+            }
+            slots.sort_unstable();
+
+            for chunk in slots.chunks(eraser_logic::LANES as usize) {
+                if chunk.len() < MIN_BATCH_LANES {
+                    for &(_, _, f) in chunk {
+                        self.stats.rtl_fault_evals += 1;
+                        self.stats.batch_scalar_fallbacks += 1;
+                        let mut out_v = ws.bufs.take_for(out_width);
+                        Self::eval_rtl_fault_scalar(
+                            tapes,
+                            &self.diffs,
+                            &self.good,
+                            node,
+                            id,
                             out_width,
-                            &mut ws.bufs,
+                            f,
+                            ws,
                             &mut out_v,
                         );
+                        fault_news.push((f, out_v));
+                    }
+                } else {
+                    // Input planes: the good value broadcast to every lane,
+                    // overridden lane-wise by the visible diff entries —
+                    // exactly what each lane's FaultView would read. Lane
+                    // values are assembled as per-lane words and transposed
+                    // into the plane wholesale (word-level, O(64·log 64))
+                    // rather than one bit-level `set_lane` per fault;
+                    // diff-free inputs skip the transpose entirely.
+                    while ws.planes.len() < node.inputs.len() {
+                        ws.planes.push(LanePlanes::new());
+                    }
+                    let mut la = [0u64; 64];
+                    let mut lb = [0u64; 64];
+                    for (k, &s) in node.inputs.iter().enumerate() {
+                        let plane = &mut ws.planes[k];
+                        let gv = self.good.get(s);
+                        let dl = &self.diffs[s.index()];
+                        if dl.is_empty() {
+                            plane.broadcast(gv);
+                            continue;
+                        }
+                        let (ga, gb) = gv.word_planes();
+                        la.fill(ga);
+                        lb.fill(gb);
+                        let mut any_diff_here = false;
+                        for (lane, &(_, _, f)) in chunk.iter().enumerate() {
+                            if let Some(v) = dl.get(f) {
+                                (la[lane], lb[lane]) = v.word_planes();
+                                any_diff_here = true;
+                            }
+                        }
+                        if any_diff_here {
+                            plane.load_lanes(gv.width(), &mut la, &mut lb);
+                        } else {
+                            plane.broadcast(gv);
+                        }
+                    }
+                    run_batch(bt, &ws.planes[..node.inputs.len()], &mut ws.out_plane);
+                    self.stats.rtl_fault_evals += chunk.len() as u64;
+                    self.stats.batch_groups += 1;
+                    self.stats.batch_lanes += chunk.len() as u64;
+                    // One word-level gather of all lanes, then O(1)
+                    // word-assigns per fault.
+                    ws.out_plane.store_lanes(&mut la, &mut lb);
+                    for (lane, &(_, _, f)) in chunk.iter().enumerate() {
+                        let mut out_v = ws.bufs.take_for(out_width);
+                        out_v.assign_word(out_width, la[lane], lb[lane]);
+                        fault_news.push((f, out_v));
                     }
                 }
-            } else {
-                // No visible input difference: the fault's output equals the
-                // good output (explicit redundancy at the RTL node level).
-                out_v.assign_from(&good_out);
             }
-            fault_news.push((f, out_v));
+            ws.slots = slots;
+        } else {
+            for &f in &candidates {
+                let any_diff = node
+                    .inputs
+                    .iter()
+                    .any(|s| self.diffs[s.index()].contains(f));
+                let mut out_v = ws.bufs.take_for(out_width);
+                if any_diff {
+                    self.stats.rtl_fault_evals += 1;
+                    if batching {
+                        // Batching is on but this node is unbatchable
+                        // (behavioral-style op, wide signal, shift, …).
+                        self.stats.batch_scalar_fallbacks += 1;
+                    }
+                    Self::eval_rtl_fault_scalar(
+                        tapes,
+                        &self.diffs,
+                        &self.good,
+                        node,
+                        id,
+                        out_width,
+                        f,
+                        ws,
+                        &mut out_v,
+                    );
+                } else {
+                    // No visible input difference: the fault's output equals
+                    // the good output (explicit redundancy at the RTL node
+                    // level).
+                    out_v.assign_from(&good_out);
+                }
+                fault_news.push((f, out_v));
+            }
         }
         self.commit_signal(ws, node.output, &good_out, &fault_news, true);
         ws.put_news(fault_news);
         ws.put_ids(candidates);
         ws.bufs.put(good_out);
+    }
+
+    /// One fault's scalar RTL evaluation against its view — the per-lane
+    /// kernel shared by the scalar path and the batch path's fallbacks.
+    /// Free of `&mut self` so the batch path can call it while holding the
+    /// batch program.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_rtl_fault_scalar(
+        tapes: Option<&TapeProgram>,
+        diffs: &[DiffList],
+        good: &ValueStore,
+        node: &RtlNode,
+        id: RtlNodeId,
+        out_width: u32,
+        f: FaultId,
+        ws: &mut Workspace,
+        out_v: &mut LogicVec,
+    ) {
+        match tapes {
+            Some(tp) => {
+                let view = FaultView::new(diffs, good, f);
+                run_tape(tp.rtl(id.index()), &view, &mut ws.tape, out_v);
+            }
+            None => {
+                eval_rtl_op_with(
+                    &node.op,
+                    &|k| {
+                        let s = node.inputs[k];
+                        diffs[s.index()].view(f, good.get(s))
+                    },
+                    node.inputs.len(),
+                    out_width,
+                    &mut ws.bufs,
+                    out_v,
+                );
+            }
+        }
     }
 
     // ---- edge detection (concurrent, fake-event-safe) ----

@@ -98,6 +98,7 @@
 //! ```
 
 mod api;
+mod batch;
 mod campaign;
 mod checkpoint;
 mod diff;
@@ -107,6 +108,7 @@ mod parallel;
 mod stats;
 
 pub use api::{CampaignRunner, EngineResult, Eraser, FaultSimEngine, ParityMismatch};
+pub use batch::BatchConfig;
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
 pub use checkpoint::CheckpointConfig;
 pub use diff::{union_ids, union_ids_into, DiffList};
@@ -115,10 +117,10 @@ pub use monitor::RedundancyMonitor;
 pub use parallel::{merge_shard_results, run_sharded, Parallel, ParallelConfig};
 pub use stats::RedundancyStats;
 
-// The evaluation-backend knob and the shareable compiled program, re-
+// The evaluation-backend knob and the shareable compiled programs, re-
 // exported so campaign drivers configure backends without naming
 // `eraser-ir` directly.
-pub use eraser_ir::{EvalBackend, TapeProgram};
+pub use eraser_ir::{BatchProgram, EvalBackend, TapeProgram};
 
 /// Which redundancy-elimination layers are active — the paper's ablation
 /// axis (Fig. 7).

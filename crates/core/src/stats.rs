@@ -44,6 +44,16 @@ pub struct RedundancyStats {
     /// Faults removed from the live set at their first detection (fault
     /// dropping).
     pub dropped_faults: u64,
+    /// Bit-parallel RTL batch evaluations performed (groups of lanes
+    /// evaluated in one word-parallel pass; 0 without `--batch`).
+    pub batch_groups: u64,
+    /// Fault lanes filled across all batch evaluations. Divided by
+    /// `batch_groups * 64` this is the mean lane occupancy.
+    pub batch_lanes: u64,
+    /// Candidate RTL fault evaluations that fell back to the scalar path
+    /// while batching was enabled (unbatchable node, wide signal, or a
+    /// group too small to be worth transposing).
+    pub batch_scalar_fallbacks: u64,
     /// Wall time inside behavioral-node processing (good + fault execution
     /// + redundancy checks + commits).
     pub time_behavioral: Duration,
@@ -81,6 +91,9 @@ impl RedundancyStats {
         self.skipped_prefix_steps += other.skipped_prefix_steps;
         self.skipped_faults += other.skipped_faults;
         self.dropped_faults += other.dropped_faults;
+        self.batch_groups += other.batch_groups;
+        self.batch_lanes += other.batch_lanes;
+        self.batch_scalar_fallbacks += other.batch_scalar_fallbacks;
         self.time_behavioral += other.time_behavioral;
         self.time_total += other.time_total;
     }
@@ -156,6 +169,9 @@ mod tests {
             skipped_prefix_steps: 13,
             skipped_faults: 2,
             dropped_faults: 4,
+            batch_groups: 6,
+            batch_lanes: 300,
+            batch_scalar_fallbacks: 5,
             time_behavioral: Duration::from_millis(5),
             time_total: Duration::from_millis(20),
         };
@@ -169,6 +185,9 @@ mod tests {
         assert_eq!(a.skipped_prefix_steps, 26);
         assert_eq!(a.skipped_faults, 4);
         assert_eq!(a.dropped_faults, 8);
+        assert_eq!(a.batch_groups, 12);
+        assert_eq!(a.batch_lanes, 600);
+        assert_eq!(a.batch_scalar_fallbacks, 10);
         // Merging an empty (all-dropped or empty-shard) stats block is the
         // identity.
         let before = a.clone();

@@ -36,6 +36,8 @@ fn main() {
     println!("alloc_guard: engine run() path ... ok");
     two_way_sharded_workers_are_allocation_free_in_steady_state();
     println!("alloc_guard: 2-way sharded workers ... ok");
+    batched_engine_steady_state_is_allocation_free();
+    println!("alloc_guard: batched engine ... ok");
 }
 
 const WARMUP_CYCLES: usize = 100;
@@ -136,6 +138,45 @@ fn engine_run_path_is_clone_free() {
             0,
             "EraserEngine::run ({backend} backend) allocated {} times over \
              a full steady-state stimulus pass",
+            after - before
+        );
+    }
+}
+
+/// Bit-parallel fault batching adds lane planes, a slot list and the
+/// width-classed scratch to the hot path; all of them must pool like every
+/// other buffer. Checked on both backends with an explicit shared batch
+/// program, the way `run_campaign --batch` wires engines.
+fn batched_engine_steady_state_is_allocation_free() {
+    let design = Benchmark::Apb.build();
+    let faults = generate_faults(&design, &Benchmark::Apb.fault_config());
+    let stim = Benchmark::Apb.stimulus_with_cycles(&design, WARMUP_CYCLES + MEASURED_CYCLES);
+    let tapes = eraser_core::TapeProgram::compile(&design);
+    let batch = eraser_core::BatchProgram::compile(&design);
+    for backend in BACKENDS {
+        let mut engine = EraserEngine::with_programs(
+            &design,
+            &faults,
+            RedundancyMode::Full,
+            true,
+            matches!(backend, EvalBackend::Tape).then_some(&tapes),
+            Some(&batch),
+        );
+
+        drive(&mut engine, &stim, 0..WARMUP_CYCLES);
+
+        let before = CountingAlloc::allocations();
+        drive(
+            &mut engine,
+            &stim,
+            WARMUP_CYCLES..WARMUP_CYCLES + MEASURED_CYCLES,
+        );
+        let after = CountingAlloc::allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "batched ERASER engine ({backend} backend) allocated {} times in \
+             {MEASURED_CYCLES} steady-state cycles",
             after - before
         );
     }

@@ -1,0 +1,182 @@
+//! Lane assignment for bit-parallel (PPSFP-style) fault batching.
+//!
+//! A [`BatchPlan`] maps every fault of a [`FaultList`] to a fixed
+//! `(batch, lane)` slot, where a *batch* is a group of up to
+//! [`eraser_logic::LANES`] faults that the engine may evaluate together in
+//! one word-parallel pass. The assignment is static — computed once per
+//! engine over its (possibly sharded) fault list — so a fault keeps its
+//! lane for the whole campaign and a shard's plan covers exactly its local
+//! dense ids, which is what makes batching compose with fault-parallel
+//! sharding for free.
+//!
+//! Packing is site-major: faults are grouped by fault-site signal (faults
+//! on the same signal tend to diverge on the same node evaluations, so
+//! co-scheduling them maximizes filled lanes), and whole site groups are
+//! packed greedily into 64-lane batches. A group that does not fit the
+//! remaining lanes of the current batch opens a new one; groups larger
+//! than 64 span batches.
+
+use crate::{FaultId, FaultList};
+use eraser_logic::LANES;
+
+/// A static `(batch, lane)` assignment for every fault of a list.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    /// Indexed by fault id: the fault's batch index and lane (0..64).
+    assign: Vec<(u32, u8)>,
+    num_batches: u32,
+    num_groups: u32,
+}
+
+impl BatchPlan {
+    /// Builds the site-major greedy packing over `faults`.
+    pub fn build(faults: &FaultList) -> Self {
+        let mut order: Vec<FaultId> = faults.iter().map(|f| f.id).collect();
+        order.sort_by_key(|&f| (faults.fault(f).signal.index(), f));
+
+        let mut assign = vec![(0u32, 0u8); faults.len()];
+        let mut batch = 0u32;
+        let mut cursor = 0u32;
+        let mut num_groups = 0u32;
+        let mut i = 0;
+        while i < order.len() {
+            // One site group: the run of faults on the same signal.
+            let site = faults.fault(order[i]).signal;
+            let mut end = i + 1;
+            while end < order.len() && faults.fault(order[end]).signal == site {
+                end += 1;
+            }
+            num_groups += 1;
+            // Whole groups stay together when they fit; a group larger
+            // than the remaining lanes of a non-empty batch opens a fresh
+            // one (and oversized groups simply roll over).
+            if cursor > 0 && cursor + (end - i) as u32 > LANES {
+                batch += 1;
+                cursor = 0;
+            }
+            for &f in &order[i..end] {
+                if cursor == LANES {
+                    batch += 1;
+                    cursor = 0;
+                }
+                assign[f.index()] = (batch, cursor as u8);
+                cursor += 1;
+            }
+            i = end;
+        }
+        let num_batches = if order.is_empty() { 0 } else { batch + 1 };
+        BatchPlan {
+            assign,
+            num_batches,
+            num_groups,
+        }
+    }
+
+    /// The `(batch, lane)` slot of `fault`.
+    #[inline]
+    pub fn slot(&self, fault: FaultId) -> (u32, u8) {
+        self.assign[fault.index()]
+    }
+
+    /// Number of batches formed.
+    pub fn num_batches(&self) -> u32 {
+        self.num_batches
+    }
+
+    /// Number of site groups formed (runs of faults on one signal).
+    pub fn num_groups(&self) -> u32 {
+        self.num_groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fault, StuckAt};
+    use eraser_ir::SignalId;
+
+    fn list(sites: &[u32]) -> FaultList {
+        sites
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Fault {
+                id: FaultId(i as u32),
+                signal: SignalId(s),
+                bit: i as u32 % 8,
+                stuck: if i % 2 == 0 {
+                    StuckAt::Zero
+                } else {
+                    StuckAt::One
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn same_site_faults_share_a_batch() {
+        let faults = list(&[3, 3, 7, 3, 7]);
+        let plan = BatchPlan::build(&faults);
+        assert_eq!(plan.num_batches(), 1);
+        assert_eq!(plan.num_groups(), 2);
+        // Site-major: the three site-3 faults take lanes 0..3, the two
+        // site-7 faults lanes 3..5, all in batch 0.
+        let lanes: Vec<(u32, u8)> = (0..5).map(|i| plan.slot(FaultId(i))).collect();
+        assert_eq!(lanes, vec![(0, 0), (0, 1), (0, 3), (0, 2), (0, 4)]);
+    }
+
+    #[test]
+    fn group_that_does_not_fit_opens_a_new_batch() {
+        // 60 faults on site 0, then 10 on site 1: the second group must
+        // not straddle the batch boundary.
+        let sites: Vec<u32> = repeat_n(0, 60).chain(repeat_n(1, 10)).collect();
+        let faults = list(&sites);
+        let plan = BatchPlan::build(&faults);
+        assert_eq!(plan.num_batches(), 2);
+        assert_eq!(plan.num_groups(), 2);
+        for i in 0..60 {
+            assert_eq!(plan.slot(FaultId(i)).0, 0);
+        }
+        for i in 60..70 {
+            assert_eq!(plan.slot(FaultId(i)), (1, (i - 60) as u8));
+        }
+    }
+
+    fn repeat_n(v: u32, n: usize) -> impl Iterator<Item = u32> {
+        std::iter::repeat_n(v, n)
+    }
+
+    #[test]
+    fn oversized_group_spans_batches() {
+        let sites = vec![5u32; 150];
+        let faults = list(&sites);
+        let plan = BatchPlan::build(&faults);
+        assert_eq!(plan.num_batches(), 3);
+        assert_eq!(plan.num_groups(), 1);
+        assert_eq!(plan.slot(FaultId(0)), (0, 0));
+        assert_eq!(plan.slot(FaultId(63)), (0, 63));
+        assert_eq!(plan.slot(FaultId(64)), (1, 0));
+        assert_eq!(plan.slot(FaultId(149)), (2, 21));
+    }
+
+    #[test]
+    fn every_slot_is_unique_and_in_range() {
+        let sites: Vec<u32> = (0..200).map(|i| i % 37).collect();
+        let faults = list(&sites);
+        let plan = BatchPlan::build(&faults);
+        let mut seen = std::collections::HashSet::new();
+        for f in faults.iter() {
+            let (b, l) = plan.slot(f.id);
+            assert!(b < plan.num_batches());
+            assert!((l as u32) < LANES);
+            assert!(seen.insert((b, l)), "slot ({b}, {l}) assigned twice");
+        }
+    }
+
+    #[test]
+    fn empty_list_builds_an_empty_plan() {
+        let faults = list(&[]);
+        let plan = BatchPlan::build(&faults);
+        assert_eq!(plan.num_batches(), 0);
+        assert_eq!(plan.num_groups(), 0);
+    }
+}

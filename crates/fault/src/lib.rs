@@ -12,6 +12,8 @@
 //!   deterministic sampling,
 //! * [`FaultList::partition`], [`FaultShard`] and [`PartitionStrategy`] —
 //!   disjoint sharding of a universe for fault-parallel campaigns,
+//! * [`BatchPlan`] — static site-major `(batch, lane)` assignment for
+//!   64-wide bit-parallel (PPSFP-style) evaluation,
 //! * [`ActivationWindows`] — per-fault activation-window analysis over an
 //!   instrumented good replay: the earliest step each fault can first
 //!   diverge, the restart-eligibility rule for checkpointed campaigns,
@@ -21,11 +23,13 @@
 //!   [merging](CoverageReport::merge).
 
 mod activation;
+mod batch;
 mod coverage;
 mod list;
 mod partition;
 
 pub use activation::ActivationWindows;
+pub use batch::BatchPlan;
 pub use coverage::{CoverageReport, Detection};
 pub use list::{generate_faults, FaultList, FaultListConfig};
 pub use partition::{FaultShard, PartitionStrategy};

@@ -75,6 +75,40 @@ impl EvalScratch {
         self.pool.push(v);
     }
 
+    /// Takes a buffer whose storage class already matches `width` when one
+    /// is pooled, falling back to [`EvalScratch::take`] otherwise.
+    ///
+    /// A `LogicVec` stores values up to 64 bits inline and wider values in
+    /// a boxed slab sized by word count; assigning across classes reshapes
+    /// the storage. Callers that know the width they are about to write
+    /// (e.g. an RTL node's output) use this to keep wide buffers cycling
+    /// among wide signals — on designs with >64-bit state (SHA-256) the
+    /// plain LIFO `take` would hand a just-recycled narrow buffer to a wide
+    /// write and vice versa, reshaping on nearly every evaluation.
+    #[inline]
+    pub fn take_for(&mut self, width: u32) -> LogicVec {
+        let class = Self::width_class(width);
+        if let Some(i) = self
+            .pool
+            .iter()
+            .rposition(|v| Self::width_class(v.width()) == class)
+        {
+            return self.pool.swap_remove(i);
+        }
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Storage class of a width: 1 for every inline-capable width, the
+    /// word count for boxed widths.
+    #[inline]
+    fn width_class(width: u32) -> usize {
+        if width <= 64 {
+            1
+        } else {
+            (width as usize).div_ceil(64)
+        }
+    }
+
     /// Takes an empty buffer list out of the arena.
     #[inline]
     fn take_list(&mut self) -> Vec<LogicVec> {
@@ -429,6 +463,22 @@ mod tests {
 
     fn src(vals: Vec<LogicVec>) -> Vec<LogicVec> {
         vals
+    }
+
+    #[test]
+    fn take_for_prefers_matching_storage_class() {
+        let mut s = EvalScratch::new();
+        s.put(LogicVec::new_x(8));
+        s.put(LogicVec::new_x(256));
+        s.put(LogicVec::new_x(16));
+        // A wide request skips the narrow buffers on top of the pool.
+        assert_eq!(s.take_for(200).width(), 256);
+        // Narrow requests match any inline-capable buffer.
+        assert_eq!(s.take_for(1).width(), 16);
+        // No class match left: falls back to plain LIFO take.
+        assert_eq!(s.take_for(512).width(), 8);
+        // Empty pool: a fresh default buffer.
+        assert_eq!(s.take_for(96).width(), 1);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! the builder's example) or by the `eraser-frontend` Verilog compiler.
 
 pub mod analysis;
+pub mod batch;
 pub mod design;
 pub mod eval;
 pub mod expr;
@@ -30,6 +31,7 @@ pub mod stmt;
 pub mod tape;
 pub mod vdg;
 
+pub use batch::{run_batch, BatchProgram, BatchRef, BatchTape};
 pub use design::{
     BuildError, CombItem, Design, DesignBuilder, Driver, PortDir, Signal, SignalKind,
 };

@@ -54,10 +54,12 @@ pub mod counting_alloc;
 mod fmt;
 mod ops;
 mod parse;
+mod plane;
 mod vec;
 
 pub use bit::LogicBit;
 pub use parse::ParseLiteralError;
+pub use plane::{LanePlanes, LANES};
 pub use vec::LogicVec;
 
 #[cfg(test)]

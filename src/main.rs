@@ -8,18 +8,21 @@
 //! eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]
 //!        [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]
 //!        [--threads N] [--partition contiguous|round-robin|site-affinity]
-//!        [--eval tree|tape] [--checkpoint-interval N]
+//!        [--eval tree|tape] [--checkpoint-interval N] [--batch]
 //! ```
 //!
 //! `--threads N` runs the campaign fault-parallel over N worker threads
 //! (0 = one per hardware thread); `--partition` picks the fault-sharding
 //! strategy; `--eval` selects the expression-evaluation backend (the tree
-//! walker or compiled instruction tapes). Defaults come from
-//! `ERASER_THREADS` / `ERASER_PARTITION` / `ERASER_EVAL`. Coverage is
-//! bit-identical at any thread count and on either backend.
+//! walker or compiled instruction tapes); `--batch` evaluates batchable
+//! RTL nodes for up to 64 faults at once (bit-parallel fault batching).
+//! Defaults come from `ERASER_THREADS` / `ERASER_PARTITION` /
+//! `ERASER_EVAL` / `ERASER_BATCH`. Coverage is bit-identical at any
+//! thread count, on either backend, and with batching on or off.
 
 use eraser::core::{
-    run_campaign, CampaignConfig, CheckpointConfig, EvalBackend, ParallelConfig, RedundancyMode,
+    run_campaign, BatchConfig, CampaignConfig, CheckpointConfig, EvalBackend, ParallelConfig,
+    RedundancyMode,
 };
 use eraser::fault::{generate_faults, FaultListConfig, PartitionStrategy};
 use eraser::frontend::compile;
@@ -41,6 +44,7 @@ struct Options {
     parallel: ParallelConfig,
     backend: EvalBackend,
     checkpoint: CheckpointConfig,
+    batch: BatchConfig,
 }
 
 fn usage() -> ! {
@@ -48,7 +52,7 @@ fn usage() -> ! {
         "usage: eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]\n\
          \x20             [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]\n\
          \x20             [--threads N] [--partition contiguous|round-robin|site-affinity]\n\
-         \x20             [--eval tree|tape] [--checkpoint-interval N]"
+         \x20             [--eval tree|tape] [--checkpoint-interval N] [--batch]"
     );
     std::process::exit(2);
 }
@@ -68,6 +72,7 @@ fn parse_args() -> Options {
         parallel: ParallelConfig::from_env(),
         backend: EvalBackend::from_env(),
         checkpoint: CheckpointConfig::from_env(),
+        batch: BatchConfig::from_env(),
     };
     let need = |a: Option<String>| a.unwrap_or_else(|| usage());
     while let Some(arg) = args.next() {
@@ -111,6 +116,7 @@ fn parse_args() -> Options {
                 opts.checkpoint =
                     CheckpointConfig::every(need(args.next()).parse().unwrap_or_else(|_| usage()))
             }
+            "--batch" => opts.batch = BatchConfig::enabled(),
             "--list-undetected" => opts.list_undetected = true,
             "--help" | "-h" => usage(),
             _ if opts.file.is_empty() && !arg.starts_with('-') => opts.file = arg,
@@ -251,6 +257,9 @@ fn main() -> ExitCode {
             opts.checkpoint
         );
     }
+    if opts.batch.enabled {
+        println!("batching: 64-wide bit-parallel RTL evaluation");
+    }
     let result = run_campaign(
         &design,
         &faults,
@@ -261,6 +270,7 @@ fn main() -> ExitCode {
             parallel: opts.parallel,
             backend: opts.backend,
             checkpoint: opts.checkpoint,
+            batch: opts.batch,
         },
     );
     println!(
@@ -279,6 +289,17 @@ fn main() -> ExitCode {
         s.implicit_skipped,
         s.implicit_percent()
     );
+    if opts.batch.enabled {
+        let occupancy = if s.batch_groups > 0 {
+            100.0 * s.batch_lanes as f64 / (s.batch_groups * 64) as f64
+        } else {
+            0.0
+        };
+        println!(
+            "batch: {} groups at {:.1}% lane occupancy, {} scalar fallbacks",
+            s.batch_groups, occupancy, s.batch_scalar_fallbacks
+        );
+    }
     if opts.list_undetected {
         for id in result.coverage.undetected() {
             let f = faults.fault(id);
