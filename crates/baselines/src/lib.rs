@@ -62,7 +62,7 @@ mod serial;
 pub use compiled::CompiledSim;
 pub use eraser_core::{EngineResult, Eraser, FaultSimEngine, Parallel, ParallelConfig};
 
-use eraser_core::{CampaignConfig, EvalBackend, TapeProgram};
+use eraser_core::{run_collapsed, CampaignConfig, EvalBackend, TapeProgram};
 use eraser_fault::FaultList;
 use eraser_ir::Design;
 use eraser_sim::{ReplaySim, Simulator, Stimulus};
@@ -103,22 +103,27 @@ impl FaultSimEngine for IFsim {
         stimulus: &Stimulus,
         config: &CampaignConfig,
     ) -> EngineResult {
-        let tapes = campaign_tapes(design, config);
-        serial::serial_campaign(
-            "IFsim",
-            design,
-            faults,
-            stimulus,
-            config.checkpoint,
-            || match &tapes {
-                Some(tp) => Simulator::with_tapes(design, tp),
-                None => Simulator::with_backend(design, EvalBackend::Tree),
-            },
-            // Settle the force at injection so all engines agree on when a
-            // forced power-on edge (X -> stuck value) fires relative to
-            // the next stimulus step (ReplaySim::force_bit steps the sim).
-            |sim, f| sim.force_bit(f.signal, f.bit, f.stuck.bit()),
-        )
+        // Static collapsing wraps the serial campaign like every other
+        // driver: only representatives are re-simulated per fault.
+        run_collapsed(design, faults, config, |faults, config| {
+            let tapes = campaign_tapes(design, config);
+            serial::serial_campaign(
+                "IFsim",
+                design,
+                faults,
+                stimulus,
+                config.checkpoint,
+                || match &tapes {
+                    Some(tp) => Simulator::with_tapes(design, tp),
+                    None => Simulator::with_backend(design, EvalBackend::Tree),
+                },
+                // Settle the force at injection so all engines agree on
+                // when a forced power-on edge (X -> stuck value) fires
+                // relative to the next stimulus step (ReplaySim::force_bit
+                // steps the sim).
+                |sim, f| sim.force_bit(f.signal, f.bit, f.stuck.bit()),
+            )
+        })
     }
 }
 
@@ -141,19 +146,21 @@ impl FaultSimEngine for VFsim {
         stimulus: &Stimulus,
         config: &CampaignConfig,
     ) -> EngineResult {
-        let tapes = campaign_tapes(design, config);
-        serial::serial_campaign(
-            "VFsim",
-            design,
-            faults,
-            stimulus,
-            config.checkpoint,
-            || match &tapes {
-                Some(tp) => CompiledSim::with_tapes(design, tp),
-                None => CompiledSim::with_backend(design, EvalBackend::Tree),
-            },
-            |sim, f| sim.force_bit(f.signal, f.bit, f.stuck.bit()),
-        )
+        run_collapsed(design, faults, config, |faults, config| {
+            let tapes = campaign_tapes(design, config);
+            serial::serial_campaign(
+                "VFsim",
+                design,
+                faults,
+                stimulus,
+                config.checkpoint,
+                || match &tapes {
+                    Some(tp) => CompiledSim::with_tapes(design, tp),
+                    None => CompiledSim::with_backend(design, EvalBackend::Tree),
+                },
+                |sim, f| sim.force_bit(f.signal, f.bit, f.stuck.bit()),
+            )
+        })
     }
 }
 

@@ -1,0 +1,188 @@
+//! **Fig. 11** (beyond the paper): static fault collapsing — equivalence
+//! classes and provably-undetectable drops pruned before a single cycle
+//! runs.
+//!
+//! For every selected benchmark, builds the static collapse plan once
+//! (reporting the fault-count reduction and the dropped-undetectable
+//! count), then runs each engine — the concurrent ERASER engine and the
+//! serial IFsim/VFsim baselines — once without and once with `--collapse`
+//! (the identical campaign otherwise, both on the compiled-tape backend),
+//! asserts the lifted coverage records are **bit-identical** to the
+//! uncollapsed run, and reports the wall-clock speedup. Emits
+//! `BENCH_fig11_collapse.json` (schema `eraser-fig11-collapse-v1`).
+//!
+//! Knobs: `ERASER_BENCH_ONLY` restricts the benchmark set;
+//! `ERASER_FIG11_STRICT=1` additionally fails the run unless the collapse
+//! ratio exceeds 1.0 on at least three designs (the CI gate against the
+//! collapse pass silently never engaging).
+
+use eraser_baselines::{IFsim, VFsim};
+use eraser_bench::json::write_json_objects;
+use eraser_bench::{
+    env_scale, fmt_secs, prepare, print_environment, selected_benchmarks, Prepared,
+};
+use eraser_core::{
+    CampaignConfig, CollapseConfig, Eraser, EvalBackend, FaultSimEngine, RedundancyMode,
+};
+use eraser_fault::CollapsedFaultList;
+use std::time::Instant;
+
+const BINARY: &str = "fig11_collapse";
+const SCHEMA: &str = "eraser-fig11-collapse-v1";
+
+struct Record {
+    benchmark: String,
+    engine: String,
+    faults_before: usize,
+    faults_after: usize,
+    collapse_ratio: f64,
+    dropped_unobservable: usize,
+    wall_off_seconds: f64,
+    wall_on_seconds: f64,
+    speedup: f64,
+    detected: usize,
+    coverage_percent: f64,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema\":\"{}\",\"binary\":\"{}\",\"benchmark\":\"{}\",",
+                "\"engine\":\"{}\",\"faults_before\":{},\"faults_after\":{},",
+                "\"collapse_ratio\":{:.4},\"dropped_unobservable\":{},",
+                "\"wall_off_seconds\":{:.6},\"wall_on_seconds\":{:.6},",
+                "\"speedup\":{:.4},\"detected\":{},\"coverage_percent\":{:.4}}}"
+            ),
+            SCHEMA,
+            BINARY,
+            self.benchmark,
+            self.engine,
+            self.faults_before,
+            self.faults_after,
+            self.collapse_ratio,
+            self.dropped_unobservable,
+            self.wall_off_seconds,
+            self.wall_on_seconds,
+            self.speedup,
+            self.detected,
+            self.coverage_percent,
+        )
+    }
+}
+
+/// One timed campaign of `engine` on the tape backend.
+fn timed_run(
+    p: &Prepared,
+    engine: &dyn FaultSimEngine,
+    collapse: CollapseConfig,
+) -> (eraser_core::EngineResult, f64) {
+    let t0 = Instant::now();
+    let result = engine.run(
+        &p.design,
+        &p.faults,
+        &p.stimulus,
+        &CampaignConfig {
+            mode: RedundancyMode::Full,
+            backend: EvalBackend::Tape,
+            collapse,
+            ..CampaignConfig::serial()
+        },
+    );
+    (result, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    print_environment(
+        "Fig. 11 — static fault collapsing (equivalence classes + undetectable drops)",
+    );
+    let scale = env_scale();
+
+    println!(
+        "{:<11} {:<7} {:>6} {:>6} {:>6} {:>7} {:>10} {:>10} {:>7}   coverage",
+        "benchmark", "engine", "before", "after", "drop", "ratio", "off", "on", "x"
+    );
+
+    let engines: Vec<Box<dyn FaultSimEngine>> =
+        vec![Box::new(Eraser::full()), Box::new(IFsim), Box::new(VFsim)];
+    let mut records = Vec::new();
+    let mut ln_sum = 0.0f64;
+    let mut n = 0usize;
+    let mut engaged_designs = 0usize;
+    for bench in selected_benchmarks() {
+        let p = prepare(bench, scale);
+        // The plan is engine-independent pure analysis: build it once for
+        // the universe accounting the records carry.
+        let plan = CollapsedFaultList::build(&p.design, &p.faults);
+        let before = plan.total();
+        let after = plan.num_classes();
+        let ratio = before as f64 / after.max(1) as f64;
+        ln_sum += ratio.ln();
+        n += 1;
+        if ratio > 1.0 {
+            engaged_designs += 1;
+        }
+        for engine in &engines {
+            let (full, wall_off) = timed_run(&p, engine.as_ref(), CollapseConfig::disabled());
+            let (collapsed, wall_on) = timed_run(&p, engine.as_ref(), CollapseConfig::enabled());
+            assert_eq!(
+                full.coverage,
+                collapsed.coverage,
+                "{} ({}): collapsed coverage records diverged from full",
+                bench.name(),
+                engine.name()
+            );
+            let speedup = wall_off / wall_on;
+            println!(
+                "{:<11} {:<7} {:>6} {:>6} {:>6} {:>6.2}x {:>10} {:>10} {:>6.2}x   {}",
+                bench.name(),
+                engine.name(),
+                before,
+                after,
+                plan.dropped().len(),
+                ratio,
+                fmt_secs(std::time::Duration::from_secs_f64(wall_off)),
+                fmt_secs(std::time::Duration::from_secs_f64(wall_on)),
+                speedup,
+                collapsed.coverage
+            );
+            records.push(Record {
+                benchmark: bench.name().to_string(),
+                engine: engine.name(),
+                faults_before: before,
+                faults_after: after,
+                collapse_ratio: ratio,
+                dropped_unobservable: plan.dropped().len(),
+                wall_off_seconds: wall_off,
+                wall_on_seconds: wall_on,
+                speedup,
+                detected: collapsed.coverage.detected(),
+                coverage_percent: collapsed.coverage.coverage_percent(),
+            });
+        }
+    }
+
+    println!();
+    if n > 0 {
+        println!(
+            "geomean fault-count reduction {:.2}x over {n} designs \
+             ({engaged_designs} with ratio > 1.0)",
+            (ln_sum / n as f64).exp()
+        );
+    }
+    println!("(coverage records asserted bit-identical, collapse on vs off, per design × engine)");
+    let lines: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    write_json_objects(BINARY, &lines);
+
+    if std::env::var("ERASER_FIG11_STRICT")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        && engaged_designs < 3
+    {
+        eprintln!(
+            "STRICT: collapse engaged on only {engaged_designs} designs \
+             (need ratio > 1.0 on at least 3)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -13,6 +13,7 @@
 //! | `fig8_scaling` | fault-parallel thread-count scaling (1/2/4/8) |
 //! | `fig9_checkpoint` | checkpointed good-state replay on the serial baselines |
 //! | `fig10_batch` | 64-wide bit-parallel fault batching vs scalar on the concurrent engine |
+//! | `fig11_collapse` | static fault collapsing (equivalence classes + undetectable drops) vs full universe |
 //! | `bench_schema_check` | validates every `BENCH_*.json` against its schema |
 //!
 //! Run with `cargo run --release -p eraser-bench --bin <name>`. The

@@ -106,6 +106,25 @@ pub fn registry() -> Vec<(&'static str, Vec<(&'static str, Ty)>)> {
                 ("coverage_percent", Num),
             ],
         ),
+        (
+            // fig11_collapse static fault-collapsing records.
+            "eraser-fig11-collapse-v1",
+            vec![
+                ("schema", Str),
+                ("binary", Str),
+                ("benchmark", Str),
+                ("engine", Str),
+                ("faults_before", Num),
+                ("faults_after", Num),
+                ("collapse_ratio", Num),
+                ("dropped_unobservable", Num),
+                ("wall_off_seconds", Num),
+                ("wall_on_seconds", Num),
+                ("speedup", Num),
+                ("detected", Num),
+                ("coverage_percent", Num),
+            ],
+        ),
     ]
 }
 

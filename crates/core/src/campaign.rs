@@ -2,6 +2,7 @@
 
 use crate::batch::BatchConfig;
 use crate::checkpoint::CheckpointConfig;
+use crate::collapse::{collapse_plan, stamp_collapse_stats, CollapseConfig};
 use crate::engine::EraserEngine;
 use crate::parallel::{run_sharded, ParallelConfig};
 use crate::stats::RedundancyStats;
@@ -43,6 +44,14 @@ pub struct CampaignConfig {
     /// batching on or off; the batch program is compiled once per campaign
     /// and shared across every fault-parallel shard worker.
     pub batch: BatchConfig,
+    /// Static fault collapsing: fold equivalent faults into one
+    /// representative and drop provably undetectable sites before any
+    /// engine runs, then lift the representative records back over the
+    /// full universe. The default honors `ERASER_COLLAPSE` (disabled when
+    /// unset). Coverage records are bit-identical with collapsing on or
+    /// off; collapsing happens *before* partitioning, so fault-parallel
+    /// campaigns shard the representative list.
+    pub collapse: CollapseConfig,
 }
 
 impl Default for CampaignConfig {
@@ -54,6 +63,7 @@ impl Default for CampaignConfig {
             backend: EvalBackend::from_env(),
             checkpoint: CheckpointConfig::from_env(),
             batch: BatchConfig::from_env(),
+            collapse: CollapseConfig::from_env(),
         }
     }
 }
@@ -112,6 +122,21 @@ pub fn run_campaign(
     config: &CampaignConfig,
 ) -> CampaignResult {
     let t0 = Instant::now();
+    // Static collapsing runs first: simulate one representative per
+    // equivalence class (everything below — sharding included — sees only
+    // the representative list), then lift the records back over the full
+    // universe. Recursing with the knob off keeps the composition proof
+    // trivial: the inner campaign *is* an ordinary uncollapsed campaign.
+    if let Some(plan) = collapse_plan(design, faults, &config.collapse) {
+        let inner = CampaignConfig {
+            collapse: CollapseConfig::disabled(),
+            ..config.clone()
+        };
+        let mut result = run_campaign(design, plan.representatives(), stimulus, &inner);
+        result.coverage = plan.lift_coverage(&result.coverage);
+        stamp_collapse_stats(&mut result.stats, &plan);
+        return result;
+    }
     // Tape backend: lower the design once, share the immutable program
     // with every worker (and the serial path below). Likewise the batch
     // program when bit-parallel fault batching is on.
@@ -376,6 +401,80 @@ mod tests {
         );
         assert!(full.stats.fault_executions < expl.stats.fault_executions);
         assert!(full.coverage.same_detected_set(&expl.coverage));
+    }
+
+    #[test]
+    fn collapsed_campaign_matches_uncollapsed_bit_for_bit() {
+        // Alias chain + dead wire: collapsing folds b/c faults and drops
+        // dead's, yet every per-fault record must match the plain run.
+        let d = compile(
+            "module m(input wire clk, input wire [3:0] a, output reg [3:0] q);
+               wire [3:0] b;
+               wire [3:0] c;
+               wire [3:0] dead;
+               assign b = a ^ 4'h6;
+               assign c = b;
+               assign dead = a & 4'h1;
+               always @(posedge clk) q <= q + c;
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let faults = generate_faults(&d, &FaultListConfig::default());
+        let clk = d.find_signal("clk").unwrap();
+        let a = d.find_signal("a").unwrap();
+        let mut sb = StimulusBuilder::new();
+        for i in 0..24u64 {
+            sb.add_cycle(clk, &[(a, LogicVec::from_u64(4, i * 7 % 16))]);
+        }
+        let stim = sb.finish();
+        let run = |collapse| {
+            run_campaign(
+                &d,
+                &faults,
+                &stim,
+                &CampaignConfig {
+                    collapse,
+                    ..CampaignConfig::serial()
+                },
+            )
+        };
+        let plain = run(CollapseConfig::disabled());
+        let collapsed = run(CollapseConfig::enabled());
+        assert_eq!(plain.coverage, collapsed.coverage, "records diverged");
+        assert_eq!(plain.stats.collapse_classes, 0);
+        let s = &collapsed.stats;
+        assert!(s.collapsed_faults > 0, "alias chain never folded: {s:?}");
+        assert!(s.collapse_dropped >= 8, "dead wire kept: {s:?}");
+        assert_eq!(
+            s.collapse_classes + s.collapsed_faults + s.collapse_dropped,
+            faults.len() as u64
+        );
+        // Fewer faults scheduled means strictly less fault work.
+        assert!(s.fault_executions <= plain.stats.fault_executions);
+    }
+
+    #[test]
+    fn collapsed_parallel_campaign_shards_representatives() {
+        let d = counter_design();
+        let faults = generate_faults(&d, &FaultListConfig::default());
+        let stim = counter_stim(&d, 20);
+        let serial = run_campaign(&d, &faults, &stim, &CampaignConfig::serial());
+        let collapsed_parallel = run_campaign(
+            &d,
+            &faults,
+            &stim,
+            &CampaignConfig {
+                collapse: CollapseConfig::enabled(),
+                parallel: ParallelConfig {
+                    threads: 4,
+                    ..ParallelConfig::serial()
+                },
+                ..CampaignConfig::serial()
+            },
+        );
+        assert_eq!(serial.coverage, collapsed_parallel.coverage);
+        assert!(collapsed_parallel.stats.collapse_classes > 0);
     }
 
     #[test]

@@ -71,6 +71,28 @@ impl DiffList {
         }
     }
 
+    /// [`upsert_with`](Self::upsert_with), but a miss inserts a pooled
+    /// buffer obtained from `seed` instead of an empty default. Wide
+    /// (boxed-storage) signals use this to keep the hot path
+    /// allocation-free: the seed comes from a width-classed scratch pool,
+    /// so `write`'s resize reuses an existing box. `seed` is not called on
+    /// an overwrite.
+    pub fn upsert_seeded(
+        &mut self,
+        fault: FaultId,
+        seed: impl FnOnce() -> LogicVec,
+        write: impl FnOnce(&mut LogicVec),
+    ) {
+        match self.entries.binary_search_by_key(&fault, |(f, _)| *f) {
+            Ok(i) => write(&mut self.entries[i].1),
+            Err(i) => {
+                let mut v = seed();
+                write(&mut v);
+                self.entries.insert(i, (fault, v));
+            }
+        }
+    }
+
     /// Makes `self` an entry-wise copy of `other`, reusing both the backing
     /// vector's capacity and the existing entries' value buffers (the
     /// allocation-free `clone_from`).
@@ -103,6 +125,27 @@ impl DiffList {
     /// Keeps only entries satisfying the predicate.
     pub fn retain(&mut self, mut pred: impl FnMut(FaultId, &LogicVec) -> bool) {
         self.entries.retain(|(f, v)| pred(*f, v));
+    }
+
+    /// [`retain`](Self::retain), but hands every pruned entry's value
+    /// buffer to `recycle` instead of dropping it — the allocation-free
+    /// form for hot loops, where pruned boxed storage goes back into a
+    /// scratch pool. Entry order is preserved.
+    pub fn retain_recycle(
+        &mut self,
+        mut pred: impl FnMut(FaultId, &LogicVec) -> bool,
+        mut recycle: impl FnMut(LogicVec),
+    ) {
+        let mut kept = 0;
+        for i in 0..self.entries.len() {
+            if pred(self.entries[i].0, &self.entries[i].1) {
+                self.entries.swap(i, kept);
+                kept += 1;
+            }
+        }
+        for (_, v) in self.entries.drain(kept..) {
+            recycle(v);
+        }
     }
 
     /// Entries in fault-id order.

@@ -393,7 +393,7 @@ impl<'d> EraserEngine<'d> {
         for sig in 0..n_sig {
             let id = SignalId::from_index(sig);
             if !engine.site_faults[sig].is_empty() {
-                let mut v = ws.bufs.take();
+                let mut v = ws.bufs.take_for(design.signal(id).width);
                 v.assign_from(engine.good.get(id));
                 engine.commit_signal(&mut ws, id, &v, &[], true);
                 ws.bufs.put(v);
@@ -453,7 +453,7 @@ impl<'d> EraserEngine<'d> {
                 self.commit_signal(&mut ws, sig, value, &[], true);
             }
         } else {
-            let mut resized = ws.bufs.take();
+            let mut resized = ws.bufs.take_for(width);
             resized.copy_resized(value, width);
             if self.good.get(sig) != &resized {
                 self.commit_signal(&mut ws, sig, &resized, &[], true);
@@ -558,14 +558,16 @@ impl<'d> EraserEngine<'d> {
         }
     }
 
-    /// Removes diff entries of dropped faults everywhere.
+    /// Removes diff entries of dropped faults everywhere, recycling their
+    /// value buffers so wide (boxed) storage survives fault drops.
     fn sweep_dead(&mut self) {
         let alive = &self.alive;
+        let bufs = &mut self.ws.bufs;
         for dl in &mut self.diffs {
-            dl.retain(|f, _| alive[f.index()]);
+            dl.retain_recycle(|f, _| alive[f.index()], |v| bufs.put(v));
         }
         for dl in &mut self.edge_prev_diffs {
-            dl.retain(|f, _| alive[f.index()]);
+            dl.retain_recycle(|f, _| alive[f.index()], |v| bufs.put(v));
         }
     }
 
@@ -629,7 +631,8 @@ impl<'d> EraserEngine<'d> {
         let good_changed = self.good.get(sig) != new_good;
         let mut view_changed = false;
         let mut processed = ws.take_ids();
-        let mut forced = ws.bufs.take();
+        let width = self.design.signal(sig).width;
+        let mut forced = ws.bufs.take_for(width);
 
         for (f, v) in fault_news {
             if !self.alive[f.index()] {
@@ -647,7 +650,11 @@ impl<'d> EraserEngine<'d> {
             }
             if forced != *new_good {
                 let fv = &forced;
-                self.diffs[si].upsert_with(*f, |slot| slot.assign_from(fv));
+                self.diffs[si].upsert_seeded(
+                    *f,
+                    || ws.bufs.take_for(width),
+                    |slot| slot.assign_from(fv),
+                );
             } else if let Some(buf) = self.diffs[si].remove(*f) {
                 ws.bufs.put(buf);
             }
@@ -671,7 +678,11 @@ impl<'d> EraserEngine<'d> {
                 }
                 if forced != *new_good {
                     let fv = &forced;
-                    self.diffs[si].upsert_with(f, |slot| slot.assign_from(fv));
+                    self.diffs[si].upsert_seeded(
+                        f,
+                        || ws.bufs.take_for(width),
+                        |slot| slot.assign_from(fv),
+                    );
                 } else if let Some(buf) = self.diffs[si].remove(f) {
                     ws.bufs.put(buf);
                 }
@@ -684,12 +695,15 @@ impl<'d> EraserEngine<'d> {
         {
             let alive = &self.alive;
             let processed = &processed;
-            self.diffs[si].retain(|f, v| {
-                if processed.binary_search(&f).is_ok() {
-                    return true;
-                }
-                alive[f.index()] && v != new_good
-            });
+            self.diffs[si].retain_recycle(
+                |f, v| {
+                    if processed.binary_search(&f).is_ok() {
+                        return true;
+                    }
+                    alive[f.index()] && v != new_good
+                },
+                |v| ws.bufs.put(v),
+            );
         }
 
         self.good.commit(sig, new_good);
@@ -1255,8 +1269,12 @@ impl<'d> EraserEngine<'d> {
             return;
         }
 
-        let mut new_good = ws.bufs.take();
         for &t in &targets {
+            // Buffers come from the width class of the target being
+            // committed, so multi-target blocks mixing narrow and >64-bit
+            // regs never reshape pooled storage.
+            let t_width = self.design.signal(t).width;
+            let mut new_good = ws.bufs.take_for(t_width);
             let good_final = good_out.blocking.iter().find(|(s, _)| *s == t);
             let good_wrote = good_final.is_some();
             match good_final {
@@ -1268,7 +1286,7 @@ impl<'d> EraserEngine<'d> {
             let mut covered = ws.take_ids();
             for (f, o) in fault_outs {
                 covered.push(*f);
-                let mut val = ws.bufs.take();
+                let mut val = ws.bufs.take_for(t_width);
                 match o.blocking.iter().find(|(s, _)| *s == t) {
                     Some((_, v)) => val.assign_from(v),
                     // Executed but did not write this target: its value is
@@ -1281,7 +1299,7 @@ impl<'d> EraserEngine<'d> {
                 for &f in &act.suppressed {
                     if self.alive[f.index()] {
                         covered.push(f);
-                        let mut val = ws.bufs.take();
+                        let mut val = ws.bufs.take_for(t_width);
                         val.assign_from(self.diffs[t.index()].view(f, self.good.get(t)));
                         fault_news.push((f, val));
                     }
@@ -1300,7 +1318,7 @@ impl<'d> EraserEngine<'d> {
                     );
                 }
                 for &f in &replays {
-                    let mut val = ws.bufs.take();
+                    let mut val = ws.bufs.take_for(t_width);
                     val.assign_from(self.diffs[t.index()].view(f, self.good.get(t)));
                     for w in &good_out.blocking_writes {
                         if w.target == t {
@@ -1312,10 +1330,10 @@ impl<'d> EraserEngine<'d> {
                 ws.put_ids(replays);
             }
             self.commit_signal(ws, t, &new_good, &fault_news, good_wrote);
+            ws.bufs.put(new_good);
             ws.put_news(fault_news);
             ws.put_ids(covered);
         }
-        ws.bufs.put(new_good);
         ws.put_sigs(targets);
     }
 
@@ -1337,9 +1355,12 @@ impl<'d> EraserEngine<'d> {
             targets.sort_unstable();
             targets.dedup();
 
-            let mut old_good = ws.bufs.take();
-            let mut new_good = ws.bufs.take();
             for &t in &targets {
+                // Width-classed like commit_blocking: pooled buffers stay
+                // within the committed target's storage class.
+                let t_width = self.design.signal(t).width;
+                let mut old_good = ws.bufs.take_for(t_width);
+                let mut new_good = ws.bufs.take_for(t_width);
                 old_good.assign_from(self.good.get(t));
                 new_good.assign_from(&old_good);
                 let mut good_wrote = false;
@@ -1357,7 +1378,7 @@ impl<'d> EraserEngine<'d> {
                         continue;
                     }
                     covered.push(f);
-                    let mut val = ws.bufs.take();
+                    let mut val = ws.bufs.take_for(t_width);
                     val.assign_from(self.diffs[t.index()].view(f, &old_good));
                     let mut wrote = false;
                     for w in &block.fault_writes[start as usize..end as usize] {
@@ -1376,7 +1397,7 @@ impl<'d> EraserEngine<'d> {
                     for &f in &block.suppressed {
                         if self.alive[f.index()] {
                             covered.push(f);
-                            let mut val = ws.bufs.take();
+                            let mut val = ws.bufs.take_for(t_width);
                             val.assign_from(self.diffs[t.index()].view(f, &old_good));
                             fault_news.push((f, val));
                         }
@@ -1393,7 +1414,7 @@ impl<'d> EraserEngine<'d> {
                         );
                     }
                     for &f in &replays {
-                        let mut val = ws.bufs.take();
+                        let mut val = ws.bufs.take_for(t_width);
                         val.assign_from(self.diffs[t.index()].view(f, &old_good));
                         for w in &block.good_writes {
                             if w.target == t {
@@ -1413,14 +1434,23 @@ impl<'d> EraserEngine<'d> {
                 }
                 ws.put_news(fault_news);
                 ws.put_ids(covered);
+                ws.bufs.put(old_good);
+                ws.bufs.put(new_good);
             }
-            ws.bufs.put(old_good);
-            ws.bufs.put(new_good);
             ws.put_sigs(targets);
         }
         // Recycle the blocks; any scheduling already happened inside
-        // commit_signal — report whether another delta is needed.
+        // commit_signal — report whether another delta is needed. The
+        // write values go back to the execution scratch the interpreter
+        // draws assignment buffers from, so wide (>64-bit) NBA targets
+        // keep reusing their boxed storage across activations.
         for mut block in pending.drain(..) {
+            for w in block.good_writes.drain(..) {
+                ws.exec_ctx.scratch.put(w.value);
+            }
+            for w in block.fault_writes.drain(..) {
+                ws.exec_ctx.scratch.put(w.value);
+            }
             block.clear();
             self.nba_pool.push(block);
         }

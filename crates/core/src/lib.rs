@@ -43,6 +43,21 @@
 //! [`Parallel`] adapter turns *any* [`FaultSimEngine`] — ERASER or the
 //! serial baselines — into a fault-parallel engine behind the same trait.
 //!
+//! # Static fault collapsing
+//!
+//! [`CollapseConfig`] (env `ERASER_COLLAPSE`, CLI `--collapse`) prunes the
+//! *structural* axis before a single cycle runs: equivalence classes over
+//! alias/inverter chains fold to one simulated representative each, and
+//! provably undetectable sites (constant-dormant bits, signals with no
+//! influence path to any output) are dropped outright
+//! ([`eraser_fault::CollapsedFaultList`]). Every driver collapses through
+//! [`run_collapsed`] *before* partitioning, so the knob composes with
+//! sharding, checkpointing, batching and both backends, and the lifted
+//! coverage is bit-identical to the uncollapsed run.
+//! [`RedundancyStats::collapse_classes`],
+//! [`RedundancyStats::collapsed_faults`] and
+//! [`RedundancyStats::collapse_dropped`] account for the pruned universe.
+//!
 //! # Temporal redundancy trimming
 //!
 //! [`CheckpointConfig`] (env `ERASER_CKPT`, CLI `--checkpoint-interval`)
@@ -101,6 +116,7 @@ mod api;
 mod batch;
 mod campaign;
 mod checkpoint;
+mod collapse;
 mod diff;
 mod engine;
 mod monitor;
@@ -111,6 +127,7 @@ pub use api::{CampaignRunner, EngineResult, Eraser, FaultSimEngine, ParityMismat
 pub use batch::BatchConfig;
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
 pub use checkpoint::CheckpointConfig;
+pub use collapse::{collapse_plan, run_collapsed, stamp_collapse_stats, CollapseConfig};
 pub use diff::{union_ids, union_ids_into, DiffList};
 pub use engine::{EraserEngine, FaultView};
 pub use monitor::RedundancyMonitor;

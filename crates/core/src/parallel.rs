@@ -27,6 +27,7 @@
 
 use crate::api::{EngineResult, FaultSimEngine};
 use crate::campaign::CampaignConfig;
+use crate::collapse::run_collapsed;
 use crate::stats::RedundancyStats;
 use eraser_fault::{CoverageReport, FaultList, FaultShard, PartitionStrategy};
 use eraser_ir::Design;
@@ -254,6 +255,25 @@ impl<E: FaultSimEngine + Sync> FaultSimEngine for Parallel<E> {
     }
 
     fn run(
+        &self,
+        design: &Design,
+        faults: &FaultList,
+        stimulus: &Stimulus,
+        config: &CampaignConfig,
+    ) -> EngineResult {
+        // Static collapsing runs before partitioning, so the shards below
+        // are cut from the representative list (and the inner campaigns,
+        // already forced serial, never collapse again).
+        run_collapsed(design, faults, config, |faults, config| {
+            self.run_shards(design, faults, stimulus, config)
+        })
+    }
+}
+
+impl<E: FaultSimEngine + Sync> Parallel<E> {
+    /// The uncollapsed fan-out: partition, run every shard on the worker
+    /// pool, merge.
+    fn run_shards(
         &self,
         design: &Design,
         faults: &FaultList,

@@ -54,6 +54,17 @@ pub struct RedundancyStats {
     /// while batching was enabled (unbatchable node, wide signal, or a
     /// group too small to be worth transposing).
     pub batch_scalar_fallbacks: u64,
+    /// Faults folded away by static collapsing — class members represented
+    /// by another fault's simulation (0 without `--collapse`). Together
+    /// with `collapse_classes` and `collapse_dropped` this partitions the
+    /// original universe: `classes + collapsed + dropped = total`.
+    pub collapsed_faults: u64,
+    /// Kept equivalence classes — the faults actually simulated under
+    /// static collapsing.
+    pub collapse_classes: u64,
+    /// Faults statically proven undetectable (constant-dormant or no
+    /// influence path to any output) and never simulated.
+    pub collapse_dropped: u64,
     /// Wall time inside behavioral-node processing (good + fault execution
     /// + redundancy checks + commits).
     pub time_behavioral: Duration,
@@ -94,6 +105,9 @@ impl RedundancyStats {
         self.batch_groups += other.batch_groups;
         self.batch_lanes += other.batch_lanes;
         self.batch_scalar_fallbacks += other.batch_scalar_fallbacks;
+        self.collapsed_faults += other.collapsed_faults;
+        self.collapse_classes += other.collapse_classes;
+        self.collapse_dropped += other.collapse_dropped;
         self.time_behavioral += other.time_behavioral;
         self.time_total += other.time_total;
     }
@@ -172,6 +186,9 @@ mod tests {
             batch_groups: 6,
             batch_lanes: 300,
             batch_scalar_fallbacks: 5,
+            collapsed_faults: 21,
+            collapse_classes: 17,
+            collapse_dropped: 3,
             time_behavioral: Duration::from_millis(5),
             time_total: Duration::from_millis(20),
         };
@@ -188,6 +205,9 @@ mod tests {
         assert_eq!(a.batch_groups, 12);
         assert_eq!(a.batch_lanes, 600);
         assert_eq!(a.batch_scalar_fallbacks, 10);
+        assert_eq!(a.collapsed_faults, 42);
+        assert_eq!(a.collapse_classes, 34);
+        assert_eq!(a.collapse_dropped, 6);
         // Merging an empty (all-dropped or empty-shard) stats block is the
         // identity.
         let before = a.clone();

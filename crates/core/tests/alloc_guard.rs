@@ -38,6 +38,8 @@ fn main() {
     println!("alloc_guard: 2-way sharded workers ... ok");
     batched_engine_steady_state_is_allocation_free();
     println!("alloc_guard: batched engine ... ok");
+    wide_design_steady_state_is_allocation_free();
+    println!("alloc_guard: wide design (SHA-256) ... ok");
 }
 
 const WARMUP_CYCLES: usize = 100;
@@ -177,6 +179,64 @@ fn batched_engine_steady_state_is_allocation_free() {
             0,
             "batched ERASER engine ({backend} backend) allocated {} times in \
              {MEASURED_CYCLES} steady-state cycles",
+            after - before
+        );
+    }
+}
+
+/// The >64-bit path: SHA-256 carries 512/256-bit signals whose `LogicVec`
+/// values live in boxed word storage, so every scratch buffer that is
+/// taken at the wrong width class forces a reshape — a reallocation. With
+/// the width-classed `take_for` slab covering all engine call sites, the
+/// good simulator and the ERASER engine must stay allocation-free in
+/// steady state even when no buffer fits inline.
+fn wide_design_steady_state_is_allocation_free() {
+    // SHA-256 completes a block roughly every 216 cycles, and the
+    // block-boundary paths (the 256-bit digest commit) are exactly the
+    // ones that exercise boxed storage — warm up for more than two full
+    // block periods so every width class has been pooled, then measure a
+    // window that itself spans multiple block boundaries.
+    const WIDE_WARMUP: usize = 450;
+    const WIDE_MEASURED: usize = 450;
+    let design = Benchmark::Sha256Hv.build();
+    let faults = generate_faults(&design, &Benchmark::Sha256Hv.fault_config());
+    let stim = Benchmark::Sha256Hv.stimulus_with_cycles(&design, WIDE_WARMUP + WIDE_MEASURED);
+    for backend in BACKENDS {
+        let mut sim = Simulator::with_backend(&design, backend);
+        for step in &stim.steps[0..WIDE_WARMUP] {
+            for (sig, val) in step {
+                sim.set_input(*sig, val);
+            }
+            sim.step();
+        }
+        let before = CountingAlloc::allocations();
+        for step in &stim.steps[WIDE_WARMUP..WIDE_WARMUP + WIDE_MEASURED] {
+            for (sig, val) in step {
+                sim.set_input(*sig, val);
+            }
+            sim.step();
+        }
+        let after = CountingAlloc::allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "wide-design good simulator ({backend} backend) allocated {} times in \
+             {WIDE_MEASURED} steady-state cycles",
+            after - before
+        );
+
+        let mut engine =
+            EraserEngine::with_backend(&design, &faults, RedundancyMode::Full, true, backend);
+        drive(&mut engine, &stim, 0..WIDE_WARMUP);
+
+        let before = CountingAlloc::allocations();
+        drive(&mut engine, &stim, WIDE_WARMUP..WIDE_WARMUP + WIDE_MEASURED);
+        let after = CountingAlloc::allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "wide-design ERASER engine ({backend} backend) allocated {} times in \
+             {WIDE_MEASURED} steady-state cycles",
             after - before
         );
     }

@@ -54,6 +54,7 @@
 //! protocol a strict generalization of force-at-construction injection.
 
 use crate::{Fault, FaultId, FaultList, StuckAt};
+use eraser_ir::analysis::influence_adjacency;
 use eraser_ir::{BinaryOp, Design, Expr, LValue, RtlOp, SignalId, Stmt};
 use eraser_sim::{SiteProbe, NEVER};
 
@@ -188,28 +189,6 @@ impl ActivationWindows {
             .rposition(|&(step, defined)| self.eligible_start(fault.id, step, defined))
             .expect("checkpoint 0 is always eligible")
     }
-}
-
-/// Static influence graph: `adj[s]` lists the signals whose next committed
-/// value can depend on `s` (RTL node inputs to outputs; behavioral reads
-/// and activation signals to every written target).
-fn influence_adjacency(design: &Design) -> Vec<Vec<SignalId>> {
-    let mut adj: Vec<Vec<SignalId>> = vec![Vec::new(); design.num_signals()];
-    for node in design.rtl_nodes() {
-        for &i in &node.inputs {
-            adj[i.index()].push(node.output);
-        }
-    }
-    for node in design.behavioral_nodes() {
-        let mut sources = node.reads.clone();
-        sources.extend(node.activation_signals());
-        sources.sort_unstable();
-        sources.dedup();
-        for &s in &sources {
-            adj[s.index()].extend(node.writes.iter().copied());
-        }
-    }
-    adj
 }
 
 /// Minimum hazard step over everything reachable from `from` (inclusive).

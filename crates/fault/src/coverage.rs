@@ -116,6 +116,40 @@ impl CoverageReport {
         }
     }
 
+    /// Expands a report over a *collapsed* universe (one slot per
+    /// equivalence class, see
+    /// [`CollapsedFaultList`](crate::CollapsedFaultList)) into the full
+    /// universe of `total` faults: every member of `classes[i]` inherits
+    /// slot `i`'s detection record verbatim; faults appearing in no class
+    /// (the dropped set) stay undetected.
+    ///
+    /// Because class members are *equivalent* — identical faulty values at
+    /// every observation point at every step — the uncollapsed run would
+    /// have produced exactly the representative's `(step, output)` record
+    /// for each of them, so the lifted report is bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` does not have exactly one slot per class.
+    pub fn lift_classes(&self, total: usize, classes: &[Vec<FaultId>]) -> CoverageReport {
+        assert_eq!(
+            self.detections.len(),
+            classes.len(),
+            "class-lift needs one detection slot per class ({} vs {} classes)",
+            self.detections.len(),
+            classes.len()
+        );
+        let mut lifted = CoverageReport::new(total);
+        for (slot, members) in self.detections.iter().zip(classes) {
+            if let Some(d) = slot {
+                for &m in members {
+                    lifted.detections[m.index()] = Some(*d);
+                }
+            }
+        }
+        lifted
+    }
+
     /// True if two reports detect exactly the same fault set (the parity
     /// criterion used to validate engines against each other; detection
     /// steps may differ between engines with different scheduling).
@@ -275,6 +309,36 @@ mod tests {
         );
         a.merge(&c);
         assert_eq!(a.detection(FaultId(1)).unwrap().output, SignalId(2));
+    }
+
+    #[test]
+    fn lift_classes_copies_records_and_leaves_dropped_undetected() {
+        // Collapsed universe: class 0 = {0, 2, 5}, class 1 = {1, 4};
+        // fault 3 was dropped (member of no class).
+        let classes = vec![
+            vec![FaultId(0), FaultId(2), FaultId(5)],
+            vec![FaultId(1), FaultId(4)],
+        ];
+        let mut local = CoverageReport::new(2);
+        let d = Detection {
+            step: 6,
+            output: SignalId(3),
+        };
+        local.record(FaultId(0), d);
+        let lifted = local.lift_classes(6, &classes);
+        assert_eq!(lifted.total(), 6);
+        for m in [0u32, 2, 5] {
+            assert_eq!(lifted.detection(FaultId(m)), Some(d));
+        }
+        for m in [1u32, 3, 4] {
+            assert!(!lifted.is_detected(FaultId(m)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one detection slot per class")]
+    fn lift_classes_rejects_slot_mismatch() {
+        CoverageReport::new(3).lift_classes(5, &[vec![FaultId(0)]]);
     }
 
     #[test]

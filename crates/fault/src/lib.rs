@@ -14,6 +14,11 @@
 //!   disjoint sharding of a universe for fault-parallel campaigns,
 //! * [`BatchPlan`] — static site-major `(batch, lane)` assignment for
 //!   64-wide bit-parallel (PPSFP-style) evaluation,
+//! * [`CollapsedFaultList`] — static fault collapsing: equivalence classes
+//!   over alias/inverter chains plus provably-undetectable drops
+//!   (constant-dormant, structurally unobservable), computed before any
+//!   simulation; a detected representative marks every class member via
+//!   [`CoverageReport::lift_classes`],
 //! * [`ActivationWindows`] — per-fault activation-window analysis over an
 //!   instrumented good replay: the earliest step each fault can first
 //!   diverge, the restart-eligibility rule for checkpointed campaigns,
@@ -24,12 +29,14 @@
 
 mod activation;
 mod batch;
+mod collapse;
 mod coverage;
 mod list;
 mod partition;
 
 pub use activation::ActivationWindows;
 pub use batch::BatchPlan;
+pub use collapse::CollapsedFaultList;
 pub use coverage::{CoverageReport, Detection};
 pub use list::{generate_faults, FaultList, FaultListConfig};
 pub use partition::{FaultShard, PartitionStrategy};

@@ -1,8 +1,9 @@
-//! Static analyses: expression widths, RTL node result widths, design
-//! statistics.
+//! Static analyses: expression widths, RTL node result widths, the signal
+//! influence graph and structural observability, design statistics.
 
 use crate::design::Design;
 use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::ids::SignalId;
 use crate::node::RtlOp;
 
 /// The result width of `expr` under the documented width model:
@@ -82,6 +83,271 @@ pub fn rtl_output_width(op: &RtlOp, input_widths: &[u32]) -> Option<u32> {
         RtlOp::Index => (input_widths.len() == 2).then_some(1),
         RtlOp::IndexedPart { width } => (input_widths.len() == 2).then_some(*width),
         RtlOp::Const(v) => input_widths.is_empty().then(|| v.width()),
+    }
+}
+
+/// Static influence graph: `adj[s]` lists the signals whose next committed
+/// value can depend on `s` — RTL node inputs map to their output, and a
+/// behavioral node's reads *and* activation signals map to every signal it
+/// writes (an activation-only source can change *when* a write happens,
+/// which is influence even without dataflow).
+///
+/// This is the structural over-approximation of fault-difference
+/// propagation shared by activation-window analysis and static fault
+/// collapsing in `eraser-fault`: a fault difference sited on `s` can only
+/// ever surface on signals reachable from `s` in this graph.
+pub fn influence_adjacency(design: &Design) -> Vec<Vec<SignalId>> {
+    let mut adj: Vec<Vec<SignalId>> = vec![Vec::new(); design.num_signals()];
+    for node in design.rtl_nodes() {
+        for &i in &node.inputs {
+            adj[i.index()].push(node.output);
+        }
+    }
+    for node in design.behavioral_nodes() {
+        let mut sources = node.reads.clone();
+        sources.extend(node.activation_signals());
+        sources.sort_unstable();
+        sources.dedup();
+        for &s in &sources {
+            adj[s.index()].extend(node.writes.iter().copied());
+        }
+    }
+    adj
+}
+
+/// Per-signal structural observability: `true` iff the signal has a path
+/// to a primary output in the [influence graph](influence_adjacency)
+/// (outputs themselves included). A fault sited on an unobservable signal
+/// can never produce a detectable output mismatch — no engine needs to
+/// simulate it.
+pub fn observable_signals(design: &Design) -> Vec<bool> {
+    let n = design.num_signals();
+    // Reverse the influence edges, then flood backwards from the outputs.
+    let mut rev: Vec<Vec<SignalId>> = vec![Vec::new(); n];
+    for (s, dsts) in influence_adjacency(design).iter().enumerate() {
+        for &d in dsts {
+            rev[d.index()].push(SignalId::from_index(s));
+        }
+    }
+    let mut observable = vec![false; n];
+    let mut stack: Vec<SignalId> = Vec::new();
+    for &o in design.outputs() {
+        if !observable[o.index()] {
+            observable[o.index()] = true;
+            stack.push(o);
+        }
+    }
+    while let Some(s) = stack.pop() {
+        for &p in &rev[s.index()] {
+            if !observable[p.index()] {
+                observable[p.index()] = true;
+                stack.push(p);
+            }
+        }
+    }
+    observable
+}
+
+/// Per-signal, per-bit read coverage: `cover[s][i]` is `true` iff some
+/// reader of signal `s` may observe bit `i` — or `s` is a primary output
+/// (outputs are observed whole). A fault on an uncovered bit can never
+/// produce a difference anywhere: no expression, node input, activation
+/// test or output observation ever looks at it.
+///
+/// The analysis is a conservative one-step read census, precise where
+/// bit extents are static and whole-signal otherwise:
+///
+/// * behavioral `Slice` reads cover exactly `lo..=hi`; `Index` and
+///   `IndexedPart` with constant positions cover exactly the selected
+///   bits, dynamic positions cover the whole base signal;
+/// * every other expression reference covers its signal whole (arithmetic
+///   X-semantics can let any input bit poison the result);
+/// * a narrowing RTL `Buf` covers only the bits it carries through —
+///   truncated high bits are discarded before any operator sees them;
+///   every other RTL node covers its inputs whole;
+/// * activation/sensitivity signals are covered whole (a change on any
+///   bit can re-trigger the block).
+///
+/// Coverage is *not* transitively closed over liveness — combine with
+/// [`observable_signals`] for signal-level dead-cone removal.
+pub fn read_bit_coverage(design: &Design) -> Vec<Vec<bool>> {
+    let mut cover: Vec<Vec<bool>> = design
+        .signals()
+        .iter()
+        .map(|s| vec![false; s.width as usize])
+        .collect();
+    let mark_all = |cover: &mut Vec<Vec<bool>>, s: SignalId| {
+        for b in cover[s.index()].iter_mut() {
+            *b = true;
+        }
+    };
+
+    for node in design.rtl_nodes() {
+        if let crate::RtlOp::Buf = node.op {
+            if node.inputs.len() == 1 {
+                let b = node.inputs[0];
+                let carried = design.signal(node.output).width.min(design.signal(b).width) as usize;
+                for bit in cover[b.index()].iter_mut().take(carried) {
+                    *bit = true;
+                }
+                continue;
+            }
+        }
+        for &i in &node.inputs {
+            mark_all(&mut cover, i);
+        }
+    }
+    for node in design.behavioral_nodes() {
+        mark_stmt_bit_reads(&node.body, &mut cover);
+        for s in node.activation_signals() {
+            mark_all(&mut cover, s);
+        }
+    }
+    for &o in design.outputs() {
+        mark_all(&mut cover, o);
+    }
+    cover
+}
+
+fn mark_expr_bit_reads(expr: &Expr, cover: &mut Vec<Vec<bool>>) {
+    match expr {
+        Expr::Const(_) => {}
+        Expr::Signal(s) => {
+            for b in cover[s.index()].iter_mut() {
+                *b = true;
+            }
+        }
+        Expr::Unary(_, e) | Expr::Replicate(_, e) => mark_expr_bit_reads(e, cover),
+        Expr::Binary(_, l, r) => {
+            mark_expr_bit_reads(l, cover);
+            mark_expr_bit_reads(r, cover);
+        }
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            mark_expr_bit_reads(cond, cover);
+            mark_expr_bit_reads(then_e, cover);
+            mark_expr_bit_reads(else_e, cover);
+        }
+        Expr::Concat(parts) => {
+            for p in parts {
+                mark_expr_bit_reads(p, cover);
+            }
+        }
+        Expr::Slice { base, hi, lo } => {
+            let w = cover[base.index()].len();
+            let (lo, hi) = (*lo as usize, (*hi as usize + 1).min(w));
+            for b in cover[base.index()][lo.min(hi)..hi].iter_mut() {
+                *b = true;
+            }
+        }
+        Expr::Index { base, index } => {
+            match index.as_ref() {
+                Expr::Const(v) => {
+                    if let Some(i) = v.to_u64() {
+                        if let Some(b) = cover[base.index()].get_mut(i as usize) {
+                            *b = true;
+                        }
+                    } else {
+                        // X/Z index: reads as X, touches no defined bit,
+                        // but stay conservative about the whole base.
+                        for b in cover[base.index()].iter_mut() {
+                            *b = true;
+                        }
+                    }
+                }
+                _ => {
+                    for b in cover[base.index()].iter_mut() {
+                        *b = true;
+                    }
+                }
+            }
+            mark_expr_bit_reads(index, cover);
+        }
+        Expr::IndexedPart { base, start, width } => {
+            match start.as_ref() {
+                Expr::Const(v) if v.to_u64().is_some() => {
+                    let s = v.to_u64().unwrap() as usize;
+                    let w = cover[base.index()].len();
+                    let end = (s + *width as usize).min(w);
+                    for b in cover[base.index()][s.min(end)..end].iter_mut() {
+                        *b = true;
+                    }
+                }
+                _ => {
+                    for b in cover[base.index()].iter_mut() {
+                        *b = true;
+                    }
+                }
+            }
+            mark_expr_bit_reads(start, cover);
+        }
+    }
+}
+
+fn mark_stmt_bit_reads(stmt: &crate::Stmt, cover: &mut Vec<Vec<bool>>) {
+    use crate::{LValue, Stmt};
+    match stmt {
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                mark_stmt_bit_reads(s, cover);
+            }
+        }
+        Stmt::Assign { lhs, rhs, .. } => {
+            mark_expr_bit_reads(rhs, cover);
+            // Partial-write positions are reads; the written base bits are
+            // not (the carried-over bits flow value-preserving, they do
+            // not spread a difference to other bits).
+            match lhs {
+                LValue::Full(_) | LValue::PartSelect { .. } => {}
+                LValue::BitSelect { index, .. } => mark_expr_bit_reads(index, cover),
+                LValue::IndexedPart { start, .. } => mark_expr_bit_reads(start, cover),
+            }
+        }
+        Stmt::If {
+            cond,
+            then_s,
+            else_s,
+            ..
+        } => {
+            mark_expr_bit_reads(cond, cover);
+            mark_stmt_bit_reads(then_s, cover);
+            if let Some(e) = else_s {
+                mark_stmt_bit_reads(e, cover);
+            }
+        }
+        Stmt::Case {
+            scrutinee,
+            arms,
+            default,
+            ..
+        } => {
+            mark_expr_bit_reads(scrutinee, cover);
+            for arm in arms {
+                for l in &arm.labels {
+                    mark_expr_bit_reads(l, cover);
+                }
+                mark_stmt_bit_reads(&arm.body, cover);
+            }
+            if let Some(d) = default {
+                mark_stmt_bit_reads(d, cover);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            mark_stmt_bit_reads(init, cover);
+            mark_expr_bit_reads(cond, cover);
+            mark_stmt_bit_reads(step, cover);
+            mark_stmt_bit_reads(body, cover);
+        }
+        Stmt::Nop => {}
     }
 }
 
@@ -216,6 +482,74 @@ mod tests {
         );
         assert_eq!(rtl_output_width(&RtlOp::Index, &[8, 3]), Some(1));
         assert_eq!(rtl_output_width(&RtlOp::Replicate(4), &[2]), Some(8));
+    }
+
+    #[test]
+    fn influence_and_observability() {
+        let mut b = DesignBuilder::new("t");
+        let a = b.add_port("a", 4, PortDir::Input);
+        let q = b.add_port("q", 4, PortDir::Output);
+        let dead = b.add_signal("dead", 4, SignalKind::Wire);
+        b.add_rtl_node(RtlOp::Buf, vec![a], q);
+        b.add_rtl_node(RtlOp::Buf, vec![a], dead);
+        let d = b.finish().unwrap();
+        let adj = influence_adjacency(&d);
+        assert!(adj[a.index()].contains(&q));
+        assert!(adj[a.index()].contains(&dead));
+        assert!(adj[q.index()].is_empty());
+        let obs = observable_signals(&d);
+        assert!(obs[a.index()], "a reaches q");
+        assert!(obs[q.index()], "outputs observe themselves");
+        assert!(!obs[dead.index()], "dead drives nothing");
+    }
+
+    #[test]
+    fn read_bit_coverage_tracks_static_extents() {
+        use crate::node::Sensitivity;
+        use crate::stmt::Stmt;
+
+        let mut b = DesignBuilder::new("t");
+        let a = b.add_port("a", 8, PortDir::Input);
+        let s = b.add_signal("s", 8, SignalKind::Wire);
+        let n = b.add_signal("n", 4, SignalKind::Wire);
+        let q = b.add_port_reg("q", 4, PortDir::Output);
+        let clk = b.add_port("clk", 1, PortDir::Input);
+        b.add_rtl_node(RtlOp::Buf, vec![a], s);
+        // Narrowing buffer: only s[3:0] carried through.
+        b.add_rtl_node(RtlOp::Buf, vec![s], n);
+        // Behavioral slice read: only a[5:4] beyond the full read of a by
+        // the first Buf... a is read whole there, so slice-precision is
+        // checked on q's source n via a bit select.
+        b.add_behavioral(
+            "q",
+            Sensitivity::Edges(vec![(crate::EdgeKind::Pos, clk)]),
+            Stmt::assign(
+                q,
+                Expr::Concat(vec![
+                    Expr::val(3, 0),
+                    Expr::Index {
+                        base: n,
+                        index: Box::new(Expr::val(2, 1)),
+                    },
+                ]),
+                false,
+            ),
+        );
+        let d = b.finish().unwrap();
+        let cover = read_bit_coverage(&d);
+        // a: read whole by the widening... same-width Buf.
+        assert!(cover[a.index()].iter().all(|&r| r));
+        // s: only the low 4 bits survive the narrowing Buf.
+        assert_eq!(
+            cover[s.index()],
+            vec![true, true, true, true, false, false, false, false]
+        );
+        // n: only bit 1 is read (constant-position bit select).
+        assert_eq!(cover[n.index()], vec![false, true, false, false]);
+        // q: outputs are observed whole.
+        assert!(cover[q.index()].iter().all(|&r| r));
+        // clk: sensitivity signals are covered whole.
+        assert!(cover[clk.index()][0]);
     }
 
     #[test]

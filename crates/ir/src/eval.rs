@@ -51,7 +51,14 @@ impl ValueSource for Vec<LogicVec> {
 /// all evaluations.
 #[derive(Debug, Clone, Default)]
 pub struct EvalScratch {
-    pool: Vec<LogicVec>,
+    /// Boxed buffers (widths over 64 bits), kept apart so width-agnostic
+    /// takes can never hand a wide buffer to a narrow write — a narrow
+    /// assignment would drop the box, and the next wide request would have
+    /// to reallocate it. Inline-class buffers are not pooled at all: a
+    /// fresh inline vector is heap-free, while pushing returned inline
+    /// values here would grow the backing vector at unpredictable times
+    /// (e.g. a dead-fault sweep returning a spike of diff entries).
+    wide: Vec<LogicVec>,
     /// Pooled buffer lists for n-ary nodes (concatenations), so their
     /// evaluation is iterative — one list per live nesting level.
     lists: Vec<Vec<LogicVec>>,
@@ -63,16 +70,22 @@ impl EvalScratch {
         Self::default()
     }
 
-    /// Takes a buffer out of the arena (contents unspecified).
+    /// Takes an inline-class buffer (contents unspecified, no heap
+    /// allocation). Width-aware callers use [`EvalScratch::take_for`] to
+    /// reach the boxed buffers.
     #[inline]
     pub fn take(&mut self) -> LogicVec {
-        self.pool.pop().unwrap_or_default()
+        LogicVec::default()
     }
 
-    /// Returns a buffer to the arena for reuse.
+    /// Returns a buffer to the arena for reuse. Only boxed storage is
+    /// kept; inline-class buffers are dropped (freeing them costs no heap
+    /// traffic).
     #[inline]
     pub fn put(&mut self, v: LogicVec) {
-        self.pool.push(v);
+        if Self::width_class(v.width()) > 1 {
+            self.wide.push(v);
+        }
     }
 
     /// Takes a buffer whose storage class already matches `width` when one
@@ -82,20 +95,25 @@ impl EvalScratch {
     /// a boxed slab sized by word count; assigning across classes reshapes
     /// the storage. Callers that know the width they are about to write
     /// (e.g. an RTL node's output) use this to keep wide buffers cycling
-    /// among wide signals — on designs with >64-bit state (SHA-256) the
-    /// plain LIFO `take` would hand a just-recycled narrow buffer to a wide
+    /// among wide signals — on designs with >64-bit state (SHA-256) a
+    /// width-blind pool would hand a just-recycled narrow buffer to a wide
     /// write and vice versa, reshaping on nearly every evaluation.
     #[inline]
     pub fn take_for(&mut self, width: u32) -> LogicVec {
         let class = Self::width_class(width);
-        if let Some(i) = self
-            .pool
-            .iter()
-            .rposition(|v| Self::width_class(v.width()) == class)
-        {
-            return self.pool.swap_remove(i);
+        if class > 1 {
+            if let Some(i) = self
+                .wide
+                .iter()
+                .rposition(|v| Self::width_class(v.width()) == class)
+            {
+                return self.wide.swap_remove(i);
+            }
         }
-        self.pool.pop().unwrap_or_default()
+        // No boxed buffer of the right word count (or an inline request):
+        // an inline buffer costs nothing to give up, while reshaping a
+        // wrong-class boxed buffer would both drop its box and allocate.
+        self.take()
     }
 
     /// Storage class of a width: 1 for every inline-capable width, the
@@ -115,10 +133,12 @@ impl EvalScratch {
         self.lists.pop().unwrap_or_default()
     }
 
-    /// Returns a buffer list, recycling its elements into the pool.
+    /// Returns a buffer list, recycling its elements into the pools.
     #[inline]
     fn put_list(&mut self, mut l: Vec<LogicVec>) {
-        self.pool.append(&mut l);
+        for v in l.drain(..) {
+            self.put(v);
+        }
         self.lists.push(l);
     }
 }
@@ -470,15 +490,18 @@ mod tests {
         let mut s = EvalScratch::new();
         s.put(LogicVec::new_x(8));
         s.put(LogicVec::new_x(256));
-        s.put(LogicVec::new_x(16));
-        // A wide request skips the narrow buffers on top of the pool.
+        s.put(LogicVec::new_x(320));
+        // A four-word request reuses the four-word box, not the five-word
+        // one pushed after it.
         assert_eq!(s.take_for(200).width(), 256);
-        // Narrow requests match any inline-capable buffer.
-        assert_eq!(s.take_for(1).width(), 16);
-        // No class match left: falls back to plain LIFO take.
-        assert_eq!(s.take_for(512).width(), 8);
-        // Empty pool: a fresh default buffer.
-        assert_eq!(s.take_for(96).width(), 1);
+        // Inline-class buffers are never pooled: narrow requests always
+        // get a fresh default (heap-free) buffer.
+        assert_eq!(s.take_for(1).width(), 1);
+        // No boxed buffer of the right word count: falls back to a fresh
+        // inline buffer rather than reshaping the five-word box.
+        assert_eq!(s.take_for(512).width(), 1);
+        // The five-word box is still pooled for a matching request.
+        assert_eq!(s.take_for(320).width(), 320);
     }
 
     #[test]

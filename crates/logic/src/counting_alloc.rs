@@ -46,10 +46,28 @@ impl CountingAlloc {
     }
 }
 
+static TRAP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+impl CountingAlloc {
+    /// Debug aid for hunting stray allocations: the next allocation (of
+    /// any kind) prints a backtrace to stderr, then the trap disarms. The
+    /// unarmed cost on the allocation path is a single relaxed load.
+    pub fn arm_trap() {
+        TRAP.store(true, Ordering::Relaxed);
+    }
+}
+
 // SAFETY: delegates every operation to `System`, only adding relaxed
 // counter increments; layout handling is unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRAP.load(Ordering::Relaxed) && TRAP.swap(false, Ordering::Relaxed) {
+            eprintln!(
+                "alloc trap ({} bytes):\n{}",
+                layout.size(),
+                std::backtrace::Backtrace::force_capture()
+            );
+        }
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc(layout)
@@ -61,6 +79,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRAP.load(Ordering::Relaxed) && TRAP.swap(false, Ordering::Relaxed) {
+            eprintln!(
+                "realloc trap ({} -> {new_size} bytes):\n{}",
+                layout.size(),
+                std::backtrace::Backtrace::force_capture()
+            );
+        }
         // A realloc is a dealloc of the old block plus an alloc of the new
         // one, so both counters move and allocations - deallocations stays
         // an accurate live-block count.
@@ -71,6 +96,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if TRAP.load(Ordering::Relaxed) && TRAP.swap(false, Ordering::Relaxed) {
+            eprintln!(
+                "alloc_zeroed trap ({} bytes):\n{}",
+                layout.size(),
+                std::backtrace::Backtrace::force_capture()
+            );
+        }
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc_zeroed(layout)

@@ -265,7 +265,19 @@ fn execute_backend_into<S: ValueSource + ?Sized, M: ExecMonitor + ?Sized>(
     ctx: &mut ExecCtx,
     out: &mut ExecOutcome,
 ) {
-    out.clear();
+    // Recycle the previous activation's value buffers into the scratch
+    // pool instead of dropping them with `out.clear()`: on wide designs
+    // these carry the boxed >64-bit storage, and losing them would force
+    // the next activation to reallocate.
+    for (_, v) in out.blocking.drain(..) {
+        ctx.scratch.put(v);
+    }
+    for w in out.blocking_writes.drain(..) {
+        ctx.scratch.put(w.value);
+    }
+    for w in out.nba.drain(..) {
+        ctx.scratch.put(w.value);
+    }
     if ctx.overlay_map.len() < design.num_signals() {
         ctx.overlay_map.resize(design.num_signals(), u32::MAX);
     }
@@ -413,7 +425,18 @@ impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
                 segment,
             } => {
                 self.monitor.on_segment(*segment, self.overlay);
-                let mut value = self.scratch.take();
+                // Draw the value buffer at the written width's storage
+                // class: the right-hand side almost always evaluates at
+                // the target width, so on wide designs (>64-bit signals)
+                // this keeps the boxed scratch buffers from reshaping
+                // against narrow temporaries cycle after cycle.
+                let value_width = match lhs {
+                    LValue::Full(sig) => self.design.signal(*sig).width,
+                    LValue::PartSelect { hi, lo, .. } => hi - lo + 1,
+                    LValue::BitSelect { .. } => 1,
+                    LValue::IndexedPart { width, .. } => *width,
+                };
+                let mut value = self.scratch.take_for(value_width);
                 let seg_tapes = self.tapes.map(|bt| &bt.segments[segment.index()]);
                 match seg_tapes {
                     Some(st) => {
@@ -560,7 +583,9 @@ impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
 
     /// Evaluates a dynamic lvalue index, returning `None` when unknown.
     fn eval_index(&mut self, e: &eraser_ir::Expr, lv_tape: Option<&EvalTape>) -> Option<u64> {
-        let mut idx = self.scratch.take();
+        // Index expressions are (virtually always) word-sized; asking for
+        // the inline storage class avoids popping a boxed wide buffer.
+        let mut idx = self.scratch.take_for(64);
         match lv_tape {
             Some(t) => {
                 let view = MappedOverlay {
@@ -588,7 +613,7 @@ impl<'a, S: ValueSource + ?Sized, M: ExecMonitor + ?Sized> Interp<'a, S, M> {
             w.apply_assign(&mut self.overlay[idx as usize].1);
             return;
         }
-        let mut cur = self.scratch.take();
+        let mut cur = self.scratch.take_for(self.design.signal(sig).width);
         match w.range {
             // Full write: the overlay entry is exactly the written value.
             None => cur.assign_from(&w.value),

@@ -67,14 +67,13 @@ pub struct Simulator<'d> {
     /// Expression-evaluation scratch arena.
     ctx: ExecCtx,
     /// Behavioral-execution outcome, cleared and refilled per activation.
+    ///
+    /// All value temporaries — RTL node outputs, force application, NBA
+    /// write folding, input resizes — come from `ctx.scratch` at the
+    /// target's storage class (`take_for`), so buffers for >64-bit signals
+    /// keep cycling among wide uses instead of being reshaped against
+    /// narrow ones.
     outcome: ExecOutcome,
-    /// RTL node output buffer.
-    rtl_out: LogicVec,
-    /// Commit temporaries (force application, NBA write folding, input
-    /// resize).
-    tmp: LogicVec,
-    nba_tmp: LogicVec,
-    in_tmp: LogicVec,
     /// Swap buffer for draining `watch_changed` without losing capacity.
     ws_changed: Vec<SignalId>,
     /// Edge-activated nodes of the current delta.
@@ -127,10 +126,6 @@ impl<'d> Simulator<'d> {
             probe: None,
             ctx: ExecCtx::new(),
             outcome: ExecOutcome::default(),
-            rtl_out: LogicVec::default(),
-            tmp: LogicVec::default(),
-            nba_tmp: LogicVec::default(),
-            in_tmp: LogicVec::default(),
             ws_changed: Vec::new(),
             ws_activated: Vec::new(),
         };
@@ -181,12 +176,12 @@ impl<'d> Simulator<'d> {
             self.commit_borrowed(sig, value);
             return;
         }
-        let mut resized = std::mem::take(&mut self.in_tmp);
+        let mut resized = self.ctx.scratch.take_for(width);
         resized.copy_resized(value, width);
         if !(self.forces.is_empty() && self.values.get(sig) == &resized) {
             self.commit_borrowed(sig, &resized);
         }
-        self.in_tmp = resized;
+        self.ctx.scratch.put(resized);
     }
 
     /// Permanently forces one bit of a signal — the `force` command used by
@@ -211,7 +206,7 @@ impl<'d> Simulator<'d> {
         let changed = if self.forces.is_empty() {
             self.values.commit(sig, value)
         } else {
-            let mut forced = std::mem::take(&mut self.tmp);
+            let mut forced = self.ctx.scratch.take_for(value.width());
             forced.assign_from(value);
             for &(fs, bit, b) in &self.forces {
                 if fs == sig && bit < forced.width() {
@@ -219,7 +214,7 @@ impl<'d> Simulator<'d> {
                 }
             }
             let changed = self.values.commit(sig, &forced);
-            self.tmp = forced;
+            self.ctx.scratch.put(forced);
             changed
         };
         if changed {
@@ -369,7 +364,7 @@ impl<'d> Simulator<'d> {
             if let Some(id) = self.rtl_queue.pop() {
                 self.rtl_dirty[id.index()] = false;
                 let node = design.rtl_node(id);
-                let mut out = std::mem::take(&mut self.rtl_out);
+                let mut out = self.ctx.scratch.take_for(design.signal(node.output).width);
                 match &self.tapes {
                     Some(t) => run_tape(
                         t.program().rtl(id.index()),
@@ -386,7 +381,7 @@ impl<'d> Simulator<'d> {
                     ),
                 }
                 self.commit_borrowed(node.output, &out);
-                self.rtl_out = out;
+                self.ctx.scratch.put(out);
                 continue;
             }
             if let Some(id) = self.beh_queue.pop() {
@@ -488,17 +483,24 @@ impl<'d> Simulator<'d> {
             return false;
         }
         let mut writes = std::mem::take(&mut self.nba);
-        let mut next = std::mem::take(&mut self.nba_tmp);
         let mut any = false;
-        for w in &writes {
+        for w in writes.drain(..) {
+            // Per-target temporary at the target's storage class, and the
+            // write's own value buffer recycled afterwards: on wide designs
+            // these are the boxed buffers, and dropping them here (or
+            // letting one shared temporary shrink to the next narrow
+            // target) would force a fresh allocation every time a >64-bit
+            // signal commits.
+            let width = self.design.signal(w.target).width;
+            let mut next = self.ctx.scratch.take_for(width);
             next.assign_from(self.values.get(w.target));
             w.apply_assign(&mut next);
             if self.commit_borrowed(w.target, &next) {
                 any = true;
             }
+            self.ctx.scratch.put(next);
+            self.ctx.scratch.put(w.value);
         }
-        self.nba_tmp = next;
-        writes.clear();
         self.nba = writes;
         any
     }

@@ -8,21 +8,24 @@
 //! eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]
 //!        [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]
 //!        [--threads N] [--partition contiguous|round-robin|site-affinity]
-//!        [--eval tree|tape] [--checkpoint-interval N] [--batch]
+//!        [--eval tree|tape] [--checkpoint-interval N] [--batch] [--collapse]
 //! ```
 //!
 //! `--threads N` runs the campaign fault-parallel over N worker threads
 //! (0 = one per hardware thread); `--partition` picks the fault-sharding
 //! strategy; `--eval` selects the expression-evaluation backend (the tree
 //! walker or compiled instruction tapes); `--batch` evaluates batchable
-//! RTL nodes for up to 64 faults at once (bit-parallel fault batching).
-//! Defaults come from `ERASER_THREADS` / `ERASER_PARTITION` /
-//! `ERASER_EVAL` / `ERASER_BATCH`. Coverage is bit-identical at any
-//! thread count, on either backend, and with batching on or off.
+//! RTL nodes for up to 64 faults at once (bit-parallel fault batching);
+//! `--collapse` statically collapses the fault universe (equivalence
+//! classes plus provably-undetectable drops) before simulating. Defaults
+//! come from `ERASER_THREADS` / `ERASER_PARTITION` / `ERASER_EVAL` /
+//! `ERASER_BATCH` / `ERASER_COLLAPSE`. Coverage is bit-identical at any
+//! thread count, on either backend, and with batching or collapsing on or
+//! off.
 
 use eraser::core::{
-    run_campaign, BatchConfig, CampaignConfig, CheckpointConfig, EvalBackend, ParallelConfig,
-    RedundancyMode,
+    run_campaign, BatchConfig, CampaignConfig, CheckpointConfig, CollapseConfig, EvalBackend,
+    ParallelConfig, RedundancyMode,
 };
 use eraser::fault::{generate_faults, FaultListConfig, PartitionStrategy};
 use eraser::frontend::compile;
@@ -45,6 +48,7 @@ struct Options {
     backend: EvalBackend,
     checkpoint: CheckpointConfig,
     batch: BatchConfig,
+    collapse: CollapseConfig,
 }
 
 fn usage() -> ! {
@@ -52,7 +56,7 @@ fn usage() -> ! {
         "usage: eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]\n\
          \x20             [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]\n\
          \x20             [--threads N] [--partition contiguous|round-robin|site-affinity]\n\
-         \x20             [--eval tree|tape] [--checkpoint-interval N] [--batch]"
+         \x20             [--eval tree|tape] [--checkpoint-interval N] [--batch] [--collapse]"
     );
     std::process::exit(2);
 }
@@ -73,6 +77,7 @@ fn parse_args() -> Options {
         backend: EvalBackend::from_env(),
         checkpoint: CheckpointConfig::from_env(),
         batch: BatchConfig::from_env(),
+        collapse: CollapseConfig::from_env(),
     };
     let need = |a: Option<String>| a.unwrap_or_else(|| usage());
     while let Some(arg) = args.next() {
@@ -117,6 +122,7 @@ fn parse_args() -> Options {
                     CheckpointConfig::every(need(args.next()).parse().unwrap_or_else(|_| usage()))
             }
             "--batch" => opts.batch = BatchConfig::enabled(),
+            "--collapse" => opts.collapse = CollapseConfig::enabled(),
             "--list-undetected" => opts.list_undetected = true,
             "--help" | "-h" => usage(),
             _ if opts.file.is_empty() && !arg.starts_with('-') => opts.file = arg,
@@ -260,6 +266,9 @@ fn main() -> ExitCode {
     if opts.batch.enabled {
         println!("batching: 64-wide bit-parallel RTL evaluation");
     }
+    if opts.collapse.enabled {
+        println!("collapsing: static equivalence folding before simulation");
+    }
     let result = run_campaign(
         &design,
         &faults,
@@ -271,6 +280,7 @@ fn main() -> ExitCode {
             backend: opts.backend,
             checkpoint: opts.checkpoint,
             batch: opts.batch,
+            collapse: opts.collapse,
         },
     );
     println!(
@@ -298,6 +308,15 @@ fn main() -> ExitCode {
         println!(
             "batch: {} groups at {:.1}% lane occupancy, {} scalar fallbacks",
             s.batch_groups, occupancy, s.batch_scalar_fallbacks
+        );
+    }
+    if opts.collapse.enabled {
+        println!(
+            "collapse: {} classes simulated for {} faults ({} folded, {} dropped as undetectable)",
+            s.collapse_classes,
+            faults.len(),
+            s.collapsed_faults,
+            s.collapse_dropped
         );
     }
     if opts.list_undetected {
