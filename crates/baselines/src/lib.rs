@@ -87,7 +87,10 @@ fn campaign_tapes(design: &Design, config: &CampaignConfig) -> Option<TapeProgra
 /// window (bit-identical coverage, see
 /// [`eraser_fault::ActivationWindows`]), and the result carries
 /// [`RedundancyStats`](eraser_core::RedundancyStats) with the
-/// skipped-prefix / skipped-fault / dropped-fault counters.
+/// skipped-prefix / skipped-fault / dropped-fault counters. Honors
+/// [`CampaignConfig::parallel`] natively: per-fault replays (or, when
+/// checkpointed, whole window groups) drain a shared work queue, with
+/// coverage and counters bit-identical at every thread count.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct IFsim;
 
@@ -113,6 +116,7 @@ impl FaultSimEngine for IFsim {
                 faults,
                 stimulus,
                 config.checkpoint,
+                config.parallel,
                 || match &tapes {
                     Some(tp) => Simulator::with_tapes(design, tp),
                     None => Simulator::with_backend(design, EvalBackend::Tree),
@@ -154,6 +158,7 @@ impl FaultSimEngine for VFsim {
                 faults,
                 stimulus,
                 config.checkpoint,
+                config.parallel,
                 || match &tapes {
                     Some(tp) => CompiledSim::with_tapes(design, tp),
                     None => CompiledSim::with_backend(design, EvalBackend::Tree),
@@ -204,10 +209,11 @@ pub fn all_engines() -> Vec<Box<dyn FaultSimEngine>> {
 /// [`Parallel`] adapter under one shared [`ParallelConfig`], in the same
 /// order as [`all_engines`] followed by `Eraser-` and `Eraser--`.
 ///
-/// The serial baselines ignore `CampaignConfig::parallel` on their own;
-/// wrapping them is the one code path that parallelizes every engine, and
-/// merged coverage stays bit-identical for each of them, so the whole
-/// line-up still passes the Table II parity check.
+/// The serial baselines also honor `CampaignConfig::parallel` natively
+/// now, but the [`Parallel`] adapter forces its inner campaigns serial,
+/// so wrapping never nests thread pools; merged coverage stays
+/// bit-identical for each engine, and the whole line-up still passes the
+/// Table II parity check.
 pub fn all_engines_parallel(config: ParallelConfig) -> Vec<Box<dyn FaultSimEngine>> {
     vec![
         Box::new(Parallel::new(IFsim, config)),

@@ -1,5 +1,5 @@
 //! Shared driver for per-fault serial fault simulation, with optional
-//! checkpointed good-state replay.
+//! checkpointed good-state replay and fault-parallel execution.
 //!
 //! The driver is generic over [`ReplaySim`], so one implementation serves
 //! both the event-driven IFsim substrate ([`Simulator`](eraser_sim::Simulator))
@@ -11,27 +11,33 @@
 //! the value of every primary output after each stimulus step (the good
 //! trace); then, per fault, a fresh simulator with the force applied
 //! replays the whole stimulus, comparing outputs against the good trace
-//! and stopping at the first detection (per-fault dropping).
+//! and stopping at the first detection (per-fault dropping). With
+//! `parallel` threads > 1 the per-fault replays drain a shared work queue
+//! ([`run_queue`]); each fault is independent, so results are identical
+//! at any thread count.
 //!
 //! # Checkpointed mode
 //!
 //! The good replay additionally carries a [`SiteProbe`] and captures a
 //! [`SimSnapshot`] every `interval` settle steps (noting whether the
 //! state is fully defined). [`ActivationWindows`] then gives each fault
-//! its earliest possible divergence step, and the fault loop — ordered by
-//! ascending window, so faults sharing a start checkpoint run
-//! consecutively — restores the latest eligible checkpoint, applies the
-//! force, and replays only the suffix. Faults that provably cannot
-//! diverge within the stimulus are skipped outright. Coverage records
-//! (first-detection steps and outputs included) are bit-identical to the
-//! non-checkpointed run (see the soundness model in
-//! [`eraser_fault::ActivationWindows`]); what changes is the work, which
-//! the returned [`RedundancyStats`] quantifies via `skipped_prefix_steps`,
-//! `skipped_faults` and `dropped_faults`.
+//! its earliest possible divergence step, and the
+//! [`WindowPlan`](eraser_fault::WindowPlan) groups faults by their latest
+//! eligible checkpoint — the same worker-count-independent schedule the
+//! concurrent campaign driver uses. Each window shard gets one reusable
+//! simulator: per fault it restores the shared checkpoint snapshot,
+//! applies the force, and replays only the suffix. Faults that provably
+//! cannot diverge within the stimulus are skipped outright. Coverage
+//! records (first-detection steps and outputs included) are bit-identical
+//! to the non-checkpointed run (see the soundness model in
+//! [`eraser_fault::ActivationWindows`]), and — because the plan never
+//! looks at the worker count — so are the [`RedundancyStats`] counters at
+//! every thread count: `skipped_prefix_steps`, `skipped_faults` and
+//! `dropped_faults` quantify the trimmed work.
 
-use eraser_core::{CheckpointConfig, EngineResult, RedundancyStats};
+use eraser_core::{run_queue, CheckpointConfig, EngineResult, ParallelConfig, RedundancyStats};
 use eraser_fault::{
-    detectable_mismatch, ActivationWindows, CoverageReport, Detection, Fault, FaultList,
+    detectable_mismatch, ActivationWindows, CoverageReport, Detection, Fault, FaultList, WindowPlan,
 };
 use eraser_ir::Design;
 use eraser_logic::LogicVec;
@@ -39,39 +45,50 @@ use eraser_sim::{ReplaySim, SimSnapshot, SiteProbe, Stimulus};
 use std::time::Instant;
 
 /// Runs a serial (one-simulation-per-fault) campaign; checkpointed
-/// good-state replay when `checkpoint` is enabled. `make_sim` builds a
-/// fault-free simulator; `inject` applies one stuck-at force and settles.
-pub fn serial_campaign<Sim: ReplaySim>(
+/// good-state replay when `checkpoint` is enabled, fault-parallel across
+/// `parallel` worker threads. `make_sim` builds a fault-free simulator;
+/// `inject` applies one stuck-at force and settles. Both closures are
+/// shared across workers, hence `Fn + Sync`.
+#[allow(clippy::too_many_arguments)]
+pub fn serial_campaign<Sim: ReplaySim + Send>(
     name: &str,
     design: &Design,
     faults: &FaultList,
     stimulus: &Stimulus,
     checkpoint: CheckpointConfig,
-    mut make_sim: impl FnMut() -> Sim,
-    mut inject: impl FnMut(&mut Sim, &Fault),
+    parallel: ParallelConfig,
+    make_sim: impl Fn() -> Sim + Sync,
+    inject: impl Fn(&mut Sim, &Fault) + Sync,
 ) -> EngineResult {
     let t0 = Instant::now();
     let outputs = design.outputs().to_vec();
     let steps = &stimulus.steps;
+    let threads = if faults.len() > 1 {
+        parallel.effective_threads()
+    } else {
+        1
+    };
 
     if !checkpoint.is_enabled() {
         // Historical protocol: full replay per fault from a fresh sim.
+        // Faults are mutually independent, so the queue order cannot
+        // affect any per-fault outcome.
         let good_trace = record_good_trace(&mut make_sim(), steps, &outputs);
-        let mut coverage = CoverageReport::new(faults.len());
-        for fault in faults.iter() {
+        let fault_refs: Vec<&Fault> = faults.iter().collect();
+        let detections = run_queue(&fault_refs, threads, |fault| {
             let mut sim = make_sim();
             inject(&mut sim, fault);
-            replay_fault(
-                &mut sim,
-                steps,
-                0,
-                &outputs,
-                &good_trace,
-                fault,
-                &mut coverage,
-            );
+            replay_fault(&mut sim, steps, 0, &outputs, &good_trace)
+        });
+        let mut coverage = CoverageReport::new(faults.len());
+        for (fault, det) in fault_refs.iter().zip(detections) {
+            if let Some(det) = det {
+                coverage.record(fault.id, det);
+            }
         }
-        return EngineResult::new(name, coverage).with_wall(t0.elapsed());
+        return EngineResult::new(name, coverage)
+            .with_wall(t0.elapsed())
+            .with_threads(threads);
     }
 
     // Instrumented good replay: trace + probe + periodic snapshots.
@@ -98,38 +115,43 @@ pub fn serial_campaign<Sim: ReplaySim>(
     let windows = ActivationWindows::derive(design, faults, &probe, steps.len());
     let boundaries: Vec<(usize, bool)> = checkpoints.iter().map(|&(s, d, _)| (s, d)).collect();
 
-    // Activation-window schedule: ascending window, so consecutive faults
-    // share start checkpoints; the good sim doubles as the reusable fault
-    // workhorse.
-    let mut stats = RedundancyStats::default();
+    // Window-plan schedule: faults grouped by latest eligible checkpoint
+    // (never-active faults already dropped into `plan.skipped`), groups
+    // drained costliest-first over the worker queue. One reusable
+    // simulator per group; every fault restores the group snapshot before
+    // injection, so per-fault results are position-independent.
+    let plan = WindowPlan::build(faults, &windows, &boundaries);
+    let results = run_queue(&plan.shards, threads, |ws| {
+        let mut sim = make_sim();
+        let (start, _, snap) = &checkpoints[ws.checkpoint];
+        let mut coverage = CoverageReport::new(ws.shard.len());
+        let mut stats = RedundancyStats::default();
+        for fault in ws.shard.list.iter() {
+            sim.restore_from(snap);
+            inject(&mut sim, fault);
+            stats.skipped_prefix_steps += *start as u64;
+            if let Some(det) = replay_fault(&mut sim, steps, *start, &outputs, &good_trace) {
+                coverage.record(fault.id, det);
+                stats.dropped_faults += 1;
+            }
+        }
+        (coverage, stats)
+    });
+
     let mut coverage = CoverageReport::new(faults.len());
-    for id in windows.order_by_window() {
-        let fault = faults.fault(id);
-        if windows.never_active(id) {
-            stats.skipped_faults += 1;
-            continue;
-        }
-        let ci = windows.start_checkpoint(fault, &boundaries);
-        let (start, _, snap) = &checkpoints[ci];
-        sim.restore_from(snap);
-        inject(&mut sim, fault);
-        stats.skipped_prefix_steps += *start as u64;
-        if replay_fault(
-            &mut sim,
-            steps,
-            *start,
-            &outputs,
-            &good_trace,
-            fault,
-            &mut coverage,
-        ) {
-            stats.dropped_faults += 1;
-        }
+    let mut stats = RedundancyStats {
+        skipped_faults: plan.skipped.len() as u64,
+        ..RedundancyStats::default()
+    };
+    for (ws, (shard_cov, shard_stats)) in plan.shards.iter().zip(&results) {
+        ws.shard.merge_coverage_into(shard_cov, &mut coverage);
+        stats.merge(shard_stats);
     }
     stats.time_total = t0.elapsed();
     EngineResult::new(name, coverage)
         .with_stats(stats)
         .with_wall(t0.elapsed())
+        .with_threads(threads)
 }
 
 /// Replays the whole stimulus on the fault-free simulator, recording every
@@ -154,31 +176,24 @@ fn record_good_trace<Sim: ReplaySim>(
 
 /// Replays steps `start..` on a forced simulator, comparing outputs
 /// against the good trace after each settle step and stopping at the
-/// first detection. Returns whether the fault was detected (and thus
-/// dropped).
+/// first detection (the fault is dropped there).
 fn replay_fault<Sim: ReplaySim>(
     sim: &mut Sim,
     steps: &[Vec<(eraser_ir::SignalId, LogicVec)>],
     start: usize,
     outputs: &[eraser_ir::SignalId],
     good_trace: &[Vec<LogicVec>],
-    fault: &Fault,
-    coverage: &mut CoverageReport,
-) -> bool {
+) -> Option<Detection> {
     for (si, step) in steps.iter().enumerate().skip(start) {
         sim.replay_step(step);
         for (oi, &o) in outputs.iter().enumerate() {
             if detectable_mismatch(&good_trace[si][oi], sim.signal_value(o)) {
-                coverage.record(
-                    fault.id,
-                    Detection {
-                        step: si,
-                        output: o,
-                    },
-                );
-                return true;
+                return Some(Detection {
+                    step: si,
+                    output: o,
+                });
             }
         }
     }
-    false
+    None
 }

@@ -1,0 +1,256 @@
+//! **Fig. 12** (beyond the paper): two-dimensional parallelism — the
+//! composed window-aware checkpointed + fault-parallel campaign path.
+//!
+//! For every selected benchmark, runs the concurrent ERASER engine in
+//! four configurations of the *identical* campaign:
+//!
+//! * `serial`   — one thread, checkpointing off (the reference),
+//! * `parallel` — N worker threads, checkpointing off,
+//! * `ckpt`     — one thread, checkpointed window-aware schedule,
+//! * `composed` — N worker threads *and* the checkpointed schedule:
+//!   faults grouped by latest eligible checkpoint, every shard engine
+//!   resuming from the shared good-state snapshot.
+//!
+//! Coverage records are asserted **bit-identical** across all four
+//! configurations, and — because the window plan is worker-count-
+//! independent — the composed run must report the *same* trimming
+//! counters as the single-threaded checkpointed run: the regression gate
+//! against the historical silent degradation where enabling threads
+//! forfeited every checkpoint skip. Emits `BENCH_fig12_twodim.json`
+//! (schema `eraser-fig12-twodim-v1`).
+//!
+//! Knobs: `ERASER_FIG12_THREADS` sets the worker count (default 4);
+//! `ERASER_FIG12_CKPT` overrides the checkpoint interval in settle steps
+//! (default: `stimulus_steps / 16`, at least 4); `ERASER_BENCH_ONLY`
+//! restricts the benchmark set; `ERASER_FIG12_STRICT=1` additionally
+//! fails the run unless every design's composed run kept at least the
+//! single-threaded checkpointed run's skipped-prefix-steps, and at least
+//! one design recorded a nonzero prefix skip.
+
+use eraser_bench::json::write_json_objects;
+use eraser_bench::{
+    env_scale, fmt_secs, prepare, print_environment, selected_benchmarks, Prepared,
+};
+use eraser_core::{
+    CampaignConfig, CheckpointConfig, EngineResult, Eraser, FaultSimEngine, ParallelConfig,
+};
+
+const BINARY: &str = "fig12_twodim";
+const SCHEMA: &str = "eraser-fig12-twodim-v1";
+
+struct Record {
+    benchmark: String,
+    engine: String,
+    faults: usize,
+    stimulus_steps: usize,
+    checkpoint_interval: usize,
+    threads: usize,
+    wall_serial_seconds: f64,
+    wall_parallel_seconds: f64,
+    wall_ckpt_seconds: f64,
+    wall_composed_seconds: f64,
+    speedup_parallel: f64,
+    speedup_ckpt: f64,
+    speedup_composed: f64,
+    skipped_prefix_steps_ckpt: u64,
+    skipped_prefix_steps_composed: u64,
+    skipped_faults: u64,
+    dropped_faults: u64,
+    detected: usize,
+    coverage_percent: f64,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema\":\"{}\",\"binary\":\"{}\",\"benchmark\":\"{}\",",
+                "\"engine\":\"{}\",\"faults\":{},\"stimulus_steps\":{},",
+                "\"checkpoint_interval\":{},\"threads\":{},",
+                "\"wall_serial_seconds\":{:.6},\"wall_parallel_seconds\":{:.6},",
+                "\"wall_ckpt_seconds\":{:.6},\"wall_composed_seconds\":{:.6},",
+                "\"speedup_parallel\":{:.4},\"speedup_ckpt\":{:.4},",
+                "\"speedup_composed\":{:.4},\"skipped_prefix_steps_ckpt\":{},",
+                "\"skipped_prefix_steps_composed\":{},\"skipped_faults\":{},",
+                "\"dropped_faults\":{},\"detected\":{},\"coverage_percent\":{:.4}}}"
+            ),
+            SCHEMA,
+            BINARY,
+            self.benchmark,
+            self.engine,
+            self.faults,
+            self.stimulus_steps,
+            self.checkpoint_interval,
+            self.threads,
+            self.wall_serial_seconds,
+            self.wall_parallel_seconds,
+            self.wall_ckpt_seconds,
+            self.wall_composed_seconds,
+            self.speedup_parallel,
+            self.speedup_ckpt,
+            self.speedup_composed,
+            self.skipped_prefix_steps_ckpt,
+            self.skipped_prefix_steps_composed,
+            self.skipped_faults,
+            self.dropped_faults,
+            self.detected,
+            self.coverage_percent,
+        )
+    }
+}
+
+fn interval_for(steps: usize) -> usize {
+    std::env::var("ERASER_FIG12_CKPT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(|| (steps / 16).max(4))
+}
+
+fn thread_count() -> usize {
+    std::env::var("ERASER_FIG12_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(4)
+}
+
+fn run(p: &Prepared, threads: usize, interval: usize) -> EngineResult {
+    Eraser::full().run(
+        &p.design,
+        &p.faults,
+        &p.stimulus,
+        &CampaignConfig {
+            parallel: ParallelConfig::with_threads(threads),
+            checkpoint: CheckpointConfig::every(interval),
+            ..Default::default()
+        },
+    )
+}
+
+fn main() {
+    print_environment("Fig. 12 — two-dimensional parallelism (threads x checkpoints)");
+    let scale = env_scale();
+    let threads = thread_count();
+
+    println!(
+        "{:<11} {:>6} {:>3} {:>10} {:>10} {:>10} {:>10} {:>7} {:>12} {:>8}   coverage",
+        "benchmark",
+        "ckpt",
+        "thr",
+        "serial",
+        "parallel",
+        "ckpt",
+        "composed",
+        "x",
+        "skip-steps",
+        "skip-f"
+    );
+
+    let mut records = Vec::new();
+    let mut ln_sum = 0.0f64;
+    let mut designs = 0usize;
+    let mut any_prefix_skip = false;
+    let mut degraded: Vec<String> = Vec::new();
+    for bench in selected_benchmarks() {
+        let p = prepare(bench, scale);
+        let interval = interval_for(p.stimulus.num_steps());
+        let serial = run(&p, 1, 0);
+        let parallel = run(&p, threads, 0);
+        let ckpt = run(&p, 1, interval);
+        let composed = run(&p, threads, interval);
+        for (name, r) in [
+            ("parallel", &parallel),
+            ("ckpt", &ckpt),
+            ("composed", &composed),
+        ] {
+            assert_eq!(
+                serial.coverage,
+                r.coverage,
+                "{}: {name} coverage records diverged from serial",
+                bench.name()
+            );
+        }
+        let ckpt_stats = ckpt.stats.as_ref().expect("checkpointed runs carry stats");
+        let composed_stats = composed.stats.as_ref().expect("composed runs carry stats");
+        if composed_stats.skipped_prefix_steps < ckpt_stats.skipped_prefix_steps {
+            degraded.push(format!(
+                "{}: composed skipped {} prefix steps < ckpt-only {}",
+                bench.name(),
+                composed_stats.skipped_prefix_steps,
+                ckpt_stats.skipped_prefix_steps
+            ));
+        }
+        any_prefix_skip |= composed_stats.skipped_prefix_steps > 0;
+        let speedup_parallel = serial.wall.as_secs_f64() / parallel.wall.as_secs_f64();
+        let speedup_ckpt = serial.wall.as_secs_f64() / ckpt.wall.as_secs_f64();
+        let speedup_composed = serial.wall.as_secs_f64() / composed.wall.as_secs_f64();
+        ln_sum += speedup_composed.ln();
+        designs += 1;
+        println!(
+            "{:<11} {:>6} {:>3} {:>10} {:>10} {:>10} {:>10} {:>6.2}x {:>12} {:>8}   {}",
+            bench.name(),
+            interval,
+            threads,
+            fmt_secs(serial.wall),
+            fmt_secs(parallel.wall),
+            fmt_secs(ckpt.wall),
+            fmt_secs(composed.wall),
+            speedup_composed,
+            composed_stats.skipped_prefix_steps,
+            composed_stats.skipped_faults,
+            composed.coverage
+        );
+        records.push(Record {
+            benchmark: bench.name().to_string(),
+            engine: composed.name.clone(),
+            faults: p.faults.len(),
+            stimulus_steps: p.stimulus.num_steps(),
+            checkpoint_interval: interval,
+            threads,
+            wall_serial_seconds: serial.wall.as_secs_f64(),
+            wall_parallel_seconds: parallel.wall.as_secs_f64(),
+            wall_ckpt_seconds: ckpt.wall.as_secs_f64(),
+            wall_composed_seconds: composed.wall.as_secs_f64(),
+            speedup_parallel,
+            speedup_ckpt,
+            speedup_composed,
+            skipped_prefix_steps_ckpt: ckpt_stats.skipped_prefix_steps,
+            skipped_prefix_steps_composed: composed_stats.skipped_prefix_steps,
+            skipped_faults: composed_stats.skipped_faults,
+            dropped_faults: composed_stats.dropped_faults,
+            detected: composed.coverage.detected(),
+            coverage_percent: composed.coverage.coverage_percent(),
+        });
+    }
+
+    println!();
+    if designs > 0 {
+        println!(
+            "composed: geomean speedup over serial {:.2}x across {designs} designs",
+            (ln_sum / designs as f64).exp()
+        );
+    }
+    println!("(coverage asserted bit-identical across serial/parallel/ckpt/composed, per design)");
+    let lines: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    write_json_objects(BINARY, &lines);
+
+    let strict = std::env::var("ERASER_FIG12_STRICT")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    if strict {
+        for d in &degraded {
+            eprintln!("STRICT: {d}");
+        }
+        if !degraded.is_empty() {
+            std::process::exit(1);
+        }
+        if !any_prefix_skip {
+            eprintln!(
+                "STRICT: no design recorded a nonzero composed skipped-prefix — \
+                 the two-dimensional path silently degraded"
+            );
+            std::process::exit(1);
+        }
+    }
+}

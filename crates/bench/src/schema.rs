@@ -107,6 +107,33 @@ pub fn registry() -> Vec<(&'static str, Vec<(&'static str, Ty)>)> {
             ],
         ),
         (
+            // fig12_twodim two-dimensional parallelism records.
+            "eraser-fig12-twodim-v1",
+            vec![
+                ("schema", Str),
+                ("binary", Str),
+                ("benchmark", Str),
+                ("engine", Str),
+                ("faults", Num),
+                ("stimulus_steps", Num),
+                ("checkpoint_interval", Num),
+                ("threads", Num),
+                ("wall_serial_seconds", Num),
+                ("wall_parallel_seconds", Num),
+                ("wall_ckpt_seconds", Num),
+                ("wall_composed_seconds", Num),
+                ("speedup_parallel", Num),
+                ("speedup_ckpt", Num),
+                ("speedup_composed", Num),
+                ("skipped_prefix_steps_ckpt", Num),
+                ("skipped_prefix_steps_composed", Num),
+                ("skipped_faults", Num),
+                ("dropped_faults", Num),
+                ("detected", Num),
+                ("coverage_percent", Num),
+            ],
+        ),
+        (
             // fig11_collapse static fault-collapsing records.
             "eraser-fig11-collapse-v1",
             vec![

@@ -30,12 +30,17 @@ pub struct CampaignConfig {
     /// tape backend the design is lowered once per campaign and the
     /// program is shared across every fault-parallel shard worker.
     pub backend: EvalBackend,
-    /// Checkpointed good-state replay: the snapshot interval for engines
-    /// that trim the per-fault good prefix (the serial IFsim/VFsim
-    /// baselines). The default honors `ERASER_CKPT` (disabled when
-    /// unset). Coverage records are bit-identical at any interval; the
-    /// concurrent engines are checkpoint-transparent (see
-    /// [`CheckpointConfig`]).
+    /// Checkpointed good-state replay: the good-state snapshot interval.
+    /// When enabled the campaign takes the two-dimensional path (see
+    /// [`CheckpointConfig`] and the `twodim` module docs): one
+    /// instrumented good run, window-aware shards, and engines that
+    /// resume from the latest eligible checkpoint — composing with
+    /// fault-parallel threads instead of excluding them. The default
+    /// honors `ERASER_CKPT` (disabled when unset). Coverage records are
+    /// bit-identical at any interval and thread count; the redundancy
+    /// counters are bit-identical across *thread counts* at a fixed
+    /// interval (they legitimately shrink versus a non-checkpointed run —
+    /// that is the point).
     pub checkpoint: CheckpointConfig,
     /// Bit-parallel fault batching: evaluate up to 64 fault candidates of a
     /// batchable RTL node in one word-parallel pass (PPSFP applied to the
@@ -115,6 +120,16 @@ pub struct CampaignResult {
 /// bit-identical to the serial run at any thread count. Merged stats sum
 /// per-shard counters and per-shard walls (see [`RedundancyStats::merge`]
 /// and [`CampaignResult::stats`]).
+///
+/// With `config.checkpoint` enabled the campaign runs the composed
+/// two-dimensional schedule (any thread count): one instrumented good run
+/// records periodic snapshots, faults shard by activation window, each
+/// shard engine resumes from the latest checkpoint eligible for all its
+/// faults, and never-active faults are dropped without simulation.
+/// Coverage stays bit-identical to the non-checkpointed run; counters are
+/// bit-identical across thread counts at a fixed interval, with
+/// `skipped_prefix_steps` / `skipped_faults` quantifying the trimmed
+/// work.
 pub fn run_campaign(
     design: &Design,
     faults: &FaultList,
@@ -142,6 +157,26 @@ pub fn run_campaign(
     // program when bit-parallel fault batching is on.
     let tapes = TapeProgram::for_backend(design, config.backend);
     let batch = config.batch.enabled.then(|| BatchProgram::compile(design));
+    // Checkpointing on: the two-dimensional path. One instrumented good
+    // run records snapshots, the fault universe shards by activation
+    // window, and every shard engine resumes from the latest eligible
+    // checkpoint — at any thread count, one thread included, so the
+    // composed counters are bit-identical across thread counts.
+    if config.checkpoint.is_enabled() && !stimulus.steps.is_empty() && !faults.is_empty() {
+        let mut result = crate::twodim::run_windowed(
+            design,
+            faults,
+            stimulus,
+            config,
+            tapes.as_ref(),
+            batch.as_ref(),
+        );
+        if !config.parallel.is_parallel() {
+            // Serial convention: time_total is the campaign wall.
+            result.stats.time_total = t0.elapsed();
+        }
+        return result;
+    }
     let threads = config.parallel.effective_threads();
     if threads > 1 && faults.len() > 1 {
         let mut shards = faults.partition(

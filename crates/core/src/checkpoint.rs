@@ -1,26 +1,26 @@
 //! Checkpointed good-state replay configuration.
 //!
 //! The temporal-redundancy knob of the framework: with a nonzero interval,
-//! campaign drivers that support it (today the serial IFsim/VFsim
-//! baselines in `eraser-baselines`) run the good machine once with an
-//! activation probe attached, capture a [`SimSnapshot`](eraser_sim::SimSnapshot)
-//! of the good state every `interval` settle steps, derive per-fault
+//! campaign drivers run the good machine once with an activation probe
+//! attached, capture a [`SimSnapshot`](eraser_sim::SimSnapshot) of the
+//! good state every `interval` settle steps, derive per-fault
 //! [`ActivationWindows`](eraser_fault::ActivationWindows), and then start
-//! each fault from the latest eligible checkpoint preceding its window —
-//! skipping the fault-free prefix that serial re-simulation would
-//! otherwise replay per fault, and skipping outright the faults whose
-//! window lies beyond the stimulus. Coverage records (first-detection
-//! steps and outputs included) are bit-identical to the non-checkpointed
-//! run by construction.
-//!
-//! The concurrent ERASER engine is *checkpoint-transparent*: it already
-//! runs the good network exactly once per campaign, and a dormant fault
-//! (no visible differences) costs it nothing beyond membership in the
-//! live count — which the redundancy counters deliberately include, so a
-//! prefix-skipped batch start would change `opportunities` and
-//! `rtl_fault_evals` relative to the from-zero run. Keeping the
-//! concurrent engines on the from-zero path is what keeps their
-//! redundancy counters bit-identical across checkpoint settings.
+//! simulation from the latest eligible checkpoint preceding each fault's
+//! window — skipping the fault-free prefix that from-zero re-simulation
+//! would otherwise replay, and skipping outright the faults whose window
+//! lies beyond the stimulus. The serial IFsim/VFsim baselines restart one
+//! simulator per fault; the concurrent campaign driver
+//! ([`run_campaign`](crate::run_campaign)) groups faults into
+//! [`WindowShard`](eraser_fault::WindowShard)s by their latest eligible
+//! checkpoint and resumes one concurrent engine per group from the shared
+//! snapshot — the two-dimensional path that composes with
+//! [`ParallelConfig`](crate::ParallelConfig) sharding. Coverage records
+//! (first-detection steps and outputs included) are bit-identical to the
+//! non-checkpointed run by construction, and because the window plan is
+//! worker-count-independent, *all* redundancy counters are bit-identical
+//! across thread counts at a fixed interval. (Counters do differ from a
+//! checkpoint-off run — each window group evaluates its own good suffix —
+//! which is the trade `skipped_prefix_steps` quantifies.)
 //!
 //! Configured via `ERASER_CKPT` (settle steps between checkpoints, `0` or
 //! unset = disabled), the CLI's `--checkpoint-interval`, or

@@ -26,7 +26,7 @@ use eraser_ir::{
 use eraser_logic::{LanePlanes, LogicVec};
 use eraser_sim::{
     eval_rtl_op_with, execute_into, execute_tape_into, ExecCtx, ExecMonitor, ExecOutcome,
-    NoopMonitor, SlotWrite, Stimulus, ValueStore,
+    NoopMonitor, SimSnapshot, SlotWrite, Stimulus, ValueStore,
 };
 use std::time::Instant;
 
@@ -278,6 +278,7 @@ impl<'d> EraserEngine<'d> {
             drop_detected,
             tapes_for_backend(design, backend),
             Self::batch_from_env(design),
+            None,
         )
     }
 
@@ -299,6 +300,7 @@ impl<'d> EraserEngine<'d> {
             drop_detected,
             Some(TapeRef::Shared(tapes)),
             Self::batch_from_env(design),
+            None,
         )
     }
 
@@ -321,6 +323,44 @@ impl<'d> EraserEngine<'d> {
             drop_detected,
             tapes.map(TapeRef::Shared),
             batch.map(BatchRef::Shared),
+            None,
+        )
+    }
+
+    /// Creates an engine that **resumes from a good-state checkpoint**
+    /// instead of power-on: the good network restores `snapshot` (the
+    /// settled fault-free state before stimulus step `start_step`), the
+    /// stuck-at forces are materialized against the restored values, and
+    /// the engine settles once — exactly the force-at-checkpoint injection
+    /// of the checkpointed serial protocol, batched. [`run`](Self::run)
+    /// via [`resume`](Self::resume) then replays only `steps[start_step..]`.
+    ///
+    /// Sound when every fault in `faults` is restart-eligible at this
+    /// checkpoint ([`eraser_fault::ActivationWindows::eligible_start`]):
+    /// each fault's network at the checkpoint then equals its from-zero
+    /// state, so detections (steps and outputs included) are bit-identical
+    /// to a from-zero run. The window planner
+    /// ([`eraser_fault::WindowPlan`]) cuts shards with exactly this
+    /// property.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_programs_from(
+        design: &'d Design,
+        faults: &'d FaultList,
+        mode: RedundancyMode,
+        drop_detected: bool,
+        tapes: Option<&'d TapeProgram>,
+        batch: Option<&'d BatchProgram>,
+        snapshot: &SimSnapshot,
+        start_step: usize,
+    ) -> Self {
+        Self::build(
+            design,
+            faults,
+            mode,
+            drop_detected,
+            tapes.map(TapeRef::Shared),
+            batch.map(BatchRef::Shared),
+            Some((snapshot, start_step)),
         )
     }
 
@@ -339,6 +379,7 @@ impl<'d> EraserEngine<'d> {
         drop_detected: bool,
         tapes: Option<TapeRef<'d>>,
         batch: Option<BatchRef<'d>>,
+        resume_from: Option<(&SimSnapshot, usize)>,
     ) -> Self {
         let n_sig = design.num_signals();
         let mut site_faults: Vec<Vec<FaultId>> = vec![Vec::new(); n_sig];
@@ -387,8 +428,23 @@ impl<'d> EraserEngine<'d> {
             step_index: 0,
             need_sweep: false,
         };
-        // Initial state: materialize the stuck-at forces against the all-X
-        // power-on values, then evaluate everything once.
+        // Checkpoint resume: load the settled good values before any force
+        // materializes. `edge_prev_good` initializes from the *values*, not
+        // the snapshot's own edge memory — at any settle point the engine
+        // invariant is `edge_prev_good[sig] == good[sig]` for every watched
+        // signal (`detect_edges` latches it on every change), so the
+        // restored values are exactly the edge state a from-zero run would
+        // carry here, independent of the capturing simulator's internals.
+        if let Some((snap, start)) = resume_from {
+            engine.good.restore_from_slice(&snap.values);
+            for (prev, v) in engine.edge_prev_good.iter_mut().zip(&snap.values) {
+                prev.assign_from(v);
+            }
+            engine.step_index = start;
+        }
+        // Initial state: materialize the stuck-at forces against the
+        // power-on values (all-X, or the restored checkpoint), then
+        // evaluate everything once.
         let mut ws = std::mem::take(&mut engine.ws);
         for sig in 0..n_sig {
             let id = SignalId::from_index(sig);
@@ -467,7 +523,22 @@ impl<'d> EraserEngine<'d> {
     /// dropping) after every settle step. Stimulus values are read by
     /// borrow — the whole campaign loop is clone-free.
     pub fn run(&mut self, stim: &Stimulus) {
-        for step in &stim.steps {
+        self.run_steps(&stim.steps);
+    }
+
+    /// Runs the stimulus **suffix** from the engine's current step index —
+    /// the campaign loop of a checkpoint-resumed engine
+    /// ([`with_programs_from`](Self::with_programs_from)), which already
+    /// stands at its start step and must not replay the skipped prefix.
+    /// On a freshly built from-zero engine this is identical to
+    /// [`run`](Self::run).
+    pub fn resume(&mut self, stim: &Stimulus) {
+        let at = self.step_index.min(stim.steps.len());
+        self.run_steps(&stim.steps[at..]);
+    }
+
+    fn run_steps(&mut self, steps: &[Vec<(SignalId, LogicVec)>]) {
+        for step in steps {
             for (sig, val) in step {
                 self.set_input(*sig, val);
             }

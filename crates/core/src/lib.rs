@@ -58,17 +58,23 @@
 //! [`RedundancyStats::collapsed_faults`] and
 //! [`RedundancyStats::collapse_dropped`] account for the pruned universe.
 //!
-//! # Temporal redundancy trimming
+//! # Temporal redundancy trimming — and two-dimensional parallelism
 //!
 //! [`CheckpointConfig`] (env `ERASER_CKPT`, CLI `--checkpoint-interval`)
-//! enables checkpointed good-state replay for the serial baselines: the
-//! good machine runs once with an activation probe, snapshots its settled
-//! state every N steps, and each fault starts from the latest checkpoint
-//! preceding its [activation window](eraser_fault::ActivationWindows) —
-//! or is skipped entirely when it provably cannot diverge within the
-//! stimulus. Combined with fault dropping
-//! ([`CampaignConfig::drop_detected`]) this trims the *temporal* axis of
-//! execution redundancy; [`RedundancyStats::skipped_prefix_steps`],
+//! enables checkpointed good-state replay: the good machine runs once
+//! with an activation probe, snapshots its settled state every N steps,
+//! and each fault starts from the latest checkpoint preceding its
+//! [activation window](eraser_fault::ActivationWindows) — or is skipped
+//! entirely when it provably cannot diverge within the stimulus. The
+//! serial baselines restart one simulator per fault; [`run_campaign`]
+//! composes the same trim with fault-parallel sharding via the `twodim`
+//! scheduler: faults group into [`eraser_fault::WindowShard`]s by latest
+//! eligible checkpoint, each shard's *concurrent engine* resumes from
+//! the shared snapshot ([`EraserEngine::with_programs_from`]), and one
+//! work queue balances across both dimensions. Combined with fault
+//! dropping ([`CampaignConfig::drop_detected`]) this trims the
+//! *temporal* axis of execution redundancy;
+//! [`RedundancyStats::skipped_prefix_steps`],
 //! [`RedundancyStats::skipped_faults`] and
 //! [`RedundancyStats::dropped_faults`] quantify it.
 //!
@@ -122,6 +128,7 @@ mod engine;
 mod monitor;
 mod parallel;
 mod stats;
+mod twodim;
 
 pub use api::{CampaignRunner, EngineResult, Eraser, FaultSimEngine, ParityMismatch};
 pub use batch::BatchConfig;
@@ -131,7 +138,7 @@ pub use collapse::{collapse_plan, run_collapsed, stamp_collapse_stats, CollapseC
 pub use diff::{union_ids, union_ids_into, DiffList};
 pub use engine::{EraserEngine, FaultView};
 pub use monitor::RedundancyMonitor;
-pub use parallel::{merge_shard_results, run_sharded, Parallel, ParallelConfig};
+pub use parallel::{merge_shard_results, run_queue, run_sharded, Parallel, ParallelConfig};
 pub use stats::RedundancyStats;
 
 // The evaluation-backend knob and the shareable compiled programs, re-

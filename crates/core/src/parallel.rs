@@ -135,31 +135,40 @@ impl std::fmt::Display for ParallelConfig {
     }
 }
 
-/// Runs `work` over every shard on `threads` scoped worker threads pulling
-/// shard indices dynamically from a shared queue, and returns the results
-/// in shard order.
+/// Runs `work` over every item on `threads` scoped worker threads pulling
+/// item indices dynamically from a shared queue, and returns the results
+/// in item order.
 ///
-/// The queue is a single atomic cursor over the shard slice: idle workers
-/// claim the next unclaimed shard, so a worker stuck on a heavy shard never
+/// The queue is a single atomic cursor over the item slice: idle workers
+/// claim the next unclaimed item, so a worker stuck on a heavy item never
 /// blocks the rest of the queue (work stealing without per-item locks).
-/// With one thread (or one shard) everything runs inline in the caller.
-pub fn run_sharded<R, F>(shards: &[FaultShard], threads: usize, work: F) -> Vec<R>
+/// With one thread (or one item) everything runs inline in the caller —
+/// the serial execution is the *same code path* over the same items,
+/// which is what makes thread count a pure wall-clock axis for every
+/// driver built on this queue. Items are generic: plain
+/// [`FaultShard`]s ([`run_sharded`]) and the window-aware
+/// [`WindowShard`](eraser_fault::WindowShard)s of the composed
+/// checkpointed campaign both schedule through here, so the queue trades
+/// off across both parallelism dimensions — whole window groups first,
+/// their intra-group chunks when a group dominates.
+pub fn run_queue<T, R, F>(items: &[T], threads: usize, work: F) -> Vec<R>
 where
+    T: Sync,
     R: Send,
-    F: Fn(&FaultShard) -> R + Sync,
+    F: Fn(&T) -> R + Sync,
 {
-    let workers = threads.max(1).min(shards.len());
+    let workers = threads.max(1).min(items.len());
     if workers <= 1 {
-        return shards.iter().map(work).collect();
+        return items.iter().map(work).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = shards.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(shard) = shards.get(i) else { break };
-                let result = work(shard);
+                let Some(item) = items.get(i) else { break };
+                let result = work(item);
                 *slots[i].lock().unwrap() = Some(result);
             });
         }
@@ -169,9 +178,19 @@ where
         .map(|slot| {
             slot.into_inner()
                 .unwrap()
-                .expect("worker completed every claimed shard")
+                .expect("worker completed every claimed item")
         })
         .collect()
+}
+
+/// [`run_queue`] over plain fault shards — the historical entry point of
+/// the fault-parallel dimension.
+pub fn run_sharded<R, F>(shards: &[FaultShard], threads: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&FaultShard) -> R + Sync,
+{
+    run_queue(shards, threads, work)
 }
 
 /// Merges per-shard engine results into one global coverage report plus

@@ -1,0 +1,128 @@
+//! Two-dimensional parallelism: the composed checkpointed + fault-parallel
+//! campaign path.
+//!
+//! Fault-parallel sharding (PR fig8) and checkpointed activation-window
+//! starts (fig9) used to be either/or: the concurrent engines were
+//! documented checkpoint-transparent, so turning on threads silently
+//! forfeited every skipped prefix step. This module schedules both
+//! dimensions as one resource-allocation problem, RIROS-style:
+//!
+//! 1. **One good run.** The fault-free design replays the stimulus once on
+//!    the plain simulator with a [`SiteProbe`] attached, capturing a
+//!    [`SimSnapshot`] at every checkpoint boundary (noting whether the
+//!    state is fully defined). Snapshots are plain data, shared read-only
+//!    across all shard workers.
+//! 2. **Window-aware sharding.** [`ActivationWindows`] gives each fault
+//!    its earliest possible divergence; [`WindowPlan`] groups faults by
+//!    their latest eligible checkpoint into
+//!    [`WindowShard`](eraser_fault::WindowShard)s (never-active faults
+//!    are dropped outright), using worker-count-independent chunk sizes.
+//! 3. **Shared-checkpoint engine starts.** Each shard runs one concurrent
+//!    [`EraserEngine`] that *resumes* from its checkpoint's snapshot
+//!    ([`EraserEngine::with_programs_from`]) and replays only the
+//!    stimulus suffix. Eligibility guarantees every member fault's
+//!    network state at the checkpoint equals its from-zero state, so
+//!    coverage records — detection steps and outputs included — are
+//!    bit-identical to a from-zero campaign.
+//! 4. **One queue over both dimensions.** The shards feed the same atomic
+//!    work queue ([`run_queue`]) as plain fault-parallel campaigns: idle
+//!    workers steal whole window groups, and a heavy group, pre-split
+//!    into chunks, spreads across workers.
+//!
+//! Because the plan is independent of the worker count, a serial run and
+//! an N-thread run execute the *identical* engines on identical fault
+//! groups: all [`RedundancyStats`] counters, not just coverage, are
+//! bit-identical at every thread count for a fixed checkpoint interval.
+//! (Counters legitimately differ from a non-checkpointed run — each
+//! group engine evaluates its own good suffix rather than one full good
+//! pass — which is the measured trade the `skipped_prefix_steps` counter
+//! quantifies.) Composes with the tape backend, bit-parallel batching
+//! and static collapsing, all of which are orthogonal to where an engine
+//! starts.
+
+use crate::campaign::{CampaignConfig, CampaignResult};
+use crate::engine::EraserEngine;
+use crate::parallel::run_queue;
+use crate::stats::RedundancyStats;
+use eraser_fault::{ActivationWindows, CoverageReport, FaultList, WindowPlan};
+use eraser_ir::{BatchProgram, Design, EvalBackend, TapeProgram};
+use eraser_sim::{ReplaySim, SimSnapshot, Simulator, SiteProbe, Stimulus};
+use std::time::Instant;
+
+/// Runs the composed two-dimensional campaign. Called by
+/// [`run_campaign`](crate::run_campaign) whenever checkpointing is
+/// enabled (any thread count — one thread simply drains the same queue
+/// inline); the caller guarantees a non-empty stimulus and fault list
+/// and has already applied static collapsing and compiled the shared
+/// programs.
+pub(crate) fn run_windowed(
+    design: &Design,
+    faults: &FaultList,
+    stimulus: &Stimulus,
+    config: &CampaignConfig,
+    tapes: Option<&TapeProgram>,
+    batch: Option<&BatchProgram>,
+) -> CampaignResult {
+    let t0 = Instant::now();
+    // Instrumented good run: probe + boundary snapshots, captured *before*
+    // applying each boundary step (step 0 = the construction-settled
+    // state, always eligible).
+    let mut sim = match tapes {
+        Some(tp) => Simulator::with_tapes(design, tp),
+        None => Simulator::with_backend(design, EvalBackend::Tree),
+    };
+    sim.attach_probe(SiteProbe::new(design, faults.iter().map(|f| f.signal)));
+    let mut checkpoints: Vec<(usize, bool, SimSnapshot)> = Vec::new();
+    for (si, step) in stimulus.steps.iter().enumerate() {
+        if config.checkpoint.is_boundary(si) {
+            let mut snap = SimSnapshot::new();
+            sim.capture_into(&mut snap);
+            checkpoints.push((si, sim.fully_defined(), snap));
+        }
+        sim.begin_probe_step(si);
+        sim.replay_step(step);
+    }
+    let probe = sim.take_probe().expect("probe attached above");
+    let windows = ActivationWindows::derive(design, faults, &probe, stimulus.steps.len());
+    let boundaries: Vec<(usize, bool)> = checkpoints.iter().map(|&(s, d, _)| (s, d)).collect();
+    let plan = WindowPlan::build(faults, &windows, &boundaries);
+    let good_wall = t0.elapsed();
+
+    // Drain the plan: one checkpoint-resumed engine per window shard,
+    // snapshots shared read-only. Serial (threads == 1) runs the same
+    // shard sequence inline — same engines, same counters.
+    let threads = config.parallel.effective_threads();
+    let results = run_queue(&plan.shards, threads, |ws| {
+        let shard_t0 = Instant::now();
+        let (start, _, snap) = &checkpoints[ws.checkpoint];
+        let mut engine = EraserEngine::with_programs_from(
+            design,
+            &ws.shard.list,
+            config.mode,
+            config.drop_detected,
+            tapes,
+            batch,
+            snap,
+            *start,
+        );
+        engine.resume(stimulus);
+        let mut stats = engine.stats().clone();
+        stats.skipped_prefix_steps += ws.skipped_prefix_steps();
+        stats.time_total = shard_t0.elapsed();
+        (engine.coverage().clone(), stats)
+    });
+
+    let mut coverage = CoverageReport::new(faults.len());
+    let mut stats = RedundancyStats {
+        skipped_faults: plan.skipped.len() as u64,
+        // The shared good run is real compute; charging it here keeps
+        // time_total the aggregate compute time at any thread count.
+        time_total: good_wall,
+        ..RedundancyStats::default()
+    };
+    for (ws, (shard_cov, shard_stats)) in plan.shards.iter().zip(&results) {
+        ws.shard.merge_coverage_into(shard_cov, &mut coverage);
+        stats.merge(shard_stats);
+    }
+    CampaignResult { coverage, stats }
+}

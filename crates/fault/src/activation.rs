@@ -70,6 +70,10 @@ pub struct ActivationWindows {
     site_x: Vec<usize>,
     /// Stimulus length in settle steps.
     num_steps: usize,
+    /// Fault ids sorted by ascending window (ties by id), computed once at
+    /// derivation — every consumer (serial scheduler, window-affinity
+    /// partitioner) reads this cache instead of re-sorting.
+    order: Vec<FaultId>,
 }
 
 impl ActivationWindows {
@@ -126,10 +130,13 @@ impl ActivationWindows {
             windows.push(w);
             site_x.push(x);
         }
+        let mut order: Vec<FaultId> = (0..windows.len() as u32).map(FaultId).collect();
+        order.sort_by_key(|f| (windows[f.index()], f.0));
         ActivationWindows {
             windows,
             site_x,
             num_steps,
+            order,
         }
     }
 
@@ -161,10 +168,24 @@ impl ActivationWindows {
     /// Fault ids ordered by ascending window (ties by id) — the
     /// activation-window schedule: faults sharing a start checkpoint run
     /// consecutively, so the campaign restores each snapshot in one run.
+    /// The ordering is computed once in [`derive`](Self::derive); this is
+    /// a borrow of that cache.
+    pub fn ordered_by_window(&self) -> &[FaultId] {
+        &self.order
+    }
+
+    /// Copies the cached window ordering into `buf` (cleared first) —
+    /// for callers that need an owned, mutable schedule without paying a
+    /// fresh sort or allocation beyond the buffer's capacity.
+    pub fn order_by_window_into(&self, buf: &mut Vec<FaultId>) {
+        buf.clear();
+        buf.extend_from_slice(&self.order);
+    }
+
+    /// Allocating convenience form of
+    /// [`ordered_by_window`](Self::ordered_by_window).
     pub fn order_by_window(&self) -> Vec<FaultId> {
-        let mut ids: Vec<FaultId> = (0..self.windows.len() as u32).map(FaultId).collect();
-        ids.sort_by_key(|f| (self.windows[f.index()], f.0));
-        ids
+        self.order.clone()
     }
 
     /// The stimulus length the windows were derived over.
@@ -411,6 +432,11 @@ mod tests {
         assert!(order
             .windows(2)
             .all(|p| win.window(p[0]) <= win.window(p[1])));
+        // The cached borrow and the into-buffer variant agree with it.
+        assert_eq!(win.ordered_by_window(), &order[..]);
+        let mut buf = vec![FaultId(999)];
+        win.order_by_window_into(&mut buf);
+        assert_eq!(buf, order);
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //!   instrumented good replay: the earliest step each fault can first
 //!   diverge, the restart-eligibility rule for checkpointed campaigns,
 //!   and the activation-ordered fault schedule,
+//! * [`WindowPlan`] — the two-dimensional schedule composing both axes:
+//!   faults grouped by latest eligible checkpoint into [`WindowShard`]s
+//!   whose engines resume from shared good-state snapshots, chunked with
+//!   worker-count-independent constants so merged results stay
+//!   bit-identical at any thread count,
 //! * [`CoverageReport`] — detection bookkeeping and the coverage metric
 //!   reported in Table II of the paper, with lossless shard
 //!   [merging](CoverageReport::merge).
@@ -33,6 +38,7 @@ mod collapse;
 mod coverage;
 mod list;
 mod partition;
+mod window;
 
 pub use activation::ActivationWindows;
 pub use batch::BatchPlan;
@@ -40,6 +46,7 @@ pub use collapse::CollapsedFaultList;
 pub use coverage::{CoverageReport, Detection};
 pub use list::{generate_faults, FaultList, FaultListConfig};
 pub use partition::{FaultShard, PartitionStrategy};
+pub use window::{WindowPlan, WindowShard};
 
 use eraser_ir::SignalId;
 use eraser_logic::{LogicBit, LogicVec};

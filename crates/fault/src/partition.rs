@@ -28,15 +28,25 @@ pub enum PartitionStrategy {
     /// per-signal diff lists dense inside each shard.
     #[default]
     SiteAffinity,
+    /// Faults that can start from the same activation-window checkpoint
+    /// stay in one shard, so every shard engine resumes from the latest
+    /// shared good-state snapshot instead of step 0. Window information
+    /// comes from an instrumented good replay: the checkpointed campaign
+    /// path builds the real schedule via
+    /// [`WindowPlan`](crate::WindowPlan); a plain
+    /// [`partition`](FaultList::partition) call has no windows and
+    /// degrades to [`SiteAffinity`](Self::SiteAffinity) grouping.
+    WindowAffinity,
 }
 
 impl PartitionStrategy {
     /// All strategies, in declaration order.
-    pub fn all() -> [PartitionStrategy; 3] {
+    pub fn all() -> [PartitionStrategy; 4] {
         [
             PartitionStrategy::Contiguous,
             PartitionStrategy::RoundRobin,
             PartitionStrategy::SiteAffinity,
+            PartitionStrategy::WindowAffinity,
         ]
     }
 }
@@ -47,6 +57,7 @@ impl fmt::Display for PartitionStrategy {
             PartitionStrategy::Contiguous => write!(f, "contiguous"),
             PartitionStrategy::RoundRobin => write!(f, "round-robin"),
             PartitionStrategy::SiteAffinity => write!(f, "site-affinity"),
+            PartitionStrategy::WindowAffinity => write!(f, "window-affinity"),
         }
     }
 }
@@ -59,9 +70,12 @@ impl FromStr for PartitionStrategy {
             "contiguous" => Ok(PartitionStrategy::Contiguous),
             "round-robin" | "roundrobin" => Ok(PartitionStrategy::RoundRobin),
             "site-affinity" | "siteaffinity" | "affinity" => Ok(PartitionStrategy::SiteAffinity),
+            "window-affinity" | "windowaffinity" | "window" => {
+                Ok(PartitionStrategy::WindowAffinity)
+            }
             other => Err(format!(
                 "unknown partition strategy `{other}` \
-                 (expected contiguous, round-robin or site-affinity)"
+                 (expected contiguous, round-robin, site-affinity or window-affinity)"
             )),
         }
     }
@@ -81,6 +95,20 @@ pub struct FaultShard {
 }
 
 impl FaultShard {
+    /// Builds a shard from a selection of universe faults. `faults` must
+    /// be in ascending global-id order (the shard invariant every merge
+    /// path relies on); callers outside [`FaultList::partition`] — the
+    /// window planner — sort before constructing.
+    pub(crate) fn from_faults(index: usize, faults: Vec<&Fault>) -> FaultShard {
+        debug_assert!(faults.windows(2).all(|p| p[0].id < p[1].id));
+        let global: Vec<FaultId> = faults.iter().map(|f| f.id).collect();
+        FaultShard {
+            index,
+            list: faults.into_iter().copied().collect(),
+            global,
+        }
+    }
+
     /// Number of faults in the shard.
     pub fn len(&self) -> usize {
         self.global.len()
@@ -170,7 +198,14 @@ impl FaultList {
                     buckets[i % n].push(f);
                 }
             }
-            PartitionStrategy::SiteAffinity => {
+            // Without an instrumented good run there is no window
+            // information, so the window-affinity fallback reuses the
+            // site-affinity grouping (faults sharing a site usually share a
+            // window — the window is a property of the sited signal's
+            // commit history). The checkpointed campaign drivers never take
+            // this path: they build a [`WindowPlan`](crate::WindowPlan)
+            // from real [`ActivationWindows`](crate::ActivationWindows).
+            PartitionStrategy::SiteAffinity | PartitionStrategy::WindowAffinity => {
                 // Group faults by injection site, first appearance order.
                 let mut site_of: HashMap<usize, usize> = HashMap::new();
                 let mut groups: Vec<Vec<&Fault>> = Vec::new();
@@ -199,14 +234,7 @@ impl FaultList {
         buckets
             .into_iter()
             .enumerate()
-            .map(|(index, faults)| {
-                let global: Vec<FaultId> = faults.iter().map(|f| f.id).collect();
-                FaultShard {
-                    index,
-                    list: faults.into_iter().copied().collect(),
-                    global,
-                }
-            })
+            .map(|(index, faults)| FaultShard::from_faults(index, faults))
             .collect()
     }
 }

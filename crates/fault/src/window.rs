@@ -1,0 +1,274 @@
+//! Window-aware shard planning — the two-dimensional parallelism
+//! schedule.
+//!
+//! Fault-parallel sharding ([`FaultList::partition`]) and checkpointed
+//! activation-window starts ([`ActivationWindows`]) are each a pure
+//! speedup axis; a [`WindowPlan`] composes them. Given the per-fault
+//! windows of one instrumented good replay and the campaign's checkpoint
+//! schedule, the plan:
+//!
+//! 1. drops every fault that provably cannot diverge within the stimulus
+//!    ([`ActivationWindows::never_active`]) — undetected by construction,
+//!    never simulated;
+//! 2. groups the remaining faults by their **latest eligible checkpoint**
+//!    ([`ActivationWindows::start_checkpoint`]), walking the cached
+//!    window ordering so faults with nearby windows land in the same
+//!    group and every shard's start is as late as the soundness rule
+//!    allows;
+//! 3. splits oversized groups into fixed-size chunks so a work queue can
+//!    balance across workers — stealing whole window groups first and
+//!    falling back to the intra-group chunks of a heavy window;
+//! 4. orders the shards by descending estimated cost (suffix length ×
+//!    fault count) so the queue schedules longest-processing-time first.
+//!
+//! The chunking constants are **fixed** — independent of worker count —
+//! so the same `(faults, windows, checkpoints)` input always yields the
+//! identical shard set. A campaign that executes the plan serially and
+//! one that executes it on N workers run the *same* engines on the same
+//! fault groups, which is what keeps coverage records **and** every
+//! redundancy counter bit-identical at any thread count.
+
+use crate::{ActivationWindows, Fault, FaultId, FaultList, FaultShard};
+
+/// Upper bound on shards cut from one plan when the universe is large:
+/// enough oversubscription for dynamic balancing on any realistic worker
+/// count, few enough that per-shard engine construction stays negligible.
+/// Fixed (not derived from the thread count) so the plan — and therefore
+/// every merged counter — is identical however many workers execute it.
+const MAX_WINDOW_SHARDS: usize = 16;
+
+/// Never split a checkpoint group into chunks smaller than this; tiny
+/// shards pay full engine construction for almost no faults.
+const MIN_WINDOW_SHARD_FAULTS: usize = 16;
+
+/// One schedulable unit of a [`WindowPlan`]: a fault shard plus the
+/// checkpoint its engine resumes from.
+#[derive(Debug, Clone)]
+pub struct WindowShard {
+    /// The faults, as an ordinary dense-id shard — engines run it
+    /// unchanged and coverage merges through
+    /// [`FaultShard::merge_coverage_into`].
+    pub shard: FaultShard,
+    /// Index into the campaign's checkpoint schedule (the `checkpoints`
+    /// slice handed to [`WindowPlan::build`]): every fault in the shard is
+    /// restart-eligible there, and it is the latest such checkpoint for
+    /// each of them.
+    pub checkpoint: usize,
+    /// The checkpoint's stimulus step — the common start of the shard's
+    /// engine, and the number of good-prefix settle steps each member
+    /// fault skips.
+    pub start: usize,
+}
+
+impl WindowShard {
+    /// Good-prefix settle steps the whole shard skips: `start` per fault.
+    pub fn skipped_prefix_steps(&self) -> u64 {
+        self.start as u64 * self.shard.len() as u64
+    }
+}
+
+/// The composed two-dimensional schedule over one fault universe. See the
+/// [module docs](self) for construction and the determinism argument.
+#[derive(Debug, Clone)]
+pub struct WindowPlan {
+    /// Shards in queue order (descending estimated cost). Disjoint; their
+    /// union plus [`skipped`](Self::skipped) is the whole universe.
+    pub shards: Vec<WindowShard>,
+    /// Faults dropped before simulation: provably inactive within the
+    /// stimulus, undetected by construction.
+    pub skipped: Vec<FaultId>,
+}
+
+impl WindowPlan {
+    /// Builds the plan for `faults` from derived `windows` and the
+    /// checkpoint schedule `checkpoints` (`(step, fully_defined)` pairs,
+    /// ascending by step, step 0 first — the shape the campaign drivers
+    /// record).
+    pub fn build(
+        faults: &FaultList,
+        windows: &ActivationWindows,
+        checkpoints: &[(usize, bool)],
+    ) -> WindowPlan {
+        let mut skipped = Vec::new();
+        // Bucket survivors by latest eligible checkpoint, walking the
+        // cached window ordering so each bucket fills in window order.
+        let mut buckets: Vec<Vec<&Fault>> = vec![Vec::new(); checkpoints.len()];
+        let mut kept = 0usize;
+        for &id in windows.ordered_by_window() {
+            if windows.never_active(id) {
+                skipped.push(id);
+                continue;
+            }
+            let fault = faults.fault(id);
+            buckets[windows.start_checkpoint(fault, checkpoints)].push(fault);
+            kept += 1;
+        }
+        skipped.sort_unstable();
+        let target = kept
+            .div_ceil(MAX_WINDOW_SHARDS)
+            .max(MIN_WINDOW_SHARD_FAULTS);
+        let mut shards = Vec::new();
+        for (ci, bucket) in buckets.iter().enumerate() {
+            for chunk in bucket.chunks(target) {
+                // Shards carry faults in ascending global-id order (the
+                // FaultShard invariant); the window ordering inside a
+                // chunk was only for grouping.
+                let mut members: Vec<&Fault> = chunk.to_vec();
+                members.sort_by_key(|f| f.id);
+                shards.push(WindowShard {
+                    shard: FaultShard::from_faults(shards.len(), members),
+                    checkpoint: ci,
+                    start: checkpoints[ci].0,
+                });
+            }
+        }
+        // Longest-processing-time-first queue order: cost ~ remaining
+        // stimulus × faults. Deterministic tie-break by (checkpoint,
+        // first global id).
+        let num_steps = windows.num_steps();
+        shards.sort_by_key(|ws| {
+            let cost = (num_steps - ws.start.min(num_steps)) * ws.shard.len();
+            (
+                usize::MAX - cost,
+                ws.checkpoint,
+                ws.shard.global_ids().first().copied(),
+            )
+        });
+        WindowPlan { shards, skipped }
+    }
+
+    /// Total faults scheduled for simulation (universe minus the
+    /// never-active drops).
+    pub fn scheduled_faults(&self) -> usize {
+        self.shards.iter().map(|ws| ws.shard.len()).sum()
+    }
+
+    /// Good-prefix settle steps the whole plan skips, summed over every
+    /// scheduled fault — the composed campaign's `skipped_prefix_steps`.
+    pub fn skipped_prefix_steps(&self) -> u64 {
+        self.shards.iter().map(|ws| ws.skipped_prefix_steps()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_faults, FaultListConfig};
+    use eraser_frontend::compile;
+    use eraser_logic::LogicVec;
+    use eraser_sim::{ReplaySim, Simulator, SiteProbe, StimulusBuilder};
+
+    /// A free-running counter whose higher bits activate later: plenty of
+    /// distinct windows.
+    fn staggered_fixture() -> (eraser_ir::Design, FaultList, ActivationWindows, usize) {
+        let design = compile(
+            "module m(input wire clk, input wire rst, output reg [7:0] q);
+               always @(posedge clk) begin
+                 if (rst) q <= 8'h00; else q <= q + 8'h01;
+               end
+             endmodule",
+            None,
+        )
+        .unwrap();
+        let faults = generate_faults(&design, &FaultListConfig::default());
+        let clk = design.find_signal("clk").unwrap();
+        let rst = design.find_signal("rst").unwrap();
+        let mut sb = StimulusBuilder::new();
+        sb.add_cycle(clk, &[(rst, LogicVec::from_u64(1, 1))]);
+        for _ in 0..40 {
+            sb.add_cycle(clk, &[(rst, LogicVec::from_u64(1, 0))]);
+        }
+        let stim = sb.finish();
+        let mut sim = Simulator::new(&design);
+        sim.attach_probe(SiteProbe::new(&design, faults.iter().map(|f| f.signal)));
+        for (i, step) in stim.steps.iter().enumerate() {
+            sim.begin_probe_step(i);
+            sim.replay_step(step);
+        }
+        let probe = sim.take_probe().unwrap();
+        let n = stim.steps.len();
+        let windows = ActivationWindows::derive(&design, &faults, &probe, n);
+        (design, faults, windows, n)
+    }
+
+    fn interval_checkpoints(interval: usize, num_steps: usize) -> Vec<(usize, bool)> {
+        (0..num_steps)
+            .filter(|s| s % interval == 0)
+            .map(|s| (s, true))
+            .collect()
+    }
+
+    #[test]
+    fn plan_is_lossless_and_grouped_by_checkpoint() {
+        let (_, faults, windows, n) = staggered_fixture();
+        let checkpoints = interval_checkpoints(8, n);
+        let plan = WindowPlan::build(&faults, &windows, &checkpoints);
+        // Lossless: every fault is scheduled exactly once or skipped.
+        let mut seen: Vec<FaultId> = plan.skipped.clone();
+        for ws in &plan.shards {
+            seen.extend_from_slice(ws.shard.global_ids());
+            // Every member is eligible at the shard's checkpoint and at no
+            // later one.
+            let (step, defined) = checkpoints[ws.checkpoint];
+            assert_eq!(step, ws.start);
+            for f in ws.shard.list.iter() {
+                let gid = ws.shard.global_id(f.id);
+                assert!(windows.eligible_start(gid, step, defined));
+                assert_eq!(
+                    windows.start_checkpoint(faults.fault(gid), &checkpoints),
+                    ws.checkpoint
+                );
+            }
+        }
+        seen.sort_unstable();
+        let all: Vec<FaultId> = faults.iter().map(|f| f.id).collect();
+        assert_eq!(seen, all, "plan lost or duplicated faults");
+        assert_eq!(plan.scheduled_faults() + plan.skipped.len(), faults.len());
+        // The staggered counter has faults with late windows: some shard
+        // must actually start past step 0.
+        assert!(
+            plan.skipped_prefix_steps() > 0,
+            "no shard skipped any prefix: {:?}",
+            plan.shards
+                .iter()
+                .map(|w| (w.start, w.shard.len()))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_thread_independent() {
+        // The plan has no worker-count input at all; building it twice
+        // yields the identical shard sequence.
+        let (_, faults, windows, n) = staggered_fixture();
+        let checkpoints = interval_checkpoints(4, n);
+        let a = WindowPlan::build(&faults, &windows, &checkpoints);
+        let b = WindowPlan::build(&faults, &windows, &checkpoints);
+        assert_eq!(a.skipped, b.skipped);
+        assert_eq!(a.shards.len(), b.shards.len());
+        for (x, y) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(x.shard.global_ids(), y.shard.global_ids());
+            assert_eq!((x.checkpoint, x.start), (y.checkpoint, y.start));
+        }
+    }
+
+    #[test]
+    fn queue_order_is_costliest_first() {
+        let (_, faults, windows, n) = staggered_fixture();
+        let checkpoints = interval_checkpoints(8, n);
+        let plan = WindowPlan::build(&faults, &windows, &checkpoints);
+        let cost = |ws: &WindowShard| (n - ws.start) * ws.shard.len();
+        assert!(plan.shards.windows(2).all(|p| cost(&p[0]) >= cost(&p[1])));
+    }
+
+    #[test]
+    fn single_checkpoint_degenerates_to_plain_sharding() {
+        // With only the step-0 checkpoint every fault groups there; the
+        // plan is then just fixed-size sharding with zero skipped prefix.
+        let (_, faults, windows, _) = staggered_fixture();
+        let plan = WindowPlan::build(&faults, &windows, &[(0, false)]);
+        assert_eq!(plan.skipped_prefix_steps(), 0);
+        assert!(plan.shards.iter().all(|ws| ws.start == 0));
+        assert_eq!(plan.scheduled_faults() + plan.skipped.len(), faults.len());
+    }
+}

@@ -7,7 +7,7 @@
 //! ```text
 //! eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]
 //!        [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]
-//!        [--threads N] [--partition contiguous|round-robin|site-affinity]
+//!        [--threads N] [--partition contiguous|round-robin|site-affinity|window-affinity]
 //!        [--eval tree|tape] [--checkpoint-interval N] [--batch] [--collapse]
 //! ```
 //!
@@ -55,7 +55,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]\n\
          \x20             [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]\n\
-         \x20             [--threads N] [--partition contiguous|round-robin|site-affinity]\n\
+         \x20             [--threads N] [--partition contiguous|round-robin|site-affinity|window-affinity]\n\
          \x20             [--eval tree|tape] [--checkpoint-interval N] [--batch] [--collapse]"
     );
     std::process::exit(2);
@@ -253,13 +253,9 @@ fn main() -> ExitCode {
         println!("parallel: {}", opts.parallel);
     }
     if opts.checkpoint.is_enabled() {
-        // The CLI drives the concurrent ERASER engine, which is
-        // checkpoint-transparent (results and counters never move with the
-        // interval); the knob matters for the serial baselines behind the
-        // library/bench surfaces, so say so instead of implying a trim ran.
         println!(
-            "checkpointing: {} (concurrent engine is checkpoint-transparent; \
-             affects the serial IFsim/VFsim baselines)",
+            "checkpointing: {} (window-aware schedule: shard engines resume \
+             from shared good-state snapshots)",
             opts.checkpoint
         );
     }

@@ -2,9 +2,12 @@
 //! of temporal redundancy trimming: for every engine, evaluation backend,
 //! checkpoint interval and thread count, coverage must be **bit-identical**
 //! (every fault's first-detection step and observing output, not just the
-//! detected set) to the same engine's non-checkpointed run, and the
-//! concurrent engines' redundancy counters must not move at all
-//! (checkpoint transparency).
+//! detected set) to the same engine's non-checkpointed run. Since the
+//! two-dimensional scheduler landed, every engine honors
+//! `CampaignConfig::parallel` natively under checkpointing, and the
+//! window plan is worker-count-independent — so at a fixed interval *all*
+//! redundancy counters, not just coverage, must be bit-identical between
+//! the serial and the multi-threaded run.
 //!
 //! The default tests run shortened campaigns on two benchmarks plus a
 //! crafted design with genuinely late activation windows (so the
@@ -77,13 +80,28 @@ fn check_engine<E: FaultSimEngine + Sync + Copy>(
                 base.coverage, serial.coverage,
                 "{name} [{backend:?} ckpt={interval}]: coverage records diverged from ckpt-off"
             );
-            if let (Some(a), Some(b)) = (&base.stats, &serial.stats) {
-                // Concurrent engines are checkpoint-transparent: identical
-                // counters at any interval.
+            // Native composition: same checkpointed campaign with worker
+            // threads. The window plan never looks at the worker count, so
+            // the serial and threaded runs execute identical engines —
+            // every counter, not just coverage, must match bit-for-bit.
+            let native4 = engine.run(
+                design,
+                faults,
+                stim,
+                &CampaignConfig {
+                    parallel: ParallelConfig::with_threads(4),
+                    ..config(backend, ck)
+                },
+            );
+            assert_eq!(
+                base.coverage, native4.coverage,
+                "{name} [{backend:?} ckpt={interval} native x4]: coverage diverged"
+            );
+            if let (Some(a), Some(b)) = (&serial.stats, &native4.stats) {
                 assert_eq!(
                     counter_key(a),
                     counter_key(b),
-                    "{name} [{backend:?} ckpt={interval}]: redundancy counters moved"
+                    "{name} [{backend:?} ckpt={interval}]: counters not thread-invariant"
                 );
             }
             let par = Parallel::new(engine, ParallelConfig::with_threads(4)).run(
