@@ -1,7 +1,8 @@
 //! **Fig. 10** (beyond the paper): bit-parallel fault batching — 64-wide
 //! PPSFP-style evaluation on the RTL plane of the concurrent engine.
 //!
-//! For every selected benchmark, runs the concurrent ERASER engine once
+//! For every selected design — the Table II benchmarks plus the bundled
+//! Yosys-JSON netlist fixtures — runs the concurrent ERASER engine once
 //! scalar and once with `--batch` (the identical campaign otherwise, both
 //! on the compiled-tape backend), asserts the coverage records are
 //! **bit-identical**, and reports wall-time speedup, fault throughput and
@@ -10,14 +11,15 @@
 //! legitimately show no engagement — the batch path concerns RTL nodes
 //! only. Emits `BENCH_fig10_batch.json` (schema `eraser-fig10-batch-v1`).
 //!
-//! Knobs: `ERASER_BENCH_ONLY` restricts the benchmark set;
+//! Knobs: `ERASER_BENCH_ONLY` restricts the design set (benchmark and
+//! fixture names both select);
 //! `ERASER_FIG10_STRICT=1` additionally fails the run unless at least one
 //! design filled batch lanes (the CI gate against the batch path silently
 //! never engaging).
 
 use eraser_bench::json::write_json_objects;
 use eraser_bench::{
-    env_scale, fmt_secs, prepare, print_environment, selected_benchmarks, Prepared,
+    env_scale, fmt_secs, prepare_source, print_environment, selected_sources, Prepared,
 };
 use eraser_core::{
     run_campaign, BatchConfig, CampaignConfig, CampaignResult, EvalBackend, ParallelConfig,
@@ -104,23 +106,22 @@ fn main() {
     let scale = env_scale();
 
     println!(
-        "{:<11} {:>6} {:>10} {:>10} {:>7} {:>9} {:>7} {:>9}   coverage",
-        "benchmark", "faults", "scalar", "batch", "x", "groups", "occ%", "fallback"
+        "{:<13} {:>6} {:>10} {:>10} {:>7} {:>9} {:>7} {:>9}   coverage",
+        "design", "faults", "scalar", "batch", "x", "groups", "occ%", "fallback"
     );
 
     let mut records = Vec::new();
     let mut ln_sum = 0.0f64;
     let mut n = 0usize;
     let mut any_lanes = false;
-    for bench in selected_benchmarks() {
-        let p = prepare(bench, scale);
+    for source in selected_sources() {
+        let p = prepare_source(&source, scale);
         let (scalar, wall_scalar) = timed_run(&p, BatchConfig::disabled());
         let (batched, wall_batch) = timed_run(&p, BatchConfig::enabled());
         assert_eq!(
-            scalar.coverage,
-            batched.coverage,
+            scalar.coverage, batched.coverage,
             "{}: batched coverage records diverged from scalar",
-            bench.name()
+            p.name
         );
         let s = &batched.stats;
         let speedup = wall_scalar / wall_batch;
@@ -133,8 +134,8 @@ fn main() {
             0.0
         };
         println!(
-            "{:<11} {:>6} {:>10} {:>10} {:>6.2}x {:>9} {:>6.1}% {:>9}   {}",
-            bench.name(),
+            "{:<13} {:>6} {:>10} {:>10} {:>6.2}x {:>9} {:>6.1}% {:>9}   {}",
+            p.name,
             p.faults.len(),
             fmt_secs(std::time::Duration::from_secs_f64(wall_scalar)),
             fmt_secs(std::time::Duration::from_secs_f64(wall_batch)),
@@ -145,7 +146,7 @@ fn main() {
             batched.coverage
         );
         records.push(Record {
-            benchmark: bench.name().to_string(),
+            benchmark: p.name.clone(),
             backend: EvalBackend::Tape.to_string(),
             faults: p.faults.len(),
             stimulus_steps: p.stimulus.num_steps(),

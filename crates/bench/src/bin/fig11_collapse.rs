@@ -2,7 +2,8 @@
 //! classes and provably-undetectable drops pruned before a single cycle
 //! runs.
 //!
-//! For every selected benchmark, builds the static collapse plan once
+//! For every selected design — the Table II benchmarks plus the bundled
+//! Yosys-JSON netlist fixtures — builds the static collapse plan once
 //! (reporting the fault-count reduction and the dropped-undetectable
 //! count), then runs each engine — the concurrent ERASER engine and the
 //! serial IFsim/VFsim baselines — once without and once with `--collapse`
@@ -11,7 +12,8 @@
 //! uncollapsed run, and reports the wall-clock speedup. Emits
 //! `BENCH_fig11_collapse.json` (schema `eraser-fig11-collapse-v1`).
 //!
-//! Knobs: `ERASER_BENCH_ONLY` restricts the benchmark set;
+//! Knobs: `ERASER_BENCH_ONLY` restricts the design set (benchmark and
+//! fixture names both select);
 //! `ERASER_FIG11_STRICT=1` additionally fails the run unless the collapse
 //! ratio exceeds 1.0 on at least three designs (the CI gate against the
 //! collapse pass silently never engaging).
@@ -19,7 +21,7 @@
 use eraser_baselines::{IFsim, VFsim};
 use eraser_bench::json::write_json_objects;
 use eraser_bench::{
-    env_scale, fmt_secs, prepare, print_environment, selected_benchmarks, Prepared,
+    env_scale, fmt_secs, prepare_source, print_environment, selected_sources, Prepared,
 };
 use eraser_core::{
     CampaignConfig, CollapseConfig, Eraser, EvalBackend, FaultSimEngine, RedundancyMode,
@@ -99,8 +101,8 @@ fn main() {
     let scale = env_scale();
 
     println!(
-        "{:<11} {:<7} {:>6} {:>6} {:>6} {:>7} {:>10} {:>10} {:>7}   coverage",
-        "benchmark", "engine", "before", "after", "drop", "ratio", "off", "on", "x"
+        "{:<13} {:<7} {:>6} {:>6} {:>6} {:>7} {:>10} {:>10} {:>7}   coverage",
+        "design", "engine", "before", "after", "drop", "ratio", "off", "on", "x"
     );
 
     let engines: Vec<Box<dyn FaultSimEngine>> =
@@ -109,8 +111,8 @@ fn main() {
     let mut ln_sum = 0.0f64;
     let mut n = 0usize;
     let mut engaged_designs = 0usize;
-    for bench in selected_benchmarks() {
-        let p = prepare(bench, scale);
+    for source in selected_sources() {
+        let p = prepare_source(&source, scale);
         // The plan is engine-independent pure analysis: build it once for
         // the universe accounting the records carry.
         let plan = CollapsedFaultList::build(&p.design, &p.faults);
@@ -129,13 +131,13 @@ fn main() {
                 full.coverage,
                 collapsed.coverage,
                 "{} ({}): collapsed coverage records diverged from full",
-                bench.name(),
+                p.name,
                 engine.name()
             );
             let speedup = wall_off / wall_on;
             println!(
-                "{:<11} {:<7} {:>6} {:>6} {:>6} {:>6.2}x {:>10} {:>10} {:>6.2}x   {}",
-                bench.name(),
+                "{:<13} {:<7} {:>6} {:>6} {:>6} {:>6.2}x {:>10} {:>10} {:>6.2}x   {}",
+                p.name,
                 engine.name(),
                 before,
                 after,
@@ -147,7 +149,7 @@ fn main() {
                 collapsed.coverage
             );
             records.push(Record {
-                benchmark: bench.name().to_string(),
+                benchmark: p.name.clone(),
                 engine: engine.name(),
                 faults_before: before,
                 faults_after: after,

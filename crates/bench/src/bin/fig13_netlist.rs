@@ -1,0 +1,199 @@
+//! **Fig. 13** (beyond the paper): Yosys-JSON netlist intake — the bundled
+//! gate-level fixtures run through the concurrent engine with batching and
+//! collapsing.
+//!
+//! For every bundled netlist fixture (imported through the design-source
+//! layer exactly as an external `yosys -p 'prep; write_json'` file would
+//! be), runs the concurrent ERASER engine three times on the compiled-tape
+//! backend — plain, with 64-wide bit-parallel fault batching, and with
+//! static fault collapsing — asserts all three coverage records are
+//! **bit-identical**, and reports the batch occupancy counters and the
+//! collapse accounting. The campaigns run serial: fault sharding shrinks
+//! each worker's resident-fault pool, which starves batch groups and would
+//! understate the occupancy a gate-level netlist actually sustains. Emits
+//! `BENCH_fig13_netlist.json` (schema `eraser-fig13-netlist-v1`).
+//!
+//! Knobs: `ERASER_BENCH_ONLY` restricts the fixture set (fixture module
+//! names select); `ERASER_FIG13_STRICT=1` additionally fails the run
+//! unless batching engaged at above 50% mean lane occupancy on at least
+//! one netlist design (the CI gate: an all-1-bit gate-level import is
+//! exactly where the batch path must pull its weight).
+
+use eraser_bench::json::write_json_objects;
+use eraser_bench::{
+    env_scale, prepare_source, print_environment, selected_netlist_fixtures, Prepared,
+};
+use eraser_core::{
+    run_campaign, BatchConfig, CampaignConfig, CampaignResult, CollapseConfig, EvalBackend,
+    ParallelConfig, RedundancyMode,
+};
+use eraser_fault::CollapsedFaultList;
+use eraser_ir::analysis::design_stats;
+
+const BINARY: &str = "fig13_netlist";
+const SCHEMA: &str = "eraser-fig13-netlist-v1";
+
+struct Record {
+    benchmark: String,
+    backend: String,
+    cells: usize,
+    faults: usize,
+    stimulus_steps: usize,
+    batch_groups: u64,
+    batch_lanes: u64,
+    batch_scalar_fallbacks: u64,
+    lane_occupancy_percent: f64,
+    collapse_classes: usize,
+    collapse_ratio: f64,
+    dropped_unobservable: usize,
+    detected: usize,
+    coverage_percent: f64,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema\":\"{}\",\"binary\":\"{}\",\"benchmark\":\"{}\",",
+                "\"backend\":\"{}\",\"cells\":{},\"faults\":{},",
+                "\"stimulus_steps\":{},\"batch_groups\":{},\"batch_lanes\":{},",
+                "\"batch_scalar_fallbacks\":{},\"lane_occupancy_percent\":{:.2},",
+                "\"collapse_classes\":{},\"collapse_ratio\":{:.4},",
+                "\"dropped_unobservable\":{},\"detected\":{},",
+                "\"coverage_percent\":{:.4}}}"
+            ),
+            SCHEMA,
+            BINARY,
+            self.benchmark,
+            self.backend,
+            self.cells,
+            self.faults,
+            self.stimulus_steps,
+            self.batch_groups,
+            self.batch_lanes,
+            self.batch_scalar_fallbacks,
+            self.lane_occupancy_percent,
+            self.collapse_classes,
+            self.collapse_ratio,
+            self.dropped_unobservable,
+            self.detected,
+            self.coverage_percent,
+        )
+    }
+}
+
+/// One serial campaign on the tape backend with the given knobs.
+fn run(p: &Prepared, batch: BatchConfig, collapse: CollapseConfig) -> CampaignResult {
+    run_campaign(
+        &p.design,
+        &p.faults,
+        &p.stimulus,
+        &CampaignConfig {
+            mode: RedundancyMode::Full,
+            drop_detected: true,
+            parallel: ParallelConfig::serial(),
+            backend: EvalBackend::Tape,
+            batch,
+            collapse,
+            ..Default::default()
+        },
+    )
+}
+
+fn main() {
+    print_environment("Fig. 13 — Yosys-JSON netlist intake (batch occupancy + collapse ratio)");
+    let scale = env_scale();
+
+    let fixtures = selected_netlist_fixtures();
+    if fixtures.is_empty() {
+        println!("no netlist fixtures selected (ERASER_BENCH_ONLY excludes them all)");
+        write_json_objects(BINARY, &[]);
+        return;
+    }
+
+    println!(
+        "{:<13} {:>6} {:>6} {:>9} {:>7} {:>9} {:>8} {:>7} {:>6}   coverage",
+        "design", "cells", "faults", "groups", "occ%", "fallback", "classes", "ratio", "drop"
+    );
+
+    let mut records = Vec::new();
+    let mut best_occupancy = 0.0f64;
+    for source in &fixtures {
+        let p = prepare_source(source, scale);
+        let plain = run(&p, BatchConfig::disabled(), CollapseConfig::disabled());
+        let batched = run(&p, BatchConfig::enabled(), CollapseConfig::disabled());
+        let collapsed = run(&p, BatchConfig::disabled(), CollapseConfig::enabled());
+        assert_eq!(
+            plain.coverage, batched.coverage,
+            "{}: batched coverage records diverged from plain",
+            p.name
+        );
+        assert_eq!(
+            plain.coverage, collapsed.coverage,
+            "{}: collapsed coverage records diverged from plain",
+            p.name
+        );
+
+        let s = &batched.stats;
+        let occupancy = if s.batch_groups > 0 {
+            100.0 * s.batch_lanes as f64 / (s.batch_groups * 64) as f64
+        } else {
+            0.0
+        };
+        best_occupancy = best_occupancy.max(occupancy);
+
+        let plan = CollapsedFaultList::build(&p.design, &p.faults);
+        let ratio = plan.total() as f64 / plan.num_classes().max(1) as f64;
+        let st = design_stats(&p.design);
+        println!(
+            "{:<13} {:>6} {:>6} {:>9} {:>6.1}% {:>9} {:>8} {:>6.2}x {:>6}   {}",
+            p.name,
+            st.cells(),
+            p.faults.len(),
+            s.batch_groups,
+            occupancy,
+            s.batch_scalar_fallbacks,
+            plan.num_classes(),
+            ratio,
+            plan.dropped().len(),
+            plain.coverage
+        );
+        records.push(Record {
+            benchmark: p.name.clone(),
+            backend: EvalBackend::Tape.to_string(),
+            cells: st.cells(),
+            faults: p.faults.len(),
+            stimulus_steps: p.stimulus.num_steps(),
+            batch_groups: s.batch_groups,
+            batch_lanes: s.batch_lanes,
+            batch_scalar_fallbacks: s.batch_scalar_fallbacks,
+            lane_occupancy_percent: occupancy,
+            collapse_classes: plan.num_classes(),
+            collapse_ratio: ratio,
+            dropped_unobservable: plan.dropped().len(),
+            detected: plain.coverage.detected(),
+            coverage_percent: plain.coverage.coverage_percent(),
+        });
+    }
+
+    println!();
+    println!(
+        "best mean lane occupancy {best_occupancy:.1}% over {} netlist designs",
+        records.len()
+    );
+    println!("(coverage records asserted bit-identical: plain vs batch vs collapse, per design)");
+    let lines: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+    write_json_objects(BINARY, &lines);
+
+    if std::env::var("ERASER_FIG13_STRICT")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        && best_occupancy <= 50.0
+    {
+        eprintln!(
+            "STRICT: best mean batch lane occupancy {best_occupancy:.1}% \
+             (need > 50% on at least one netlist design)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -108,7 +108,7 @@ fn measure(
         on.coverage,
         "{} on {}: checkpointed coverage records diverged",
         engine.name(),
-        p.bench.name()
+        p.name
     );
     (off, on)
 }

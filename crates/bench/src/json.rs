@@ -53,7 +53,7 @@ impl BenchRecord {
         let st = design_stats(&p.design);
         BenchRecord {
             binary: binary.to_string(),
-            benchmark: p.bench.name().to_string(),
+            benchmark: p.name.clone(),
             engine: r.name.clone(),
             cells: st.cells(),
             faults: p.faults.len(),

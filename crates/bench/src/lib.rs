@@ -14,31 +14,34 @@
 //! | `fig9_checkpoint` | checkpointed good-state replay on the serial baselines |
 //! | `fig10_batch` | 64-wide bit-parallel fault batching vs scalar on the concurrent engine |
 //! | `fig11_collapse` | static fault collapsing (equivalence classes + undetectable drops) vs full universe |
+//! | `fig13_netlist` | Yosys-JSON netlist intake: batch occupancy + collapse ratio on the gate-level fixtures |
 //! | `bench_schema_check` | validates every `BENCH_*.json` against its schema |
 //!
 //! Run with `cargo run --release -p eraser-bench --bin <name>`. The
 //! environment variable `ERASER_BENCH_SCALE` (default `1.0`) scales every
 //! stimulus length, e.g. `ERASER_BENCH_SCALE=0.25` for a quick pass;
-//! `ERASER_BENCH_ONLY` (comma-separated Table II names) restricts the
-//! benchmark set; `ERASER_THREADS` / `ERASER_PARTITION` configure
-//! fault-parallel campaign execution for every report.
+//! `ERASER_BENCH_ONLY` (comma-separated Table II names and/or netlist
+//! fixture names) restricts the design set; `ERASER_THREADS` /
+//! `ERASER_PARTITION` configure fault-parallel campaign execution for
+//! every report.
 
 pub mod json;
 pub mod legacy;
 pub mod schema;
 
 use eraser_core::ParallelConfig;
-use eraser_designs::Benchmark;
+use eraser_designs::{netlist_fixtures, Benchmark, DesignSource, NETLIST_FIXTURE_NAMES};
 use eraser_fault::{generate_faults, FaultList};
 use eraser_ir::analysis::design_stats;
 use eraser_ir::Design;
 use eraser_sim::Stimulus;
 use std::time::Duration;
 
-/// A benchmark with everything needed to run a campaign.
+/// A design with everything needed to run a campaign — produced from any
+/// [`DesignSource`] (a Table II benchmark or a bundled netlist fixture).
 pub struct Prepared {
-    /// Which benchmark.
-    pub bench: Benchmark,
+    /// Display name (Table II benchmark name or netlist fixture name).
+    pub name: String,
     /// The elaborated design.
     pub design: Design,
     /// The fault universe.
@@ -64,33 +67,84 @@ pub fn env_scale() -> f64 {
 /// silently change what a run covers.
 pub fn selected_benchmarks() -> Vec<Benchmark> {
     let all = Benchmark::all();
-    let Ok(filter) = std::env::var("ERASER_BENCH_ONLY") else {
-        return all.to_vec();
-    };
+    match validated_filter() {
+        None => all.to_vec(),
+        Some(wanted) => all
+            .into_iter()
+            .filter(|b| wanted.iter().any(|w| b.name().eq_ignore_ascii_case(w)))
+            .collect(),
+    }
+}
+
+/// The bundled Yosys-JSON netlist fixtures a report binary should cover,
+/// honoring the same `ERASER_BENCH_ONLY` filter (fixture module names —
+/// e.g. `counter8_gate` — are valid selection names alongside the
+/// Table II benchmarks).
+pub fn selected_netlist_fixtures() -> Vec<DesignSource> {
+    let filter = validated_filter();
+    // Check the names before paying for the imports.
+    if let Some(wanted) = &filter {
+        if !NETLIST_FIXTURE_NAMES
+            .iter()
+            .any(|n| wanted.iter().any(|w| n.eq_ignore_ascii_case(w)))
+        {
+            return Vec::new();
+        }
+    }
+    netlist_fixtures()
+        .into_iter()
+        .filter(|f| match &filter {
+            None => true,
+            Some(wanted) => wanted.iter().any(|w| f.name().eq_ignore_ascii_case(w)),
+        })
+        .collect()
+}
+
+/// The full design-source line-up for reports that cover netlist intake:
+/// every selected benchmark plus every selected netlist fixture.
+pub fn selected_sources() -> Vec<DesignSource> {
+    let mut sources: Vec<DesignSource> = selected_benchmarks()
+        .into_iter()
+        .map(DesignSource::benchmark)
+        .collect();
+    sources.extend(selected_netlist_fixtures());
+    sources
+}
+
+/// Parses `ERASER_BENCH_ONLY`, aborting on names that match neither a
+/// Table II benchmark nor a bundled netlist fixture — a typo can never
+/// silently change what a run covers.
+fn validated_filter() -> Option<Vec<String>> {
+    let filter = std::env::var("ERASER_BENCH_ONLY").ok()?;
     let wanted: Vec<String> = filter
         .split(',')
         .map(|s| s.trim().to_ascii_lowercase())
         .filter(|s| !s.is_empty())
         .collect();
     if wanted.is_empty() {
-        return all.to_vec();
+        return None;
     }
+    let all = Benchmark::all();
     let unmatched: Vec<&str> = wanted
         .iter()
-        .filter(|w| !all.iter().any(|b| b.name().eq_ignore_ascii_case(w)))
+        .filter(|w| {
+            !all.iter().any(|b| b.name().eq_ignore_ascii_case(w))
+                && !NETLIST_FIXTURE_NAMES
+                    .iter()
+                    .any(|n| n.eq_ignore_ascii_case(w))
+        })
         .map(String::as_str)
         .collect();
     if !unmatched.is_empty() {
         eprintln!(
             "error: ERASER_BENCH_ONLY names unknown benchmark(s) {unmatched:?}; \
-             valid names: {}",
-            all.map(|b| b.name()).join(", ")
+             valid names: {}, {}",
+            all.map(|b| b.name()).join(", "),
+            NETLIST_FIXTURE_NAMES.join(", ")
         );
         std::process::exit(2);
     }
-    all.into_iter()
-        .filter(|b| wanted.iter().any(|w| b.name().eq_ignore_ascii_case(w)))
-        .collect()
+    Some(wanted)
 }
 
 /// Intersects a report's fixed default circuit list with the
@@ -108,19 +162,22 @@ pub fn selected_subset(defaults: &[Benchmark]) -> Vec<Benchmark> {
         .collect()
 }
 
+/// Generates the fault universe and builds the stimulus for any design
+/// source, with `scale` applied to the source's default cycle count.
+pub fn prepare_source(source: &DesignSource, scale: f64) -> Prepared {
+    let cycles = ((source.default_cycles() as f64 * scale).round() as usize).max(16);
+    Prepared {
+        name: source.name().to_string(),
+        faults: generate_faults(source.design(), source.fault_config()),
+        stimulus: source.stimulus_with_cycles(cycles),
+        design: source.design().clone(),
+    }
+}
+
 /// Compiles a benchmark, generates its fault universe and builds its
 /// stimulus with `scale` applied to the default cycle count.
 pub fn prepare(bench: Benchmark, scale: f64) -> Prepared {
-    let design = bench.build();
-    let faults = generate_faults(&design, &bench.fault_config());
-    let cycles = ((bench.default_cycles() as f64 * scale).round() as usize).max(16);
-    let stimulus = bench.stimulus_with_cycles(&design, cycles);
-    Prepared {
-        bench,
-        design,
-        faults,
-        stimulus,
-    }
+    prepare_source(&DesignSource::benchmark(bench), scale)
 }
 
 /// Formats a duration in seconds with millisecond resolution.
@@ -178,7 +235,7 @@ pub fn design_summary(p: &Prepared) -> String {
     let st = design_stats(&p.design);
     format!(
         "{:<11} cells={:<6} faults={:<5} stimulus={} steps",
-        p.bench.name(),
+        p.name,
         st.cells(),
         p.faults.len(),
         p.stimulus.num_steps()
@@ -192,10 +249,20 @@ mod tests {
     #[test]
     fn prepare_produces_consistent_bundle() {
         let p = prepare(Benchmark::Apb, 0.1);
-        assert_eq!(p.bench, Benchmark::Apb);
+        assert_eq!(p.name, Benchmark::Apb.name());
         assert!(!p.faults.is_empty());
         assert!(p.stimulus.num_steps() >= 16);
         assert!(design_summary(&p).contains("APB"));
+    }
+
+    #[test]
+    fn prepare_source_covers_netlist_fixtures() {
+        for f in netlist_fixtures() {
+            let p = prepare_source(&f, 0.1);
+            assert!(NETLIST_FIXTURE_NAMES.contains(&p.name.as_str()));
+            assert!(!p.faults.is_empty(), "{}: empty fault list", p.name);
+            assert!(p.stimulus.num_steps() >= 16);
+        }
     }
 
     #[test]

@@ -152,6 +152,28 @@ pub fn registry() -> Vec<(&'static str, Vec<(&'static str, Ty)>)> {
                 ("coverage_percent", Num),
             ],
         ),
+        (
+            // fig13_netlist Yosys-JSON intake records.
+            "eraser-fig13-netlist-v1",
+            vec![
+                ("schema", Str),
+                ("binary", Str),
+                ("benchmark", Str),
+                ("backend", Str),
+                ("cells", Num),
+                ("faults", Num),
+                ("stimulus_steps", Num),
+                ("batch_groups", Num),
+                ("batch_lanes", Num),
+                ("batch_scalar_fallbacks", Num),
+                ("lane_occupancy_percent", Num),
+                ("collapse_classes", Num),
+                ("collapse_ratio", Num),
+                ("dropped_unobservable", Num),
+                ("detected", Num),
+                ("coverage_percent", Num),
+            ],
+        ),
     ]
 }
 

@@ -20,9 +20,19 @@
 //! Each benchmark provides its compiled [`Design`], a deterministic
 //! [`Stimulus`] generator, and a fault-list configuration; golden software
 //! models for the datapath designs live in [`golden`].
+//!
+//! The [`DesignSource`] layer generalizes this: benchmarks, external
+//! Verilog files, and Yosys-JSON netlists (including the bundled
+//! gate-level fixtures from [`netlist_fixtures`]) all resolve to the same
+//! design + stimulus + fault-config bundle.
 
 pub mod golden;
+mod source;
 mod stim;
+
+pub use source::{
+    netlist_fixtures, DesignSource, COUNTER8_GATE_JSON, MAC16_GATE_JSON, NETLIST_FIXTURE_NAMES,
+};
 
 use eraser_fault::FaultListConfig;
 use eraser_frontend::compile;

@@ -5,20 +5,33 @@ use std::fmt;
 /// An error produced while compiling Verilog source.
 ///
 /// Carries the 1-based source line where the problem was detected (0 when no
-/// location applies, e.g. a whole-design rule violation).
+/// location applies, e.g. a whole-design rule violation) and, when known,
+/// the 1-based column within that line (0 when only the line is known).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompileError {
     /// 1-based source line, or 0 for design-level errors.
     pub line: u32,
+    /// 1-based source column, or 0 when only the line is known.
+    pub col: u32,
     /// Human-readable description.
     pub message: String,
 }
 
 impl CompileError {
-    /// Creates an error at a source line.
+    /// Creates an error at a source line (column unknown).
     pub fn at(line: u32, message: impl Into<String>) -> Self {
         CompileError {
             line,
+            col: 0,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error at an exact line and column.
+    pub fn at_col(line: u32, col: u32, message: impl Into<String>) -> Self {
+        CompileError {
+            line,
+            col,
             message: message.into(),
         }
     }
@@ -27,6 +40,7 @@ impl CompileError {
     pub fn design(message: impl Into<String>) -> Self {
         CompileError {
             line: 0,
+            col: 0,
             message: message.into(),
         }
     }
@@ -34,7 +48,9 @@ impl CompileError {
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.line > 0 {
+        if self.line > 0 && self.col > 0 {
+            write!(f, "line {}, col {}: {}", self.line, self.col, self.message)
+        } else if self.line > 0 {
             write!(f, "line {}: {}", self.line, self.message)
         } else {
             write!(f, "{}", self.message)
@@ -55,8 +71,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn display_with_and_without_line() {
+    fn display_with_and_without_location() {
         assert_eq!(CompileError::at(3, "bad").to_string(), "line 3: bad");
+        assert_eq!(
+            CompileError::at_col(3, 7, "bad").to_string(),
+            "line 3, col 7: bad"
+        );
         assert_eq!(CompileError::design("cycle").to_string(), "cycle");
     }
 }

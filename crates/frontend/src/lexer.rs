@@ -66,13 +66,15 @@ impl fmt::Display for Tok {
     }
 }
 
-/// A token with its 1-based source line.
+/// A token with its 1-based source line and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpannedTok {
     /// The token.
     pub tok: Tok,
     /// 1-based source line.
     pub line: u32,
+    /// 1-based source column of the token's first character.
+    pub col: u32,
 }
 
 /// Tokenizes `source`.
@@ -86,20 +88,25 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
     let bytes = source.as_bytes();
     let mut i = 0usize;
     let mut line = 1u32;
+    // Byte offset where the current line starts; column = i - line_start + 1.
+    let mut line_start = 0usize;
     let n = bytes.len();
-
-    macro_rules! push {
-        ($t:expr) => {
-            toks.push(SpannedTok { tok: $t, line })
-        };
-    }
 
     while i < n {
         let c = bytes[i] as char;
+        let col = (i - line_start + 1) as u32;
+
+        macro_rules! push {
+            ($t:expr) => {
+                toks.push(SpannedTok { tok: $t, line, col })
+            };
+        }
+
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             ' ' | '\t' | '\r' => i += 1,
             '/' if i + 1 < n && bytes[i + 1] == b'/' => {
@@ -108,14 +115,19 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
                 }
             }
             '/' if i + 1 < n && bytes[i + 1] == b'*' => {
-                let start_line = line;
+                let (start_line, start_col) = (line, col);
                 i += 2;
                 loop {
                     if i + 1 >= n {
-                        return Err(CompileError::at(start_line, "unterminated block comment"));
+                        return Err(CompileError::at_col(
+                            start_line,
+                            start_col,
+                            "unterminated block comment",
+                        ));
                     }
                     if bytes[i] == b'\n' {
                         line += 1;
+                        line_start = i + 1;
                     }
                     if bytes[i] == b'*' && bytes[i + 1] == b'/' {
                         i += 2;
@@ -153,7 +165,7 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
                             i += 1;
                         }
                     } else {
-                        return Err(CompileError::at(line, "missing base after `'`"));
+                        return Err(CompileError::at_col(line, col, "missing base after `'`"));
                     }
                 }
                 push!(Tok::Number(source[start..i].to_string()));
@@ -323,8 +335,9 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
                 }
             }
             other => {
-                return Err(CompileError::at(
+                return Err(CompileError::at_col(
                     line,
+                    col,
                     format!("unexpected character `{other}`"),
                 ));
             }
@@ -333,6 +346,7 @@ pub fn lex(source: &str) -> Result<Vec<SpannedTok>, CompileError> {
     toks.push(SpannedTok {
         tok: Tok::Eof,
         line,
+        col: (n - line_start + 1) as u32,
     });
     Ok(toks)
 }

@@ -34,6 +34,15 @@ impl Parser {
         self.tokens[self.pos].line
     }
 
+    fn col(&self) -> u32 {
+        self.tokens[self.pos].col
+    }
+
+    /// A diagnostic pointing at the current token's exact line and column.
+    fn error_here(&self, message: impl Into<String>) -> CompileError {
+        CompileError::at_col(self.line(), self.col(), message)
+    }
+
     fn at_eof(&self) -> bool {
         matches!(self.peek(), Tok::Eof)
     }
@@ -59,10 +68,7 @@ impl Parser {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(CompileError::at(
-                self.line(),
-                format!("expected {t}, found {}", self.peek()),
-            ))
+            Err(self.error_here(format!("expected {t}, found {}", self.peek())))
         }
     }
 
@@ -83,10 +89,7 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(CompileError::at(
-                self.line(),
-                format!("expected `{kw}`, found {}", self.peek()),
-            ))
+            Err(self.error_here(format!("expected `{kw}`, found {}", self.peek())))
         }
     }
 
@@ -96,10 +99,7 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => Err(CompileError::at(
-                self.line(),
-                format!("expected identifier, found {other}"),
-            )),
+            other => Err(self.error_here(format!("expected identifier, found {other}"))),
         }
     }
 
@@ -133,7 +133,7 @@ impl Parser {
             let mut kind = AstNetKind::Wire;
             let mut carry_range: Option<(AstExpr, AstExpr)> = None;
             loop {
-                let pline = self.line();
+                let (pline, pcol) = (self.line(), self.col());
                 let mut new_decl = false;
                 if self.eat_kw("input") {
                     dir = Some(AstPortDir::Input);
@@ -159,7 +159,11 @@ impl Parser {
                 }
                 let pname = self.ident()?;
                 let dir = dir.ok_or_else(|| {
-                    CompileError::at(pline, "port is missing a direction (`input`/`output`)")
+                    CompileError::at_col(
+                        pline,
+                        pcol,
+                        "port is missing a direction (`input`/`output`)",
+                    )
                 })?;
                 ports.push(PortDecl {
                     dir,
@@ -179,7 +183,7 @@ impl Parser {
         let mut items = Vec::new();
         while !self.eat_kw("endmodule") {
             if self.at_eof() {
-                return Err(CompileError::at(self.line(), "missing `endmodule`"));
+                return Err(self.error_here("missing `endmodule`"));
             }
             items.push(self.item()?);
         }
@@ -283,10 +287,8 @@ impl Parser {
             return Ok(Item::Always { sens, body, line });
         }
         if self.is_kw("initial") {
-            return Err(CompileError::at(
-                line,
-                "`initial` blocks are not supported; drive reset from the testbench",
-            ));
+            return Err(self
+                .error_here("`initial` blocks are not supported; drive reset from the testbench"));
         }
         // Otherwise: instantiation `Mod #(..)? inst ( .p(e), ... );`
         let module = self.ident()?;
@@ -371,7 +373,7 @@ impl Parser {
             let mut stmts = Vec::new();
             while !self.eat_kw("end") {
                 if self.at_eof() {
-                    return Err(CompileError::at(self.line(), "missing `end`"));
+                    return Err(self.error_here("missing `end`"));
                 }
                 stmts.push(self.stmt()?);
             }
@@ -405,7 +407,7 @@ impl Parser {
             let mut default = None;
             while !self.eat_kw("endcase") {
                 if self.at_eof() {
-                    return Err(CompileError::at(self.line(), "missing `endcase`"));
+                    return Err(self.error_here("missing `endcase`"));
                 }
                 if self.eat_kw("default") {
                     self.eat(&Tok::Colon);
@@ -485,10 +487,7 @@ impl Parser {
         } else if self.eat(&Tok::LtEq) {
             false
         } else {
-            return Err(CompileError::at(
-                self.line(),
-                format!("expected `=` or `<=`, found {}", self.peek()),
-            ));
+            return Err(self.error_here(format!("expected `=` or `<=`, found {}", self.peek())));
         };
         let rhs = self.expr()?;
         Ok(AstStmt::Assign {
@@ -642,10 +641,7 @@ impl Parser {
                     Ok(AstExpr::Ident(base, line))
                 }
             }
-            other => Err(CompileError::at(
-                line,
-                format!("expected expression, found {other}"),
-            )),
+            other => Err(self.error_here(format!("expected expression, found {other}"))),
         }
     }
 }

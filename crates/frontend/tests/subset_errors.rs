@@ -18,9 +18,20 @@ fn lexical_errors() {
 fn syntax_errors_carry_line_numbers() {
     let e = compile("module m(input wire a);\nwire x\nendmodule", None).unwrap_err();
     assert_eq!(e.line, 3); // missing semicolon discovered at `endmodule`
+    assert_eq!(e.col, 1);
     let e = compile("module m();\n  initial begin end\nendmodule", None).unwrap_err();
     assert_eq!(e.line, 2);
+    assert_eq!(e.col, 3); // `initial` starts after two spaces
     assert!(e.message.contains("initial"));
+    assert!(e.to_string().starts_with("line 2, col 3:"));
+}
+
+#[test]
+fn lexical_errors_carry_columns() {
+    let e = compile("module m();\n  `define X\nendmodule", None).unwrap_err();
+    assert_eq!((e.line, e.col), (2, 3));
+    let e = compile("a\nbb /* never closed", None).unwrap_err();
+    assert_eq!((e.line, e.col), (2, 4)); // the comment opener, not EOF
 }
 
 #[test]

@@ -381,6 +381,12 @@ impl DesignBuilder {
         self.signals[id.index()].kind
     }
 
+    /// Looks up an already-registered signal by name (builder-time helper
+    /// for importers that must avoid duplicate registrations).
+    pub fn find_signal(&self, name: &str) -> Option<SignalId> {
+        self.name_index.get(name).copied()
+    }
+
     /// Validates and finalizes the design: computes drivers, fanout maps,
     /// behavioral read/write sets, VDGs, and the levelized combinational
     /// order.

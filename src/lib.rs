@@ -17,7 +17,11 @@
 //! * [`baselines`] — IFsim / VFsim / CfSim comparison engines behind the
 //!   same trait ([`all_engines`](baselines::all_engines) returns the full
 //!   Fig. 6 line-up),
-//! * [`designs`] — the ten-benchmark suite with stimuli and golden models.
+//! * [`netlist`] — zero-dependency Yosys-JSON netlist intake,
+//! * [`designs`] — the ten-benchmark suite with stimuli and golden
+//!   models, plus the [`designs::DesignSource`] layer that resolves
+//!   benchmarks, external Verilog files, Yosys-JSON netlists, and the
+//!   bundled gate-level fixtures into one campaign-ready bundle.
 //!
 //! # Quickstart
 //!
@@ -94,4 +98,5 @@ pub use eraser_fault as fault;
 pub use eraser_frontend as frontend;
 pub use eraser_ir as ir;
 pub use eraser_logic as logic;
+pub use eraser_netlist as netlist;
 pub use eraser_sim as sim;

@@ -1,11 +1,14 @@
 //! `eraser` — command-line RTL fault simulation.
 //!
-//! Compiles a Verilog-subset file, generates per-bit stuck-at faults, runs
-//! an ERASER fault-simulation campaign against a generated clocked random
-//! stimulus, and prints coverage plus the redundancy breakdown.
+//! Loads a design through the design-source layer — a Verilog-subset file,
+//! or a Yosys-JSON netlist when the path ends in `.json` (the output of
+//! `yosys -p 'prep; write_json design.json'`) — generates per-bit stuck-at
+//! faults, runs an ERASER fault-simulation campaign against a generated
+//! clocked random stimulus, and prints coverage plus the redundancy
+//! breakdown.
 //!
 //! ```text
-//! eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]
+//! eraser <file.v|file.json> [--top NAME] [--stimulus-steps N] [--clock NAME] [--reset NAME]
 //!        [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]
 //!        [--threads N] [--partition contiguous|round-robin|site-affinity|window-affinity]
 //!        [--eval tree|tape] [--checkpoint-interval N] [--batch] [--collapse]
@@ -27,11 +30,9 @@ use eraser::core::{
     run_campaign, BatchConfig, CampaignConfig, CheckpointConfig, CollapseConfig, EvalBackend,
     ParallelConfig, RedundancyMode,
 };
-use eraser::fault::{generate_faults, FaultListConfig, PartitionStrategy};
-use eraser::frontend::compile;
-use eraser::ir::Design;
-use eraser::logic::LogicVec;
-use eraser::sim::StimulusBuilder;
+use eraser::designs::DesignSource;
+use eraser::fault::{generate_faults, PartitionStrategy};
+use std::path::Path;
 use std::process::ExitCode;
 
 struct Options {
@@ -53,7 +54,7 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eraser <file.v> [--top NAME] [--cycles N] [--clock NAME] [--reset NAME]\n\
+        "usage: eraser <file.v|file.json> [--top NAME] [--stimulus-steps N] [--clock NAME] [--reset NAME]\n\
          \x20             [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]\n\
          \x20             [--threads N] [--partition contiguous|round-robin|site-affinity|window-affinity]\n\
          \x20             [--eval tree|tape] [--checkpoint-interval N] [--batch] [--collapse]"
@@ -83,7 +84,9 @@ fn parse_args() -> Options {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--top" => opts.top = Some(need(args.next())),
-            "--cycles" => opts.cycles = need(args.next()).parse().unwrap_or_else(|_| usage()),
+            "--cycles" | "--stimulus-steps" => {
+                opts.cycles = need(args.next()).parse().unwrap_or_else(|_| usage())
+            }
             "--clock" => opts.clock = Some(need(args.next())),
             "--reset" => opts.reset = Some(need(args.next())),
             "--mode" => {
@@ -135,110 +138,29 @@ fn parse_args() -> Options {
     opts
 }
 
-/// Picks the clock input: the `--clock` flag, else a 1-bit input named like
-/// a clock, else the first 1-bit input.
-fn find_clock(design: &Design, requested: &Option<String>) -> Option<eraser::ir::SignalId> {
-    if let Some(name) = requested {
-        return design.find_signal(name);
-    }
-    let one_bit_inputs: Vec<_> = design
-        .inputs()
-        .iter()
-        .copied()
-        .filter(|s| design.signal(*s).width == 1)
-        .collect();
-    one_bit_inputs
-        .iter()
-        .copied()
-        .find(|s| {
-            let n = design.signal(*s).name.to_ascii_lowercase();
-            n == "clk" || n == "clock" || n == "pclk" || n.ends_with("_clk")
-        })
-        .or_else(|| one_bit_inputs.first().copied())
-}
-
 fn main() -> ExitCode {
     let opts = parse_args();
-    let source = match std::fs::read_to_string(&opts.file) {
+    // The design-source layer handles extension dispatch (`.json` →
+    // Yosys netlist import), clock/reset detection, the clock/reset
+    // fault exclusions, and the seeded clocked-random stimulus.
+    let mut source = match DesignSource::load(
+        Path::new(&opts.file),
+        opts.top.as_deref(),
+        opts.clock.as_deref(),
+        opts.reset.as_deref(),
+        opts.seed,
+    ) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot read `{}`: {e}", opts.file);
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let design = match compile(&source, opts.top.as_deref()) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("error: {}: {e}", opts.file);
-            return ExitCode::FAILURE;
-        }
-    };
-    let Some(clock) = find_clock(&design, &opts.clock) else {
-        eprintln!("error: no clock input found (use --clock NAME)");
-        return ExitCode::FAILURE;
-    };
-    let reset = match &opts.reset {
-        Some(name) => design.find_signal(name),
-        None => design.inputs().iter().copied().find(|s| {
-            let n = design.signal(*s).name.to_ascii_lowercase();
-            design.signal(*s).width == 1 && (n == "rst" || n == "reset" || n.ends_with("rst_n"))
-        }),
-    };
-
-    // Fault universe, excluding clock/reset.
-    let mut exclude = vec![design.signal(clock).name.clone()];
-    if let Some(r) = reset {
-        exclude.push(design.signal(r).name.clone());
-    }
-    let faults = generate_faults(
-        &design,
-        &FaultListConfig {
-            include_inputs: false,
-            exclude_names: exclude,
-            max_faults: opts.max_faults,
-        },
-    );
-
-    // Clocked random stimulus over the remaining inputs; reset (active
-    // high, or active low if its name ends in `_n`) held for two cycles.
-    let mut sb = StimulusBuilder::new();
-    let reset_active_low = reset
-        .map(|r| design.signal(r).name.ends_with("_n"))
-        .unwrap_or(false);
-    let data_inputs: Vec<_> = design
-        .inputs()
-        .iter()
-        .copied()
-        .filter(|s| Some(*s) != reset && *s != clock)
-        .collect();
-    let mut state = opts.seed | 1;
-    let mut rng = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        state >> 16
-    };
-    for cycle in 0..opts.cycles {
-        let mut changes = Vec::new();
-        if let Some(r) = reset {
-            let asserted = cycle < 2;
-            // Active-high: asserted -> 1; active-low (`*_n`): asserted -> 0.
-            changes.push((
-                r,
-                LogicVec::from_u64(1, (asserted ^ reset_active_low) as u64),
-            ));
-        }
-        for &inp in &data_inputs {
-            let w = design.signal(inp).width;
-            let mut v = LogicVec::zeros(w);
-            for word in 0..w.div_ceil(64) {
-                let bits = LogicVec::from_u64(64.min(w - word * 64), rng());
-                v.assign_slice(word * 64, &bits);
-            }
-            changes.push((inp, v));
-        }
-        sb.add_cycle(clock, &changes);
-    }
+    source.set_default_cycles(opts.cycles);
+    source.fault_config_mut().max_faults = opts.max_faults;
+    let design = source.design();
+    let faults = generate_faults(design, source.fault_config());
+    let stim = source.stimulus();
 
     println!(
         "{}: {} signals, {} RTL nodes, {} behavioral nodes, {} faults, {} cycles",
@@ -266,9 +188,9 @@ fn main() -> ExitCode {
         println!("collapsing: static equivalence folding before simulation");
     }
     let result = run_campaign(
-        &design,
+        design,
         &faults,
-        &sb.finish(),
+        &stim,
         &CampaignConfig {
             mode: opts.mode,
             drop_detected: true,
