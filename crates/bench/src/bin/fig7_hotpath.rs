@@ -28,7 +28,7 @@
 use eraser_bench::json::write_json_objects;
 use eraser_bench::legacy::LegacySimulator;
 use eraser_bench::{env_scale, prepare, print_environment, selected_benchmarks, Prepared};
-use eraser_core::{EraserEngine, EvalBackend, RedundancyMode};
+use eraser_core::{EraserEngine, EvalBackend};
 use eraser_designs::Benchmark;
 use eraser_logic::counting_alloc::CountingAlloc;
 use eraser_sim::Simulator;
@@ -128,8 +128,9 @@ fn legacy_steady_allocs(p: &Prepared) -> u64 {
 /// stimulus a third time (the same methodology as the pre-tape recordings,
 /// so the trajectory stays comparable).
 fn engine_steady(p: &Prepared, backend: EvalBackend) -> (u64, f64, usize) {
-    let mut engine =
-        EraserEngine::with_backend(&p.design, &p.faults, RedundancyMode::Full, true, backend);
+    let mut engine = EraserEngine::session(&p.design, &p.faults)
+        .backend(backend)
+        .start();
     let drive = |engine: &mut EraserEngine, steps: &[StimStep]| {
         for step in steps {
             for (sig, val) in step {

@@ -5,7 +5,9 @@ use crate::checkpoint::CheckpointConfig;
 use crate::collapse::{collapse_plan, stamp_collapse_stats, CollapseConfig};
 use crate::engine::EraserEngine;
 use crate::parallel::{run_sharded, ParallelConfig};
+use crate::progress::CampaignProgress;
 use crate::stats::RedundancyStats;
+use crate::twodim::GoodRunArtifacts;
 use crate::RedundancyMode;
 use eraser_fault::{CoverageReport, FaultList};
 use eraser_ir::{BatchProgram, Design, EvalBackend, TapeProgram};
@@ -109,6 +111,41 @@ pub struct CampaignResult {
     pub stats: RedundancyStats,
 }
 
+/// Externally shared execution resources for a campaign — everything
+/// [`run_campaign_with`] would otherwise build itself:
+///
+/// * compiled programs (`tapes` / `batch`), shared so a long-running
+///   service lowers each design once across any number of campaigns;
+/// * cached good-run artifacts (`good_run`), so a repeat submission on
+///   the same (design, fault universe, stimulus, checkpoint interval)
+///   skips the instrumented good run entirely;
+/// * a [`CampaignProgress`] block (`progress`), ticked per completed work
+///   group for live status reporting.
+///
+/// All fields default to `None` — [`run_campaign`] passes an empty
+/// context and behaves exactly as before. Shared resources are
+/// observability/amortization only: a campaign run with a populated
+/// context produces bit-identical coverage and semantic counters to one
+/// run with an empty context, because both paths build identical plans
+/// and engines from identical data.
+#[derive(Default)]
+pub struct CampaignContext<'a> {
+    /// A pre-compiled tape program for this design (used only when
+    /// `config.backend` is the tape backend).
+    pub tapes: Option<&'a TapeProgram>,
+    /// A pre-compiled bit-parallel batch program (used only when
+    /// `config.batch` is enabled).
+    pub batch: Option<&'a BatchProgram>,
+    /// Cached good-run artifacts for this exact (design, fault universe,
+    /// stimulus, checkpoint interval). Must not be supplied for a
+    /// different fault universe — the activation windows are per-fault.
+    /// Ignored (and never consulted) when collapsing is enabled, since
+    /// the representative universe differs from the recorded one.
+    pub good_run: Option<&'a GoodRunArtifacts>,
+    /// Progress counters ticked as work groups complete.
+    pub progress: Option<&'a CampaignProgress>,
+}
+
 /// Runs a complete fault-simulation campaign: builds the engine, replays
 /// the stimulus with observation after every settle step, and returns
 /// coverage plus statistics.
@@ -130,11 +167,35 @@ pub struct CampaignResult {
 /// bit-identical across thread counts at a fixed interval, with
 /// `skipped_prefix_steps` / `skipped_faults` quantifying the trimmed
 /// work.
+///
+/// Equivalent to [`run_campaign_with`] with an empty [`CampaignContext`];
+/// services amortizing compiled programs and good runs across campaigns
+/// use the latter.
 pub fn run_campaign(
     design: &Design,
     faults: &FaultList,
     stimulus: &Stimulus,
     config: &CampaignConfig,
+) -> CampaignResult {
+    run_campaign_with(
+        design,
+        faults,
+        stimulus,
+        config,
+        &CampaignContext::default(),
+    )
+}
+
+/// [`run_campaign`] with externally shared resources — see
+/// [`CampaignContext`]. Anything the context does not supply is built
+/// in-line exactly as [`run_campaign`] builds it, so results are
+/// bit-identical regardless of what the context carries.
+pub fn run_campaign_with(
+    design: &Design,
+    faults: &FaultList,
+    stimulus: &Stimulus,
+    config: &CampaignConfig,
+    ctx: &CampaignContext<'_>,
 ) -> CampaignResult {
     let t0 = Instant::now();
     // Static collapsing runs first: simulate one representative per
@@ -142,21 +203,46 @@ pub fn run_campaign(
     // the representative list), then lift the records back over the full
     // universe. Recursing with the knob off keeps the composition proof
     // trivial: the inner campaign *is* an ordinary uncollapsed campaign.
+    // Cached good-run artifacts are dropped for the recursion: they were
+    // recorded over the *full* universe, and activation windows are
+    // per-fault.
     if let Some(plan) = collapse_plan(design, faults, &config.collapse) {
         let inner = CampaignConfig {
             collapse: CollapseConfig::disabled(),
             ..config.clone()
         };
-        let mut result = run_campaign(design, plan.representatives(), stimulus, &inner);
+        let inner_ctx = CampaignContext {
+            tapes: ctx.tapes,
+            batch: ctx.batch,
+            good_run: None,
+            progress: ctx.progress,
+        };
+        let mut result =
+            run_campaign_with(design, plan.representatives(), stimulus, &inner, &inner_ctx);
         result.coverage = plan.lift_coverage(&result.coverage);
         stamp_collapse_stats(&mut result.stats, &plan);
         return result;
     }
     // Tape backend: lower the design once, share the immutable program
-    // with every worker (and the serial path below). Likewise the batch
-    // program when bit-parallel fault batching is on.
-    let tapes = TapeProgram::for_backend(design, config.backend);
-    let batch = config.batch.enabled.then(|| BatchProgram::compile(design));
+    // with every worker (and the serial path below) — or reuse the
+    // caller's pre-compiled copy. Likewise the batch program when
+    // bit-parallel fault batching is on.
+    let owned_tapes = if ctx.tapes.is_none() {
+        TapeProgram::for_backend(design, config.backend)
+    } else {
+        None
+    };
+    let tapes = match config.backend {
+        EvalBackend::Tape => ctx.tapes.or(owned_tapes.as_ref()),
+        EvalBackend::Tree => None,
+    };
+    let owned_batch =
+        (config.batch.enabled && ctx.batch.is_none()).then(|| BatchProgram::compile(design));
+    let batch = if config.batch.enabled {
+        ctx.batch.or(owned_batch.as_ref())
+    } else {
+        None
+    };
     // Checkpointing on: the two-dimensional path. One instrumented good
     // run records snapshots, the fault universe shards by activation
     // window, and every shard engine resumes from the latest eligible
@@ -168,8 +254,12 @@ pub fn run_campaign(
             faults,
             stimulus,
             config,
-            tapes.as_ref(),
-            batch.as_ref(),
+            &CampaignContext {
+                tapes,
+                batch,
+                good_run: ctx.good_run,
+                progress: ctx.progress,
+            },
         );
         if !config.parallel.is_parallel() {
             // Serial convention: time_total is the campaign wall.
@@ -187,13 +277,18 @@ pub fn run_campaign(
         // fewer signals than there are shards; simulating those would
         // replay the whole stimulus for zero faults.
         shards.retain(|s| !s.is_empty());
+        if let Some(p) = ctx.progress {
+            p.begin(shards.len(), faults.len());
+        }
         let shard_results = run_sharded(&shards, threads, |shard| {
             let shard_t0 = Instant::now();
-            let mut engine =
-                build_engine(design, &shard.list, config, tapes.as_ref(), batch.as_ref());
+            let mut engine = build_engine(design, &shard.list, config, tapes, batch);
             engine.run(stimulus);
             let mut stats = engine.stats().clone();
             stats.time_total = shard_t0.elapsed();
+            if let Some(p) = ctx.progress {
+                p.group_done(shard.len());
+            }
             (engine.coverage().clone(), stats)
         });
         let mut coverage = CoverageReport::new(faults.len());
@@ -204,10 +299,16 @@ pub fn run_campaign(
         }
         return CampaignResult { coverage, stats };
     }
-    let mut engine = build_engine(design, faults, config, tapes.as_ref(), batch.as_ref());
+    if let Some(p) = ctx.progress {
+        p.begin(1, faults.len());
+    }
+    let mut engine = build_engine(design, faults, config, tapes, batch);
     engine.run(stimulus);
     let mut stats = engine.stats().clone();
     stats.time_total = t0.elapsed();
+    if let Some(p) = ctx.progress {
+        p.group_done(faults.len());
+    }
     CampaignResult {
         coverage: engine.coverage().clone(),
         stats,
@@ -223,14 +324,12 @@ fn build_engine<'d>(
     tapes: Option<&'d TapeProgram>,
     batch: Option<&'d BatchProgram>,
 ) -> EraserEngine<'d> {
-    EraserEngine::with_programs(
-        design,
-        faults,
-        config.mode,
-        config.drop_detected,
-        tapes,
-        batch,
-    )
+    EraserEngine::session(design, faults)
+        .mode(config.mode)
+        .drop_detected(config.drop_detected)
+        .tapes(tapes)
+        .batch(batch)
+        .start()
 }
 
 #[cfg(test)]

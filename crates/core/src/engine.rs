@@ -245,25 +245,176 @@ pub struct EraserEngine<'d> {
     need_sweep: bool,
 }
 
+/// How an [`EngineSession`] chooses the evaluation tapes.
+enum TapeChoice<'d> {
+    /// Follow `ERASER_EVAL` (the historical `new` behavior).
+    Env,
+    /// Pin a backend, compiling a private tape program for
+    /// [`EvalBackend::Tape`].
+    Backend(EvalBackend),
+    /// Execute a shared pre-compiled program (`None` pins the tree walker).
+    Shared(Option<&'d TapeProgram>),
+}
+
+/// How an [`EngineSession`] chooses the bit-parallel batch program.
+enum BatchChoice<'d> {
+    /// Follow `ERASER_BATCH` (compile a private program when set).
+    Env,
+    /// Use a shared pre-compiled program (`None` disables batching).
+    Shared(Option<&'d BatchProgram>),
+}
+
+/// The unified engine constructor: one fluent surface replacing the
+/// historical `new` / `with_backend` / `with_tapes` / `with_programs` /
+/// `with_programs_from` zoo.
+///
+/// Obtained from [`EraserEngine::session`]; every axis has a default
+/// matching [`EraserEngine::new`] (mode [`RedundancyMode::Full`], fault
+/// dropping on, backend per `ERASER_EVAL`, batching per `ERASER_BATCH`,
+/// power-on start) and a chainable setter. [`start`](Self::start) builds
+/// the engine and performs the initial evaluation.
+///
+/// ```ignore
+/// // A campaign shard worker: shared programs, checkpoint resume.
+/// let mut engine = EraserEngine::session(design, &shard.list)
+///     .mode(config.mode)
+///     .drop_detected(config.drop_detected)
+///     .tapes(tapes)
+///     .batch(batch)
+///     .resume_from(snapshot, start_step)
+///     .start();
+/// engine.run(stimulus); // replays only steps[start_step..]
+/// ```
+pub struct EngineSession<'d, 's> {
+    design: &'d Design,
+    faults: &'d FaultList,
+    mode: RedundancyMode,
+    drop_detected: bool,
+    tapes: TapeChoice<'d>,
+    batch: BatchChoice<'d>,
+    resume: Option<(&'s SimSnapshot, usize)>,
+}
+
+impl<'d, 's> EngineSession<'d, 's> {
+    /// The redundancy-elimination mode (default [`RedundancyMode::Full`]).
+    pub fn mode(mut self, mode: RedundancyMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Whether detected faults stop simulating (default `true`).
+    pub fn drop_detected(mut self, drop_detected: bool) -> Self {
+        self.drop_detected = drop_detected;
+        self
+    }
+
+    /// Pins the evaluation backend, compiling a private tape program for
+    /// [`EvalBackend::Tape`]. Default: follow `ERASER_EVAL`.
+    pub fn backend(mut self, backend: EvalBackend) -> Self {
+        self.tapes = TapeChoice::Backend(backend);
+        self
+    }
+
+    /// Pins the evaluation tapes to a shared pre-compiled program (`None`
+    /// pins the tree walker) — what the campaign drivers hand every shard
+    /// worker so the design is lowered once per campaign.
+    pub fn tapes(mut self, tapes: Option<&'d TapeProgram>) -> Self {
+        self.tapes = TapeChoice::Shared(tapes);
+        self
+    }
+
+    /// Pins bit-parallel fault batching to a shared pre-compiled program
+    /// (`None` disables batching). Default: follow `ERASER_BATCH`.
+    pub fn batch(mut self, batch: Option<&'d BatchProgram>) -> Self {
+        self.batch = BatchChoice::Shared(batch);
+        self
+    }
+
+    /// Starts the engine **from a good-state checkpoint** instead of
+    /// power-on: the good network restores `snapshot` (the settled
+    /// fault-free state before stimulus step `start_step`), the stuck-at
+    /// forces are materialized against the restored values, and the engine
+    /// settles once — exactly the force-at-checkpoint injection of the
+    /// checkpointed serial protocol, batched.
+    /// [`run`](EraserEngine::run) then replays only `steps[start_step..]`.
+    ///
+    /// Sound when every fault in the batch is restart-eligible at this
+    /// checkpoint ([`eraser_fault::ActivationWindows::eligible_start`]):
+    /// each fault's network at the checkpoint then equals its from-zero
+    /// state, so detections (steps and outputs included) are bit-identical
+    /// to a from-zero run. The window planner
+    /// ([`eraser_fault::WindowPlan`]) cuts shards with exactly this
+    /// property.
+    pub fn resume_from(mut self, snapshot: &'s SimSnapshot, start_step: usize) -> Self {
+        self.resume = Some((snapshot, start_step));
+        self
+    }
+
+    /// Builds the engine and performs the initial evaluation.
+    pub fn start(self) -> EraserEngine<'d> {
+        let tapes = match self.tapes {
+            TapeChoice::Env => tapes_for_backend(self.design, EvalBackend::from_env()),
+            TapeChoice::Backend(b) => tapes_for_backend(self.design, b),
+            TapeChoice::Shared(t) => t.map(TapeRef::Shared),
+        };
+        let batch = match self.batch {
+            BatchChoice::Env => EraserEngine::batch_from_env(self.design),
+            BatchChoice::Shared(b) => b.map(BatchRef::Shared),
+        };
+        EraserEngine::build(
+            self.design,
+            self.faults,
+            self.mode,
+            self.drop_detected,
+            tapes,
+            batch,
+            self.resume,
+        )
+    }
+}
+
 impl<'d> EraserEngine<'d> {
+    /// Opens the unified engine constructor: an [`EngineSession`] over
+    /// `design` and the fault batch `faults`, with every axis defaulting
+    /// to [`EraserEngine::new`] behavior. Chain setters, then
+    /// [`start`](EngineSession::start).
+    pub fn session<'s>(design: &'d Design, faults: &'d FaultList) -> EngineSession<'d, 's> {
+        EngineSession {
+            design,
+            faults,
+            mode: RedundancyMode::Full,
+            drop_detected: true,
+            tapes: TapeChoice::Env,
+            batch: BatchChoice::Env,
+            resume: None,
+        }
+    }
+
     /// Creates an engine over `design` with the fault batch `faults`, in
     /// redundancy mode `mode`, and performs the initial evaluation. The
     /// evaluation backend follows `ERASER_EVAL` (tree walker by default)
     /// and bit-parallel fault batching follows `ERASER_BATCH` (off by
-    /// default); use [`EraserEngine::with_backend`],
-    /// [`EraserEngine::with_tapes`] or [`EraserEngine::with_programs`] to
-    /// pin them explicitly.
+    /// default); use [`EraserEngine::session`] to pin them explicitly.
     pub fn new(
         design: &'d Design,
         faults: &'d FaultList,
         mode: RedundancyMode,
         drop_detected: bool,
     ) -> Self {
-        Self::with_backend(design, faults, mode, drop_detected, EvalBackend::from_env())
+        Self::build(
+            design,
+            faults,
+            mode,
+            drop_detected,
+            tapes_for_backend(design, EvalBackend::from_env()),
+            Self::batch_from_env(design),
+            None,
+        )
     }
 
     /// Creates an engine pinned to `backend` (compiling a private tape
     /// program for [`EvalBackend::Tape`]). Batching follows `ERASER_BATCH`.
+    #[deprecated(note = "use `EraserEngine::session(..).backend(..).start()`")]
     pub fn with_backend(
         design: &'d Design,
         faults: &'d FaultList,
@@ -283,9 +434,8 @@ impl<'d> EraserEngine<'d> {
     }
 
     /// Creates an engine on the tape backend executing a shared,
-    /// pre-compiled program — what [`run_campaign`](crate::run_campaign)
-    /// hands every fault-parallel shard worker so the design is lowered
-    /// once per campaign. Batching follows `ERASER_BATCH`.
+    /// pre-compiled program. Batching follows `ERASER_BATCH`.
+    #[deprecated(note = "use `EraserEngine::session(..).tapes(Some(..)).start()`")]
     pub fn with_tapes(
         design: &'d Design,
         faults: &'d FaultList,
@@ -306,8 +456,8 @@ impl<'d> EraserEngine<'d> {
 
     /// Creates an engine with explicit shared programs for both axes: the
     /// evaluation tapes (`None` pins the tree walker) and the bit-parallel
-    /// batch program (`None` disables batching). The campaign driver
-    /// compiles each at most once and hands them to every shard worker.
+    /// batch program (`None` disables batching).
+    #[deprecated(note = "use `EraserEngine::session(..).tapes(..).batch(..).start()`")]
     pub fn with_programs(
         design: &'d Design,
         faults: &'d FaultList,
@@ -327,21 +477,9 @@ impl<'d> EraserEngine<'d> {
         )
     }
 
-    /// Creates an engine that **resumes from a good-state checkpoint**
-    /// instead of power-on: the good network restores `snapshot` (the
-    /// settled fault-free state before stimulus step `start_step`), the
-    /// stuck-at forces are materialized against the restored values, and
-    /// the engine settles once — exactly the force-at-checkpoint injection
-    /// of the checkpointed serial protocol, batched. [`run`](Self::run)
-    /// via [`resume`](Self::resume) then replays only `steps[start_step..]`.
-    ///
-    /// Sound when every fault in `faults` is restart-eligible at this
-    /// checkpoint ([`eraser_fault::ActivationWindows::eligible_start`]):
-    /// each fault's network at the checkpoint then equals its from-zero
-    /// state, so detections (steps and outputs included) are bit-identical
-    /// to a from-zero run. The window planner
-    /// ([`eraser_fault::WindowPlan`]) cuts shards with exactly this
-    /// property.
+    /// Creates an engine that resumes from a good-state checkpoint; see
+    /// [`EngineSession::resume_from`] for the soundness contract.
+    #[deprecated(note = "use `EraserEngine::session(..).resume_from(..).start()`")]
     #[allow(clippy::too_many_arguments)]
     pub fn with_programs_from(
         design: &'d Design,
@@ -519,22 +657,24 @@ impl<'d> EraserEngine<'d> {
         self.ws = ws;
     }
 
-    /// Runs the full stimulus with observation (and optional fault
-    /// dropping) after every settle step. Stimulus values are read by
-    /// borrow — the whole campaign loop is clone-free.
+    /// Runs the stimulus from the engine's **current step index** with
+    /// observation (and optional fault dropping) after every settle step.
+    /// A freshly built engine stands at step 0 and replays everything; a
+    /// checkpoint-resumed engine ([`EngineSession::resume_from`]) already
+    /// stands at its start step and replays only the suffix — one run
+    /// semantics for both, so campaign drivers need no per-origin branch.
+    /// Stimulus values are read by borrow — the whole campaign loop is
+    /// clone-free.
     pub fn run(&mut self, stim: &Stimulus) {
-        self.run_steps(&stim.steps);
-    }
-
-    /// Runs the stimulus **suffix** from the engine's current step index —
-    /// the campaign loop of a checkpoint-resumed engine
-    /// ([`with_programs_from`](Self::with_programs_from)), which already
-    /// stands at its start step and must not replay the skipped prefix.
-    /// On a freshly built from-zero engine this is identical to
-    /// [`run`](Self::run).
-    pub fn resume(&mut self, stim: &Stimulus) {
         let at = self.step_index.min(stim.steps.len());
         self.run_steps(&stim.steps[at..]);
+    }
+
+    /// Historical alias of [`run`](Self::run), which now resumes from the
+    /// current step index itself.
+    #[deprecated(note = "`run` now resumes from the current step; call `run`")]
+    pub fn resume(&mut self, stim: &Stimulus) {
+        self.run(stim);
     }
 
     fn run_steps(&mut self, steps: &[Vec<(SignalId, LogicVec)>]) {

@@ -127,19 +127,26 @@ mod diff;
 mod engine;
 mod monitor;
 mod parallel;
+mod progress;
+mod spec;
 mod stats;
 mod twodim;
 
 pub use api::{CampaignRunner, EngineResult, Eraser, FaultSimEngine, ParityMismatch};
 pub use batch::BatchConfig;
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use campaign::{
+    run_campaign, run_campaign_with, CampaignConfig, CampaignContext, CampaignResult,
+};
 pub use checkpoint::CheckpointConfig;
 pub use collapse::{collapse_plan, run_collapsed, stamp_collapse_stats, CollapseConfig};
 pub use diff::{union_ids, union_ids_into, DiffList};
-pub use engine::{EraserEngine, FaultView};
+pub use engine::{EngineSession, EraserEngine, FaultView};
 pub use monitor::RedundancyMonitor;
 pub use parallel::{merge_shard_results, run_queue, run_sharded, Parallel, ParallelConfig};
+pub use progress::{CampaignProgress, ProgressSnapshot};
+pub use spec::{CampaignSpec, DesignRef, SpecError};
 pub use stats::RedundancyStats;
+pub use twodim::{record_good_run, GoodRunArtifacts};
 
 // The evaluation-backend knob and the shareable compiled programs, re-
 // exported so campaign drivers configure backends without naming
@@ -168,6 +175,39 @@ impl std::fmt::Display for RedundancyMode {
             RedundancyMode::None => write!(f, "Eraser--"),
             RedundancyMode::Explicit => write!(f, "Eraser-"),
             RedundancyMode::Full => write!(f, "Eraser"),
+        }
+    }
+}
+
+impl RedundancyMode {
+    /// The machine-readable name used by [`CampaignSpec`] JSON and the
+    /// CLI's `--mode` flag (`full` / `explicit` / `none`) — [`Display`]
+    /// keeps the paper's ablation names (`Eraser` / `Eraser-` /
+    /// `Eraser--`).
+    ///
+    /// [`Display`]: std::fmt::Display
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            RedundancyMode::None => "none",
+            RedundancyMode::Explicit => "explicit",
+            RedundancyMode::Full => "full",
+        }
+    }
+}
+
+impl std::str::FromStr for RedundancyMode {
+    type Err = String;
+
+    /// Parses the machine-readable mode names (`full`, `explicit`,
+    /// `none`), case-insensitive.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "full" => Ok(RedundancyMode::Full),
+            "explicit" => Ok(RedundancyMode::Explicit),
+            "none" => Ok(RedundancyMode::None),
+            other => Err(format!(
+                "unknown redundancy mode `{other}` (expected full, explicit or none)"
+            )),
         }
     }
 }

@@ -7,11 +7,15 @@
 //! forfeited every skipped prefix step. This module schedules both
 //! dimensions as one resource-allocation problem, RIROS-style:
 //!
-//! 1. **One good run.** The fault-free design replays the stimulus once on
-//!    the plain simulator with a [`SiteProbe`] attached, capturing a
-//!    [`SimSnapshot`] at every checkpoint boundary (noting whether the
-//!    state is fully defined). Snapshots are plain data, shared read-only
-//!    across all shard workers.
+//! 1. **One good run** ([`record_good_run`]). The fault-free design
+//!    replays the stimulus once on the plain simulator with a
+//!    [`SiteProbe`] attached, capturing a [`SimSnapshot`] at every
+//!    checkpoint boundary (noting whether the state is fully defined).
+//!    The resulting [`GoodRunArtifacts`] — snapshots plus per-fault
+//!    [`ActivationWindows`] — are plain data, shared read-only across all
+//!    shard workers, and **reusable across campaigns**: the campaign
+//!    service caches them per (design, stimulus) pair so a repeat
+//!    submission skips the good run entirely.
 //! 2. **Window-aware sharding.** [`ActivationWindows`] gives each fault
 //!    its earliest possible divergence; [`WindowPlan`] groups faults by
 //!    their latest eligible checkpoint into
@@ -19,11 +23,11 @@
 //!    are dropped outright), using worker-count-independent chunk sizes.
 //! 3. **Shared-checkpoint engine starts.** Each shard runs one concurrent
 //!    [`EraserEngine`] that *resumes* from its checkpoint's snapshot
-//!    ([`EraserEngine::with_programs_from`]) and replays only the
-//!    stimulus suffix. Eligibility guarantees every member fault's
-//!    network state at the checkpoint equals its from-zero state, so
-//!    coverage records — detection steps and outputs included — are
-//!    bit-identical to a from-zero campaign.
+//!    ([`EngineSession::resume_from`](crate::EngineSession::resume_from))
+//!    and replays only the stimulus suffix. Eligibility guarantees every
+//!    member fault's network state at the checkpoint equals its from-zero
+//!    state, so coverage records — detection steps and outputs included —
+//!    are bit-identical to a from-zero campaign.
 //! 4. **One queue over both dimensions.** The shards feed the same atomic
 //!    work queue ([`run_queue`]) as plain fault-parallel campaigns: idle
 //!    workers steal whole window groups, and a heavy group, pre-split
@@ -38,35 +42,71 @@
 //! pass — which is the measured trade the `skipped_prefix_steps` counter
 //! quantifies.) Composes with the tape backend, bit-parallel batching
 //! and static collapsing, all of which are orthogonal to where an engine
-//! starts.
+//! starts. The plan is also independent of *who recorded the good run*:
+//! resolving a cached [`GoodRunArtifacts`] produces bit-identical
+//! coverage and counters to recording it in-line, because the shards and
+//! engines are built from the same data either way.
 
-use crate::campaign::{CampaignConfig, CampaignResult};
+use crate::campaign::{CampaignConfig, CampaignContext, CampaignResult};
 use crate::engine::EraserEngine;
 use crate::parallel::run_queue;
 use crate::stats::RedundancyStats;
 use eraser_fault::{ActivationWindows, CoverageReport, FaultList, WindowPlan};
-use eraser_ir::{BatchProgram, Design, EvalBackend, TapeProgram};
+use eraser_ir::{Design, EvalBackend, TapeProgram};
 use eraser_sim::{ReplaySim, SimSnapshot, Simulator, SiteProbe, Stimulus};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Runs the composed two-dimensional campaign. Called by
-/// [`run_campaign`](crate::run_campaign) whenever checkpointing is
-/// enabled (any thread count — one thread simply drains the same queue
-/// inline); the caller guarantees a non-empty stimulus and fault list
-/// and has already applied static collapsing and compiled the shared
-/// programs.
-pub(crate) fn run_windowed(
+/// Everything the two-dimensional scheduler needs from the instrumented
+/// good run: the boundary snapshots and the derived per-fault activation
+/// windows. Plain immutable data — shareable read-only across shard
+/// workers, and cacheable across campaigns on the same (design, fault
+/// universe, stimulus, checkpoint interval): see [`record_good_run`].
+#[derive(Debug, Clone)]
+pub struct GoodRunArtifacts {
+    /// `(step, fully_defined, snapshot)` per checkpoint boundary, captured
+    /// before applying the boundary step.
+    pub(crate) checkpoints: Vec<(usize, bool, SimSnapshot)>,
+    /// Per-fault earliest-divergence windows derived from the probe.
+    pub(crate) windows: ActivationWindows,
+    /// Wall time of the instrumented good run.
+    pub(crate) good_wall: Duration,
+    /// Stimulus length the artifacts were recorded for.
+    steps: usize,
+}
+
+impl GoodRunArtifacts {
+    /// The stimulus length (in settle steps) the good run replayed.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// How many boundary snapshots were captured.
+    pub fn num_checkpoints(&self) -> usize {
+        self.checkpoints.len()
+    }
+}
+
+/// Runs the instrumented good pass of the two-dimensional schedule: one
+/// fault-free replay with a [`SiteProbe`] attached, a [`SimSnapshot`]
+/// captured at every `config.checkpoint` boundary, and the per-fault
+/// [`ActivationWindows`] derived from the probe.
+///
+/// The artifacts depend only on the design, the fault universe, the
+/// stimulus, and the checkpoint interval — not on threads, backend
+/// choice, batching, or redundancy mode — so callers holding those fixed
+/// (the campaign service's good-run cache) can record once and hand the
+/// same artifacts to any number of subsequent campaigns, each of which
+/// then executes zero good-run steps itself.
+pub fn record_good_run(
     design: &Design,
     faults: &FaultList,
     stimulus: &Stimulus,
     config: &CampaignConfig,
     tapes: Option<&TapeProgram>,
-    batch: Option<&BatchProgram>,
-) -> CampaignResult {
+) -> GoodRunArtifacts {
     let t0 = Instant::now();
-    // Instrumented good run: probe + boundary snapshots, captured *before*
-    // applying each boundary step (step 0 = the construction-settled
-    // state, always eligible).
+    // Probe + boundary snapshots, captured *before* applying each boundary
+    // step (step 0 = the construction-settled state, always eligible).
     let mut sim = match tapes {
         Some(tp) => Simulator::with_tapes(design, tp),
         None => Simulator::with_backend(design, EvalBackend::Tree),
@@ -84,9 +124,56 @@ pub(crate) fn run_windowed(
     }
     let probe = sim.take_probe().expect("probe attached above");
     let windows = ActivationWindows::derive(design, faults, &probe, stimulus.steps.len());
-    let boundaries: Vec<(usize, bool)> = checkpoints.iter().map(|&(s, d, _)| (s, d)).collect();
-    let plan = WindowPlan::build(faults, &windows, &boundaries);
-    let good_wall = t0.elapsed();
+    GoodRunArtifacts {
+        checkpoints,
+        windows,
+        good_wall: t0.elapsed(),
+        steps: stimulus.steps.len(),
+    }
+}
+
+/// Runs the composed two-dimensional campaign. Called by
+/// [`run_campaign_with`](crate::run_campaign_with) whenever checkpointing
+/// is enabled (any thread count — one thread simply drains the same queue
+/// inline); the caller guarantees a non-empty stimulus and fault list
+/// and has already applied static collapsing and compiled the shared
+/// programs (`ctx` carries the resolved program refs). With
+/// `ctx.good_run` present (a cached [`GoodRunArtifacts`]) the good run is
+/// skipped entirely; otherwise it is recorded in-line.
+pub(crate) fn run_windowed(
+    design: &Design,
+    faults: &FaultList,
+    stimulus: &Stimulus,
+    config: &CampaignConfig,
+    ctx: &CampaignContext<'_>,
+) -> CampaignResult {
+    let CampaignContext {
+        tapes,
+        batch,
+        good_run,
+        progress,
+    } = *ctx;
+    let recorded;
+    let good = match good_run {
+        Some(g) => {
+            debug_assert_eq!(
+                g.steps,
+                stimulus.steps.len(),
+                "good-run artifacts recorded for a different stimulus"
+            );
+            g
+        }
+        None => {
+            recorded = record_good_run(design, faults, stimulus, config, tapes);
+            &recorded
+        }
+    };
+    let boundaries: Vec<(usize, bool)> = good.checkpoints.iter().map(|&(s, d, _)| (s, d)).collect();
+    let plan = WindowPlan::build(faults, &good.windows, &boundaries);
+    if let Some(p) = progress {
+        let scheduled = plan.shards.iter().map(|ws| ws.shard.len()).sum();
+        p.begin(plan.shards.len(), scheduled);
+    }
 
     // Drain the plan: one checkpoint-resumed engine per window shard,
     // snapshots shared read-only. Serial (threads == 1) runs the same
@@ -94,21 +181,21 @@ pub(crate) fn run_windowed(
     let threads = config.parallel.effective_threads();
     let results = run_queue(&plan.shards, threads, |ws| {
         let shard_t0 = Instant::now();
-        let (start, _, snap) = &checkpoints[ws.checkpoint];
-        let mut engine = EraserEngine::with_programs_from(
-            design,
-            &ws.shard.list,
-            config.mode,
-            config.drop_detected,
-            tapes,
-            batch,
-            snap,
-            *start,
-        );
-        engine.resume(stimulus);
+        let (start, _, snap) = &good.checkpoints[ws.checkpoint];
+        let mut engine = EraserEngine::session(design, &ws.shard.list)
+            .mode(config.mode)
+            .drop_detected(config.drop_detected)
+            .tapes(tapes)
+            .batch(batch)
+            .resume_from(snap, *start)
+            .start();
+        engine.run(stimulus);
         let mut stats = engine.stats().clone();
         stats.skipped_prefix_steps += ws.skipped_prefix_steps();
         stats.time_total = shard_t0.elapsed();
+        if let Some(p) = progress {
+            p.group_done(ws.shard.len());
+        }
         (engine.coverage().clone(), stats)
     });
 
@@ -116,8 +203,10 @@ pub(crate) fn run_windowed(
     let mut stats = RedundancyStats {
         skipped_faults: plan.skipped.len() as u64,
         // The shared good run is real compute; charging it here keeps
-        // time_total the aggregate compute time at any thread count.
-        time_total: good_wall,
+        // time_total the aggregate compute time at any thread count. (On a
+        // cache hit the charged wall is the original recording's — the
+        // semantic counters are what must stay bit-identical.)
+        time_total: good.good_wall,
         ..RedundancyStats::default()
     };
     for (ws, (shard_cov, shard_stats)) in plan.shards.iter().zip(&results) {

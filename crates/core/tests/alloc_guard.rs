@@ -12,7 +12,7 @@
 //! buffer-reuse path — including a stimulus-value clone in `run()` or a
 //! tape slot reused at the wrong storage shape.
 
-use eraser_core::{EraserEngine, EvalBackend, RedundancyMode};
+use eraser_core::{EraserEngine, EvalBackend};
 use eraser_designs::Benchmark;
 use eraser_fault::{generate_faults, PartitionStrategy};
 use eraser_logic::counting_alloc::CountingAlloc;
@@ -93,8 +93,9 @@ fn eraser_engine_steady_state_is_allocation_free() {
     let faults = generate_faults(&design, &Benchmark::Apb.fault_config());
     let stim = Benchmark::Apb.stimulus_with_cycles(&design, WARMUP_CYCLES + MEASURED_CYCLES);
     for backend in BACKENDS {
-        let mut engine =
-            EraserEngine::with_backend(&design, &faults, RedundancyMode::Full, true, backend);
+        let mut engine = EraserEngine::session(&design, &faults)
+            .backend(backend)
+            .start();
 
         drive(&mut engine, &stim, 0..WARMUP_CYCLES);
 
@@ -123,14 +124,19 @@ fn engine_run_path_is_clone_free() {
     let faults = generate_faults(&design, &Benchmark::Apb.fault_config());
     let stim = Benchmark::Apb.stimulus_with_cycles(&design, WARMUP_CYCLES + MEASURED_CYCLES);
     for backend in BACKENDS {
-        let mut engine =
-            EraserEngine::with_backend(&design, &faults, RedundancyMode::Full, true, backend);
-        // Three warm-up passes: the first sizes every pooled buffer, the
-        // later ones settle high-water marks that shift as detected faults
-        // drop out and the replayed stimulus meets new engine states.
-        engine.run(&stim);
-        engine.run(&stim);
-        engine.run(&stim);
+        let mut engine = EraserEngine::session(&design, &faults)
+            .backend(backend)
+            .start();
+        // Three hand-driven warm-up passes (`run` consumes the stimulus
+        // from the engine's current step index, so re-running the same
+        // engine over the same stimulus replays nothing): the first sizes
+        // every pooled buffer, the later ones settle high-water marks that
+        // shift as detected faults drop out and the replayed stimulus
+        // meets new engine states. Hand-driving leaves the step index at
+        // zero, so the measured `run` replays the full stimulus.
+        for _ in 0..3 {
+            drive(&mut engine, &stim, 0..WARMUP_CYCLES + MEASURED_CYCLES);
+        }
 
         let before = CountingAlloc::allocations();
         engine.run(&stim);
@@ -156,14 +162,10 @@ fn batched_engine_steady_state_is_allocation_free() {
     let tapes = eraser_core::TapeProgram::compile(&design);
     let batch = eraser_core::BatchProgram::compile(&design);
     for backend in BACKENDS {
-        let mut engine = EraserEngine::with_programs(
-            &design,
-            &faults,
-            RedundancyMode::Full,
-            true,
-            matches!(backend, EvalBackend::Tape).then_some(&tapes),
-            Some(&batch),
-        );
+        let mut engine = EraserEngine::session(&design, &faults)
+            .tapes(matches!(backend, EvalBackend::Tape).then_some(&tapes))
+            .batch(Some(&batch))
+            .start();
 
         drive(&mut engine, &stim, 0..WARMUP_CYCLES);
 
@@ -225,8 +227,9 @@ fn wide_design_steady_state_is_allocation_free() {
             after - before
         );
 
-        let mut engine =
-            EraserEngine::with_backend(&design, &faults, RedundancyMode::Full, true, backend);
+        let mut engine = EraserEngine::session(&design, &faults)
+            .backend(backend)
+            .start();
         drive(&mut engine, &stim, 0..WIDE_WARMUP);
 
         let before = CountingAlloc::allocations();
@@ -260,16 +263,12 @@ fn two_way_sharded_workers_are_allocation_free_in_steady_state() {
         let mut engines: Vec<EraserEngine> = shards
             .iter()
             .map(|s| match backend {
-                EvalBackend::Tree => EraserEngine::with_backend(
-                    &design,
-                    &s.list,
-                    RedundancyMode::Full,
-                    true,
-                    backend,
-                ),
-                EvalBackend::Tape => {
-                    EraserEngine::with_tapes(&design, &s.list, RedundancyMode::Full, true, &tapes)
-                }
+                EvalBackend::Tree => EraserEngine::session(&design, &s.list)
+                    .backend(backend)
+                    .start(),
+                EvalBackend::Tape => EraserEngine::session(&design, &s.list)
+                    .tapes(Some(&tapes))
+                    .start(),
             })
             .collect();
         for engine in &mut engines {

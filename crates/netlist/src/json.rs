@@ -1,12 +1,19 @@
-//! Minimal order-preserving JSON parser for Yosys netlist files.
+//! Minimal order-preserving JSON parser and serializer.
 //!
 //! Zero-dependency by project rule. Unlike the flat record reader in
 //! `eraser-bench`, this parser keeps object keys in **document order**
 //! (Yosys port order is declaration order, which becomes the design's
 //! input/output order) and reports syntax errors with a 1-based
 //! line/column so a truncated or hand-edited netlist fails legibly.
+//!
+//! The matching serializer ([`to_string`], [`to_string_pretty`]) is what
+//! the campaign service and the `CampaignSpec` API use to emit JSON:
+//! [`parse`]`(`[`to_string`]`(v)) == v` for every value whose numbers are
+//! finite, and integral numbers in the 53-bit-safe range print without a
+//! fractional part, so round-tripped identifiers stay byte-stable.
 
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A parsed JSON value with order-preserving objects.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +80,134 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor: a string value.
+    pub fn str(s: impl Into<String>) -> JsonValue {
+        JsonValue::Str(s.into())
+    }
+
+    /// Convenience constructor: an unsigned integer value.
+    pub fn num(n: u64) -> JsonValue {
+        JsonValue::Num(n as f64)
+    }
+}
+
+/// Serializes a value to compact JSON (no insignificant whitespace).
+///
+/// Object keys keep their in-memory order, mirroring the parser. Integral
+/// numbers inside the 53-bit-safe range print without a fractional part;
+/// non-finite numbers (which valid parses never produce) fall back to
+/// `null`.
+pub fn to_string(v: &JsonValue) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+/// Serializes a value to indented JSON (two spaces per level) — the
+/// human-facing variant for spec files and on-disk records.
+pub fn to_string_pretty(v: &JsonValue) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    out
+}
+
+fn write_value(out: &mut String, v: &JsonValue, indent: Option<usize>, depth: usize) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(true) => out.push_str("true"),
+        JsonValue::Bool(false) => out.push_str("false"),
+        JsonValue::Num(n) => write_number(out, *n),
+        JsonValue::Str(s) => write_escaped(out, s),
+        JsonValue::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_newline(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            write_newline(out, indent, depth);
+            out.push(']');
+        }
+        JsonValue::Obj(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, mv)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_newline(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, mv, indent, depth + 1);
+            }
+            write_newline(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn write_newline(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..depth * step {
+            out.push(' ');
+        }
+    }
+}
+
+/// Numbers in the integer-safe f64 range print as integers (Yosys bit
+/// indices, campaign ids, counters); everything else uses Rust's shortest
+/// round-trippable float formatting.
+fn write_number(out: &mut String, n: f64) {
+    const SAFE: f64 = 9_007_199_254_740_992.0; // 2^53
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < SAFE {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// A JSON syntax error with its 1-based source position.
@@ -324,6 +459,33 @@ mod tests {
         let e = parse("[1, 2").unwrap_err();
         assert_eq!(e.line, 1);
         assert!(e.message.contains("expected"));
+    }
+
+    #[test]
+    fn serializer_round_trips() {
+        let doc = r#"{"z": 1, "a": [true, null, "s\n\"\\x", -2.5, 0], "m": {"k": [], "e": {}}}"#;
+        let v = parse(doc).unwrap();
+        // Compact and pretty forms both parse back to the identical value.
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+        assert_eq!(parse(&to_string_pretty(&v)).unwrap(), v);
+        // Integral numbers print without a fractional part.
+        assert_eq!(to_string(&JsonValue::Num(42.0)), "42");
+        assert_eq!(to_string(&JsonValue::Num(-3.0)), "-3");
+        assert_eq!(to_string(&JsonValue::Num(2.5)), "2.5");
+        // Key order is preserved on the wire.
+        let s = to_string(&v);
+        assert!(s.find("\"z\"").unwrap() < s.find("\"a\"").unwrap());
+        // Control characters escape to \u form.
+        let ctl = JsonValue::str("a\u{1}b");
+        assert_eq!(to_string(&ctl), "\"a\\u0001b\"");
+        assert_eq!(parse(&to_string(&ctl)).unwrap(), ctl);
+    }
+
+    #[test]
+    fn pretty_form_is_indented() {
+        let v = parse(r#"{"a": [1, 2]}"#).unwrap();
+        assert_eq!(to_string_pretty(&v), "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+        assert_eq!(to_string(&v), r#"{"a":[1,2]}"#);
     }
 
     #[test]

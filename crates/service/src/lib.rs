@@ -1,0 +1,41 @@
+//! The ERASER campaign service: an async (queued, worker-pool) campaign
+//! server with pluggable result backends, fronted by the unified
+//! [`CampaignSpec`](eraser_core::CampaignSpec) API.
+//!
+//! Three layers, each usable on its own:
+//!
+//! * [`store`] — the [`ResultStore`] trait and its two backends: the
+//!   in-memory [`MemStore`] and the append-only, crash-recovering
+//!   [`JournalStore`]. A [`CampaignRecord`] round-trips bit-faithfully:
+//!   coverage detections and every redundancy counter survive
+//!   persistence exactly.
+//! * [`service`] — [`CampaignService`]: a bounded FIFO job queue drained
+//!   by a worker pool running
+//!   [`run_campaign_with`](eraser_core::run_campaign_with), with a keyed
+//!   cache sharing the compiled design, fault universe, stimulus,
+//!   [`TapeProgram`](eraser_core::TapeProgram) /
+//!   [`BatchProgram`](eraser_core::BatchProgram), and good-run
+//!   checkpoint artifacts across campaigns on the same (design,
+//!   stimulus-seed) pair — a repeat submission executes zero good-run
+//!   steps.
+//! * [`http`] — [`HttpServer`]: a dependency-free HTTP/1.1 front end
+//!   over `std::net` exposing `POST /campaigns`, `GET /campaigns/:id`,
+//!   `GET /campaigns/:id/result` and `GET /healthz`.
+//!
+//! The service is amortization and observability only: every campaign it
+//! runs produces coverage and semantic counters bit-identical to a
+//! direct [`run_campaign`](eraser_core::run_campaign) call with the same
+//! resolved config, which the end-to-end HTTP test asserts.
+
+pub mod http;
+pub mod record;
+pub mod service;
+pub mod store;
+
+pub use http::HttpServer;
+pub use record::CampaignRecord;
+pub use service::{
+    prepare_spec, CampaignService, JobStatus, PreparedCampaign, ServiceHandle, StatusView,
+    SubmitError,
+};
+pub use store::{open_store, JournalStore, MemStore, ResultStore, StoreError};

@@ -1,0 +1,205 @@
+//! The shared [`ResultStore`] conformance suite, run against both
+//! backends, plus the journal-specific persistence and crash-recovery
+//! tests.
+//!
+//! The conformance contract (documented on the trait): unknown ids read
+//! as `None`, put/get round-trips are bit-identical (coverage detections
+//! and every stats counter), re-`put` of an id replaces, and `ids` lists
+//! first-`put` order without duplicates. The journal additionally
+//! survives reopen, and — the crash-injection test — deterministically
+//! recovers every completed record when the file loses an arbitrary
+//! number of tail bytes mid-record.
+
+use eraser_core::{CampaignSpec, RedundancyStats};
+use eraser_fault::{CoverageReport, Detection, FaultId};
+use eraser_ir::SignalId;
+use eraser_service::{CampaignRecord, JournalStore, MemStore, ResultStore};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A distinguishable record: every field derived from `n` so two records
+/// never collide and corruption is detectable by equality.
+fn record(n: u64) -> CampaignRecord {
+    let total = 8 + n as usize;
+    let mut coverage = CoverageReport::new(total);
+    for i in 0..total {
+        if i as u64 % 3 != 1 {
+            coverage.record(
+                FaultId(i as u32),
+                Detection {
+                    step: (n as usize + i) * 2,
+                    output: SignalId((i % 5) as u32),
+                },
+            );
+        }
+    }
+    CampaignRecord {
+        id: format!("c{n}"),
+        spec: CampaignSpec::benchmark("APB")
+            .seed(n)
+            .steps(40 + n as usize),
+        design_name: "APB".into(),
+        num_faults: total,
+        steps: 40 + n as usize,
+        good_run_steps: n * 40,
+        cache_hit: n % 2 == 1,
+        coverage,
+        stats: RedundancyStats {
+            good_activations: n,
+            opportunities: n * 100,
+            explicit_skipped: n * 60,
+            implicit_skipped: n * 30,
+            fault_executions: n * 10,
+            rtl_good_evals: n * 7,
+            rtl_fault_evals: n * 11,
+            deltas: n * 13,
+            skipped_prefix_steps: n * 17,
+            dropped_faults: n,
+            time_behavioral: Duration::from_nanos(n * 1001),
+            time_total: Duration::from_nanos(n * 5003),
+            ..RedundancyStats::default()
+        },
+    }
+}
+
+/// The backend-agnostic contract. Every [`ResultStore`] implementation
+/// must pass this unchanged.
+fn check_conformance(store: &mut dyn ResultStore) {
+    // Empty store: unknown ids are None, not errors.
+    assert!(store.get("c1").unwrap().is_none());
+    assert!(store.ids().is_empty());
+
+    // Round-trip, bit-identical.
+    let r1 = record(1);
+    let r2 = record(2);
+    store.put(&r1).unwrap();
+    store.put(&r2).unwrap();
+    let back = store.get("c1").unwrap().expect("c1 stored");
+    assert_eq!(back, r1);
+    assert_eq!(
+        back.coverage, r1.coverage,
+        "detections must survive exactly"
+    );
+    assert_eq!(back.stats, r1.stats, "every counter must survive exactly");
+    assert_eq!(store.get("c2").unwrap().unwrap(), r2);
+    assert!(store.get("c3").unwrap().is_none());
+
+    // First-put order, no duplicates.
+    assert_eq!(store.ids(), vec!["c1".to_string(), "c2".to_string()]);
+
+    // Re-put replaces.
+    let mut r1b = record(1);
+    r1b.stats.opportunities += 999;
+    store.put(&r1b).unwrap();
+    assert_eq!(store.get("c1").unwrap().unwrap(), r1b);
+    assert_eq!(store.ids(), vec!["c1".to_string(), "c2".to_string()]);
+}
+
+/// A per-test scratch path (removed before and after use).
+fn scratch(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("eraser-store-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn mem_store_conforms() {
+    check_conformance(&mut MemStore::new());
+}
+
+#[test]
+fn journal_store_conforms() {
+    let path = scratch("conform");
+    check_conformance(&mut JournalStore::open(&path).unwrap());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn journal_survives_reopen() {
+    let path = scratch("reopen");
+    let (r1, r2) = (record(1), record(2));
+    {
+        let mut store = JournalStore::open(&path).unwrap();
+        store.put(&r1).unwrap();
+        store.put(&r2).unwrap();
+    }
+    let store = JournalStore::open(&path).unwrap();
+    assert_eq!(store.ids(), vec!["c1".to_string(), "c2".to_string()]);
+    assert_eq!(store.get("c1").unwrap().unwrap(), r1);
+    assert_eq!(store.get("c2").unwrap().unwrap(), r2);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The deterministic crash-injection test: truncate the journal at every
+/// byte offset inside the final record's frame and check that recovery
+/// always restores exactly the completed records and resets the file to
+/// a clean boundary new appends extend.
+#[test]
+fn journal_recovers_from_mid_record_truncation() {
+    let path = scratch("crash");
+    let (r1, r2, r3) = (record(1), record(2), record(3));
+    let len_after_two;
+    let len_after_three;
+    {
+        let mut store = JournalStore::open(&path).unwrap();
+        store.put(&r1).unwrap();
+        store.put(&r2).unwrap();
+        len_after_two = std::fs::metadata(&path).unwrap().len();
+        store.put(&r3).unwrap();
+        len_after_three = std::fs::metadata(&path).unwrap().len();
+    }
+    assert!(len_after_three > len_after_two);
+    let full = std::fs::read(&path).unwrap();
+
+    // A torn write can stop at any byte: header cut short, payload cut
+    // short, checksum line intact but newline missing. Sample the whole
+    // range (stride keeps the test fast; endpoints are covered).
+    let cuts: Vec<u64> = (len_after_two + 1..len_after_three)
+        .step_by(7)
+        .chain([len_after_two + 1, len_after_three - 1])
+        .collect();
+    for cut in cuts {
+        std::fs::write(&path, &full[..cut as usize]).unwrap();
+        let store = JournalStore::open(&path).unwrap();
+        assert_eq!(
+            store.ids(),
+            vec!["c1".to_string(), "c2".to_string()],
+            "cut at byte {cut}: completed records must all recover"
+        );
+        assert_eq!(store.get("c1").unwrap().unwrap(), r1);
+        assert_eq!(store.get("c2").unwrap().unwrap(), r2);
+        assert!(store.get("c3").unwrap().is_none());
+        // Recovery truncates back to the last intact frame...
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), len_after_two);
+        drop(store);
+        // ...and the journal accepts appends from that clean boundary.
+        let mut store = JournalStore::open(&path).unwrap();
+        store.put(&r3).unwrap();
+        drop(store);
+        let store = JournalStore::open(&path).unwrap();
+        assert_eq!(store.ids(), vec!["c1", "c2", "c3"]);
+        assert_eq!(store.get("c3").unwrap().unwrap(), r3);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Flipping a byte inside a frame (not just truncating) must also end
+/// recovery at the previous intact record — the checksum is what
+/// guarantees it.
+#[test]
+fn journal_checksum_catches_corruption() {
+    let path = scratch("corrupt");
+    {
+        let mut store = JournalStore::open(&path).unwrap();
+        store.put(&record(1)).unwrap();
+        store.put(&record(2)).unwrap();
+    }
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() * 3 / 4; // inside the second frame's payload
+    bytes[mid] ^= 0x20;
+    std::fs::write(&path, &bytes).unwrap();
+    let store = JournalStore::open(&path).unwrap();
+    assert_eq!(store.ids(), vec!["c1".to_string()]);
+    assert_eq!(store.get("c1").unwrap().unwrap(), record(1));
+    let _ = std::fs::remove_file(&path);
+}

@@ -21,7 +21,12 @@
 //! * [`designs`] — the ten-benchmark suite with stimuli and golden
 //!   models, plus the [`designs::DesignSource`] layer that resolves
 //!   benchmarks, external Verilog files, Yosys-JSON netlists, and the
-//!   bundled gate-level fixtures into one campaign-ready bundle.
+//!   bundled gate-level fixtures into one campaign-ready bundle,
+//! * [`service`] — the campaign service: a
+//!   [`CampaignSpec`](core::CampaignSpec)-driven job queue with worker
+//!   pool and cross-campaign caches, pluggable result stores (in-memory
+//!   or crash-recovering on-disk journal), and a dependency-free
+//!   HTTP/JSON front end ([`service::HttpServer`]).
 //!
 //! # Quickstart
 //!
@@ -99,4 +104,5 @@ pub use eraser_frontend as frontend;
 pub use eraser_ir as ir;
 pub use eraser_logic as logic;
 pub use eraser_netlist as netlist;
+pub use eraser_service as service;
 pub use eraser_sim as sim;

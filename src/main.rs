@@ -1,209 +1,263 @@
-//! `eraser` — command-line RTL fault simulation.
+//! `eraser` — command-line RTL fault simulation and the campaign server.
 //!
-//! Loads a design through the design-source layer — a Verilog-subset file,
-//! or a Yosys-JSON netlist when the path ends in `.json` (the output of
-//! `yosys -p 'prep; write_json design.json'`) — generates per-bit stuck-at
-//! faults, runs an ERASER fault-simulation campaign against a generated
-//! clocked random stimulus, and prints coverage plus the redundancy
-//! breakdown.
+//! Two modes:
+//!
+//! * **Run** (default): load a design — a Verilog-subset file, a
+//!   Yosys-JSON netlist (`.json`, the output of
+//!   `yosys -p 'prep; write_json design.json'`), or a `--spec` campaign
+//!   file naming a benchmark/fixture/path — generate per-bit stuck-at
+//!   faults, run an ERASER campaign, and print coverage plus the
+//!   redundancy breakdown.
+//! * **Serve**: `eraser serve` starts the HTTP/JSON campaign service
+//!   (`POST /campaigns`, `GET /campaigns/:id`, `GET /campaigns/:id/result`,
+//!   `GET /healthz`) with a bounded job queue, a worker pool, and a
+//!   pluggable result store (`--store mem` or `--store journal:PATH`).
 //!
 //! ```text
-//! eraser <file.v|file.json> [--top NAME] [--stimulus-steps N] [--clock NAME] [--reset NAME]
-//!        [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]
-//!        [--threads N] [--partition contiguous|round-robin|site-affinity|window-affinity]
-//!        [--eval tree|tape] [--checkpoint-interval N] [--batch] [--collapse]
+//! eraser <file.v|file.json> [flags]     run a file design
+//! eraser --spec FILE.json [flags]       run a campaign spec
+//! eraser serve [--addr A] [--workers N] [--queue N] [--store S]
 //! ```
 //!
-//! `--threads N` runs the campaign fault-parallel over N worker threads
-//! (0 = one per hardware thread); `--partition` picks the fault-sharding
-//! strategy; `--eval` selects the expression-evaluation backend (the tree
-//! walker or compiled instruction tapes); `--batch` evaluates batchable
-//! RTL nodes for up to 64 faults at once (bit-parallel fault batching);
-//! `--collapse` statically collapses the fault universe (equivalence
-//! classes plus provably-undetectable drops) before simulating. Defaults
-//! come from `ERASER_THREADS` / `ERASER_PARTITION` / `ERASER_EVAL` /
-//! `ERASER_BATCH` / `ERASER_COLLAPSE`. Coverage is bit-identical at any
-//! thread count, on either backend, and with batching or collapsing on or
-//! off.
+//! Every knob resolves through one precedence rule, lowest to highest:
+//! built-in default < `ERASER_*` environment < CLI flag < explicit spec
+//! field ([`CampaignSpec`] is the single implementation — flags merge
+//! into fields the spec file left unset, and `resolve()` falls through
+//! unset fields to the environment).
+//!
+//! Errors are uniform: every failure prints one `error: ...` line to
+//! stderr; usage mistakes (unknown flag, missing value, bad number) exit
+//! 2 with the usage text, runtime failures (unreadable file, import
+//! error, bad spec) exit 1.
 
-use eraser::core::{
-    run_campaign, BatchConfig, CampaignConfig, CheckpointConfig, CollapseConfig, EvalBackend,
-    ParallelConfig, RedundancyMode,
-};
-use eraser::designs::DesignSource;
-use eraser::fault::{generate_faults, PartitionStrategy};
-use std::path::Path;
+use eraser::core::{run_campaign, CampaignSpec, RedundancyMode};
+use eraser::fault::PartitionStrategy;
+use eraser::ir::EvalBackend;
+use eraser::netlist::json;
+use eraser::service::{open_store, prepare_spec, CampaignService, HttpServer};
 use std::process::ExitCode;
 
-struct Options {
-    file: String,
-    top: Option<String>,
-    cycles: usize,
-    clock: Option<String>,
-    reset: Option<String>,
-    mode: RedundancyMode,
-    max_faults: Option<usize>,
-    seed: u64,
-    list_undetected: bool,
-    parallel: ParallelConfig,
-    backend: EvalBackend,
-    checkpoint: CheckpointConfig,
-    batch: BatchConfig,
-    collapse: CollapseConfig,
-}
+const USAGE: &str = "usage: eraser <file.v|file.json> [--top NAME] [--stimulus-steps N] [--clock NAME] [--reset NAME]
+              [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]
+              [--threads N] [--partition contiguous|round-robin|site-affinity|window-affinity]
+              [--eval tree|tape] [--checkpoint-interval N] [--batch] [--collapse]
+       eraser --spec FILE.json [same flags; the spec's explicit fields win]
+       eraser serve [--addr HOST:PORT] [--workers N] [--queue N] [--store mem|journal:PATH]";
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: eraser <file.v|file.json> [--top NAME] [--stimulus-steps N] [--clock NAME] [--reset NAME]\n\
-         \x20             [--mode full|explicit|none] [--max-faults N] [--seed N] [--list-undetected]\n\
-         \x20             [--threads N] [--partition contiguous|round-robin|site-affinity|window-affinity]\n\
-         \x20             [--eval tree|tape] [--checkpoint-interval N] [--batch] [--collapse]"
-    );
+/// A usage mistake: `error:` line, usage text, exit 2.
+fn fail_usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
-fn parse_args() -> Options {
-    let mut args = std::env::args().skip(1);
-    let mut opts = Options {
-        file: String::new(),
-        top: None,
-        cycles: 500,
-        clock: None,
-        reset: None,
-        mode: RedundancyMode::Full,
-        max_faults: None,
-        seed: 1,
-        list_undetected: false,
-        parallel: ParallelConfig::from_env(),
-        backend: EvalBackend::from_env(),
-        checkpoint: CheckpointConfig::from_env(),
-        batch: BatchConfig::from_env(),
-        collapse: CollapseConfig::from_env(),
-    };
-    let need = |a: Option<String>| a.unwrap_or_else(|| usage());
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--top" => opts.top = Some(need(args.next())),
-            "--cycles" | "--stimulus-steps" => {
-                opts.cycles = need(args.next()).parse().unwrap_or_else(|_| usage())
-            }
-            "--clock" => opts.clock = Some(need(args.next())),
-            "--reset" => opts.reset = Some(need(args.next())),
-            "--mode" => {
-                opts.mode = match need(args.next()).as_str() {
-                    "full" => RedundancyMode::Full,
-                    "explicit" => RedundancyMode::Explicit,
-                    "none" => RedundancyMode::None,
-                    _ => usage(),
-                }
-            }
-            "--max-faults" => {
-                opts.max_faults = Some(need(args.next()).parse().unwrap_or_else(|_| usage()))
-            }
-            "--seed" => opts.seed = need(args.next()).parse().unwrap_or_else(|_| usage()),
-            "--threads" => {
-                opts.parallel.threads = need(args.next()).parse().unwrap_or_else(|_| usage())
-            }
-            "--partition" => {
-                opts.parallel.strategy = need(args.next())
-                    .parse::<PartitionStrategy>()
-                    .unwrap_or_else(|e| {
-                        eprintln!("error: {e}");
-                        usage()
-                    })
-            }
-            "--eval" => {
-                opts.backend = need(args.next())
-                    .parse::<EvalBackend>()
-                    .unwrap_or_else(|e| {
-                        eprintln!("error: {e}");
-                        usage()
-                    })
-            }
-            "--checkpoint-interval" => {
-                opts.checkpoint =
-                    CheckpointConfig::every(need(args.next()).parse().unwrap_or_else(|_| usage()))
-            }
-            "--batch" => opts.batch = BatchConfig::enabled(),
-            "--collapse" => opts.collapse = CollapseConfig::enabled(),
-            "--list-undetected" => opts.list_undetected = true,
-            "--help" | "-h" => usage(),
-            _ if opts.file.is_empty() && !arg.starts_with('-') => opts.file = arg,
-            _ => usage(),
-        }
-    }
-    if opts.file.is_empty() {
-        usage();
-    }
-    opts
+/// CLI knob flags, all optional — merged into the campaign spec with
+/// lower precedence than the spec file's own fields.
+#[derive(Default)]
+struct Flags {
+    top: Option<String>,
+    clock: Option<String>,
+    reset: Option<String>,
+    steps: Option<usize>,
+    seed: Option<u64>,
+    mode: Option<RedundancyMode>,
+    max_faults: Option<usize>,
+    threads: Option<usize>,
+    partition: Option<PartitionStrategy>,
+    eval: Option<EvalBackend>,
+    checkpoint_interval: Option<usize>,
+    batch: bool,
+    collapse: bool,
+    list_undetected: bool,
+}
+
+fn need(flag: &str, value: Option<String>) -> String {
+    value.unwrap_or_else(|| fail_usage(&format!("{flag} needs a value")))
+}
+
+fn need_num<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let text = need(flag, value);
+    text.parse()
+        .unwrap_or_else(|_| fail_usage(&format!("{flag}: `{text}` is not a valid number")))
+}
+
+fn parse_enum<T>(flag: &str, value: Option<String>) -> T
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let text = need(flag, value);
+    text.parse()
+        .unwrap_or_else(|e: T::Err| fail_usage(&e.to_string()))
 }
 
 fn main() -> ExitCode {
-    let opts = parse_args();
-    // The design-source layer handles extension dispatch (`.json` →
-    // Yosys netlist import), clock/reset detection, the clock/reset
-    // fault exclusions, and the seeded clocked-random stimulus.
-    let mut source = match DesignSource::load(
-        Path::new(&opts.file),
-        opts.top.as_deref(),
-        opts.clock.as_deref(),
-        opts.reset.as_deref(),
-        opts.seed,
-    ) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        args.remove(0);
+        return serve(args);
+    }
+
+    let mut flags = Flags::default();
+    let mut file: Option<String> = None;
+    let mut spec_file: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spec" => spec_file = Some(need("--spec", it.next())),
+            "--top" => flags.top = Some(need("--top", it.next())),
+            "--clock" => flags.clock = Some(need("--clock", it.next())),
+            "--reset" => flags.reset = Some(need("--reset", it.next())),
+            "--cycles" | "--stimulus-steps" => {
+                flags.steps = Some(need_num("--stimulus-steps", it.next()))
+            }
+            "--seed" => flags.seed = Some(need_num("--seed", it.next())),
+            "--mode" => flags.mode = Some(parse_enum("--mode", it.next())),
+            "--max-faults" => flags.max_faults = Some(need_num("--max-faults", it.next())),
+            "--threads" => flags.threads = Some(need_num("--threads", it.next())),
+            "--partition" => flags.partition = Some(parse_enum("--partition", it.next())),
+            "--eval" => flags.eval = Some(parse_enum("--eval", it.next())),
+            "--checkpoint-interval" => {
+                flags.checkpoint_interval = Some(need_num("--checkpoint-interval", it.next()))
+            }
+            "--batch" => flags.batch = true,
+            "--collapse" => flags.collapse = true,
+            "--list-undetected" => flags.list_undetected = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if !arg.starts_with('-') && file.is_none() => file = Some(arg),
+            _ => fail_usage(&format!("unknown argument `{arg}`")),
+        }
+    }
+
+    let spec = match build_spec(file, spec_file, &flags) {
+        Ok(spec) => spec,
+        Err(message) => {
+            eprintln!("error: {message}");
             return ExitCode::FAILURE;
         }
     };
-    source.set_default_cycles(opts.cycles);
-    source.fault_config_mut().max_faults = opts.max_faults;
-    let design = source.design();
-    let faults = generate_faults(design, source.fault_config());
-    let stim = source.stimulus();
+    match run(&spec, flags.list_undetected) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Builds the campaign spec: from `--spec` (flags merge into fields the
+/// file left unset) or from a positional design file (flags fill the
+/// spec directly).
+fn build_spec(
+    file: Option<String>,
+    spec_file: Option<String>,
+    flags: &Flags,
+) -> Result<CampaignSpec, String> {
+    let (mut spec, explicit_keys) = match (spec_file, file) {
+        (Some(path), None) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let spec = CampaignSpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            // Which keys the file set explicitly — those outrank flags
+            // even for the spec's non-optional fields (seed, mode, ...).
+            let keys: Vec<String> = json::parse(&text)
+                .ok()
+                .and_then(|v| {
+                    v.as_obj()
+                        .map(|o| o.iter().map(|(k, _)| k.clone()).collect())
+                })
+                .unwrap_or_default();
+            (spec, keys)
+        }
+        (None, Some(path)) => (CampaignSpec::path(path), Vec::new()),
+        (Some(_), Some(_)) => {
+            return Err("give either a design file or --spec, not both".to_string())
+        }
+        (None, None) => fail_usage("no design file or --spec given"),
+    };
+    let unset = |key: &str| !explicit_keys.iter().any(|k| k == key);
+    if flags.top.is_some() && unset("top") {
+        spec.top = flags.top.clone();
+    }
+    if flags.clock.is_some() && unset("clock") {
+        spec.clock = flags.clock.clone();
+    }
+    if flags.reset.is_some() && unset("reset") {
+        spec.reset = flags.reset.clone();
+    }
+    if let (Some(seed), true) = (flags.seed, unset("seed")) {
+        spec.seed = seed;
+    }
+    if flags.steps.is_some() && unset("steps") {
+        spec.steps = flags.steps;
+    }
+    if let (Some(mode), true) = (flags.mode, unset("mode")) {
+        spec.mode = mode;
+    }
+    if flags.max_faults.is_some() && unset("max_faults") {
+        spec.max_faults = flags.max_faults;
+    }
+    if flags.threads.is_some() && unset("threads") {
+        spec.threads = flags.threads;
+    }
+    if flags.partition.is_some() && unset("partition") {
+        spec.partition = flags.partition;
+    }
+    if flags.eval.is_some() && unset("eval") {
+        spec.backend = flags.eval;
+    }
+    if flags.checkpoint_interval.is_some() && unset("checkpoint_interval") {
+        spec.checkpoint_interval = flags.checkpoint_interval;
+    }
+    if flags.batch && unset("batch") {
+        spec.batch = Some(true);
+    }
+    if flags.collapse && unset("collapse") {
+        spec.collapse = Some(true);
+    }
+    Ok(spec)
+}
+
+/// Runs one campaign from a resolved spec and prints the report.
+fn run(spec: &CampaignSpec, list_undetected: bool) -> Result<(), String> {
+    // One resolution rule for benchmark names, fixtures, and files —
+    // shared with the campaign service's workers.
+    let prep = prepare_spec(spec)?;
+    let design = prep.source.design();
+    let config = spec.resolve();
 
     println!(
-        "{}: {} signals, {} RTL nodes, {} behavioral nodes, {} faults, {} cycles",
+        "{}: {} signals, {} RTL nodes, {} behavioral nodes, {} faults, {} steps",
         design.name(),
         design.num_signals(),
         design.rtl_nodes().len(),
         design.behavioral_nodes().len(),
-        faults.len(),
-        opts.cycles
+        prep.faults.len(),
+        prep.stimulus.steps.len(),
     );
-    if opts.parallel.is_parallel() {
-        println!("parallel: {}", opts.parallel);
+    if config.parallel.is_parallel() {
+        println!("parallel: {}", config.parallel);
     }
-    if opts.checkpoint.is_enabled() {
+    if config.checkpoint.is_enabled() {
         println!(
             "checkpointing: {} (window-aware schedule: shard engines resume \
              from shared good-state snapshots)",
-            opts.checkpoint
+            config.checkpoint
         );
     }
-    if opts.batch.enabled {
+    if config.batch.enabled {
         println!("batching: 64-wide bit-parallel RTL evaluation");
     }
-    if opts.collapse.enabled {
+    if config.collapse.enabled {
         println!("collapsing: static equivalence folding before simulation");
     }
-    let result = run_campaign(
-        design,
-        &faults,
-        &stim,
-        &CampaignConfig {
-            mode: opts.mode,
-            drop_detected: true,
-            parallel: opts.parallel,
-            backend: opts.backend,
-            checkpoint: opts.checkpoint,
-            batch: opts.batch,
-            collapse: opts.collapse,
-        },
-    );
+    let result = run_campaign(design, &prep.faults, &prep.stimulus, &config);
     println!(
         "mode {} ({} backend): coverage {}",
-        opts.mode, opts.backend, result.coverage
+        config.mode, config.backend, result.coverage
     );
     let s = &result.stats;
     println!(
@@ -217,7 +271,7 @@ fn main() -> ExitCode {
         s.implicit_skipped,
         s.implicit_percent()
     );
-    if opts.batch.enabled {
+    if config.batch.enabled {
         let occupancy = if s.batch_groups > 0 {
             100.0 * s.batch_lanes as f64 / (s.batch_groups * 64) as f64
         } else {
@@ -228,18 +282,18 @@ fn main() -> ExitCode {
             s.batch_groups, occupancy, s.batch_scalar_fallbacks
         );
     }
-    if opts.collapse.enabled {
+    if config.collapse.enabled {
         println!(
             "collapse: {} classes simulated for {} faults ({} folded, {} dropped as undetectable)",
             s.collapse_classes,
-            faults.len(),
+            prep.faults.len(),
             s.collapsed_faults,
             s.collapse_dropped
         );
     }
-    if opts.list_undetected {
+    if list_undetected {
         for id in result.coverage.undetected() {
-            let f = faults.fault(id);
+            let f = prep.faults.fault(id);
             println!(
                 "undetected: {} bit {} {}",
                 design.signal(f.signal).name,
@@ -248,5 +302,54 @@ fn main() -> ExitCode {
             );
         }
     }
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+/// The `serve` subcommand: start the campaign service and block.
+fn serve(args: Vec<String>) -> ExitCode {
+    let mut addr = "127.0.0.1:3939".to_string();
+    let mut workers: usize = 2;
+    let mut queue: usize = 64;
+    let mut store_sel = "mem".to_string();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = need("--addr", it.next()),
+            "--workers" => workers = need_num("--workers", it.next()),
+            "--queue" => queue = need_num("--queue", it.next()),
+            "--store" => store_sel = need("--store", it.next()),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => fail_usage(&format!("unknown argument `{arg}`")),
+        }
+    }
+    let store = match open_store(&store_sel) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = CampaignService::new(store, workers, queue);
+    let server = match HttpServer::bind(&addr, service.handle()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "eraser service listening on http://{} ({} workers, queue {}, store {})",
+        server.local_addr(),
+        workers,
+        queue,
+        store_sel
+    );
+    // Serve until killed: the accept loop and workers run on their own
+    // threads; this thread just sleeps.
+    loop {
+        std::thread::park();
+    }
 }

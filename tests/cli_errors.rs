@@ -1,0 +1,118 @@
+//! CLI error-handling contract: every failure path exits nonzero with a
+//! consistent `error:` line on stderr — exit 2 for usage errors (plus the
+//! usage text), exit 1 for runtime failures — and a well-formed run exits
+//! zero.
+
+use std::process::{Command, Output};
+
+fn eraser(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_eraser"))
+        .args(args)
+        .output()
+        .expect("spawn eraser binary")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Usage errors (exit 2) always carry the `error:` prefix and the usage
+/// text so the caller sees what a valid invocation looks like.
+fn assert_usage_error(out: &Output, needle: &str) {
+    let err = stderr(out);
+    assert_eq!(out.status.code(), Some(2), "stderr: {err}");
+    assert!(err.starts_with("error:"), "stderr: {err}");
+    assert!(err.contains(needle), "stderr: {err}");
+    assert!(err.contains("usage:"), "usage text missing: {err}");
+}
+
+/// Runtime failures (exit 1) carry the `error:` prefix but no usage dump
+/// — the invocation was fine, the inputs were not.
+fn assert_runtime_error(out: &Output, needle: &str) {
+    let err = stderr(out);
+    assert_eq!(out.status.code(), Some(1), "stderr: {err}");
+    assert!(err.starts_with("error:"), "stderr: {err}");
+    assert!(err.contains(needle), "stderr: {err}");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    assert_usage_error(&eraser(&["--nonsense"]), "--nonsense");
+}
+
+#[test]
+fn missing_flag_value_is_a_usage_error() {
+    assert_usage_error(&eraser(&["--threads"]), "--threads");
+}
+
+#[test]
+fn non_numeric_flag_value_is_a_usage_error() {
+    assert_usage_error(&eraser(&["--threads", "many"]), "--threads");
+}
+
+#[test]
+fn bad_redundancy_mode_is_a_usage_error() {
+    assert_usage_error(&eraser(&["--mode", "sideways"]), "unknown redundancy mode");
+}
+
+#[test]
+fn no_input_at_all_is_a_usage_error() {
+    assert_usage_error(&eraser(&[]), "no design file");
+}
+
+#[test]
+fn missing_design_file_is_a_runtime_error() {
+    assert_runtime_error(&eraser(&["/no/such/design.v"]), "/no/such/design.v");
+}
+
+#[test]
+fn unreadable_spec_file_is_a_runtime_error() {
+    assert_runtime_error(
+        &eraser(&["--spec", "/no/such/spec.json"]),
+        "/no/such/spec.json",
+    );
+}
+
+#[test]
+fn bad_spec_key_is_a_runtime_error_naming_the_key() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("eraser-cli-badspec-{}.json", std::process::id()));
+    std::fs::write(&path, r#"{"design": {"benchmark": "APB"}, "sede": 3}"#).unwrap();
+    let out = eraser(&["--spec", path.to_str().unwrap()]);
+    assert_runtime_error(&out, "sede");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn spec_file_and_design_file_together_is_a_runtime_error() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("eraser-cli-bothspec-{}.json", std::process::id()));
+    std::fs::write(&path, r#"{"design": {"benchmark": "APB"}}"#).unwrap();
+    let out = eraser(&["--spec", path.to_str().unwrap(), "design.v"]);
+    let err = stderr(&out);
+    assert_eq!(out.status.code(), Some(1), "stderr: {err}");
+    assert!(err.starts_with("error:"), "stderr: {err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bad_store_selector_is_a_runtime_error() {
+    assert_runtime_error(&eraser(&["serve", "--store", "bogus"]), "bogus");
+}
+
+#[test]
+fn well_formed_benchmark_spec_exits_zero() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("eraser-cli-okspec-{}.json", std::process::id()));
+    std::fs::write(
+        &path,
+        r#"{"design": {"benchmark": "APB"}, "steps": 10, "threads": 1}"#,
+    )
+    .unwrap();
+    let out = eraser(&["--spec", path.to_str().unwrap()]);
+    let err = stderr(&out);
+    assert_eq!(out.status.code(), Some(0), "stderr: {err}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("coverage"), "stdout: {stdout}");
+    let _ = std::fs::remove_file(&path);
+}
